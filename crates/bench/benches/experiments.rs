@@ -1,0 +1,180 @@
+//! One Criterion group per paper table/figure: times the regeneration
+//! harness for each artefact.
+//!
+//! Cheap artefacts (data-model tables, traffic analytics) are timed end to
+//! end. Measured artefacts (scans, reachability, latency tests) are timed
+//! per unit of measurement work against a pre-built world — building the
+//! world itself is a fixture cost, not part of the harness being measured.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use doe_bench::bench_world;
+use doe_core::experiments;
+use doe_core::{Study, StudyConfig};
+use doe_scanner::campaign::{compact_space, scan_epoch};
+use doe_traffic::{
+    analyze_dot, detect_scanners, generate_dot_traffic, generate_passive_dns, DotTrafficConfig,
+    PdnsConfig, ScanDetectorConfig,
+};
+use doe_vantage::performance::{fresh_connection_test, performance_test, standard_tunnel};
+use doe_vantage::reachability::reachability_test;
+use std::collections::BTreeMap;
+
+/// Tables 1/8 and Figures 1/2: pure data-model artefacts, timed end to end.
+fn bench_protocol_artefacts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_artefacts");
+    group.bench_function("table1", |b| b.iter(experiments::exp_protocols::table1));
+    group.bench_function("figure1", |b| b.iter(experiments::exp_protocols::figure1));
+    group.bench_function("figure2", |b| b.iter(experiments::exp_protocols::figure2));
+    group.bench_function("table8", |b| b.iter(experiments::exp_protocols::table8));
+    group.finish();
+}
+
+/// Figure 3 / Table 2 / Figure 4: one scan epoch (sweep + verify +
+/// classify) on a pre-built world.
+fn bench_scan_epoch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_campaign");
+    group.sample_size(10);
+    let mut world = bench_world(21);
+    let space = compact_space(&world);
+    world.set_epoch(world.config.scan_date(0));
+    group.bench_function("figure3_table2_figure4_one_epoch", |b| {
+        b.iter(|| scan_epoch(&mut world, &space, 0, 42))
+    });
+    group.finish();
+}
+
+/// Table 4: reachability per 25 vantage clients (all four resolvers, all
+/// three transports).
+fn bench_reachability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reachability");
+    group.sample_size(10);
+    let mut world = bench_world(22);
+    let clients: Vec<_> = world.proxyrack.clients.iter().take(25).cloned().collect();
+    group.bench_function("table4_25_clients", |b| {
+        b.iter(|| reachability_test(&mut world, &clients, "Cloudflare"))
+    });
+    group.finish();
+}
+
+/// Figures 9/10 and Table 7: the latency methodology.
+fn bench_performance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("performance");
+    group.sample_size(10);
+    let mut world = bench_world(23);
+    let tunnel = standard_tunnel(&mut world.net);
+    let clients: Vec<_> = world
+        .proxyrack
+        .clients
+        .iter()
+        .filter(|c| c.affliction == worldgen::Affliction::None)
+        .take(5)
+        .cloned()
+        .collect();
+    group.bench_function("figure9_figure10_5_clients_20q", |b| {
+        b.iter(|| performance_test(&mut world, &clients, tunnel, 20))
+    });
+    group.bench_function("table7_10_iterations", |b| {
+        b.iter(|| fresh_connection_test(&mut world, 10))
+    });
+    group.finish();
+}
+
+/// Figures 11/12/13 + scan detection: generation and analytics end to end.
+fn bench_usage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("usage");
+    group.sample_size(10);
+    let dataset = generate_dot_traffic(&DotTrafficConfig::default());
+    let labels: BTreeMap<_, _> = [
+        (
+            worldgen::providers::anchors::CLOUDFLARE_PRIMARY,
+            "Cloudflare".to_string(),
+        ),
+        (
+            worldgen::providers::anchors::QUAD9_PRIMARY,
+            "Quad9".to_string(),
+        ),
+    ]
+    .into_iter()
+    .collect();
+    group.bench_function("figure11_figure12_generate_18_months", |b| {
+        b.iter(|| generate_dot_traffic(black_box(&DotTrafficConfig::default())))
+    });
+    group.bench_function("figure11_figure12_analyze", |b| {
+        b.iter(|| analyze_dot(black_box(&dataset.records), &labels))
+    });
+    group.bench_function("figure13_passive_dns", |b| {
+        b.iter(|| generate_passive_dns(black_box(&PdnsConfig::three_sixty())))
+    });
+    group.bench_function("scandet", |b| {
+        b.iter(|| detect_scanners(black_box(&dataset.records), 853, ScanDetectorConfig::default()))
+    });
+    group.finish();
+}
+
+/// DoH discovery and the Atlas probe, per run on a pre-built world.
+fn bench_discovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discovery");
+    group.sample_size(10);
+    let mut world = bench_world(24);
+    let source = world.scanner_sources[0];
+    let corpus = world.corpus.urls.clone();
+    let known = world.known_doh_list.clone();
+    let store = world.trust_store.clone();
+    let now = world.epoch();
+    let bootstrap = world.bootstrap_resolver;
+    let expected = world.probe.expected_a;
+    group.bench_function("doh_discovery", |b| {
+        b.iter(|| {
+            doe_scanner::discover_doh(
+                &mut world.net,
+                source,
+                &corpus,
+                bootstrap,
+                "probe.dnsmeasure.example",
+                expected,
+                &known,
+                &store,
+                now,
+            )
+        })
+    });
+    let probes = world.atlas.clone();
+    group.bench_function("local_probe", |b| {
+        b.iter(|| {
+            doe_scanner::local_resolver_probe(
+                &mut world.net,
+                &probes,
+                "probe.dnsmeasure.example",
+                &store,
+                now,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Table 3 via the study driver (world inventory summarisation).
+fn bench_table3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inventory");
+    group.sample_size(10);
+    let mut study = Study::new(StudyConfig {
+        epochs: 1,
+        ..StudyConfig::quick(25)
+    });
+    group.bench_function("table3", |b| {
+        b.iter(|| experiments::run(&mut study, "table3").unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_protocol_artefacts,
+    bench_scan_epoch,
+    bench_reachability,
+    bench_performance,
+    bench_usage,
+    bench_discovery,
+    bench_table3,
+);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Microbenchmarks of the substrates: the per-operation costs every
+//! experiment is built from.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dnswire::{builder, Message, RecordType};
+use doe_bench::{bench_world, clean_client};
+use doe_scanner::RandomPermutation;
+use doe_traffic::{NetFlowCollector, RealFlow};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use tlssim::record::{open, seal, SessionKey};
+use tlssim::DateStamp;
+
+fn bench_dnswire(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dnswire");
+    let query = builder::query(7, "a1b2c3.probe.dnsmeasure.example", RecordType::A).unwrap();
+    let bytes = query.encode().unwrap();
+    group.bench_function("encode_query", |b| {
+        b.iter(|| black_box(&query).encode().unwrap())
+    });
+    group.bench_function("decode_query", |b| {
+        b.iter(|| Message::decode(black_box(&bytes)).unwrap())
+    });
+    let mut padded = query.clone();
+    padded.pad_to_block(128).unwrap();
+    let padded_bytes = padded.encode().unwrap();
+    group.bench_function("decode_padded_query", |b| {
+        b.iter(|| Message::decode(black_box(&padded_bytes)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_tls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tlssim");
+    let key = SessionKey::derive(1, 2, 3);
+    let payload = vec![0xabu8; 160];
+    group.bench_function("seal_160B", |b| b.iter(|| seal(key, black_box(&payload))));
+    let sealed = seal(key, &payload);
+    group.bench_function("open_160B", |b| {
+        b.iter(|| open(key, black_box(&sealed)).unwrap())
+    });
+
+    // Full handshake + one exchange over the simulated network.
+    let now = DateStamp::from_ymd(2019, 2, 1);
+    let mut world = bench_world(11);
+    let client = clean_client(&world);
+    let resolver = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
+    group.bench_function("dot_full_session_one_query", |b| {
+        b.iter(|| {
+            let mut dot = doe_protocols::dot::DotClient::new(
+                tlssim::TlsClientConfig::opportunistic(world.trust_store.clone(), now),
+            );
+            let q = builder::query(1, "bench.probe.dnsmeasure.example", RecordType::A).unwrap();
+            dot.query_once(&mut world.net, client.ip, resolver, None, &q)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_netflow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("netflow");
+    let collector = NetFlowCollector::default();
+    let flow = RealFlow {
+        src: "64.1.2.3".parse().unwrap(),
+        dst: "1.1.1.1".parse().unwrap(),
+        dst_port: 853,
+        packets: 24,
+        bytes: 2_900,
+        date: DateStamp::from_ymd(2018, 7, 1),
+        syn_only: false,
+    };
+    let mut rng = SmallRng::seed_from_u64(3);
+    group.bench_function("observe_flow", |b| {
+        b.iter(|| collector.observe(black_box(&flow), &mut rng))
+    });
+    group.finish();
+}
+
+fn bench_scanner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scanner");
+    group.bench_function("permutation_64k", |b| {
+        b.iter(|| {
+            RandomPermutation::new(black_box(65_536), black_box(42))
+                .fold(0u64, |acc, i| acc.wrapping_add(i))
+        })
+    });
+    let mut world = bench_world(13);
+    let src = world.scanner_sources[0];
+    let target = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
+    group.bench_function("syn_probe", |b| {
+        b.iter(|| world.net.syn_probe(src, target, 853))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dnswire, bench_tls, bench_netflow, bench_scanner);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro all                       # everything, quick scale
+//! repro --paper all               # full paper scale (use --release!)
+//! repro --scale 0.1 table4        # one experiment at a custom scale
+//! repro --seed 7 figure3 table2   # several experiments, custom seed
+//! repro --json results/ all      # also write one JSON artifact per experiment
+//! repro list                      # available experiment ids
+//! ```
+
+use doe_core::experiments::{self, ALL_EXPERIMENTS};
+use doe_core::{Study, StudyConfig};
+use std::io::Write;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro [--paper] [--scale X] [--seed N] [--epochs N] [--json DIR] <experiment...|all|list>"
+    );
+    eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let mut config = StudyConfig::quick(2019);
+    let mut json_dir: Option<String> = None;
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--paper" => config = StudyConfig::paper(config.seed),
+            "--scale" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                config.scale = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                config.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--epochs" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                config.epochs = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--json" => {
+                json_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            other if other.starts_with('-') => usage(),
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.iter().any(|t| t == "list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+    let ids: Vec<&str> = if targets.iter().any(|t| t == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        targets.iter().map(String::as_str).collect()
+    };
+    for id in &ids {
+        if !ALL_EXPERIMENTS.contains(id) {
+            eprintln!("unknown experiment: {id}");
+            usage();
+        }
+    }
+
+    eprintln!(
+        "building world: seed={} scale={} epochs={} (full sweep: {})",
+        config.seed, config.scale, config.epochs, config.full_sweep
+    );
+    let started = std::time::Instant::now();
+    let mut study = Study::new(config);
+    eprintln!("world ready in {:.1}s", started.elapsed().as_secs_f64());
+
+    if let Some(dir) = &json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+    }
+    for id in ids {
+        let t0 = std::time::Instant::now();
+        let result = experiments::run(&mut study, id).expect("id validated above");
+        println!("{}", result.with_expectation());
+        eprintln!("[{id} took {:.1}s]", t0.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            let path = format!("{dir}/{id}.json");
+            let mut f = std::fs::File::create(&path).expect("create artifact");
+            let body =
+                serde_json::to_string_pretty(&result.json).expect("serialise artifact");
+            f.write_all(body.as_bytes()).expect("write artifact");
+            eprintln!("[wrote {path}]");
+        }
+    }
+}

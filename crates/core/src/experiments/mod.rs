@@ -1,0 +1,88 @@
+//! One runner per table/figure. Each returns an [`ExperimentResult`] with
+//! a rendered text block (the same rows/series the paper prints) and a
+//! machine-readable JSON payload for EXPERIMENTS.md.
+
+pub mod exp_clients;
+pub mod exp_protocols;
+pub mod exp_servers;
+pub mod exp_usage;
+
+use crate::expectations::expectation;
+use crate::study::Study;
+use serde_json::Value;
+
+/// A completed experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id (`table4`, `figure3`, ...).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered report block.
+    pub rendered: String,
+    /// Machine-readable results.
+    pub json: Value,
+}
+
+impl ExperimentResult {
+    /// Render with the paper expectation appended.
+    pub fn with_expectation(&self) -> String {
+        let mut out = self.rendered.clone();
+        if let Some(exp) = expectation(self.id) {
+            out.push_str(&format!("\npaper reported : {}\n", exp.paper));
+            out.push_str(&format!("shape criterion: {}\n", exp.shape));
+        }
+        out
+    }
+}
+
+/// Every experiment id, in report order.
+pub const ALL_EXPERIMENTS: [&str; 20] = [
+    "table1",
+    "figure1",
+    "figure2",
+    "table8",
+    "figure3",
+    "table2",
+    "figure4",
+    "doh-discovery",
+    "local-probe",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "figure9",
+    "figure10",
+    "table7",
+    "figure11",
+    "figure12",
+    "figure13",
+    "scandet",
+];
+
+/// Run one experiment by id.
+pub fn run(study: &mut Study, id: &str) -> Option<ExperimentResult> {
+    match id {
+        "table1" => Some(exp_protocols::table1()),
+        "figure1" => Some(exp_protocols::figure1()),
+        "figure2" => Some(exp_protocols::figure2()),
+        "table8" => Some(exp_protocols::table8()),
+        "local-probe" => Some(exp_protocols::local_probe(study)),
+        "figure3" => Some(exp_servers::figure3(study)),
+        "table2" => Some(exp_servers::table2(study)),
+        "figure4" => Some(exp_servers::figure4(study)),
+        "doh-discovery" => Some(exp_servers::doh_discovery(study)),
+        "table3" => Some(exp_clients::table3(study)),
+        "table4" => Some(exp_clients::table4(study)),
+        "table5" => Some(exp_clients::table5(study)),
+        "table6" => Some(exp_clients::table6(study)),
+        "figure9" => Some(exp_clients::figure9(study)),
+        "figure10" => Some(exp_clients::figure10(study)),
+        "table7" => Some(exp_clients::table7(study)),
+        "figure11" => Some(exp_usage::figure11(study)),
+        "figure12" => Some(exp_usage::figure12(study)),
+        "figure13" => Some(exp_usage::figure13(study)),
+        "scandet" => Some(exp_usage::scandet(study)),
+        _ => None,
+    }
+}

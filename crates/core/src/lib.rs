@@ -1,0 +1,25 @@
+//! # doe-core — the end-to-end study
+//!
+//! Ties every substrate together into the paper's experiments. Each table
+//! and figure of the evaluation has a runner in [`experiments`] that
+//! regenerates it against the simulated world, a renderer that prints the
+//! same rows/series the paper reports, and an entry in [`expectations`]
+//! recording the paper's values for the EXPERIMENTS.md comparison.
+//!
+//! The `repro` binary drives everything:
+//!
+//! ```text
+//! cargo run --release --bin repro -- all          # every experiment
+//! cargo run --release --bin repro -- table4       # one experiment
+//! cargo run --release --bin repro -- --scale 0.1 figure3
+//! ```
+
+pub mod compare;
+pub mod expectations;
+pub mod experiments;
+pub mod render;
+pub mod study;
+
+pub use compare::{protocol_profiles, timeline_events, implementation_survey, Grade};
+pub use expectations::{expectation, Expectation};
+pub use study::{Study, StudyConfig};

@@ -1,0 +1,124 @@
+//! Plain-text table rendering for the repro reports.
+
+/// A simple aligned-column table builder.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let mut cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                let pad = widths[i].saturating_sub(cell.chars().count());
+                if i + 1 < cells.len() {
+                    line.push_str(&" ".repeat(pad));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction as `12.34%`.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Format a signed millisecond value as `+5.2ms` / `-99.1ms`.
+pub fn ms(x: f64) -> String {
+    format!("{}{:.1}ms", if x >= 0.0 { "+" } else { "" }, x)
+}
+
+/// A section heading for the report stream.
+pub fn heading(title: &str) -> String {
+    format!("\n== {title} {}\n", "=".repeat(66usize.saturating_sub(title.len())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["CC", "Feb 1", "May 1", "Growth"]);
+        t.row(vec!["IE", "456", "951", "+108%"]);
+        t.row(vec!["CN", "257", "40", "-84%"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("CC"));
+        assert!(lines[2].contains("456"));
+        // Columns line up: "Feb 1" column starts at the same offset.
+        let pos_h = lines[0].find("Feb 1").unwrap();
+        let pos_r = lines[2].find("456").unwrap();
+        assert_eq!(pos_h, pos_r);
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only-one"]);
+        assert_eq!(t.len(), 1);
+        assert!(t.render().contains("only-one"));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.1646), "16.46%");
+        assert_eq!(ms(5.25), "+5.2ms");
+        assert_eq!(ms(-99.1), "-99.1ms");
+        assert!(heading("Table 4").contains("== Table 4"));
+    }
+}

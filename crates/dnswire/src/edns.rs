@@ -1,0 +1,193 @@
+//! EDNS(0) (RFC 6891) and the padding option (RFC 7830).
+//!
+//! The OPT pseudo-record overloads the class field with the advertised UDP
+//! payload size and the TTL field with extended RCODE/version/flags. DoT and
+//! DoH clients attach a padding option so that encrypted query sizes leak
+//! less information (§2.2 of the paper).
+
+use crate::error::WireError;
+use crate::name::Name;
+use crate::rr::{RData, RecordClass, RecordType, ResourceRecord};
+use serde::{Deserialize, Serialize};
+
+/// EDNS option code for padding (RFC 7830).
+pub const OPTION_PADDING: u16 = 12;
+
+/// A single EDNS option TLV.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EdnsOption {
+    /// Option code.
+    pub code: u16,
+    /// Option payload.
+    pub data: Vec<u8>,
+}
+
+impl EdnsOption {
+    /// A padding option of `len` zero bytes.
+    pub fn padding(len: usize) -> Self {
+        EdnsOption {
+            code: OPTION_PADDING,
+            data: vec![0u8; len],
+        }
+    }
+}
+
+/// A decoded OPT pseudo-record.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OptRecord {
+    /// Requestor's maximum UDP payload size.
+    pub udp_payload: u16,
+    /// Extended RCODE high bits (we keep them raw).
+    pub ext_rcode: u8,
+    /// EDNS version, 0 in practice.
+    pub version: u8,
+    /// The `DO` bit (DNSSEC OK).
+    pub dnssec_ok: bool,
+    /// Options carried in RDATA.
+    pub options: Vec<EdnsOption>,
+}
+
+impl Default for OptRecord {
+    fn default() -> Self {
+        OptRecord {
+            udp_payload: crate::DEFAULT_EDNS_PAYLOAD,
+            ext_rcode: 0,
+            version: 0,
+            dnssec_ok: false,
+            options: Vec::new(),
+        }
+    }
+}
+
+impl OptRecord {
+    /// Total padding bytes carried, if a padding option is present.
+    pub fn padding_len(&self) -> Option<usize> {
+        self.options
+            .iter()
+            .find(|o| o.code == OPTION_PADDING)
+            .map(|o| o.data.len())
+    }
+
+    /// Render as a [`ResourceRecord`] ready for the additional section.
+    pub fn to_record(&self) -> ResourceRecord {
+        let mut rdata = Vec::new();
+        for opt in &self.options {
+            rdata.extend_from_slice(&opt.code.to_be_bytes());
+            rdata.extend_from_slice(&(opt.data.len() as u16).to_be_bytes());
+            rdata.extend_from_slice(&opt.data);
+        }
+        let mut ttl = 0u32;
+        ttl |= (self.ext_rcode as u32) << 24;
+        ttl |= (self.version as u32) << 16;
+        if self.dnssec_ok {
+            ttl |= 0x8000;
+        }
+        ResourceRecord {
+            name: Name::root(),
+            rtype: RecordType::Opt,
+            class: RecordClass::Other(self.udp_payload),
+            ttl,
+            rdata: RData::Opaque(rdata),
+        }
+    }
+
+    /// Parse from a [`ResourceRecord`] previously identified as OPT.
+    pub fn from_record(rr: &ResourceRecord) -> Result<Self, WireError> {
+        let udp_payload = rr.class.to_u16();
+        let ext_rcode = (rr.ttl >> 24) as u8;
+        let version = ((rr.ttl >> 16) & 0xff) as u8;
+        let dnssec_ok = rr.ttl & 0x8000 != 0;
+        let bytes = match &rr.rdata {
+            RData::Opaque(b) => b.as_slice(),
+            _ => &[],
+        };
+        let mut options = Vec::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            let header = bytes
+                .get(i..i + 4)
+                .ok_or(WireError::Truncated { expecting: "edns option header" })?;
+            let code = u16::from_be_bytes([header[0], header[1]]);
+            let len = u16::from_be_bytes([header[2], header[3]]) as usize;
+            let data = bytes
+                .get(i + 4..i + 4 + len)
+                .ok_or(WireError::Truncated { expecting: "edns option data" })?;
+            options.push(EdnsOption {
+                code,
+                data: data.to_vec(),
+            });
+            i += 4 + len;
+        }
+        Ok(OptRecord {
+            udp_payload,
+            ext_rcode,
+            version,
+            dnssec_ok,
+            options,
+        })
+    }
+
+    /// Compute the RFC 8467-recommended padding to round a query up to a
+    /// multiple of `block` bytes, given the unpadded message length.
+    ///
+    /// Returns the number of padding *data* bytes such that
+    /// `unpadded + 4 + padding` is the next multiple of `block` (the 4 covers
+    /// the option TLV header). If the unpadded size already fits exactly and
+    /// no room remains for a TLV header, the next block is used.
+    pub fn padding_for(unpadded_len: usize, block: usize) -> usize {
+        assert!(block > 0, "padding block must be positive");
+        let with_header = unpadded_len + 4;
+        let rem = with_header % block;
+        if rem == 0 {
+            0
+        } else {
+            block - rem
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opt_record_round_trip() {
+        let opt = OptRecord {
+            udp_payload: 4096,
+            ext_rcode: 0,
+            version: 0,
+            dnssec_ok: true,
+            options: vec![EdnsOption::padding(31), EdnsOption { code: 10, data: vec![9; 8] }],
+        };
+        let rr = opt.to_record();
+        let back = OptRecord::from_record(&rr).unwrap();
+        assert_eq!(back, opt);
+        assert_eq!(back.padding_len(), Some(31));
+    }
+
+    #[test]
+    fn default_opt_has_no_padding() {
+        assert_eq!(OptRecord::default().padding_len(), None);
+    }
+
+    #[test]
+    fn padding_rounds_to_block() {
+        // 60-byte query, block 128: 60+4+pad ≡ 0 (mod 128) → pad = 64.
+        assert_eq!(OptRecord::padding_for(60, 128), 64);
+        // Exactly at boundary needs no padding data.
+        assert_eq!(OptRecord::padding_for(124, 128), 0);
+        assert_eq!((124 + 4) % 128, 0);
+    }
+
+    #[test]
+    fn truncated_option_rejected() {
+        let rr = ResourceRecord {
+            name: Name::root(),
+            rtype: RecordType::Opt,
+            class: RecordClass::Other(512),
+            ttl: 0,
+            rdata: RData::Opaque(vec![0, 12, 0, 10, 1]), // promises 10 bytes, has 1
+        };
+        assert!(OptRecord::from_record(&rr).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Typed decode/encode failures.
+
+use std::fmt;
+
+/// Every way the codec can fail.
+///
+/// Decoding never panics on hostile bytes; each malformed construct maps to
+/// one of these variants so that callers (the simulated resolvers and the
+/// scanner's verification probe) can distinguish "garbage service" from
+/// "truncated read".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before a fixed-size field could be read.
+    Truncated {
+        /// What the decoder was trying to read.
+        expecting: &'static str,
+    },
+    /// A label exceeded 63 octets.
+    LabelTooLong(usize),
+    /// An assembled name exceeded 255 octets.
+    NameTooLong(usize),
+    /// A compression pointer referenced an offset at or past its own
+    /// position, or pointers formed a loop.
+    BadPointer(u16),
+    /// Compression pointers nested deeper than the sanity limit.
+    PointerLoop,
+    /// A label type other than `00` (literal) or `11` (pointer) was seen.
+    BadLabelType(u8),
+    /// A name contained bytes that are not printable in presentation format.
+    /// Only produced by the strict presentation parser, never by decode.
+    BadPresentation(String),
+    /// RDATA length did not match the type's fixed layout (e.g. A != 4).
+    BadRdataLength {
+        /// The record type being decoded.
+        rtype: u16,
+        /// Length found on the wire.
+        found: usize,
+    },
+    /// The message had trailing bytes after all sections were decoded.
+    TrailingBytes(usize),
+    /// Encoding produced a message longer than the transport allows.
+    MessageTooLong(usize),
+    /// A TXT segment exceeded 255 bytes.
+    TxtSegmentTooLong(usize),
+    /// An EDNS OPT record appeared somewhere other than the additional
+    /// section, or more than once.
+    MisplacedOpt,
+    /// Arithmetic on section counts overflowed 16 bits.
+    CountOverflow,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { expecting } => {
+                write!(f, "message truncated while reading {expecting}")
+            }
+            WireError::LabelTooLong(n) => write!(f, "label of {n} octets exceeds 63"),
+            WireError::NameTooLong(n) => write!(f, "name of {n} octets exceeds 255"),
+            WireError::BadPointer(off) => write!(f, "invalid compression pointer to {off}"),
+            WireError::PointerLoop => write!(f, "compression pointer loop"),
+            WireError::BadLabelType(b) => write!(f, "unsupported label type {b:#04x}"),
+            WireError::BadPresentation(s) => write!(f, "bad presentation name {s:?}"),
+            WireError::BadRdataLength { rtype, found } => {
+                write!(f, "rdata length {found} invalid for rrtype {rtype}")
+            }
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+            WireError::MessageTooLong(n) => write!(f, "encoded message of {n} bytes too long"),
+            WireError::TxtSegmentTooLong(n) => write!(f, "TXT segment of {n} bytes exceeds 255"),
+            WireError::MisplacedOpt => write!(f, "OPT record misplaced or duplicated"),
+            WireError::CountOverflow => write!(f, "section count overflows u16"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

@@ -1,0 +1,434 @@
+//! Domain names: presentation parsing, wire encoding and decoding with
+//! message compression (RFC 1035 §4.1.4).
+
+use crate::error::WireError;
+use crate::{MAX_LABEL_LEN, MAX_NAME_LEN};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A fully-qualified domain name, stored as lower-cased labels.
+///
+/// Names are case-insensitive for comparison (RFC 1035 §2.3.3); we normalise
+/// to lowercase at construction so that `Eq`/`Hash` behave as DNS expects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Name {
+    labels: Vec<Vec<u8>>,
+}
+
+impl Name {
+    /// The root name (zero labels).
+    pub fn root() -> Self {
+        Name { labels: Vec::new() }
+    }
+
+    /// Parse a presentation-format name such as `"dns.example.com"`.
+    ///
+    /// A trailing dot is accepted and ignored; the empty string and `"."`
+    /// both denote the root. Escapes are not supported — the measurement
+    /// pipeline only handles hostnames.
+    pub fn parse(s: &str) -> Result<Self, WireError> {
+        let trimmed = s.strip_suffix('.').unwrap_or(s);
+        if trimmed.is_empty() {
+            return Ok(Name::root());
+        }
+        let mut labels = Vec::new();
+        let mut total = 1usize; // terminating root byte
+        for raw in trimmed.split('.') {
+            if raw.is_empty() {
+                return Err(WireError::BadPresentation(s.to_string()));
+            }
+            let bytes = raw.as_bytes();
+            if bytes.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(bytes.len()));
+            }
+            if !bytes
+                .iter()
+                .all(|&b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'*')
+            {
+                return Err(WireError::BadPresentation(s.to_string()));
+            }
+            total += 1 + bytes.len();
+            labels.push(bytes.to_ascii_lowercase());
+        }
+        if total > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(total));
+        }
+        Ok(Name { labels })
+    }
+
+    /// Build a name from raw label byte strings.
+    pub fn from_labels<I, L>(iter: I) -> Result<Self, WireError>
+    where
+        I: IntoIterator<Item = L>,
+        L: AsRef<[u8]>,
+    {
+        let mut labels = Vec::new();
+        let mut total = 1usize;
+        for l in iter {
+            let l = l.as_ref();
+            if l.len() > MAX_LABEL_LEN {
+                return Err(WireError::LabelTooLong(l.len()));
+            }
+            total += 1 + l.len();
+            labels.push(l.to_ascii_lowercase());
+        }
+        if total > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(total));
+        }
+        Ok(Name { labels })
+    }
+
+    /// Number of labels (`0` for the root).
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The labels, leftmost (most specific) first.
+    pub fn labels(&self) -> &[Vec<u8>] {
+        &self.labels
+    }
+
+    /// Length of the name in wire octets, including the root terminator.
+    pub fn wire_len(&self) -> usize {
+        1 + self.labels.iter().map(|l| 1 + l.len()).sum::<usize>()
+    }
+
+    /// True if `self` equals or is a subdomain of `other`
+    /// (`dns.example.com` is within `example.com` and within the root).
+    pub fn is_within(&self, other: &Name) -> bool {
+        if other.labels.len() > self.labels.len() {
+            return false;
+        }
+        let skip = self.labels.len() - other.labels.len();
+        self.labels[skip..] == other.labels[..]
+    }
+
+    /// The parent name, or `None` at the root.
+    pub fn parent(&self) -> Option<Name> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(Name {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepend a label, e.g. turning `example.com` into `probe7.example.com`.
+    pub fn prepend(&self, label: &str) -> Result<Name, WireError> {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        if label.len() > MAX_LABEL_LEN {
+            return Err(WireError::LabelTooLong(label.len()));
+        }
+        labels.push(label.as_bytes().to_ascii_lowercase());
+        labels.extend(self.labels.iter().cloned());
+        let name = Name { labels };
+        if name.wire_len() > MAX_NAME_LEN {
+            return Err(WireError::NameTooLong(name.wire_len()));
+        }
+        Ok(name)
+    }
+
+    /// The registrable second-level domain (last two labels), if present.
+    ///
+    /// The scanner groups DoT providers by the SLD of their certificate
+    /// common names, mirroring §3.2 of the paper.
+    pub fn second_level_domain(&self) -> Option<Name> {
+        if self.labels.len() < 2 {
+            return None;
+        }
+        Some(Name {
+            labels: self.labels[self.labels.len() - 2..].to_vec(),
+        })
+    }
+
+    /// Encode without compression, appending to `buf`.
+    pub fn encode_uncompressed(&self, buf: &mut Vec<u8>) {
+        for label in &self.labels {
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label);
+        }
+        buf.push(0);
+    }
+
+    /// Encode with compression, updating `table` (suffix → offset).
+    ///
+    /// Offsets beyond the 14-bit pointer range are not inserted into the
+    /// table, as they cannot be referenced.
+    pub fn encode_compressed(&self, buf: &mut Vec<u8>, table: &mut HashMap<Name, u16>) {
+        for i in 0..self.labels.len() {
+            let suffix = Name {
+                labels: self.labels[i..].to_vec(),
+            };
+            if let Some(&off) = table.get(&suffix) {
+                buf.push(0b1100_0000 | ((off >> 8) as u8));
+                buf.push((off & 0xff) as u8);
+                return;
+            }
+            let here = buf.len();
+            if here <= 0x3fff {
+                table.insert(suffix, here as u16);
+            }
+            let label = &self.labels[i];
+            buf.push(label.len() as u8);
+            buf.extend_from_slice(label);
+        }
+        buf.push(0);
+    }
+
+    /// Decode a (possibly compressed) name from `msg` starting at `*pos`.
+    ///
+    /// On success `*pos` is advanced past the name as it appears at the
+    /// original location (pointers are followed without moving `*pos`).
+    pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
+        let mut labels = Vec::new();
+        let mut total = 1usize;
+        let mut cursor = *pos;
+        let mut jumped = false;
+        let mut jumps = 0u32;
+        // After the first pointer, `*pos` is already final; before it, we
+        // track how far the inline representation extends.
+        let mut end_of_inline = *pos;
+
+        loop {
+            let len_byte = *msg
+                .get(cursor)
+                .ok_or(WireError::Truncated { expecting: "name label length" })?;
+            match len_byte & 0b1100_0000 {
+                0b0000_0000 => {
+                    if len_byte == 0 {
+                        if !jumped {
+                            end_of_inline = cursor + 1;
+                        }
+                        break;
+                    }
+                    let len = len_byte as usize;
+                    let start = cursor + 1;
+                    let end = start + len;
+                    let label = msg
+                        .get(start..end)
+                        .ok_or(WireError::Truncated { expecting: "name label" })?;
+                    total += 1 + len;
+                    if total > MAX_NAME_LEN {
+                        return Err(WireError::NameTooLong(total));
+                    }
+                    labels.push(label.to_ascii_lowercase());
+                    cursor = end;
+                    if !jumped {
+                        end_of_inline = cursor;
+                    }
+                }
+                0b1100_0000 => {
+                    let second = *msg
+                        .get(cursor + 1)
+                        .ok_or(WireError::Truncated { expecting: "pointer low byte" })?;
+                    let target = (((len_byte & 0b0011_1111) as u16) << 8) | second as u16;
+                    if (target as usize) >= cursor {
+                        return Err(WireError::BadPointer(target));
+                    }
+                    jumps += 1;
+                    if jumps > 64 {
+                        return Err(WireError::PointerLoop);
+                    }
+                    if !jumped {
+                        end_of_inline = cursor + 2;
+                        jumped = true;
+                    }
+                    cursor = target as usize;
+                }
+                other => return Err(WireError::BadLabelType(other)),
+            }
+        }
+        *pos = end_of_inline;
+        Ok(Name { labels })
+    }
+}
+
+impl fmt::Display for Name {
+    /// Presentation format with a trailing dot (`example.com.`); the root is
+    /// rendered as `"."`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            return write!(f, ".");
+        }
+        for label in &self.labels {
+            for &b in label {
+                if b.is_ascii_graphic() {
+                    write!(f, "{}", b as char)?;
+                } else {
+                    write!(f, "\\{:03}", b)?;
+                }
+            }
+            write!(f, ".")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::str::FromStr for Name {
+    type Err = WireError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Name::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let n = Name::parse("DNS.Example.COM").unwrap();
+        assert_eq!(n.to_string(), "dns.example.com.");
+        assert_eq!(n.label_count(), 3);
+    }
+
+    #[test]
+    fn root_forms() {
+        assert_eq!(Name::parse("").unwrap(), Name::root());
+        assert_eq!(Name::parse(".").unwrap(), Name::root());
+        assert_eq!(Name::root().to_string(), ".");
+        assert_eq!(Name::root().wire_len(), 1);
+    }
+
+    #[test]
+    fn trailing_dot_is_optional() {
+        assert_eq!(
+            Name::parse("example.com.").unwrap(),
+            Name::parse("example.com").unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_label_rejected() {
+        assert!(Name::parse("a..b").is_err());
+    }
+
+    #[test]
+    fn overlong_label_rejected() {
+        let long = "a".repeat(64);
+        assert!(matches!(
+            Name::parse(&long),
+            Err(WireError::LabelTooLong(64))
+        ));
+    }
+
+    #[test]
+    fn overlong_name_rejected() {
+        let label = "a".repeat(63);
+        let name = [label.as_str(); 5].join(".");
+        assert!(matches!(Name::parse(&name), Err(WireError::NameTooLong(_))));
+    }
+
+    #[test]
+    fn within_and_parent() {
+        let sub = Name::parse("a.b.example.com").unwrap();
+        let apex = Name::parse("example.com").unwrap();
+        assert!(sub.is_within(&apex));
+        assert!(sub.is_within(&Name::root()));
+        assert!(!apex.is_within(&sub));
+        assert_eq!(sub.parent().unwrap().to_string(), "b.example.com.");
+        assert!(Name::root().parent().is_none());
+    }
+
+    #[test]
+    fn second_level_domain() {
+        let n = Name::parse("mozilla.cloudflare-dns.com").unwrap();
+        assert_eq!(
+            n.second_level_domain().unwrap().to_string(),
+            "cloudflare-dns.com."
+        );
+        assert!(Name::parse("com").unwrap().second_level_domain().is_none());
+    }
+
+    #[test]
+    fn uncompressed_round_trip() {
+        let n = Name::parse("dns.quad9.net").unwrap();
+        let mut buf = Vec::new();
+        n.encode_uncompressed(&mut buf);
+        assert_eq!(buf.len(), n.wire_len());
+        let mut pos = 0;
+        let back = Name::decode(&buf, &mut pos).unwrap();
+        assert_eq!(back, n);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn compression_reuses_suffixes() {
+        let a = Name::parse("one.example.com").unwrap();
+        let b = Name::parse("two.example.com").unwrap();
+        let mut buf = Vec::new();
+        let mut table = HashMap::new();
+        a.encode_compressed(&mut buf, &mut table);
+        let first_len = buf.len();
+        b.encode_compressed(&mut buf, &mut table);
+        // "two" label (4 bytes) + 2-byte pointer instead of full 17 bytes.
+        assert_eq!(buf.len() - first_len, 4 + 2);
+        let mut pos = 0;
+        assert_eq!(Name::decode(&buf, &mut pos).unwrap(), a);
+        assert_eq!(Name::decode(&buf, &mut pos).unwrap(), b);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn identical_name_collapses_to_pointer() {
+        let a = Name::parse("example.com").unwrap();
+        let mut buf = Vec::new();
+        let mut table = HashMap::new();
+        a.encode_compressed(&mut buf, &mut table);
+        let first = buf.len();
+        a.encode_compressed(&mut buf, &mut table);
+        assert_eq!(buf.len() - first, 2);
+    }
+
+    #[test]
+    fn forward_pointer_rejected() {
+        // Pointer at offset 0 pointing to itself.
+        let buf = [0xc0, 0x00];
+        let mut pos = 0;
+        assert!(matches!(
+            Name::decode(&buf, &mut pos),
+            Err(WireError::BadPointer(0))
+        ));
+    }
+
+    #[test]
+    fn truncated_label_rejected() {
+        let buf = [3, b'a', b'b']; // promises 3 bytes, gives 2
+        let mut pos = 0;
+        assert!(matches!(
+            Name::decode(&buf, &mut pos),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_label_type_rejected() {
+        let buf = [0b1000_0001, 0x00];
+        let mut pos = 0;
+        assert!(matches!(
+            Name::decode(&buf, &mut pos),
+            Err(WireError::BadLabelType(_))
+        ));
+    }
+
+    #[test]
+    fn decode_is_case_insensitive() {
+        let mut buf = Vec::new();
+        buf.push(3);
+        buf.extend_from_slice(b"WwW");
+        buf.push(0);
+        let mut pos = 0;
+        let n = Name::decode(&buf, &mut pos).unwrap();
+        assert_eq!(n.to_string(), "www.");
+    }
+
+    #[test]
+    fn prepend_builds_probe_names() {
+        let apex = Name::parse("probe.example.com").unwrap();
+        let unique = apex.prepend("x1f3a9").unwrap();
+        assert_eq!(unique.to_string(), "x1f3a9.probe.example.com.");
+        assert!(unique.is_within(&apex));
+    }
+}

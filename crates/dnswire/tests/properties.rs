@@ -1,0 +1,144 @@
+//! Property-based tests: the wire codec must round-trip every value it can
+//! represent and never panic on hostile bytes.
+
+use dnswire::{builder, FrameDecoder, Header, Message, Name, Question, RData, Rcode, RecordType, ResourceRecord, SoaData};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?").expect("regex")
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| Name::parse(&labels.join(".")).expect("labels valid"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|b| RData::A(b.into())),
+        any::<[u8; 16]>().prop_map(|b| RData::Aaaa(b.into())),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..255), 0..4)
+            .prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
+                RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry,
+                    expire,
+                    minimum,
+                })
+            }),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = ResourceRecord> {
+    (arb_name(), any::<u32>(), arb_rdata())
+        .prop_map(|(name, ttl, rdata)| ResourceRecord::new(name, ttl, rdata))
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        proptest::collection::vec(arb_record(), 0..5),
+        proptest::collection::vec(arb_record(), 0..3),
+    )
+        .prop_map(|(id, qname, answers, additional)| {
+            let mut msg = Message::new(Header::new_query(id));
+            msg.questions.push(Question::new(qname, RecordType::A));
+            msg.answers = answers;
+            msg.additional = additional;
+            msg
+        })
+}
+
+proptest! {
+    #[test]
+    fn name_round_trips_uncompressed(name in arb_name()) {
+        let mut buf = Vec::new();
+        name.encode_uncompressed(&mut buf);
+        let mut pos = 0;
+        let back = Name::decode(&buf, &mut pos).unwrap();
+        prop_assert_eq!(back, name);
+        prop_assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn name_parse_display_round_trips(name in arb_name()) {
+        let shown = name.to_string();
+        prop_assert_eq!(Name::parse(&shown).unwrap(), name);
+    }
+
+    #[test]
+    fn message_round_trips(msg in arb_message()) {
+        let bytes = msg.encode().unwrap();
+        let back = Message::decode(&bytes).unwrap();
+        prop_assert_eq!(&back.questions, &msg.questions);
+        prop_assert_eq!(&back.answers, &msg.answers);
+        prop_assert_eq!(&back.additional, &msg.additional);
+        prop_assert_eq!(back.id(), msg.id());
+        // Re-encoding the decoded message is byte-stable.
+        prop_assert_eq!(back.encode().unwrap(), bytes);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes); // may Err, must not panic
+    }
+
+    #[test]
+    fn name_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut pos = 0;
+        let _ = Name::decode(&bytes, &mut pos);
+    }
+
+    #[test]
+    fn framing_reassembles_any_chunking(
+        msgs in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 1..5),
+        chunk in 1usize..17,
+    ) {
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend(dnswire::frame_message(m).unwrap());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.push(piece);
+            out.extend(dec.drain_messages());
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(dec.pending_len(), 0);
+    }
+
+    #[test]
+    fn padding_always_hits_block(block in 16usize..512, name in arb_name()) {
+        let mut q = Message::new(Header::new_query(1));
+        q.questions.push(Question::new(name, RecordType::A));
+        q.pad_to_block(block).unwrap();
+        prop_assert_eq!(q.encode().unwrap().len() % block, 0);
+    }
+
+    #[test]
+    fn error_responses_echo_question(name in arb_name(), id in any::<u16>()) {
+        let q = {
+            let mut m = Message::new(Header::new_query(id));
+            m.questions.push(Question::new(name, RecordType::Aaaa));
+            m
+        };
+        let resp = builder::error_response(&q, Rcode::ServFail);
+        prop_assert_eq!(resp.id(), id);
+        prop_assert_eq!(&resp.questions, &q.questions);
+        prop_assert_eq!(resp.rcode(), Rcode::ServFail);
+    }
+}

@@ -1,0 +1,451 @@
+//! DNSCrypt v2 (2011): the oldest protocol in the comparison.
+//!
+//! Key properties modelled, matching the Table 1 evaluation:
+//!
+//! * **not TLS** — a bespoke construction (X25519-XSalsa20Poly1305 in
+//!   reality; our simulated AEAD here), which is why Table 1 dings it on
+//!   "uses standard TLS" and why it was never standardised by the IETF,
+//! * runs on **port 443 over UDP or TCP** (mixing with HTTPS traffic),
+//! * the client first fetches a signed **provider certificate** via a
+//!   clear-text TXT query for `2.dnscrypt-cert.<provider>`, pinning the
+//!   provider's public key out of band (no web-PKI trust store),
+//! * queries are then encrypted under a shared key derived from both
+//!   sides' key material.
+
+use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo};
+use crate::responder::DnsResponder;
+use dnswire::{builder, Message, RData, RecordType};
+use netsim::{Network, PeerInfo, ServiceCtx, SimDuration};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use tlssim::cert::fnv1a;
+use tlssim::record::{open, seal, SessionKey};
+
+/// The magic query name prefix for provider certificates.
+pub const CERT_QUERY_PREFIX: &str = "2.dnscrypt-cert";
+
+/// A DNSCrypt provider certificate, distributed via TXT records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProviderCert {
+    /// The provider's resolver public key (simulated).
+    pub resolver_pk: u64,
+    /// Certificate serial.
+    pub serial: u32,
+    /// Signature by the provider's long-term key (which clients pin).
+    pub signature: u64,
+}
+
+impl ProviderCert {
+    /// Issue a certificate under the provider's long-term secret.
+    pub fn issue(provider_secret: u64, resolver_pk: u64, serial: u32) -> Self {
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&resolver_pk.to_be_bytes());
+        buf.extend_from_slice(&serial.to_be_bytes());
+        buf.extend_from_slice(&provider_secret.to_be_bytes());
+        ProviderCert {
+            resolver_pk,
+            serial,
+            signature: fnv1a(&buf),
+        }
+    }
+
+    /// Verify against the pinned provider public key (same value as the
+    /// secret in this simulation).
+    pub fn verify(&self, pinned_provider_key: u64) -> bool {
+        *self == ProviderCert::issue(pinned_provider_key, self.resolver_pk, self.serial)
+    }
+
+    fn to_txt(self) -> Vec<u8> {
+        serde_json::to_vec(&self).expect("cert serialises")
+    }
+
+    fn from_txt(data: &[u8]) -> Option<Self> {
+        serde_json::from_slice(data).ok()
+    }
+}
+
+/// Encrypted DNSCrypt envelope.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Envelope {
+    /// Client ephemeral public key (simulated).
+    client_pk: u64,
+    /// Sealed DNS message.
+    payload: Vec<u8>,
+}
+
+fn shared_key(client_pk: u64, resolver_pk: u64) -> SessionKey {
+    let mut buf = Vec::with_capacity(16);
+    buf.extend_from_slice(&client_pk.to_be_bytes());
+    buf.extend_from_slice(&resolver_pk.to_be_bytes());
+    SessionKey(fnv1a(&buf))
+}
+
+/// A DNSCrypt client pinned to one provider.
+pub struct DnsCryptClient {
+    /// Provider name (e.g. `example.dnscrypt-cert.opendns.com` apex part).
+    provider_name: String,
+    /// Pinned provider key (obtained out of band, e.g. from a stamp).
+    pinned_key: u64,
+    cert: Option<ProviderCert>,
+}
+
+impl DnsCryptClient {
+    /// Pin `provider_name` with `pinned_key`.
+    pub fn new(provider_name: &str, pinned_key: u64) -> Self {
+        DnsCryptClient {
+            provider_name: provider_name.to_string(),
+            pinned_key,
+            cert: None,
+        }
+    }
+
+    /// Fetch and verify the provider certificate (clear-text TXT
+    /// bootstrap). Returns the time spent.
+    pub fn fetch_cert(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        resolver: Ipv4Addr,
+    ) -> Result<SimDuration, QueryError> {
+        let id = net.rng().gen();
+        let qname = format!("{CERT_QUERY_PREFIX}.{}", self.provider_name);
+        let q = builder::query(id, &qname, RecordType::Txt)?;
+        let reply = net.udp_query(
+            src,
+            resolver,
+            crate::DNSCRYPT_PORT,
+            &q.encode()?,
+            Some(SimDuration::from_secs(5)),
+        )?;
+        let message = Message::decode(&reply.bytes)?;
+        let cert = message
+            .answers
+            .iter()
+            .find_map(|rr| match &rr.rdata {
+                RData::Txt(segments) => segments.first().and_then(|s| ProviderCert::from_txt(s)),
+                _ => None,
+            })
+            .ok_or_else(|| QueryError::Protocol("no provider certificate".into()))?;
+        if !cert.verify(self.pinned_key) {
+            return Err(QueryError::Protocol(
+                "provider certificate signature invalid".into(),
+            ));
+        }
+        self.cert = Some(cert);
+        Ok(reply.elapsed)
+    }
+
+    /// One encrypted query (fetches the certificate first if needed).
+    pub fn query(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        resolver: Ipv4Addr,
+        query: &Message,
+    ) -> Result<QueryReply, QueryError> {
+        let mut bootstrap = SimDuration::ZERO;
+        if self.cert.is_none() {
+            bootstrap = self.fetch_cert(net, src, resolver)?;
+        }
+        let cert = self.cert.expect("fetched above");
+        let client_pk: u64 = net.rng().gen();
+        let key = shared_key(client_pk, cert.resolver_pk);
+        let envelope = Envelope {
+            client_pk,
+            payload: seal(key, &query.encode()?),
+        };
+        let packet = serde_json::to_vec(&envelope)
+            .map_err(|e| QueryError::Protocol(format!("encode envelope: {e}")))?;
+        let reply = net.udp_query(
+            src,
+            resolver,
+            crate::DNSCRYPT_PORT,
+            &packet,
+            Some(SimDuration::from_secs(5)),
+        )?;
+        let env: Envelope = serde_json::from_slice(&reply.bytes)
+            .map_err(|_| QueryError::Protocol("bad response envelope".into()))?;
+        let plaintext = open(key, &env.payload)?;
+        let message = Message::decode(&plaintext)?;
+        Ok(QueryReply {
+            message,
+            latency: reply.elapsed + bootstrap,
+            transport: TransportInfo {
+                protocol: DnsTransport::DnsCrypt,
+                verify: None, // no web PKI involved
+                resumed: false,
+                connection_reused: false,
+            },
+        })
+    }
+}
+
+impl DnsCryptClient {
+    /// One encrypted query over TCP (the spec allows both transports;
+    /// TCP framing reuses RFC 1035 length prefixes).
+    pub fn query_tcp(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        resolver: Ipv4Addr,
+        query: &Message,
+    ) -> Result<QueryReply, QueryError> {
+        let mut bootstrap = SimDuration::ZERO;
+        if self.cert.is_none() {
+            bootstrap = self.fetch_cert(net, src, resolver)?;
+        }
+        let cert = self.cert.expect("fetched above");
+        let client_pk: u64 = net.rng().gen();
+        let key = shared_key(client_pk, cert.resolver_pk);
+        let envelope = Envelope {
+            client_pk,
+            payload: seal(key, &query.encode()?),
+        };
+        let packet = serde_json::to_vec(&envelope)
+            .map_err(|e| QueryError::Protocol(format!("encode envelope: {e}")))?;
+        let framed = dnswire::frame_message(&packet)?;
+        let mut conn = net.connect(src, resolver, crate::DNSCRYPT_PORT)?;
+        let raw = conn.request(net, &framed)?;
+        let latency = conn.elapsed() + bootstrap;
+        conn.close(net);
+        let (frame, _) = dnswire::read_framed(&raw)
+            .ok_or_else(|| QueryError::Protocol("no framed response".into()))?;
+        let env: Envelope = serde_json::from_slice(frame)
+            .map_err(|_| QueryError::Protocol("bad response envelope".into()))?;
+        let plaintext = open(key, &env.payload)?;
+        let message = Message::decode(&plaintext)?;
+        Ok(QueryReply {
+            message,
+            latency,
+            transport: TransportInfo {
+                protocol: DnsTransport::DnsCrypt,
+                verify: None,
+                resumed: false,
+                connection_reused: false,
+            },
+        })
+    }
+}
+
+/// Server-side DNSCrypt over TCP port 443 (length-framed envelopes).
+pub struct DnsCryptTcpService {
+    inner: Rc<DnsCryptServerService>,
+}
+
+impl DnsCryptTcpService {
+    /// Wrap a UDP-side service for TCP framing.
+    pub fn new(inner: Rc<DnsCryptServerService>) -> Self {
+        DnsCryptTcpService { inner }
+    }
+}
+
+impl netsim::Service for DnsCryptTcpService {
+    fn open_stream(&self, peer: PeerInfo) -> Box<dyn netsim::StreamHandler> {
+        struct H {
+            inner: Rc<DnsCryptServerService>,
+            peer: PeerInfo,
+            decoder: dnswire::FrameDecoder,
+        }
+        impl netsim::StreamHandler for H {
+            fn on_bytes(&mut self, ctx: &mut ServiceCtx<'_>, data: &[u8]) -> Vec<u8> {
+                use netsim::DatagramService as _;
+                self.decoder.push(data);
+                let mut out = Vec::new();
+                while let Some(frame) = self.decoder.next_message() {
+                    if let Some(reply) = self.inner.on_datagram(ctx, self.peer, &frame) {
+                        if let Ok(framed) = dnswire::frame_message(&reply) {
+                            out.extend_from_slice(&framed);
+                        }
+                    }
+                }
+                out
+            }
+        }
+        Box::new(H {
+            inner: Rc::clone(&self.inner),
+            peer,
+            decoder: dnswire::FrameDecoder::new(),
+        })
+    }
+
+    fn protocol(&self) -> &'static str {
+        "dnscrypt-tcp"
+    }
+}
+
+/// Server-side DNSCrypt over UDP port 443.
+pub struct DnsCryptServerService {
+    provider_name: String,
+    cert: ProviderCert,
+    resolver_sk: u64, // equals the public key in this simulation
+    responder: Rc<dyn DnsResponder>,
+}
+
+impl DnsCryptServerService {
+    /// Serve `responder`; the provider certificate is issued on the spot.
+    pub fn new(
+        provider_name: &str,
+        provider_secret: u64,
+        resolver_key: u64,
+        responder: Rc<dyn DnsResponder>,
+    ) -> Self {
+        DnsCryptServerService {
+            provider_name: provider_name.to_string(),
+            cert: ProviderCert::issue(provider_secret, resolver_key, 1),
+            resolver_sk: resolver_key,
+            responder,
+        }
+    }
+
+    /// The provider certificate being served.
+    pub fn cert(&self) -> ProviderCert {
+        self.cert
+    }
+}
+
+impl netsim::DatagramService for DnsCryptServerService {
+    fn on_datagram(
+        &self,
+        ctx: &mut ServiceCtx<'_>,
+        peer: PeerInfo,
+        data: &[u8],
+    ) -> Option<Vec<u8>> {
+        // Clear-text TXT bootstrap?
+        if let Ok(query) = Message::decode(data) {
+            let question = query.question()?;
+            let expected = format!("{CERT_QUERY_PREFIX}.{}", self.provider_name);
+            if question.qtype == RecordType::Txt
+                && question.qname.to_string().trim_end_matches('.') == expected
+            {
+                let rr = dnswire::ResourceRecord::new(
+                    question.qname.clone(),
+                    3600,
+                    RData::Txt(vec![self.cert.to_txt()]),
+                );
+                return builder::answer(&query, vec![rr]).encode().ok();
+            }
+            // Clear-text non-bootstrap queries are not served.
+            return builder::error_response(&query, dnswire::Rcode::Refused)
+                .encode()
+                .ok();
+        }
+        // Encrypted envelope.
+        let env: Envelope = serde_json::from_slice(data).ok()?;
+        let key = shared_key(env.client_pk, self.resolver_sk);
+        let plaintext = open(key, &env.payload).ok()?;
+        let query = Message::decode(&plaintext).ok()?;
+        let response = self.responder.respond(ctx, peer, &query);
+        let sealed = Envelope {
+            client_pk: env.client_pk,
+            payload: seal(key, &response.encode().ok()?),
+        };
+        serde_json::to_vec(&sealed).ok()
+    }
+
+    fn protocol(&self) -> &'static str {
+        "dnscrypt"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::responder::AuthoritativeServer;
+    use dnswire::zone::Zone;
+    use dnswire::{Name, Rcode};
+    use netsim::{HostMeta, NetworkConfig};
+
+    fn world() -> (Network, Ipv4Addr, Ipv4Addr) {
+        let mut net = Network::new(NetworkConfig::default(), 61);
+        let resolver: Ipv4Addr = "208.67.222.222".parse().unwrap();
+        let client: Ipv4Addr = "198.51.100.6".parse().unwrap();
+        net.add_host(HostMeta::new(resolver).country("US").asn(36692).anycast());
+        net.add_host(HostMeta::new(client).country("ES").asn(3352));
+        let apex = Name::parse("probe.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("*").unwrap(),
+            60,
+            RData::A("203.0.113.11".parse().unwrap()),
+        );
+        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let svc = Rc::new(DnsCryptServerService::new(
+            "opendns.com",
+            0xbeef_0001,
+            0xcafe_0002,
+            responder,
+        ));
+        net.bind_udp(resolver, crate::DNSCRYPT_PORT, Rc::clone(&svc) as Rc<dyn netsim::DatagramService>);
+        net.bind_tcp(resolver, crate::DNSCRYPT_PORT, Rc::new(DnsCryptTcpService::new(svc)));
+        (net, client, resolver)
+    }
+
+    #[test]
+    fn bootstrap_then_encrypted_query() {
+        let (mut net, client, resolver) = world();
+        let mut dc = DnsCryptClient::new("opendns.com", 0xbeef_0001);
+        let q = builder::query(1, "a.probe.example", RecordType::A).unwrap();
+        let reply = dc.query(&mut net, client, resolver, &q).unwrap();
+        assert_eq!(reply.message.rcode(), Rcode::NoError);
+        assert_eq!(reply.message.answers.len(), 1);
+        assert_eq!(reply.transport.protocol, DnsTransport::DnsCrypt);
+        assert!(reply.transport.verify.is_none(), "no web PKI involved");
+    }
+
+    #[test]
+    fn second_query_skips_bootstrap() {
+        let (mut net, client, resolver) = world();
+        let mut dc = DnsCryptClient::new("opendns.com", 0xbeef_0001);
+        let q1 = builder::query(1, "a.probe.example", RecordType::A).unwrap();
+        let first = dc.query(&mut net, client, resolver, &q1).unwrap();
+        let q2 = builder::query(2, "b.probe.example", RecordType::A).unwrap();
+        let second = dc.query(&mut net, client, resolver, &q2).unwrap();
+        assert!(
+            second.latency < first.latency,
+            "bootstrap amortised: {} vs {}",
+            second.latency,
+            first.latency
+        );
+    }
+
+    #[test]
+    fn wrong_pin_rejects_certificate() {
+        let (mut net, client, resolver) = world();
+        let mut dc = DnsCryptClient::new("opendns.com", 0xdead_dead);
+        let err = dc.fetch_cert(&mut net, client, resolver).unwrap_err();
+        assert!(matches!(err, QueryError::Protocol(_)));
+    }
+
+    #[test]
+    fn clear_text_queries_refused() {
+        let (mut net, client, resolver) = world();
+        let q = builder::query(3, "a.probe.example", RecordType::A).unwrap();
+        let reply = net
+            .udp_query(client, resolver, 443, &q.encode().unwrap(), None)
+            .unwrap();
+        let msg = Message::decode(&reply.bytes).unwrap();
+        assert_eq!(msg.rcode(), Rcode::Refused);
+    }
+
+    #[test]
+    fn tcp_transport_works_too() {
+        let (mut net, client, resolver) = world();
+        let mut dc = DnsCryptClient::new("opendns.com", 0xbeef_0001);
+        let q = builder::query(9, "tcp.probe.example", RecordType::A).unwrap();
+        let reply = dc.query_tcp(&mut net, client, resolver, &q).unwrap();
+        assert_eq!(reply.message.rcode(), Rcode::NoError);
+        assert_eq!(reply.transport.protocol, DnsTransport::DnsCrypt);
+    }
+
+    #[test]
+    fn provider_cert_verification() {
+        let cert = ProviderCert::issue(42, 77, 1);
+        assert!(cert.verify(42));
+        assert!(!cert.verify(43));
+        let mut tampered = cert;
+        tampered.resolver_pk ^= 1;
+        assert!(!tampered.verify(42));
+    }
+}

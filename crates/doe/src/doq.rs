@@ -1,0 +1,426 @@
+//! DNS over QUIC (draft-huitema-quic-dnsoquic-05).
+//!
+//! The paper found *no* real-world DoQ implementation (§2.2), which is why
+//! Table 1 marks it unsupported everywhere; this module implements the
+//! draft's transport properties so the comparative study (and the Table 1
+//! criteria evaluation) rests on running code rather than assertions:
+//!
+//! * runs over **UDP** on port 784,
+//! * **1-RTT** connection setup with the server's certificate delivered in
+//!   the first reply (QUIC's combined transport+crypto handshake — no
+//!   separate TCP handshake round trip),
+//! * per-query *streams*, avoiding TCP head-of-line blocking (modelled:
+//!   each query is an independent datagram exchange after setup),
+//! * **fallback** to DoT, then clear-text, per the draft's usability goal.
+//!
+//! The crypto layer reuses [`tlssim`]'s simulated certificates and AEAD.
+
+use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo};
+use crate::responder::DnsResponder;
+use dnswire::Message;
+use netsim::{Network, PeerInfo, ServiceCtx, SimDuration};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use tlssim::cert::fnv1a;
+use tlssim::record::{open, seal, SessionKey};
+use tlssim::{Certificate, CertError, DateStamp, KeyId, TlsError, TrustStore, VerifyMode};
+
+/// QUIC-style packets exchanged by the model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+enum DoqPacket {
+    /// Client initial: carries the client nonce.
+    Initial {
+        /// Client nonce.
+        client_random: u64,
+    },
+    /// Server reply: certificate chain plus server nonce.
+    Handshake {
+        /// Server nonce.
+        server_random: u64,
+        /// Presented chain.
+        chain: Vec<Certificate>,
+    },
+    /// An encrypted DNS message on a fresh stream.
+    Stream {
+        /// Connection identifier.
+        conn_id: u64,
+        /// Sealed DNS message.
+        payload: Vec<u8>,
+    },
+    /// Server-side rejection.
+    Reject {
+        /// Why.
+        reason: String,
+    },
+}
+
+impl DoqPacket {
+    fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("doq packets serialise")
+    }
+
+    fn decode(data: &[u8]) -> Option<DoqPacket> {
+        serde_json::from_slice(data).ok()
+    }
+}
+
+/// An established DoQ connection.
+#[derive(Debug)]
+pub struct DoqSession {
+    resolver: Ipv4Addr,
+    src: Ipv4Addr,
+    conn_id: u64,
+    key: SessionKey,
+    verify_result: Result<(), CertError>,
+    elapsed: SimDuration,
+    queries_sent: u32,
+}
+
+/// A DoQ client.
+pub struct DoqClient {
+    trust_store: TrustStore,
+    now: DateStamp,
+    verify: VerifyMode,
+}
+
+/// One query with the draft's fallback ladder: DoQ → DoT → clear text
+/// (draft-huitema-quic-dnsoquic §5.4's usability goal). Returns the reply
+/// and which rung answered.
+pub fn query_with_fallback(
+    net: &mut Network,
+    src: Ipv4Addr,
+    resolver: Ipv4Addr,
+    trust_store: &TrustStore,
+    now: DateStamp,
+    query: &Message,
+) -> Result<QueryReply, QueryError> {
+    let doq = DoqClient::new(trust_store.clone(), now, VerifyMode::Opportunistic);
+    if let Ok(reply) = doq
+        .connect(net, src, resolver, None)
+        .and_then(|mut session| session.query(net, query)) { return Ok(reply) }
+    let mut dot = crate::dot::DotClient::new(
+        tlssim::TlsClientConfig::opportunistic(trust_store.clone(), now),
+    );
+    if let Ok(reply) = dot.query_once(net, src, resolver, None, query) { return Ok(reply) }
+    crate::do53::do53_udp_query(net, src, resolver, query, SimDuration::from_secs(5), 1)
+}
+
+impl DoqClient {
+    /// Build a client; DoQ uses the same profiles as DoT.
+    pub fn new(trust_store: TrustStore, now: DateStamp, verify: VerifyMode) -> Self {
+        DoqClient {
+            trust_store,
+            now,
+            verify,
+        }
+    }
+
+    /// 1-RTT connection setup over UDP.
+    pub fn connect(
+        &self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        resolver: Ipv4Addr,
+        auth_name: Option<&str>,
+    ) -> Result<DoqSession, QueryError> {
+        let client_random: u64 = net.rng().gen();
+        let initial = DoqPacket::Initial { client_random }.encode();
+        let reply = net.udp_query(src, resolver, crate::DOQ_PORT, &initial, None)?;
+        let packet = DoqPacket::decode(&reply.bytes)
+            .ok_or_else(|| QueryError::Protocol("bad DoQ handshake packet".into()))?;
+        let (server_random, chain) = match packet {
+            DoqPacket::Handshake {
+                server_random,
+                chain,
+            } => (server_random, chain),
+            DoqPacket::Reject { reason } => {
+                return Err(QueryError::Tls(TlsError::HandshakeFailed(reason)))
+            }
+            _ => return Err(QueryError::Protocol("unexpected DoQ packet".into())),
+        };
+        let verify_result =
+            tlssim::verify_chain(&chain, &self.trust_store, self.now, auth_name);
+        if self.verify == VerifyMode::Strict {
+            if let Err(e) = &verify_result {
+                return Err(QueryError::Tls(TlsError::Cert(e.clone())));
+            }
+        }
+        let leaf_key = chain.first().map(|c| c.key.0).unwrap_or_default();
+        let key = SessionKey::derive(client_random, server_random, leaf_key);
+        Ok(DoqSession {
+            resolver,
+            src,
+            conn_id: client_random ^ server_random,
+            key,
+            verify_result,
+            elapsed: reply.elapsed,
+            queries_sent: 0,
+        })
+    }
+}
+
+impl DoqSession {
+    /// One query on its own stream (no head-of-line blocking: each
+    /// exchange is an independent datagram).
+    pub fn query(&mut self, net: &mut Network, query: &Message) -> Result<QueryReply, QueryError> {
+        let wire = query.encode()?;
+        let packet = DoqPacket::Stream {
+            conn_id: self.conn_id,
+            payload: seal(self.key, &wire),
+        }
+        .encode();
+        let reply = net.udp_query(self.src, self.resolver, crate::DOQ_PORT, &packet, None)?;
+        self.elapsed += reply.elapsed;
+        let Some(DoqPacket::Stream { payload, .. }) = DoqPacket::decode(&reply.bytes) else {
+            return Err(QueryError::Protocol("bad DoQ stream packet".into()));
+        };
+        let plaintext = open(self.key, &payload)?;
+        let message = Message::decode(&plaintext)?;
+        self.queries_sent += 1;
+        Ok(QueryReply {
+            message,
+            latency: reply.elapsed,
+            transport: TransportInfo {
+                protocol: DnsTransport::Doq,
+                verify: Some(self.verify_result.clone()),
+                resumed: false,
+                connection_reused: self.queries_sent > 1,
+            },
+        })
+    }
+
+    /// Verification outcome.
+    pub fn verify_result(&self) -> &Result<(), CertError> {
+        &self.verify_result
+    }
+
+    /// Total time charged, including setup.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+}
+
+/// Server-side DoQ over UDP.
+pub struct DoqServerService {
+    chain: Vec<Certificate>,
+    key: KeyId,
+    responder: Rc<dyn DnsResponder>,
+    // conn_id → session key. DoQ connections are long-lived; the study's
+    // sessions are short, so no expiry is modelled.
+    sessions: RefCell<HashMap<u64, SessionKey>>,
+    secret: u64,
+}
+
+impl DoqServerService {
+    /// Serve `responder` over DoQ with this identity.
+    pub fn new(chain: Vec<Certificate>, key: KeyId, responder: Rc<dyn DnsResponder>) -> Self {
+        // Domain-separate the nonce secret from the TLS ticket secret
+        // derived from the same key.
+        let secret = fnv1a(&key.0.to_be_bytes()) ^ 0xd00f_bead_cafe_f00d;
+        DoqServerService {
+            chain,
+            key,
+            responder,
+            sessions: RefCell::new(HashMap::new()),
+            secret,
+        }
+    }
+}
+
+impl netsim::DatagramService for DoqServerService {
+    fn on_datagram(
+        &self,
+        ctx: &mut ServiceCtx<'_>,
+        peer: PeerInfo,
+        data: &[u8],
+    ) -> Option<Vec<u8>> {
+        let packet = DoqPacket::decode(data)?;
+        match packet {
+            DoqPacket::Initial { client_random } => {
+                let mut nonce_input = Vec::with_capacity(16);
+                nonce_input.extend_from_slice(&client_random.to_be_bytes());
+                nonce_input.extend_from_slice(&self.secret.to_be_bytes());
+                let server_random = fnv1a(&nonce_input);
+                let key = SessionKey::derive(client_random, server_random, self.key.0);
+                self.sessions
+                    .borrow_mut()
+                    .insert(client_random ^ server_random, key);
+                Some(
+                    DoqPacket::Handshake {
+                        server_random,
+                        chain: self.chain.clone(),
+                    }
+                    .encode(),
+                )
+            }
+            DoqPacket::Stream { conn_id, payload } => {
+                let key = *self.sessions.borrow().get(&conn_id)?;
+                let plaintext = open(key, &payload).ok()?;
+                let query = Message::decode(&plaintext).ok()?;
+                let response = self.responder.respond(ctx, peer, &query);
+                let bytes = response.encode().ok()?;
+                Some(
+                    DoqPacket::Stream {
+                        conn_id,
+                        payload: seal(key, &bytes),
+                    }
+                    .encode(),
+                )
+            }
+            _ => Some(
+                DoqPacket::Reject {
+                    reason: "unexpected packet".into(),
+                }
+                .encode(),
+            ),
+        }
+    }
+
+    fn protocol(&self) -> &'static str {
+        "doq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::responder::AuthoritativeServer;
+    use dnswire::zone::Zone;
+    use dnswire::{builder, Name, RData, Rcode, RecordType};
+    use netsim::{HostMeta, NetworkConfig};
+    use tlssim::CaHandle;
+
+    fn now() -> DateStamp {
+        DateStamp::from_ymd(2019, 2, 1)
+    }
+
+    fn world() -> (Network, Ipv4Addr, Ipv4Addr, TrustStore) {
+        let mut net = Network::new(NetworkConfig::default(), 51);
+        let resolver: Ipv4Addr = "94.140.14.14".parse().unwrap();
+        let client: Ipv4Addr = "198.51.100.5".parse().unwrap();
+        net.add_host(HostMeta::new(resolver).country("NL").asn(212772).anycast());
+        net.add_host(HostMeta::new(client).country("GB").asn(2856));
+        let apex = Name::parse("probe.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("*").unwrap(),
+            60,
+            RData::A("203.0.113.9".parse().unwrap()),
+        );
+        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let ca = CaHandle::new("AdGuard CA", KeyId(1), now() + -100, 3650);
+        let leaf = ca.issue("dns.adguard.com", vec![], KeyId(2), 1, now() + -10, now() + 365);
+        let mut store = TrustStore::new();
+        store.add(ca.authority());
+        net.bind_udp(
+            resolver,
+            crate::DOQ_PORT,
+            Rc::new(DoqServerService::new(vec![leaf], KeyId(2), responder)),
+        );
+        (net, client, resolver, store)
+    }
+
+    #[test]
+    fn one_rtt_setup_then_queries() {
+        let (mut net, client, resolver, store) = world();
+        let doq = DoqClient::new(store, now(), VerifyMode::Strict);
+        let mut session = doq
+            .connect(&mut net, client, resolver, Some("dns.adguard.com"))
+            .unwrap();
+        assert!(session.verify_result().is_ok());
+        let setup = session.elapsed();
+        let q = builder::query(1, "a.probe.example", RecordType::A).unwrap();
+        let reply = session.query(&mut net, &q).unwrap();
+        assert_eq!(reply.message.rcode(), Rcode::NoError);
+        assert_eq!(reply.transport.protocol, DnsTransport::Doq);
+        // Setup took exactly one datagram exchange: comparable to a single
+        // query, unlike DoT's TCP+TLS double round trip.
+        assert!(setup < reply.latency * 3);
+    }
+
+    #[test]
+    fn strict_rejects_bad_cert() {
+        let (mut net, client, resolver, _store) = world();
+        let empty_store = TrustStore::new();
+        let doq = DoqClient::new(empty_store, now(), VerifyMode::Strict);
+        let err = doq
+            .connect(&mut net, client, resolver, None)
+            .unwrap_err();
+        assert!(err.is_cert_failure());
+    }
+
+    #[test]
+    fn fallback_ladder_reaches_dot_when_no_doq() {
+        // A resolver with DoT but no DoQ: the ladder lands on DoT.
+        let (mut net, client, resolver, store) = world();
+        // Also bind a DoT service on the same resolver.
+        let ca = CaHandle::new("Fallback CA", KeyId(40), now() + -10, 3650);
+        let leaf = ca.issue("dns.adguard.com", vec![], KeyId(41), 2, now() + -1, now() + 90);
+        let apex = Name::parse("probe.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("*").unwrap(),
+            60,
+            RData::A("203.0.113.9".parse().unwrap()),
+        );
+        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+        net.bind_tcp(
+            resolver,
+            853,
+            Rc::new(crate::dot::DotServerService::new(
+                tlssim::TlsServerConfig::new(vec![leaf], KeyId(41)),
+                responder,
+            )),
+        );
+        // Remove the DoQ service.
+        let meta = net.host_meta(resolver).unwrap().clone();
+        net.remove_host(resolver);
+        net.add_host(meta);
+        net.bind_tcp(
+            resolver,
+            853,
+            Rc::new(crate::dot::DotServerService::new(
+                tlssim::TlsServerConfig::new(
+                    vec![ca.issue("dns.adguard.com", vec![], KeyId(41), 3, now() + -1, now() + 90)],
+                    KeyId(41),
+                ),
+                {
+                    let apex = Name::parse("probe.example").unwrap();
+                    let mut zone = Zone::new(apex.clone());
+                    zone.add_record(
+                        &apex.prepend("*").unwrap(),
+                        60,
+                        RData::A("203.0.113.9".parse().unwrap()),
+                    );
+                    Rc::new(AuthoritativeServer::new(vec![zone]))
+                },
+            )),
+        );
+        let q = builder::query(5, "fb.probe.example", RecordType::A).unwrap();
+        let reply =
+            query_with_fallback(&mut net, client, resolver, &store, now(), &q).unwrap();
+        assert_eq!(reply.transport.protocol, DnsTransport::Dot);
+        assert_eq!(reply.message.rcode(), Rcode::NoError);
+    }
+
+    #[test]
+    fn tampered_stream_rejected() {
+        let (mut net, client, resolver, store) = world();
+        let doq = DoqClient::new(store, now(), VerifyMode::Strict);
+        let mut session = doq.connect(&mut net, client, resolver, None).unwrap();
+        // Corrupt the session key to simulate stream tampering.
+        session.key = SessionKey(session.key.0 ^ 1);
+        let q = builder::query(1, "a.probe.example", RecordType::A).unwrap();
+        let err = session.query(&mut net, &q).unwrap_err();
+        // Server can't open our sealed payload → no response → decode fails
+        // or MAC error, depending on direction; either way the query fails.
+        assert!(matches!(
+            err,
+            QueryError::Protocol(_) | QueryError::Tls(_) | QueryError::Udp(_)
+        ));
+    }
+}

@@ -1,0 +1,309 @@
+//! DNS over TLS (RFC 7858): port 853, RFC 1035 framing inside TLS.
+
+use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo};
+use crate::responder::DnsResponder;
+use dnswire::{frame_message, FrameDecoder, Message};
+use netsim::{Network, SimDuration};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use tlssim::{TlsClientConfig, TlsConnector, TlsServerConfig, TlsServerService, TlsStream};
+
+/// ALPN token for DoT (RFC 7858 §3.1 suggests "dot").
+pub const DOT_ALPN: &str = "dot";
+
+/// A DoT client: wraps a [`TlsConnector`] whose profile (Strict /
+/// Opportunistic) decides what happens on authentication failure.
+pub struct DotClient {
+    connector: TlsConnector,
+    /// EDNS padding block size applied to queries (RFC 8467 recommends
+    /// 128-octet blocks); `None` disables padding.
+    pub padding_block: Option<usize>,
+}
+
+impl DotClient {
+    /// Build from a TLS client config (ALPN forced to `dot`).
+    pub fn new(mut config: TlsClientConfig) -> Self {
+        config.alpn = vec![DOT_ALPN.to_string()];
+        DotClient {
+            connector: TlsConnector::new(config),
+            padding_block: Some(128),
+        }
+    }
+
+    /// Open a session for multiple queries (connection reuse).
+    pub fn session(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        resolver: Ipv4Addr,
+        auth_name: Option<&str>,
+    ) -> Result<DotSession, QueryError> {
+        let stream = self
+            .connector
+            .connect(net, src, resolver, crate::DOT_PORT, auth_name)?;
+        Ok(DotSession {
+            stream,
+            decoder: FrameDecoder::new(),
+            padding_block: self.padding_block,
+            queries_sent: 0,
+        })
+    }
+
+    /// One-shot query on a fresh session.
+    pub fn query_once(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        resolver: Ipv4Addr,
+        auth_name: Option<&str>,
+        query: &Message,
+    ) -> Result<QueryReply, QueryError> {
+        let mut session = self.session(net, src, resolver, auth_name)?;
+        let mut reply = session.query(net, query)?;
+        // Fold the setup cost into the one-shot latency.
+        reply.latency = session.stream.take_elapsed();
+        session.close(net);
+        Ok(reply)
+    }
+
+    /// Sessions cached for resumption.
+    pub fn cached_sessions(&self) -> usize {
+        self.connector.cached_sessions()
+    }
+}
+
+/// An established DoT session carrying framed DNS messages.
+#[derive(Debug)]
+pub struct DotSession {
+    stream: TlsStream,
+    decoder: FrameDecoder,
+    padding_block: Option<usize>,
+    queries_sent: u32,
+}
+
+impl DotSession {
+    /// Send one query over the session.
+    pub fn query(&mut self, net: &mut Network, query: &Message) -> Result<QueryReply, QueryError> {
+        let mut query = query.clone();
+        if let Some(block) = self.padding_block {
+            query.pad_to_block(block)?;
+        }
+        let framed = frame_message(&query.encode()?)?;
+        let before = self.stream.elapsed();
+        let resp = self.stream.request(net, &framed)?;
+        self.decoder.push(&resp);
+        let Some(frame) = self.decoder.next_message() else {
+            return Err(QueryError::Protocol("no complete DoT response frame".into()));
+        };
+        let message = Message::decode(&frame)?;
+        self.queries_sent += 1;
+        Ok(QueryReply {
+            message,
+            latency: self.stream.elapsed() - before,
+            transport: TransportInfo {
+                protocol: DnsTransport::Dot,
+                verify: Some(self.stream.verify_result().clone()),
+                resumed: self.stream.resumed(),
+                connection_reused: self.queries_sent > 1,
+            },
+        })
+    }
+
+    /// Verification outcome for the session's certificate.
+    pub fn verify_result(&self) -> &Result<(), tlssim::CertError> {
+        self.stream.verify_result()
+    }
+
+    /// The certificate chain presented by the server.
+    pub fn server_chain(&self) -> &[tlssim::Certificate] {
+        self.stream.server_chain()
+    }
+
+    /// Total time charged.
+    pub fn elapsed(&self) -> SimDuration {
+        self.stream.elapsed()
+    }
+
+    /// Read-and-reset the session clock.
+    pub fn take_elapsed(&mut self) -> SimDuration {
+        self.stream.take_elapsed()
+    }
+
+    /// Close the session.
+    pub fn close(self, net: &mut Network) {
+        self.stream.close(net);
+    }
+}
+
+/// Build the TLS-wrapped DoT service for a resolver.
+pub fn dot_service(tls: TlsServerConfig, responder: Rc<dyn DnsResponder>) -> DotServerService {
+    DotServerService::new(tls, responder)
+}
+
+/// Server-side DoT: TLS termination around DNS stream framing.
+pub struct DotServerService {
+    inner: TlsServerService,
+}
+
+impl DotServerService {
+    /// Wrap `responder` behind TLS with `tls` parameters.
+    pub fn new(mut tls: TlsServerConfig, responder: Rc<dyn DnsResponder>) -> Self {
+        if tls.alpn.is_empty() {
+            tls.alpn = vec![DOT_ALPN.to_string()];
+        }
+        let dns = Rc::new(crate::do53::Do53TcpService::new(responder));
+        DotServerService {
+            inner: TlsServerService::new(tls, dns),
+        }
+    }
+}
+
+impl netsim::Service for DotServerService {
+    fn open_stream(&self, peer: netsim::PeerInfo) -> Box<dyn netsim::StreamHandler> {
+        self.inner.open_stream(peer)
+    }
+
+    fn protocol(&self) -> &'static str {
+        "dot"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::responder::AuthoritativeServer;
+    use dnswire::zone::Zone;
+    use dnswire::{builder, Name, RData, Rcode, RecordType};
+    use netsim::{HostMeta, NetworkConfig};
+    use tlssim::{CaHandle, DateStamp, KeyId, TrustStore};
+
+    fn now() -> DateStamp {
+        DateStamp::from_ymd(2019, 2, 1)
+    }
+
+    fn world() -> (Network, Ipv4Addr, Ipv4Addr, TrustStore) {
+        let mut net = Network::new(NetworkConfig::default(), 31);
+        let resolver: Ipv4Addr = "1.1.1.1".parse().unwrap();
+        let client: Ipv4Addr = "198.51.100.3".parse().unwrap();
+        net.add_host(HostMeta::new(resolver).country("US").asn(13335).anycast());
+        net.add_host(HostMeta::new(client).country("BR").asn(27699));
+
+        let apex = Name::parse("probe.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("*").unwrap(),
+            60,
+            RData::A("203.0.113.5".parse().unwrap()),
+        );
+        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+
+        let ca = CaHandle::new("DigiCert Global Root", KeyId(1), now() + -700, 3650);
+        let leaf = ca.issue(
+            "cloudflare-dns.com",
+            vec!["*.cloudflare-dns.com".into(), "one.one.one.one".into()],
+            KeyId(2),
+            1,
+            now() + -30,
+            now() + 365,
+        );
+        let mut store = TrustStore::new();
+        store.add(ca.authority());
+        net.bind_tcp(
+            resolver,
+            853,
+            Rc::new(DotServerService::new(
+                TlsServerConfig::new(vec![leaf], KeyId(2)),
+                responder,
+            )),
+        );
+        (net, client, resolver, store)
+    }
+
+    #[test]
+    fn strict_dot_query_succeeds() {
+        let (mut net, client, resolver, store) = world();
+        let mut dot = DotClient::new(TlsClientConfig::strict(store, now()));
+        let q = builder::query(1, "a1.probe.example", RecordType::A).unwrap();
+        let reply = dot
+            .query_once(&mut net, client, resolver, Some("cloudflare-dns.com"), &q)
+            .unwrap();
+        assert_eq!(reply.message.rcode(), Rcode::NoError);
+        assert_eq!(reply.message.answers.len(), 1);
+        assert_eq!(reply.transport.protocol, DnsTransport::Dot);
+        assert_eq!(reply.transport.verify, Some(Ok(())));
+    }
+
+    #[test]
+    fn session_reuse_charges_one_rtt_per_query() {
+        let (mut net, client, resolver, store) = world();
+        let mut dot = DotClient::new(TlsClientConfig::strict(store, now()));
+        let mut session = dot
+            .session(&mut net, client, resolver, Some("cloudflare-dns.com"))
+            .unwrap();
+        let setup = session.take_elapsed();
+        let mut latencies = Vec::new();
+        for id in 0..20u16 {
+            let q = builder::query(id, &format!("q{id}.probe.example"), RecordType::A).unwrap();
+            let reply = session.query(&mut net, &q).unwrap();
+            assert_eq!(reply.message.answers.len(), 1);
+            latencies.push(reply.latency);
+        }
+        // Reused queries are cheaper than session setup (which has 2 RTTs).
+        let max_query = latencies.iter().max().unwrap();
+        assert!(setup > *max_query, "setup {setup} vs max query {max_query}");
+        assert!(latencies[5] < setup);
+        session.close(&mut net);
+    }
+
+    #[test]
+    fn queries_are_padded() {
+        let (mut net, client, resolver, store) = world();
+        let mut dot = DotClient::new(TlsClientConfig::strict(store, now()));
+        let mut session = dot
+            .session(&mut net, client, resolver, Some("cloudflare-dns.com"))
+            .unwrap();
+        let q = builder::query(7, "pad.probe.example", RecordType::A).unwrap();
+        let reply = session.query(&mut net, &q).unwrap();
+        assert_eq!(reply.message.rcode(), Rcode::NoError);
+        // The response echoes the (padded) question; verify padding landed
+        // on the wire by checking the query the client *would* send.
+        let mut padded = q.clone();
+        padded.pad_to_block(128).unwrap();
+        assert_eq!(padded.encode().unwrap().len() % 128, 0);
+        session.close(&mut net);
+    }
+
+    #[test]
+    fn resumption_on_second_session() {
+        let (mut net, client, resolver, store) = world();
+        let mut dot = DotClient::new(TlsClientConfig::strict(store, now()));
+        let s1 = dot
+            .session(&mut net, client, resolver, Some("cloudflare-dns.com"))
+            .unwrap();
+        s1.close(&mut net);
+        assert_eq!(dot.cached_sessions(), 1);
+        let mut s2 = dot
+            .session(&mut net, client, resolver, Some("cloudflare-dns.com"))
+            .unwrap();
+        let q = builder::query(9, "r.probe.example", RecordType::A).unwrap();
+        let reply = s2.query(&mut net, &q).unwrap();
+        assert!(reply.transport.resumed);
+        assert_eq!(reply.message.answers.len(), 1);
+        s2.close(&mut net);
+    }
+
+    #[test]
+    fn dead_port_fails_with_transport_error() {
+        let (mut net, client, resolver, store) = world();
+        net.unbind_tcp(resolver, 853);
+        let mut dot = DotClient::new(TlsClientConfig::strict(store, now()));
+        let q = builder::query(2, "x.probe.example", RecordType::A).unwrap();
+        let err = dot
+            .query_once(&mut net, client, resolver, None, &q)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::Tls(tlssim::TlsError::Transport(_))
+        ));
+    }
+}

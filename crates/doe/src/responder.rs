@@ -1,0 +1,248 @@
+//! Server-side DNS logic, transport-independent.
+//!
+//! A [`DnsResponder`] turns one query [`Message`] into one response. The
+//! same responder instance can sit behind Do53/UDP, Do53/TCP, DoT, DoH,
+//! DoQ and DNSCrypt services simultaneously — which is exactly how the
+//! study's "self-built resolver" (§4.1) is deployed.
+
+use dnswire::{builder, Message, Name, Rcode, RecordType};
+use dnswire::zone::{Zone, ZoneLookup};
+use netsim::{PeerInfo, ServiceCtx};
+use std::cell::RefCell;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Transform a DNS query into a response.
+pub trait DnsResponder {
+    /// Answer one query. The context allows upstream lookups.
+    fn respond(&self, ctx: &mut ServiceCtx<'_>, peer: PeerInfo, query: &Message) -> Message;
+}
+
+/// One query as witnessed by an authoritative server.
+///
+/// The *observed source address* is the forensic signal of §4.2: when a
+/// middlebox proxies TLS sessions, the authoritative server sees the
+/// middlebox's (or the resolver's) address, never the client's — and the
+/// study confirmed interception by exactly this comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// Source address of the query as seen by the server.
+    pub observed_src: Ipv4Addr,
+    /// Queried name.
+    pub qname: Name,
+    /// Queried type.
+    pub qtype: RecordType,
+}
+
+/// Shared, inspectable log of queries reaching a server.
+pub type QueryLog = Rc<RefCell<Vec<QueryLogEntry>>>;
+
+/// An authoritative-only server over a set of zones.
+pub struct AuthoritativeServer {
+    zones: Vec<Zone>,
+    log: QueryLog,
+}
+
+impl AuthoritativeServer {
+    /// Serve the given zones.
+    pub fn new(zones: Vec<Zone>) -> Self {
+        AuthoritativeServer {
+            zones,
+            log: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Handle to the query log (ground truth for the measurements).
+    pub fn log(&self) -> QueryLog {
+        Rc::clone(&self.log)
+    }
+
+    /// The zone containing `name`, if any.
+    fn zone_for(&self, name: &Name) -> Option<&Zone> {
+        self.zones
+            .iter()
+            .filter(|z| name.is_within(z.apex()))
+            .max_by_key(|z| z.apex().label_count())
+    }
+}
+
+impl DnsResponder for AuthoritativeServer {
+    fn respond(&self, _ctx: &mut ServiceCtx<'_>, peer: PeerInfo, query: &Message) -> Message {
+        let Some(question) = query.question() else {
+            return builder::error_response(query, Rcode::FormErr);
+        };
+        self.log.borrow_mut().push(QueryLogEntry {
+            observed_src: peer.src,
+            qname: question.qname.clone(),
+            qtype: question.qtype,
+        });
+        let Some(zone) = self.zone_for(&question.qname) else {
+            return builder::error_response(query, Rcode::Refused);
+        };
+        match zone.lookup(&question.qname, question.qtype) {
+            ZoneLookup::Found(records) => {
+                let mut resp = builder::answer(query, records);
+                resp.header.authoritative = true;
+                resp
+            }
+            ZoneLookup::NoData => {
+                let mut resp = builder::empty_answer(query);
+                resp.header.authoritative = true;
+                resp
+            }
+            ZoneLookup::NxDomain => {
+                let mut resp = builder::error_response(query, Rcode::NxDomain);
+                resp.header.authoritative = true;
+                resp
+            }
+            ZoneLookup::OutOfZone => builder::error_response(query, Rcode::Refused),
+        }
+    }
+}
+
+/// A responder that answers every A query with one fixed address —
+/// the behaviour of `dnsfilter.com` resolvers toward non-subscribers
+/// ("constantly resolve arbitrary domain queries to a fixed IP address",
+/// §3.2). The scanner's answer-validation step flags these.
+pub struct FixedAnswerResponder {
+    answer: Ipv4Addr,
+    ttl: u32,
+}
+
+impl FixedAnswerResponder {
+    /// Always answer with `answer`.
+    pub fn new(answer: Ipv4Addr) -> Self {
+        FixedAnswerResponder { answer, ttl: 300 }
+    }
+}
+
+impl DnsResponder for FixedAnswerResponder {
+    fn respond(&self, _ctx: &mut ServiceCtx<'_>, _peer: PeerInfo, query: &Message) -> Message {
+        let Some(question) = query.question() else {
+            return builder::error_response(query, Rcode::FormErr);
+        };
+        if question.qtype != RecordType::A {
+            return builder::empty_answer(query);
+        }
+        builder::answer(
+            query,
+            vec![dnswire::ResourceRecord::new(
+                question.qname.clone(),
+                self.ttl,
+                dnswire::RData::A(self.answer),
+            )],
+        )
+    }
+}
+
+/// A responder that always refuses — closed resolvers that leave port 853
+/// open but serve only their subscribers.
+pub struct RefusingResponder;
+
+impl DnsResponder for RefusingResponder {
+    fn respond(&self, _ctx: &mut ServiceCtx<'_>, _peer: PeerInfo, query: &Message) -> Message {
+        builder::error_response(query, Rcode::Refused)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dnswire::RData;
+    use netsim::{HostMeta, Network, NetworkConfig};
+
+    fn ctx_net() -> Network {
+        Network::new(NetworkConfig::default(), 3)
+    }
+
+    fn probe_zone() -> Zone {
+        let apex = Name::parse("probe.dnsmeasure.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("*").unwrap(),
+            60,
+            RData::A("203.0.113.53".parse().unwrap()),
+        );
+        zone
+    }
+
+    // The unit tests below drive responders through a real UDP service so
+    // no private constructors are needed.
+    fn query_via_udp(responder: Rc<dyn DnsResponder>, query: &Message) -> Message {
+        let mut net = ctx_net();
+        let server: Ipv4Addr = "192.0.2.53".parse().unwrap();
+        let client: Ipv4Addr = "198.51.100.7".parse().unwrap();
+        net.add_host(HostMeta::new(server));
+        net.add_host(HostMeta::new(client));
+        net.bind_udp(
+            server,
+            53,
+            Rc::new(crate::do53::Do53UdpService::new(responder)),
+        );
+        let reply = net
+            .udp_query(client, server, 53, &query.encode().unwrap(), None)
+            .unwrap();
+        Message::decode(&reply.bytes).unwrap()
+    }
+
+    #[test]
+    fn authoritative_answers_wildcard_probe() {
+        let auth = Rc::new(AuthoritativeServer::new(vec![probe_zone()]));
+        let log = auth.log();
+        let q = builder::query(7, "u93.probe.dnsmeasure.example", RecordType::A).unwrap();
+        let resp = query_via_udp(auth, &q);
+        assert_eq!(resp.rcode(), Rcode::NoError);
+        assert_eq!(resp.answers.len(), 1);
+        assert!(resp.header.authoritative);
+        // Ground-truth log captured the observed source.
+        let entries = log.borrow();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].observed_src, "198.51.100.7".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(entries[0].qname.to_string(), "u93.probe.dnsmeasure.example.");
+    }
+
+    #[test]
+    fn authoritative_refuses_out_of_zone() {
+        let auth = Rc::new(AuthoritativeServer::new(vec![probe_zone()]));
+        let q = builder::query(8, "www.google.com", RecordType::A).unwrap();
+        let resp = query_via_udp(auth, &q);
+        assert_eq!(resp.rcode(), Rcode::Refused);
+    }
+
+    #[test]
+    fn authoritative_nxdomain_below_zone() {
+        let apex = Name::parse("static.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("www").unwrap(),
+            60,
+            RData::A("192.0.2.1".parse().unwrap()),
+        );
+        let auth = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let q = builder::query(9, "missing.static.example", RecordType::A).unwrap();
+        let resp = query_via_udp(auth, &q);
+        assert_eq!(resp.rcode(), Rcode::NxDomain);
+    }
+
+    #[test]
+    fn fixed_answer_ignores_question() {
+        let fixed = Rc::new(FixedAnswerResponder::new("103.247.37.1".parse().unwrap()));
+        for name in ["a.example", "b.example.net", "anything.at.all"] {
+            let q = builder::query(1, name, RecordType::A).unwrap();
+            let resp = query_via_udp(Rc::clone(&fixed) as Rc<dyn DnsResponder>, &q);
+            match &resp.answers[0].rdata {
+                RData::A(addr) => assert_eq!(addr.to_string(), "103.247.37.1"),
+                other => panic!("expected A, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn refusing_responder_refuses() {
+        let q = builder::query(2, "x.example", RecordType::A).unwrap();
+        let resp = query_via_udp(Rc::new(RefusingResponder), &q);
+        assert_eq!(resp.rcode(), Rcode::Refused);
+        assert!(resp.answers.is_empty());
+    }
+
+}

@@ -1,0 +1,442 @@
+//! The user-facing stub resolver: profile-driven transport selection,
+//! fallback, and connection reuse.
+//!
+//! This is the API a downstream application embeds (what Stubby or the
+//! Android 9 "Private DNS" setting are to real users). It composes the
+//! transport clients according to RFC 8310 usage profiles:
+//!
+//! * **Strict DoT** — authenticate or fail; *no* fallback.
+//! * **Opportunistic DoT** — try DoT without requiring authentication;
+//!   fall back to clear text if the encrypted channel cannot be built at
+//!   all (the profile's documented privacy trade-off).
+//! * **DoH** — Strict by construction; no fallback (RFC 8484).
+//! * **Clear text** — Do53/UDP with TCP retry on truncation.
+//!
+//! Sessions are pooled: consecutive queries reuse the established
+//! connection, which is the configuration the paper's performance study
+//! considers the common case (§4.1).
+
+use crate::do53::{do53_udp_query, Do53TcpConn};
+use crate::doh::{Bootstrap, DohClient, DohMethod, DohSession};
+use crate::dot::{DotClient, DotSession};
+use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo};
+use dnswire::{builder, Message, RecordType};
+use httpsim::UriTemplate;
+use netsim::{Network, SimDuration};
+use rand::Rng;
+use std::net::Ipv4Addr;
+use tlssim::{DateStamp, TlsClientConfig, TrustStore};
+
+/// Which profile the stub runs.
+#[derive(Debug, Clone)]
+pub enum StubProfile {
+    /// RFC 8310 Strict Privacy over DoT.
+    StrictDot {
+        /// Authentication domain name (obtained out of band).
+        auth_name: String,
+    },
+    /// RFC 8310 Opportunistic Privacy over DoT.
+    OpportunisticDot {
+        /// Whether total DoT failure may fall back to clear text.
+        fallback_clear: bool,
+    },
+    /// RFC 8484 DoH (Strict-only by design).
+    Doh {
+        /// Service template.
+        template: UriTemplate,
+        /// GET or POST.
+        method: DohMethod,
+        /// Address discovery.
+        bootstrap: Bootstrap,
+    },
+    /// Traditional clear-text DNS over UDP.
+    ClearText,
+    /// Clear-text DNS over TCP with a pooled connection — the baseline
+    /// transport of the paper's client-side tests (§4.1).
+    ClearTextTcp,
+}
+
+/// Stub configuration.
+#[derive(Debug, Clone)]
+pub struct StubConfig {
+    /// The recursive resolver to use.
+    pub resolver: Ipv4Addr,
+    /// Profile / transport selection.
+    pub profile: StubProfile,
+    /// Trust anchors for TLS-based transports.
+    pub trust_store: TrustStore,
+    /// Certificate-verification date.
+    pub now: DateStamp,
+    /// Query timeout.
+    pub timeout: SimDuration,
+}
+
+enum PooledSession {
+    None,
+    Dot(DotSession),
+    Doh(DohSession),
+    Tcp(Do53TcpConn),
+}
+
+/// A stub resolver with a pooled connection.
+pub struct StubResolver {
+    config: StubConfig,
+    dot: Option<DotClient>,
+    doh: Option<DohClient>,
+    session: PooledSession,
+    /// Count of queries that used a pooled (reused) session.
+    reused_queries: u64,
+}
+
+impl StubResolver {
+    /// Build a stub from config.
+    pub fn new(config: StubConfig) -> Self {
+        let dot = match &config.profile {
+            StubProfile::StrictDot { .. } => Some(DotClient::new(TlsClientConfig::strict(
+                config.trust_store.clone(),
+                config.now,
+            ))),
+            StubProfile::OpportunisticDot { .. } => Some(DotClient::new(
+                TlsClientConfig::opportunistic(config.trust_store.clone(), config.now),
+            )),
+            _ => None,
+        };
+        let doh = match &config.profile {
+            StubProfile::Doh {
+                template,
+                method,
+                bootstrap,
+            } => Some(DohClient::new(
+                TlsClientConfig::strict(config.trust_store.clone(), config.now),
+                template.clone(),
+                *method,
+                *bootstrap,
+            )),
+            _ => None,
+        };
+        StubResolver {
+            config,
+            dot,
+            doh,
+            session: PooledSession::None,
+            reused_queries: 0,
+        }
+    }
+
+    /// How many queries were answered over a reused connection.
+    pub fn reused_queries(&self) -> u64 {
+        self.reused_queries
+    }
+
+    /// Drop the pooled session (simulating idle expiry).
+    pub fn expire_session(&mut self, net: &mut Network) {
+        match std::mem::replace(&mut self.session, PooledSession::None) {
+            PooledSession::Dot(s) => s.close(net),
+            PooledSession::Doh(s) => s.close(net),
+            PooledSession::Tcp(c) => c.close(net),
+            PooledSession::None => {}
+        }
+    }
+
+    /// Resolve `name`/`rtype` from `src`, reusing the pooled session when
+    /// possible and applying the profile's fallback rules.
+    pub fn resolve(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        name: &str,
+        rtype: RecordType,
+    ) -> Result<QueryReply, QueryError> {
+        let id = net.rng().gen();
+        let query = builder::query(id, name, rtype)?;
+        // One transparent retry on a fresh session if a pooled session
+        // turns out to be dead.
+        let had_pooled = !matches!(self.session, PooledSession::None);
+        match self.query_via_session(net, src, &query) {
+            Ok(reply) => {
+                if had_pooled {
+                    self.reused_queries += 1;
+                }
+                Ok(reply)
+            }
+            Err(first_err) if had_pooled => {
+                self.session = PooledSession::None;
+                match self.query_via_session(net, src, &query) {
+                    Ok(reply) => Ok(reply),
+                    Err(_) => self.try_fallback(net, src, &query, first_err),
+                }
+            }
+            Err(e) => self.try_fallback(net, src, &query, e),
+        }
+    }
+
+    fn query_via_session(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        query: &Message,
+    ) -> Result<QueryReply, QueryError> {
+        // Establish a session if none is pooled.
+        if matches!(self.session, PooledSession::None) {
+            self.session = match &self.config.profile {
+                StubProfile::StrictDot { auth_name } => {
+                    let auth_name = auth_name.clone();
+                    let dot = self.dot.as_mut().expect("dot client for dot profile");
+                    PooledSession::Dot(dot.session(net, src, self.config.resolver, Some(&auth_name))?)
+                }
+                StubProfile::OpportunisticDot { .. } => {
+                    let dot = self.dot.as_mut().expect("dot client for dot profile");
+                    PooledSession::Dot(dot.session(net, src, self.config.resolver, None)?)
+                }
+                StubProfile::Doh { .. } => {
+                    let doh = self.doh.as_mut().expect("doh client for doh profile");
+                    PooledSession::Doh(doh.session(net, src)?)
+                }
+                StubProfile::ClearTextTcp => PooledSession::Tcp(Do53TcpConn::connect(
+                    net,
+                    src,
+                    self.config.resolver,
+                    self.config.timeout,
+                )?),
+                StubProfile::ClearText => PooledSession::None,
+            };
+        }
+        match &mut self.session {
+            PooledSession::Dot(session) => session.query(net, query),
+            PooledSession::Doh(session) => session.query(net, query),
+            PooledSession::Tcp(conn) => conn.query(net, query),
+            PooledSession::None => {
+                // Clear-text UDP needs no session.
+                do53_udp_query(net, src, self.config.resolver, query, self.config.timeout, 1)
+            }
+        }
+    }
+
+    fn try_fallback(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        query: &Message,
+        original: QueryError,
+    ) -> Result<QueryReply, QueryError> {
+        match &self.config.profile {
+            StubProfile::OpportunisticDot {
+                fallback_clear: true,
+            } => {
+                let mut reply = do53_udp_query(
+                    net,
+                    src,
+                    self.config.resolver,
+                    query,
+                    self.config.timeout,
+                    1,
+                )?;
+                reply.transport = TransportInfo::clear(DnsTransport::Do53Udp);
+                Ok(reply)
+            }
+            // Strict profiles and DoH never fall back.
+            _ => Err(original),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::do53::{Do53TcpService, Do53UdpService};
+    use crate::dot::DotServerService;
+    use crate::responder::{AuthoritativeServer, DnsResponder};
+    use dnswire::zone::Zone;
+    use dnswire::{Name, RData, Rcode};
+    use netsim::{HostMeta, NetworkConfig};
+    use std::rc::Rc;
+    use tlssim::{CaHandle, KeyId, TlsServerConfig};
+
+    fn now() -> DateStamp {
+        DateStamp::from_ymd(2019, 2, 1)
+    }
+
+    struct World {
+        net: Network,
+        client: Ipv4Addr,
+        resolver: Ipv4Addr,
+        store: TrustStore,
+    }
+
+    fn world(valid_cert: bool, with_dot: bool) -> World {
+        let mut net = Network::new(NetworkConfig::default(), 71);
+        let resolver: Ipv4Addr = "9.9.9.9".parse().unwrap();
+        let client: Ipv4Addr = "198.51.100.8".parse().unwrap();
+        net.add_host(HostMeta::new(resolver).country("US").asn(19281).anycast());
+        net.add_host(HostMeta::new(client).country("IT").asn(3269));
+        let apex = Name::parse("probe.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("*").unwrap(),
+            60,
+            RData::A("203.0.113.13".parse().unwrap()),
+        );
+        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+        net.bind_udp(resolver, 53, Rc::new(Do53UdpService::new(Rc::clone(&responder))));
+        net.bind_tcp(resolver, 53, Rc::new(Do53TcpService::new(Rc::clone(&responder))));
+
+        let ca = CaHandle::new("Quad9 CA", KeyId(1), now() + -100, 3650);
+        let mut store = TrustStore::new();
+        store.add(ca.authority());
+        if with_dot {
+            let leaf = if valid_cert {
+                ca.issue("dns.quad9.net", vec![], KeyId(2), 1, now() + -10, now() + 365)
+            } else {
+                CaHandle::self_signed("bad", vec![], KeyId(2), 1, now() + -10, now() + 365)
+            };
+            net.bind_tcp(
+                resolver,
+                853,
+                Rc::new(DotServerService::new(
+                    TlsServerConfig::new(vec![leaf], KeyId(2)),
+                    responder,
+                )),
+            );
+        }
+        World {
+            net,
+            client,
+            resolver,
+            store,
+        }
+    }
+
+    fn stub(w: &World, profile: StubProfile) -> StubResolver {
+        StubResolver::new(StubConfig {
+            resolver: w.resolver,
+            profile,
+            trust_store: w.store.clone(),
+            now: now(),
+            timeout: SimDuration::from_secs(5),
+        })
+    }
+
+    #[test]
+    fn strict_dot_resolves_and_reuses() {
+        let mut w = world(true, true);
+        let mut stub = stub(
+            &w,
+            StubProfile::StrictDot {
+                auth_name: "dns.quad9.net".into(),
+            },
+        );
+        for i in 0..4 {
+            let reply = stub
+                .resolve(&mut w.net, w.client, &format!("q{i}.probe.example"), RecordType::A)
+                .unwrap();
+            assert_eq!(reply.message.rcode(), Rcode::NoError);
+            assert_eq!(reply.transport.protocol, DnsTransport::Dot);
+        }
+        assert_eq!(stub.reused_queries(), 3);
+    }
+
+    #[test]
+    fn strict_dot_fails_closed_on_bad_cert() {
+        let mut w = world(false, true);
+        let mut stub = stub(
+            &w,
+            StubProfile::StrictDot {
+                auth_name: "dns.quad9.net".into(),
+            },
+        );
+        let err = stub
+            .resolve(&mut w.net, w.client, "x.probe.example", RecordType::A)
+            .unwrap_err();
+        assert!(err.is_cert_failure());
+    }
+
+    #[test]
+    fn opportunistic_dot_proceeds_on_bad_cert() {
+        let mut w = world(false, true);
+        let mut stub = stub(
+            &w,
+            StubProfile::OpportunisticDot {
+                fallback_clear: true,
+            },
+        );
+        let reply = stub
+            .resolve(&mut w.net, w.client, "x.probe.example", RecordType::A)
+            .unwrap();
+        // Still DoT — bad cert alone doesn't force clear-text fallback.
+        assert_eq!(reply.transport.protocol, DnsTransport::Dot);
+        assert!(matches!(reply.transport.verify, Some(Err(_))));
+    }
+
+    #[test]
+    fn opportunistic_falls_back_to_clear_when_dot_unreachable() {
+        let mut w = world(true, false); // no DoT service bound at all
+        let mut stub = stub(
+            &w,
+            StubProfile::OpportunisticDot {
+                fallback_clear: true,
+            },
+        );
+        let reply = stub
+            .resolve(&mut w.net, w.client, "y.probe.example", RecordType::A)
+            .unwrap();
+        assert_eq!(reply.transport.protocol, DnsTransport::Do53Udp);
+        assert_eq!(reply.message.answers.len(), 1);
+    }
+
+    #[test]
+    fn opportunistic_without_fallback_fails() {
+        let mut w = world(true, false);
+        let mut stub = stub(
+            &w,
+            StubProfile::OpportunisticDot {
+                fallback_clear: false,
+            },
+        );
+        assert!(stub
+            .resolve(&mut w.net, w.client, "z.probe.example", RecordType::A)
+            .is_err());
+    }
+
+    #[test]
+    fn clear_text_profile_works() {
+        let mut w = world(true, false);
+        let mut stub = stub(&w, StubProfile::ClearText);
+        let reply = stub
+            .resolve(&mut w.net, w.client, "c.probe.example", RecordType::A)
+            .unwrap();
+        assert_eq!(reply.transport.protocol, DnsTransport::Do53Udp);
+    }
+
+    #[test]
+    fn clear_text_tcp_profile_pools_connection() {
+        let mut w = world(true, false);
+        let mut stub = stub(&w, StubProfile::ClearTextTcp);
+        for i in 0..3 {
+            let reply = stub
+                .resolve(&mut w.net, w.client, &format!("t{i}.probe.example"), RecordType::A)
+                .unwrap();
+            assert_eq!(reply.transport.protocol, DnsTransport::Do53Tcp);
+        }
+        assert_eq!(stub.reused_queries(), 2);
+    }
+
+    #[test]
+    fn expired_session_recovers_transparently() {
+        let mut w = world(true, true);
+        let mut stub = stub(
+            &w,
+            StubProfile::StrictDot {
+                auth_name: "dns.quad9.net".into(),
+            },
+        );
+        stub.resolve(&mut w.net, w.client, "a.probe.example", RecordType::A)
+            .unwrap();
+        stub.expire_session(&mut w.net);
+        let reply = stub
+            .resolve(&mut w.net, w.client, "b.probe.example", RecordType::A)
+            .unwrap();
+        assert_eq!(reply.message.rcode(), Rcode::NoError);
+        // Second session resumed from the cached ticket.
+        assert!(reply.transport.resumed);
+    }
+}

@@ -1,0 +1,34 @@
+//! # httpsim — a small HTTP layer for the simulated web
+//!
+//! DoH (RFC 8484) rides on HTTPS, so the study needs just enough HTTP:
+//! request/response framing, the `GET {?dns}` / `POST` encodings of Figure
+//! 2, URI templates to *locate* DoH services, and static sites (the
+//! webpages the forensics step fetches from devices squatting on 1.1.1.1,
+//! and the scanner's opt-out page).
+//!
+//! The codec speaks HTTP/1.1 text framing. Real DoH prefers HTTP/2; the
+//! study's findings don't depend on multiplexing (each vantage point issues
+//! sequential queries), so h2 is represented by the ALPN token only —
+//! DESIGN.md records this simplification.
+//!
+//! ```
+//! use httpsim::{Request, Method};
+//!
+//! let req = Request::get("/dns-query?dns=AAABAAABAAAAAAAA")
+//!     .with_header("Host", "dns.example.com")
+//!     .with_header("Accept", "application/dns-message");
+//! let bytes = req.encode();
+//! let back = Request::decode(&bytes).unwrap();
+//! assert_eq!(back.method, Method::Get);
+//! assert_eq!(back.query_param("dns").unwrap(), "AAABAAABAAAAAAAA");
+//! ```
+
+pub mod b64;
+pub mod message;
+pub mod server;
+pub mod uri;
+
+pub use b64::{base64url_decode, base64url_encode};
+pub use message::{HttpError, Method, Request, Response};
+pub use server::{HttpHandlerService, StaticSite};
+pub use uri::{Url, UriTemplate};

@@ -1,0 +1,198 @@
+//! HTTP services for the simulated network: a generic handler adapter and
+//! static sites.
+
+use crate::message::{Request, Response};
+use netsim::{PeerInfo, Service, ServiceCtx, StreamHandler};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Adapt a request handler into a [`netsim::Service`].
+///
+/// Each TCP flight is expected to carry one complete HTTP request
+/// (keep-alive across flights is supported; pipelining is not — the study's
+/// clients are strictly request/response).
+pub struct HttpHandlerService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + 'static,
+{
+    handler: Rc<F>,
+}
+
+impl<F> HttpHandlerService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + 'static,
+{
+    /// Wrap a handler function.
+    pub fn new(handler: F) -> Self {
+        HttpHandlerService {
+            handler: Rc::new(handler),
+        }
+    }
+}
+
+struct HttpHandler<F> {
+    handler: Rc<F>,
+    peer: PeerInfo,
+}
+
+impl<F> StreamHandler for HttpHandler<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + 'static,
+{
+    fn on_bytes(&mut self, ctx: &mut ServiceCtx<'_>, data: &[u8]) -> Vec<u8> {
+        match Request::decode(data) {
+            Ok(req) => (self.handler)(ctx, self.peer, &req).encode(),
+            Err(e) => Response::bad_request(&e.to_string()).encode(),
+        }
+    }
+}
+
+impl<F> Service for HttpHandlerService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + 'static,
+{
+    fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler> {
+        Box::new(HttpHandler {
+            handler: Rc::clone(&self.handler),
+            peer,
+        })
+    }
+
+    fn protocol(&self) -> &'static str {
+        "http"
+    }
+}
+
+/// A static website: path → (content type, body).
+///
+/// Used for the webpages the forensics step fetches from 1.1.1.1 squatters
+/// ("MikroTik Router", "Powerbox Gvt Modem", coin-mining injections) and
+/// for the scanner's opt-out page.
+#[derive(Debug, Clone, Default)]
+pub struct StaticSite {
+    pages: BTreeMap<String, (String, Vec<u8>)>,
+}
+
+impl StaticSite {
+    /// An empty site (every request 404s).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A one-page site serving `html` at `/`.
+    pub fn single_page(html: &str) -> Self {
+        let mut site = StaticSite::new();
+        site.add_page("/", "text/html", html.as_bytes().to_vec());
+        site
+    }
+
+    /// Register a page.
+    pub fn add_page(&mut self, path: &str, content_type: &str, body: Vec<u8>) {
+        self.pages
+            .insert(path.to_string(), (content_type.to_string(), body));
+    }
+
+    /// Look up a page (exact path match).
+    pub fn page(&self, path: &str) -> Option<&(String, Vec<u8>)> {
+        self.pages.get(path)
+    }
+}
+
+impl Service for StaticSite {
+    fn open_stream(&self, _peer: PeerInfo) -> Box<dyn StreamHandler> {
+        struct SiteHandler {
+            pages: BTreeMap<String, (String, Vec<u8>)>,
+        }
+        impl StreamHandler for SiteHandler {
+            fn on_bytes(&mut self, _ctx: &mut ServiceCtx<'_>, data: &[u8]) -> Vec<u8> {
+                match Request::decode(data) {
+                    Ok(req) => match self.pages.get(req.path()) {
+                        Some((ctype, body)) => Response::ok(ctype, body.clone()).encode(),
+                        None => Response::not_found().encode(),
+                    },
+                    Err(e) => Response::bad_request(&e.to_string()).encode(),
+                }
+            }
+        }
+        Box::new(SiteHandler {
+            pages: self.pages.clone(),
+        })
+    }
+
+    fn protocol(&self) -> &'static str {
+        "http-static"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{HostMeta, Network, NetworkConfig};
+    use std::net::Ipv4Addr;
+
+    fn world() -> (Network, Ipv4Addr, Ipv4Addr) {
+        let mut net = Network::new(NetworkConfig::default(), 5);
+        let server: Ipv4Addr = "192.0.2.80".parse().unwrap();
+        let client: Ipv4Addr = "198.51.100.80".parse().unwrap();
+        net.add_host(HostMeta::new(server));
+        net.add_host(HostMeta::new(client));
+        (net, client, server)
+    }
+
+    #[test]
+    fn handler_service_end_to_end() {
+        let (mut net, client, server) = world();
+        net.bind_tcp(
+            server,
+            80,
+            Rc::new(HttpHandlerService::new(|_ctx, _peer, req: &Request| {
+                Response::ok("text/plain", format!("you asked {}", req.path()).into_bytes())
+            })),
+        );
+        let mut conn = net.connect(client, server, 80).unwrap();
+        let raw = conn
+            .request(&mut net, &Request::get("/hello").encode())
+            .unwrap();
+        let resp = Response::decode(&raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"you asked /hello");
+    }
+
+    #[test]
+    fn static_site_serves_and_404s() {
+        let (mut net, client, server) = world();
+        let mut site = StaticSite::new();
+        site.add_page("/", "text/html", b"<h1>MikroTik Router</h1>".to_vec());
+        net.bind_tcp(server, 80, Rc::new(site));
+        let mut conn = net.connect(client, server, 80).unwrap();
+        let raw = conn.request(&mut net, &Request::get("/").encode()).unwrap();
+        let resp = Response::decode(&raw).unwrap();
+        assert_eq!(resp.status, 200);
+        assert!(String::from_utf8_lossy(&resp.body).contains("MikroTik"));
+        let raw = conn
+            .request(&mut net, &Request::get("/missing").encode())
+            .unwrap();
+        assert_eq!(Response::decode(&raw).unwrap().status, 404);
+    }
+
+    #[test]
+    fn malformed_request_gets_400() {
+        let (mut net, client, server) = world();
+        net.bind_tcp(server, 80, Rc::new(StaticSite::single_page("x")));
+        let mut conn = net.connect(client, server, 80).unwrap();
+        let raw = conn.request(&mut net, b"garbage bytes").unwrap();
+        assert_eq!(Response::decode(&raw).unwrap().status, 400);
+    }
+
+    #[test]
+    fn keep_alive_across_flights() {
+        let (mut net, client, server) = world();
+        net.bind_tcp(server, 80, Rc::new(StaticSite::single_page("page")));
+        let mut conn = net.connect(client, server, 80).unwrap();
+        for _ in 0..3 {
+            let raw = conn.request(&mut net, &Request::get("/").encode()).unwrap();
+            assert_eq!(Response::decode(&raw).unwrap().status, 200);
+        }
+        assert_eq!(conn.round_trips(), 4); // connect + 3 requests
+    }
+}

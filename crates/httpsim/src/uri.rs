@@ -1,0 +1,214 @@
+//! URLs and the DoH URI templates of RFC 8484.
+//!
+//! A DoH service is *located* by a URI template such as
+//! `https://dns.example.com/dns-query{?dns}`; the hostname must be resolved
+//! (bootstrapped) before DoH can be used — the property Section 5.3 of the
+//! paper exploits to estimate DoH usage from passive DNS.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A parsed absolute URL (scheme, host, port, path, query).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Url {
+    /// `http` or `https`.
+    pub scheme: String,
+    /// Hostname (not resolved here).
+    pub host: String,
+    /// Port, defaulted from the scheme when absent.
+    pub port: u16,
+    /// Path, always starting with `/`.
+    pub path: String,
+    /// Raw query string without the `?`, if any.
+    pub query: Option<String>,
+}
+
+impl Url {
+    /// Parse an absolute URL. Returns `None` for anything unusable.
+    pub fn parse(s: &str) -> Option<Url> {
+        let (scheme, rest) = s.split_once("://")?;
+        if scheme != "http" && scheme != "https" {
+            return None;
+        }
+        let (authority, path_query) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if authority.is_empty() {
+            return None;
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => (h, p.parse::<u16>().ok()?),
+            None => (authority, if scheme == "https" { 443 } else { 80 }),
+        };
+        if host.is_empty() {
+            return None;
+        }
+        let (path, query) = match path_query.split_once('?') {
+            Some((p, q)) => (p.to_string(), Some(q.to_string())),
+            None => (path_query.to_string(), None),
+        };
+        Some(Url {
+            scheme: scheme.to_string(),
+            host: host.to_ascii_lowercase(),
+            port,
+            path,
+            query,
+        })
+    }
+
+    /// Path plus query (the HTTP request target).
+    pub fn target(&self) -> String {
+        match &self.query {
+            Some(q) => format!("{}?{}", self.path, q),
+            None => self.path.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let default_port = if self.scheme == "https" { 443 } else { 80 };
+        write!(f, "{}://{}", self.scheme, self.host)?;
+        if self.port != default_port {
+            write!(f, ":{}", self.port)?;
+        }
+        write!(f, "{}", self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A DoH URI template: a base URL whose path may end in `{?dns}`.
+///
+/// Only the RFC 8484 level of templating is supported — the single
+/// form-style query continuation used by every resolver in the study's
+/// public lists.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UriTemplate {
+    base: Url,
+    has_dns_var: bool,
+}
+
+impl UriTemplate {
+    /// Parse a template like `https://dns.example.com/dns-query{?dns}`.
+    pub fn parse(s: &str) -> Option<UriTemplate> {
+        let (stripped, has_dns_var) = match s.strip_suffix("{?dns}") {
+            Some(prefix) => (prefix, true),
+            None => (s, false),
+        };
+        let base = Url::parse(stripped)?;
+        if base.query.is_some() && has_dns_var {
+            return None; // `{?dns}` after an existing query is malformed
+        }
+        Some(UriTemplate { base, has_dns_var })
+    }
+
+    /// The service hostname that must be bootstrap-resolved.
+    pub fn host(&self) -> &str {
+        &self.base.host
+    }
+
+    /// The service port.
+    pub fn port(&self) -> u16 {
+        self.base.port
+    }
+
+    /// The service path (e.g. `/dns-query`).
+    pub fn path(&self) -> &str {
+        &self.base.path
+    }
+
+    /// Expand for a GET carrying `dns_b64u` (unpadded base64url message).
+    pub fn expand_get(&self, dns_b64u: &str) -> String {
+        format!("{}?dns={}", self.base.path, dns_b64u)
+    }
+
+    /// The request target for a POST (no query parameter).
+    pub fn post_target(&self) -> String {
+        self.base.target()
+    }
+}
+
+impl fmt::Display for UriTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.base)?;
+        if self.has_dns_var {
+            write!(f, "{{?dns}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The well-known DoH path suffixes the scanner greps the URL corpus for
+/// (§3.1: "the DoH RFC and large resolvers have specified several common
+/// path templates (e.g. /dns-query and /resolve)").
+pub const COMMON_DOH_PATHS: [&str; 4] = ["/dns-query", "/resolve", "/query", "/doh"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn url_parsing_defaults_ports() {
+        let u = Url::parse("https://dns.example.com/dns-query").unwrap();
+        assert_eq!(u.port, 443);
+        assert_eq!(u.path, "/dns-query");
+        let u = Url::parse("http://example.com").unwrap();
+        assert_eq!(u.port, 80);
+        assert_eq!(u.path, "/");
+    }
+
+    #[test]
+    fn url_with_port_and_query() {
+        let u = Url::parse("https://dns.example.com:8443/q?dns=AAAA&x=1").unwrap();
+        assert_eq!(u.port, 8443);
+        assert_eq!(u.query.as_deref(), Some("dns=AAAA&x=1"));
+        assert_eq!(u.target(), "/q?dns=AAAA&x=1");
+        assert_eq!(u.to_string(), "https://dns.example.com:8443/q?dns=AAAA&x=1");
+    }
+
+    #[test]
+    fn url_host_lowercased_and_display_hides_default_port() {
+        let u = Url::parse("https://DNS.Example.COM/dns-query").unwrap();
+        assert_eq!(u.host, "dns.example.com");
+        assert_eq!(u.to_string(), "https://dns.example.com/dns-query");
+    }
+
+    #[test]
+    fn bad_urls_rejected() {
+        assert!(Url::parse("ftp://x/").is_none());
+        assert!(Url::parse("https://").is_none());
+        assert!(Url::parse("no scheme").is_none());
+        assert!(Url::parse("https://host:notaport/").is_none());
+    }
+
+    #[test]
+    fn template_round_trip() {
+        let t = UriTemplate::parse("https://cloudflare-dns.com/dns-query{?dns}").unwrap();
+        assert_eq!(t.host(), "cloudflare-dns.com");
+        assert_eq!(t.path(), "/dns-query");
+        assert_eq!(t.expand_get("AAAB"), "/dns-query?dns=AAAB");
+        assert_eq!(t.post_target(), "/dns-query");
+        assert_eq!(t.to_string(), "https://cloudflare-dns.com/dns-query{?dns}");
+    }
+
+    #[test]
+    fn template_without_var_still_works() {
+        let t = UriTemplate::parse("https://dns.google/resolve").unwrap();
+        assert_eq!(t.expand_get("Zm9v"), "/resolve?dns=Zm9v");
+    }
+
+    #[test]
+    fn template_with_query_plus_var_rejected() {
+        assert!(UriTemplate::parse("https://x.example/q?a=1{?dns}").is_none());
+    }
+
+    #[test]
+    fn common_paths_include_rfc_and_google_styles() {
+        assert!(COMMON_DOH_PATHS.contains(&"/dns-query"));
+        assert!(COMMON_DOH_PATHS.contains(&"/resolve"));
+    }
+}

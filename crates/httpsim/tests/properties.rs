@@ -1,0 +1,99 @@
+//! Property-based tests for the HTTP codec and base64url.
+
+use httpsim::{base64url_decode, base64url_encode, Request, Response, Url};
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9-]{0,12}").expect("regex")
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[ -~&&[^:\r\n]]{0,30}").expect("regex")
+}
+
+proptest! {
+    #[test]
+    fn base64url_round_trips(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let enc = base64url_encode(&data);
+        prop_assert!(enc.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+        prop_assert_eq!(base64url_decode(&enc).unwrap(), data);
+    }
+
+    #[test]
+    fn base64url_decode_never_panics(s in "\\PC{0,64}") {
+        let _ = base64url_decode(&s);
+    }
+
+    #[test]
+    fn request_round_trips(
+        path in proptest::string::string_regex("/[a-z0-9/._-]{0,30}").expect("regex"),
+        raw_headers in proptest::collection::vec((arb_token(), arb_header_value()), 0..5),
+        body in proptest::collection::vec(any::<u8>(), 0..300),
+        post in any::<bool>(),
+    ) {
+        // Header lookup returns the first match, so keep names unique
+        // (and away from the length/type headers the codec manages).
+        let mut seen = std::collections::HashSet::new();
+        let headers: Vec<(String, String)> = raw_headers
+            .into_iter()
+            .filter(|(n, _)| {
+                let key = n.to_ascii_lowercase();
+                key != "content-length" && key != "content-type" && seen.insert(key)
+            })
+            .collect();
+        let mut req = if post {
+            Request::post(&path, "application/octet-stream", body.clone())
+        } else {
+            let mut r = Request::get(&path);
+            r.body = body.clone();
+            r
+        };
+        for (name, value) in &headers {
+            req = req.with_header(name, value.trim());
+        }
+        let back = Request::decode(&req.encode()).unwrap();
+        prop_assert_eq!(&back.method, &req.method);
+        prop_assert_eq!(&back.target, &req.target);
+        prop_assert_eq!(&back.body, &body);
+        for (name, value) in &headers {
+            prop_assert_eq!(back.header(name), Some(value.trim()));
+        }
+    }
+
+    #[test]
+    fn response_round_trips(
+        status in 100u16..600,
+        body in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let resp = Response {
+            status,
+            reason: "Reason".into(),
+            headers: vec![("Content-Type".into(), "text/plain".into())],
+            body: body.clone(),
+        };
+        let back = Response::decode(&resp.encode()).unwrap();
+        prop_assert_eq!(back.status, status);
+        prop_assert_eq!(back.body, body);
+    }
+
+    #[test]
+    fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Request::decode(&bytes);
+        let _ = Response::decode(&bytes);
+    }
+
+    #[test]
+    fn url_display_reparses(
+        host in proptest::string::string_regex("[a-z0-9.-]{1,20}\\.[a-z]{2,4}").expect("regex"),
+        path in proptest::string::string_regex("/[a-z0-9/._-]{0,20}").expect("regex"),
+        port in prop_oneof![Just(None), (1u16..65535).prop_map(Some)],
+    ) {
+        let raw = match port {
+            Some(p) => format!("https://{host}:{p}{path}"),
+            None => format!("https://{host}{path}"),
+        };
+        let url = Url::parse(&raw).unwrap();
+        let reparsed = Url::parse(&url.to_string()).unwrap();
+        prop_assert_eq!(url, reparsed);
+    }
+}

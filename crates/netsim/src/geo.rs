@@ -1,0 +1,317 @@
+//! Geography: country codes, autonomous systems, netblocks and the
+//! prefix-based geo database used to attribute addresses.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An ISO-3166 alpha-2 country code (e.g. `US`, `CN`, `IE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Build from a two-character ASCII code; normalises to uppercase.
+    ///
+    /// # Panics
+    /// Panics if `code` is not exactly two ASCII characters — country codes
+    /// in this codebase are compile-time constants, so this is a programmer
+    /// error, not input validation.
+    pub fn new(code: &str) -> Self {
+        let bytes = code.as_bytes();
+        assert!(bytes.len() == 2, "country code must be 2 chars: {code:?}");
+        CountryCode([
+            bytes[0].to_ascii_uppercase(),
+            bytes[1].to_ascii_uppercase(),
+        ])
+    }
+
+    /// The code as a `&str`.
+    pub fn as_str(&self) -> &str {
+        std::str::from_utf8(&self.0).expect("constructed from ASCII")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl FromStr for CountryCode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 2 || !s.is_ascii() {
+            return Err(format!("bad country code {s:?}"));
+        }
+        Ok(CountryCode::new(s))
+    }
+}
+
+/// An autonomous system number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// Coarse world regions used by the latency matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Region {
+    /// North America.
+    NorthAmerica,
+    /// South & Central America.
+    SouthAmerica,
+    /// Europe.
+    Europe,
+    /// Africa & Middle East.
+    Africa,
+    /// Asia.
+    Asia,
+    /// Oceania.
+    Oceania,
+}
+
+impl Region {
+    /// All regions, for iteration.
+    pub const ALL: [Region; 6] = [
+        Region::NorthAmerica,
+        Region::SouthAmerica,
+        Region::Europe,
+        Region::Africa,
+        Region::Asia,
+        Region::Oceania,
+    ];
+
+    /// Stable index into latency matrices.
+    pub fn index(self) -> usize {
+        match self {
+            Region::NorthAmerica => 0,
+            Region::SouthAmerica => 1,
+            Region::Europe => 2,
+            Region::Africa => 3,
+            Region::Asia => 4,
+            Region::Oceania => 5,
+        }
+    }
+}
+
+/// An IPv4 prefix (`addr/len`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Netblock {
+    base: u32,
+    len: u8,
+}
+
+impl Netblock {
+    /// Build a prefix; host bits of `addr` are masked off.
+    ///
+    /// # Panics
+    /// Panics if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        let raw = u32::from(addr);
+        let base = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        Netblock { base, len }
+    }
+
+    /// The /24 containing `addr` — the aggregation unit of the paper's
+    /// NetFlow ethics policy (§5.1) and Figure 12.
+    pub fn slash24(addr: Ipv4Addr) -> Self {
+        Netblock::new(addr, 24)
+    }
+
+    /// Prefix length.
+    #[allow(clippy::len_without_is_empty)] // a prefix always covers ≥1 address
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// Network (first) address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.base)
+    }
+
+    /// Number of addresses covered.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.len)
+    }
+
+    /// Whether `addr` falls inside the prefix.
+    pub fn contains(&self, addr: Ipv4Addr) -> bool {
+        if self.len == 0 {
+            return true;
+        }
+        u32::from(addr) & (u32::MAX << (32 - self.len)) == self.base
+    }
+
+    /// The `i`-th address inside the block (wraps modulo block size).
+    pub fn addr(&self, i: u64) -> Ipv4Addr {
+        Ipv4Addr::from(self.base.wrapping_add((i % self.size()) as u32))
+    }
+}
+
+impl fmt::Display for Netblock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+/// Attribution for a netblock: who routes it and where it sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlockInfo {
+    /// Routing AS.
+    pub asn: Asn,
+    /// Country of the block.
+    pub country: CountryCode,
+    /// Latency region.
+    pub region: Region,
+}
+
+/// Longest-prefix-match geo/AS database.
+///
+/// Worldgen registers prefixes; host metadata defaults are filled from here
+/// so individual hosts don't all need explicit attribution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GeoDb {
+    // Keyed by (prefix length, base) inside per-length maps for LPM.
+    tables: BTreeMap<u8, BTreeMap<u32, BlockInfo>>,
+}
+
+impl GeoDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a prefix. Later registrations of the same prefix overwrite.
+    pub fn insert(&mut self, block: Netblock, info: BlockInfo) {
+        self.tables.entry(block.len).or_default().insert(block.base, info);
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, addr: Ipv4Addr) -> Option<BlockInfo> {
+        let raw = u32::from(addr);
+        for (&len, table) in self.tables.iter().rev() {
+            let base = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+            if let Some(info) = table.get(&base) {
+                return Some(*info);
+            }
+        }
+        None
+    }
+
+    /// Number of registered prefixes.
+    pub fn len(&self) -> usize {
+        self.tables.values().map(BTreeMap::len).sum()
+    }
+
+    /// True if no prefixes are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+/// Map a country code to its latency [`Region`].
+///
+/// Only the countries that appear in the study's datasets are listed;
+/// unknown codes default to Europe (the modal region of the global
+/// ProxyRack population).
+pub fn region_of(country: CountryCode) -> Region {
+    match country.as_str() {
+        "US" | "CA" | "MX" => Region::NorthAmerica,
+        "BR" | "AR" | "CL" | "CO" | "PE" | "VE" | "EC" => Region::SouthAmerica,
+        "IE" | "GB" | "DE" | "FR" | "NL" | "RU" | "IT" | "ES" | "PL" | "SE" | "NO" | "FI"
+        | "UA" | "RO" | "CZ" | "AT" | "CH" | "BE" | "PT" | "GR" | "HU" | "BG" | "DK" | "RS"
+        | "TR" => Region::Europe,
+        "ZA" | "NG" | "EG" | "KE" | "MA" | "IL" | "SA" | "AE" | "IR" | "IQ" => Region::Africa,
+        "CN" | "JP" | "KR" | "IN" | "ID" | "VN" | "TH" | "MY" | "SG" | "PH" | "HK" | "TW"
+        | "PK" | "BD" | "LA" | "KH" | "MM" | "NP" | "LK" | "KZ" => Region::Asia,
+        "AU" | "NZ" | "FJ" => Region::Oceania,
+        _ => Region::Europe,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_code_normalises() {
+        let cc = CountryCode::new("us");
+        assert_eq!(cc.as_str(), "US");
+        assert_eq!(cc, CountryCode::new("US"));
+        assert_eq!("cn".parse::<CountryCode>().unwrap().as_str(), "CN");
+        assert!("USA".parse::<CountryCode>().is_err());
+    }
+
+    #[test]
+    fn netblock_masks_host_bits() {
+        let b = Netblock::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(b.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(b.size(), 65536);
+        assert!(b.contains(Ipv4Addr::new(10, 1, 255, 255)));
+        assert!(!b.contains(Ipv4Addr::new(10, 2, 0, 0)));
+        assert_eq!(b.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn slash24_aggregation() {
+        let b = Netblock::slash24(Ipv4Addr::new(203, 0, 113, 77));
+        assert_eq!(b.network(), Ipv4Addr::new(203, 0, 113, 0));
+        assert_eq!(b.size(), 256);
+    }
+
+    #[test]
+    fn netblock_indexing_wraps() {
+        let b = Netblock::new(Ipv4Addr::new(192, 0, 2, 0), 30);
+        assert_eq!(b.addr(0), Ipv4Addr::new(192, 0, 2, 0));
+        assert_eq!(b.addr(3), Ipv4Addr::new(192, 0, 2, 3));
+        assert_eq!(b.addr(4), Ipv4Addr::new(192, 0, 2, 0));
+    }
+
+    #[test]
+    fn zero_length_prefix_contains_everything() {
+        let all = Netblock::new(Ipv4Addr::new(1, 2, 3, 4), 0);
+        assert!(all.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(all.size(), 1 << 32);
+    }
+
+    #[test]
+    fn geodb_longest_prefix_wins() {
+        let mut db = GeoDb::new();
+        let coarse = BlockInfo {
+            asn: Asn(100),
+            country: CountryCode::new("US"),
+            region: Region::NorthAmerica,
+        };
+        let fine = BlockInfo {
+            asn: Asn(200),
+            country: CountryCode::new("BR"),
+            region: Region::SouthAmerica,
+        };
+        db.insert(Netblock::new(Ipv4Addr::new(10, 0, 0, 0), 8), coarse);
+        db.insert(Netblock::new(Ipv4Addr::new(10, 5, 0, 0), 16), fine);
+        assert_eq!(db.lookup(Ipv4Addr::new(10, 5, 1, 1)).unwrap().asn, Asn(200));
+        assert_eq!(db.lookup(Ipv4Addr::new(10, 6, 1, 1)).unwrap().asn, Asn(100));
+        assert!(db.lookup(Ipv4Addr::new(11, 0, 0, 1)).is_none());
+        assert_eq!(db.len(), 2);
+    }
+
+    #[test]
+    fn regions_cover_study_countries() {
+        assert_eq!(region_of(CountryCode::new("ID")), Region::Asia);
+        assert_eq!(region_of(CountryCode::new("IN")), Region::Asia);
+        assert_eq!(region_of(CountryCode::new("BR")), Region::SouthAmerica);
+        assert_eq!(region_of(CountryCode::new("IE")), Region::Europe);
+        assert_eq!(region_of(CountryCode::new("AU")), Region::Oceania);
+        // Unknown codes get the modal region, not a panic.
+        assert_eq!(region_of(CountryCode::new("ZZ")), Region::Europe);
+    }
+}

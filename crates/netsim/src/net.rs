@@ -1,0 +1,1050 @@
+//! The [`Network`]: host registry, path evaluation, TCP/UDP exchange with
+//! virtual-time accounting.
+
+use crate::geo::{Asn, CountryCode, GeoDb, Region};
+use crate::host::{HostMeta, PeerInfo};
+use crate::latency::{Endpoint, LatencyModel};
+use crate::policy::{PathDecision, PolicySet};
+use crate::service::{DatagramService, Service, ServiceCtx, StreamHandler, MAX_HANDLER_DEPTH};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{EventKind, EventLog, NetEvent};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+
+/// Tunables for a simulated internet.
+#[derive(Debug, Clone)]
+pub struct NetworkConfig {
+    /// How long clients wait before declaring a blackholed path dead.
+    /// The paper's reachability test used 30 seconds.
+    pub default_timeout: SimDuration,
+    /// How long a ZMap-style SYN probe waits before marking "filtered".
+    pub probe_timeout: SimDuration,
+    /// The latency model.
+    pub latency: LatencyModel,
+    /// Event-log capacity; 0 disables tracing.
+    pub trace_capacity: usize,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig {
+            default_timeout: SimDuration::from_secs(30),
+            probe_timeout: SimDuration::from_secs(1),
+            latency: LatencyModel::default(),
+            trace_capacity: 0,
+        }
+    }
+}
+
+/// Why a TCP connect failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectErrorKind {
+    /// No SYN-ACK ever came back (blackhole, censorship drop, dead IP).
+    Timeout,
+    /// Active RST: filtering appliance or GFW-style reset.
+    Reset,
+    /// The host exists but nothing listens on the port.
+    Refused,
+    /// Handler recursion exceeded the internal depth limit (forwarding loop).
+    DepthExceeded,
+}
+
+/// A failed TCP connect, with the virtual time it wasted and the policy
+/// rule responsible (if one matched).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnectError {
+    /// Failure class.
+    pub kind: ConnectErrorKind,
+    /// Time the attempt consumed.
+    pub elapsed: SimDuration,
+    /// Responsible policy rule, when attribution is known.
+    pub rule: Option<String>,
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "connect failed: {:?} after {}", self.kind, self.elapsed)?;
+        if let Some(rule) = &self.rule {
+            write!(f, " (rule: {rule})")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+/// A successful UDP exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpReply {
+    /// Response payload.
+    pub bytes: Vec<u8>,
+    /// Time from send to receipt.
+    pub elapsed: SimDuration,
+}
+
+/// A failed UDP exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UdpError {
+    /// No reply within the timeout (drop, loss, blackhole, or the service
+    /// chose not to answer).
+    Timeout {
+        /// Time wasted waiting.
+        elapsed: SimDuration,
+        /// Responsible policy rule, when attribution is known.
+        rule: Option<String>,
+    },
+    /// ICMP port-unreachable came back after one round trip.
+    Unreachable {
+        /// Time until the ICMP arrived.
+        elapsed: SimDuration,
+    },
+    /// Handler recursion exceeded the limit.
+    DepthExceeded,
+}
+
+impl UdpError {
+    /// Virtual time the failed exchange consumed.
+    pub fn elapsed(&self) -> SimDuration {
+        match self {
+            UdpError::Timeout { elapsed, .. } | UdpError::Unreachable { elapsed } => *elapsed,
+            UdpError::DepthExceeded => SimDuration::ZERO,
+        }
+    }
+}
+
+impl fmt::Display for UdpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UdpError::Timeout { elapsed, rule } => {
+                write!(f, "udp timeout after {elapsed}")?;
+                if let Some(rule) = rule {
+                    write!(f, " (rule: {rule})")?;
+                }
+                Ok(())
+            }
+            UdpError::Unreachable { elapsed } => write!(f, "udp unreachable after {elapsed}"),
+            UdpError::DepthExceeded => write!(f, "handler depth exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for UdpError {}
+
+/// Result of a SYN probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// SYN-ACK received.
+    Open,
+    /// RST received.
+    Closed,
+    /// Nothing came back.
+    Filtered,
+}
+
+struct HostEntry {
+    meta: HostMeta,
+    tcp: HashMap<u16, Rc<dyn Service>>,
+    udp: HashMap<u16, Rc<dyn DatagramService>>,
+}
+
+/// The simulated internet. See the crate docs for the model.
+pub struct Network {
+    cfg: NetworkConfig,
+    hosts: HashMap<Ipv4Addr, HostEntry>,
+    geodb: GeoDb,
+    policies: PolicySet,
+    rng: SmallRng,
+    /// Event trace (enable via `NetworkConfig::trace_capacity`).
+    pub log: EventLog,
+    now: SimTime,
+    handler_depth: u8,
+}
+
+impl Network {
+    /// Build a network from config and a seed. Identical seeds give
+    /// identical behaviour.
+    pub fn new(cfg: NetworkConfig, seed: u64) -> Self {
+        let log = if cfg.trace_capacity > 0 {
+            EventLog::with_capacity(cfg.trace_capacity)
+        } else {
+            EventLog::disabled()
+        };
+        Network {
+            rng: SmallRng::seed_from_u64(seed),
+            log,
+            cfg,
+            hosts: HashMap::new(),
+            geodb: GeoDb::new(),
+            policies: PolicySet::new(),
+            now: SimTime::EPOCH,
+            handler_depth: 0,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Mutable latency model (worldgen tunes country profiles).
+    pub fn latency_mut(&mut self) -> &mut LatencyModel {
+        &mut self.cfg.latency
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advance the virtual clock (e.g. between scan epochs).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.now += d;
+    }
+
+    /// The geo database.
+    pub fn geodb(&self) -> &GeoDb {
+        &self.geodb
+    }
+
+    /// Mutable geo database.
+    pub fn geodb_mut(&mut self) -> &mut GeoDb {
+        &mut self.geodb
+    }
+
+    /// The installed path policies.
+    pub fn policies(&self) -> &PolicySet {
+        &self.policies
+    }
+
+    /// Mutable path policies.
+    pub fn policies_mut(&mut self) -> &mut PolicySet {
+        &mut self.policies
+    }
+
+    /// Deterministic RNG shared by the simulation.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    /// Register a host. Replaces any prior host at the same address.
+    pub fn add_host(&mut self, meta: HostMeta) {
+        self.hosts.insert(
+            meta.ip,
+            HostEntry {
+                meta,
+                tcp: HashMap::new(),
+                udp: HashMap::new(),
+            },
+        );
+    }
+
+    /// Remove a host entirely (e.g. a resolver decommissioned between scan
+    /// epochs). Returns true if it existed.
+    pub fn remove_host(&mut self, ip: Ipv4Addr) -> bool {
+        self.hosts.remove(&ip).is_some()
+    }
+
+    /// Whether a host is registered at `ip`.
+    pub fn has_host(&self, ip: Ipv4Addr) -> bool {
+        self.hosts.contains_key(&ip)
+    }
+
+    /// Metadata of a registered host.
+    pub fn host_meta(&self, ip: Ipv4Addr) -> Option<&HostMeta> {
+        self.hosts.get(&ip).map(|h| &h.meta)
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// All registered host addresses (unordered).
+    pub fn host_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.hosts.keys().copied()
+    }
+
+    /// TCP ports a host listens on (empty if unknown host).
+    pub fn open_tcp_ports(&self, ip: Ipv4Addr) -> Vec<u16> {
+        let mut ports: Vec<u16> = self
+            .hosts
+            .get(&ip)
+            .map(|h| h.tcp.keys().copied().collect())
+            .unwrap_or_default();
+        ports.sort_unstable();
+        ports
+    }
+
+    /// Bind a TCP service to `(ip, port)`. The host must exist.
+    ///
+    /// # Panics
+    /// Panics if the host was never added — binding to a ghost is a
+    /// worldgen bug.
+    pub fn bind_tcp(&mut self, ip: Ipv4Addr, port: u16, svc: Rc<dyn Service>) {
+        self.hosts
+            .get_mut(&ip)
+            .unwrap_or_else(|| panic!("bind_tcp: no host {ip}"))
+            .tcp
+            .insert(port, svc);
+    }
+
+    /// Unbind a TCP service; returns true if something was bound.
+    pub fn unbind_tcp(&mut self, ip: Ipv4Addr, port: u16) -> bool {
+        self.hosts
+            .get_mut(&ip)
+            .map(|h| h.tcp.remove(&port).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Bind a UDP service to `(ip, port)`. The host must exist.
+    ///
+    /// # Panics
+    /// Panics if the host was never added.
+    pub fn bind_udp(&mut self, ip: Ipv4Addr, port: u16, svc: Rc<dyn DatagramService>) {
+        self.hosts
+            .get_mut(&ip)
+            .unwrap_or_else(|| panic!("bind_udp: no host {ip}"))
+            .udp
+            .insert(port, svc);
+    }
+
+    /// Country/AS/region attribution for any address: a registered host's
+    /// metadata wins, then the geo database, then a neutral default.
+    pub fn attribution(&self, ip: Ipv4Addr) -> (CountryCode, Asn, Region) {
+        if let Some(h) = self.hosts.get(&ip) {
+            return (h.meta.country, h.meta.asn, h.meta.region);
+        }
+        if let Some(info) = self.geodb.lookup(ip) {
+            return (info.country, info.asn, info.region);
+        }
+        let cc = CountryCode::new("US");
+        (cc, Asn(0), crate::geo::region_of(cc))
+    }
+
+    fn endpoint_of(&self, ip: Ipv4Addr) -> Endpoint {
+        if let Some(h) = self.hosts.get(&ip) {
+            return h.meta.endpoint();
+        }
+        let (country, _asn, region) = self.attribution(ip);
+        Endpoint {
+            region,
+            country,
+            anycast: false,
+        }
+    }
+
+    fn sample_rtt(&mut self, src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> SimDuration {
+        let s = self.endpoint_of(src);
+        let d = self.endpoint_of(dst);
+        let lat = self.cfg.latency.clone();
+        lat.sample_rtt_port(s, d, Some(port), &mut self.rng)
+    }
+
+    fn loss_roll(&mut self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let s = self.endpoint_of(src);
+        let d = self.endpoint_of(dst);
+        let p = self.cfg.latency.loss_probability(s, d);
+        self.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+
+    /// Evaluate path policies for a flow, with the simulator invariant that
+    /// a diversion device's own traffic is never diverted back to itself
+    /// (the device *is* the middlebox; it sits behind the diversion point).
+    fn decide_path(
+        &self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        port: u16,
+        is_tcp: bool,
+    ) -> (PathDecision, Option<String>) {
+        let (country, asn, _region) = self.attribution(src);
+        let (decision, rule) = self.policies.evaluate(src, country, asn, dst, port, is_tcp);
+        match decision {
+            PathDecision::DivertTo(actual) if actual == src => (PathDecision::Allow, None),
+            other => (other, rule.map(str::to_string)),
+        }
+    }
+
+    /// Open a TCP connection with the default timeout.
+    pub fn connect(&mut self, src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> Result<Conn, ConnectError> {
+        let timeout = self.cfg.default_timeout;
+        self.connect_with_timeout(src, dst, port, timeout)
+    }
+
+    /// Open a TCP connection, waiting at most `timeout` for establishment.
+    ///
+    /// On success the returned [`Conn`] has already been charged one round
+    /// trip (SYN / SYN-ACK; the final ACK piggybacks on the first data
+    /// flight).
+    pub fn connect_with_timeout(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        port: u16,
+        timeout: SimDuration,
+    ) -> Result<Conn, ConnectError> {
+        if self.handler_depth >= MAX_HANDLER_DEPTH {
+            return Err(ConnectError {
+                kind: ConnectErrorKind::DepthExceeded,
+                elapsed: SimDuration::ZERO,
+                rule: None,
+            });
+        }
+        let (decision, rule) = self.decide_path(src, dst, port, true);
+        let (effective, diverted_rule) = match decision {
+            PathDecision::Allow => (dst, None),
+            PathDecision::Blackhole => {
+                self.log.record(NetEvent {
+                    src,
+                    dst,
+                    port,
+                    elapsed: timeout,
+                    kind: EventKind::Timeout { rule: rule.clone() },
+                });
+                return Err(ConnectError {
+                    kind: ConnectErrorKind::Timeout,
+                    elapsed: timeout,
+                    rule,
+                });
+            }
+            PathDecision::Reset => {
+                let rtt = self.sample_rtt(src, dst, port);
+                self.log.record(NetEvent {
+                    src,
+                    dst,
+                    port,
+                    elapsed: rtt,
+                    kind: EventKind::TcpReset { rule: rule.clone() },
+                });
+                return Err(ConnectError {
+                    kind: ConnectErrorKind::Reset,
+                    elapsed: rtt,
+                    rule,
+                });
+            }
+            PathDecision::DivertTo(actual) => {
+                self.log.record(NetEvent {
+                    src,
+                    dst,
+                    port,
+                    elapsed: SimDuration::ZERO,
+                    kind: EventKind::Diverted {
+                        actual,
+                        rule: rule.clone().unwrap_or_default(),
+                    },
+                });
+                (actual, rule)
+            }
+        };
+
+        let svc = match self.hosts.get(&effective) {
+            None => {
+                // Unrouted address: SYNs vanish.
+                self.log.record(NetEvent {
+                    src,
+                    dst,
+                    port,
+                    elapsed: timeout,
+                    kind: EventKind::Timeout { rule: None },
+                });
+                return Err(ConnectError {
+                    kind: ConnectErrorKind::Timeout,
+                    elapsed: timeout,
+                    rule: diverted_rule,
+                });
+            }
+            Some(entry) => match entry.tcp.get(&port) {
+                None => {
+                    let rtt = self.sample_rtt(src, effective, port);
+                    self.log.record(NetEvent {
+                        src,
+                        dst,
+                        port,
+                        elapsed: rtt,
+                        kind: EventKind::TcpReset { rule: None },
+                    });
+                    return Err(ConnectError {
+                        kind: ConnectErrorKind::Refused,
+                        elapsed: rtt,
+                        rule: diverted_rule,
+                    });
+                }
+                Some(svc) => Rc::clone(svc),
+            },
+        };
+
+        let peer = PeerInfo {
+            src,
+            original_dst: dst,
+            original_port: port,
+            diverted: effective != dst,
+        };
+        let handler = svc.open_stream(peer);
+        let mut rtt = self.sample_rtt(src, effective, port);
+        if self.loss_roll(src, effective) {
+            // Lost SYN: one retransmission.
+            rtt += self.sample_rtt(src, effective, port);
+        }
+        self.log.record(NetEvent {
+            src,
+            dst,
+            port,
+            elapsed: rtt,
+            kind: EventKind::TcpConnect,
+        });
+        Ok(Conn {
+            src,
+            effective_dst: effective,
+            original_dst: dst,
+            port,
+            diverted_rule,
+            handler: Some(handler),
+            elapsed: rtt,
+            tx_bytes: 0,
+            rx_bytes: 0,
+            round_trips: 1,
+        })
+    }
+
+    /// One UDP request/response exchange.
+    pub fn udp_query(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        port: u16,
+        data: &[u8],
+        timeout: Option<SimDuration>,
+    ) -> Result<UdpReply, UdpError> {
+        if self.handler_depth >= MAX_HANDLER_DEPTH {
+            return Err(UdpError::DepthExceeded);
+        }
+        let timeout = timeout.unwrap_or(self.cfg.default_timeout);
+        let (decision, rule) = self.decide_path(src, dst, port, false);
+        let effective = match decision {
+            PathDecision::Allow => dst,
+            PathDecision::Blackhole | PathDecision::Reset => {
+                // UDP has no RST; both read as silence.
+                self.log.record(NetEvent {
+                    src,
+                    dst,
+                    port,
+                    elapsed: timeout,
+                    kind: EventKind::UdpDrop { rule: rule.clone() },
+                });
+                return Err(UdpError::Timeout {
+                    elapsed: timeout,
+                    rule,
+                });
+            }
+            PathDecision::DivertTo(actual) => actual,
+        };
+
+        if self.loss_roll(src, effective) {
+            self.log.record(NetEvent {
+                src,
+                dst,
+                port,
+                elapsed: timeout,
+                kind: EventKind::UdpDrop { rule: None },
+            });
+            return Err(UdpError::Timeout {
+                elapsed: timeout,
+                rule: None,
+            });
+        }
+
+        let svc = match self.hosts.get(&effective) {
+            None => {
+                return Err(UdpError::Timeout {
+                    elapsed: timeout,
+                    rule,
+                })
+            }
+            Some(entry) => match entry.udp.get(&port) {
+                None => {
+                    let rtt = self.sample_rtt(src, effective, port);
+                    return Err(UdpError::Unreachable { elapsed: rtt });
+                }
+                Some(svc) => Rc::clone(svc),
+            },
+        };
+
+        let peer = PeerInfo {
+            src,
+            original_dst: dst,
+            original_port: port,
+            diverted: effective != dst,
+        };
+        let rtt = self.sample_rtt(src, effective, port);
+        self.handler_depth += 1;
+        let mut ctx = ServiceCtx::new(self, effective, 0);
+        let reply = svc.on_datagram(&mut ctx, peer, data);
+        let extra = ctx.extra();
+        self.handler_depth -= 1;
+        match reply {
+            Some(bytes) => {
+                let total =
+                    rtt + self.cfg.latency.transmission(data.len() + bytes.len()) + extra;
+                self.log.record(NetEvent {
+                    src,
+                    dst,
+                    port,
+                    elapsed: total,
+                    kind: EventKind::UdpExchange {
+                        tx: data.len(),
+                        rx: bytes.len(),
+                    },
+                });
+                Ok(UdpReply {
+                    bytes,
+                    elapsed: total,
+                })
+            }
+            None => Err(UdpError::Timeout {
+                elapsed: timeout,
+                rule: None,
+            }),
+        }
+    }
+
+    /// ZMap-style SYN probe: open / closed / filtered plus time cost.
+    pub fn syn_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> (ProbeOutcome, SimDuration) {
+        let (decision, _rule) = self.decide_path(src, dst, port, true);
+        let effective = match decision {
+            PathDecision::Allow => dst,
+            PathDecision::Blackhole => return (ProbeOutcome::Filtered, self.cfg.probe_timeout),
+            PathDecision::Reset => {
+                let rtt = self.sample_rtt(src, dst, port);
+                return (ProbeOutcome::Closed, rtt);
+            }
+            PathDecision::DivertTo(actual) => actual,
+        };
+        match self.hosts.get(&effective) {
+            None => (ProbeOutcome::Filtered, self.cfg.probe_timeout),
+            Some(entry) => {
+                let open = entry.tcp.contains_key(&port);
+                let rtt = self.sample_rtt(src, effective, port);
+                if open {
+                    (ProbeOutcome::Open, rtt)
+                } else {
+                    (ProbeOutcome::Closed, rtt)
+                }
+            }
+        }
+    }
+
+    /// Internal: run one request/response flight on an established
+    /// connection. Used by [`Conn::request`].
+    fn exchange(
+        &mut self,
+        conn_src: Ipv4Addr,
+        conn_dst: Ipv4Addr,
+        port: u16,
+        handler: &mut Box<dyn StreamHandler>,
+        data: &[u8],
+    ) -> (Vec<u8>, SimDuration) {
+        let mut rtt = self.sample_rtt(conn_src, conn_dst, port);
+        if self.loss_roll(conn_src, conn_dst) {
+            // One retransmission round.
+            rtt += self.sample_rtt(conn_src, conn_dst, port);
+        }
+        self.handler_depth += 1;
+        let mut ctx = ServiceCtx::new(self, conn_dst, 0);
+        let resp = handler.on_bytes(&mut ctx, data);
+        let extra = ctx.extra();
+        self.handler_depth -= 1;
+        let total = rtt + self.cfg.latency.transmission(data.len() + resp.len()) + extra;
+        (resp, total)
+    }
+
+    fn depth_exceeded(&self) -> bool {
+        self.handler_depth >= MAX_HANDLER_DEPTH
+    }
+}
+
+/// An established TCP connection, owned by the client side.
+///
+/// The connection accumulates virtual time in `elapsed`; callers measuring
+/// per-query latency use [`Conn::take_elapsed`] to read-and-reset between
+/// queries (this is how connection-reuse latency is measured, §4.3).
+pub struct Conn {
+    src: Ipv4Addr,
+    effective_dst: Ipv4Addr,
+    original_dst: Ipv4Addr,
+    port: u16,
+    diverted_rule: Option<String>,
+    handler: Option<Box<dyn StreamHandler>>,
+    elapsed: SimDuration,
+    tx_bytes: usize,
+    rx_bytes: usize,
+    round_trips: u32,
+}
+
+impl fmt::Debug for Conn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Conn")
+            .field("src", &self.src)
+            .field("dst", &self.original_dst)
+            .field("port", &self.port)
+            .field("effective_dst", &self.effective_dst)
+            .field("elapsed", &self.elapsed)
+            .field("round_trips", &self.round_trips)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Conn {
+    /// Client address.
+    pub fn src(&self) -> Ipv4Addr {
+        self.src
+    }
+
+    /// The destination the client dialled.
+    pub fn original_dst(&self) -> Ipv4Addr {
+        self.original_dst
+    }
+
+    /// Where the connection actually terminated (differs under diversion).
+    ///
+    /// Measurement code must not peek at this to decide outcomes — the real
+    /// client can't — but tests and forensics use it for ground truth.
+    pub fn effective_dst(&self) -> Ipv4Addr {
+        self.effective_dst
+    }
+
+    /// Destination port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Whether a policy rule diverted this connection, and which.
+    pub fn diverted_rule(&self) -> Option<&str> {
+        self.diverted_rule.as_deref()
+    }
+
+    /// Total virtual time charged so far.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Read and reset the elapsed clock.
+    pub fn take_elapsed(&mut self) -> SimDuration {
+        std::mem::take(&mut self.elapsed)
+    }
+
+    /// Charge additional client-side time to this connection's clock —
+    /// used by higher layers for CPU-bound work (TLS key exchange, record
+    /// sealing) that the wire model doesn't know about.
+    pub fn charge(&mut self, d: SimDuration) {
+        self.elapsed += d;
+    }
+
+    /// Bytes sent by the client.
+    pub fn tx_bytes(&self) -> usize {
+        self.tx_bytes
+    }
+
+    /// Bytes received by the client.
+    pub fn rx_bytes(&self) -> usize {
+        self.rx_bytes
+    }
+
+    /// Round trips charged (including the handshake).
+    pub fn round_trips(&self) -> u32 {
+        self.round_trips
+    }
+
+    /// Send one flight of bytes, returning the server's response flight.
+    ///
+    /// Each call charges one round trip plus transmission time plus any
+    /// upstream time the server's handler spent.
+    pub fn request(&mut self, net: &mut Network, data: &[u8]) -> Result<Vec<u8>, ConnectError> {
+        if net.depth_exceeded() {
+            return Err(ConnectError {
+                kind: ConnectErrorKind::DepthExceeded,
+                elapsed: SimDuration::ZERO,
+                rule: None,
+            });
+        }
+        let mut handler = self.handler.take().expect("request after close");
+        let (resp, dt) = net.exchange(self.src, self.effective_dst, self.port, &mut handler, data);
+        self.handler = Some(handler);
+        self.elapsed += dt;
+        self.tx_bytes += data.len();
+        self.rx_bytes += resp.len();
+        self.round_trips += 1;
+        net.log.record(NetEvent {
+            src: self.src,
+            dst: self.original_dst,
+            port: self.port,
+            elapsed: dt,
+            kind: EventKind::Exchange {
+                tx: data.len(),
+                rx: resp.len(),
+            },
+        });
+        Ok(resp)
+    }
+
+    /// Close the connection (notifies the handler).
+    pub fn close(mut self, net: &mut Network) {
+        if let Some(mut handler) = self.handler.take() {
+            let mut ctx = ServiceCtx::new(net, self.effective_dst, 0);
+            handler.on_close(&mut ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DstMatch, PolicyRule, PortMatch, SrcMatch};
+    use crate::service::{FnDatagramService, FnStreamService};
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn echo_net(seed: u64) -> (Network, Ipv4Addr, Ipv4Addr) {
+        let mut net = Network::new(
+            NetworkConfig {
+                trace_capacity: 64,
+                ..NetworkConfig::default()
+            },
+            seed,
+        );
+        let server = ip("192.0.2.1");
+        let client = ip("198.51.100.1");
+        net.add_host(HostMeta::new(server).country("US").asn(64500).label("echo"));
+        net.add_host(HostMeta::new(client).country("DE").asn(64501));
+        net.bind_tcp(
+            server,
+            7,
+            Rc::new(FnStreamService::new(
+                |_ctx, _peer, data: &[u8]| data.to_vec(),
+                "echo",
+            )),
+        );
+        net.bind_udp(
+            server,
+            7,
+            Rc::new(FnDatagramService::new(|_ctx, _peer, data| Some(data.to_vec()))),
+        );
+        (net, client, server)
+    }
+
+    #[test]
+    fn tcp_echo_round_trip_charges_time() {
+        let (mut net, client, server) = echo_net(1);
+        let mut conn = net.connect(client, server, 7).unwrap();
+        let after_handshake = conn.elapsed();
+        assert!(after_handshake > SimDuration::ZERO, "handshake costs a RTT");
+        let resp = conn.request(&mut net, b"hello").unwrap();
+        assert_eq!(resp, b"hello");
+        assert!(conn.elapsed() > after_handshake);
+        assert_eq!(conn.round_trips(), 2);
+        assert_eq!(conn.tx_bytes(), 5);
+        conn.close(&mut net);
+    }
+
+    #[test]
+    fn closed_port_refused_after_one_rtt() {
+        let (mut net, client, server) = echo_net(2);
+        let err = net.connect(client, server, 9999).unwrap_err();
+        assert_eq!(err.kind, ConnectErrorKind::Refused);
+        assert!(err.elapsed < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn unrouted_address_times_out() {
+        let (mut net, client, _server) = echo_net(3);
+        let err = net.connect(client, ip("203.0.113.99"), 7).unwrap_err();
+        assert_eq!(err.kind, ConnectErrorKind::Timeout);
+        assert_eq!(err.elapsed, net.config().default_timeout);
+    }
+
+    #[test]
+    fn blackhole_policy_times_out_with_rule() {
+        let (mut net, client, server) = echo_net(4);
+        net.policies_mut().push(
+            PolicyRule::new("censor", PathDecision::Blackhole).to_dst(DstMatch::Ip(server)),
+        );
+        let err = net.connect(client, server, 7).unwrap_err();
+        assert_eq!(err.kind, ConnectErrorKind::Timeout);
+        assert_eq!(err.rule.as_deref(), Some("censor"));
+    }
+
+    #[test]
+    fn reset_policy_fails_fast() {
+        let (mut net, client, server) = echo_net(5);
+        net.policies_mut().push(
+            PolicyRule::new("filter-53", PathDecision::Reset)
+                .on_port(PortMatch::One(7))
+                .from_src(SrcMatch::Country(CountryCode::new("DE"))),
+        );
+        let err = net.connect(client, server, 7).unwrap_err();
+        assert_eq!(err.kind, ConnectErrorKind::Reset);
+        assert!(err.elapsed < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn divert_policy_reaches_other_host() {
+        let (mut net, client, server) = echo_net(6);
+        let squatter = ip("10.255.0.1");
+        net.add_host(HostMeta::new(squatter).label("modem"));
+        net.bind_tcp(
+            squatter,
+            7,
+            Rc::new(FnStreamService::new(
+                |_ctx, peer: PeerInfo, _data: &[u8]| {
+                    assert!(peer.diverted);
+                    b"modem says hi".to_vec()
+                },
+                "squat",
+            )),
+        );
+        net.policies_mut().push(
+            PolicyRule::new("squat", PathDecision::DivertTo(squatter))
+                .to_dst(DstMatch::Ip(server)),
+        );
+        let mut conn = net.connect(client, server, 7).unwrap();
+        assert_eq!(conn.original_dst(), server);
+        assert_eq!(conn.effective_dst(), squatter);
+        assert_eq!(conn.diverted_rule(), Some("squat"));
+        let resp = conn.request(&mut net, b"x").unwrap();
+        assert_eq!(resp, b"modem says hi");
+    }
+
+    #[test]
+    fn udp_echo_and_unreachable() {
+        let (mut net, client, server) = echo_net(7);
+        let reply = net.udp_query(client, server, 7, b"ping", None).unwrap();
+        assert_eq!(reply.bytes, b"ping");
+        assert!(reply.elapsed > SimDuration::ZERO);
+        let err = net.udp_query(client, server, 9999, b"ping", None).unwrap_err();
+        assert!(matches!(err, UdpError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn syn_probe_classifies() {
+        let (mut net, client, server) = echo_net(8);
+        let (open, _) = net.syn_probe(client, server, 7);
+        assert_eq!(open, ProbeOutcome::Open);
+        let (closed, _) = net.syn_probe(client, server, 80);
+        assert_eq!(closed, ProbeOutcome::Closed);
+        let (filtered, dt) = net.syn_probe(client, ip("203.0.113.50"), 7);
+        assert_eq!(filtered, ProbeOutcome::Filtered);
+        assert_eq!(dt, net.config().probe_timeout);
+    }
+
+    #[test]
+    fn take_elapsed_resets_clock() {
+        let (mut net, client, server) = echo_net(9);
+        let mut conn = net.connect(client, server, 7).unwrap();
+        let handshake = conn.take_elapsed();
+        assert!(handshake > SimDuration::ZERO);
+        assert_eq!(conn.elapsed(), SimDuration::ZERO);
+        conn.request(&mut net, b"q").unwrap();
+        let query_time = conn.take_elapsed();
+        assert!(query_time > SimDuration::ZERO);
+        assert!(query_time < handshake * 10);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_latencies() {
+        let run = |seed| {
+            let (mut net, client, server) = echo_net(seed);
+            let mut conn = net.connect(client, server, 7).unwrap();
+            conn.request(&mut net, b"abc").unwrap();
+            conn.elapsed()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12), "different seeds should differ");
+    }
+
+    #[test]
+    fn handler_can_call_upstream_and_time_propagates() {
+        let (mut net, client, server) = echo_net(10);
+        // A proxy host that forwards requests to the echo server over UDP.
+        let proxy = ip("192.0.2.200");
+        net.add_host(HostMeta::new(proxy).country("NL").asn(64502).label("proxy"));
+        let upstream = server;
+        net.bind_tcp(
+            proxy,
+            80,
+            Rc::new(FnStreamService::new(
+                move |ctx: &mut ServiceCtx<'_>, _peer, data: &[u8]| {
+                    let local = ctx.local_addr();
+                    match ctx.network().udp_query(local, upstream, 7, data, None) {
+                        Ok(reply) => {
+                            ctx.charge(reply.elapsed);
+                            reply.bytes
+                        }
+                        Err(e) => {
+                            ctx.charge(e.elapsed());
+                            b"upstream failed".to_vec()
+                        }
+                    }
+                },
+                "proxy",
+            )),
+        );
+        // Direct query to server vs. via proxy: the proxied path must cost
+        // strictly more (it embeds the proxy→server RTT).
+        let direct = net.udp_query(client, server, 7, b"payload", None).unwrap();
+        let mut conn = net.connect(client, proxy, 80).unwrap();
+        conn.take_elapsed(); // discard handshake
+        let resp = conn.request(&mut net, b"payload").unwrap();
+        assert_eq!(resp, b"payload");
+        let proxied = conn.take_elapsed();
+        assert!(
+            proxied > direct.elapsed / 2,
+            "proxied {proxied} vs direct {}",
+            direct.elapsed
+        );
+    }
+
+    #[test]
+    fn trace_records_events() {
+        let (mut net, client, server) = echo_net(13);
+        let mut conn = net.connect(client, server, 7).unwrap();
+        conn.request(&mut net, b"x").unwrap();
+        let kinds: Vec<_> = net.log.events().iter().map(|e| &e.kind).collect();
+        assert!(matches!(kinds[0], EventKind::TcpConnect));
+        assert!(matches!(kinds[1], EventKind::Exchange { tx: 1, .. }));
+    }
+
+    #[test]
+    fn attribution_prefers_host_then_geodb() {
+        let (mut net, _client, server) = echo_net(14);
+        let (cc, asn, _) = net.attribution(server);
+        assert_eq!(cc.as_str(), "US");
+        assert_eq!(asn, Asn(64500));
+        // Unregistered address attributed via geodb.
+        net.geodb_mut().insert(
+            crate::geo::Netblock::new(ip("41.0.0.0"), 8),
+            crate::geo::BlockInfo {
+                asn: Asn(37000),
+                country: CountryCode::new("ZA"),
+                region: Region::Africa,
+            },
+        );
+        let (cc, asn, region) = net.attribution(ip("41.7.7.7"));
+        assert_eq!(cc.as_str(), "ZA");
+        assert_eq!(asn, Asn(37000));
+        assert_eq!(region, Region::Africa);
+    }
+
+    #[test]
+    fn remove_host_kills_service() {
+        let (mut net, client, server) = echo_net(15);
+        assert!(net.remove_host(server));
+        let err = net.connect(client, server, 7).unwrap_err();
+        assert_eq!(err.kind, ConnectErrorKind::Timeout);
+    }
+}

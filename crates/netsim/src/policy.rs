@@ -1,0 +1,380 @@
+//! Path policies: the in-path devices and filters that the reachability
+//! study attributes failures to (§4.2 of the paper).
+//!
+//! A [`PolicySet`] is an ordered rule list; the first rule whose matchers
+//! accept a `(src, dst, port, proto)` tuple decides the path's fate:
+//!
+//! * [`PathDecision::Blackhole`] — silent drop: addresses used for internal
+//!   routing, or censored destinations dropped without signalling.
+//! * [`PathDecision::Reset`] — active refusal/injected RST: port-53
+//!   filtering appliances and GFW-style connection resets.
+//! * [`PathDecision::DivertTo`] — the connection terminates at a different
+//!   host: IP-conflict squatters (routers/modems occupying 1.1.1.1) and
+//!   TLS-interception middleboxes (which then proxy upstream themselves).
+//! * [`PathDecision::Allow`] — hands-off.
+
+use crate::geo::{Asn, CountryCode, Netblock};
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// Transport selector for rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProtoMatch {
+    /// Either transport.
+    Any,
+    /// TCP only.
+    Tcp,
+    /// UDP only.
+    Udp,
+}
+
+/// Matches the connection's source (the client side).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SrcMatch {
+    /// Every source.
+    Any,
+    /// Sources in a given country.
+    Country(CountryCode),
+    /// Sources in a given AS.
+    As(Asn),
+    /// Sources inside a prefix.
+    Block(Netblock),
+    /// Sources inside any of the prefixes.
+    Blocks(Vec<Netblock>),
+}
+
+impl SrcMatch {
+    /// Does a source with these attributes match?
+    pub fn matches(&self, ip: Ipv4Addr, country: CountryCode, asn: Asn) -> bool {
+        match self {
+            SrcMatch::Any => true,
+            SrcMatch::Country(c) => *c == country,
+            SrcMatch::As(a) => *a == asn,
+            SrcMatch::Block(b) => b.contains(ip),
+            SrcMatch::Blocks(bs) => bs.iter().any(|b| b.contains(ip)),
+        }
+    }
+}
+
+/// Matches the dialled destination address.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DstMatch {
+    /// Every destination.
+    Any,
+    /// A single address.
+    Ip(Ipv4Addr),
+    /// Any of a set of addresses.
+    Ips(Vec<Ipv4Addr>),
+    /// Destinations inside a prefix.
+    Block(Netblock),
+}
+
+impl DstMatch {
+    /// Does the dialled destination match?
+    pub fn matches(&self, ip: Ipv4Addr) -> bool {
+        match self {
+            DstMatch::Any => true,
+            DstMatch::Ip(a) => *a == ip,
+            DstMatch::Ips(set) => set.contains(&ip),
+            DstMatch::Block(b) => b.contains(ip),
+        }
+    }
+}
+
+/// Matches the dialled destination port.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PortMatch {
+    /// Every port.
+    Any,
+    /// A single port.
+    One(u16),
+    /// Any of a set of ports.
+    Set(Vec<u16>),
+}
+
+impl PortMatch {
+    /// Does the dialled port match?
+    pub fn matches(&self, port: u16) -> bool {
+        match self {
+            PortMatch::Any => true,
+            PortMatch::One(p) => *p == port,
+            PortMatch::Set(ps) => ps.contains(&port),
+        }
+    }
+}
+
+/// What happens to a matched path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PathDecision {
+    /// Continue normally.
+    Allow,
+    /// Silently drop everything: the client times out.
+    Blackhole,
+    /// Inject a reset: the client sees "connection refused/reset" after
+    /// one round trip.
+    Reset,
+    /// Terminate the connection at this other host instead. The service
+    /// there sees `PeerInfo::diverted = true` and the original destination.
+    DivertTo(Ipv4Addr),
+}
+
+/// One ordered rule.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PolicyRule {
+    /// Reporting name ("GFW Google-DoH block", "AS27699 modem squat", ...).
+    pub name: String,
+    /// Source matcher.
+    pub src: SrcMatch,
+    /// Destination matcher.
+    pub dst: DstMatch,
+    /// Port matcher.
+    pub port: PortMatch,
+    /// Transport matcher.
+    pub proto: ProtoMatch,
+    /// Decision applied on match.
+    pub decision: PathDecision,
+}
+
+impl PolicyRule {
+    /// A rule matching everything, allowing it; chain builders to narrow.
+    pub fn new(name: &str, decision: PathDecision) -> Self {
+        PolicyRule {
+            name: name.to_string(),
+            src: SrcMatch::Any,
+            dst: DstMatch::Any,
+            port: PortMatch::Any,
+            proto: ProtoMatch::Any,
+            decision,
+        }
+    }
+
+    /// Restrict the source.
+    pub fn from_src(mut self, src: SrcMatch) -> Self {
+        self.src = src;
+        self
+    }
+
+    /// Restrict the destination.
+    pub fn to_dst(mut self, dst: DstMatch) -> Self {
+        self.dst = dst;
+        self
+    }
+
+    /// Restrict the port.
+    pub fn on_port(mut self, port: PortMatch) -> Self {
+        self.port = port;
+        self
+    }
+
+    /// Restrict the transport.
+    pub fn over(mut self, proto: ProtoMatch) -> Self {
+        self.proto = proto;
+        self
+    }
+}
+
+/// Whether a rule's transport matcher accepts a concrete transport.
+fn proto_ok(rule: ProtoMatch, is_tcp: bool) -> bool {
+    matches!(
+        (rule, is_tcp),
+        (ProtoMatch::Any, _) | (ProtoMatch::Tcp, true) | (ProtoMatch::Udp, false)
+    )
+}
+
+/// Ordered set of rules; first match wins.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PolicySet {
+    rules: Vec<PolicyRule>,
+}
+
+impl PolicySet {
+    /// Empty (allow-everything) set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a rule (evaluated after all existing rules).
+    pub fn push(&mut self, rule: PolicyRule) {
+        self.rules.push(rule);
+    }
+
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True if no rules are installed.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Iterate the rules in evaluation order.
+    pub fn iter(&self) -> impl Iterator<Item = &PolicyRule> {
+        self.rules.iter()
+    }
+
+    /// Evaluate a path; returns the decision and the matching rule's name.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate(
+        &self,
+        src_ip: Ipv4Addr,
+        src_country: CountryCode,
+        src_asn: Asn,
+        dst_ip: Ipv4Addr,
+        port: u16,
+        is_tcp: bool,
+    ) -> (PathDecision, Option<&str>) {
+        for rule in &self.rules {
+            if proto_ok(rule.proto, is_tcp)
+                && rule.port.matches(port)
+                && rule.dst.matches(dst_ip)
+                && rule.src.matches(src_ip, src_country, src_asn)
+            {
+                return (rule.decision, Some(rule.name.as_str()));
+            }
+        }
+        (PathDecision::Allow, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc(s: &str) -> CountryCode {
+        CountryCode::new(s)
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut set = PolicySet::new();
+        set.push(
+            PolicyRule::new("block-53", PathDecision::Reset)
+                .on_port(PortMatch::One(53))
+                .from_src(SrcMatch::Country(cc("ID"))),
+        );
+        set.push(PolicyRule::new("allow-all", PathDecision::Allow));
+        let (d, name) = set.evaluate(
+            "10.0.0.1".parse().unwrap(),
+            cc("ID"),
+            Asn(1),
+            "1.1.1.1".parse().unwrap(),
+            53,
+            false,
+        );
+        assert_eq!(d, PathDecision::Reset);
+        assert_eq!(name, Some("block-53"));
+        // Same client, port 853: falls through to allow-all.
+        let (d, name) = set.evaluate(
+            "10.0.0.1".parse().unwrap(),
+            cc("ID"),
+            Asn(1),
+            "1.1.1.1".parse().unwrap(),
+            853,
+            true,
+        );
+        assert_eq!(d, PathDecision::Allow);
+        assert_eq!(name, Some("allow-all"));
+    }
+
+    #[test]
+    fn empty_set_allows() {
+        let set = PolicySet::new();
+        let (d, name) = set.evaluate(
+            "10.0.0.1".parse().unwrap(),
+            cc("US"),
+            Asn(1),
+            "8.8.8.8".parse().unwrap(),
+            443,
+            true,
+        );
+        assert_eq!(d, PathDecision::Allow);
+        assert!(name.is_none());
+    }
+
+    #[test]
+    fn censorship_rule_matches_country_and_dst_set() {
+        let google_doh: Vec<Ipv4Addr> = vec!["216.58.192.10".parse().unwrap()];
+        let mut set = PolicySet::new();
+        set.push(
+            PolicyRule::new("gfw", PathDecision::Blackhole)
+                .from_src(SrcMatch::Country(cc("CN")))
+                .to_dst(DstMatch::Ips(google_doh.clone())),
+        );
+        let (d, _) = set.evaluate(
+            "59.0.0.1".parse().unwrap(),
+            cc("CN"),
+            Asn(4134),
+            google_doh[0],
+            443,
+            true,
+        );
+        assert_eq!(d, PathDecision::Blackhole);
+        // Same dst from the US: allowed.
+        let (d, _) = set.evaluate(
+            "99.0.0.1".parse().unwrap(),
+            cc("US"),
+            Asn(7018),
+            google_doh[0],
+            443,
+            true,
+        );
+        assert_eq!(d, PathDecision::Allow);
+    }
+
+    #[test]
+    fn divert_rule_for_conflict_squatter() {
+        let modem: Ipv4Addr = "10.255.0.1".parse().unwrap();
+        let mut set = PolicySet::new();
+        set.push(
+            PolicyRule::new("modem-squat", PathDecision::DivertTo(modem))
+                .from_src(SrcMatch::As(Asn(27699)))
+                .to_dst(DstMatch::Ip("1.1.1.1".parse().unwrap())),
+        );
+        let (d, _) = set.evaluate(
+            "177.0.0.9".parse().unwrap(),
+            cc("BR"),
+            Asn(27699),
+            "1.1.1.1".parse().unwrap(),
+            853,
+            true,
+        );
+        assert_eq!(d, PathDecision::DivertTo(modem));
+        // Different AS in the same country: unaffected.
+        let (d, _) = set.evaluate(
+            "177.0.0.9".parse().unwrap(),
+            cc("BR"),
+            Asn(1),
+            "1.1.1.1".parse().unwrap(),
+            853,
+            true,
+        );
+        assert_eq!(d, PathDecision::Allow);
+    }
+
+    #[test]
+    fn proto_and_block_matchers() {
+        let mut set = PolicySet::new();
+        set.push(
+            PolicyRule::new("udp-only", PathDecision::Blackhole)
+                .over(ProtoMatch::Udp)
+                .from_src(SrcMatch::Block(Netblock::new("10.1.0.0".parse().unwrap(), 16))),
+        );
+        let inside: Ipv4Addr = "10.1.2.3".parse().unwrap();
+        let (d, _) = set.evaluate(inside, cc("US"), Asn(1), "9.9.9.9".parse().unwrap(), 53, false);
+        assert_eq!(d, PathDecision::Blackhole);
+        let (d, _) = set.evaluate(inside, cc("US"), Asn(1), "9.9.9.9".parse().unwrap(), 53, true);
+        assert_eq!(d, PathDecision::Allow);
+        let outside: Ipv4Addr = "10.2.2.3".parse().unwrap();
+        let (d, _) = set.evaluate(outside, cc("US"), Asn(1), "9.9.9.9".parse().unwrap(), 53, false);
+        assert_eq!(d, PathDecision::Allow);
+    }
+
+    #[test]
+    fn port_set_matcher() {
+        let m = PortMatch::Set(vec![443, 853]);
+        assert!(m.matches(443));
+        assert!(m.matches(853));
+        assert!(!m.matches(53));
+    }
+}

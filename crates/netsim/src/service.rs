@@ -1,0 +1,200 @@
+//! Service traits: how bytes arriving at a host's port are answered.
+//!
+//! A [`Service`] is bound to a `(host, port)` pair. For TCP it acts as a
+//! factory: each accepted connection gets its own [`StreamHandler`] state
+//! machine (TLS handshakes, HTTP keep-alive and DNS framing all need
+//! per-connection state). For UDP, a [`DatagramService`] answers one
+//! datagram at a time.
+//!
+//! Handlers receive a [`ServiceCtx`] that (a) lets them make *upstream*
+//! calls through the same network — recursive resolvers forwarding to
+//! authoritative servers, DoH front-ends forwarding to Do53 back-ends, MITM
+//! proxies dialling the genuine resolver — and (b) accumulates the virtual
+//! time those upstream exchanges and any artificial processing delays cost,
+//! so the client's observed latency includes them.
+
+use crate::host::PeerInfo;
+use crate::net::Network;
+use crate::time::SimDuration;
+
+/// Per-connection byte-stream state machine (TCP side).
+pub trait StreamHandler {
+    /// Handle a flight of client bytes; return the server's response bytes
+    /// for the same round trip (may be empty if the handler needs more
+    /// data before it can respond).
+    fn on_bytes(&mut self, ctx: &mut ServiceCtx<'_>, data: &[u8]) -> Vec<u8>;
+
+    /// Called when the client closes the connection.
+    fn on_close(&mut self, _ctx: &mut ServiceCtx<'_>) {}
+}
+
+/// A TCP service: accepts connections and creates per-connection handlers.
+pub trait Service {
+    /// Accept a connection, producing its handler.
+    fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler>;
+
+    /// A short protocol label for traces ("dot", "doh", "http", ...).
+    fn protocol(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+/// A UDP service: answers individual datagrams.
+pub trait DatagramService {
+    /// Answer one datagram; `None` models a silent drop.
+    fn on_datagram(&self, ctx: &mut ServiceCtx<'_>, peer: PeerInfo, data: &[u8]) -> Option<Vec<u8>>;
+
+    /// A short protocol label for traces.
+    fn protocol(&self) -> &'static str {
+        "udp"
+    }
+}
+
+/// Context available to a handler while it processes one flight.
+pub struct ServiceCtx<'a> {
+    net: &'a mut Network,
+    /// Address of the host the service runs on (source for upstream calls).
+    local: std::net::Ipv4Addr,
+    /// Time spent by the handler beyond the client↔server round trip:
+    /// upstream exchanges plus explicit processing delays.
+    extra: SimDuration,
+    depth: u8,
+}
+
+/// Upstream handler recursion limit — generous for legitimate chains
+/// (client → MITM → resolver → authoritative is depth 3) while bounding
+/// accidental forwarding loops.
+pub(crate) const MAX_HANDLER_DEPTH: u8 = 8;
+
+impl<'a> ServiceCtx<'a> {
+    pub(crate) fn new(net: &'a mut Network, local: std::net::Ipv4Addr, depth: u8) -> Self {
+        ServiceCtx {
+            net,
+            local,
+            extra: SimDuration::ZERO,
+            depth,
+        }
+    }
+
+    /// The address the service is answering from.
+    pub fn local_addr(&self) -> std::net::Ipv4Addr {
+        self.local
+    }
+
+    /// Mutable access to the network, for upstream connections.
+    ///
+    /// Time spent on upstream exchanges must be charged via
+    /// [`ServiceCtx::charge`]; the convenience wrappers on [`crate::Conn`]
+    /// and [`Network::udp_query`] return elapsed durations for exactly this
+    /// purpose.
+    pub fn network(&mut self) -> &mut Network {
+        self.net
+    }
+
+    /// Depth of nested handler invocations (0 for a direct client call).
+    pub fn depth(&self) -> u8 {
+        self.depth
+    }
+
+    /// Charge upstream/processing time to the calling client's clock.
+    pub fn charge(&mut self, d: SimDuration) {
+        self.extra += d;
+    }
+
+    /// Add an artificial processing delay (e.g. Quad9 DoH's 2-second
+    /// forwarding timeout before giving up with SERVFAIL).
+    pub fn add_processing_delay(&mut self, d: SimDuration) {
+        self.extra += d;
+    }
+
+    pub(crate) fn extra(&self) -> SimDuration {
+        self.extra
+    }
+}
+
+/// Adapter: build a [`DatagramService`] from a closure.
+pub struct FnDatagramService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>>,
+{
+    f: F,
+    label: &'static str,
+}
+
+impl<F> FnDatagramService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>>,
+{
+    /// Wrap a closure as a datagram service.
+    pub fn new(f: F) -> Self {
+        FnDatagramService { f, label: "udp" }
+    }
+
+    /// Wrap with an explicit protocol label.
+    pub fn labeled(f: F, label: &'static str) -> Self {
+        FnDatagramService { f, label }
+    }
+}
+
+impl<F> DatagramService for FnDatagramService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>>,
+{
+    fn on_datagram(&self, ctx: &mut ServiceCtx<'_>, peer: PeerInfo, data: &[u8]) -> Option<Vec<u8>> {
+        (self.f)(ctx, peer, data)
+    }
+
+    fn protocol(&self) -> &'static str {
+        self.label
+    }
+}
+
+/// Adapter: a TCP service whose every connection is handled by a closure
+/// over `(ctx, flight) -> response`, with no per-connection state.
+pub struct FnStreamService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + 'static,
+{
+    f: F,
+    label: &'static str,
+}
+
+impl<F> FnStreamService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + 'static,
+{
+    /// Wrap a closure as a stateless stream service.
+    pub fn new(f: F, label: &'static str) -> Self {
+        FnStreamService { f, label }
+    }
+}
+
+struct FnStreamHandler<F> {
+    f: F,
+    peer: PeerInfo,
+}
+
+impl<F> StreamHandler for FnStreamHandler<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8>,
+{
+    fn on_bytes(&mut self, ctx: &mut ServiceCtx<'_>, data: &[u8]) -> Vec<u8> {
+        (self.f)(ctx, self.peer, data)
+    }
+}
+
+impl<F> Service for FnStreamService<F>
+where
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + 'static,
+{
+    fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler> {
+        Box::new(FnStreamHandler {
+            f: self.f.clone(),
+            peer,
+        })
+    }
+
+    fn protocol(&self) -> &'static str {
+        self.label
+    }
+}

@@ -1,0 +1,161 @@
+//! Optional event tracing — the simulator's tcpdump.
+//!
+//! Disabled by default (measurement campaigns make millions of exchanges);
+//! tests and the example binaries enable it to explain what a path did.
+
+use crate::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+
+/// What happened on a path.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// TCP connection established.
+    TcpConnect,
+    /// TCP connection attempt refused or reset.
+    TcpReset {
+        /// Name of the policy rule responsible, if any.
+        rule: Option<String>,
+    },
+    /// Connection attempt timed out (blackhole or dead address).
+    Timeout {
+        /// Name of the policy rule responsible, if any.
+        rule: Option<String>,
+    },
+    /// A request/response exchange completed.
+    Exchange {
+        /// Bytes sent by the client.
+        tx: usize,
+        /// Bytes returned by the server.
+        rx: usize,
+    },
+    /// A UDP datagram was answered.
+    UdpExchange {
+        /// Bytes sent.
+        tx: usize,
+        /// Bytes returned.
+        rx: usize,
+    },
+    /// A UDP datagram got no answer.
+    UdpDrop {
+        /// Name of the policy rule responsible, if any.
+        rule: Option<String>,
+    },
+    /// The path was diverted to another host by a policy rule.
+    Diverted {
+        /// Where the connection actually terminated.
+        actual: Ipv4Addr,
+        /// Name of the responsible rule.
+        rule: String,
+    },
+}
+
+/// One trace entry.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetEvent {
+    /// Client address.
+    pub src: Ipv4Addr,
+    /// Dialled destination address.
+    pub dst: Ipv4Addr,
+    /// Dialled destination port.
+    pub port: u16,
+    /// Virtual time the event cost.
+    pub elapsed: SimDuration,
+    /// The event.
+    pub kind: EventKind,
+}
+
+/// A bounded in-memory event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    enabled: bool,
+    events: Vec<NetEvent>,
+    cap: usize,
+}
+
+impl EventLog {
+    /// A disabled log (records nothing).
+    pub fn disabled() -> Self {
+        EventLog {
+            enabled: false,
+            events: Vec::new(),
+            cap: 0,
+        }
+    }
+
+    /// An enabled log keeping at most `cap` events (oldest dropped).
+    pub fn with_capacity(cap: usize) -> Self {
+        EventLog {
+            enabled: true,
+            events: Vec::new(),
+            cap,
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event (no-op when disabled).
+    pub fn record(&mut self, event: NetEvent) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() == self.cap && self.cap > 0 {
+            self.events.remove(0);
+        }
+        self.events.push(event);
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[NetEvent] {
+        &self.events
+    }
+
+    /// Drop all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(port: u16) -> NetEvent {
+        NetEvent {
+            src: "10.0.0.1".parse().unwrap(),
+            dst: "1.1.1.1".parse().unwrap(),
+            port,
+            elapsed: SimDuration::from_millis(1),
+            kind: EventKind::TcpConnect,
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = EventLog::disabled();
+        log.record(ev(853));
+        assert!(log.events().is_empty());
+        assert!(!log.is_enabled());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut log = EventLog::with_capacity(2);
+        log.record(ev(1));
+        log.record(ev(2));
+        log.record(ev(3));
+        let ports: Vec<u16> = log.events().iter().map(|e| e.port).collect();
+        assert_eq!(ports, vec![2, 3]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut log = EventLog::with_capacity(8);
+        log.record(ev(1));
+        log.clear();
+        assert!(log.events().is_empty());
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests for the simulator's data structures and
+//! invariants.
+
+use netsim::time::{mean, median};
+use netsim::{
+    DstMatch, HostMeta, Netblock, Network, NetworkConfig, PathDecision, PolicyRule, PolicySet,
+    PortMatch, SimDuration, SrcMatch,
+};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #[test]
+    fn netblock_contains_its_own_addresses(raw in any::<u32>(), len in 8u8..=30, i in any::<u64>()) {
+        let block = Netblock::new(Ipv4Addr::from(raw), len);
+        let addr = block.addr(i);
+        prop_assert!(block.contains(addr));
+    }
+
+    #[test]
+    fn netblock_indexing_is_bijective_mod_size(raw in any::<u32>(), len in 24u8..=30) {
+        let block = Netblock::new(Ipv4Addr::from(raw), len);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..block.size() {
+            prop_assert!(seen.insert(block.addr(i)), "duplicate at {i}");
+        }
+        prop_assert_eq!(block.addr(block.size()), block.addr(0));
+    }
+
+    #[test]
+    fn median_between_min_and_max(samples in proptest::collection::vec(0u64..1_000_000, 1..64)) {
+        let mut ds: Vec<SimDuration> = samples.iter().map(|&s| SimDuration::from_micros(s)).collect();
+        let med = median(&mut ds);
+        let min = *samples.iter().min().unwrap();
+        let max = *samples.iter().max().unwrap();
+        prop_assert!(med.as_micros() >= min && med.as_micros() <= max);
+        let avg = mean(&ds);
+        prop_assert!(avg.as_micros() >= min && avg.as_micros() <= max);
+    }
+
+    #[test]
+    fn duration_arithmetic_never_goes_negative(a in any::<u32>(), b in any::<u32>()) {
+        let x = SimDuration::from_micros(a as u64);
+        let y = SimDuration::from_micros(b as u64);
+        let diff = x - y;
+        prop_assert!(diff.as_micros() <= a as u64);
+        prop_assert_eq!((x + y).as_micros(), a as u64 + b as u64);
+    }
+
+    #[test]
+    fn first_matching_rule_wins(port in any::<u16>(), dst in any::<u32>()) {
+        let dst = Ipv4Addr::from(dst);
+        let mut set = PolicySet::new();
+        set.push(PolicyRule::new("first", PathDecision::Reset).on_port(PortMatch::One(port)));
+        set.push(PolicyRule::new("second", PathDecision::Blackhole).on_port(PortMatch::One(port)));
+        let (decision, name) = set.evaluate(
+            Ipv4Addr::new(10, 0, 0, 1),
+            netsim::CountryCode::new("US"),
+            netsim::Asn(1),
+            dst,
+            port,
+            true,
+        );
+        prop_assert_eq!(decision, PathDecision::Reset);
+        prop_assert_eq!(name, Some("first"));
+    }
+
+    #[test]
+    fn udp_echo_latency_is_positive_and_deterministic(seed in any::<u64>(), payload in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let run = |seed: u64, payload: &[u8]| {
+            let mut net = Network::new(NetworkConfig::default(), seed);
+            let server: Ipv4Addr = "192.0.2.1".parse().unwrap();
+            let client: Ipv4Addr = "198.51.100.1".parse().unwrap();
+            net.add_host(HostMeta::new(server));
+            net.add_host(HostMeta::new(client));
+            net.bind_udp(
+                server,
+                7,
+                std::rc::Rc::new(netsim::FnDatagramService::new(|_c, _p, d| Some(d.to_vec()))),
+            );
+            net.udp_query(client, server, 7, payload, None)
+        };
+        let a = run(seed, &payload);
+        let b = run(seed, &payload);
+        match (a, b) {
+            (Ok(x), Ok(y)) => {
+                prop_assert_eq!(&x.bytes, &payload);
+                prop_assert_eq!(x.elapsed, y.elapsed);
+                prop_assert!(x.elapsed > SimDuration::ZERO);
+            }
+            (Err(_), Err(_)) => {} // rare loss roll: must at least agree
+            _ => prop_assert!(false, "nondeterministic outcome"),
+        }
+    }
+
+    #[test]
+    fn divert_rules_never_fire_for_their_own_device(port in 1u16..65535) {
+        // The self-diversion guard: a device's own traffic to the squatted
+        // address is never diverted back to itself.
+        let mut net = Network::new(NetworkConfig::default(), 9);
+        let device: Ipv4Addr = "10.0.0.9".parse().unwrap();
+        let target: Ipv4Addr = "1.1.1.1".parse().unwrap();
+        net.add_host(HostMeta::new(device));
+        net.add_host(HostMeta::new(target));
+        net.bind_tcp(
+            target,
+            port,
+            std::rc::Rc::new(netsim::service::FnStreamService::new(
+                |_c, _p, d: &[u8]| d.to_vec(),
+                "echo",
+            )),
+        );
+        net.policies_mut().push(
+            PolicyRule::new("squat", PathDecision::DivertTo(device))
+                .to_dst(DstMatch::Ip(target))
+                .from_src(SrcMatch::Any),
+        );
+        let conn = net.connect(device, target, port).unwrap();
+        prop_assert_eq!(conn.effective_dst(), target);
+    }
+}

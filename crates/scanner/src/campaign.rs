@@ -1,0 +1,287 @@
+//! The ten-epoch longitudinal scanning campaign (§3.1): every 10 days from
+//! Feb 1 to May 1 2019, sweep the space, verify DoT, classify certificates.
+
+use crate::sweep::{syn_sweep, AddressSpace, SweepStats};
+use crate::verify::{verify_resolvers, DotObservation, VerifyOutcome};
+use netsim::Netblock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use tlssim::{CertStatus, DateStamp};
+use worldgen::World;
+
+/// Certificate-health histogram (Finding 1.2's buckets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CertBuckets {
+    /// Verifies against the trust store.
+    pub valid: usize,
+    /// Expired (or not yet valid).
+    pub expired: usize,
+    /// Self-signed.
+    pub self_signed: usize,
+    /// Broken/incomplete chain.
+    pub broken_chain: usize,
+    /// Signed by an untrusted CA.
+    pub untrusted_ca: usize,
+}
+
+impl CertBuckets {
+    /// Total invalid certificates.
+    pub fn invalid(&self) -> usize {
+        self.expired + self.self_signed + self.broken_chain + self.untrusted_ca
+    }
+}
+
+/// What one scan epoch found.
+#[derive(Debug, Clone)]
+pub struct EpochSummary {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Scan date.
+    pub date: DateStamp,
+    /// Raw SYN sweep counters (the paper's "2 to 3 million hosts with
+    /// port 853 open" corresponds to `stats.open`).
+    pub stats: SweepStats,
+    /// Verified open DoT resolvers.
+    pub open_resolvers: usize,
+    /// Open resolvers per country.
+    pub by_country: BTreeMap<String, usize>,
+    /// Open resolvers per provider key.
+    pub by_provider: BTreeMap<String, usize>,
+    /// Certificate buckets over open resolvers.
+    pub certs: CertBuckets,
+    /// Providers with at least one invalid certificate.
+    pub providers_with_invalid: usize,
+    /// Providers operating exactly one address.
+    pub single_address_providers: usize,
+    /// Open resolvers whose answers failed validation (dnsfilter-style).
+    pub wrong_answer_resolvers: Vec<Ipv4Addr>,
+    /// Open resolvers that appear in the public DoT list.
+    pub in_public_list: usize,
+    /// Full per-resolver observations.
+    pub observations: Vec<DotObservation>,
+}
+
+impl EpochSummary {
+    /// Provider count.
+    pub fn provider_count(&self) -> usize {
+        self.by_provider.len()
+    }
+
+    /// Share of addresses owned by the largest `n` providers.
+    pub fn top_provider_share(&self, n: usize) -> f64 {
+        let mut counts: Vec<usize> = self.by_provider.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top: usize = counts.iter().take(n).sum();
+        let total: usize = counts.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            top as f64 / total as f64
+        }
+    }
+}
+
+/// The whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// One summary per epoch, in order.
+    pub epochs: Vec<EpochSummary>,
+}
+
+impl CampaignReport {
+    /// Country growth between the first and last epoch, as
+    /// `(country, first, last, growth_percent)` sorted by first-epoch count
+    /// — Table 2's columns.
+    pub fn country_growth(&self) -> Vec<(String, usize, usize, f64)> {
+        let (Some(first), Some(last)) = (self.epochs.first(), self.epochs.last()) else {
+            return Vec::new();
+        };
+        let mut rows = Vec::new();
+        let countries: BTreeSet<&String> = first
+            .by_country
+            .keys()
+            .chain(last.by_country.keys())
+            .collect();
+        for cc in countries {
+            let a = first.by_country.get(cc).copied().unwrap_or(0);
+            let b = last.by_country.get(cc).copied().unwrap_or(0);
+            let growth = if a == 0 {
+                100.0 * b as f64
+            } else {
+                100.0 * (b as f64 - a as f64) / a as f64
+            };
+            rows.push((cc.clone(), a, b, growth));
+        }
+        rows.sort_by_key(|row| std::cmp::Reverse(row.1));
+        rows
+    }
+}
+
+/// The honest target space: every block the world routes servers in.
+pub fn full_space(world: &World) -> AddressSpace {
+    AddressSpace::new(world.scan_space.clone())
+}
+
+/// A whitelist-narrowed space for debug runs and unit tests: the /24s of
+/// the scan space that are actually populated (zmap's `-w` file). Release
+/// reproduction runs use [`full_space`].
+pub fn compact_space(world: &World) -> AddressSpace {
+    let mut blocks: BTreeSet<Netblock> = BTreeSet::new();
+    for ip in world.net.host_ips() {
+        if world.scan_space.iter().any(|b| b.contains(ip)) {
+            blocks.insert(Netblock::slash24(ip));
+        }
+    }
+    // Include every resolver that may come online in later epochs.
+    for r in &world.deployment.dot_resolvers {
+        blocks.insert(Netblock::slash24(r.addr));
+    }
+    AddressSpace::new(blocks.into_iter().collect())
+}
+
+/// Run one epoch's sweep + verification against the world's current state.
+pub fn scan_epoch(world: &mut World, space: &AddressSpace, epoch: usize, seed: u64) -> EpochSummary {
+    let date = world.epoch();
+    let sources = world.scanner_sources.clone();
+    let sweep = syn_sweep(&mut world.net, &sources, space, 853, seed ^ (epoch as u64) << 32);
+    let store = world.trust_store.clone();
+    let apex = world.probe.apex.to_string();
+    let apex = apex.trim_end_matches('.').to_string();
+    let expected = world.probe.expected_a;
+    let observations = verify_resolvers(
+        &mut world.net,
+        sources[0],
+        &sweep.open_addrs,
+        &apex,
+        expected,
+        &store,
+        date,
+        &format!("e{epoch}"),
+    );
+
+    let mut by_country: BTreeMap<String, usize> = BTreeMap::new();
+    let mut by_provider: BTreeMap<String, usize> = BTreeMap::new();
+    let mut provider_invalid: BTreeMap<String, bool> = BTreeMap::new();
+    let mut certs = CertBuckets::default();
+    let mut wrong_answer = Vec::new();
+    let mut in_public = 0usize;
+    let public: BTreeSet<Ipv4Addr> = world.deployment.public_dot_list.iter().copied().collect();
+
+    for obs in &observations {
+        if obs.outcome != VerifyOutcome::OpenResolver {
+            continue;
+        }
+        let (country, _asn, _region) = world.net.attribution(obs.addr);
+        *by_country.entry(country.as_str().to_string()).or_default() += 1;
+        if let Some(provider) = &obs.provider {
+            *by_provider.entry(provider.clone()).or_default() += 1;
+            let invalid = obs
+                .cert_status
+                .as_ref()
+                .map(|s| s.is_invalid())
+                .unwrap_or(false);
+            let entry = provider_invalid.entry(provider.clone()).or_default();
+            *entry = *entry || invalid;
+        }
+        match &obs.cert_status {
+            Some(CertStatus::Valid) => certs.valid += 1,
+            Some(CertStatus::Expired) => certs.expired += 1,
+            Some(CertStatus::SelfSigned) => certs.self_signed += 1,
+            Some(CertStatus::InvalidChain) => certs.broken_chain += 1,
+            Some(CertStatus::UntrustedCa { .. }) => certs.untrusted_ca += 1,
+            None => {}
+        }
+        if obs.answer_correct == Some(false) {
+            wrong_answer.push(obs.addr);
+        }
+        if public.contains(&obs.addr) {
+            in_public += 1;
+        }
+    }
+
+    EpochSummary {
+        epoch,
+        date,
+        stats: sweep.stats,
+        open_resolvers: observations.iter().filter(|o| o.is_open_resolver()).count(),
+        single_address_providers: by_provider.values().filter(|&&n| n == 1).count(),
+        providers_with_invalid: provider_invalid.values().filter(|&&v| v).count(),
+        by_country,
+        by_provider,
+        certs,
+        wrong_answer_resolvers: wrong_answer,
+        in_public_list: in_public,
+        observations,
+    }
+}
+
+/// Run the full campaign: `epochs` scans at the configured cadence.
+pub fn run_campaign(world: &mut World, space: &AddressSpace, epochs: usize, seed: u64) -> CampaignReport {
+    let mut summaries = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        let date = world.config.scan_date(epoch);
+        world.set_epoch(date);
+        summaries.push(scan_epoch(world, space, epoch, seed));
+    }
+    CampaignReport { epochs: summaries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worldgen::WorldConfig;
+
+    #[test]
+    fn two_epoch_campaign_recovers_ground_truth_shape() {
+        let mut world = World::build(WorldConfig::test_scale(7));
+        let space = compact_space(&world);
+        // First and last epoch only, to keep the test quick.
+        let first_date = world.config.scan_date(0);
+        world.set_epoch(first_date);
+        let feb = scan_epoch(&mut world, &space, 0, 1);
+        let truth_feb = world.online_dot_resolvers();
+        assert!(
+            (feb.open_resolvers as i64 - truth_feb as i64).abs() <= truth_feb as i64 / 20,
+            "measured {} vs truth {truth_feb}",
+            feb.open_resolvers
+        );
+
+        let last_date = world.config.scan_date(9);
+        world.set_epoch(last_date);
+        let may = scan_epoch(&mut world, &space, 9, 1);
+        let truth_may = world.online_dot_resolvers();
+        assert!(may.open_resolvers > feb.open_resolvers, "growth");
+        assert!(
+            (may.open_resolvers as i64 - truth_may as i64).abs() <= truth_may as i64 / 20,
+            "measured {} vs truth {truth_may}",
+            may.open_resolvers
+        );
+
+        // Table 2 shape: IE grows, CN collapses, US quadruples.
+        let ie_feb = feb.by_country.get("IE").copied().unwrap_or(0);
+        let ie_may = may.by_country.get("IE").copied().unwrap_or(0);
+        assert!(ie_may as f64 > 1.7 * ie_feb as f64, "IE {ie_feb} → {ie_may}");
+        let cn_feb = feb.by_country.get("CN").copied().unwrap_or(0);
+        let cn_may = may.by_country.get("CN").copied().unwrap_or(0);
+        assert!(cn_may * 4 < cn_feb, "CN {cn_feb} → {cn_may}");
+
+        // Finding 1.2: ~25% of providers hold an invalid certificate.
+        let frac = may.providers_with_invalid as f64 / may.provider_count() as f64;
+        assert!((0.15..0.40).contains(&frac), "invalid providers {frac}");
+        // Cert buckets in paper proportion.
+        assert!(may.certs.self_signed > may.certs.expired);
+        assert!(may.certs.invalid() > 100, "{:?}", may.certs);
+
+        // The long tail: most providers run one address; top providers
+        // dominate.
+        let singles = may.single_address_providers as f64 / may.provider_count() as f64;
+        assert!(singles > 0.5, "singles {singles}");
+        assert!(may.top_provider_share(5) > 0.6);
+
+        // dnsfilter-style wrong answers observed.
+        assert!(!may.wrong_answer_resolvers.is_empty());
+
+        // Far more resolvers than the public list advertises.
+        assert!(may.open_resolvers > may.in_public_list * 10);
+    }
+}

@@ -1,0 +1,129 @@
+//! Full-period random permutation of probe order.
+//!
+//! ZMap iterates a cyclic group so that (a) every address is visited
+//! exactly once and (b) consecutive probes land far apart, spreading load.
+//! We use a full-period power-of-two LCG with cycle walking: the LCG
+//! permutes `[0, 2^k)` for the smallest `2^k ≥ n`, and out-of-range values
+//! are skipped. By the Hull–Dobell theorem the LCG has full period when
+//! `c` is odd and `a ≡ 1 (mod 4)`, so the walk visits each of the `n`
+//! targets exactly once per cycle.
+
+/// A deterministic permutation of `[0, n)`.
+#[derive(Debug, Clone)]
+pub struct RandomPermutation {
+    n: u64,
+    modulus_mask: u64,
+    a: u64,
+    c: u64,
+    state: u64,
+    start: u64,
+    emitted: u64,
+}
+
+impl RandomPermutation {
+    /// Build a permutation of `[0, n)` seeded by `seed`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, seed: u64) -> Self {
+        assert!(n > 0, "empty permutation");
+        let k = 64 - (n - 1).leading_zeros() as u64;
+        let size = 1u64 << k.max(1);
+        let mask = size - 1;
+        // Derive multiplier/increment from the seed, forcing full-period
+        // conditions: a ≡ 1 (mod 4), c odd.
+        let a = ((seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1) & !2) & mask | 5;
+        let c = (seed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1) & mask;
+        let start = seed.wrapping_mul(0x94d0_49bb_1331_11eb) & mask;
+        RandomPermutation {
+            n,
+            modulus_mask: mask,
+            a: a & mask,
+            c,
+            state: start,
+            start,
+            emitted: 0,
+        }
+    }
+
+    /// Number of targets.
+    pub fn len(&self) -> u64 {
+        self.n
+    }
+
+    /// Always false (n > 0 enforced).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl Iterator for RandomPermutation {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.emitted == self.n {
+            return None;
+        }
+        loop {
+            let value = self.state;
+            self.state = self
+                .state
+                .wrapping_mul(self.a)
+                .wrapping_add(self.c)
+                & self.modulus_mask;
+            // Full period: returning to the start means the cycle is done,
+            // but emitted-count already guards termination.
+            if value < self.n {
+                self.emitted += 1;
+                return Some(value);
+            }
+            debug_assert!(
+                self.state != self.start || self.emitted == self.n,
+                "LCG cycled early"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn visits_every_index_exactly_once() {
+        for n in [1u64, 2, 3, 7, 100, 255, 256, 257, 10_000] {
+            let seen: HashSet<u64> = RandomPermutation::new(n, 42).collect();
+            assert_eq!(seen.len() as u64, n, "n={n}");
+            assert!(seen.iter().all(|&i| i < n));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a: Vec<u64> = RandomPermutation::new(1000, 1).collect();
+        let b: Vec<u64> = RandomPermutation::new(1000, 2).collect();
+        assert_ne!(a, b);
+        // Same seed is stable.
+        let c: Vec<u64> = RandomPermutation::new(1000, 1).collect();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn order_is_scattered_not_sequential() {
+        let order: Vec<u64> = RandomPermutation::new(4096, 7).take(64).collect();
+        let adjacent = order
+            .windows(2)
+            .filter(|w| w[1] == w[0] + 1 || w[0] == w[1] + 1)
+            .count();
+        assert!(adjacent < 5, "too sequential: {adjacent} adjacent pairs");
+    }
+
+    #[test]
+    fn large_space_terminates() {
+        // A /8-scale space iterates fully without hanging.
+        let n = 1u64 << 24;
+        let count = RandomPermutation::new(n, 3).count() as u64;
+        assert_eq!(count, n);
+    }
+}

@@ -1,0 +1,45 @@
+//! Provider grouping: "we group the DoT resolvers by Common Names in their
+//! SSL certificates ... if the Common Name is a domain name, we group them
+//! by Second-Level Domains" (§3.2, footnote 2).
+
+use dnswire::Name;
+
+/// Compute the grouping key for a certificate common name.
+pub fn provider_key(common_name: &str) -> String {
+    if let Ok(name) = Name::parse(common_name) {
+        if name.label_count() >= 2 {
+            if let Some(sld) = name.second_level_domain() {
+                return sld.to_string().trim_end_matches('.').to_string();
+            }
+        }
+    }
+    common_name.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_group_by_sld() {
+        assert_eq!(provider_key("dns.example.com"), "example.com");
+        assert_eq!(provider_key("a.b.c.example.org"), "example.org");
+        assert_eq!(provider_key("example.com"), "example.com");
+        // Wildcard CNs group with their domain.
+        assert_eq!(provider_key("*.cloudflare-dns.com"), "cloudflare-dns.com");
+    }
+
+    #[test]
+    fn device_names_group_verbatim() {
+        assert_eq!(provider_key("FGT60D3916800000"), "FGT60D3916800000");
+        assert_eq!(provider_key("my router"), "my router");
+    }
+
+    #[test]
+    fn same_provider_different_hosts_collapse() {
+        assert_eq!(
+            provider_key("one.cleanbrowsing.org"),
+            provider_key("two.cleanbrowsing.org")
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! The port-853 SYN sweep over a target address space.
+
+use crate::permutation::RandomPermutation;
+use netsim::{Netblock, Network, ProbeOutcome};
+use std::net::Ipv4Addr;
+
+/// A concatenation of netblocks addressable by index — the sweep target
+/// (`zmap`'s whitelist).
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    blocks: Vec<Netblock>,
+    // Cumulative sizes for index→address mapping.
+    offsets: Vec<u64>,
+    total: u64,
+}
+
+impl AddressSpace {
+    /// Build from blocks (order preserved; overlaps are the caller's
+    /// problem and merely waste probes).
+    pub fn new(blocks: Vec<Netblock>) -> Self {
+        let mut offsets = Vec::with_capacity(blocks.len());
+        let mut total = 0u64;
+        for b in &blocks {
+            offsets.push(total);
+            total += b.size();
+        }
+        AddressSpace {
+            blocks,
+            offsets,
+            total,
+        }
+    }
+
+    /// Number of addresses covered.
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// True if no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The `i`-th address.
+    ///
+    /// # Panics
+    /// Panics if `i >= len()`.
+    pub fn addr(&self, i: u64) -> Ipv4Addr {
+        let idx = match self.offsets.binary_search(&i) {
+            Ok(exact) => exact,
+            Err(ins) => ins - 1,
+        };
+        self.blocks[idx].addr(i - self.offsets[idx])
+    }
+}
+
+/// Sweep statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Addresses probed.
+    pub probed: u64,
+    /// SYN-ACKs received.
+    pub open: u64,
+    /// RSTs received.
+    pub closed: u64,
+    /// Silence.
+    pub filtered: u64,
+}
+
+/// The sweep's findings.
+#[derive(Debug, Clone)]
+pub struct SweepResult {
+    /// Addresses with the port open, in discovery order.
+    pub open_addrs: Vec<Ipv4Addr>,
+    /// Counters.
+    pub stats: SweepStats,
+}
+
+/// Run a SYN sweep of `port` over `space`, rotating probes across
+/// `sources` (the paper used three hosts on two clouds).
+pub fn syn_sweep(
+    net: &mut Network,
+    sources: &[Ipv4Addr],
+    space: &AddressSpace,
+    port: u16,
+    seed: u64,
+) -> SweepResult {
+    assert!(!sources.is_empty(), "need at least one probe source");
+    let mut stats = SweepStats::default();
+    let mut open_addrs = Vec::new();
+    for (i, index) in RandomPermutation::new(space.len(), seed).enumerate() {
+        let addr = space.addr(index);
+        let src = sources[i % sources.len()];
+        let (outcome, _elapsed) = net.syn_probe(src, addr, port);
+        stats.probed += 1;
+        match outcome {
+            ProbeOutcome::Open => {
+                stats.open += 1;
+                open_addrs.push(addr);
+            }
+            ProbeOutcome::Closed => stats.closed += 1,
+            ProbeOutcome::Filtered => stats.filtered += 1,
+        }
+    }
+    SweepResult { open_addrs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::service::FnStreamService;
+    use netsim::{HostMeta, NetworkConfig};
+    use std::rc::Rc;
+
+    fn block(s: &str, len: u8) -> Netblock {
+        Netblock::new(s.parse().unwrap(), len)
+    }
+
+    #[test]
+    fn address_space_indexing() {
+        let space = AddressSpace::new(vec![block("10.0.0.0", 30), block("192.168.1.0", 30)]);
+        assert_eq!(space.len(), 8);
+        assert_eq!(space.addr(0), "10.0.0.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(space.addr(3), "10.0.0.3".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(space.addr(4), "192.168.1.0".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(space.addr(7), "192.168.1.3".parse::<Ipv4Addr>().unwrap());
+    }
+
+    #[test]
+    fn sweep_finds_exactly_the_open_hosts() {
+        let mut net = Network::new(NetworkConfig::default(), 5);
+        let src: Ipv4Addr = "198.51.100.1".parse().unwrap();
+        net.add_host(HostMeta::new(src));
+        let space = AddressSpace::new(vec![block("10.7.0.0", 24)]);
+        // Three hosts: two with 853 open, one with only 80.
+        for (i, port) in [(10u64, 853u16), (20, 853), (30, 80)] {
+            let addr = space.addr(i);
+            net.add_host(HostMeta::new(addr));
+            net.bind_tcp(
+                addr,
+                port,
+                Rc::new(FnStreamService::new(|_c, _p, d: &[u8]| d.to_vec(), "echo")),
+            );
+        }
+        let result = syn_sweep(&mut net, &[src], &space, 853, 99);
+        assert_eq!(result.stats.probed, 256);
+        assert_eq!(result.stats.open, 2);
+        assert_eq!(result.stats.closed, 1); // the port-80 host RSTs on 853
+        assert_eq!(result.stats.filtered, 253);
+        let mut found = result.open_addrs.clone();
+        found.sort();
+        assert_eq!(found, vec![space.addr(10), space.addr(20)]);
+    }
+
+    #[test]
+    fn sweep_is_deterministic_per_seed() {
+        let build = || {
+            let mut net = Network::new(NetworkConfig::default(), 5);
+            let src: Ipv4Addr = "198.51.100.1".parse().unwrap();
+            net.add_host(HostMeta::new(src));
+            (net, src)
+        };
+        let space = AddressSpace::new(vec![block("10.9.0.0", 26)]);
+        let (mut n1, s1) = build();
+        let (mut n2, s2) = build();
+        let r1 = syn_sweep(&mut n1, &[s1], &space, 853, 7);
+        let r2 = syn_sweep(&mut n2, &[s2], &space, 853, 7);
+        assert_eq!(r1.stats, r2.stats);
+    }
+}

@@ -1,0 +1,240 @@
+//! Application-layer verification of port-853-open hosts: the getdns-style
+//! DoT probe, certificate collection and answer validation.
+
+use crate::provider::provider_key;
+use dnswire::{builder, Rcode, RecordType};
+use doe_protocols::dot::DotClient;
+use netsim::Network;
+use std::net::Ipv4Addr;
+use tlssim::{classify_chain, CertStatus, Certificate, DateStamp, TlsClientConfig, TrustStore};
+
+/// What the verification probe concluded about one open-853 host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyOutcome {
+    /// A genuine open DoT resolver: answered our query with NOERROR.
+    OpenResolver,
+    /// Spoke DoT but answered with an error RCODE (closed/refusing).
+    AnsweredError(Rcode),
+    /// TLS came up but the stream didn't behave like DNS.
+    NotDns,
+    /// TLS handshake failed (not a TLS service, or broken).
+    NotTls,
+    /// The connection died at the TCP layer despite the earlier SYN-ACK.
+    ConnectFailed,
+}
+
+/// Full observation for one host.
+#[derive(Debug, Clone)]
+pub struct DotObservation {
+    /// The probed address.
+    pub addr: Ipv4Addr,
+    /// Outcome class.
+    pub outcome: VerifyOutcome,
+    /// Presented certificate chain (when TLS completed).
+    pub chain: Vec<Certificate>,
+    /// Classification against the trust store (when TLS completed).
+    pub cert_status: Option<CertStatus>,
+    /// Provider grouping key from the leaf CN.
+    pub provider: Option<String>,
+    /// Whether the answer matched authoritative ground truth
+    /// (dnsfilter-style fixed answers fail this, §3.2).
+    pub answer_correct: Option<bool>,
+}
+
+impl DotObservation {
+    /// Whether this host counts as an open DoT resolver.
+    pub fn is_open_resolver(&self) -> bool {
+        self.outcome == VerifyOutcome::OpenResolver
+    }
+}
+
+/// Probe every open-853 address with a DoT query for a unique name under
+/// `probe_apex`; classify certificates against `store` as of `now`.
+///
+/// The scanner does not know resolver names, so no hostname verification
+/// is attempted (§3.2) — the TLS layer runs in no-verify mode and the
+/// chain is classified after the fact, openssl-style.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_resolvers(
+    net: &mut Network,
+    source: Ipv4Addr,
+    candidates: &[Ipv4Addr],
+    probe_apex: &str,
+    expected_a: Ipv4Addr,
+    store: &TrustStore,
+    now: DateStamp,
+    epoch_tag: &str,
+) -> Vec<DotObservation> {
+    let mut observations = Vec::with_capacity(candidates.len());
+    for (i, &addr) in candidates.iter().enumerate() {
+        let mut dot = DotClient::new(TlsClientConfig::no_verify(now));
+        let qname = format!("s{epoch_tag}x{i}.{probe_apex}");
+        let query = match builder::query((i % 65_536) as u16, &qname, RecordType::A) {
+            Ok(q) => q,
+            Err(_) => continue,
+        };
+        let observation = match dot.session(net, source, addr, None) {
+            Err(e) => DotObservation {
+                addr,
+                outcome: if matches!(e, doe_protocols::QueryError::Tls(tlssim::TlsError::Transport(_))) {
+                    VerifyOutcome::ConnectFailed
+                } else {
+                    VerifyOutcome::NotTls
+                },
+                chain: Vec::new(),
+                cert_status: None,
+                provider: None,
+                answer_correct: None,
+            },
+            Ok(mut session) => {
+                let chain = session.server_chain().to_vec();
+                let cert_status = Some(classify_chain(&chain, store, now));
+                let provider = chain.first().map(|leaf| provider_key(&leaf.subject_cn));
+                let (outcome, answer_correct) = match session.query(net, &query) {
+                    Ok(reply) if reply.message.rcode() == Rcode::NoError => {
+                        let got: Option<Ipv4Addr> =
+                            reply.message.answers.iter().find_map(|rr| match &rr.rdata {
+                                dnswire::RData::A(a) => Some(*a),
+                                _ => None,
+                            });
+                        let correct = got == Some(expected_a);
+                        (VerifyOutcome::OpenResolver, Some(correct))
+                    }
+                    Ok(reply) => (VerifyOutcome::AnsweredError(reply.message.rcode()), None),
+                    Err(doe_protocols::QueryError::Tls(_)) => (VerifyOutcome::NotTls, None),
+                    Err(_) => (VerifyOutcome::NotDns, None),
+                };
+                session.close(net);
+                DotObservation {
+                    addr,
+                    outcome,
+                    chain,
+                    cert_status,
+                    provider,
+                    answer_correct,
+                }
+            }
+        };
+        observations.push(observation);
+    }
+    observations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doe_protocols::responder::{AuthoritativeServer, RefusingResponder};
+    use doe_protocols::DotServerService;
+    use dnswire::zone::Zone;
+    use dnswire::{Name, RData};
+    use netsim::service::FnStreamService;
+    use netsim::{HostMeta, NetworkConfig};
+    use std::rc::Rc;
+    use tlssim::{CaHandle, KeyId, TlsServerConfig};
+
+    fn now() -> DateStamp {
+        DateStamp::from_ymd(2019, 2, 1)
+    }
+
+    struct Fixture {
+        net: Network,
+        src: Ipv4Addr,
+        store: TrustStore,
+        expected: Ipv4Addr,
+    }
+
+    fn fixture() -> Fixture {
+        let mut net = Network::new(NetworkConfig::default(), 17);
+        let src: Ipv4Addr = "198.51.100.10".parse().unwrap();
+        net.add_host(HostMeta::new(src));
+        let ca = CaHandle::new("Root CA", KeyId(1), now() + -365, 3650);
+        let mut store = TrustStore::new();
+        store.add(ca.authority());
+        let expected: Ipv4Addr = "203.0.113.99".parse().unwrap();
+
+        let apex = Name::parse("probe.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(&apex.prepend("*").unwrap(), 60, RData::A(expected));
+        let responder: Rc<dyn doe_protocols::DnsResponder> =
+            Rc::new(AuthoritativeServer::new(vec![zone]));
+
+        // Host A: proper resolver, valid cert.
+        let a: Ipv4Addr = "10.0.0.1".parse().unwrap();
+        net.add_host(HostMeta::new(a));
+        let leaf = ca.issue("dns.goodprov.net", vec![], KeyId(2), 1, now() + -10, now() + 300);
+        net.bind_tcp(
+            a,
+            853,
+            Rc::new(DotServerService::new(
+                TlsServerConfig::new(vec![leaf], KeyId(2)),
+                Rc::clone(&responder),
+            )),
+        );
+        // Host B: refusing resolver, self-signed cert.
+        let b: Ipv4Addr = "10.0.0.2".parse().unwrap();
+        net.add_host(HostMeta::new(b));
+        let ss = CaHandle::self_signed("FGT60D000", vec![], KeyId(3), 2, now() + -10, now() + 300);
+        net.bind_tcp(
+            b,
+            853,
+            Rc::new(DotServerService::new(
+                TlsServerConfig::new(vec![ss], KeyId(3)),
+                Rc::new(RefusingResponder),
+            )),
+        );
+        // Host C: 853 open but garbage.
+        let c: Ipv4Addr = "10.0.0.3".parse().unwrap();
+        net.add_host(HostMeta::new(c));
+        net.bind_tcp(
+            c,
+            853,
+            Rc::new(FnStreamService::new(
+                |_c, _p, _d: &[u8]| b"220 smtp ready\r\n".to_vec(),
+                "junk",
+            )),
+        );
+        Fixture {
+            net,
+            src,
+            store,
+            expected,
+        }
+    }
+
+    fn run(f: &mut Fixture, addrs: &[&str]) -> Vec<DotObservation> {
+        let candidates: Vec<Ipv4Addr> = addrs.iter().map(|s| s.parse().unwrap()).collect();
+        verify_resolvers(
+            &mut f.net,
+            f.src,
+            &candidates,
+            "probe.example",
+            f.expected,
+            &f.store.clone(),
+            now(),
+            "t",
+        )
+    }
+
+    #[test]
+    fn classifies_open_refusing_and_junk() {
+        let mut f = fixture();
+        let obs = run(&mut f, &["10.0.0.1", "10.0.0.2", "10.0.0.3"]);
+        assert_eq!(obs[0].outcome, VerifyOutcome::OpenResolver);
+        assert_eq!(obs[0].cert_status, Some(CertStatus::Valid));
+        assert_eq!(obs[0].provider.as_deref(), Some("goodprov.net"));
+        assert_eq!(obs[0].answer_correct, Some(true));
+        assert_eq!(obs[1].outcome, VerifyOutcome::AnsweredError(Rcode::Refused));
+        assert_eq!(obs[1].cert_status, Some(CertStatus::SelfSigned));
+        assert_eq!(obs[1].provider.as_deref(), Some("FGT60D000"));
+        assert!(!obs[1].is_open_resolver());
+        assert!(matches!(obs[2].outcome, VerifyOutcome::NotTls));
+    }
+
+    #[test]
+    fn dead_address_is_connect_failed() {
+        let mut f = fixture();
+        let obs = run(&mut f, &["10.0.9.9"]);
+        assert_eq!(obs[0].outcome, VerifyOutcome::ConnectFailed);
+        assert!(obs[0].cert_status.is_none());
+    }
+}

@@ -1,0 +1,244 @@
+//! TLS record framing and the simulated AEAD.
+//!
+//! Records are `[type:u8][len:u16][payload]`. Application-data payloads are
+//! "encrypted" with a keystream derived from the session key and sealed
+//! with an FNV integrity tag. This is emphatically **not** cryptography —
+//! the study never attacks the cipher — but it gives the simulation the two
+//! properties the measurements rely on: a party without the session key
+//! cannot read or forge application data, and tampering is detected.
+
+use crate::cert::fnv1a;
+use crate::error::TlsError;
+
+/// Record content types (mirroring TLS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContentType {
+    /// Handshake messages (clear in this simulation).
+    Handshake,
+    /// Encrypted application data.
+    ApplicationData,
+    /// Fatal alerts.
+    Alert,
+}
+
+impl ContentType {
+    fn to_u8(self) -> u8 {
+        match self {
+            ContentType::Alert => 21,
+            ContentType::Handshake => 22,
+            ContentType::ApplicationData => 23,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            21 => Some(ContentType::Alert),
+            22 => Some(ContentType::Handshake),
+            23 => Some(ContentType::ApplicationData),
+            _ => None,
+        }
+    }
+}
+
+/// One TLS record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Record {
+    /// Content type.
+    pub ctype: ContentType,
+    /// Raw payload (ciphertext for application data).
+    pub payload: Vec<u8>,
+}
+
+impl Record {
+    /// Serialise to wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(3 + self.payload.len());
+        out.push(self.ctype.to_u8());
+        out.extend_from_slice(&(self.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&self.payload);
+        out
+    }
+}
+
+/// Parse every record in a flight of bytes.
+pub fn decode_records(mut data: &[u8]) -> Result<Vec<Record>, TlsError> {
+    let mut records = Vec::new();
+    while !data.is_empty() {
+        if data.len() < 3 {
+            return Err(TlsError::ProtocolViolation("truncated record header".into()));
+        }
+        let ctype = ContentType::from_u8(data[0])
+            .ok_or_else(|| TlsError::ProtocolViolation(format!("content type {}", data[0])))?;
+        let len = u16::from_be_bytes([data[1], data[2]]) as usize;
+        let payload = data
+            .get(3..3 + len)
+            .ok_or_else(|| TlsError::ProtocolViolation("truncated record body".into()))?;
+        records.push(Record {
+            ctype,
+            payload: payload.to_vec(),
+        });
+        data = &data[3 + len..];
+    }
+    Ok(records)
+}
+
+/// Encode a flight of records.
+pub fn encode_records(records: &[Record]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for r in records {
+        out.extend_from_slice(&r.encode());
+    }
+    out
+}
+
+/// The simulated AEAD session key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionKey(pub u64);
+
+impl SessionKey {
+    /// Derive the full-handshake session key.
+    pub fn derive(client_random: u64, server_random: u64, server_key: u64) -> Self {
+        let mut buf = Vec::with_capacity(24);
+        buf.extend_from_slice(&client_random.to_be_bytes());
+        buf.extend_from_slice(&server_random.to_be_bytes());
+        buf.extend_from_slice(&server_key.to_be_bytes());
+        SessionKey(fnv1a(&buf))
+    }
+
+    /// Derive a resumed-session key from the previous key and a fresh
+    /// client random.
+    pub fn derive_resumed(old: SessionKey, client_random: u64) -> Self {
+        let mut buf = Vec::with_capacity(16);
+        buf.extend_from_slice(&old.0.to_be_bytes());
+        buf.extend_from_slice(&client_random.to_be_bytes());
+        SessionKey(fnv1a(&buf))
+    }
+}
+
+fn keystream_byte(key: u64, i: usize) -> u8 {
+    // xorshift* over (key, block index); cheap and deterministic.
+    let mut x = key ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as u8
+}
+
+/// Seal plaintext: keystream XOR plus an 8-byte integrity tag.
+pub fn seal(key: SessionKey, plaintext: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(plaintext.len() + 8);
+    for (i, &b) in plaintext.iter().enumerate() {
+        out.push(b ^ keystream_byte(key.0, i));
+    }
+    let mut tagged = Vec::with_capacity(plaintext.len() + 8);
+    tagged.extend_from_slice(&key.0.to_be_bytes());
+    tagged.extend_from_slice(plaintext);
+    out.extend_from_slice(&fnv1a(&tagged).to_be_bytes());
+    out
+}
+
+/// Open ciphertext sealed with [`seal`]; fails on key mismatch or
+/// tampering.
+pub fn open(key: SessionKey, ciphertext: &[u8]) -> Result<Vec<u8>, TlsError> {
+    if ciphertext.len() < 8 {
+        return Err(TlsError::BadRecordMac);
+    }
+    let (body, tag) = ciphertext.split_at(ciphertext.len() - 8);
+    let plaintext: Vec<u8> = body
+        .iter()
+        .enumerate()
+        .map(|(i, &b)| b ^ keystream_byte(key.0, i))
+        .collect();
+    let mut tagged = Vec::with_capacity(plaintext.len() + 8);
+    tagged.extend_from_slice(&key.0.to_be_bytes());
+    tagged.extend_from_slice(&plaintext);
+    if fnv1a(&tagged).to_be_bytes() != tag {
+        return Err(TlsError::BadRecordMac);
+    }
+    Ok(plaintext)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_round_trip() {
+        let flight = encode_records(&[
+            Record {
+                ctype: ContentType::Handshake,
+                payload: b"hello".to_vec(),
+            },
+            Record {
+                ctype: ContentType::ApplicationData,
+                payload: vec![1, 2, 3],
+            },
+        ]);
+        let records = decode_records(&flight).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].ctype, ContentType::Handshake);
+        assert_eq!(records[1].payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        assert!(decode_records(&[22, 0]).is_err());
+        assert!(decode_records(&[22, 0, 5, 1, 2]).is_err());
+        assert!(decode_records(&[99, 0, 0]).is_err());
+    }
+
+    #[test]
+    fn empty_flight_is_empty() {
+        assert_eq!(decode_records(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn seal_open_round_trip() {
+        let key = SessionKey::derive(1, 2, 3);
+        let ct = seal(key, b"dns query bytes");
+        assert_ne!(&ct[..15], b"dns query bytes", "must not be plaintext");
+        assert_eq!(open(key, &ct).unwrap(), b"dns query bytes");
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let k1 = SessionKey::derive(1, 2, 3);
+        let k2 = SessionKey::derive(1, 2, 4);
+        let ct = seal(k1, b"secret");
+        assert_eq!(open(k2, &ct), Err(TlsError::BadRecordMac));
+    }
+
+    #[test]
+    fn tampering_detected() {
+        let key = SessionKey::derive(7, 8, 9);
+        let mut ct = seal(key, b"integrity matters");
+        ct[3] ^= 0xff;
+        assert_eq!(open(key, &ct), Err(TlsError::BadRecordMac));
+    }
+
+    #[test]
+    fn short_ciphertext_rejected() {
+        let key = SessionKey::derive(1, 1, 1);
+        assert_eq!(open(key, &[1, 2, 3]), Err(TlsError::BadRecordMac));
+    }
+
+    #[test]
+    fn key_derivation_is_deterministic_and_sensitive() {
+        assert_eq!(SessionKey::derive(1, 2, 3), SessionKey::derive(1, 2, 3));
+        assert_ne!(SessionKey::derive(1, 2, 3), SessionKey::derive(2, 1, 3));
+        let old = SessionKey::derive(1, 2, 3);
+        assert_ne!(SessionKey::derive_resumed(old, 5), old);
+        assert_eq!(
+            SessionKey::derive_resumed(old, 5),
+            SessionKey::derive_resumed(old, 5)
+        );
+    }
+
+    #[test]
+    fn empty_plaintext_seals() {
+        let key = SessionKey::derive(4, 5, 6);
+        let ct = seal(key, b"");
+        assert_eq!(ct.len(), 8);
+        assert_eq!(open(key, &ct).unwrap(), b"");
+    }
+}

@@ -1,0 +1,256 @@
+//! End-to-end TLS over the simulated network: handshakes, profiles,
+//! resumption, interception.
+
+use netsim::{
+    DstMatch, HostMeta, Network, NetworkConfig, PathDecision, PolicyRule, Service, SimDuration,
+};
+use std::net::Ipv4Addr;
+use std::rc::Rc;
+use tlssim::{
+    CaHandle, CertError, DateStamp, KeyId, TlsClientConfig, TlsConnector, TlsError,
+    TlsInterceptService, TlsServerConfig, TlsServerService, TrustStore, VerifyMode,
+};
+
+fn ip(s: &str) -> Ipv4Addr {
+    s.parse().unwrap()
+}
+
+const NOW: fn() -> DateStamp = || DateStamp::from_ymd(2019, 2, 1);
+
+/// Upper-cases whatever it receives: an observable plaintext transform.
+struct UpperService;
+impl Service for UpperService {
+    fn open_stream(&self, _peer: netsim::PeerInfo) -> Box<dyn netsim::StreamHandler> {
+        struct H;
+        impl netsim::StreamHandler for H {
+            fn on_bytes(&mut self, _ctx: &mut netsim::ServiceCtx<'_>, data: &[u8]) -> Vec<u8> {
+                data.to_ascii_uppercase()
+            }
+        }
+        Box::new(H)
+    }
+}
+
+struct World {
+    net: Network,
+    client: Ipv4Addr,
+    server: Ipv4Addr,
+    store: TrustStore,
+}
+
+fn build_world(seed: u64) -> World {
+    let mut net = Network::new(NetworkConfig::default(), seed);
+    let server = ip("203.0.113.10");
+    let client = ip("198.51.100.20");
+    net.add_host(HostMeta::new(server).country("US").asn(13335).label("resolver"));
+    net.add_host(HostMeta::new(client).country("DE").asn(3320));
+
+    let ca = CaHandle::new("Example Root CA", KeyId(1), NOW() + -365, 3650);
+    let leaf = ca.issue(
+        "dns.example.com",
+        vec!["*.example.com".into()],
+        KeyId(2),
+        1,
+        NOW() + -30,
+        NOW() + 300,
+    );
+    let mut store = TrustStore::new();
+    store.add(ca.authority());
+    let tls = TlsServerService::new(
+        TlsServerConfig::new(vec![leaf], KeyId(2)).with_alpn(&["dot", "h2"]),
+        Rc::new(UpperService),
+    );
+    net.bind_tcp(server, 853, Rc::new(tls));
+    World {
+        net,
+        client,
+        server,
+        store,
+    }
+}
+
+#[test]
+fn strict_handshake_and_exchange() {
+    let mut w = build_world(1);
+    let mut connector = TlsConnector::new(
+        TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["dot"]),
+    );
+    let mut stream = connector
+        .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
+        .unwrap();
+    assert_eq!(stream.alpn(), Some("dot"));
+    assert!(stream.verify_result().is_ok());
+    assert!(!stream.resumed());
+    let resp = stream.request(&mut w.net, b"hello dns").unwrap();
+    assert_eq!(resp, b"HELLO DNS");
+}
+
+#[test]
+fn resumption_skips_handshake_round_trip() {
+    let mut w = build_world(2);
+    let mut connector = TlsConnector::new(
+        TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["dot"]),
+    );
+    // Session 1: full handshake.
+    let mut s1 = connector
+        .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
+        .unwrap();
+    s1.request(&mut w.net, b"warmup").unwrap();
+    let full_rts = s1.conn().round_trips();
+    s1.close(&mut w.net);
+    assert_eq!(connector.cached_sessions(), 1);
+
+    // Session 2: resumed; hello piggybacks on the first request.
+    let mut s2 = connector
+        .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
+        .unwrap();
+    assert!(s2.resumed());
+    let resp = s2.request(&mut w.net, b"resumed query").unwrap();
+    assert_eq!(resp, b"RESUMED QUERY");
+    let resumed_rts = s2.conn().round_trips();
+    // Full (TLS 1.2 style): connect + hello + finished + request = 4.
+    // Resumed: connect + request = 2.
+    assert_eq!(full_rts, 4);
+    assert_eq!(resumed_rts, 2);
+}
+
+#[test]
+fn strict_fails_on_self_signed_opportunistic_proceeds() {
+    let mut w = build_world(3);
+    // Replace the server's chain with an appliance default certificate.
+    let self_signed = CaHandle::self_signed("FGT60D", vec![], KeyId(9), 1, NOW() + -1, NOW() + 3650);
+    let tls = TlsServerService::new(
+        TlsServerConfig::new(vec![self_signed], KeyId(9)),
+        Rc::new(UpperService),
+    );
+    w.net.bind_tcp(w.server, 853, Rc::new(tls));
+
+    let mut strict = TlsConnector::new(TlsClientConfig::strict(w.store.clone(), NOW()));
+    let err = strict
+        .connect(&mut w.net, w.client, w.server, 853, None)
+        .unwrap_err();
+    assert_eq!(err, TlsError::Cert(CertError::SelfSigned));
+
+    let mut opp = TlsConnector::new(TlsClientConfig::opportunistic(w.store.clone(), NOW()));
+    let mut stream = opp
+        .connect(&mut w.net, w.client, w.server, 853, None)
+        .unwrap();
+    assert_eq!(stream.verify_result(), &Err(CertError::SelfSigned));
+    let resp = stream.request(&mut w.net, b"leaky").unwrap();
+    assert_eq!(resp, b"LEAKY");
+}
+
+#[test]
+fn alpn_mismatch_aborts() {
+    let mut w = build_world(4);
+    let mut connector = TlsConnector::new(
+        TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["h3"]),
+    );
+    let err = connector
+        .connect(&mut w.net, w.client, w.server, 853, None)
+        .unwrap_err();
+    assert!(matches!(err, TlsError::HandshakeFailed(_)), "{err:?}");
+}
+
+#[test]
+fn interception_breaks_strict_but_not_opportunistic() {
+    let mut w = build_world(5);
+    // Install an inline interceptor and divert the client's path to it.
+    let device_ip = ip("10.99.0.1");
+    w.net
+        .add_host(HostMeta::new(device_ip).country("DE").asn(3320).label("DPI box"));
+    let mitm_ca = CaHandle::new("SonicWall Firewall DPI-SSL", KeyId(100), NOW() + -100, 3650);
+    let device = TlsInterceptService::inline_interceptor(mitm_ca, KeyId(101), NOW());
+    let log = device.log();
+    w.net.bind_tcp(device_ip, 853, Rc::new(device));
+    w.net.policies_mut().push(
+        PolicyRule::new("dpi-divert", PathDecision::DivertTo(device_ip))
+            .to_dst(DstMatch::Ip(w.server)),
+    );
+
+    // Opportunistic DoT: lookup succeeds, verification says untrusted CA,
+    // and the device saw the plaintext — Finding 2.3 end to end.
+    let mut opp = TlsConnector::new(TlsClientConfig::opportunistic(w.store.clone(), NOW()));
+    let mut stream = opp
+        .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
+        .unwrap();
+    match stream.verify_result() {
+        Err(CertError::UntrustedCa { ca_cn }) => {
+            assert_eq!(ca_cn, "SonicWall Firewall DPI-SSL")
+        }
+        other => panic!("expected untrusted CA, got {other:?}"),
+    }
+    // The forged leaf keeps the original subject.
+    assert_eq!(stream.server_chain()[0].subject_cn, "dns.example.com");
+    let resp = stream.request(&mut w.net, b"secret query").unwrap();
+    assert_eq!(resp, b"SECRET QUERY", "proxied through to the real server");
+    let seen = log.borrow();
+    assert_eq!(seen.len(), 1);
+    assert_eq!(seen[0].plaintext, b"secret query");
+    assert_eq!(seen[0].original_dst, w.server);
+    drop(seen);
+
+    // Strict profile: certificate error, no plaintext leaks.
+    let before = log.borrow().len();
+    let mut strict = TlsConnector::new(TlsClientConfig::strict(w.store.clone(), NOW()));
+    let err = strict
+        .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
+        .unwrap_err();
+    assert!(matches!(err, TlsError::Cert(CertError::UntrustedCa { .. })));
+    assert_eq!(log.borrow().len(), before, "strict client leaked nothing");
+}
+
+#[test]
+fn fixed_cert_proxy_forwards_upstream() {
+    let mut w = build_world(6);
+    // A FortiGate-style DoT proxy on its own address, forwarding to the
+    // genuine resolver.
+    let proxy_ip = ip("10.88.0.1");
+    w.net
+        .add_host(HostMeta::new(proxy_ip).country("US").asn(64512).label("FortiGate"));
+    let fg_ca = CaHandle::new("FortiGate CA", KeyId(200), NOW() + -10, 3650);
+    let default_cert =
+        CaHandle::self_signed("FGT60D", vec![], KeyId(201), 7, NOW() + -10, NOW() + 3650);
+    let proxy = TlsInterceptService::fixed_cert_proxy(
+        fg_ca,
+        KeyId(201),
+        vec![default_cert],
+        (w.server, 853),
+        NOW(),
+    );
+    w.net.bind_tcp(proxy_ip, 853, Rc::new(proxy));
+
+    let mut opp = TlsConnector::new(TlsClientConfig::opportunistic(w.store.clone(), NOW()));
+    let mut stream = opp
+        .connect(&mut w.net, w.client, proxy_ip, 853, None)
+        .unwrap();
+    assert_eq!(stream.verify_result(), &Err(CertError::SelfSigned));
+    let resp = stream.request(&mut w.net, b"via proxy").unwrap();
+    assert_eq!(resp, b"VIA PROXY");
+}
+
+#[test]
+fn handshake_costs_appear_in_latency() {
+    let mut w = build_world(7);
+    let mut connector = TlsConnector::new(TlsClientConfig::strict(w.store.clone(), NOW()));
+    let stream = connector
+        .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
+        .unwrap();
+    // TCP (1 RTT) + TLS (1 RTT) + handshake CPU: must exceed two bare RTTs.
+    let elapsed = stream.elapsed();
+    assert!(
+        elapsed >= SimDuration::from_millis(9),
+        "handshake cost missing: {elapsed}"
+    );
+}
+
+#[test]
+fn no_verify_mode_collects_chain_without_judging() {
+    let mut w = build_world(8);
+    let mut scanner = TlsConnector::new(TlsClientConfig::no_verify(NOW()));
+    assert_eq!(scanner.config().verify, VerifyMode::NoVerify);
+    let stream = scanner
+        .connect(&mut w.net, w.client, w.server, 853, None)
+        .unwrap();
+    assert_eq!(stream.server_chain()[0].subject_cn, "dns.example.com");
+}

@@ -1,0 +1,180 @@
+//! The §5.2 analysis pipeline: from sampled flow records to Figures 11
+//! and 12.
+
+use crate::netflow::FlowRecord;
+use netsim::Netblock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::net::Ipv4Addr;
+use tlssim::DateStamp;
+
+/// Per-/24 activity (one point of Figure 12).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetblockActivity {
+    /// The client /24.
+    pub block: Netblock,
+    /// Flow records attributed.
+    pub flows: usize,
+    /// Share of all DoT flows.
+    pub share: f64,
+    /// Distinct days with traffic.
+    pub active_days: usize,
+}
+
+/// Everything §5.2 reports.
+#[derive(Debug, Clone)]
+pub struct DotTrafficReport {
+    /// Monthly flow counts per resolver label (Figure 11's series).
+    pub monthly: BTreeMap<String, BTreeMap<String, usize>>,
+    /// Per-/24 activity, descending by share (Figure 12's points).
+    pub netblocks: Vec<NetblockActivity>,
+    /// Flows excluded as single-SYN (scan residue).
+    pub excluded_single_syn: usize,
+    /// Flows excluded for an unknown destination (not in the DoT resolver
+    /// list built by the Section 3 scans).
+    pub excluded_unknown_dst: usize,
+    /// Total DoT flows analysed.
+    pub total_flows: usize,
+}
+
+impl DotTrafficReport {
+    /// Share of traffic carried by the top `n` netblocks.
+    pub fn top_share(&self, n: usize) -> f64 {
+        self.netblocks.iter().take(n).map(|b| b.share).sum()
+    }
+
+    /// Fraction of netblocks active for fewer than `days` days, and the
+    /// share of traffic they carry.
+    pub fn short_lived(&self, days: usize) -> (f64, f64) {
+        if self.netblocks.is_empty() {
+            return (0.0, 0.0);
+        }
+        let short: Vec<&NetblockActivity> = self
+            .netblocks
+            .iter()
+            .filter(|b| b.active_days < days)
+            .collect();
+        (
+            short.len() as f64 / self.netblocks.len() as f64,
+            short.iter().map(|b| b.share).sum(),
+        )
+    }
+}
+
+/// Run the analysis: `resolver_labels` maps known DoT resolver addresses
+/// (from the Section 3 scans) to display labels.
+pub fn analyze_dot(
+    records: &[FlowRecord],
+    resolver_labels: &BTreeMap<Ipv4Addr, String>,
+) -> DotTrafficReport {
+    let mut monthly: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
+    let mut per_block: BTreeMap<Netblock, (usize, BTreeSet<DateStamp>)> = BTreeMap::new();
+    let mut excluded_single_syn = 0usize;
+    let mut excluded_unknown_dst = 0usize;
+    let mut total = 0usize;
+
+    for record in records {
+        if record.dst_port != 853 {
+            continue;
+        }
+        if record.is_single_syn() {
+            excluded_single_syn += 1;
+            continue;
+        }
+        let Some(label) = resolver_labels.get(&record.dst) else {
+            excluded_unknown_dst += 1;
+            continue;
+        };
+        total += 1;
+        *monthly
+            .entry(label.clone())
+            .or_default()
+            .entry(record.date.month_label())
+            .or_default() += 1;
+        let entry = per_block.entry(record.src_slash24()).or_default();
+        entry.0 += 1;
+        entry.1.insert(record.date);
+    }
+
+    let mut netblocks: Vec<NetblockActivity> = per_block
+        .into_iter()
+        .map(|(block, (flows, days))| NetblockActivity {
+            block,
+            flows,
+            share: flows as f64 / total.max(1) as f64,
+            active_days: days.len(),
+        })
+        .collect();
+    netblocks.sort_by_key(|b| std::cmp::Reverse(b.flows));
+
+    DotTrafficReport {
+        monthly,
+        netblocks,
+        excluded_single_syn,
+        excluded_unknown_dst,
+        total_flows: total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate_dot_traffic, DotTrafficConfig};
+    use worldgen::providers::anchors;
+
+    fn labels() -> BTreeMap<Ipv4Addr, String> {
+        let mut m = BTreeMap::new();
+        m.insert(anchors::CLOUDFLARE_PRIMARY, "Cloudflare".to_string());
+        m.insert(anchors::QUAD9_PRIMARY, "Quad9".to_string());
+        m
+    }
+
+    #[test]
+    fn figure11_series_shape() {
+        let ds = generate_dot_traffic(&DotTrafficConfig::default());
+        let report = analyze_dot(&ds.records, &labels());
+        let cf = report.monthly.get("Cloudflare").expect("cloudflare series");
+        // Growth Jul→Dec 2018 around 56%.
+        let jul = *cf.get("2018-07").unwrap() as f64;
+        let dec = *cf.get("2018-12").unwrap() as f64;
+        assert!((0.35..0.80).contains(&((dec - jul) / jul)));
+        // Quad9 series exists across the window.
+        let q9 = report.monthly.get("Quad9").expect("quad9 series");
+        assert!(q9.contains_key("2017-08"));
+        assert!(q9.contains_key("2018-11"));
+        // Scanner SYNs were excluded.
+        assert!(report.excluded_single_syn >= 400);
+    }
+
+    #[test]
+    fn figure12_concentration_and_churn() {
+        let ds = generate_dot_traffic(&DotTrafficConfig::default());
+        let report = analyze_dot(&ds.records, &labels());
+        // Top-5 ≈ 44%, top-20 ≈ 60% (Finding 4.1).
+        let top5 = report.top_share(5);
+        let top20 = report.top_share(20);
+        assert!((0.32..0.55).contains(&top5), "top5 {top5}");
+        assert!((0.48..0.72).contains(&top20), "top20 {top20}");
+        assert!(top20 > top5);
+        // 96% of netblocks active < 7 days, carrying ~25%.
+        let (frac_blocks, frac_traffic) = report.short_lived(7);
+        assert!(frac_blocks > 0.85, "short-lived blocks {frac_blocks}");
+        assert!(
+            (0.15..0.40).contains(&frac_traffic),
+            "short-lived traffic {frac_traffic}"
+        );
+        // Netblock total near the paper's 5,623.
+        let n = report.netblocks.len();
+        assert!((4_000..7_000).contains(&n), "netblocks {n}");
+    }
+
+    #[test]
+    fn unknown_destinations_excluded() {
+        let ds = generate_dot_traffic(&DotTrafficConfig::default());
+        // Label only Cloudflare: Quad9 flows become unknown-dst.
+        let mut only_cf = BTreeMap::new();
+        only_cf.insert(anchors::CLOUDFLARE_PRIMARY, "Cloudflare".to_string());
+        let report = analyze_dot(&ds.records, &only_cf);
+        assert!(report.excluded_unknown_dst > 1_000);
+        assert!(!report.monthly.contains_key("Quad9"));
+    }
+}

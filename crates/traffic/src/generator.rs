@@ -1,0 +1,302 @@
+//! The 18-month DoT client-population model behind Figures 11 and 12.
+//!
+//! Records are generated *post-sampling*: for each (netblock, day, target)
+//! the expected number of sampled flow records λ is computed and a
+//! Poisson(λ) count drawn — mathematically equivalent to generating the
+//! ~150× larger real-flow population and pushing it through the 1/3,000
+//! collector (the collector itself is implemented and property-tested in
+//! [`crate::netflow`]), at a fraction of the memory.
+
+use crate::netflow::{poisson, FlowRecord, TCP_ACK, TCP_FIN, TCP_PSH, TCP_SYN};
+use netsim::Netblock;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+use tlssim::DateStamp;
+use worldgen::providers::anchors;
+
+/// Traffic-model calibration (Finding 4.1).
+#[derive(Debug, Clone)]
+pub struct DotTrafficConfig {
+    /// Seed.
+    pub seed: u64,
+    /// NetFlow observation window start (paper: Jul 2017).
+    pub start: DateStamp,
+    /// Months covered (paper: 18, through Dec 2018/Jan 2019).
+    pub months: u32,
+    /// Monthly sampled Cloudflare-DoT flow target at the window's end
+    /// (Dec 2018: 7,318).
+    pub cloudflare_dec2018: f64,
+    /// Monthly sampled Cloudflare-DoT flows in Jul 2018 (4,674 — the 56%
+    /// growth baseline).
+    pub cloudflare_jul2018: f64,
+    /// Mean monthly Quad9 flows (fluctuating).
+    pub quad9_monthly: f64,
+    /// Share of traffic carried by the top 5 netblocks (44%).
+    pub top5_share: f64,
+    /// Share carried by netblocks 6–20 (top-20 total 60%).
+    pub next15_share: f64,
+    /// Share carried by short-lived netblocks (25%).
+    pub temporary_share: f64,
+    /// Total distinct client /24s across the window (5,623).
+    pub total_netblocks: u32,
+    /// Traditional-DNS-to-DoT volume ratio (the "2-3 orders of magnitude"
+    /// comparison; only the summary number is generated).
+    pub do53_ratio: f64,
+}
+
+impl Default for DotTrafficConfig {
+    fn default() -> Self {
+        DotTrafficConfig {
+            seed: 360,
+            start: DateStamp::from_ymd(2017, 7, 1),
+            months: 18,
+            cloudflare_dec2018: 7_318.0,
+            cloudflare_jul2018: 4_674.0,
+            quad9_monthly: 1_400.0,
+            top5_share: 0.44,
+            next15_share: 0.16,
+            temporary_share: 0.25,
+            total_netblocks: 5_623,
+            do53_ratio: 900.0,
+        }
+    }
+}
+
+/// The generated dataset.
+#[derive(Debug, Clone)]
+pub struct TrafficDataset {
+    /// Sampled flow records, chronological.
+    pub records: Vec<FlowRecord>,
+    /// Ground truth: netblocks that were short-lived (< 1 week).
+    pub temporary_blocks: Vec<Netblock>,
+    /// Ground truth: the heavy persistent netblocks.
+    pub persistent_blocks: Vec<Netblock>,
+    /// Estimated sampled traditional-DNS flows per month (for the orders-
+    /// of-magnitude comparison).
+    pub do53_monthly_estimate: f64,
+    /// Planted research-scanner sources (for the scan-detection check).
+    pub scanner_sources: Vec<Ipv4Addr>,
+}
+
+/// Cloudflare's monthly intensity: zero before its Apr 2018 launch, then a
+/// ramp through the calibration points.
+fn cloudflare_monthly(cfg: &DotTrafficConfig, month_start: DateStamp) -> f64 {
+    let launch = DateStamp::from_ymd(2018, 4, 1);
+    let jul = DateStamp::from_ymd(2018, 7, 1);
+    if month_start < launch {
+        return 0.0;
+    }
+    if month_start < jul {
+        // Ramp from ~1/4 of the July figure at launch.
+        let months_in = ((month_start - launch) / 30) as f64;
+        return cfg.cloudflare_jul2018 * (0.25 + 0.25 * months_in);
+    }
+    // Jul→Dec 2018: the calibrated 56% growth, linear per month, and
+    // continuing gently afterwards.
+    let months_past_jul = ((month_start - jul) / 30) as f64;
+    let slope = (cfg.cloudflare_dec2018 - cfg.cloudflare_jul2018) / 5.0;
+    cfg.cloudflare_jul2018 + slope * months_past_jul
+}
+
+fn quad9_monthly(cfg: &DotTrafficConfig, _month_index: u32, rng: &mut SmallRng) -> f64 {
+    // Fluctuates ±40% around the mean.
+    cfg.quad9_monthly * rng.gen_range(0.6..1.4)
+}
+
+/// A heavy netblock's address pool (clients within the /24).
+fn block_addr(block: Netblock, rng: &mut SmallRng) -> Ipv4Addr {
+    block.addr(1 + rng.gen_range(0..200) as u64)
+}
+
+/// Generate the dataset.
+pub fn generate_dot_traffic(cfg: &DotTrafficConfig) -> TrafficDataset {
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut records: Vec<FlowRecord> = Vec::new();
+
+    // Netblock roster: 20 heavy + ~180 steady + temporaries.
+    let heavy_count = 20usize;
+    let steady_count = (cfg.total_netblocks as f64 * 0.04 - heavy_count as f64).max(50.0) as usize;
+    let mut persistent_blocks = Vec::new();
+    for i in 0..(heavy_count + steady_count) {
+        persistent_blocks.push(Netblock::new(
+            Ipv4Addr::new(80, (i / 250) as u8, (i % 250) as u8, 0),
+            24,
+        ));
+    }
+    let temp_total = cfg.total_netblocks as usize - persistent_blocks.len();
+    let mut temporary_blocks = Vec::new();
+    for i in 0..temp_total {
+        temporary_blocks.push(Netblock::new(
+            Ipv4Addr::new(81 + (i / 65_000) as u8, ((i / 250) % 260) as u8, (i % 250) as u8, 0),
+            24,
+        ));
+    }
+
+    // Per-block weight among the persistent set.
+    // top5 : next15 : steady = top5_share : next15_share : rest-temp.
+    let steady_share = (1.0 - cfg.top5_share - cfg.next15_share - cfg.temporary_share).max(0.02);
+    let mut weights: Vec<f64> = Vec::with_capacity(persistent_blocks.len());
+    for i in 0..persistent_blocks.len() {
+        let w = if i < 5 {
+            cfg.top5_share / 5.0
+        } else if i < 20 {
+            cfg.next15_share / 15.0
+        } else {
+            steady_share / steady_count as f64
+        };
+        weights.push(w);
+    }
+
+    let mut temp_cursor = 0usize;
+    for month in 0..cfg.months {
+        let month_start = cfg.start.add_months(month);
+        let next_month = cfg.start.add_months(month + 1);
+        let days = (next_month - month_start) as u32;
+        let targets: [(Ipv4Addr, f64); 2] = [
+            (anchors::CLOUDFLARE_PRIMARY, cloudflare_monthly(cfg, month_start)),
+            (anchors::QUAD9_PRIMARY, quad9_monthly(cfg, month, &mut rng)),
+        ];
+        for (dst, monthly) in targets {
+            if monthly <= 0.0 {
+                continue;
+            }
+            // Persistent blocks: their share, spread over days.
+            for (block, w) in persistent_blocks.iter().zip(&weights) {
+                let lambda_day = monthly * (1.0 - cfg.temporary_share) * w
+                    / (cfg.top5_share + cfg.next15_share + steady_share)
+                    / days as f64;
+                for day in 0..days {
+                    let n = poisson(lambda_day, &mut rng);
+                    for _ in 0..n {
+                        records.push(dot_record(
+                            block_addr(*block, &mut rng),
+                            dst,
+                            month_start + day as i64,
+                            &mut rng,
+                        ));
+                    }
+                }
+            }
+            // Temporary blocks: short-lived bursts.
+            let temp_budget = monthly * cfg.temporary_share;
+            let bursts = (temp_budget / 3.0).round() as usize; // ~3 flows per burst
+            for _ in 0..bursts {
+                if temp_cursor >= temporary_blocks.len() {
+                    temp_cursor = 0;
+                }
+                let block = temporary_blocks[temp_cursor];
+                temp_cursor += 1;
+                let active_days = rng.gen_range(1..=5u32).min(days);
+                let start_day = rng.gen_range(0..days.saturating_sub(active_days).max(1));
+                let flows = rng.gen_range(2..=4u32);
+                for f in 0..flows {
+                    let day = start_day + (f % active_days);
+                    records.push(dot_record(
+                        block_addr(block, &mut rng),
+                        dst,
+                        month_start + day as i64,
+                        &mut rng,
+                    ));
+                }
+            }
+        }
+    }
+
+    // Research scanners: port-853 SYNs sprayed across many destinations —
+    // present on the wire, excluded by the single-SYN rule and flagged by
+    // the detector.
+    let scanner: Ipv4Addr = "198.51.100.10".parse().expect("static");
+    for i in 0..400u32 {
+        records.push(FlowRecord {
+            src: scanner,
+            dst: Ipv4Addr::new(5, (i % 200) as u8 + 1, (i / 200) as u8, 1),
+            dst_port: 853,
+            sampled_packets: 1,
+            bytes: 40,
+            tcp_flags: TCP_SYN,
+            date: DateStamp::from_ymd(2019, 2, 1),
+        });
+    }
+
+    records.sort_by_key(|r| r.date);
+    let do53_monthly_estimate = cfg.cloudflare_dec2018 * cfg.do53_ratio;
+    TrafficDataset {
+        records,
+        temporary_blocks,
+        persistent_blocks,
+        do53_monthly_estimate,
+        scanner_sources: vec![scanner],
+    }
+}
+
+fn dot_record(src: Ipv4Addr, dst: Ipv4Addr, date: DateStamp, rng: &mut SmallRng) -> FlowRecord {
+    FlowRecord {
+        src,
+        dst,
+        dst_port: 853,
+        sampled_packets: rng.gen_range(1..=3),
+        bytes: rng.gen_range(150..900),
+        tcp_flags: TCP_SYN | TCP_ACK | TCP_PSH | TCP_FIN,
+        date,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monthly_cloudflare_counts_hit_calibration() {
+        let cfg = DotTrafficConfig::default();
+        let ds = generate_dot_traffic(&cfg);
+        let month_count = |y: i32, m: u32| {
+            let start = DateStamp::from_ymd(y, m, 1);
+            let end = start.add_months(1);
+            ds.records
+                .iter()
+                .filter(|r| {
+                    r.dst == anchors::CLOUDFLARE_PRIMARY && r.date >= start && r.date < end
+                })
+                .count() as f64
+        };
+        let jul = month_count(2018, 7);
+        let dec = month_count(2018, 12);
+        assert!((4_200.0..5_200.0).contains(&jul), "Jul 2018: {jul}");
+        assert!((6_600.0..8_000.0).contains(&dec), "Dec 2018: {dec}");
+        let growth = (dec - jul) / jul;
+        assert!((0.40..0.75).contains(&growth), "growth {growth} (paper: 56%)");
+        // Nothing before the launch.
+        assert_eq!(month_count(2018, 1), 0.0);
+    }
+
+    #[test]
+    fn quad9_present_through_whole_window() {
+        let cfg = DotTrafficConfig::default();
+        let ds = generate_dot_traffic(&cfg);
+        let early = ds
+            .records
+            .iter()
+            .filter(|r| {
+                r.dst == anchors::QUAD9_PRIMARY && r.date < DateStamp::from_ymd(2017, 10, 1)
+            })
+            .count();
+        assert!(early > 100, "Quad9 flows early in the window: {early}");
+    }
+
+    #[test]
+    fn do53_dwarfs_dot() {
+        let cfg = DotTrafficConfig::default();
+        let ds = generate_dot_traffic(&cfg);
+        assert!(ds.do53_monthly_estimate / cfg.cloudflare_dec2018 >= 100.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = DotTrafficConfig::default();
+        let a = generate_dot_traffic(&cfg);
+        let b = generate_dot_traffic(&cfg);
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.records[100], b.records[100]);
+    }
+}

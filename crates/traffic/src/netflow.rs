@@ -1,0 +1,228 @@
+//! NetFlow-style records and the sampling collector.
+//!
+//! "NetFlow-enabled routers aggregate sequential packets in a flow ... and
+//! create a record containing its statistics. Each NetFlow record include
+//! IP addresses, ports, total bytes of packets, and the union of TCP
+//! flags. When collecting NetFlow, our provider ISP uses a sampling rate
+//! 1/3,000, and expires a flow if idle for 15 seconds." (§5.1)
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::net::Ipv4Addr;
+use tlssim::DateStamp;
+
+/// TCP SYN flag bit.
+pub const TCP_SYN: u8 = 0x02;
+/// TCP ACK flag bit.
+pub const TCP_ACK: u8 = 0x10;
+/// TCP PSH flag bit.
+pub const TCP_PSH: u8 = 0x08;
+/// TCP FIN flag bit.
+pub const TCP_FIN: u8 = 0x01;
+
+/// A flow as it actually crossed the backbone (pre-sampling).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RealFlow {
+    /// Source address.
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Total packets.
+    pub packets: u32,
+    /// Total bytes.
+    pub bytes: u64,
+    /// Day the flow started.
+    pub date: DateStamp,
+    /// True for a bare connection attempt that never completed (the
+    /// single-SYN flows §5.1 excludes).
+    pub syn_only: bool,
+}
+
+/// A sampled flow record as exported by the router.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlowRecord {
+    /// Source address (analysis truncates to /24 for ethics, §5.1).
+    pub src: Ipv4Addr,
+    /// Destination address.
+    pub dst: Ipv4Addr,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Sampled packets contributing to this record.
+    pub sampled_packets: u32,
+    /// Estimated bytes (sampled packets × mean packet size).
+    pub bytes: u64,
+    /// Union of TCP flags over sampled packets.
+    pub tcp_flags: u8,
+    /// Day observed.
+    pub date: DateStamp,
+}
+
+impl FlowRecord {
+    /// §5.1's exclusion: a record whose only flag is a single SYN cannot
+    /// contain DoT queries.
+    pub fn is_single_syn(&self) -> bool {
+        self.tcp_flags == TCP_SYN && self.sampled_packets <= 1
+    }
+
+    /// The /24 aggregation used throughout §5.2.
+    pub fn src_slash24(&self) -> netsim::Netblock {
+        netsim::Netblock::slash24(self.src)
+    }
+}
+
+/// Packet-sampling collector.
+#[derive(Debug, Clone, Copy)]
+pub struct NetFlowCollector {
+    /// One in `sampling_rate` packets is examined.
+    pub sampling_rate: u32,
+}
+
+impl Default for NetFlowCollector {
+    fn default() -> Self {
+        NetFlowCollector {
+            sampling_rate: 3_000,
+        }
+    }
+}
+
+impl NetFlowCollector {
+    /// Observe one real flow; returns a record iff at least one of its
+    /// packets was sampled.
+    pub fn observe<R: Rng + ?Sized>(&self, flow: &RealFlow, rng: &mut R) -> Option<FlowRecord> {
+        let p = 1.0 / self.sampling_rate as f64;
+        // Binomial(packets, p) via its Poisson approximation for the huge
+        // sparse case, exact Bernoulli loop for small flows.
+        let sampled = if flow.packets <= 64 {
+            (0..flow.packets).filter(|_| rng.gen_bool(p)).count() as u32
+        } else {
+            let lambda = flow.packets as f64 * p;
+            poisson(lambda, rng)
+        };
+        if sampled == 0 {
+            return None;
+        }
+        let flags = if flow.syn_only {
+            TCP_SYN
+        } else if sampled == flow.packets {
+            TCP_SYN | TCP_ACK | TCP_PSH | TCP_FIN
+        } else {
+            // Mid-flow packets dominate a partial sample.
+            TCP_ACK | TCP_PSH
+        };
+        Some(FlowRecord {
+            src: flow.src,
+            dst: flow.dst,
+            dst_port: flow.dst_port,
+            sampled_packets: sampled,
+            bytes: (flow.bytes / flow.packets.max(1) as u64) * sampled as u64,
+            tcp_flags: flags,
+            date: flow.date,
+        })
+    }
+}
+
+/// Sample a Poisson variate (Knuth for small λ, normal approx above).
+pub(crate) fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u32;
+        let mut p = 1.0f64;
+        loop {
+            p *= rng.gen_range(0.0f64..1.0);
+            if p <= l {
+                return k;
+            }
+            k += 1;
+            if k > 10_000 {
+                return k;
+            }
+        }
+    }
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0f64..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (lambda + lambda.sqrt() * z).round().max(0.0) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn flow(packets: u32, syn_only: bool) -> RealFlow {
+        RealFlow {
+            src: "64.1.2.3".parse().unwrap(),
+            dst: "1.1.1.1".parse().unwrap(),
+            dst_port: 853,
+            packets,
+            bytes: packets as u64 * 120,
+            date: DateStamp::from_ymd(2018, 7, 15),
+            syn_only,
+        }
+    }
+
+    #[test]
+    fn sampling_rate_is_respected() {
+        let collector = NetFlowCollector { sampling_rate: 10 };
+        let mut rng = SmallRng::seed_from_u64(1);
+        let n = 20_000;
+        let observed = (0..n)
+            .filter(|_| collector.observe(&flow(1, false), &mut rng).is_some())
+            .count();
+        let rate = observed as f64 / n as f64;
+        assert!((0.08..0.12).contains(&rate), "rate {rate}, want ~0.10");
+    }
+
+    #[test]
+    fn bigger_flows_more_likely_observed() {
+        let collector = NetFlowCollector::default();
+        let mut rng = SmallRng::seed_from_u64(2);
+        let n = 30_000;
+        let small = (0..n)
+            .filter(|_| collector.observe(&flow(2, false), &mut rng).is_some())
+            .count();
+        let big = (0..n)
+            .filter(|_| collector.observe(&flow(200, false), &mut rng).is_some())
+            .count();
+        assert!(big > small * 10, "big {big} vs small {small}");
+    }
+
+    #[test]
+    fn syn_only_flows_marked_and_excluded() {
+        let collector = NetFlowCollector { sampling_rate: 1 };
+        let mut rng = SmallRng::seed_from_u64(3);
+        let rec = collector.observe(&flow(1, true), &mut rng).unwrap();
+        assert!(rec.is_single_syn());
+        let rec = collector.observe(&flow(40, false), &mut rng).unwrap();
+        assert!(!rec.is_single_syn());
+        assert_ne!(rec.tcp_flags & TCP_ACK, 0);
+    }
+
+    #[test]
+    fn slash24_truncation() {
+        let collector = NetFlowCollector { sampling_rate: 1 };
+        let mut rng = SmallRng::seed_from_u64(4);
+        let rec = collector.observe(&flow(5, false), &mut rng).unwrap();
+        assert_eq!(rec.src_slash24().to_string(), "64.1.2.0/24");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for lambda in [0.5f64, 5.0, 50.0] {
+            let n = 20_000;
+            let total: u64 = (0..n).map(|_| poisson(lambda, &mut rng) as u64).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.1,
+                "λ={lambda}, mean={mean}"
+            );
+        }
+    }
+}

@@ -1,0 +1,464 @@
+//! The performance study (§4.3): relative latency of encrypted vs
+//! clear-text DNS, with and without connection reuse.
+
+use crate::pool::Tunnel;
+use dnswire::{builder, RecordType};
+use doe_protocols::do53::Do53TcpConn;
+use doe_protocols::dot::DotClient;
+use doe_protocols::{Bootstrap, DohClient, DohMethod};
+use netsim::time::{mean, median, overhead_ms};
+use netsim::{HostMeta, Network, SimDuration};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use tlssim::TlsClientConfig;
+use worldgen::{ClientInfo, World};
+
+/// One client's medians of observed `T_R` per protocol (ms).
+#[derive(Debug, Clone)]
+pub struct PerfObservation {
+    /// The vantage point.
+    pub client: Ipv4Addr,
+    /// Client country.
+    pub country: String,
+    /// Median observed clear-text DNS/TCP time.
+    pub dns_ms: f64,
+    /// Median observed DoT time.
+    pub dot_ms: f64,
+    /// Median observed DoH time.
+    pub doh_ms: f64,
+}
+
+impl PerfObservation {
+    /// DoT overhead over clear text (signed, ms).
+    pub fn dot_overhead(&self) -> f64 {
+        self.dot_ms - self.dns_ms
+    }
+
+    /// DoH overhead over clear text (signed, ms).
+    pub fn doh_overhead(&self) -> f64 {
+        self.doh_ms - self.dns_ms
+    }
+}
+
+/// Per-country aggregation (Figure 9's bars).
+#[derive(Debug, Clone)]
+pub struct CountryPerformance {
+    /// Country code.
+    pub country: String,
+    /// Clients contributing.
+    pub clients: usize,
+    /// Mean DoT overhead, ms.
+    pub dot_mean_ms: f64,
+    /// Median DoT overhead, ms.
+    pub dot_median_ms: f64,
+    /// Mean DoH overhead, ms.
+    pub doh_mean_ms: f64,
+    /// Median DoH overhead, ms.
+    pub doh_median_ms: f64,
+}
+
+/// The reused-connection study's output.
+#[derive(Debug, Clone)]
+pub struct PerformanceReport {
+    /// Per-client observations (Figure 10's points).
+    pub observations: Vec<PerfObservation>,
+    /// Per-country aggregates, sorted by client count (Figure 9).
+    pub per_country: Vec<CountryPerformance>,
+    /// Global mean/median DoT overhead, ms.
+    pub global_dot: (f64, f64),
+    /// Global mean/median DoH overhead, ms.
+    pub global_doh: (f64, f64),
+    /// Clients attempted but skipped (node rotated away / path broken).
+    pub skipped: usize,
+}
+
+fn median_ms(samples: &mut [SimDuration]) -> f64 {
+    median(samples).as_millis_f64()
+}
+
+/// Run the reused-connection performance test against Cloudflare (the
+/// paper's Figure 9/10 subject): `queries` exchanges per protocol per
+/// client, medians of observed `T_R` (tunnel + on-path time).
+pub fn performance_test(
+    world: &mut World,
+    clients: &[ClientInfo],
+    tunnel: Tunnel,
+    queries: u32,
+) -> PerformanceReport {
+    let resolver = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
+    let doh_template = world
+        .deployment
+        .doh_services
+        .iter()
+        .find(|s| s.hostname == "cloudflare-dns.com")
+        .expect("cloudflare DoH deployed")
+        .template
+        .clone();
+    let store = world.trust_store.clone();
+    let now = world.epoch();
+    let apex = world.probe.apex.to_string();
+    let apex = apex.trim_end_matches('.').to_string();
+
+    let mut observations = Vec::new();
+    let mut skipped = 0usize;
+    let mut serial = 0u64;
+
+    'clients: for client in clients {
+        // --- clear-text DNS over a reused TCP connection ---------------
+        let mut dns_samples = Vec::with_capacity(queries as usize);
+        let Ok(mut tcp) = Do53TcpConn::connect(
+            &mut world.net,
+            client.ip,
+            resolver,
+            SimDuration::from_secs(30),
+        ) else {
+            skipped += 1;
+            continue;
+        };
+        tcp.take_elapsed(); // setup excluded: reuse is the steady state
+        for _ in 0..queries {
+            serial += 1;
+            let q =
+                builder::query((serial % 65_536) as u16, &format!("p{serial}.{apex}"), RecordType::A)
+                    .expect("static name shape");
+            match tcp.query(&mut world.net, &q) {
+                Ok(reply) => {
+                    let t_r = reply.latency + tunnel.sample_overhead(&mut world.net, client.ip);
+                    dns_samples.push(t_r);
+                }
+                Err(_) => {
+                    skipped += 1;
+                    continue 'clients;
+                }
+            }
+        }
+        tcp.close(&mut world.net);
+
+        // --- DoT over a reused session ----------------------------------
+        let mut dot_samples = Vec::with_capacity(queries as usize);
+        let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
+        let Ok(mut session) = dot.session(&mut world.net, client.ip, resolver, None) else {
+            skipped += 1;
+            continue;
+        };
+        session.take_elapsed();
+        for _ in 0..queries {
+            serial += 1;
+            let q =
+                builder::query((serial % 65_536) as u16, &format!("p{serial}.{apex}"), RecordType::A)
+                    .expect("static name shape");
+            match session.query(&mut world.net, &q) {
+                Ok(reply) => {
+                    let t_r = reply.latency + tunnel.sample_overhead(&mut world.net, client.ip);
+                    dot_samples.push(t_r);
+                }
+                Err(_) => {
+                    skipped += 1;
+                    continue 'clients;
+                }
+            }
+        }
+        session.close(&mut world.net);
+
+        // --- DoH over a reused session ----------------------------------
+        let mut doh_samples = Vec::with_capacity(queries as usize);
+        let mut doh = DohClient::new(
+            TlsClientConfig::strict(store.clone(), now),
+            doh_template.clone(),
+            DohMethod::Post,
+            Bootstrap::Do53 {
+                resolver: world.bootstrap_resolver,
+            },
+        );
+        let Ok(mut session) = doh.session(&mut world.net, client.ip) else {
+            skipped += 1;
+            continue;
+        };
+        session.take_elapsed();
+        for _ in 0..queries {
+            serial += 1;
+            let q =
+                builder::query((serial % 65_536) as u16, &format!("p{serial}.{apex}"), RecordType::A)
+                    .expect("static name shape");
+            match session.query(&mut world.net, &q) {
+                Ok(reply) => {
+                    let t_r = reply.latency + tunnel.sample_overhead(&mut world.net, client.ip);
+                    doh_samples.push(t_r);
+                }
+                Err(_) => {
+                    skipped += 1;
+                    continue 'clients;
+                }
+            }
+        }
+        session.close(&mut world.net);
+
+        observations.push(PerfObservation {
+            client: client.ip,
+            country: client.country.as_str().to_string(),
+            dns_ms: median_ms(&mut dns_samples),
+            dot_ms: median_ms(&mut dot_samples),
+            doh_ms: median_ms(&mut doh_samples),
+        });
+    }
+
+    // --- Aggregation ------------------------------------------------------
+    let mut by_country: BTreeMap<String, Vec<&PerfObservation>> = BTreeMap::new();
+    for obs in &observations {
+        by_country.entry(obs.country.clone()).or_default().push(obs);
+    }
+    let mut per_country: Vec<CountryPerformance> = by_country
+        .into_iter()
+        .map(|(country, group)| {
+            let mut dot: Vec<f64> = group.iter().map(|o| o.dot_overhead()).collect();
+            let mut doh: Vec<f64> = group.iter().map(|o| o.doh_overhead()).collect();
+            dot.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            doh.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+            let med = |v: &[f64]| v[v.len() / 2];
+            let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+            CountryPerformance {
+                country,
+                clients: group.len(),
+                dot_mean_ms: avg(&dot),
+                dot_median_ms: med(&dot),
+                doh_mean_ms: avg(&doh),
+                doh_median_ms: med(&doh),
+            }
+        })
+        .collect();
+    per_country.sort_by_key(|c| std::cmp::Reverse(c.clients));
+
+    let mut dot_all: Vec<SimDuration> = Vec::new();
+    let mut dns_all: Vec<SimDuration> = Vec::new();
+    let mut doh_all: Vec<SimDuration> = Vec::new();
+    for o in &observations {
+        dns_all.push(SimDuration::from_millis_f64(o.dns_ms));
+        dot_all.push(SimDuration::from_millis_f64(o.dot_ms));
+        doh_all.push(SimDuration::from_millis_f64(o.doh_ms));
+    }
+    let global_dot = (
+        mean(&dot_all).as_millis_f64() - mean(&dns_all).as_millis_f64(),
+        overhead_ms(median(&mut dot_all.clone()), median(&mut dns_all.clone())),
+    );
+    let global_doh = (
+        mean(&doh_all).as_millis_f64() - mean(&dns_all).as_millis_f64(),
+        overhead_ms(median(&mut doh_all.clone()), median(&mut dns_all.clone())),
+    );
+
+    PerformanceReport {
+        observations,
+        per_country,
+        global_dot,
+        global_doh,
+        skipped,
+    }
+}
+
+/// One row of Table 7: fresh-connection medians from a controlled vantage.
+#[derive(Debug, Clone)]
+pub struct FreshConnectionRow {
+    /// Vantage label (country code).
+    pub vantage: String,
+    /// Median clear-text DNS/TCP time, seconds.
+    pub dns_s: f64,
+    /// Median DoT time, seconds.
+    pub dot_s: f64,
+    /// Median DoH time, seconds.
+    pub doh_s: f64,
+}
+
+impl FreshConnectionRow {
+    /// DoT overhead, ms.
+    pub fn dot_overhead_ms(&self) -> f64 {
+        (self.dot_s - self.dns_s) * 1000.0
+    }
+
+    /// DoH overhead, ms.
+    pub fn doh_overhead_ms(&self) -> f64 {
+        (self.doh_s - self.dns_s) * 1000.0
+    }
+}
+
+/// Table 7: from four controlled vantages (US / NL / AU / HK), measure
+/// `iterations` queries per protocol against the self-built resolver with
+/// **no** connection or session reuse.
+pub fn fresh_connection_test(world: &mut World, iterations: u32) -> Vec<FreshConnectionRow> {
+    let vantages: [(&str, Ipv4Addr); 4] = [
+        ("US", Ipv4Addr::new(198, 51, 100, 20)),
+        ("NL", Ipv4Addr::new(198, 51, 100, 21)),
+        ("AU", Ipv4Addr::new(198, 51, 100, 22)),
+        ("HK", Ipv4Addr::new(198, 51, 100, 23)),
+    ];
+    for (cc, ip) in &vantages {
+        world
+            .net
+            .add_host(HostMeta::new(*ip).country(cc).asn(65_000).label("controlled vantage"));
+    }
+    let resolver = world.self_built.addr;
+    let auth_name = world.self_built.auth_name.clone();
+    let doh_template = world.self_built.doh_template.clone();
+    let store = world.trust_store.clone();
+    let now = world.epoch();
+    let apex = world.probe.apex.to_string();
+    let apex = apex.trim_end_matches('.').to_string();
+    let mut serial = 0u64;
+
+    let mut rows = Vec::new();
+    for (cc, src) in vantages {
+        let mut dns = Vec::new();
+        let mut dot_t = Vec::new();
+        let mut doh_t = Vec::new();
+        for _ in 0..iterations {
+            serial += 1;
+            let q = builder::query(
+                (serial % 65_536) as u16,
+                &format!("f{serial}.{apex}"),
+                RecordType::A,
+            )
+            .expect("static name shape");
+            // Fresh TCP.
+            if let Ok(reply) = doe_protocols::do53::do53_tcp_query(
+                &mut world.net,
+                src,
+                resolver,
+                &q,
+                SimDuration::from_secs(30),
+            ) {
+                dns.push(reply.latency);
+            }
+            // Fresh DoT (new client each time: no ticket, no pool).
+            let mut dot = DotClient::new(TlsClientConfig::strict(store.clone(), now));
+            if let Ok(reply) =
+                dot.query_once(&mut world.net, src, resolver, Some(&auth_name), &q)
+            {
+                dot_t.push(reply.latency);
+            }
+            // Fresh DoH.
+            let mut doh = DohClient::new(
+                TlsClientConfig::strict(store.clone(), now),
+                doh_template.clone(),
+                DohMethod::Post,
+                Bootstrap::Static(resolver),
+            );
+            if let Ok(reply) = doh.query_once(&mut world.net, src, &q) {
+                doh_t.push(reply.latency);
+            }
+        }
+        rows.push(FreshConnectionRow {
+            vantage: cc.to_string(),
+            dns_s: median(&mut dns).as_secs_f64(),
+            dot_s: median(&mut dot_t).as_secs_f64(),
+            doh_s: median(&mut doh_t).as_secs_f64(),
+        });
+    }
+    rows
+}
+
+/// Convenience: tunnel endpoints used by the study (measurement client and
+/// super proxy in a US datacenter).
+pub fn standard_tunnel(net: &mut Network) -> Tunnel {
+    let mc = Ipv4Addr::new(198, 51, 100, 40);
+    let sp = Ipv4Addr::new(198, 51, 100, 41);
+    if !net.has_host(mc) {
+        net.add_host(HostMeta::new(mc).country("US").asn(65_001).label("measurement client"));
+    }
+    if !net.has_host(sp) {
+        net.add_host(HostMeta::new(sp).country("US").asn(65_001).label("super proxy"));
+    }
+    Tunnel {
+        measurement_client: mc,
+        super_proxy: sp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worldgen::{Affliction, WorldConfig};
+
+    #[test]
+    fn reused_connection_overheads_are_small() {
+        let mut world = worldgen::World::build(WorldConfig::test_scale(31));
+        let tunnel = standard_tunnel(&mut world.net);
+        // Clean US/DE clients only, for a crisp expectation.
+        let clients: Vec<_> = world
+            .proxyrack
+            .clients
+            .iter()
+            .filter(|c| {
+                c.affliction == Affliction::None
+                    && ["US", "DE", "GB", "FR"].contains(&c.country.as_str())
+            })
+            .take(30)
+            .cloned()
+            .collect();
+        assert!(clients.len() >= 10);
+        let report = performance_test(&mut world, &clients, tunnel, 20);
+        assert!(report.observations.len() >= 10);
+        // Finding 3.1: single-digit-to-low-tens ms overheads.
+        let (dot_mean, dot_median) = report.global_dot;
+        let (doh_mean, doh_median) = report.global_doh;
+        for (label, v) in [
+            ("dot mean", dot_mean),
+            ("dot median", dot_median),
+            ("doh mean", doh_mean),
+            ("doh median", doh_median),
+        ] {
+            assert!((-10.0..35.0).contains(&v), "{label} = {v}ms");
+        }
+    }
+
+    #[test]
+    fn india_doh_is_faster_than_clear_text() {
+        let mut world = worldgen::World::build(WorldConfig::test_scale(37));
+        let tunnel = standard_tunnel(&mut world.net);
+        let clients: Vec<_> = world
+            .proxyrack
+            .clients
+            .iter()
+            .filter(|c| c.country.as_str() == "IN" && c.affliction == Affliction::None)
+            .take(12)
+            .cloned()
+            .collect();
+        assert!(clients.len() >= 5, "need IN clients");
+        let report = performance_test(&mut world, &clients, tunnel, 20);
+        let india = report
+            .per_country
+            .iter()
+            .find(|c| c.country == "IN")
+            .expect("india row");
+        // Finding 3.2: ~99ms average improvement for DoH in India.
+        assert!(
+            india.doh_mean_ms < -50.0,
+            "IN DoH overhead {}ms, expected strongly negative",
+            india.doh_mean_ms
+        );
+        // DoT roughly par (port 853 shaped nearly as hard as 53).
+        assert!(india.dot_mean_ms.abs() < 40.0, "IN DoT {}", india.dot_mean_ms);
+    }
+
+    #[test]
+    fn fresh_connections_cost_grows_with_distance() {
+        let mut world = worldgen::World::build(WorldConfig::test_scale(41));
+        let rows = fresh_connection_test(&mut world, 60);
+        assert_eq!(rows.len(), 4);
+        let by: BTreeMap<&str, &FreshConnectionRow> =
+            rows.iter().map(|r| (r.vantage.as_str(), r)).collect();
+        // Table 7 shape: overhead ordering US < NL ≲ AU < HK-ish; at
+        // minimum the farthest vantage pays much more than the nearest.
+        let us = by["US"].dot_overhead_ms();
+        let hk = by["HK"].dot_overhead_ms();
+        assert!(us > 10.0, "US overhead {us}ms");
+        assert!(hk > 2.0 * us, "US {us}ms vs HK {hk}ms");
+        // DoH ≈ DoT within jitter (DoH adds HTTP bytes, medians wobble).
+        for r in &rows {
+            assert!(
+                r.doh_overhead_ms() > r.dot_overhead_ms() - 30.0,
+                "{}: doh {} dot {}",
+                r.vantage,
+                r.doh_overhead_ms(),
+                r.dot_overhead_ms()
+            );
+        }
+    }
+}

@@ -1,0 +1,503 @@
+//! The reachability test (Figure 7): per vantage point, query each large
+//! resolver over clear-text DNS (TCP), Opportunistic DoT and Strict DoH;
+//! classify outcomes; investigate failures.
+
+use dnswire::{builder, Message, Rcode, RecordType};
+use doe_protocols::dot::DotClient;
+use doe_protocols::{Bootstrap, DohClient, DohMethod, QueryError};
+use httpsim::{Request, Response, UriTemplate};
+use netsim::{Network, ProbeOutcome, SimDuration};
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+use tlssim::{CertError, TlsClientConfig, TlsError};
+use worldgen::providers::anchors;
+use worldgen::{ClientInfo, World};
+
+/// Which transport a result belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TransportKind {
+    /// Clear-text DNS (over TCP through the proxy platforms).
+    Dns,
+    /// DNS over TLS, Opportunistic profile.
+    Dot,
+    /// DNS over HTTPS, Strict profile.
+    Doh,
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::Dns => write!(f, "DNS"),
+            TransportKind::Dot => write!(f, "DoT"),
+            TransportKind::Doh => write!(f, "DoH"),
+        }
+    }
+}
+
+/// Table 4's outcome classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// A NOERROR response whose answer matches authoritative truth.
+    Correct,
+    /// SERVFAIL, NXDOMAIN, zero answers, or a wrong answer.
+    Incorrect,
+    /// No DNS response at all.
+    Failed,
+}
+
+/// Tallies per (resolver, transport).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counts {
+    /// Correct responses.
+    pub correct: usize,
+    /// Incorrect responses.
+    pub incorrect: usize,
+    /// Failures.
+    pub failed: usize,
+}
+
+impl Counts {
+    fn add(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Correct => self.correct += 1,
+            Outcome::Incorrect => self.incorrect += 1,
+            Outcome::Failed => self.failed += 1,
+        }
+    }
+
+    /// Total classified.
+    pub fn total(&self) -> usize {
+        self.correct + self.incorrect + self.failed
+    }
+
+    /// Fraction helpers for reporting.
+    pub fn rates(&self) -> (f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.correct as f64 / t,
+            self.incorrect as f64 / t,
+            self.failed as f64 / t,
+        )
+    }
+}
+
+/// One resolver's test targets.
+#[derive(Debug, Clone)]
+pub struct ResolverTargets {
+    /// Display name.
+    pub name: String,
+    /// Clear-text address.
+    pub dns: Option<Ipv4Addr>,
+    /// DoT address (None = service not announced, Google's case).
+    pub dot: Option<Ipv4Addr>,
+    /// DoH locator.
+    pub doh: Option<UriTemplate>,
+}
+
+/// The standard four targets of Figure 7.
+pub fn standard_targets(world: &World) -> Vec<ResolverTargets> {
+    let template_of = |host: &str| {
+        world
+            .deployment
+            .doh_services
+            .iter()
+            .find(|s| s.hostname == host)
+            .map(|s| s.template.clone())
+    };
+    vec![
+        ResolverTargets {
+            name: "Cloudflare".into(),
+            dns: Some(anchors::CLOUDFLARE_PRIMARY),
+            dot: Some(anchors::CLOUDFLARE_PRIMARY),
+            doh: template_of("cloudflare-dns.com"),
+        },
+        ResolverTargets {
+            name: "Google".into(),
+            dns: Some(anchors::GOOGLE_PRIMARY),
+            dot: None, // not announced at experiment time
+            doh: template_of("dns.google.com"),
+        },
+        ResolverTargets {
+            name: "Quad9".into(),
+            dns: Some(anchors::QUAD9_PRIMARY),
+            dot: Some(anchors::QUAD9_PRIMARY),
+            doh: template_of("dns.quad9.net"),
+        },
+        ResolverTargets {
+            name: "Self-built".into(),
+            dns: Some(world.self_built.addr),
+            dot: Some(world.self_built.addr),
+            doh: Some(world.self_built.doh_template.clone()),
+        },
+    ]
+}
+
+/// An intercepted client (Table 6 rows).
+#[derive(Debug, Clone)]
+pub struct InterceptionFinding {
+    /// Client address (reported as /24 in the paper's ethics style).
+    pub client: Ipv4Addr,
+    /// Client country.
+    pub country: String,
+    /// Client AS.
+    pub asn: u32,
+    /// CA common name on the re-signed certificate.
+    pub ca_cn: String,
+    /// DoT (853) intercepted.
+    pub port_853: bool,
+    /// DoH (443) intercepted.
+    pub port_443: bool,
+}
+
+/// Forensics on a client that failed Cloudflare DoT (Table 5).
+#[derive(Debug, Clone)]
+pub struct ForensicFinding {
+    /// The failing client.
+    pub client: Ipv4Addr,
+    /// Client AS.
+    pub asn: u32,
+    /// Ports answering on 1.1.1.1 as seen from this client.
+    pub open_ports: Vec<u16>,
+    /// `<title>` of the webpage served at 1.1.1.1:80, if any.
+    pub page_title: Option<String>,
+    /// Whether the page carries coin-mining script (the hijacked
+    /// MikroTik routers of §4.2).
+    pub coinminer: bool,
+}
+
+/// The full reachability report.
+#[derive(Debug, Clone)]
+pub struct ReachabilityReport {
+    /// Counts per resolver name per transport.
+    pub matrix: BTreeMap<String, BTreeMap<TransportKind, Counts>>,
+    /// Clients tested.
+    pub clients_tested: usize,
+    /// Intercepted clients discovered.
+    pub interceptions: Vec<InterceptionFinding>,
+    /// Forensic findings on Cloudflare-DoT failures.
+    pub forensics: Vec<ForensicFinding>,
+}
+
+impl ReachabilityReport {
+    /// Table 5's histogram: how many failing clients had each port open.
+    pub fn port_histogram(&self) -> (BTreeMap<u16, usize>, usize) {
+        let mut hist: BTreeMap<u16, usize> = BTreeMap::new();
+        let mut none = 0usize;
+        for f in &self.forensics {
+            if f.open_ports.is_empty() {
+                none += 1;
+            }
+            for &p in &f.open_ports {
+                *hist.entry(p).or_default() += 1;
+            }
+        }
+        (hist, none)
+    }
+
+    /// Counts for one cell.
+    pub fn cell(&self, resolver: &str, transport: TransportKind) -> Counts {
+        self.matrix
+            .get(resolver)
+            .and_then(|m| m.get(&transport))
+            .copied()
+            .unwrap_or_default()
+    }
+}
+
+/// The forensic probe set of Figure 7.
+pub const FORENSIC_PORTS: [u16; 10] = [22, 23, 53, 67, 80, 123, 139, 161, 179, 443];
+
+fn classify(result: Result<Message, QueryError>, expected: Ipv4Addr) -> Outcome {
+    match result {
+        Ok(message) => {
+            if message.rcode() != Rcode::NoError {
+                return Outcome::Incorrect;
+            }
+            let got: Option<Ipv4Addr> = message.answers.iter().find_map(|rr| match &rr.rdata {
+                dnswire::RData::A(a) => Some(*a),
+                _ => None,
+            });
+            match got {
+                Some(a) if a == expected => Outcome::Correct,
+                _ => Outcome::Incorrect,
+            }
+        }
+        Err(_) => Outcome::Failed,
+    }
+}
+
+fn fetch_title(net: &mut Network, src: Ipv4Addr, dst: Ipv4Addr) -> (Option<String>, bool) {
+    let Ok(mut conn) = net.connect_with_timeout(src, dst, 80, SimDuration::from_secs(5)) else {
+        return (None, false);
+    };
+    let raw = match conn.request(net, &Request::get("/").encode()) {
+        Ok(r) => r,
+        Err(_) => return (None, false),
+    };
+    conn.close(net);
+    let Ok(resp) = Response::decode(&raw) else {
+        return (None, false);
+    };
+    let body = String::from_utf8_lossy(&resp.body);
+    let title = body
+        .split("<title>")
+        .nth(1)
+        .and_then(|rest| rest.split("</title>").next())
+        .map(str::to_string);
+    let miner = body.contains("coinhive") || body.contains("CoinHive");
+    (title, miner)
+}
+
+/// Run the reachability test for `clients` against the standard targets.
+///
+/// `forensics_on` names the resolver whose DoT failures trigger the
+/// port-probe/webpage investigation (the paper used Cloudflare because of
+/// its known 1.1.1.1 conflicts and platform rate limits).
+pub fn reachability_test(
+    world: &mut World,
+    clients: &[ClientInfo],
+    forensics_on: &str,
+) -> ReachabilityReport {
+    let targets = standard_targets(world);
+    let expected = world.probe.expected_a;
+    let apex = world.probe.apex.to_string();
+    let apex = apex.trim_end_matches('.').to_string();
+    let store = world.trust_store.clone();
+    let now = world.epoch();
+    let bootstrap = world.bootstrap_resolver;
+
+    let mut matrix: BTreeMap<String, BTreeMap<TransportKind, Counts>> = BTreeMap::new();
+    let mut interceptions: BTreeMap<Ipv4Addr, InterceptionFinding> = BTreeMap::new();
+    let mut forensics = Vec::new();
+    let mut serial = 0u64;
+
+    for client in clients {
+        let mut cloudflare_dot_failed = false;
+        for target in &targets {
+            let row = matrix.entry(target.name.clone()).or_default();
+
+            // --- Clear-text DNS over TCP -----------------------------------
+            if let Some(dns_addr) = target.dns {
+                serial += 1;
+                let qname = format!("d{serial}.{apex}");
+                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                    .map_err(QueryError::Wire)
+                    .and_then(|q| {
+                        doe_protocols::do53::do53_tcp_query(
+                            &mut world.net,
+                            client.ip,
+                            dns_addr,
+                            &q,
+                            SimDuration::from_secs(30),
+                        )
+                    })
+                    .map(|r| r.message);
+                row.entry(TransportKind::Dns)
+                    .or_default()
+                    .add(classify(result, expected));
+            }
+
+            // --- Opportunistic DoT ------------------------------------------
+            if let Some(dot_addr) = target.dot {
+                serial += 1;
+                let qname = format!("t{serial}.{apex}");
+                let mut dot =
+                    DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
+                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                    .map_err(QueryError::Wire)
+                    .and_then(|q| dot.query_once(&mut world.net, client.ip, dot_addr, None, &q));
+                // Interception: lookup succeeded, authentication failed.
+                if let Ok(reply) = &result {
+                    if let Some(Err(CertError::UntrustedCa { ca_cn })) = &reply.transport.verify
+                    {
+                        let entry =
+                            interceptions.entry(client.ip).or_insert(InterceptionFinding {
+                                client: client.ip,
+                                country: client.country.as_str().to_string(),
+                                asn: client.asn.0,
+                                ca_cn: ca_cn.clone(),
+                                port_853: false,
+                                port_443: false,
+                            });
+                        entry.port_853 = true;
+                    }
+                }
+                let outcome = classify(result.map(|r| r.message), expected);
+                if target.name == forensics_on && outcome == Outcome::Failed {
+                    cloudflare_dot_failed = true;
+                }
+                row.entry(TransportKind::Dot).or_default().add(outcome);
+            }
+
+            // --- Strict DoH --------------------------------------------------
+            if let Some(template) = &target.doh {
+                serial += 1;
+                let qname = format!("h{serial}.{apex}");
+                let mut doh = DohClient::new(
+                    TlsClientConfig::strict(store.clone(), now),
+                    template.clone(),
+                    DohMethod::Get,
+                    Bootstrap::Do53 {
+                        resolver: bootstrap,
+                    },
+                );
+                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                    .map_err(QueryError::Wire)
+                    .and_then(|q| doh.query_once(&mut world.net, client.ip, &q));
+                if let Err(QueryError::Tls(TlsError::Cert(CertError::UntrustedCa { ca_cn }))) =
+                    &result
+                {
+                    let entry = interceptions.entry(client.ip).or_insert(InterceptionFinding {
+                        client: client.ip,
+                        country: client.country.as_str().to_string(),
+                        asn: client.asn.0,
+                        ca_cn: ca_cn.clone(),
+                        port_853: false,
+                        port_443: false,
+                    });
+                    entry.port_443 = true;
+                }
+                row.entry(TransportKind::Doh)
+                    .or_default()
+                    .add(classify(result.map(|r| r.message), expected));
+            }
+        }
+
+        // --- Failure forensics (Table 5) -----------------------------------
+        if cloudflare_dot_failed {
+            let mut open_ports = Vec::new();
+            for &port in &FORENSIC_PORTS {
+                let (outcome, _) = world.net.syn_probe(client.ip, anchors::CLOUDFLARE_PRIMARY, port);
+                if outcome == ProbeOutcome::Open {
+                    open_ports.push(port);
+                }
+            }
+            let (page_title, coinminer) =
+                fetch_title(&mut world.net, client.ip, anchors::CLOUDFLARE_PRIMARY);
+            forensics.push(ForensicFinding {
+                client: client.ip,
+                asn: client.asn.0,
+                open_ports,
+                page_title,
+                coinminer,
+            });
+        }
+    }
+
+    ReachabilityReport {
+        matrix,
+        clients_tested: clients.len(),
+        interceptions: interceptions.into_values().collect(),
+        forensics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use worldgen::{Affliction, WorldConfig};
+
+    #[test]
+    fn reachability_recovers_paper_shape_at_test_scale() {
+        let mut world = worldgen::World::build(WorldConfig::test_scale(23));
+        let clients = world.proxyrack.clients.clone();
+        let report = reachability_test(&mut world, &clients, "Cloudflare");
+        let n = report.clients_tested as f64;
+
+        // Finding 2.1 shapes: Cloudflare clear-text fails for ~16% of
+        // clients, DoT for ~1%, DoH for well under 1%.
+        let cf_dns = report.cell("Cloudflare", TransportKind::Dns);
+        let cf_dot = report.cell("Cloudflare", TransportKind::Dot);
+        let cf_doh = report.cell("Cloudflare", TransportKind::Doh);
+        let dns_fail = cf_dns.failed as f64 / n;
+        let dot_fail = cf_dot.failed as f64 / n;
+        let doh_fail = cf_doh.failed as f64 / n;
+        assert!((0.08..0.25).contains(&dns_fail), "CF DNS fail {dns_fail}");
+        assert!(dot_fail < dns_fail / 4.0, "CF DoT fail {dot_fail} vs DNS {dns_fail}");
+        assert!(doh_fail < 0.02, "CF DoH fail {doh_fail}");
+        assert!(dot_fail > doh_fail, "conflicts break DoT more than DoH");
+
+        // Quad9 DoH: double-digit Incorrect rate (Finding 2.4).
+        let q9_doh = report.cell("Quad9", TransportKind::Doh);
+        let q9_incorrect = q9_doh.incorrect as f64 / n;
+        assert!(
+            (0.05..0.25).contains(&q9_incorrect),
+            "Quad9 DoH incorrect {q9_incorrect}"
+        );
+        // Quad9 clear-text is nearly perfect (no prominent-address filters).
+        let q9_dns = report.cell("Quad9", TransportKind::Dns);
+        assert!(q9_dns.failed as f64 / n < 0.02);
+
+        // Self-built resolver: >99% everywhere.
+        for t in [TransportKind::Dns, TransportKind::Dot, TransportKind::Doh] {
+            let c = report.cell("Self-built", t);
+            assert!(
+                c.correct as f64 / n > 0.97,
+                "self-built {t}: {c:?}"
+            );
+        }
+
+        // Google DoT not tested (not announced).
+        assert!(report.matrix.get("Google").unwrap().get(&TransportKind::Dot).is_none());
+
+        // Interceptions: every planted interceptor with 853 coverage is
+        // discovered via opportunistic DoT, with its CA name.
+        let planted_853 = clients
+            .iter()
+            .filter(|c| {
+                matches!(&c.affliction, Affliction::Intercepted { intercepts_853: true, .. })
+            })
+            .count();
+        let found_853 = report.interceptions.iter().filter(|i| i.port_853).count();
+        assert_eq!(found_853, planted_853);
+        assert!(report
+            .interceptions
+            .iter()
+            .any(|i| i.ca_cn == "SonicWall Firewall DPI-SSL"));
+        // 443-only devices appear with port_443 but not port_853.
+        assert!(report
+            .interceptions
+            .iter()
+            .any(|i| i.port_443 && !i.port_853));
+
+        // Forensics: port histogram shows the device surface; some pages
+        // identify routers; coin-mining detected on hijacked MikroTiks.
+        let (hist, none) = report.port_histogram();
+        assert!(none > 0, "some conflicted paths are pure blackholes");
+        assert!(hist.get(&80).copied().unwrap_or(0) > 0, "{hist:?}");
+        assert!(report
+            .forensics
+            .iter()
+            .any(|f| f.page_title.as_deref().is_some_and(|t| t.contains("RouterOS"))));
+        assert!(report.forensics.iter().any(|f| f.coinminer));
+    }
+
+    #[test]
+    fn zhima_pool_shows_censorship() {
+        let mut world = worldgen::World::build(WorldConfig::test_scale(29));
+        let clients = world.zhima.clients.clone();
+        // Subsample for speed: every 4th client.
+        let sample: Vec<_> = clients.iter().step_by(4).cloned().collect();
+        let report = reachability_test(&mut world, &sample, "Cloudflare");
+        let n = report.clients_tested as f64;
+
+        // Google DoH is ~fully blocked from CN (Finding 2.2).
+        let g_doh = report.cell("Google", TransportKind::Doh);
+        assert!(
+            g_doh.failed as f64 / n > 0.99,
+            "Google DoH fail rate {}",
+            g_doh.failed as f64 / n
+        );
+        // Cloudflare DNS *and* DoT fail at ~15% (both ports filtered).
+        let cf_dns_fail = report.cell("Cloudflare", TransportKind::Dns).failed as f64 / n;
+        let cf_dot_fail = report.cell("Cloudflare", TransportKind::Dot).failed as f64 / n;
+        assert!((0.08..0.25).contains(&cf_dns_fail), "CN CF DNS {cf_dns_fail}");
+        assert!(
+            (cf_dns_fail - cf_dot_fail).abs() < 0.04,
+            "CN: DNS {cf_dns_fail} ≈ DoT {cf_dot_fail}"
+        );
+        // Cloudflare DoH still works from CN.
+        let cf_doh_fail = report.cell("Cloudflare", TransportKind::Doh).failed as f64 / n;
+        assert!(cf_doh_fail < 0.05, "CN CF DoH {cf_doh_fail}");
+    }
+}

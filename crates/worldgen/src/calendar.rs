@@ -1,0 +1,67 @@
+//! Mapping between the simulator's virtual clock and civil dates.
+
+use netsim::{SimDuration, SimTime};
+use tlssim::DateStamp;
+
+/// Anchors [`SimTime::EPOCH`] to a civil date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Calendar {
+    epoch_date: DateStamp,
+}
+
+impl Calendar {
+    /// Virtual microseconds per civil day.
+    pub const MICROS_PER_DAY: u64 = 86_400_000_000;
+
+    /// A calendar whose simulation epoch is `epoch_date`.
+    pub fn anchored_at(epoch_date: DateStamp) -> Self {
+        Calendar { epoch_date }
+    }
+
+    /// The civil date at a virtual instant.
+    pub fn date_at(&self, t: SimTime) -> DateStamp {
+        self.epoch_date + (t.as_micros() / Self::MICROS_PER_DAY) as i64
+    }
+
+    /// The virtual instant at the start of a civil date.
+    ///
+    /// Dates before the epoch clamp to the epoch (the simulation cannot
+    /// run backwards).
+    pub fn time_of(&self, date: DateStamp) -> SimTime {
+        let days = (date - self.epoch_date).max(0);
+        SimTime::from_micros(days as u64 * Self::MICROS_PER_DAY)
+    }
+
+    /// The duration of `days` civil days.
+    pub fn days(days: u64) -> SimDuration {
+        SimDuration::from_micros(days * Self::MICROS_PER_DAY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let cal = Calendar::anchored_at(DateStamp::from_ymd(2019, 2, 1));
+        let d = DateStamp::from_ymd(2019, 3, 13);
+        assert_eq!(cal.date_at(cal.time_of(d)), d);
+        assert_eq!(cal.date_at(SimTime::EPOCH).to_string(), "2019-02-01");
+    }
+
+    #[test]
+    fn pre_epoch_clamps() {
+        let cal = Calendar::anchored_at(DateStamp::from_ymd(2019, 2, 1));
+        assert_eq!(cal.time_of(DateStamp::from_ymd(2018, 1, 1)), SimTime::EPOCH);
+    }
+
+    #[test]
+    fn mid_day_instants_map_to_the_day() {
+        let cal = Calendar::anchored_at(DateStamp::from_ymd(2019, 2, 1));
+        let noon = SimTime::from_micros(Calendar::MICROS_PER_DAY / 2);
+        assert_eq!(cal.date_at(noon).to_string(), "2019-02-01");
+        let tomorrow = SimTime::from_micros(Calendar::MICROS_PER_DAY + 1);
+        assert_eq!(cal.date_at(tomorrow).to_string(), "2019-02-02");
+    }
+}

@@ -1,0 +1,514 @@
+//! Client-population generation: the ProxyRack-like global pool and the
+//! Zhima-like censored pool, with per-AS middlebox afflictions.
+
+use crate::config::{CountrySpec, WorldConfig, COUNTRY_TABLE, TAIL_COUNTRIES};
+use crate::types::{Affliction, ClientInfo, ClientPool, DeviceKind, InterceptorSpec};
+use netsim::{Asn, CountryCode, Netblock};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::net::Ipv4Addr;
+
+/// Default spec applied to tail countries.
+fn tail_spec(cc: &'static str) -> CountrySpec {
+    CountrySpec {
+        cc,
+        proxyrack_clients: 25,
+        filter53_rate: 0.075,
+        conflict_rate: 0.006,
+        access_ms: 5.0,
+        jitter: 0.09,
+        loss: 0.003,
+        penalty_53_ms: 0.0,
+        penalty_853_ms: 0.0,
+    }
+}
+
+/// All country specs: calibrated table plus the tail.
+pub fn all_country_specs() -> Vec<CountrySpec> {
+    COUNTRY_TABLE
+        .iter()
+        .copied()
+        .chain(TAIL_COUNTRIES.iter().map(|cc| tail_spec(cc)))
+        .collect()
+}
+
+/// Where clients live: sequential /24 allocation inside `64.0.0.0/4`
+/// (disjoint from the 5.x server space and every anchor address).
+pub struct ClientAllocator {
+    next_block: u32,
+}
+
+const CLIENT_SPACE_BASE: u32 = 64 << 24;
+const CLIENT_SPACE_BLOCKS: u32 = 16 << 16; // /24s inside 64.0.0.0/4
+
+impl ClientAllocator {
+    /// Fresh allocator.
+    pub fn new() -> Self {
+        ClientAllocator { next_block: 0 }
+    }
+
+    /// Allocate `n` consecutive /24 blocks.
+    pub fn alloc_blocks(&mut self, n: u32) -> Vec<Netblock> {
+        assert!(
+            self.next_block + n <= CLIENT_SPACE_BLOCKS,
+            "client space exhausted"
+        );
+        let start = self.next_block;
+        self.next_block += n;
+        (start..start + n)
+            .map(|i| Netblock::new(Ipv4Addr::from(CLIENT_SPACE_BASE + (i << 8)), 24))
+            .collect()
+    }
+}
+
+impl Default for ClientAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What the device installer (devices.rs) must build.
+#[derive(Debug, Clone, Default)]
+pub struct MiddleboxPlan {
+    /// Client blocks whose port-53 path to prominent resolvers is filtered.
+    pub filtered_blocks: Vec<Netblock>,
+    /// Client blocks with a device squatting on 1.1.1.1.
+    pub conflict_sites: Vec<(Netblock, DeviceKind)>,
+    /// Client blocks behind TLS interceptors.
+    pub interceptor_sites: Vec<(Netblock, InterceptorSpec)>,
+    /// CN blocks whose 53+853 path to Cloudflare fails (Zhima, Table 4).
+    pub cn_cloudflare_blocks: Vec<Netblock>,
+    /// CN blocks whose 53 path to 8.8.8.8 fails.
+    pub cn_google_dns_blocks: Vec<Netblock>,
+}
+
+/// Everything the client generator emits.
+pub struct GeneratedClients {
+    /// The global residential pool (Table 3, ProxyRack row).
+    pub proxyrack: ClientPool,
+    /// The censored CN pool (Table 3, Zhima row).
+    pub zhima: ClientPool,
+    /// Device/policy work orders.
+    pub plan: MiddleboxPlan,
+    /// Per-client-block geo attribution to register.
+    pub geo_entries: Vec<(Netblock, CountryCode, Asn)>,
+}
+
+/// The six concretely-named interceptor devices of Table 6.
+pub fn named_interceptors() -> Vec<InterceptorSpec> {
+    vec![
+        InterceptorSpec {
+            ca_cn: "SonicWall Firewall DPI-SSL".into(),
+            country: "LA",
+            as_label: "AS44725 Sinam LLC",
+            intercepts_853: true,
+        },
+        InterceptorSpec {
+            ca_cn: "None".into(),
+            country: "US",
+            as_label: "AS17488 Hathway IP Over Cable Internet",
+            intercepts_853: true,
+        },
+        InterceptorSpec {
+            ca_cn: "Sample CA 2".into(),
+            country: "BR",
+            as_label: "AS24835 Vodafone Data",
+            intercepts_853: true,
+        },
+        InterceptorSpec {
+            ca_cn: "NThmYzgyYT".into(),
+            country: "RU",
+            as_label: "AS4713 NTT Communications Corporation",
+            intercepts_853: true,
+        },
+        InterceptorSpec {
+            ca_cn: "c41618c762bf890f".into(),
+            country: "MY",
+            as_label: "AS52532 Speednet Telecomunicacoes Ldta",
+            intercepts_853: false,
+        },
+        InterceptorSpec {
+            ca_cn: "FortiGate CA".into(),
+            country: "BR",
+            as_label: "AS27699 Telefonica Brazil S.A",
+            intercepts_853: true,
+        },
+    ]
+}
+
+/// Device mix for 1.1.1.1 squatters, weighted to reproduce Table 5's port
+/// histogram (many conflicted addresses answer nothing; HTTP management
+/// pages dominate among those that do).
+fn sample_device(rng: &mut SmallRng) -> DeviceKind {
+    let roll: f64 = rng.gen();
+    if roll < 0.42 {
+        DeviceKind::Blackhole
+    } else if roll < 0.62 {
+        DeviceKind::MikroTikRouter {
+            crypto_hijacked: rng.gen_bool(0.18),
+        }
+    } else if roll < 0.80 {
+        DeviceKind::PowerboxModem
+    } else if roll < 0.86 {
+        DeviceKind::BgpRouter
+    } else if roll < 0.90 {
+        DeviceKind::NtpSnmpAppliance
+    } else if roll < 0.93 {
+        DeviceKind::DhcpRelay
+    } else if roll < 0.95 {
+        DeviceKind::SmbBox
+    } else {
+        DeviceKind::AuthPortal
+    }
+}
+
+/// Build both pools.
+pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng, alloc: &mut ClientAllocator) -> GeneratedClients {
+    let mut proxyrack = ClientPool::default();
+    let mut plan = MiddleboxPlan::default();
+    let mut geo_entries = Vec::new();
+    let mut next_asn = 100_000u32;
+
+    // ---- ProxyRack-like global pool -------------------------------------
+    for spec in all_country_specs() {
+        let country = CountryCode::new(spec.cc);
+        let clients = cfg.scaled(spec.proxyrack_clients, 1);
+        // ~11 clients per AS reproduces Table 3's 2,597 ASes.
+        let n_as = ((clients as f64 / 11.4).round() as u32).max(1);
+        let mut remaining = clients;
+        for as_i in 0..n_as {
+            let as_clients = if as_i == n_as - 1 {
+                remaining
+            } else {
+                (clients / n_as).max(1).min(remaining)
+            };
+            if as_clients == 0 {
+                break;
+            }
+            remaining -= as_clients;
+            let asn = Asn(next_asn);
+            next_asn += 1;
+            let n_blocks = as_clients.div_ceil(200).max(1);
+            let blocks = alloc.alloc_blocks(n_blocks);
+            for b in &blocks {
+                geo_entries.push((*b, country, asn));
+            }
+
+            // Per-AS afflictions: conflicts first, then filtering.
+            let affliction = if rng.gen_bool(spec.conflict_rate) {
+                let device = sample_device(rng);
+                plan.conflict_sites.push((blocks[0], device));
+                // Conflicted ASes usually sit behind the same broken edge
+                // network; their port-53 path to 1.1.1.1 dies with it.
+                Affliction::Conflict(device)
+            } else if rng.gen_bool(spec.filter53_rate) {
+                for b in &blocks {
+                    plan.filtered_blocks.push(*b);
+                }
+                Affliction::Port53Filter
+            } else {
+                Affliction::None
+            };
+            // Diversion rules match whole blocks; conflicts must cover
+            // every block of the AS.
+            if matches!(affliction, Affliction::Conflict(_)) {
+                for b in blocks.iter().skip(1) {
+                    let device = match affliction {
+                        Affliction::Conflict(d) => d,
+                        _ => unreachable!(),
+                    };
+                    plan.conflict_sites.push((*b, device));
+                }
+            }
+
+            for i in 0..as_clients {
+                let block = &blocks[(i / 200) as usize];
+                let ip = block.addr(1 + (i % 200) as u64);
+                proxyrack.clients.push(ClientInfo {
+                    ip,
+                    country,
+                    asn,
+                    affliction: affliction.clone(),
+                    in_perf_subset: rng.gen_bool(cfg.perf_subset),
+                });
+            }
+        }
+    }
+
+    // ---- Named conflict sites (the paper's concrete §4.2 examples) ------
+    // A crypto-hijacked MikroTik router and a Powerbox Gvt Modem squat on
+    // 1.1.1.1 for their networks at every scale.
+    for (country_code, asn_raw, device) in [
+        ("ID", 17_974u32, DeviceKind::MikroTikRouter { crypto_hijacked: true }),
+        ("BR", 27_699, DeviceKind::PowerboxModem),
+    ] {
+        let country = CountryCode::new(country_code);
+        let asn = Asn(asn_raw);
+        let blocks = alloc.alloc_blocks(1);
+        geo_entries.push((blocks[0], country, asn));
+        plan.conflict_sites.push((blocks[0], device));
+        for i in 0..6u64 {
+            proxyrack.clients.push(ClientInfo {
+                ip: blocks[0].addr(1 + i),
+                country,
+                asn,
+                affliction: Affliction::Conflict(device),
+                in_perf_subset: false,
+            });
+        }
+    }
+
+    // ---- TLS-intercepted clients (Finding 2.3 / Table 6) ----------------
+    let mut interceptor_specs = named_interceptors();
+    let n_interceptors = cfg.scaled(cfg.interceptor_clients, 6).max(6) as usize;
+    while interceptor_specs.len() < n_interceptors {
+        let i = interceptor_specs.len();
+        interceptor_specs.push(InterceptorSpec {
+            ca_cn: format!("{:016x}", 0xc416_18c7_62bf_0000u64 + i as u64),
+            country: ["US", "BR", "RU", "TR", "MX", "PH", "EG"][i % 7],
+            as_label: "AS0 Generated Access Network",
+            intercepts_853: i % 5 != 4, // keep ~3 of 17 as 443-only
+        });
+    }
+    interceptor_specs.truncate(n_interceptors);
+    for spec in interceptor_specs {
+        let country = CountryCode::new(spec.country);
+        let asn = Asn(next_asn);
+        next_asn += 1;
+        let blocks = alloc.alloc_blocks(1);
+        geo_entries.push((blocks[0], country, asn));
+        let ip = blocks[0].addr(10);
+        proxyrack.clients.push(ClientInfo {
+            ip,
+            country,
+            asn,
+            affliction: Affliction::Intercepted {
+                ca_cn: spec.ca_cn.clone(),
+                intercepts_853: spec.intercepts_853,
+            },
+            in_perf_subset: false,
+        });
+        plan.interceptor_sites.push((blocks[0], spec));
+    }
+
+    // ---- Zhima-like censored pool ---------------------------------------
+    let mut zhima = ClientPool::default();
+    let zhima_total = cfg.scaled(cfg.zhima_total, 50);
+    let cn = CountryCode::new("CN");
+    let zhima_asns = [4134u32, 4837, 4808, 9808, 4812];
+    let per_as = zhima_total / zhima_asns.len() as u32;
+    let mut cf_acc = 0.8f64; // bias so the first block is censored
+    let mut gdns_acc = 0.0f64;
+    for (i, asn_raw) in zhima_asns.iter().enumerate() {
+        let asn = Asn(*asn_raw);
+        let as_clients = if i == zhima_asns.len() - 1 {
+            zhima_total - per_as * (zhima_asns.len() as u32 - 1)
+        } else {
+            per_as
+        };
+        let n_blocks = as_clients.div_ceil(200).max(1);
+        let blocks = alloc.alloc_blocks(n_blocks);
+        for b in &blocks {
+            geo_entries.push((*b, cn, asn));
+        }
+        for (bi, block) in blocks.iter().enumerate() {
+            // Per-/24 censorship afflictions, assigned by error diffusion
+            // so the configured rates hold exactly at every scale.
+            cf_acc += cfg.cn_cloudflare_filter_rate;
+            gdns_acc += cfg.cn_google_dns_filter_rate;
+            let affliction = if cf_acc >= 1.0 {
+                cf_acc -= 1.0;
+                plan.cn_cloudflare_blocks.push(*block);
+                Affliction::CensoredCloudflare
+            } else if gdns_acc >= 1.0 {
+                gdns_acc -= 1.0;
+                plan.cn_google_dns_blocks.push(*block);
+                Affliction::CensoredGoogleDns
+            } else {
+                Affliction::None
+            };
+            let in_block = if bi as u32 == n_blocks - 1 {
+                as_clients - 200 * (n_blocks - 1)
+            } else {
+                200
+            };
+            for j in 0..in_block {
+                zhima.clients.push(ClientInfo {
+                    ip: block.addr(1 + j as u64),
+                    country: cn,
+                    asn,
+                    affliction: affliction.clone(),
+                    in_perf_subset: false,
+                });
+            }
+        }
+    }
+
+    GeneratedClients {
+        proxyrack,
+        zhima,
+        plan,
+        geo_entries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn build(scale: f64) -> GeneratedClients {
+        let cfg = WorldConfig {
+            scale,
+            ..WorldConfig::default()
+        };
+        let mut rng = SmallRng::seed_from_u64(13);
+        let mut alloc = ClientAllocator::new();
+        generate(&cfg, &mut rng, &mut alloc)
+    }
+
+    #[test]
+    fn full_scale_pool_shapes_match_table3() {
+        let g = build(1.0);
+        let n = g.proxyrack.clients.len();
+        assert!(
+            (29_000..31_000).contains(&n),
+            "proxyrack {n} (paper: 29,622)"
+        );
+        let countries = g.proxyrack.country_count();
+        assert!(countries >= 166, "countries {countries} (paper: 166)");
+        let ases = g.proxyrack.as_count();
+        assert!(
+            (2_300..3_100).contains(&ases),
+            "ASes {ases} (paper: 2,597)"
+        );
+        let z = g.zhima.clients.len();
+        assert!((84_000..86_500).contains(&z), "zhima {z} (paper: 85,112)");
+        assert_eq!(g.zhima.country_count(), 1);
+        assert_eq!(g.zhima.as_count(), 5);
+        // Performance subset ~28% of the global pool.
+        let perf = g.proxyrack.perf_subset().count();
+        let frac = perf as f64 / n as f64;
+        assert!((0.25..0.32).contains(&frac), "perf subset {frac}");
+    }
+
+    #[test]
+    fn affliction_rates_near_calibration() {
+        let g = build(1.0);
+        let n = g.proxyrack.clients.len() as f64;
+        let filtered = g
+            .proxyrack
+            .clients
+            .iter()
+            .filter(|c| c.affliction == Affliction::Port53Filter)
+            .count() as f64;
+        let conflicted = g
+            .proxyrack
+            .clients
+            .iter()
+            .filter(|c| matches!(c.affliction, Affliction::Conflict(_)))
+            .count() as f64;
+        // Conflicts also break port 53 to 1.1.1.1; together they target
+        // the paper's ~16% clear-text failure to prominent resolvers.
+        let broken53 = (filtered + conflicted) / n;
+        assert!(
+            (0.11..0.22).contains(&broken53),
+            "broken-53 fraction {broken53}"
+        );
+        let conflict_rate = conflicted / n;
+        assert!(
+            (0.004..0.025).contains(&conflict_rate),
+            "conflict rate {conflict_rate} (paper: ~1.1%)"
+        );
+        let intercepted = g
+            .proxyrack
+            .clients
+            .iter()
+            .filter(|c| matches!(c.affliction, Affliction::Intercepted { .. }))
+            .count();
+        assert_eq!(intercepted, 17);
+    }
+
+    #[test]
+    fn id_vn_in_dominate_filtering() {
+        let g = build(1.0);
+        let affected: Vec<_> = g
+            .proxyrack
+            .clients
+            .iter()
+            .filter(|c| c.affliction == Affliction::Port53Filter)
+            .collect();
+        let idvnin = affected
+            .iter()
+            .filter(|c| ["ID", "VN", "IN"].contains(&c.country.as_str()))
+            .count();
+        let frac = idvnin as f64 / affected.len() as f64;
+        assert!(frac > 0.5, "ID/VN/IN carry {frac} of filtered clients");
+    }
+
+    #[test]
+    fn zhima_censorship_rates() {
+        let g = build(1.0);
+        let n = g.zhima.clients.len() as f64;
+        let cf = g
+            .zhima
+            .clients
+            .iter()
+            .filter(|c| c.affliction == Affliction::CensoredCloudflare)
+            .count() as f64;
+        assert!(
+            (0.12..0.19).contains(&(cf / n)),
+            "CN cloudflare-filter rate {}",
+            cf / n
+        );
+    }
+
+    #[test]
+    fn named_interceptors_present() {
+        let g = build(1.0);
+        let cns: Vec<&str> = g
+            .plan
+            .interceptor_sites
+            .iter()
+            .map(|(_, s)| s.ca_cn.as_str())
+            .collect();
+        assert!(cns.contains(&"SonicWall Firewall DPI-SSL"));
+        assert!(cns.contains(&"Sample CA 2"));
+        let only_443 = g
+            .plan
+            .interceptor_sites
+            .iter()
+            .filter(|(_, s)| !s.intercepts_853)
+            .count();
+        assert_eq!(only_443, 3, "3 of 17 devices only handle 443");
+    }
+
+    #[test]
+    fn small_scale_still_covers_all_countries() {
+        let g = build(0.02);
+        assert!(g.proxyrack.country_count() >= 166);
+        assert!(g.proxyrack.clients.len() < 2_000);
+    }
+
+    #[test]
+    fn blocks_are_disjoint_and_in_client_space() {
+        let g = build(0.05);
+        let mut seen = std::collections::HashSet::new();
+        for (block, _, _) in &g.geo_entries {
+            assert!(seen.insert(block.network()), "duplicate block {block}");
+            let first_octet = block.network().octets()[0];
+            assert!((64..80).contains(&first_octet), "block {block} outside space");
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let a = build(0.05);
+        let b = build(0.05);
+        assert_eq!(a.proxyrack.clients.len(), b.proxyrack.clients.len());
+        for (x, y) in a.proxyrack.clients.iter().zip(&b.proxyrack.clients) {
+            assert_eq!(x.ip, y.ip);
+            assert_eq!(x.affliction, y.affliction);
+        }
+    }
+}

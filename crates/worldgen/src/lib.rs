@@ -1,0 +1,47 @@
+//! # worldgen — the calibrated world the study measures
+//!
+//! Builds a deterministic simulated Internet whose *causes* are set at the
+//! rates the IMC'19 paper reports, so the measurement pipeline (scanner,
+//! vantage tests, traffic analysis) has to *recover* those rates end to
+//! end — validating the pipeline rather than hard-coding its outputs.
+//!
+//! What gets generated (see DESIGN.md for the full inventory):
+//!
+//! * the DoT/DoH **resolver deployment**: large providers (Cloudflare,
+//!   Google, Quad9, CleanBrowsing, ...), a long tail of single-address
+//!   providers, per-country counts evolving across the ten scan epochs
+//!   (Table 2 / Figure 3), certificate health (Figure 4's 25% invalid:
+//!   expired / self-signed / broken chains / FortiGate proxies), and the
+//!   17 DoH services with their URI templates;
+//! * **client populations** for the vantage studies: a global
+//!   ProxyRack-like pool (~166 countries) and a censored CN-only
+//!   Zhima-like pool, with per-AS middlebox afflictions — port-53
+//!   filtering, 1.1.1.1-squatting devices (Table 5), TLS interceptors
+//!   (Table 6), GFW-style address blocking;
+//! * the **probe infrastructure**: our registered domain, its
+//!   authoritative server (whose query log is the interception ground
+//!   truth), the self-built resolver, scanner source hosts with opt-out
+//!   pages, and the neutral bootstrap resolver;
+//! * the **URL corpus** a DoH-discovery pass greps (Section 3.1);
+//! * RIPE-Atlas-like **probes** with ISP local resolvers (§3.1's 0.3%
+//!   DoT-capable finding).
+//!
+//! Everything flows from `WorldConfig { seed, scale, .. }`; identical
+//! configs build byte-identical worlds.
+
+pub mod calendar;
+pub mod clients;
+pub mod config;
+pub mod corpus;
+pub mod devices;
+pub mod providers;
+pub mod types;
+pub mod world;
+
+pub use calendar::Calendar;
+pub use config::{CountrySpec, WorldConfig, COUNTRY_TABLE, SCAN_EPOCHS, TAIL_COUNTRIES};
+pub use types::{
+    Affliction, AtlasProbe, CertProfile, ClientInfo, ClientPool, DeviceKind, DohDeployment,
+    InterceptorSpec, ProviderClass, ResolverBehavior, ResolverDeployment,
+};
+pub use world::{ProbeInfra, World};

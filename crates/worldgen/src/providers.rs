@@ -1,0 +1,746 @@
+//! Generates the DoT/DoH resolver deployment: who serves, where, since
+//! when, and with what certificate hygiene.
+
+use crate::config::{WorldConfig, DOT_COUNTRY_COUNTS, DOT_TAIL_COUNTRY_COUNTS, SCAN_EPOCHS};
+use crate::types::{
+    CertProfile, ProviderClass, ResolverBehavior, ResolverDeployment,
+};
+use httpsim::UriTemplate;
+use netsim::{Asn, CountryCode};
+use rand::rngs::SmallRng;
+use rand::Rng;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+use tlssim::DateStamp;
+
+/// A deployed DoH service (separate from the DoT list; fronts share
+/// providers but not necessarily addresses).
+#[derive(Debug, Clone)]
+pub struct DohServiceSpec {
+    /// Bootstrap hostname.
+    pub hostname: String,
+    /// Locator template.
+    pub template: UriTemplate,
+    /// Front-end address.
+    pub front: Ipv4Addr,
+    /// Provider key.
+    pub provider: String,
+    /// Hosting country.
+    pub country: CountryCode,
+    /// Hosting AS.
+    pub asn: Asn,
+    /// Anycast front.
+    pub anycast: bool,
+    /// Quad9-style forwarding front-end: timeout in ms.
+    pub backend_timeout_ms: Option<u64>,
+    /// Whether the Do53 back-end behind the front is congested.
+    pub congested_backend: bool,
+    /// Whether the template is in the public curl-wiki list.
+    pub in_public_list: bool,
+    /// Whether the front address is blocked from CN (Google's case).
+    pub blocked_in_cn: bool,
+}
+
+/// Everything the provider generator emits.
+#[derive(Debug, Clone)]
+pub struct ProviderDeployment {
+    /// All DoT resolver addresses ever online during the study.
+    pub dot_resolvers: Vec<ResolverDeployment>,
+    /// The 17 DoH services.
+    pub doh_services: Vec<DohServiceSpec>,
+    /// Addresses in public DoT lists (the dnsprivacy.org-style roster).
+    pub public_dot_list: Vec<Ipv4Addr>,
+}
+
+/// Well-known anchor addresses.
+pub mod anchors {
+    use std::net::Ipv4Addr;
+
+    /// Cloudflare primary.
+    pub const CLOUDFLARE_PRIMARY: Ipv4Addr = Ipv4Addr::new(1, 1, 1, 1);
+    /// Cloudflare secondary.
+    pub const CLOUDFLARE_SECONDARY: Ipv4Addr = Ipv4Addr::new(1, 0, 0, 1);
+    /// Google clear-text primary (Do53 only at study time).
+    pub const GOOGLE_PRIMARY: Ipv4Addr = Ipv4Addr::new(8, 8, 8, 8);
+    /// Quad9 primary.
+    pub const QUAD9_PRIMARY: Ipv4Addr = Ipv4Addr::new(9, 9, 9, 9);
+    /// Quad9 DoH front.
+    pub const QUAD9_DOH_FRONT: Ipv4Addr = Ipv4Addr::new(9, 9, 9, 10);
+    /// Cloudflare DoH front (cloudflare-dns.com).
+    pub const CLOUDFLARE_DOH_FRONT: Ipv4Addr = Ipv4Addr::new(104, 16, 248, 249);
+    /// Cloudflare DoH front (mozilla.cloudflare-dns.com).
+    pub const MOZILLA_DOH_FRONT: Ipv4Addr = Ipv4Addr::new(104, 16, 249, 249);
+    /// Google DoH front — carries other Google services, hence blocked
+    /// from CN (Finding 2.2).
+    pub const GOOGLE_DOH_FRONT: Ipv4Addr = Ipv4Addr::new(216, 58, 192, 10);
+    /// The study's self-built resolver (§4.1): clean-history address.
+    pub const SELF_BUILT: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 77);
+    /// Authoritative server for the probe domain.
+    pub const PROBE_AUTH: Ipv4Addr = Ipv4Addr::new(203, 0, 113, 250);
+    /// Neutral open bootstrap resolver used by DoH clients.
+    pub const BOOTSTRAP_RESOLVER: Ipv4Addr = Ipv4Addr::new(198, 18, 0, 53);
+}
+
+fn cc(code: &str) -> CountryCode {
+    CountryCode::new(code)
+}
+
+/// Deterministic per-country server /16: `(5 + i).(37).0.0/16`-style.
+fn server_block_base(index: usize) -> Ipv4Addr {
+    Ipv4Addr::new(5 + (index / 200) as u8, (index % 200) as u8 + 1, 0, 0)
+}
+
+/// Hands out server addresses per country.
+pub struct ServerAllocator {
+    country_index: HashMap<CountryCode, usize>,
+    next_host: HashMap<CountryCode, u32>,
+    next_index: usize,
+}
+
+impl ServerAllocator {
+    /// Fresh allocator.
+    pub fn new() -> Self {
+        ServerAllocator {
+            country_index: HashMap::new(),
+            next_host: HashMap::new(),
+            next_index: 0,
+        }
+    }
+
+    /// Allocate a unique server address in `country`'s block.
+    pub fn alloc(&mut self, country: CountryCode) -> Ipv4Addr {
+        let idx = *self.country_index.entry(country).or_insert_with(|| {
+            let i = self.next_index;
+            self.next_index += 1;
+            i
+        });
+        let n = self.next_host.entry(country).or_insert(1);
+        let base = u32::from(server_block_base(idx));
+        let addr = Ipv4Addr::from(base + *n);
+        *n += 1;
+        assert!(*n < 65_000, "country {country} server block exhausted");
+        addr
+    }
+
+    /// The /16 blocks allocated so far (the scanner's target space).
+    pub fn blocks(&self) -> Vec<netsim::Netblock> {
+        self.country_index
+            .values()
+            .map(|&i| netsim::Netblock::new(server_block_base(i), 16))
+            .collect()
+    }
+
+    /// AS number for a country's server block (one hosting AS per
+    /// country keeps reporting simple).
+    pub fn asn(&self, country: CountryCode) -> Asn {
+        let idx = self.country_index.get(&country).copied().unwrap_or(0);
+        Asn(64_600 + idx as u32)
+    }
+}
+
+impl Default for ServerAllocator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+const SMALL_WORDS: &[&str] = &[
+    "qq", "zap", "privacy", "shield", "nimbus", "copper", "falcon", "quiet", "helio", "sparrow",
+    "tundra", "ferret", "brook", "ridge", "comet", "ember", "frost", "gadget", "harbor", "iris",
+    "jasper", "karma", "lumen", "mantis", "noble", "onyx", "plume", "quark", "raven", "sable",
+];
+const SMALL_TLDS: &[&str] = &["dog", "zone", "eu", "net", "org", "io", "de", "info", "sh", "cz"];
+
+fn small_provider_name(rng: &mut SmallRng, serial: usize) -> String {
+    let word = SMALL_WORDS[rng.gen_range(0..SMALL_WORDS.len())];
+    let tld = SMALL_TLDS[rng.gen_range(0..SMALL_TLDS.len())];
+    format!("{word}{serial}.{tld}")
+}
+
+struct ResolverSpec {
+    provider: String,
+    class: ProviderClass,
+    cert: CertProfile,
+    behavior: ResolverBehavior,
+    advertised: bool,
+    anycast: bool,
+}
+
+/// Generate the full DoT + DoH deployment.
+pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng) -> (ProviderDeployment, ServerAllocator) {
+    let mut alloc = ServerAllocator::new();
+    let mut resolvers: Vec<ResolverDeployment> = Vec::new();
+    let first = cfg.first_scan;
+
+    // Helper to push a resolver with explicit fields.
+    let push = |alloc: &mut ServerAllocator,
+                    resolvers: &mut Vec<ResolverDeployment>,
+                    country: CountryCode,
+                    spec: ResolverSpec,
+                    addr: Option<Ipv4Addr>,
+                    online_from: DateStamp,
+                    online_until: Option<DateStamp>| {
+        let addr = addr.unwrap_or_else(|| alloc.alloc(country));
+        let asn = alloc.asn(country);
+        resolvers.push(ResolverDeployment {
+            addr,
+            provider: spec.provider,
+            class: spec.class,
+            country,
+            asn,
+            online_from,
+            online_until,
+            dot: true,
+            doh: None,
+            cert: spec.cert,
+            behavior: spec.behavior,
+            advertised: spec.advertised,
+            anycast: spec.anycast,
+        });
+    };
+
+    // ---- Large providers with fixed anchor addresses -------------------
+    push(
+        &mut alloc,
+        &mut resolvers,
+        cc("US"),
+        ResolverSpec {
+            provider: "cloudflare-dns.com".into(),
+            class: ProviderClass::Large,
+            cert: CertProfile::Valid,
+            behavior: ResolverBehavior::Recursive,
+            advertised: true,
+            anycast: true,
+        },
+        Some(anchors::CLOUDFLARE_PRIMARY),
+        first + -400,
+        None,
+    );
+    push(
+        &mut alloc,
+        &mut resolvers,
+        cc("US"),
+        ResolverSpec {
+            provider: "cloudflare-dns.com".into(),
+            class: ProviderClass::Large,
+            cert: CertProfile::Valid,
+            behavior: ResolverBehavior::Recursive,
+            advertised: true,
+            anycast: true,
+        },
+        Some(anchors::CLOUDFLARE_SECONDARY),
+        first + -400,
+        None,
+    );
+    push(
+        &mut alloc,
+        &mut resolvers,
+        cc("US"),
+        ResolverSpec {
+            provider: "quad9.net".into(),
+            class: ProviderClass::Large,
+            cert: CertProfile::Valid,
+            behavior: ResolverBehavior::Recursive,
+            advertised: true,
+            anycast: true,
+        },
+        Some(anchors::QUAD9_PRIMARY),
+        first + -700,
+        None,
+    );
+
+    // ---- Country fill plan ---------------------------------------------
+    // Per-country (feb, may) targets; the three anchors above count
+    // against the US quota.
+    let mut counts: Vec<(CountryCode, u32, u32)> = DOT_COUNTRY_COUNTS
+        .iter()
+        .chain(DOT_TAIL_COUNTRY_COUNTS.iter())
+        .map(|(code, feb, may)| (cc(code), *feb, *may))
+        .collect();
+    if let Some(us) = counts.iter_mut().find(|(code, _, _)| code.as_str() == "US") {
+        us.1 = us.1.saturating_sub(3);
+        us.2 = us.2.saturating_sub(3);
+    }
+
+    // Large-provider share of generic slots, by weight (the paper: a few
+    // large providers own >75% of addresses).
+    let large_fill: &[(&str, u32, bool)] = &[
+        // (provider, weight, anycast)
+        ("cleanbrowsing.org", 5, true),
+        ("cloudflare-dns.com", 2, true),
+        ("quad9.net", 1, true),
+    ];
+    let large_total_weight: u32 = large_fill.iter().map(|f| f.1).sum();
+
+    // Sloppy medium providers that hold the clustered invalid certs
+    // (Finding 1.2: 122 invalid resolvers across 62 providers — 47
+    // appliances plus ~15 careless providers).
+    struct Sloppy {
+        name: &'static str,
+        country: &'static str,
+        total: u32,
+        invalid: u32,
+        kind: u8, // 0 expired, 1 self-signed, 2 broken chain
+    }
+    let sloppy: &[Sloppy] = &[
+        Sloppy { name: "dnsfilter.com", country: "US", total: 10, invalid: 6, kind: 0 },
+        Sloppy { name: "oldcert-resolver.net", country: "DE", total: 7, invalid: 6, kind: 0 },
+        Sloppy { name: "lapsed-dns.org", country: "FR", total: 6, invalid: 5, kind: 0 },
+        Sloppy { name: "stale-resolver.io", country: "US", total: 6, invalid: 5, kind: 0 },
+        Sloppy { name: "forgotten-dns.eu", country: "NL", total: 6, invalid: 5, kind: 0 },
+        Sloppy { name: "perfect-privacy.com", country: "DE", total: 15, invalid: 2, kind: 1 },
+        Sloppy { name: "selfsign-dns.net", country: "RU", total: 7, invalid: 6, kind: 1 },
+        Sloppy { name: "homelab-dns.org", country: "US", total: 6, invalid: 5, kind: 1 },
+        Sloppy { name: "hobby-resolver.de", country: "DE", total: 5, invalid: 4, kind: 1 },
+        Sloppy { name: "diy-dns.cz", country: "GB", total: 4, invalid: 3, kind: 1 },
+        Sloppy { name: "tenta.io", country: "US", total: 8, invalid: 7, kind: 2 },
+        Sloppy { name: "chainless-dns.com", country: "JP", total: 8, invalid: 7, kind: 2 },
+        Sloppy { name: "brokenpki.net", country: "BR", total: 8, invalid: 7, kind: 2 },
+        Sloppy { name: "no-intermediate.org", country: "RU", total: 8, invalid: 7, kind: 2 },
+    ];
+    // Expired: 6+6+5+5+5 = 27. Self-signed: 2+6+5+4+3 = 20 (+47 FG = 67).
+    // Broken: 7+7+7+7 = 28. Invalid providers: 14 + 47 FG = 61 (~62).
+
+    let mut consumed: HashMap<CountryCode, (u32, u32)> = HashMap::new(); // (feb_used, may_used)
+    for s in sloppy {
+        let country = cc(s.country);
+        for i in 0..s.total {
+            let is_invalid = i < s.invalid;
+            let cert = if !is_invalid {
+                CertProfile::Valid
+            } else {
+                match s.kind {
+                    0 => CertProfile::Expired {
+                        // A third lapsed back in 2018 (like 185.56.24.52).
+                        expired_on: if i % 3 == 0 { first + -200 } else { first + -20 },
+                    },
+                    1 => CertProfile::SelfSigned,
+                    _ => CertProfile::BrokenChain,
+                }
+            };
+            let behavior = if s.name == "dnsfilter.com" {
+                ResolverBehavior::FixedAnswer(Ipv4Addr::new(203, 0, 170, 1))
+            } else {
+                ResolverBehavior::Recursive
+            };
+            push(
+                &mut alloc,
+                &mut resolvers,
+                country,
+                ResolverSpec {
+                    provider: s.name.to_string(),
+                    class: ProviderClass::Medium,
+                    cert,
+                    behavior,
+                    advertised: s.name == "dnsfilter.com" || s.name == "tenta.io",
+                    anycast: false,
+                },
+                None,
+                first + -100,
+                None,
+            );
+            let e = consumed.entry(country).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += 1;
+        }
+    }
+
+    // FortiGate DoT proxies: 47 by the last scan, ~30 already at the
+    // first. Each has a unique device CN, so each is its own "provider".
+    let fg_countries = ["US", "DE", "JP", "BR", "FR", "GB", "NL", "RU", "IT", "KR"];
+    for i in 0..47u32 {
+        let country = cc(fg_countries[(i as usize) % fg_countries.len()]);
+        let online_from = if i < 30 {
+            first + -50
+        } else {
+            // Appear over the scan window.
+            first + ((i - 30) as i64 * 5 + 3)
+        };
+        push(
+            &mut alloc,
+            &mut resolvers,
+            country,
+            ResolverSpec {
+                provider: format!("FGT60D{:010}", 3_916_800_000u64 + i as u64),
+                class: ProviderClass::Appliance,
+                cert: CertProfile::SelfSigned,
+                behavior: ResolverBehavior::DotProxy {
+                    upstream: anchors::CLOUDFLARE_PRIMARY,
+                },
+                advertised: false,
+                anycast: false,
+            },
+            None,
+            online_from,
+            None,
+        );
+        let e = consumed.entry(country).or_insert((0, 0));
+        if online_from <= first {
+            e.0 += 1;
+        }
+        e.1 += 1;
+    }
+
+    // The CN cloud provider that shuts down mid-study (Table 2's -84%).
+    {
+        let country = cc("CN");
+        let (feb, may) = (257u32, 40u32);
+        let dying = feb - may; // 217 resolvers die around scan 3-4
+        for i in 0..dying {
+            let until = cfg.scan_date(3) + (i % 10) as i64;
+            push(
+                &mut alloc,
+                &mut resolvers,
+                country,
+                ResolverSpec {
+                    provider: "cn-cloud-dns.cn".into(),
+                    class: ProviderClass::Large,
+                    cert: CertProfile::Valid,
+                    behavior: ResolverBehavior::Recursive,
+                    advertised: false,
+                    anycast: false,
+                },
+                None,
+                first + -30,
+                Some(until),
+            );
+        }
+        let e = consumed.entry(country).or_insert((0, 0));
+        e.0 += dying; // online at Feb, gone by May
+    }
+
+    // ---- Generic fill to hit the per-country trajectories ---------------
+    let mut small_serial = 0usize;
+    let mut large_rr = 0u32;
+    // Small providers own 1-3 addresses; most own exactly one (Figure 4).
+    #[allow(unused_assignments)]
+    let mut small_current: Option<(String, u32)> = None;
+    for (country, feb_target, may_target) in counts {
+        small_current = None; // small providers don't span countries
+        let (feb_used, may_used) = consumed.get(&country).copied().unwrap_or((0, 0));
+        let feb_needed = feb_target.saturating_sub(feb_used);
+        let may_needed = may_target.saturating_sub(may_used);
+
+        let stable = feb_needed.min(may_needed);
+        let growth = may_needed.saturating_sub(feb_needed);
+        let decline = feb_needed.saturating_sub(may_needed);
+
+        let emit = |rng: &mut SmallRng,
+                        alloc: &mut ServerAllocator,
+                        resolvers: &mut Vec<ResolverDeployment>,
+                        online_from: DateStamp,
+                        online_until: Option<DateStamp>,
+                        large_rr: &mut u32,
+                        small_serial: &mut usize,
+                        small_current: &mut Option<(String, u32)>| {
+            // ~90% of generic capacity belongs to the big players — the
+            // paper: a few large providers own >75% of addresses.
+            let spec = if rng.gen_bool(0.90) {
+                let mut pick = *large_rr % large_total_weight;
+                *large_rr += 1;
+                let mut chosen = large_fill[0];
+                for f in large_fill {
+                    if pick < f.1 {
+                        chosen = *f;
+                        break;
+                    }
+                    pick -= f.1;
+                }
+                ResolverSpec {
+                    provider: chosen.0.to_string(),
+                    class: ProviderClass::Large,
+                    cert: CertProfile::Valid,
+                    behavior: ResolverBehavior::Recursive,
+                    advertised: false, // unadvertised extra addresses
+                    anycast: chosen.2,
+                }
+            } else {
+                let name = match small_current {
+                    Some((ref name, ref mut remaining)) if *remaining > 0 => {
+                        *remaining -= 1;
+                        name.clone()
+                    }
+                    _ => {
+                        *small_serial += 1;
+                        let name = small_provider_name(rng, *small_serial);
+                        // 60% single-address; the rest hold 2-3.
+                        let extra = if rng.gen_bool(0.6) {
+                            0
+                        } else {
+                            rng.gen_range(1..=2)
+                        };
+                        *small_current = Some((name.clone(), extra));
+                        name
+                    }
+                };
+                ResolverSpec {
+                    provider: name,
+                    class: ProviderClass::Small,
+                    cert: CertProfile::Valid,
+                    behavior: ResolverBehavior::Recursive,
+                    advertised: false,
+                    anycast: false,
+                }
+            };
+            push(alloc, resolvers, country, spec, None, online_from, online_until);
+        };
+
+        for _ in 0..stable {
+            emit(rng, &mut alloc, &mut resolvers, first + -60, None, &mut large_rr, &mut small_serial, &mut small_current);
+        }
+        for i in 0..growth {
+            // New deployments spread across the window (IE/US quadrupling).
+            let epoch = 1 + (i as usize * (SCAN_EPOCHS - 1)) / growth.max(1) as usize;
+            let from = cfg.scan_date(epoch.min(SCAN_EPOCHS - 1)) + -2;
+            emit(rng, &mut alloc, &mut resolvers, from, None, &mut large_rr, &mut small_serial, &mut small_current);
+        }
+        for i in 0..decline {
+            let epoch = 1 + (i as usize * (SCAN_EPOCHS - 1)) / decline.max(1) as usize;
+            let until = cfg.scan_date(epoch.min(SCAN_EPOCHS - 1)) + -1;
+            emit(
+                rng,
+                &mut alloc,
+                &mut resolvers,
+                first + -60,
+                Some(until),
+                &mut large_rr,
+                &mut small_serial,
+                &mut small_current,
+            );
+        }
+    }
+
+    // ---- DoH services (17: 15 public-listed + 2 discovered) -------------
+    let mut doh_services = Vec::new();
+    let mut doh = |hostname: &str,
+                   path: &str,
+                   front: Ipv4Addr,
+                   provider: &str,
+                   country: &str,
+                   anycast: bool,
+                   backend_timeout_ms: Option<u64>,
+                   congested_backend: bool,
+                   in_public_list: bool,
+                   blocked_in_cn: bool| {
+        let template = UriTemplate::parse(&format!("https://{hostname}{path}{{?dns}}"))
+            .expect("static templates parse");
+        doh_services.push(DohServiceSpec {
+            hostname: hostname.to_string(),
+            template,
+            front,
+            provider: provider.to_string(),
+            country: cc(country),
+            asn: Asn(64_500),
+            anycast,
+            backend_timeout_ms,
+            congested_backend,
+            in_public_list,
+            blocked_in_cn,
+        });
+    };
+    doh("cloudflare-dns.com", "/dns-query", anchors::CLOUDFLARE_DOH_FRONT, "cloudflare-dns.com", "US", true, None, false, true, false);
+    doh("mozilla.cloudflare-dns.com", "/dns-query", anchors::MOZILLA_DOH_FRONT, "cloudflare-dns.com", "US", true, None, false, true, false);
+    doh("dns.google.com", "/resolve", anchors::GOOGLE_DOH_FRONT, "dns.google.com", "US", false, None, false, true, true);
+    doh("dns.quad9.net", "/dns-query", anchors::QUAD9_DOH_FRONT, "quad9.net", "US", true, Some(2_000), true, true, false);
+    doh("doh.cleanbrowsing.org", "/doh", Ipv4Addr::new(185, 228, 168, 10), "cleanbrowsing.org", "IE", true, None, false, true, false);
+    doh("doh.crypto.sx", "/dns-query", Ipv4Addr::new(104, 18, 44, 44), "crypto.sx", "US", false, None, false, true, false);
+    doh("doh.securedns.eu", "/dns-query", Ipv4Addr::new(146, 185, 167, 43), "securedns.eu", "NL", false, None, false, true, false);
+    doh("doh-jp.blahdns.com", "/dns-query", Ipv4Addr::new(108, 61, 201, 119), "blahdns.com", "JP", false, None, false, true, false);
+    doh("dns.adguard.com", "/dns-query", Ipv4Addr::new(176, 103, 130, 130), "adguard.com", "RU", false, None, false, true, false);
+    doh("doh.appliedprivacy.net", "/query", Ipv4Addr::new(146, 255, 56, 98), "appliedprivacy.net", "DE", false, None, false, true, false);
+    doh("odvr.nic.cz", "/doh", Ipv4Addr::new(193, 17, 47, 1), "nic.cz", "CZ", false, None, false, true, false);
+    doh("dns.dnsoverhttps.net", "/dns-query", Ipv4Addr::new(45, 77, 124, 64), "dnsoverhttps.net", "US", false, None, false, true, false);
+    doh("dns.dns-over-https.com", "/dns-query", Ipv4Addr::new(104, 236, 178, 232), "dns-over-https.com", "US", false, None, false, true, false);
+    doh("commons.host", "/dns-query", Ipv4Addr::new(51, 15, 124, 208), "commons.host", "FR", false, None, false, true, false);
+    doh("doh.powerdns.org", "/dns-query", Ipv4Addr::new(136, 144, 215, 158), "powerdns.org", "NL", false, None, false, true, false);
+    // The two resolvers the URL corpus surfaced beyond the public list.
+    doh("dns.rubyfish.cn", "/dns-query", Ipv4Addr::new(118, 89, 110, 78), "rubyfish.cn", "CN", false, None, false, false, false);
+    doh("dns.233py.com", "/dns-query", Ipv4Addr::new(47, 96, 179, 163), "233py.com", "CN", false, None, false, false, false);
+
+    // ---- Public DoT list: primaries of the advertised providers ---------
+    let public_dot_list = resolvers
+        .iter()
+        .filter(|r| r.advertised)
+        .map(|r| r.addr)
+        .collect();
+
+    (
+        ProviderDeployment {
+            dot_resolvers: resolvers,
+            doh_services,
+            public_dot_list,
+        },
+        alloc,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn gen() -> ProviderDeployment {
+        let cfg = WorldConfig::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        generate(&cfg, &mut rng).0
+    }
+
+    fn online_count(dep: &ProviderDeployment, date: DateStamp, country: Option<&str>) -> usize {
+        dep.dot_resolvers
+            .iter()
+            .filter(|r| r.online_at(date))
+            .filter(|r| country.is_none_or(|c| r.country.as_str() == c))
+            .count()
+    }
+
+    #[test]
+    fn feb_and_may_country_totals_match_table2() {
+        let cfg = WorldConfig::default();
+        let dep = gen();
+        let feb = cfg.scan_date(0);
+        let may = cfg.scan_date(SCAN_EPOCHS - 1);
+        for (code, feb_n, may_n) in DOT_COUNTRY_COUNTS {
+            let got_feb = online_count(&dep, feb, Some(code)) as i64;
+            let got_may = online_count(&dep, may, Some(code)) as i64;
+            assert!(
+                (got_feb - *feb_n as i64).abs() <= 3,
+                "{code} Feb: got {got_feb}, want {feb_n}"
+            );
+            assert!(
+                (got_may - *may_n as i64).abs() <= 3,
+                "{code} May: got {got_may}, want {may_n}"
+            );
+        }
+    }
+
+    #[test]
+    fn overall_scale_above_1500_per_scan() {
+        let cfg = WorldConfig::default();
+        let dep = gen();
+        for epoch in 0..SCAN_EPOCHS {
+            let n = online_count(&dep, cfg.scan_date(epoch), None);
+            assert!(n >= 1400, "epoch {epoch}: {n} resolvers");
+        }
+    }
+
+    #[test]
+    fn invalid_cert_buckets_near_paper() {
+        let cfg = WorldConfig::default();
+        let dep = gen();
+        let may = cfg.scan_date(SCAN_EPOCHS - 1);
+        let mut expired = 0;
+        let mut selfsigned = 0;
+        let mut chain = 0;
+        for r in dep.dot_resolvers.iter().filter(|r| r.online_at(may)) {
+            match r.cert {
+                CertProfile::Expired { .. } => expired += 1,
+                CertProfile::SelfSigned => selfsigned += 1,
+                CertProfile::BrokenChain => chain += 1,
+                CertProfile::Valid => {}
+            }
+        }
+        assert!((25..=30).contains(&expired), "expired {expired} (paper: 27)");
+        assert!((60..=70).contains(&selfsigned), "self-signed {selfsigned} (paper: 67)");
+        assert!((26..=30).contains(&chain), "chain {chain} (paper: 28)");
+    }
+
+    #[test]
+    fn provider_long_tail_and_large_share() {
+        let cfg = WorldConfig::default();
+        let dep = gen();
+        let may = cfg.scan_date(SCAN_EPOCHS - 1);
+        let mut per_provider: HashMap<&str, usize> = HashMap::new();
+        for r in dep.dot_resolvers.iter().filter(|r| r.online_at(may)) {
+            *per_provider.entry(r.provider.as_str()).or_default() += 1;
+        }
+        let total: usize = per_provider.values().sum();
+        let singles = per_provider.values().filter(|&&n| n == 1).count();
+        // 70% of providers operate a single address (Figure 4).
+        assert!(
+            singles as f64 / per_provider.len() as f64 > 0.55,
+            "singles {singles}/{}",
+            per_provider.len()
+        );
+        // Large providers own most addresses (paper: >75%).
+        let large: usize = dep
+            .dot_resolvers
+            .iter()
+            .filter(|r| r.online_at(may) && r.class == ProviderClass::Large)
+            .count();
+        assert!(
+            large as f64 / total as f64 > 0.7,
+            "large share {large}/{total}"
+        );
+    }
+
+    #[test]
+    fn seventeen_doh_services_two_unlisted() {
+        let dep = gen();
+        assert_eq!(dep.doh_services.len(), 17);
+        let unlisted = dep.doh_services.iter().filter(|s| !s.in_public_list).count();
+        assert_eq!(unlisted, 2);
+        let quad9 = dep
+            .doh_services
+            .iter()
+            .find(|s| s.hostname == "dns.quad9.net")
+            .unwrap();
+        assert_eq!(quad9.backend_timeout_ms, Some(2_000));
+        assert!(quad9.congested_backend);
+        let google = dep
+            .doh_services
+            .iter()
+            .find(|s| s.hostname == "dns.google.com")
+            .unwrap();
+        assert!(google.blocked_in_cn);
+    }
+
+    #[test]
+    fn anchors_present_and_unique_addresses() {
+        let dep = gen();
+        let addrs: Vec<Ipv4Addr> = dep.dot_resolvers.iter().map(|r| r.addr).collect();
+        let unique: std::collections::HashSet<_> = addrs.iter().collect();
+        assert_eq!(unique.len(), addrs.len(), "duplicate resolver addresses");
+        assert!(addrs.contains(&anchors::CLOUDFLARE_PRIMARY));
+        assert!(addrs.contains(&anchors::QUAD9_PRIMARY));
+        assert!(!addrs.contains(&anchors::GOOGLE_PRIMARY), "Google DoT unannounced");
+    }
+
+    #[test]
+    fn determinism() {
+        let cfg = WorldConfig::default();
+        let a = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            generate(&cfg, &mut rng).0
+        };
+        let b = {
+            let mut rng = SmallRng::seed_from_u64(9);
+            generate(&cfg, &mut rng).0
+        };
+        assert_eq!(a.dot_resolvers.len(), b.dot_resolvers.len());
+        for (x, y) in a.dot_resolvers.iter().zip(&b.dot_resolvers) {
+            assert_eq!(x.addr, y.addr);
+            assert_eq!(x.provider, y.provider);
+        }
+    }
+
+    #[test]
+    fn fortigate_proxies_counted() {
+        let cfg = WorldConfig::default();
+        let dep = gen();
+        let may = cfg.scan_date(SCAN_EPOCHS - 1);
+        let fg: Vec<_> = dep
+            .dot_resolvers
+            .iter()
+            .filter(|r| r.class == ProviderClass::Appliance && r.online_at(may))
+            .collect();
+        assert_eq!(fg.len(), 47);
+        assert!(fg.iter().all(|r| matches!(r.behavior, ResolverBehavior::DotProxy { .. })));
+        assert!(fg.iter().all(|r| r.cert == CertProfile::SelfSigned));
+        let feb_fg = dep
+            .dot_resolvers
+            .iter()
+            .filter(|r| r.class == ProviderClass::Appliance && r.online_at(cfg.scan_date(0)))
+            .count();
+        assert!((25..=35).contains(&feb_fg), "feb FG {feb_fg}");
+    }
+}

@@ -1,0 +1,260 @@
+//! Ground-truth types: what the world *actually* contains, against which
+//! the measurement pipeline's recoveries are checked.
+
+use httpsim::UriTemplate;
+use netsim::{Asn, CountryCode, Netblock};
+use std::net::Ipv4Addr;
+use tlssim::DateStamp;
+
+/// Size class of a provider (drives Figure 4's long tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProviderClass {
+    /// Many addresses, advertised in public lists.
+    Large,
+    /// A handful of addresses.
+    Medium,
+    /// One (occasionally two) addresses, typically absent from lists.
+    Small,
+    /// A TLS-inspection appliance acting as a DoT proxy (each device is
+    /// its own "provider" because its default certificate CN is unique).
+    Appliance,
+}
+
+/// Certificate health of a deployed resolver (Finding 1.2's taxonomy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertProfile {
+    /// CA-signed, current, covers the provider name.
+    Valid,
+    /// CA-signed but past `not_after`.
+    Expired {
+        /// When it expired.
+        expired_on: DateStamp,
+    },
+    /// Self-signed (hobbyist or appliance default).
+    SelfSigned,
+    /// Leaf presented with a wrong/missing intermediate.
+    BrokenChain,
+}
+
+/// What the resolver does with queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolverBehavior {
+    /// Normal caching recursive service.
+    Recursive,
+    /// Answers every A query with one fixed address (dnsfilter.com-style
+    /// non-subscriber handling, §3.2).
+    FixedAnswer(Ipv4Addr),
+    /// Refuses strangers (ISP resolvers, subscriber-only services).
+    RefusesExternal {
+        /// The subnet it serves.
+        allowed: Netblock,
+    },
+    /// FortiGate-style DoT proxy: terminates TLS with its device
+    /// certificate and forwards plaintext to `upstream` (counted among the
+    /// self-signed resolvers of Finding 1.2).
+    DotProxy {
+        /// Where decrypted queries are forwarded.
+        upstream: Ipv4Addr,
+    },
+}
+
+/// A DoH service attached to a deployment.
+#[derive(Debug, Clone)]
+pub struct DohDeployment {
+    /// Locator template (e.g. `https://dns.quad9.net/dns-query{?dns}`).
+    pub template: UriTemplate,
+    /// Whether the front-end forwards to a Do53 back-end with a hard
+    /// timeout (Quad9's architecture) instead of answering in-process.
+    pub forward_backend_timeout_ms: Option<u64>,
+    /// Whether this template appears in the public curl-wiki-style list
+    /// (15 of the 17 did).
+    pub in_public_list: bool,
+}
+
+/// One deployed resolver address and everything true about it.
+#[derive(Debug, Clone)]
+pub struct ResolverDeployment {
+    /// The service address.
+    pub addr: Ipv4Addr,
+    /// Provider key (certificate CN or its SLD — how §3.2 groups).
+    pub provider: String,
+    /// Provider size class.
+    pub class: ProviderClass,
+    /// Hosting country.
+    pub country: CountryCode,
+    /// Hosting AS.
+    pub asn: Asn,
+    /// First date the address serves DoT.
+    pub online_from: DateStamp,
+    /// Last date (inclusive) it serves, if it ever goes away.
+    pub online_until: Option<DateStamp>,
+    /// Serves DoT on 853.
+    pub dot: bool,
+    /// DoH service, if any.
+    pub doh: Option<DohDeployment>,
+    /// Certificate health on port 853.
+    pub cert: CertProfile,
+    /// Query-handling behaviour.
+    pub behavior: ResolverBehavior,
+    /// Whether the address appears in public DoT resolver lists.
+    pub advertised: bool,
+    /// Whether the address is anycast.
+    pub anycast: bool,
+}
+
+impl ResolverDeployment {
+    /// Whether the resolver is online on `date`.
+    pub fn online_at(&self, date: DateStamp) -> bool {
+        self.online_from <= date && self.online_until.is_none_or(|until| date <= until)
+    }
+}
+
+/// The middlebox a client population suffers, if any.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Affliction {
+    /// Clean path.
+    None,
+    /// Port 53 to prominent resolver addresses is reset/dropped.
+    Port53Filter,
+    /// A device squats on 1.1.1.1 (and 1.0.0.1).
+    Conflict(DeviceKind),
+    /// A TLS-terminating middlebox intercepts the listed ports.
+    Intercepted {
+        /// The device CA's common name (Table 6).
+        ca_cn: String,
+        /// Whether port 853 is intercepted (3 of the 17 devices only
+        /// handled 443).
+        intercepts_853: bool,
+    },
+    /// CN-style censorship: prominent-addr port-53/853 filtering.
+    CensoredCloudflare,
+    /// CN path to 8.8.8.8:53 broken.
+    CensoredGoogleDns,
+}
+
+/// The devices found squatting on 1.1.1.1 (Table 5's port profiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Address blackholed / used for internal routing — no ports answer.
+    Blackhole,
+    /// MikroTik router: SSH/Telnet/DNS/HTTP management surface.
+    MikroTikRouter {
+        /// Whether the router was compromised and serves coin-mining
+        /// JavaScript on its 1.1.1.1 page (12 such clients in §4.2).
+        crypto_hijacked: bool,
+    },
+    /// Residential modem exposing HTTP(S) management.
+    PowerboxModem,
+    /// Carrier router speaking BGP and Telnet.
+    BgpRouter,
+    /// Appliance exposing NTP/SNMP.
+    NtpSnmpAppliance,
+    /// DHCP relay device.
+    DhcpRelay,
+    /// SMB-exposing box.
+    SmbBox,
+    /// Captive-portal / authentication system on HTTP+HTTPS.
+    AuthPortal,
+}
+
+impl DeviceKind {
+    /// TCP ports the device answers on (the forensic probe set is
+    /// `{21..443}`, Figure 7 / Table 5).
+    pub fn open_ports(self) -> &'static [u16] {
+        match self {
+            DeviceKind::Blackhole => &[],
+            DeviceKind::MikroTikRouter { .. } => &[22, 23, 53, 80],
+            DeviceKind::PowerboxModem => &[80, 443],
+            DeviceKind::BgpRouter => &[23, 179],
+            DeviceKind::NtpSnmpAppliance => &[123, 161],
+            DeviceKind::DhcpRelay => &[67],
+            DeviceKind::SmbBox => &[139],
+            DeviceKind::AuthPortal => &[80, 443],
+        }
+    }
+
+    /// The label its webpage (if any) identifies it as.
+    pub fn page_title(self) -> Option<&'static str> {
+        match self {
+            DeviceKind::MikroTikRouter { .. } => Some("RouterOS router configuration page"),
+            DeviceKind::PowerboxModem => Some("Powerbox Gvt Modem"),
+            DeviceKind::AuthPortal => Some("Web Authentication System"),
+            _ => None,
+        }
+    }
+}
+
+/// A named TLS interceptor planted in the client pool (Table 6 rows plus
+/// generated ones).
+#[derive(Debug, Clone)]
+pub struct InterceptorSpec {
+    /// CA common name shown in re-signed certificates.
+    pub ca_cn: String,
+    /// Client country.
+    pub country: &'static str,
+    /// AS label for reporting.
+    pub as_label: &'static str,
+    /// Whether 853 is intercepted in addition to 443.
+    pub intercepts_853: bool,
+}
+
+/// One vantage client.
+#[derive(Debug, Clone)]
+pub struct ClientInfo {
+    /// Client address.
+    pub ip: Ipv4Addr,
+    /// Country.
+    pub country: CountryCode,
+    /// AS number.
+    pub asn: Asn,
+    /// Ground-truth path condition.
+    pub affliction: Affliction,
+    /// Whether the client is in the performance subset (Table 3).
+    pub in_perf_subset: bool,
+}
+
+/// A pool of vantage clients (ProxyRack- or Zhima-like).
+#[derive(Debug, Clone, Default)]
+pub struct ClientPool {
+    /// All clients.
+    pub clients: Vec<ClientInfo>,
+}
+
+impl ClientPool {
+    /// Distinct countries represented.
+    pub fn country_count(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for c in &self.clients {
+            set.insert(c.country);
+        }
+        set.len()
+    }
+
+    /// Distinct ASes represented.
+    pub fn as_count(&self) -> usize {
+        let mut set = std::collections::HashSet::new();
+        for c in &self.clients {
+            set.insert(c.asn);
+        }
+        set.len()
+    }
+
+    /// Clients flagged for the performance subset.
+    pub fn perf_subset(&self) -> impl Iterator<Item = &ClientInfo> {
+        self.clients.iter().filter(|c| c.in_perf_subset)
+    }
+}
+
+/// A RIPE-Atlas-like probe with its ISP's local resolver.
+#[derive(Debug, Clone)]
+pub struct AtlasProbe {
+    /// Probe address.
+    pub ip: Ipv4Addr,
+    /// The ISP resolver it is configured to use.
+    pub local_resolver: Ipv4Addr,
+    /// Ground truth: does that resolver speak DoT?
+    pub resolver_has_dot: bool,
+    /// Whether the local resolver is actually a well-known public
+    /// resolver (those probes are excluded, §3.1 footnote 1).
+    pub uses_public_resolver: bool,
+}

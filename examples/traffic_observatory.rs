@@ -1,0 +1,78 @@
+//! Traffic observatory: what 18 months of backbone NetFlow and passive
+//! DNS say about encrypted-DNS adoption (Section 5).
+//!
+//! ```sh
+//! cargo run --release --example traffic_observatory
+//! ```
+
+use doe_traffic::{
+    analyze_dot, detect_scanners, generate_dot_traffic, generate_passive_dns, DotTrafficConfig,
+    PdnsConfig, ScanDetectorConfig, ScanVerdict,
+};
+use std::collections::BTreeMap;
+use worldgen::providers::anchors;
+
+fn main() {
+    println!("generating 18 months of sampled NetFlow (1/3000)...");
+    let dataset = generate_dot_traffic(&DotTrafficConfig::default());
+    println!("  {} sampled flow records\n", dataset.records.len());
+
+    let mut labels = BTreeMap::new();
+    labels.insert(anchors::CLOUDFLARE_PRIMARY, "Cloudflare".to_string());
+    labels.insert(anchors::QUAD9_PRIMARY, "Quad9".to_string());
+    let report = analyze_dot(&dataset.records, &labels);
+
+    println!("== monthly DoT flows (Figure 11) ==");
+    let cf = report.monthly.get("Cloudflare").cloned().unwrap_or_default();
+    let q9 = report.monthly.get("Quad9").cloned().unwrap_or_default();
+    for month in ["2018-04", "2018-07", "2018-09", "2018-12"] {
+        println!(
+            "  {month}: Cloudflare {:>6}  Quad9 {:>6}",
+            cf.get(month).copied().unwrap_or(0),
+            q9.get(month).copied().unwrap_or(0)
+        );
+    }
+    let jul = *cf.get("2018-07").unwrap_or(&1) as f64;
+    let dec = *cf.get("2018-12").unwrap_or(&0) as f64;
+    println!("  Cloudflare Jul→Dec growth: {:+.0}%  (paper: +56%)", 100.0 * (dec - jul) / jul);
+    println!(
+        "  traditional DNS is ~{:.0}× larger under the same sampling\n",
+        dataset.do53_monthly_estimate / dec.max(1.0)
+    );
+
+    println!("== client-network concentration (Figure 12) ==");
+    println!("  netblocks            : {}", report.netblocks.len());
+    println!("  top-5 share of flows : {:.0}%  (paper: 44%)", 100.0 * report.top_share(5));
+    println!("  top-20 share         : {:.0}%  (paper: 60%)", 100.0 * report.top_share(20));
+    let (blocks, traffic) = report.short_lived(7);
+    println!(
+        "  active <1 week       : {:.0}% of netblocks carrying {:.0}% of flows (paper: 96% / 25%)\n",
+        100.0 * blocks,
+        100.0 * traffic
+    );
+
+    println!("== scan hygiene (§5.2) ==");
+    let verdicts = detect_scanners(&dataset.records, 853, ScanDetectorConfig::default());
+    let scanners: Vec<_> = verdicts
+        .iter()
+        .filter(|(_, v)| **v == ScanVerdict::Scanner)
+        .map(|(s, _)| s.to_string())
+        .collect();
+    println!("  confirmed scanners: {scanners:?} (all planted research probes)\n");
+
+    println!("== DoH bootstrap lookups (Figure 13) ==");
+    let db = generate_passive_dns(&PdnsConfig::three_sixty());
+    for domain in [
+        "dns.google.com",
+        "mozilla.cloudflare-dns.com",
+        "doh.cleanbrowsing.org",
+        "doh.crypto.sx",
+    ] {
+        let monthly = db.lookup(domain).map(|s| s.monthly()).unwrap_or_default();
+        println!(
+            "  {domain:<28} 2018-09: {:>8}   2019-03: {:>8}",
+            monthly.get("2018-09").copied().unwrap_or(0),
+            monthly.get("2019-03").copied().unwrap_or(0)
+        );
+    }
+}

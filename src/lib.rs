@@ -1,0 +1,19 @@
+//! # doe-repro — reproduction of the IMC'19 DNS-over-Encryption study
+//!
+//! This is the workspace's umbrella crate: it re-exports every member so
+//! the `examples/` and `tests/` at the repository root can exercise the
+//! whole system, and so `cargo doc` produces one entry point.
+//!
+//! Start with [`doe_core`] for the experiment runners, [`worldgen`] for
+//! the simulated world, and [`doe_protocols`] for the DNS transports.
+
+pub use dnswire;
+pub use doe_core;
+pub use doe_protocols;
+pub use doe_scanner;
+pub use doe_traffic;
+pub use doe_vantage;
+pub use httpsim;
+pub use netsim;
+pub use tlssim;
+pub use worldgen;
