@@ -1,0 +1,80 @@
+//! Offline stand-in for `crossbeam`, providing the scoped-thread API the
+//! workspace uses on top of `std::thread::scope` (stable since 1.63).
+//!
+//! `crossbeam::scope(|s| { s.spawn(...); ... })` mirrors crossbeam 0.8:
+//! the closure receives a [`thread::Scope`] whose `spawn` returns a
+//! [`thread::ScopedJoinHandle`]; all spawned threads are joined before
+//! `scope` returns. Unlike crossbeam, a panicking child propagates on
+//! `scope` exit rather than being captured in the returned `Result`, so the
+//! `Ok` arm carries the closure's value and panics never reach the `Err`
+//! arm — acceptable for the deterministic sweeps this repo runs.
+
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Scope handle passed to the `scope` closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread to finish, returning its value.
+        pub fn join(self) -> stdthread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread that may borrow from the enclosing scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce() -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(f),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns.
+    pub fn scope<'env, F, R>(f: F) -> stdthread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
+
+/// Re-export of `std::thread::available_parallelism` as a convenience for
+/// callers picking a default shard count.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total: u64 = crate::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move || chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,762 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Provides the subset of the proptest API this workspace's property tests
+//! use: the [`proptest!`] macro, `prop_assert*`/`prop_assume!`, [`any`],
+//! [`Just`], ranges as strategies, tuple strategies, [`collection::vec`],
+//! [`string::string_regex`] and [`prop_oneof!`]. Generation is deterministic
+//! (seeded per test from the test name) and there is no shrinking: a failing
+//! case panics with the case index so it can be replayed.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Number of cases each `proptest!` test runs.
+pub const CASES: usize = 64;
+
+/// Deterministic generator RNG (splitmix64).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            state: seed ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)` (`bound` > 0).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        // Modulo bias is irrelevant for test-case generation.
+        self.next_u64() % bound
+    }
+
+    /// Uniform usize in `[lo, hi]`.
+    pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        let span = hi - lo;
+        if span == u64::MAX {
+            self.next_u64()
+        } else {
+            lo + self.below(span + 1)
+        }
+    }
+}
+
+/// Hash a test name into a stable seed.
+pub fn seed_from_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Failure raised by `prop_assert*`; aborts the current case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait DynStrategy<V> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// Type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_dyn(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.generate(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies (backs `prop_oneof!`).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Build from alternatives; must be non-empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs alternatives");
+        Union(alternatives)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let idx = rng.below(self.0.len() as u64) as usize;
+        self.0[idx].generate(rng)
+    }
+}
+
+/// Types with a canonical full-range strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy for any value of an [`Arbitrary`] type.
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Unit-interval double; full-range floats are rarely what a
+        // simulator test wants and none of ours ask for them.
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        char::from_u32(rng.range_inclusive(0x20, 0x7e) as u32).expect("printable ascii")
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+impl_arbitrary_tuple!(A);
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
+macro_rules! impl_strategy_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(A: 0, B: 1);
+impl_strategy_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_strategy_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
+
+macro_rules! impl_strategy_range {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.range_inclusive(self.start as u64, self.end as u64 - 1) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.range_inclusive(*self.start() as u64, *self.end() as u64) as $ty
+            }
+        }
+    )*};
+}
+
+impl_strategy_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_strategy_range_signed {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                let span = (*self.end() as i128 - *self.start() as i128) as u64;
+                let offset = if span == u64::MAX {
+                    rng.next_u64()
+                } else {
+                    rng.below(span + 1)
+                };
+                (*self.start() as i128 + offset as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_strategy_range_signed!(i8, i16, i32, i64, isize);
+
+// A bare string literal is a regex strategy, as in real proptest.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::string_regex(self)
+            .expect("invalid regex strategy literal")
+            .generate(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for vectors with lengths drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Vector of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.size.start < self.size.end, "empty size range");
+            let len =
+                rng.range_inclusive(self.size.start as u64, self.size.end as u64 - 1) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// String strategies.
+pub mod string {
+    use super::{Strategy, TestRng};
+
+    /// A parsed mini-regex: sequence of quantified atoms.
+    pub struct RegexStrategy {
+        atoms: Vec<(Node, Quant)>,
+    }
+
+    enum Node {
+        Lit(char),
+        Class(Vec<char>),
+        Group(Vec<(Node, Quant)>),
+    }
+
+    struct Quant {
+        min: usize,
+        max: usize,
+    }
+
+    /// Error from an unsupported or malformed pattern.
+    #[derive(Debug)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "regex strategy error: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// Strategy for strings matching a small regex subset: literals,
+    /// escapes, character classes (ranges, negation, `&&` intersection),
+    /// groups, and the `?` / `{m}` / `{m,n}` quantifiers.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let atoms = parse_sequence(&chars, &mut pos, /*in_group=*/ false)?;
+        if pos != chars.len() {
+            return Err(Error(format!("trailing pattern input at {pos}")));
+        }
+        Ok(RegexStrategy { atoms })
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            gen_sequence(&self.atoms, rng, &mut out);
+            out
+        }
+    }
+
+    fn gen_sequence(atoms: &[(Node, Quant)], rng: &mut TestRng, out: &mut String) {
+        for (node, quant) in atoms {
+            let count = rng.range_inclusive(quant.min as u64, quant.max as u64) as usize;
+            for _ in 0..count {
+                match node {
+                    Node::Lit(c) => out.push(*c),
+                    Node::Class(set) => {
+                        let idx = rng.below(set.len() as u64) as usize;
+                        out.push(set[idx]);
+                    }
+                    Node::Group(inner) => gen_sequence(inner, rng, out),
+                }
+            }
+        }
+    }
+
+    fn parse_sequence(
+        chars: &[char],
+        pos: &mut usize,
+        in_group: bool,
+    ) -> Result<Vec<(Node, Quant)>, Error> {
+        let mut atoms = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            let node = match c {
+                ')' if in_group => break,
+                '[' => {
+                    *pos += 1;
+                    Node::Class(parse_class(chars, pos)?)
+                }
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_sequence(chars, pos, true)?;
+                    if chars.get(*pos) != Some(&')') {
+                        return Err(Error("unclosed group".into()));
+                    }
+                    *pos += 1;
+                    Node::Group(inner)
+                }
+                '\\' => {
+                    *pos += 1;
+                    let esc = *chars
+                        .get(*pos)
+                        .ok_or_else(|| Error("dangling escape".into()))?;
+                    *pos += 1;
+                    if esc == 'P' || esc == 'p' {
+                        // Unicode category shorthand; only `\PC` (printable,
+                        // i.e. not-control) is supported, as ASCII.
+                        let cat = chars
+                            .get(*pos)
+                            .ok_or_else(|| Error("dangling category escape".into()))?;
+                        if esc != 'P' || *cat != 'C' {
+                            return Err(Error(format!("unsupported category \\{esc}{cat}")));
+                        }
+                        *pos += 1;
+                        Node::Class((0x20u8..=0x7e).map(char::from).collect())
+                    } else {
+                        Node::Lit(unescape(esc))
+                    }
+                }
+                '|' | '*' | '+' => {
+                    return Err(Error(format!("unsupported regex operator `{c}`")));
+                }
+                c => {
+                    *pos += 1;
+                    Node::Lit(c)
+                }
+            };
+            let quant = parse_quant(chars, pos)?;
+            atoms.push((node, quant));
+        }
+        Ok(atoms)
+    }
+
+    fn parse_quant(chars: &[char], pos: &mut usize) -> Result<Quant, Error> {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                Ok(Quant { min: 0, max: 1 })
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min_text = String::new();
+                while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit()) {
+                    min_text.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: usize = min_text
+                    .parse()
+                    .map_err(|_| Error("bad quantifier".into()))?;
+                let max = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    let mut max_text = String::new();
+                    while matches!(chars.get(*pos), Some(c) if c.is_ascii_digit()) {
+                        max_text.push(chars[*pos]);
+                        *pos += 1;
+                    }
+                    max_text.parse().map_err(|_| Error("bad quantifier".into()))?
+                } else {
+                    min
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    return Err(Error("unclosed quantifier".into()));
+                }
+                *pos += 1;
+                Ok(Quant { min, max })
+            }
+            _ => Ok(Quant { min: 1, max: 1 }),
+        }
+    }
+
+    /// Parse the inside of `[...]` starting just past the `[`.
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Vec<char>, Error> {
+        let negated = chars.get(*pos) == Some(&'^');
+        if negated {
+            *pos += 1;
+        }
+        let mut set: Vec<char> = Vec::new();
+        loop {
+            let c = *chars
+                .get(*pos)
+                .ok_or_else(|| Error("unclosed character class".into()))?;
+            match c {
+                ']' => {
+                    *pos += 1;
+                    break;
+                }
+                '&' if chars.get(*pos + 1) == Some(&'&') => {
+                    // Intersection: `base&&[...]`.
+                    *pos += 2;
+                    if chars.get(*pos) != Some(&'[') {
+                        return Err(Error("expected class after &&".into()));
+                    }
+                    *pos += 1;
+                    let other = parse_class(chars, pos)?;
+                    set.retain(|c| other.contains(c));
+                    if chars.get(*pos) != Some(&']') {
+                        return Err(Error("unclosed intersected class".into()));
+                    }
+                    *pos += 1;
+                    break;
+                }
+                '\\' => {
+                    *pos += 1;
+                    let esc = chars
+                        .get(*pos)
+                        .ok_or_else(|| Error("dangling escape in class".into()))?;
+                    *pos += 1;
+                    push_maybe_range(chars, pos, unescape(*esc), &mut set)?;
+                }
+                c => {
+                    *pos += 1;
+                    push_maybe_range(chars, pos, c, &mut set)?;
+                }
+            }
+        }
+        if negated {
+            // Universe: printable ASCII plus the usual whitespace escapes.
+            let universe: Vec<char> = (0x20u8..=0x7e)
+                .map(char::from)
+                .chain(['\t', '\r', '\n'])
+                .collect();
+            set = universe.into_iter().filter(|c| !set.contains(c)).collect();
+        }
+        if set.is_empty() {
+            return Err(Error("empty character class".into()));
+        }
+        Ok(set)
+    }
+
+    fn push_maybe_range(
+        chars: &[char],
+        pos: &mut usize,
+        start: char,
+        set: &mut Vec<char>,
+    ) -> Result<(), Error> {
+        if chars.get(*pos) == Some(&'-') && !matches!(chars.get(*pos + 1), Some(']') | None) {
+            *pos += 1;
+            let end = match chars.get(*pos) {
+                Some('\\') => {
+                    *pos += 1;
+                    let esc = chars
+                        .get(*pos)
+                        .ok_or_else(|| Error("dangling escape in range".into()))?;
+                    unescape(*esc)
+                }
+                Some(&c) => c,
+                None => return Err(Error("dangling range".into())),
+            };
+            *pos += 1;
+            if end < start {
+                return Err(Error("inverted range".into()));
+            }
+            for code in start as u32..=end as u32 {
+                if let Some(c) = char::from_u32(code) {
+                    set.push(c);
+                }
+            }
+        } else {
+            set.push(start);
+        }
+        Ok(())
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            'r' => '\r',
+            't' => '\t',
+            other => other,
+        }
+    }
+}
+
+/// Everything a property test file needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, Strategy, TestCaseError,
+    };
+}
+
+/// Define property tests: each `fn` runs [`CASES`] deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$attr:meta])* fn $name:ident ( $($pat:pat in $strat:expr),* $(,)? ) $body:block )*) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut rng = $crate::TestRng::new($crate::seed_from_name(stringify!($name)));
+                for case in 0..$crate::CASES {
+                    let outcome: Result<(), $crate::TestCaseError> = (|| {
+                        $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)*
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    if let Err(e) = outcome {
+                        panic!("proptest `{}` case {} failed: {}", stringify!($name), case, e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property test; fails the case rather than panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Assert equality within a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l == r, $($fmt)+);
+    }};
+}
+
+/// Assert inequality within a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let l = $left;
+        let r = $right;
+        $crate::prop_assert!(l != r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Skip the current case when its inputs don't meet a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}
+
+/// Uniform choice among alternative strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 3u8..=9, y in 10u64..20, flag in any::<bool>()) {
+            prop_assert!((3..=9).contains(&x));
+            prop_assert!((10..20).contains(&y));
+            prop_assert!(flag || !flag);
+        }
+
+        #[test]
+        fn oneof_and_map_work(v in prop_oneof![Just(None), (1u16..100).prop_map(Some)]) {
+            if let Some(n) = v {
+                prop_assert!(n >= 1 && n < 100);
+            }
+        }
+
+        #[test]
+        fn vectors_have_requested_lengths(xs in crate::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 5);
+        }
+
+        #[test]
+        fn assume_skips(a in any::<u8>(), b in any::<u8>()) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn regex_strategies_match_shape() {
+        let strat = crate::string::string_regex("[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?").unwrap();
+        let mut rng = crate::TestRng::new(7);
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&strat, &mut rng);
+            assert!(!s.is_empty() && s.len() <= 22, "bad label {s:?}");
+            assert!(!s.starts_with('-') && !s.ends_with('-'), "bad edges {s:?}");
+        }
+        let header = crate::string::string_regex("[ -~&&[^:\r\n]]{0,30}").unwrap();
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&header, &mut rng);
+            assert!(s.len() <= 30);
+            assert!(!s.contains([':', '\r', '\n']), "bad header value {s:?}");
+        }
+        let domain = crate::string::string_regex("[a-z]{1,10}\\.[a-z]{2,5}").unwrap();
+        for _ in 0..50 {
+            let s = crate::Strategy::generate(&domain, &mut rng);
+            assert!(s.contains('.'), "missing dot in {s:?}");
+        }
+    }
+}

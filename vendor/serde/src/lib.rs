@@ -1,0 +1,596 @@
+//! Offline stand-in for `serde`.
+//!
+//! The real serde cannot be fetched in this container, so this shim provides
+//! a much smaller data model that is sufficient for the workspace: values
+//! serialise into an in-memory JSON [`Value`] tree (rendered to text by the
+//! companion `serde_json` shim) and deserialise back from it. The derive
+//! macros re-exported from `serde_derive` generate `to_json_value` /
+//! `from_json_value` implementations with the same externally-tagged enum
+//! representation serde uses, so derived wire formats round-trip faithfully.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// In-memory JSON tree: the single intermediate representation all
+/// serialisation in this workspace flows through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer (covers every integer that fits in `i64`).
+    Int(i64),
+    /// Unsigned integer above `i64::MAX`.
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object as an ordered list of key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Look up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// True if this is JSON `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// String payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Unsigned integer payload, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(n) if *n >= 0 => Some(*n as u64),
+            Value::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Signed integer payload, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload widened to `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object entries, or a type error (used by derived code).
+    pub fn expect_object(&self) -> Result<&[(String, Value)], DeError> {
+        match self {
+            Value::Object(entries) => Ok(entries),
+            other => Err(DeError::msg(format!("expected object, got {}", other.kind()))),
+        }
+    }
+
+    /// Array items, or a type error (used by derived code).
+    pub fn expect_array(&self) -> Result<&[Value], DeError> {
+        match self {
+            Value::Array(items) => Ok(items),
+            other => Err(DeError::msg(format!("expected array, got {}", other.kind()))),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON rendering, matching `serde_json::Value`'s `Display`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(n) => write!(f, "{n}"),
+            Value::UInt(n) => write!(f, "{n}"),
+            Value::Float(x) if x.is_finite() => write!(f, "{x}"),
+            Value::Float(_) => f.write_str("null"),
+            Value::Str(s) => write_json_string(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_json_string(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Escape and quote a string as JSON text.
+pub fn write_json_string(f: &mut impl fmt::Write, s: &str) -> fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+/// Fetch a required object field; used by derived `Deserialize` impls.
+pub fn field<'a>(entries: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::msg(format!("missing field `{key}`")))
+}
+
+/// Deserialisation error.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Build an error from a message.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "deserialisation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into a JSON [`Value`].
+pub trait Serialize {
+    /// Convert into the JSON tree representation.
+    fn to_json_value(&self) -> Value;
+}
+
+/// Types that can be rebuilt from a JSON [`Value`].
+pub trait Deserialize: Sized {
+    /// Rebuild from the JSON tree representation.
+    fn from_json_value(v: &Value) -> Result<Self, DeError>;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        T::from_json_value(v).map(Box::new)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError::msg(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+macro_rules! impl_serde_sint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_i64()
+                    .ok_or_else(|| DeError::msg(format!("expected integer, got {}", v.kind())))?;
+                <$ty>::try_from(n).map_err(|_| {
+                    DeError::msg(format!("integer {n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_sint!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serde_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_json_value(&self) -> Value {
+                let wide = *self as u64;
+                if wide <= i64::MAX as u64 {
+                    Value::Int(wide as i64)
+                } else {
+                    Value::UInt(wide)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let n = v
+                    .as_u64()
+                    .ok_or_else(|| {
+                        DeError::msg(format!("expected unsigned integer, got {}", v.kind()))
+                    })?;
+                <$ty>::try_from(n).map_err(|_| {
+                    DeError::msg(format!("integer {n} out of range for {}", stringify!($ty)))
+                })
+            }
+        }
+    )*};
+}
+
+impl_serde_uint!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError::msg(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_json_value(v).map(|f| f as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_json_value(v)?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::msg("expected single-character string")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::msg(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// Some registry structs (expectation tables) carry `&'static str` fields.
+// They are only ever serialised in practice; deserialising leaks the string,
+// which is acceptable for the CLI artifact paths that could reach this.
+impl Deserialize for &'static str {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        String::from_json_value(v).map(|s| &*Box::leak(s.into_boxed_str()))
+    }
+}
+
+impl Serialize for () {
+    fn to_json_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(()),
+            other => Err(DeError::msg(format!("expected null, got {}", other.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_json_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        v.expect_array()?.iter().map(T::from_json_value).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        self.as_slice().to_json_value()
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_json_value(v)?;
+        let len = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::msg(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                let items = v.expect_array()?;
+                let want = [$($idx),+].len();
+                if items.len() != want {
+                    return Err(DeError::msg(format!(
+                        "expected tuple of {want} elements, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_json_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_serde_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+// Maps serialise as arrays of `[key, value]` pairs so that non-string key
+// types (netblocks, country codes, ...) round-trip without a string codec.
+macro_rules! impl_serde_map {
+    ($map:ident, $($bound:tt)+) => {
+        impl<K: Serialize, V: Serialize> Serialize for $map<K, V> {
+            fn to_json_value(&self) -> Value {
+                Value::Array(
+                    self.iter()
+                        .map(|(k, v)| Value::Array(vec![k.to_json_value(), v.to_json_value()]))
+                        .collect(),
+                )
+            }
+        }
+        impl<K: Deserialize + $($bound)+, V: Deserialize> Deserialize for $map<K, V> {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                v.expect_array()?
+                    .iter()
+                    .map(|pair| <(K, V)>::from_json_value(pair))
+                    .collect()
+            }
+        }
+    };
+}
+
+impl_serde_map!(BTreeMap, Ord);
+impl_serde_map!(HashMap, Eq + Hash);
+
+macro_rules! impl_serde_set {
+    ($set:ident, $($bound:tt)+) => {
+        impl<T: Serialize> Serialize for $set<T> {
+            fn to_json_value(&self) -> Value {
+                Value::Array(self.iter().map(Serialize::to_json_value).collect())
+            }
+        }
+        impl<T: Deserialize + $($bound)+> Deserialize for $set<T> {
+            fn from_json_value(v: &Value) -> Result<Self, DeError> {
+                v.expect_array()?.iter().map(T::from_json_value).collect()
+            }
+        }
+    };
+}
+
+impl_serde_set!(BTreeSet, Ord);
+impl_serde_set!(HashSet, Eq + Hash);
+
+impl Serialize for Ipv4Addr {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv4Addr {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_json_value(v)?;
+        s.parse()
+            .map_err(|_| DeError::msg(format!("invalid IPv4 address `{s}`")))
+    }
+}
+
+impl Serialize for Ipv6Addr {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for Ipv6Addr {
+    fn from_json_value(v: &Value) -> Result<Self, DeError> {
+        let s = String::from_json_value(v)?;
+        s.parse()
+            .map_err(|_| DeError::msg(format!("invalid IPv6 address `{s}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_json_value(&u64::MAX.to_json_value()).unwrap(), u64::MAX);
+        assert_eq!(i32::from_json_value(&(-7i32).to_json_value()).unwrap(), -7);
+        assert_eq!(
+            String::from_json_value(&"hi".to_string().to_json_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_json_value(&Option::<u8>::None.to_json_value()).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let mut map = BTreeMap::new();
+        map.insert((1u16, 2u16), vec![3u8, 4]);
+        let back = BTreeMap::<(u16, u16), Vec<u8>>::from_json_value(&map.to_json_value()).unwrap();
+        assert_eq!(back, map);
+        let arr: [u8; 2] = [9, 8];
+        assert_eq!(<[u8; 2]>::from_json_value(&arr.to_json_value()).unwrap(), arr);
+    }
+
+    #[test]
+    fn out_of_range_integers_error() {
+        assert!(u8::from_json_value(&Value::Int(300)).is_err());
+        assert!(u64::from_json_value(&Value::Int(-1)).is_err());
+    }
+}

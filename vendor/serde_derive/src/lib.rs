@@ -1,0 +1,388 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates implementations of the shim `serde::Serialize` /
+//! `serde::Deserialize` traits (JSON-value based) for plain structs and
+//! enums. The token stream is parsed by hand — no `syn`/`quote`, since the
+//! container has no registry access. Supported shapes cover everything the
+//! workspace derives: named/tuple/unit structs and enums with unit, tuple
+//! and struct variants. Generics and `#[serde(...)]` attributes are not
+//! supported (and not used in this workspace).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Derive the shim `Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive the shim `Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().expect("error tokens parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skip outer attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// starting at `i`; returns the index of the first structural token.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1;
+                if matches!(toks.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Split a token list on commas that sit outside any `<...>` nesting.
+/// (Brackets, parens and braces arrive as single `Group` trees, so only
+/// angle brackets need explicit depth tracking.)
+fn split_top_level_commas(toks: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tok in toks {
+        if let TokenTree::Punct(p) = tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tok.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+fn named_fields(group_tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level_commas(group_tokens) {
+        let i = skip_attrs_and_vis(&chunk, 0);
+        match chunk.get(i) {
+            Some(TokenTree::Ident(id)) => names.push(id.to_string()),
+            Some(other) => return Err(format!("unexpected token in field list: {other}")),
+            None => {}
+        }
+    }
+    Ok(names)
+}
+
+fn tuple_arity(group_tokens: &[TokenTree]) -> usize {
+    split_top_level_commas(group_tokens)
+        .iter()
+        .filter(|chunk| !chunk.is_empty())
+        .count()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" || id.to_string() == "enum" => {
+            id.to_string()
+        }
+        other => return Err(format!("expected struct or enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim derive does not support generic type `{name}`"
+        ));
+    }
+    if kind == "enum" {
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            other => return Err(format!("expected enum body, found {other:?}")),
+        };
+        let body_toks: Vec<TokenTree> = body.into_iter().collect();
+        let mut variants = Vec::new();
+        for chunk in split_top_level_commas(&body_toks) {
+            let j = skip_attrs_and_vis(&chunk, 0);
+            let vname = match chunk.get(j) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                Some(other) => return Err(format!("unexpected token in enum body: {other}")),
+                None => continue,
+            };
+            let shape = match chunk.get(j + 1) {
+                None => VariantShape::Unit,
+                Some(TokenTree::Punct(p)) if p.as_char() == '=' => VariantShape::Unit,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantShape::Tuple(tuple_arity(&inner))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantShape::Named(named_fields(&inner)?)
+                }
+                Some(other) => {
+                    return Err(format!("unexpected token after variant {vname}: {other}"))
+                }
+            };
+            variants.push(Variant { name: vname, shape });
+        }
+        return Ok(Item::Enum { name, variants });
+    }
+    match toks.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::NamedStruct {
+                name,
+                fields: named_fields(&inner)?,
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Item::TupleStruct {
+                name,
+                arity: tuple_arity(&inner),
+            })
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+        other => Err(format!("expected struct body, found {other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const ALLOWS: &str = "#[automatically_derived]\n#[allow(unused_variables, unreachable_patterns, unreachable_code, clippy::all)]\n";
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "({:?}.to_string(), ::serde::Serialize::to_json_value(&self.{f}))",
+                        f
+                    )
+                })
+                .collect();
+            (name, format!("::serde::Value::Object(vec![{}])", entries.join(", ")))
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            (name, "::serde::Serialize::to_json_value(&self.0)".to_string())
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            (name, format!("::serde::Value::Array(vec![{}])", items.join(", ")))
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push(format!(
+                        "{name}::{vn} => ::serde::Value::Str({vn:?}.to_string()),"
+                    )),
+                    VariantShape::Tuple(1) => arms.push(format!(
+                        "{name}::{vn}(f0) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                         ::serde::Serialize::to_json_value(f0))]),"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_json_value(f{i})"))
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vn}({}) => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("({f:?}.to_string(), ::serde::Serialize::to_json_value({f}))")
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![({vn:?}.to_string(), \
+                             ::serde::Value::Object(vec![{}]))]),",
+                            entries.join(", ")
+                        ));
+                    }
+                }
+            }
+            (name, format!("match self {{ {} }}", arms.join("\n")))
+        }
+    };
+    format!(
+        "{ALLOWS}impl ::serde::Serialize for {name} {{\n\
+         fn to_json_value(&self) -> ::serde::Value {{ {body} }}\n}}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(::serde::field(obj, {f:?})?)?"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "let obj = v.expect_object()?;\nOk({name} {{ {} }})",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            format!("Ok({name}(::serde::Deserialize::from_json_value(v)?))"),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let items = v.expect_array()?;\n\
+                     if items.len() != {arity} {{ return Err(::serde::DeError::msg(format!(\
+                     \"expected {arity} elements for {name}, got {{}}\", items.len()))); }}\n\
+                     Ok({name}({}))",
+                    inits.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (
+            name,
+            format!(
+                "match v {{ ::serde::Value::Null => Ok({name}), _ => \
+                 Err(::serde::DeError::msg(\"expected null for unit struct {name}\")) }}"
+            ),
+        ),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push(format!("{vn:?} => Ok({name}::{vn}),"));
+                    }
+                    VariantShape::Tuple(1) => {
+                        data_arms.push(format!(
+                            "{vn:?} => Ok({name}::{vn}(::serde::Deserialize::from_json_value(inner)?)),"
+                        ));
+                    }
+                    VariantShape::Tuple(n) => {
+                        let inits: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_json_value(&items[{i}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "{vn:?} => {{ let items = inner.expect_array()?;\n\
+                             if items.len() != {n} {{ return Err(::serde::DeError::msg(format!(\
+                             \"expected {n} elements for {name}::{vn}, got {{}}\", items.len()))); }}\n\
+                             Ok({name}::{vn}({})) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantShape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_json_value(::serde::field(obj, {f:?})?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "{vn:?} => {{ let obj = inner.expect_object()?;\nOk({name}::{vn} {{ {} }}) }}",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            (
+                name,
+                format!(
+                    "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n{}\n\
+                     other => Err(::serde::DeError::msg(format!(\"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                     ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     match tag.as_str() {{\n{}\n\
+                     other => Err(::serde::DeError::msg(format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                     _ => Err(::serde::DeError::msg(\"invalid enum representation for {name}\")),\n}}",
+                    unit_arms.join("\n"),
+                    data_arms.join("\n")
+                ),
+            )
+        }
+    };
+    format!(
+        "{ALLOWS}impl ::serde::Deserialize for {name} {{\n\
+         fn from_json_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}"
+    )
+}
