@@ -49,8 +49,7 @@ fn ablation_connection_reuse(c: &mut Criterion) {
         b.iter(|| {
             i += 1;
             // A new client each time: no ticket cache either.
-            let mut dot =
-                DotClient::new(TlsClientConfig::opportunistic(store.clone(), now()));
+            let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now()));
             let q = builder::query(
                 (i % 65_536) as u16,
                 &format!("af{i}.probe.dnsmeasure.example"),

@@ -106,7 +106,13 @@ fn bench_usage(c: &mut Criterion) {
         b.iter(|| generate_passive_dns(black_box(&PdnsConfig::three_sixty())))
     });
     group.bench_function("scandet", |b| {
-        b.iter(|| detect_scanners(black_box(&dataset.records), 853, ScanDetectorConfig::default()))
+        b.iter(|| {
+            detect_scanners(
+                black_box(&dataset.records),
+                853,
+                ScanDetectorConfig::default(),
+            )
+        })
     });
     group.finish();
 }

@@ -94,5 +94,11 @@ fn bench_scanner(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dnswire, bench_tls, bench_netflow, bench_scanner);
+criterion_group!(
+    benches,
+    bench_dnswire,
+    bench_tls,
+    bench_netflow,
+    bench_scanner
+);
 criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Wall-clock scaling of the sharded SYN sweep: the same /17 target
+//! space swept with 1, 2, 4 and 8 worker shards. Results are
+//! bit-identical for every shard count (see `tests/shard_invariance.rs`);
+//! this bench records what the parallelism buys in wall-clock time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doe_scanner::sweep::AddressSpace;
+use doe_scanner::syn_sweep_sharded;
+use netsim::service::FnStreamService;
+use netsim::{HostMeta, Netblock, Network, NetworkConfig};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// A /17 target space (32,768 addresses) with open DoT listeners on
+/// every 256th host, plus the three scanner sources.
+fn sweep_fixture() -> (Network, Vec<Ipv4Addr>, AddressSpace) {
+    let mut net = Network::new(NetworkConfig::default(), 29);
+    let sources: Vec<Ipv4Addr> = ["198.51.100.1", "198.51.100.2", "198.51.100.3"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    for &s in &sources {
+        net.add_host(HostMeta::new(s));
+    }
+    let space = AddressSpace::new(vec![Netblock::new("10.128.0.0".parse().unwrap(), 17)]);
+    for i in (0..space.len()).step_by(256) {
+        let addr = space.addr(i);
+        net.add_host(HostMeta::new(addr));
+        net.bind_tcp(
+            addr,
+            853,
+            Arc::new(FnStreamService::new(|_c, _p, d: &[u8]| d.to_vec(), "echo")),
+        );
+    }
+    (net, sources, space)
+}
+
+fn bench_sweep_shards(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_shards");
+    group.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        let (mut net, sources, space) = sweep_fixture();
+        group.bench_function(&format!("slash17_{shards}_shards"), |b| {
+            b.iter(|| syn_sweep_sharded(&mut net, &sources, &space, 853, 2019, shards))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_shards);
+criterion_main!(benches);

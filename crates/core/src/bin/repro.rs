@@ -15,8 +15,10 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--paper] [--scale X] [--seed N] [--epochs N] [--json DIR] <experiment...|all|list>"
+        "usage: repro [--paper] [--scale X] [--seed N] [--epochs N] [--shards N] [--trace] [--json DIR] <experiment...|all|list>"
     );
+    eprintln!("  --shards N   worker threads for sharded stages (default: available cores; results identical for any N)");
+    eprintln!("  --trace      record network events and print per-shard probe counters");
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
     std::process::exit(2);
 }
@@ -45,6 +47,11 @@ fn main() {
                 let v = it.next().unwrap_or_else(|| usage());
                 config.epochs = v.parse().unwrap_or_else(|_| usage());
             }
+            "--shards" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                config.shards = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--trace" => config.trace_capacity = 4096,
             "--json" => {
                 json_dir = Some(it.next().unwrap_or_else(|| usage()));
             }
@@ -71,9 +78,14 @@ fn main() {
     }
 
     eprintln!(
-        "building world: seed={} scale={} epochs={} (full sweep: {})",
-        config.seed, config.scale, config.epochs, config.full_sweep
+        "building world: seed={} scale={} epochs={} shards={} (full sweep: {})",
+        config.seed,
+        config.scale,
+        config.epochs,
+        config.effective_shards(),
+        config.full_sweep
     );
+    let trace_on = config.trace_capacity > 0;
     let started = std::time::Instant::now();
     let mut study = Study::new(config);
     eprintln!("world ready in {:.1}s", started.elapsed().as_secs_f64());
@@ -89,10 +101,39 @@ fn main() {
         if let Some(dir) = &json_dir {
             let path = format!("{dir}/{id}.json");
             let mut f = std::fs::File::create(&path).expect("create artifact");
-            let body =
-                serde_json::to_string_pretty(&result.json).expect("serialise artifact");
+            let body = serde_json::to_string_pretty(&result.json).expect("serialise artifact");
             f.write_all(body.as_bytes()).expect("write artifact");
             eprintln!("[wrote {path}]");
+        }
+    }
+
+    if trace_on {
+        let net = &study.world.net;
+        let total = net.shard_stats();
+        eprintln!(
+            "trace: {} probes total ({} open, {} closed, {} filtered)",
+            total.probes, total.open, total.closed, total.filtered
+        );
+        for (shard, stats) in net.shard_breakdown() {
+            eprintln!(
+                "trace: shard {shard}: {} probes ({} open, {} closed, {} filtered)",
+                stats.probes, stats.open, stats.closed, stats.filtered
+            );
+        }
+        let events = net.log().events();
+        eprintln!(
+            "trace: {} events retained (cap 4096), newest last",
+            events.len()
+        );
+        for event in events.iter().rev().take(10).rev() {
+            eprintln!(
+                "trace: {} -> {}:{} {:?} ({}us)",
+                event.src,
+                event.dst,
+                event.port,
+                event.kind,
+                event.elapsed.as_micros()
+            );
         }
     }
 }

@@ -135,8 +135,8 @@ pub fn protocol_profiles() -> Vec<ProtocolProfile> {
         ProtocolProfile {
             name: "DNS-over-QUIC",
             uses_other_app_layer: No,
-            provides_fallback: Yes, // falls back to DoT per draft
-            uses_standard_tls: Yes, // QUIC embeds TLS 1.3
+            provides_fallback: Yes,            // falls back to DoT per draft
+            uses_standard_tls: Yes,            // QUIC embeds TLS 1.3
             resists_traffic_analysis: Partial, // dedicated port 784
             minor_client_changes: No,          // no implementations yet
             minor_latency: Yes,                // 1-RTT setup, no HoL blocking
@@ -149,7 +149,7 @@ pub fn protocol_profiles() -> Vec<ProtocolProfile> {
             name: "DNSCrypt",
             uses_other_app_layer: No,
             provides_fallback: No,
-            uses_standard_tls: No, // bespoke X25519-XSalsa20Poly1305
+            uses_standard_tls: No,         // bespoke X25519-XSalsa20Poly1305
             resists_traffic_analysis: Yes, // port 443, UDP or TCP
             minor_client_changes: Partial, // dnscrypt-proxy install
             minor_latency: Partial,
@@ -175,17 +175,61 @@ pub struct TimelineEvent {
 /// Figure 1: important DNS-privacy events.
 pub fn timeline_events() -> Vec<TimelineEvent> {
     vec![
-        TimelineEvent { year: 2009, event: "DNSCurve proposal — earliest DNS encryption push", kind: "proposal" },
-        TimelineEvent { year: 2011, event: "DNSCrypt deployed by OpenDNS", kind: "deployment" },
-        TimelineEvent { year: 2014, event: "IETF DPRIVE working group chartered", kind: "wg" },
-        TimelineEvent { year: 2015, event: "RFC 7626: DNS privacy considerations", kind: "informational" },
-        TimelineEvent { year: 2016, event: "RFC 7858: DNS over TLS standardized", kind: "standard" },
-        TimelineEvent { year: 2016, event: "RFC 7816: QNAME minimisation", kind: "standard" },
-        TimelineEvent { year: 2017, event: "RFC 8094: DNS over DTLS (experimental)", kind: "standard" },
-        TimelineEvent { year: 2018, event: "RFC 8484: DNS over HTTPS standardized", kind: "standard" },
-        TimelineEvent { year: 2018, event: "RFC 8310: DoT/DoH usage profiles", kind: "standard" },
-        TimelineEvent { year: 2018, event: "DNS-over-QUIC draft (dprive)", kind: "draft" },
-        TimelineEvent { year: 2018, event: "Android 9 ships DoT; Firefox ships DoH", kind: "deployment" },
+        TimelineEvent {
+            year: 2009,
+            event: "DNSCurve proposal — earliest DNS encryption push",
+            kind: "proposal",
+        },
+        TimelineEvent {
+            year: 2011,
+            event: "DNSCrypt deployed by OpenDNS",
+            kind: "deployment",
+        },
+        TimelineEvent {
+            year: 2014,
+            event: "IETF DPRIVE working group chartered",
+            kind: "wg",
+        },
+        TimelineEvent {
+            year: 2015,
+            event: "RFC 7626: DNS privacy considerations",
+            kind: "informational",
+        },
+        TimelineEvent {
+            year: 2016,
+            event: "RFC 7858: DNS over TLS standardized",
+            kind: "standard",
+        },
+        TimelineEvent {
+            year: 2016,
+            event: "RFC 7816: QNAME minimisation",
+            kind: "standard",
+        },
+        TimelineEvent {
+            year: 2017,
+            event: "RFC 8094: DNS over DTLS (experimental)",
+            kind: "standard",
+        },
+        TimelineEvent {
+            year: 2018,
+            event: "RFC 8484: DNS over HTTPS standardized",
+            kind: "standard",
+        },
+        TimelineEvent {
+            year: 2018,
+            event: "RFC 8310: DoT/DoH usage profiles",
+            kind: "standard",
+        },
+        TimelineEvent {
+            year: 2018,
+            event: "DNS-over-QUIC draft (dprive)",
+            kind: "draft",
+        },
+        TimelineEvent {
+            year: 2018,
+            event: "Android 9 ships DoT; Firefox ships DoH",
+            kind: "deployment",
+        },
     ]
 }
 
@@ -224,7 +268,15 @@ pub fn implementation_survey() -> Vec<ImplementationRow> {
         r("Public DNS", "Cloudflare", true, true, false, true, true),
         r("Public DNS", "Quad9", true, true, false, true, true),
         r("Public DNS", "OpenDNS", false, false, true, false, false),
-        r("Public DNS", "CleanBrowsing", true, true, true, false, false),
+        r(
+            "Public DNS",
+            "CleanBrowsing",
+            true,
+            true,
+            true,
+            false,
+            false,
+        ),
         r("Public DNS", "Tenta", true, true, false, true, false),
         r("Public DNS", "Verisign", false, false, false, true, false),
         r("Public DNS", "SecureDNS", true, true, true, true, false),
@@ -235,12 +287,44 @@ pub fn implementation_survey() -> Vec<ImplementationRow> {
         r("Public DNS", "Yandex.DNS", false, false, true, true, false),
         r("Server software", "Unbound", true, false, true, true, true),
         r("Server software", "BIND", false, false, false, true, true),
-        r("Server software", "Knot Resolver", true, true, false, true, true),
+        r(
+            "Server software",
+            "Knot Resolver",
+            true,
+            true,
+            false,
+            true,
+            true,
+        ),
         r("Server software", "dnsdist", true, true, true, true, false),
-        r("Server software", "CoreDNS", true, false, false, true, false),
+        r(
+            "Server software",
+            "CoreDNS",
+            true,
+            false,
+            false,
+            true,
+            false,
+        ),
         r("Stub software", "Stubby", true, false, false, true, false),
-        r("Stub software", "BIND (dig)", false, false, false, true, false),
-        r("Stub software", "Knot (kdig)", true, false, false, true, false),
+        r(
+            "Stub software",
+            "BIND (dig)",
+            false,
+            false,
+            false,
+            true,
+            false,
+        ),
+        r(
+            "Stub software",
+            "Knot (kdig)",
+            true,
+            false,
+            false,
+            true,
+            false,
+        ),
         r("Stub software", "Go DNS", true, false, false, true, false),
         r("Browser", "Firefox", false, true, false, false, false),
         r("Browser", "Chrome", false, true, false, false, false),

@@ -133,9 +133,26 @@ mod tests {
     fn registry_covers_every_experiment() {
         let ids: Vec<&str> = all_expectations().iter().map(|e| e.id).collect();
         for required in [
-            "table1", "figure1", "figure2", "figure3", "table2", "figure4", "doh-discovery",
-            "table3", "table4", "table5", "table6", "figure9", "figure10", "table7", "figure11",
-            "figure12", "figure13", "table8", "local-probe", "scandet",
+            "table1",
+            "figure1",
+            "figure2",
+            "figure3",
+            "table2",
+            "figure4",
+            "doh-discovery",
+            "table3",
+            "table4",
+            "table5",
+            "table6",
+            "figure9",
+            "figure10",
+            "table7",
+            "figure11",
+            "figure12",
+            "figure13",
+            "table8",
+            "local-probe",
+            "scandet",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }

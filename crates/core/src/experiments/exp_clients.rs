@@ -4,8 +4,8 @@
 use crate::experiments::ExperimentResult;
 use crate::render::{heading, ms, pct, TextTable};
 use crate::study::Study;
-use doe_vantage::reachability::TransportKind;
 use doe_vantage::performance::fresh_connection_test;
+use doe_vantage::reachability::TransportKind;
 use serde_json::json;
 
 /// Table 3: the vantage-point datasets.
@@ -17,7 +17,13 @@ pub fn table3(study: &mut Study) -> ExperimentResult {
         perf_clients.iter().map(|c| c.country).collect();
     let perf_ases: std::collections::HashSet<_> = perf_clients.iter().map(|c| c.asn).collect();
 
-    let mut table = TextTable::new(vec!["Test", "Platform", "# Distinct IP", "# Country", "# AS"]);
+    let mut table = TextTable::new(vec![
+        "Test",
+        "Platform",
+        "# Distinct IP",
+        "# Country",
+        "# AS",
+    ]);
     table.row(vec![
         "Reachability".to_string(),
         "ProxyRack (Global)".to_string(),
@@ -62,11 +68,18 @@ pub fn table4(study: &mut Study) -> ExperimentResult {
     let global = study.reach_global().clone();
     let censored = study.reach_cn().clone();
     let mut table = TextTable::new(vec![
-        "Platform", "Resolver", "Transport", "Correct", "Incorrect", "Failed",
+        "Platform",
+        "Resolver",
+        "Transport",
+        "Correct",
+        "Incorrect",
+        "Failed",
     ]);
     let mut payload = Vec::new();
-    for (platform, report) in [("ProxyRack (Global)", &global), ("Zhima (Censored, CN)", &censored)]
-    {
+    for (platform, report) in [
+        ("ProxyRack (Global)", &global),
+        ("Zhima (Censored, CN)", &censored),
+    ] {
         for (resolver, row) in &report.matrix {
             for transport in [TransportKind::Dns, TransportKind::Dot, TransportKind::Doh] {
                 let Some(counts) = row.get(&transport) else {

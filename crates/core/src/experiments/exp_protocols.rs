@@ -48,7 +48,11 @@ pub fn figure1() -> ExperimentResult {
     let events = timeline_events();
     let mut table = TextTable::new(vec!["Year", "Kind", "Event"]);
     for e in &events {
-        table.row(vec![e.year.to_string(), e.kind.to_string(), e.event.to_string()]);
+        table.row(vec![
+            e.year.to_string(),
+            e.kind.to_string(),
+            e.event.to_string(),
+        ]);
     }
     ExperimentResult {
         id: "figure1",
@@ -75,9 +79,13 @@ pub fn figure2() -> ExperimentResult {
     let get = Request::get(&template.expand_get(&base64url_encode(&wire)))
         .with_header("Host", "dns.example.com")
         .with_header("Accept", "application/dns-message");
-    let post = Request::post(&template.post_target(), "application/dns-message", wire.clone())
-        .with_header("Host", "dns.example.com")
-        .with_header("Accept", "application/dns-message");
+    let post = Request::post(
+        &template.post_target(),
+        "application/dns-message",
+        wire.clone(),
+    )
+    .with_header("Host", "dns.example.com")
+    .with_header("Accept", "application/dns-message");
 
     // Round-trip proof: both forms carry the same query.
     let get_bytes = get.encode();
@@ -114,7 +122,9 @@ pub fn figure2() -> ExperimentResult {
 /// Table 8: the implementation survey.
 pub fn table8() -> ExperimentResult {
     let rows = implementation_survey();
-    let mut table = TextTable::new(vec!["Category", "Name", "DoT", "DoH", "DNSCrypt", "DNSSEC", "QMin"]);
+    let mut table = TextTable::new(vec![
+        "Category", "Name", "DoT", "DoH", "DNSCrypt", "DNSSEC", "QMin",
+    ]);
     let mark = |b: bool| if b { "✓" } else { "" };
     for r in &rows {
         table.row(vec![

@@ -46,7 +46,11 @@ pub fn figure11(study: &mut Study) -> ExperimentResult {
             .unwrap_or(0);
         table.row(vec![month.clone(), cf.to_string(), q9.to_string()]);
     }
-    let cf = report.monthly.get("Cloudflare").cloned().unwrap_or_default();
+    let cf = report
+        .monthly
+        .get("Cloudflare")
+        .cloned()
+        .unwrap_or_default();
     let jul = cf.get("2018-07").copied().unwrap_or(0) as f64;
     let dec = cf.get("2018-12").copied().unwrap_or(0) as f64;
     let growth = if jul > 0.0 { (dec - jul) / jul } else { 0.0 };
@@ -120,7 +124,9 @@ pub fn figure13(study: &mut Study) -> ExperimentResult {
     let (popular, dnsdb_count) = {
         let top = study.pdns_dnsdb().domains_above(10_000);
         (
-            top.iter().map(|(d, _)| d.to_string()).collect::<Vec<String>>(),
+            top.iter()
+                .map(|(d, _)| d.to_string())
+                .collect::<Vec<String>>(),
             top.len(),
         )
     };
@@ -131,7 +137,9 @@ pub fn figure13(study: &mut Study) -> ExperimentResult {
     let mut table = TextTable::new(header);
     let mut payload = BTreeMap::new();
     for domain in &popular {
-        let Some(stats) = db.lookup(domain) else { continue };
+        let Some(stats) = db.lookup(domain) else {
+            continue;
+        };
         let monthly = stats.monthly();
         let mut row = vec![domain.clone()];
         for m in months {

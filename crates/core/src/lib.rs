@@ -20,6 +20,6 @@ pub mod experiments;
 pub mod render;
 pub mod study;
 
-pub use compare::{protocol_profiles, timeline_events, implementation_survey, Grade};
+pub use compare::{implementation_survey, protocol_profiles, timeline_events, Grade};
 pub use expectations::{expectation, Expectation};
 pub use study::{Study, StudyConfig};

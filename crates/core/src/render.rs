@@ -83,7 +83,10 @@ pub fn ms(x: f64) -> String {
 
 /// A section heading for the report stream.
 pub fn heading(title: &str) -> String {
-    format!("\n== {title} {}\n", "=".repeat(66usize.saturating_sub(title.len())))
+    format!(
+        "\n== {title} {}\n",
+        "=".repeat(66usize.saturating_sub(title.len()))
+    )
 }
 
 #[cfg(test)]

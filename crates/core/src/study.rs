@@ -4,8 +4,8 @@
 use doe_scanner::campaign::{self, CampaignReport};
 use doe_traffic::{generate_dot_traffic, DotTrafficConfig, TrafficDataset};
 use doe_traffic::{generate_passive_dns, PassiveDnsDb, PdnsConfig};
-use doe_vantage::performance::{performance_test, standard_tunnel, PerformanceReport};
-use doe_vantage::reachability::{reachability_test, ReachabilityReport};
+use doe_vantage::performance::{performance_test_sharded, standard_tunnel, PerformanceReport};
+use doe_vantage::reachability::{reachability_test_sharded, ReachabilityReport};
 use worldgen::{World, WorldConfig};
 
 /// Knobs for a study run.
@@ -28,6 +28,12 @@ pub struct StudyConfig {
     /// Sweep the full advertised space (honest, slower) instead of the
     /// populated-/24 whitelist.
     pub full_sweep: bool,
+    /// Worker threads for the sharded measurement stages (sweep,
+    /// verification, vantage tests). Results are shard-count invariant;
+    /// 0 means "use available parallelism".
+    pub shards: usize,
+    /// Network event-trace capacity (0 = tracing off).
+    pub trace_capacity: usize,
 }
 
 impl StudyConfig {
@@ -42,6 +48,8 @@ impl StudyConfig {
             perf_queries: 20,
             fresh_iterations: 60,
             full_sweep: false,
+            shards: 0,
+            trace_capacity: 0,
         }
     }
 
@@ -56,6 +64,8 @@ impl StudyConfig {
             perf_queries: 20,
             fresh_iterations: 200,
             full_sweep: true,
+            shards: 0,
+            trace_capacity: 0,
         }
     }
 
@@ -63,7 +73,18 @@ impl StudyConfig {
         WorldConfig {
             seed: self.seed,
             scale: self.scale,
+            trace_capacity: self.trace_capacity,
             ..WorldConfig::default()
+        }
+    }
+
+    /// The effective worker count: `shards`, or the machine's available
+    /// parallelism when left at 0.
+    pub fn effective_shards(&self) -> usize {
+        if self.shards == 0 {
+            crossbeam::available_parallelism()
+        } else {
+            self.shards
         }
     }
 }
@@ -110,8 +131,15 @@ impl Study {
                 campaign::compact_space(&self.world)
             };
             // Run the first and last epochs plus evenly-spaced middles.
+            let shards = self.config.effective_shards();
             let report = if self.config.epochs >= 10 {
-                campaign::run_campaign(&mut self.world, &space, 10, self.config.seed)
+                campaign::run_campaign_sharded(
+                    &mut self.world,
+                    &space,
+                    10,
+                    self.config.seed,
+                    shards,
+                )
             } else {
                 // Reduced-epoch mode still measures first and last dates.
                 let mut summaries = Vec::new();
@@ -119,8 +147,7 @@ impl Study {
                     0 | 1 => vec![9],
                     2 => vec![0, 9],
                     n => {
-                        let mut v: Vec<usize> =
-                            (0..n - 1).map(|i| i * 9 / (n - 1)).collect();
+                        let mut v: Vec<usize> = (0..n - 1).map(|i| i * 9 / (n - 1)).collect();
                         v.push(9);
                         v.dedup();
                         v
@@ -129,11 +156,12 @@ impl Study {
                 for epoch in picks {
                     let date = self.world.config.scan_date(epoch);
                     self.world.set_epoch(date);
-                    summaries.push(campaign::scan_epoch(
+                    summaries.push(campaign::scan_epoch_sharded(
                         &mut self.world,
                         &space,
                         epoch,
                         self.config.seed,
+                        shards,
                     ));
                 }
                 CampaignReport { epochs: summaries }
@@ -154,7 +182,13 @@ impl Study {
                 .step_by(self.config.reach_stride.max(1))
                 .cloned()
                 .collect();
-            self.reach_global = Some(reachability_test(&mut self.world, &clients, "Cloudflare"));
+            let shards = self.config.effective_shards();
+            self.reach_global = Some(reachability_test_sharded(
+                &mut self.world,
+                &clients,
+                "Cloudflare",
+                shards,
+            ));
         }
         self.reach_global.as_ref().expect("just computed")
     }
@@ -170,7 +204,13 @@ impl Study {
                 .step_by(self.config.reach_stride.max(1))
                 .cloned()
                 .collect();
-            self.reach_cn = Some(reachability_test(&mut self.world, &clients, "Cloudflare"));
+            let shards = self.config.effective_shards();
+            self.reach_cn = Some(reachability_test_sharded(
+                &mut self.world,
+                &clients,
+                "Cloudflare",
+                shards,
+            ));
         }
         self.reach_cn.as_ref().expect("just computed")
     }
@@ -188,11 +228,13 @@ impl Study {
                 .take(self.config.perf_clients)
                 .cloned()
                 .collect();
-            self.performance = Some(performance_test(
+            let shards = self.config.effective_shards();
+            self.performance = Some(performance_test_sharded(
                 &mut self.world,
                 &clients,
                 tunnel,
                 self.config.perf_queries,
+                shards,
             ));
         }
         self.performance.as_ref().expect("just computed")

@@ -104,14 +104,14 @@ impl OptRecord {
         let mut options = Vec::new();
         let mut i = 0usize;
         while i < bytes.len() {
-            let header = bytes
-                .get(i..i + 4)
-                .ok_or(WireError::Truncated { expecting: "edns option header" })?;
+            let header = bytes.get(i..i + 4).ok_or(WireError::Truncated {
+                expecting: "edns option header",
+            })?;
             let code = u16::from_be_bytes([header[0], header[1]]);
             let len = u16::from_be_bytes([header[2], header[3]]) as usize;
-            let data = bytes
-                .get(i + 4..i + 4 + len)
-                .ok_or(WireError::Truncated { expecting: "edns option data" })?;
+            let data = bytes.get(i + 4..i + 4 + len).ok_or(WireError::Truncated {
+                expecting: "edns option data",
+            })?;
             options.push(EdnsOption {
                 code,
                 data: data.to_vec(),
@@ -157,7 +157,13 @@ mod tests {
             ext_rcode: 0,
             version: 0,
             dnssec_ok: true,
-            options: vec![EdnsOption::padding(31), EdnsOption { code: 10, data: vec![9; 8] }],
+            options: vec![
+                EdnsOption::padding(31),
+                EdnsOption {
+                    code: 10,
+                    data: vec![9; 8],
+                },
+            ],
         };
         let rr = opt.to_record();
         let back = OptRecord::from_record(&rr).unwrap();

@@ -132,7 +132,10 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.push(&stream);
         let msgs = dec.drain_messages();
-        assert_eq!(msgs, vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]);
+        assert_eq!(
+            msgs,
+            vec![b"first".to_vec(), b"second".to_vec(), b"third".to_vec()]
+        );
     }
 
     #[test]

@@ -215,7 +215,9 @@ impl Header {
     pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
         let bytes = msg
             .get(*pos..*pos + Self::WIRE_LEN)
-            .ok_or(WireError::Truncated { expecting: "header" })?;
+            .ok_or(WireError::Truncated {
+                expecting: "header",
+            })?;
         let id = u16::from_be_bytes([bytes[0], bytes[1]]);
         let b2 = bytes[2];
         let b3 = bytes[3];

@@ -38,13 +38,17 @@ impl Question {
 
     fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
         let qname = Name::decode(msg, pos)?;
-        let fixed = msg
-            .get(*pos..*pos + 4)
-            .ok_or(WireError::Truncated { expecting: "question fixed fields" })?;
+        let fixed = msg.get(*pos..*pos + 4).ok_or(WireError::Truncated {
+            expecting: "question fixed fields",
+        })?;
         let qtype = RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]]));
         let qclass = RecordClass::from_u16(u16::from_be_bytes([fixed[2], fixed[3]]));
         *pos += 4;
-        Ok(Question { qname, qtype, qclass })
+        Ok(Question {
+            qname,
+            qtype,
+            qclass,
+        })
     }
 }
 
@@ -112,7 +116,8 @@ impl Message {
     /// attached (adds a default one if missing).
     pub fn pad_to_block(&mut self, block: usize) -> Result<(), WireError> {
         let mut opt = self.opt().unwrap_or_default();
-        opt.options.retain(|o| o.code != crate::edns::OPTION_PADDING);
+        opt.options
+            .retain(|o| o.code != crate::edns::OPTION_PADDING);
         self.set_opt(opt.clone());
         let unpadded = self.encode()?.len();
         let pad = OptRecord::padding_for(unpadded, block);
@@ -325,21 +330,16 @@ mod tests {
     #[test]
     fn hostile_garbage_never_panics() {
         // A few adversarial patterns; decode must return Err, not panic.
-        let cases: Vec<Vec<u8>> = vec![
-            vec![],
-            vec![0; 5],
-            vec![0xff; 12],
-            {
-                // qdcount says 1 but no question follows
-                let mut h = Vec::new();
-                Header {
-                    qdcount: 1,
-                    ..Header::new_query(1)
-                }
-                .encode(&mut h);
-                h
-            },
-        ];
+        let cases: Vec<Vec<u8>> = vec![vec![], vec![0; 5], vec![0xff; 12], {
+            // qdcount says 1 but no question follows
+            let mut h = Vec::new();
+            Header {
+                qdcount: 1,
+                ..Header::new_query(1)
+            }
+            .encode(&mut h);
+            h
+        }];
         for case in cases {
             assert!(Message::decode(&case).is_err());
         }

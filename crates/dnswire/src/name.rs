@@ -192,9 +192,9 @@ impl Name {
         let mut end_of_inline = *pos;
 
         loop {
-            let len_byte = *msg
-                .get(cursor)
-                .ok_or(WireError::Truncated { expecting: "name label length" })?;
+            let len_byte = *msg.get(cursor).ok_or(WireError::Truncated {
+                expecting: "name label length",
+            })?;
             match len_byte & 0b1100_0000 {
                 0b0000_0000 => {
                     if len_byte == 0 {
@@ -206,9 +206,9 @@ impl Name {
                     let len = len_byte as usize;
                     let start = cursor + 1;
                     let end = start + len;
-                    let label = msg
-                        .get(start..end)
-                        .ok_or(WireError::Truncated { expecting: "name label" })?;
+                    let label = msg.get(start..end).ok_or(WireError::Truncated {
+                        expecting: "name label",
+                    })?;
                     total += 1 + len;
                     if total > MAX_NAME_LEN {
                         return Err(WireError::NameTooLong(total));
@@ -220,9 +220,9 @@ impl Name {
                     }
                 }
                 0b1100_0000 => {
-                    let second = *msg
-                        .get(cursor + 1)
-                        .ok_or(WireError::Truncated { expecting: "pointer low byte" })?;
+                    let second = *msg.get(cursor + 1).ok_or(WireError::Truncated {
+                        expecting: "pointer low byte",
+                    })?;
                     let target = (((len_byte & 0b0011_1111) as u16) << 8) | second as u16;
                     if (target as usize) >= cursor {
                         return Err(WireError::BadPointer(target));

@@ -199,7 +199,10 @@ impl RData {
                 buf.extend_from_slice(&soa.expire.to_be_bytes());
                 buf.extend_from_slice(&soa.minimum.to_be_bytes());
             }
-            RData::Mx { preference, exchange } => {
+            RData::Mx {
+                preference,
+                exchange,
+            } => {
                 buf.extend_from_slice(&preference.to_be_bytes());
                 exchange.encode_uncompressed(buf);
             }
@@ -263,11 +266,12 @@ impl RData {
                 let mut pos = start;
                 let mname = Name::decode(msg, &mut pos)?;
                 let rname = Name::decode(msg, &mut pos)?;
-                let fixed = msg
-                    .get(pos..pos + 20)
-                    .ok_or(WireError::Truncated { expecting: "soa fields" })?;
-                let word =
-                    |i: usize| u32::from_be_bytes([fixed[i], fixed[i + 1], fixed[i + 2], fixed[i + 3]]);
+                let fixed = msg.get(pos..pos + 20).ok_or(WireError::Truncated {
+                    expecting: "soa fields",
+                })?;
+                let word = |i: usize| {
+                    u32::from_be_bytes([fixed[i], fixed[i + 1], fixed[i + 2], fixed[i + 3]])
+                };
                 pos += 20;
                 if pos != end {
                     return Err(WireError::BadRdataLength {
@@ -301,7 +305,10 @@ impl RData {
                         found: len,
                     });
                 }
-                Ok(RData::Mx { preference, exchange })
+                Ok(RData::Mx {
+                    preference,
+                    exchange,
+                })
             }
             RecordType::Txt => {
                 let mut segments = Vec::new();
@@ -310,7 +317,9 @@ impl RData {
                     let seg_len = slice[i] as usize;
                     let seg = slice
                         .get(i + 1..i + 1 + seg_len)
-                        .ok_or(WireError::Truncated { expecting: "txt segment" })?;
+                        .ok_or(WireError::Truncated {
+                            expecting: "txt segment",
+                        })?;
                     segments.push(seg.to_vec());
                     i += 1 + seg_len;
                 }
@@ -379,9 +388,9 @@ impl ResourceRecord {
     /// Decode a record at `msg[*pos..]`, advancing `*pos` past it.
     pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
         let name = Name::decode(msg, pos)?;
-        let fixed = msg
-            .get(*pos..*pos + 10)
-            .ok_or(WireError::Truncated { expecting: "rr fixed fields" })?;
+        let fixed = msg.get(*pos..*pos + 10).ok_or(WireError::Truncated {
+            expecting: "rr fixed fields",
+        })?;
         let rtype = RecordType::from_u16(u16::from_be_bytes([fixed[0], fixed[1]]));
         let class = RecordClass::from_u16(u16::from_be_bytes([fixed[2], fixed[3]]));
         let ttl = u32::from_be_bytes([fixed[4], fixed[5], fixed[6], fixed[7]]);
@@ -513,7 +522,9 @@ mod tests {
     fn wrong_a_length_rejected() {
         // Hand-build an A record with 3-byte RDATA.
         let mut buf = Vec::new();
-        Name::parse("a.example").unwrap().encode_uncompressed(&mut buf);
+        Name::parse("a.example")
+            .unwrap()
+            .encode_uncompressed(&mut buf);
         buf.extend_from_slice(&1u16.to_be_bytes()); // type A
         buf.extend_from_slice(&1u16.to_be_bytes()); // class IN
         buf.extend_from_slice(&0u32.to_be_bytes()); // ttl

@@ -182,7 +182,11 @@ mod tests {
             60,
             RData::Cname(apex.prepend("www").unwrap()),
         );
-        zone.add_record(&apex.prepend("*").unwrap(), 60, RData::A(Ipv4Addr::new(192, 0, 2, 99)));
+        zone.add_record(
+            &apex.prepend("*").unwrap(),
+            60,
+            RData::A(Ipv4Addr::new(192, 0, 2, 99)),
+        );
         zone.add_record(
             &apex.prepend("txt").unwrap(),
             60,

@@ -1,7 +1,10 @@
 //! Property-based tests: the wire codec must round-trip every value it can
 //! represent and never panic on hostile bytes.
 
-use dnswire::{builder, FrameDecoder, Header, Message, Name, Question, RData, Rcode, RecordType, ResourceRecord, SoaData};
+use dnswire::{
+    builder, FrameDecoder, Header, Message, Name, Question, RData, Rcode, RecordType,
+    ResourceRecord, SoaData,
+};
 use proptest::prelude::*;
 
 fn arb_label() -> impl Strategy<Value = String> {
@@ -26,7 +29,15 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
         }),
         proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..255), 0..4)
             .prop_map(RData::Txt),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>(), any::<u32>())
+        (
+            arb_name(),
+            arb_name(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>()
+        )
             .prop_map(|(mname, rname, serial, refresh, retry, expire, minimum)| {
                 RData::Soa(SoaData {
                     mname,

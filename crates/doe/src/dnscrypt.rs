@@ -19,7 +19,7 @@ use netsim::{Network, PeerInfo, ServiceCtx, SimDuration};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use tlssim::cert::fnv1a;
 use tlssim::record::{open, seal, SessionKey};
 
@@ -231,12 +231,12 @@ impl DnsCryptClient {
 
 /// Server-side DNSCrypt over TCP port 443 (length-framed envelopes).
 pub struct DnsCryptTcpService {
-    inner: Rc<DnsCryptServerService>,
+    inner: Arc<DnsCryptServerService>,
 }
 
 impl DnsCryptTcpService {
     /// Wrap a UDP-side service for TCP framing.
-    pub fn new(inner: Rc<DnsCryptServerService>) -> Self {
+    pub fn new(inner: Arc<DnsCryptServerService>) -> Self {
         DnsCryptTcpService { inner }
     }
 }
@@ -244,7 +244,7 @@ impl DnsCryptTcpService {
 impl netsim::Service for DnsCryptTcpService {
     fn open_stream(&self, peer: PeerInfo) -> Box<dyn netsim::StreamHandler> {
         struct H {
-            inner: Rc<DnsCryptServerService>,
+            inner: Arc<DnsCryptServerService>,
             peer: PeerInfo,
             decoder: dnswire::FrameDecoder,
         }
@@ -264,7 +264,7 @@ impl netsim::Service for DnsCryptTcpService {
             }
         }
         Box::new(H {
-            inner: Rc::clone(&self.inner),
+            inner: Arc::clone(&self.inner),
             peer,
             decoder: dnswire::FrameDecoder::new(),
         })
@@ -280,7 +280,7 @@ pub struct DnsCryptServerService {
     provider_name: String,
     cert: ProviderCert,
     resolver_sk: u64, // equals the public key in this simulation
-    responder: Rc<dyn DnsResponder>,
+    responder: Arc<dyn DnsResponder>,
 }
 
 impl DnsCryptServerService {
@@ -289,7 +289,7 @@ impl DnsCryptServerService {
         provider_name: &str,
         provider_secret: u64,
         resolver_key: u64,
-        responder: Rc<dyn DnsResponder>,
+        responder: Arc<dyn DnsResponder>,
     ) -> Self {
         DnsCryptServerService {
             provider_name: provider_name.to_string(),
@@ -370,15 +370,23 @@ mod tests {
             60,
             RData::A("203.0.113.11".parse().unwrap()),
         );
-        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
-        let svc = Rc::new(DnsCryptServerService::new(
+        let responder: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![zone]));
+        let svc = Arc::new(DnsCryptServerService::new(
             "opendns.com",
             0xbeef_0001,
             0xcafe_0002,
             responder,
         ));
-        net.bind_udp(resolver, crate::DNSCRYPT_PORT, Rc::clone(&svc) as Rc<dyn netsim::DatagramService>);
-        net.bind_tcp(resolver, crate::DNSCRYPT_PORT, Rc::new(DnsCryptTcpService::new(svc)));
+        net.bind_udp(
+            resolver,
+            crate::DNSCRYPT_PORT,
+            Arc::clone(&svc) as Arc<dyn netsim::DatagramService>,
+        );
+        net.bind_tcp(
+            resolver,
+            crate::DNSCRYPT_PORT,
+            Arc::new(DnsCryptTcpService::new(svc)),
+        );
         (net, client, resolver)
     }
 

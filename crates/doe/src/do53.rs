@@ -10,7 +10,7 @@ use crate::responder::DnsResponder;
 use dnswire::{frame_message, FrameDecoder, Message};
 use netsim::{Conn, Network, PeerInfo, Service, ServiceCtx, SimDuration, StreamHandler};
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Maximum response size a Do53/UDP server sends without truncation when
 /// the client advertises no EDNS buffer.
@@ -142,12 +142,12 @@ impl Do53TcpConn {
 
 /// UDP-side Do53 service wrapping a responder.
 pub struct Do53UdpService {
-    responder: Rc<dyn DnsResponder>,
+    responder: Arc<dyn DnsResponder>,
 }
 
 impl Do53UdpService {
     /// Serve `responder` over UDP.
-    pub fn new(responder: Rc<dyn DnsResponder>) -> Self {
+    pub fn new(responder: Arc<dyn DnsResponder>) -> Self {
         Do53UdpService { responder }
     }
 }
@@ -187,18 +187,18 @@ impl netsim::DatagramService for Do53UdpService {
 /// TCP-side Do53 service wrapping a responder (2-byte length framing,
 /// multiple queries per connection).
 pub struct Do53TcpService {
-    responder: Rc<dyn DnsResponder>,
+    responder: Arc<dyn DnsResponder>,
 }
 
 impl Do53TcpService {
     /// Serve `responder` over TCP.
-    pub fn new(responder: Rc<dyn DnsResponder>) -> Self {
+    pub fn new(responder: Arc<dyn DnsResponder>) -> Self {
         Do53TcpService { responder }
     }
 }
 
 struct Do53TcpHandler {
-    responder: Rc<dyn DnsResponder>,
+    responder: Arc<dyn DnsResponder>,
     peer: PeerInfo,
     decoder: FrameDecoder,
 }
@@ -225,7 +225,7 @@ impl StreamHandler for Do53TcpHandler {
 impl Service for Do53TcpService {
     fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler> {
         Box::new(Do53TcpHandler {
-            responder: Rc::clone(&self.responder),
+            responder: Arc::clone(&self.responder),
             peer,
             decoder: FrameDecoder::new(),
         })
@@ -263,9 +263,9 @@ mod tests {
             60,
             RData::Txt(vec![vec![b'x'; 255], vec![b'y'; 255], vec![b'z'; 255]]),
         );
-        let auth: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
-        net.bind_udp(server, 53, Rc::new(Do53UdpService::new(Rc::clone(&auth))));
-        net.bind_tcp(server, 53, Rc::new(Do53TcpService::new(auth)));
+        let auth: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![zone]));
+        net.bind_udp(server, 53, Arc::new(Do53UdpService::new(Arc::clone(&auth))));
+        net.bind_tcp(server, 53, Arc::new(Do53TcpService::new(auth)));
         (net, client, server)
     }
 

@@ -8,8 +8,10 @@ use httpsim::{base64url_decode, base64url_encode, Request, Response, UriTemplate
 use netsim::{Network, PeerInfo, Service, ServiceCtx, SimDuration, StreamHandler};
 use rand::Rng;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
-use tlssim::{TlsClientConfig, TlsConnector, TlsServerConfig, TlsServerService, TlsStream, VerifyMode};
+use std::sync::Arc;
+use tlssim::{
+    TlsClientConfig, TlsConnector, TlsServerConfig, TlsServerService, TlsStream, VerifyMode,
+};
 
 /// The RFC 8484 media type.
 pub const DNS_MESSAGE_TYPE: &str = "application/dns-message";
@@ -120,11 +122,7 @@ impl DohClient {
     }
 
     /// Open a session (bootstraps if needed, then TLS with SNI).
-    pub fn session(
-        &mut self,
-        net: &mut Network,
-        src: Ipv4Addr,
-    ) -> Result<DohSession, QueryError> {
+    pub fn session(&mut self, net: &mut Network, src: Ipv4Addr) -> Result<DohSession, QueryError> {
         let (addr, bootstrap_time) = self.bootstrap_addr(net, src)?;
         let host = self.template.host().to_string();
         let stream = self
@@ -177,16 +175,12 @@ impl DohSession {
     pub fn query(&mut self, net: &mut Network, query: &Message) -> Result<QueryReply, QueryError> {
         let wire = query.encode()?;
         let request = match self.method {
-            DohMethod::Get => {
-                Request::get(&self.template.expand_get(&base64url_encode(&wire)))
-                    .with_header("Host", &self.host)
-                    .with_header("Accept", DNS_MESSAGE_TYPE)
-            }
-            DohMethod::Post => {
-                Request::post(&self.template.post_target(), DNS_MESSAGE_TYPE, wire)
-                    .with_header("Host", &self.host)
-                    .with_header("Accept", DNS_MESSAGE_TYPE)
-            }
+            DohMethod::Get => Request::get(&self.template.expand_get(&base64url_encode(&wire)))
+                .with_header("Host", &self.host)
+                .with_header("Accept", DNS_MESSAGE_TYPE),
+            DohMethod::Post => Request::post(&self.template.post_target(), DNS_MESSAGE_TYPE, wire)
+                .with_header("Host", &self.host)
+                .with_header("Accept", DNS_MESSAGE_TYPE),
         };
         let before = self.stream.elapsed();
         let raw = self.stream.request(net, &request.encode())?;
@@ -237,7 +231,7 @@ impl DohSession {
 /// What answers DoH queries behind the front-end.
 pub enum DohBackend {
     /// Answer in-process.
-    Local(Rc<dyn DnsResponder>),
+    Local(Arc<dyn DnsResponder>),
     /// Forward to a clear-text DNS back-end over UDP with a hard timeout —
     /// Quad9's architecture, whose 2-second timeout is the Finding 2.4
     /// misconfiguration.
@@ -286,7 +280,10 @@ impl DohHttpService {
                 timeout,
             } => {
                 let local = ctx.local_addr();
-                match ctx.network().udp_query(local, *backend, *port, &wire, Some(*timeout)) {
+                match ctx
+                    .network()
+                    .udp_query(local, *backend, *port, &wire, Some(*timeout))
+                {
                     Ok(reply) if reply.elapsed <= *timeout => {
                         ctx.charge(reply.elapsed);
                         match Message::decode(&reply.bytes) {
@@ -308,8 +305,9 @@ impl DohHttpService {
             }
         };
         match response_msg.encode() {
-            Ok(bytes) => Response::ok(DNS_MESSAGE_TYPE, bytes)
-                .with_header("Cache-Control", "max-age=60"),
+            Ok(bytes) => {
+                Response::ok(DNS_MESSAGE_TYPE, bytes).with_header("Cache-Control", "max-age=60")
+            }
             Err(_) => Response::status(500, "Internal Server Error"),
         }
     }
@@ -318,7 +316,7 @@ impl DohHttpService {
 impl Service for DohHttpService {
     fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler> {
         struct H {
-            svc: Rc<DohHttpService>,
+            svc: Arc<DohHttpService>,
             peer: PeerInfo,
         }
         impl StreamHandler for H {
@@ -331,10 +329,10 @@ impl Service for DohHttpService {
         }
         // `open_stream` takes &self; reconstruct a shared handle.
         Box::new(H {
-            svc: Rc::new(DohHttpService {
+            svc: Arc::new(DohHttpService {
                 paths: self.paths.clone(),
                 backend: match &self.backend {
-                    DohBackend::Local(r) => DohBackend::Local(Rc::clone(r)),
+                    DohBackend::Local(r) => DohBackend::Local(Arc::clone(r)),
                     DohBackend::ForwardUdp {
                         backend,
                         port,
@@ -361,7 +359,7 @@ impl DohServerService {
         if tls.alpn.is_empty() {
             tls.alpn = vec!["h2".to_string(), "http/1.1".to_string()];
         }
-        let http = Rc::new(DohHttpService { paths, backend });
+        let http = Arc::new(DohHttpService { paths, backend });
         DohServerService {
             inner: TlsServerService::new(tls, http),
         }
@@ -382,7 +380,11 @@ impl std::fmt::Debug for DohBackend {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DohBackend::Local(_) => write!(f, "DohBackend::Local"),
-            DohBackend::ForwardUdp { backend, port, timeout } => f
+            DohBackend::ForwardUdp {
+                backend,
+                port,
+                timeout,
+            } => f
                 .debug_struct("DohBackend::ForwardUdp")
                 .field("backend", backend)
                 .field("port", port)
@@ -421,7 +423,12 @@ mod tests {
         let bootstrap_resolver: Ipv4Addr = "192.0.2.53".parse().unwrap();
         net.add_host(HostMeta::new(client).country("NL").asn(1136));
         net.add_host(HostMeta::new(doh_front).country("US").asn(13335).anycast());
-        net.add_host(HostMeta::new(bootstrap_resolver).country("US").asn(64500).anycast());
+        net.add_host(
+            HostMeta::new(bootstrap_resolver)
+                .country("US")
+                .asn(64500)
+                .anycast(),
+        );
 
         // Probe zone served by the DoH resolver locally.
         let apex = Name::parse("probe.example").unwrap();
@@ -431,14 +438,14 @@ mod tests {
             60,
             RData::A("203.0.113.7".parse().unwrap()),
         );
-        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let responder: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![zone]));
 
         // Bootstrap zone: cloudflare-dns.com → the front-end address.
         let boot_apex = Name::parse("cloudflare-dns.com").unwrap();
         let mut boot_zone = Zone::new(boot_apex.clone());
         boot_zone.add_record(&boot_apex, 300, RData::A(doh_front));
-        let boot: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![boot_zone]));
-        net.bind_udp(bootstrap_resolver, 53, Rc::new(Do53UdpService::new(boot)));
+        let boot: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![boot_zone]));
+        net.bind_udp(bootstrap_resolver, 53, Arc::new(Do53UdpService::new(boot)));
 
         let ca = CaHandle::new("DigiCert", KeyId(1), now() + -700, 3650);
         let leaf = ca.issue(
@@ -457,7 +464,7 @@ mod tests {
             "forward" => {
                 // Back-end Do53 on the same host, fed by a congested
                 // recursive resolver.
-                let recursive = Rc::new(crate::recursive::RecursiveResolver::new(
+                let recursive = Arc::new(crate::recursive::RecursiveResolver::new(
                     crate::recursive::UpstreamMap::new(),
                     crate::recursive::RecursiveConfig {
                         servfail_rate: 0.0,
@@ -465,7 +472,7 @@ mod tests {
                         ..Default::default()
                     },
                 ));
-                net.bind_udp(doh_front, 53, Rc::new(Do53UdpService::new(recursive)));
+                net.bind_udp(doh_front, 53, Arc::new(Do53UdpService::new(recursive)));
                 DohBackend::ForwardUdp {
                     backend: doh_front,
                     port: 53,
@@ -477,7 +484,7 @@ mod tests {
         net.bind_tcp(
             doh_front,
             443,
-            Rc::new(DohServerService::new(
+            Arc::new(DohServerService::new(
                 TlsServerConfig::new(vec![leaf], KeyId(2)),
                 vec!["/dns-query".to_string()],
                 backend,
@@ -612,6 +619,9 @@ mod tests {
         assert!(text.contains("Accept: application/dns-message"));
         let post = Request::post(&template.post_target(), DNS_MESSAGE_TYPE, wire.clone());
         let bytes = post.encode();
-        assert!(bytes.windows(wire.len()).any(|w| w == &wire[..]), "body carries wire query");
+        assert!(
+            bytes.windows(wire.len()).any(|w| w == &wire[..]),
+            "body carries wire query"
+        );
     }
 }

@@ -19,15 +19,15 @@ use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo};
 use crate::responder::DnsResponder;
 use dnswire::Message;
 use netsim::{Network, PeerInfo, ServiceCtx, SimDuration};
+use parking_lot::Mutex;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use tlssim::cert::fnv1a;
 use tlssim::record::{open, seal, SessionKey};
-use tlssim::{Certificate, CertError, DateStamp, KeyId, TlsError, TrustStore, VerifyMode};
+use tlssim::{CertError, Certificate, DateStamp, KeyId, TlsError, TrustStore, VerifyMode};
 
 /// QUIC-style packets exchanged by the model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -101,11 +101,17 @@ pub fn query_with_fallback(
     let doq = DoqClient::new(trust_store.clone(), now, VerifyMode::Opportunistic);
     if let Ok(reply) = doq
         .connect(net, src, resolver, None)
-        .and_then(|mut session| session.query(net, query)) { return Ok(reply) }
-    let mut dot = crate::dot::DotClient::new(
-        tlssim::TlsClientConfig::opportunistic(trust_store.clone(), now),
-    );
-    if let Ok(reply) = dot.query_once(net, src, resolver, None, query) { return Ok(reply) }
+        .and_then(|mut session| session.query(net, query))
+    {
+        return Ok(reply);
+    }
+    let mut dot = crate::dot::DotClient::new(tlssim::TlsClientConfig::opportunistic(
+        trust_store.clone(),
+        now,
+    ));
+    if let Ok(reply) = dot.query_once(net, src, resolver, None, query) {
+        return Ok(reply);
+    }
     crate::do53::do53_udp_query(net, src, resolver, query, SimDuration::from_secs(5), 1)
 }
 
@@ -142,8 +148,7 @@ impl DoqClient {
             }
             _ => return Err(QueryError::Protocol("unexpected DoQ packet".into())),
         };
-        let verify_result =
-            tlssim::verify_chain(&chain, &self.trust_store, self.now, auth_name);
+        let verify_result = tlssim::verify_chain(&chain, &self.trust_store, self.now, auth_name);
         if self.verify == VerifyMode::Strict {
             if let Err(e) = &verify_result {
                 return Err(QueryError::Tls(TlsError::Cert(e.clone())));
@@ -208,16 +213,16 @@ impl DoqSession {
 pub struct DoqServerService {
     chain: Vec<Certificate>,
     key: KeyId,
-    responder: Rc<dyn DnsResponder>,
+    responder: Arc<dyn DnsResponder>,
     // conn_id → session key. DoQ connections are long-lived; the study's
     // sessions are short, so no expiry is modelled.
-    sessions: RefCell<HashMap<u64, SessionKey>>,
+    sessions: Mutex<HashMap<u64, SessionKey>>,
     secret: u64,
 }
 
 impl DoqServerService {
     /// Serve `responder` over DoQ with this identity.
-    pub fn new(chain: Vec<Certificate>, key: KeyId, responder: Rc<dyn DnsResponder>) -> Self {
+    pub fn new(chain: Vec<Certificate>, key: KeyId, responder: Arc<dyn DnsResponder>) -> Self {
         // Domain-separate the nonce secret from the TLS ticket secret
         // derived from the same key.
         let secret = fnv1a(&key.0.to_be_bytes()) ^ 0xd00f_bead_cafe_f00d;
@@ -225,7 +230,7 @@ impl DoqServerService {
             chain,
             key,
             responder,
-            sessions: RefCell::new(HashMap::new()),
+            sessions: Mutex::new(HashMap::new()),
             secret,
         }
     }
@@ -247,7 +252,7 @@ impl netsim::DatagramService for DoqServerService {
                 let server_random = fnv1a(&nonce_input);
                 let key = SessionKey::derive(client_random, server_random, self.key.0);
                 self.sessions
-                    .borrow_mut()
+                    .lock()
                     .insert(client_random ^ server_random, key);
                 Some(
                     DoqPacket::Handshake {
@@ -258,7 +263,7 @@ impl netsim::DatagramService for DoqServerService {
                 )
             }
             DoqPacket::Stream { conn_id, payload } => {
-                let key = *self.sessions.borrow().get(&conn_id)?;
+                let key = *self.sessions.lock().get(&conn_id)?;
                 let plaintext = open(key, &payload).ok()?;
                 let query = Message::decode(&plaintext).ok()?;
                 let response = self.responder.respond(ctx, peer, &query);
@@ -311,15 +316,22 @@ mod tests {
             60,
             RData::A("203.0.113.9".parse().unwrap()),
         );
-        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let responder: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![zone]));
         let ca = CaHandle::new("AdGuard CA", KeyId(1), now() + -100, 3650);
-        let leaf = ca.issue("dns.adguard.com", vec![], KeyId(2), 1, now() + -10, now() + 365);
+        let leaf = ca.issue(
+            "dns.adguard.com",
+            vec![],
+            KeyId(2),
+            1,
+            now() + -10,
+            now() + 365,
+        );
         let mut store = TrustStore::new();
         store.add(ca.authority());
         net.bind_udp(
             resolver,
             crate::DOQ_PORT,
-            Rc::new(DoqServerService::new(vec![leaf], KeyId(2), responder)),
+            Arc::new(DoqServerService::new(vec![leaf], KeyId(2), responder)),
         );
         (net, client, resolver, store)
     }
@@ -347,9 +359,7 @@ mod tests {
         let (mut net, client, resolver, _store) = world();
         let empty_store = TrustStore::new();
         let doq = DoqClient::new(empty_store, now(), VerifyMode::Strict);
-        let err = doq
-            .connect(&mut net, client, resolver, None)
-            .unwrap_err();
+        let err = doq.connect(&mut net, client, resolver, None).unwrap_err();
         assert!(err.is_cert_failure());
     }
 
@@ -359,7 +369,14 @@ mod tests {
         let (mut net, client, resolver, store) = world();
         // Also bind a DoT service on the same resolver.
         let ca = CaHandle::new("Fallback CA", KeyId(40), now() + -10, 3650);
-        let leaf = ca.issue("dns.adguard.com", vec![], KeyId(41), 2, now() + -1, now() + 90);
+        let leaf = ca.issue(
+            "dns.adguard.com",
+            vec![],
+            KeyId(41),
+            2,
+            now() + -1,
+            now() + 90,
+        );
         let apex = Name::parse("probe.example").unwrap();
         let mut zone = Zone::new(apex.clone());
         zone.add_record(
@@ -367,11 +384,11 @@ mod tests {
             60,
             RData::A("203.0.113.9".parse().unwrap()),
         );
-        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let responder: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![zone]));
         net.bind_tcp(
             resolver,
             853,
-            Rc::new(crate::dot::DotServerService::new(
+            Arc::new(crate::dot::DotServerService::new(
                 tlssim::TlsServerConfig::new(vec![leaf], KeyId(41)),
                 responder,
             )),
@@ -383,9 +400,16 @@ mod tests {
         net.bind_tcp(
             resolver,
             853,
-            Rc::new(crate::dot::DotServerService::new(
+            Arc::new(crate::dot::DotServerService::new(
                 tlssim::TlsServerConfig::new(
-                    vec![ca.issue("dns.adguard.com", vec![], KeyId(41), 3, now() + -1, now() + 90)],
+                    vec![ca.issue(
+                        "dns.adguard.com",
+                        vec![],
+                        KeyId(41),
+                        3,
+                        now() + -1,
+                        now() + 90,
+                    )],
                     KeyId(41),
                 ),
                 {
@@ -396,13 +420,12 @@ mod tests {
                         60,
                         RData::A("203.0.113.9".parse().unwrap()),
                     );
-                    Rc::new(AuthoritativeServer::new(vec![zone]))
+                    Arc::new(AuthoritativeServer::new(vec![zone]))
                 },
             )),
         );
         let q = builder::query(5, "fb.probe.example", RecordType::A).unwrap();
-        let reply =
-            query_with_fallback(&mut net, client, resolver, &store, now(), &q).unwrap();
+        let reply = query_with_fallback(&mut net, client, resolver, &store, now(), &q).unwrap();
         assert_eq!(reply.transport.protocol, DnsTransport::Dot);
         assert_eq!(reply.message.rcode(), Rcode::NoError);
     }

@@ -5,7 +5,7 @@ use crate::responder::DnsResponder;
 use dnswire::{frame_message, FrameDecoder, Message};
 use netsim::{Network, SimDuration};
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use tlssim::{TlsClientConfig, TlsConnector, TlsServerConfig, TlsServerService, TlsStream};
 
 /// ALPN token for DoT (RFC 7858 §3.1 suggests "dot").
@@ -93,7 +93,9 @@ impl DotSession {
         let resp = self.stream.request(net, &framed)?;
         self.decoder.push(&resp);
         let Some(frame) = self.decoder.next_message() else {
-            return Err(QueryError::Protocol("no complete DoT response frame".into()));
+            return Err(QueryError::Protocol(
+                "no complete DoT response frame".into(),
+            ));
         };
         let message = Message::decode(&frame)?;
         self.queries_sent += 1;
@@ -136,7 +138,7 @@ impl DotSession {
 }
 
 /// Build the TLS-wrapped DoT service for a resolver.
-pub fn dot_service(tls: TlsServerConfig, responder: Rc<dyn DnsResponder>) -> DotServerService {
+pub fn dot_service(tls: TlsServerConfig, responder: Arc<dyn DnsResponder>) -> DotServerService {
     DotServerService::new(tls, responder)
 }
 
@@ -147,11 +149,11 @@ pub struct DotServerService {
 
 impl DotServerService {
     /// Wrap `responder` behind TLS with `tls` parameters.
-    pub fn new(mut tls: TlsServerConfig, responder: Rc<dyn DnsResponder>) -> Self {
+    pub fn new(mut tls: TlsServerConfig, responder: Arc<dyn DnsResponder>) -> Self {
         if tls.alpn.is_empty() {
             tls.alpn = vec![DOT_ALPN.to_string()];
         }
-        let dns = Rc::new(crate::do53::Do53TcpService::new(responder));
+        let dns = Arc::new(crate::do53::Do53TcpService::new(responder));
         DotServerService {
             inner: TlsServerService::new(tls, dns),
         }
@@ -195,7 +197,7 @@ mod tests {
             60,
             RData::A("203.0.113.5".parse().unwrap()),
         );
-        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let responder: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![zone]));
 
         let ca = CaHandle::new("DigiCert Global Root", KeyId(1), now() + -700, 3650);
         let leaf = ca.issue(
@@ -211,7 +213,7 @@ mod tests {
         net.bind_tcp(
             resolver,
             853,
-            Rc::new(DotServerService::new(
+            Arc::new(DotServerService::new(
                 TlsServerConfig::new(vec![leaf], KeyId(2)),
                 responder,
             )),

@@ -2,8 +2,8 @@
 
 use dnswire::{Message, WireError};
 use netsim::{ConnectError, SimDuration, UdpError};
-use tlssim::{CertError, TlsError};
 use std::fmt;
+use tlssim::{CertError, TlsError};
 
 /// Which transport carried a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -178,14 +178,20 @@ mod tests {
             elapsed: SimDuration::from_secs(5),
         };
         assert_eq!(e.elapsed(), SimDuration::from_secs(5));
-        assert_eq!(QueryError::Protocol("x".into()).elapsed(), SimDuration::ZERO);
+        assert_eq!(
+            QueryError::Protocol("x".into()).elapsed(),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
     fn cert_failure_detection() {
         let e = QueryError::Tls(TlsError::Cert(CertError::SelfSigned));
         assert!(e.is_cert_failure());
-        assert!(!QueryError::Timeout { elapsed: SimDuration::ZERO }.is_cert_failure());
+        assert!(!QueryError::Timeout {
+            elapsed: SimDuration::ZERO
+        }
+        .is_cert_failure());
     }
 
     #[test]

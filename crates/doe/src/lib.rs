@@ -32,7 +32,7 @@
 //! use dnswire::zone::Zone;
 //! use dnswire::{Name, RData};
 //! use netsim::{HostMeta, Network, NetworkConfig, SimDuration};
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! // A resolver serving one zone, queried over clear-text UDP.
 //! let mut net = Network::new(NetworkConfig::default(), 1);
@@ -43,8 +43,8 @@
 //! let apex = Name::parse("example.org").unwrap();
 //! let mut zone = Zone::new(apex.clone());
 //! zone.add_record(&apex.prepend("www").unwrap(), 60, RData::A("203.0.113.1".parse().unwrap()));
-//! net.bind_udp(server, 53, Rc::new(Do53UdpService::new(
-//!     Rc::new(AuthoritativeServer::new(vec![zone])),
+//! net.bind_udp(server, 53, Arc::new(Do53UdpService::new(
+//!     Arc::new(AuthoritativeServer::new(vec![zone])),
 //! )));
 //!
 //! let q = builder::query(1, "www.example.org", RecordType::A).unwrap();
@@ -62,13 +62,15 @@ pub mod recursive;
 pub mod responder;
 pub mod stub;
 
-pub use do53::{Do53TcpConn, Do53TcpService, Do53UdpService, do53_tcp_query, do53_udp_query};
+pub use do53::{do53_tcp_query, do53_udp_query, Do53TcpConn, Do53TcpService, Do53UdpService};
 pub use doh::{Bootstrap, DohBackend, DohClient, DohMethod, DohServerService, DohSession};
 pub use dot::{DotClient, DotServerService, DotSession};
 pub use error::{DnsTransport, QueryError, QueryReply, TransportInfo};
 pub use recursive::{RecursiveConfig, RecursiveResolver, UpstreamMap};
-pub use responder::{AuthoritativeServer, DnsResponder, FixedAnswerResponder, QueryLog, QueryLogEntry};
-pub use stub::{StubConfig, StubResolver, StubProfile};
+pub use responder::{
+    AuthoritativeServer, DnsResponder, FixedAnswerResponder, QueryLog, QueryLogEntry,
+};
+pub use stub::{StubConfig, StubProfile, StubResolver};
 
 /// IANA port for DNS over TLS (RFC 7858).
 pub const DOT_PORT: u16 = 853;

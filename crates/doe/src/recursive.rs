@@ -19,8 +19,8 @@
 use crate::responder::DnsResponder;
 use dnswire::{builder, Message, Name, RData, Rcode, RecordType, ResourceRecord};
 use netsim::{PeerInfo, ServiceCtx, SimDuration, SimTime};
+use parking_lot::Mutex;
 use rand::Rng;
-use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -163,8 +163,8 @@ pub struct ResolverStats {
 pub struct RecursiveResolver {
     upstreams: UpstreamMap,
     config: RecursiveConfig,
-    cache: RefCell<CacheState>,
-    stats: RefCell<ResolverStats>,
+    cache: Mutex<CacheState>,
+    stats: Mutex<ResolverStats>,
 }
 
 #[derive(Default)]
@@ -179,23 +179,23 @@ impl RecursiveResolver {
         RecursiveResolver {
             upstreams,
             config,
-            cache: RefCell::new(CacheState::default()),
-            stats: RefCell::new(ResolverStats::default()),
+            cache: Mutex::new(CacheState::default()),
+            stats: Mutex::new(ResolverStats::default()),
         }
     }
 
     /// Current statistics snapshot.
     pub fn stats(&self) -> ResolverStats {
-        *self.stats.borrow()
+        *self.stats.lock()
     }
 
     /// Entries currently cached.
     pub fn cache_len(&self) -> usize {
-        self.cache.borrow().map.len()
+        self.cache.lock().map.len()
     }
 
     fn cache_get(&self, key: &(Name, RecordType), now: SimTime) -> Option<CacheEntry> {
-        let cache = self.cache.borrow();
+        let cache = self.cache.lock();
         cache
             .map
             .get(key)
@@ -204,7 +204,7 @@ impl RecursiveResolver {
     }
 
     fn cache_put(&self, key: (Name, RecordType), entry: CacheEntry) {
-        let mut cache = self.cache.borrow_mut();
+        let mut cache = self.cache.lock();
         if cache.map.len() >= self.config.cache_capacity {
             if let Some(victim) = cache.order.pop_front() {
                 cache.map.remove(&victim);
@@ -230,12 +230,7 @@ impl RecursiveResolver {
                 break;
             }
             // Stop at the apex itself (nothing to hide there).
-            if self
-                .upstreams
-                .lookup(&name)
-                .is_some()
-                && name != *qname
-            {
+            if self.upstreams.lookup(&name).is_some() && name != *qname {
                 steps.push(name.clone());
             }
             current = name.parent();
@@ -268,7 +263,7 @@ impl DnsResponder for RecursiveResolver {
             return builder::error_response(query, Rcode::FormErr);
         };
         let question = question.clone();
-        self.stats.borrow_mut().queries += 1;
+        self.stats.lock().queries += 1;
 
         // Spurious failure injection.
         let flake = ctx.network().rng().gen_bool(self.config.servfail_rate);
@@ -279,7 +274,7 @@ impl DnsResponder for RecursiveResolver {
         let key = (question.qname.clone(), question.qtype);
         let now = ctx.network().now();
         if let Some(entry) = self.cache_get(&key, now) {
-            self.stats.borrow_mut().cache_hits += 1;
+            self.stats.lock().cache_hits += 1;
             return match entry.rcode {
                 Rcode::NoError => builder::answer(query, entry.answers),
                 rcode => builder::error_response(query, rcode),
@@ -297,7 +292,7 @@ impl DnsResponder for RecursiveResolver {
 
         // Registered zone: fetch from its authoritative server.
         if let Some(auth_addr) = self.upstreams.lookup(&question.qname) {
-            self.stats.borrow_mut().upstream_queries += 1;
+            self.stats.lock().upstream_queries += 1;
             let local = ctx.local_addr();
             // QNAME minimisation: probe each intermediate ancestor with an
             // NS query before revealing the full name (RFC 7816 §2).
@@ -371,7 +366,7 @@ impl DnsResponder for RecursiveResolver {
                     }
                 }
                 Err(e) => {
-                    self.stats.borrow_mut().upstream_failures += 1;
+                    self.stats.lock().upstream_failures += 1;
                     ctx.charge(e.elapsed());
                     builder::error_response(query, Rcode::ServFail)
                 }
@@ -413,7 +408,7 @@ mod tests {
     use crate::responder::AuthoritativeServer;
     use dnswire::zone::Zone;
     use netsim::{HostMeta, Network, NetworkConfig};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn build() -> (Network, Ipv4Addr, Ipv4Addr, crate::responder::QueryLog) {
         let mut net = Network::new(NetworkConfig::default(), 21);
@@ -431,20 +426,20 @@ mod tests {
             60,
             RData::A("203.0.113.99".parse().unwrap()),
         );
-        let auth_server = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let auth_server = Arc::new(AuthoritativeServer::new(vec![zone]));
         let log = auth_server.log();
-        net.bind_udp(auth, 53, Rc::new(Do53UdpService::new(auth_server)));
+        net.bind_udp(auth, 53, Arc::new(Do53UdpService::new(auth_server)));
 
         let mut upstreams = UpstreamMap::new();
         upstreams.add(apex, auth);
-        let recursive = Rc::new(RecursiveResolver::new(
+        let recursive = Arc::new(RecursiveResolver::new(
             upstreams,
             RecursiveConfig {
                 servfail_rate: 0.0,
                 ..RecursiveConfig::default()
             },
         ));
-        net.bind_udp(resolver, 53, Rc::new(Do53UdpService::new(recursive)));
+        net.bind_udp(resolver, 53, Arc::new(Do53UdpService::new(recursive)));
         (net, client, resolver, log)
     }
 
@@ -457,7 +452,7 @@ mod tests {
         assert_eq!(reply.message.rcode(), Rcode::NoError);
         assert_eq!(reply.message.answers.len(), 1);
         // The authoritative server observed the *resolver*, not the client.
-        let entries = log.borrow();
+        let entries = log.lock();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].observed_src, resolver);
     }
@@ -470,7 +465,7 @@ mod tests {
             do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(5), 0).unwrap();
         let second =
             do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(5), 0).unwrap();
-        assert_eq!(log.borrow().len(), 1, "second query served from cache");
+        assert_eq!(log.lock().len(), 1, "second query served from cache");
         assert!(second.latency < first.latency);
         assert_eq!(first.message.answers, second.message.answers);
     }
@@ -487,7 +482,7 @@ mod tests {
             .unwrap();
             do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(5), 0).unwrap();
         }
-        assert_eq!(log.borrow().len(), 5);
+        assert_eq!(log.lock().len(), 5);
     }
 
     #[test]
@@ -501,9 +496,12 @@ mod tests {
         assert_eq!(a.message.answers, b.message.answers);
         match &a.message.answers[0].rdata {
             RData::A(addr) => {
-                assert_eq!(*addr, RecursiveResolver::synthetic_address(
-                    &Name::parse("www.some-random-site.com").unwrap()
-                ));
+                assert_eq!(
+                    *addr,
+                    RecursiveResolver::synthetic_address(
+                        &Name::parse("www.some-random-site.com").unwrap()
+                    )
+                );
             }
             other => panic!("expected A, got {other:?}"),
         }
@@ -516,8 +514,15 @@ mod tests {
         let auth: Ipv4Addr = "203.0.113.53".parse().unwrap();
         net.remove_host(auth);
         let q = dnswire::builder::query(4, "x.probe.dnsmeasure.example", RecordType::A).unwrap();
-        let reply =
-            do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(30), 0).unwrap();
+        let reply = do53_udp_query(
+            &mut net,
+            client,
+            resolver,
+            &q,
+            SimDuration::from_secs(30),
+            0,
+        )
+        .unwrap();
         assert_eq!(reply.message.rcode(), Rcode::ServFail);
         // The resolver burned its upstream timeout waiting.
         assert!(reply.latency >= SimDuration::from_secs(5));
@@ -553,10 +558,17 @@ mod tests {
         let client: Ipv4Addr = "198.51.100.1".parse().unwrap();
         net.add_host(HostMeta::new(server));
         net.add_host(HostMeta::new(client));
-        let resolver = Rc::new(resolver);
-        net.bind_udp(server, 53, Rc::new(Do53UdpService::new(Rc::clone(&resolver) as Rc<dyn DnsResponder>)));
+        let resolver = Arc::new(resolver);
+        net.bind_udp(
+            server,
+            53,
+            Arc::new(Do53UdpService::new(
+                Arc::clone(&resolver) as Arc<dyn DnsResponder>
+            )),
+        );
         for i in 0..4 {
-            let q = dnswire::builder::query(i, &format!("h{i}.example.com"), RecordType::A).unwrap();
+            let q =
+                dnswire::builder::query(i, &format!("h{i}.example.com"), RecordType::A).unwrap();
             do53_udp_query(&mut net, client, server, &q, SimDuration::from_secs(5), 0).unwrap();
         }
         assert!(resolver.cache_len() <= 2);
@@ -585,12 +597,12 @@ mod tests {
                 60,
                 RData::A("203.0.113.99".parse().unwrap()),
             );
-            let auth_server = Rc::new(AuthoritativeServer::new(vec![zone]));
+            let auth_server = Arc::new(AuthoritativeServer::new(vec![zone]));
             let log = auth_server.log();
-            net.bind_udp(auth, 53, Rc::new(Do53UdpService::new(auth_server)));
+            net.bind_udp(auth, 53, Arc::new(Do53UdpService::new(auth_server)));
             let mut upstreams = UpstreamMap::new();
             upstreams.add(apex, auth);
-            let recursive = Rc::new(RecursiveResolver::new(
+            let recursive = Arc::new(RecursiveResolver::new(
                 upstreams,
                 RecursiveConfig {
                     servfail_rate: 0.0,
@@ -598,25 +610,28 @@ mod tests {
                     ..RecursiveConfig::default()
                 },
             ));
-            net.bind_udp(resolver, 53, Rc::new(Do53UdpService::new(recursive)));
+            net.bind_udp(resolver, 53, Arc::new(Do53UdpService::new(recursive)));
             (net, client, resolver, log)
         };
 
         let (mut net, client, resolver, log) = build_with(true, 7);
-        let q = dnswire::builder::query(1, "deep.sub.probe.dnsmeasure.example", RecordType::A)
-            .unwrap();
-        let with = do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(5), 0)
-            .unwrap();
-        let probes_with = log.borrow().len();
+        let q =
+            dnswire::builder::query(1, "deep.sub.probe.dnsmeasure.example", RecordType::A).unwrap();
+        let with =
+            do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(5), 0).unwrap();
+        let probes_with = log.lock().len();
 
         let (mut net, client, resolver, log) = build_with(false, 7);
-        let q = dnswire::builder::query(1, "deep.sub.probe.dnsmeasure.example", RecordType::A)
-            .unwrap();
+        let q =
+            dnswire::builder::query(1, "deep.sub.probe.dnsmeasure.example", RecordType::A).unwrap();
         let without =
             do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(5), 0).unwrap();
-        let probes_without = log.borrow().len();
+        let probes_without = log.lock().len();
 
-        assert!(probes_with > probes_without, "{probes_with} vs {probes_without}");
+        assert!(
+            probes_with > probes_without,
+            "{probes_with} vs {probes_without}"
+        );
         assert!(with.latency > without.latency);
         assert_eq!(with.message.answers, without.message.answers);
         // The NS probes never contained the full name.
@@ -631,7 +646,10 @@ mod tests {
         let a2: Ipv4Addr = "10.0.0.2".parse().unwrap();
         m.add(Name::parse("example.com").unwrap(), a1);
         m.add(Name::parse("deep.example.com").unwrap(), a2);
-        assert_eq!(m.lookup(&Name::parse("x.deep.example.com").unwrap()), Some(a2));
+        assert_eq!(
+            m.lookup(&Name::parse("x.deep.example.com").unwrap()),
+            Some(a2)
+        );
         assert_eq!(m.lookup(&Name::parse("y.example.com").unwrap()), Some(a1));
         assert_eq!(m.lookup(&Name::parse("other.net").unwrap()), None);
     }

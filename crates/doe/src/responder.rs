@@ -5,15 +5,17 @@
 //! DoQ and DNSCrypt services simultaneously — which is exactly how the
 //! study's "self-built resolver" (§4.1) is deployed.
 
-use dnswire::{builder, Message, Name, Rcode, RecordType};
 use dnswire::zone::{Zone, ZoneLookup};
+use dnswire::{builder, Message, Name, Rcode, RecordType};
 use netsim::{PeerInfo, ServiceCtx};
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Transform a DNS query into a response.
-pub trait DnsResponder {
+/// `Send + Sync` because responders are shared across shard workers through
+/// the network's data plane.
+pub trait DnsResponder: Send + Sync {
     /// Answer one query. The context allows upstream lookups.
     fn respond(&self, ctx: &mut ServiceCtx<'_>, peer: PeerInfo, query: &Message) -> Message;
 }
@@ -35,7 +37,7 @@ pub struct QueryLogEntry {
 }
 
 /// Shared, inspectable log of queries reaching a server.
-pub type QueryLog = Rc<RefCell<Vec<QueryLogEntry>>>;
+pub type QueryLog = Arc<Mutex<Vec<QueryLogEntry>>>;
 
 /// An authoritative-only server over a set of zones.
 pub struct AuthoritativeServer {
@@ -48,13 +50,13 @@ impl AuthoritativeServer {
     pub fn new(zones: Vec<Zone>) -> Self {
         AuthoritativeServer {
             zones,
-            log: Rc::new(RefCell::new(Vec::new())),
+            log: Arc::new(Mutex::new(Vec::new())),
         }
     }
 
     /// Handle to the query log (ground truth for the measurements).
     pub fn log(&self) -> QueryLog {
-        Rc::clone(&self.log)
+        Arc::clone(&self.log)
     }
 
     /// The zone containing `name`, if any.
@@ -71,7 +73,7 @@ impl DnsResponder for AuthoritativeServer {
         let Some(question) = query.question() else {
             return builder::error_response(query, Rcode::FormErr);
         };
-        self.log.borrow_mut().push(QueryLogEntry {
+        self.log.lock().push(QueryLogEntry {
             observed_src: peer.src,
             qname: question.qname.clone(),
             qtype: question.qtype,
@@ -168,7 +170,7 @@ mod tests {
 
     // The unit tests below drive responders through a real UDP service so
     // no private constructors are needed.
-    fn query_via_udp(responder: Rc<dyn DnsResponder>, query: &Message) -> Message {
+    fn query_via_udp(responder: Arc<dyn DnsResponder>, query: &Message) -> Message {
         let mut net = ctx_net();
         let server: Ipv4Addr = "192.0.2.53".parse().unwrap();
         let client: Ipv4Addr = "198.51.100.7".parse().unwrap();
@@ -177,7 +179,7 @@ mod tests {
         net.bind_udp(
             server,
             53,
-            Rc::new(crate::do53::Do53UdpService::new(responder)),
+            Arc::new(crate::do53::Do53UdpService::new(responder)),
         );
         let reply = net
             .udp_query(client, server, 53, &query.encode().unwrap(), None)
@@ -187,7 +189,7 @@ mod tests {
 
     #[test]
     fn authoritative_answers_wildcard_probe() {
-        let auth = Rc::new(AuthoritativeServer::new(vec![probe_zone()]));
+        let auth = Arc::new(AuthoritativeServer::new(vec![probe_zone()]));
         let log = auth.log();
         let q = builder::query(7, "u93.probe.dnsmeasure.example", RecordType::A).unwrap();
         let resp = query_via_udp(auth, &q);
@@ -195,15 +197,21 @@ mod tests {
         assert_eq!(resp.answers.len(), 1);
         assert!(resp.header.authoritative);
         // Ground-truth log captured the observed source.
-        let entries = log.borrow();
+        let entries = log.lock();
         assert_eq!(entries.len(), 1);
-        assert_eq!(entries[0].observed_src, "198.51.100.7".parse::<Ipv4Addr>().unwrap());
-        assert_eq!(entries[0].qname.to_string(), "u93.probe.dnsmeasure.example.");
+        assert_eq!(
+            entries[0].observed_src,
+            "198.51.100.7".parse::<Ipv4Addr>().unwrap()
+        );
+        assert_eq!(
+            entries[0].qname.to_string(),
+            "u93.probe.dnsmeasure.example."
+        );
     }
 
     #[test]
     fn authoritative_refuses_out_of_zone() {
-        let auth = Rc::new(AuthoritativeServer::new(vec![probe_zone()]));
+        let auth = Arc::new(AuthoritativeServer::new(vec![probe_zone()]));
         let q = builder::query(8, "www.google.com", RecordType::A).unwrap();
         let resp = query_via_udp(auth, &q);
         assert_eq!(resp.rcode(), Rcode::Refused);
@@ -218,7 +226,7 @@ mod tests {
             60,
             RData::A("192.0.2.1".parse().unwrap()),
         );
-        let auth = Rc::new(AuthoritativeServer::new(vec![zone]));
+        let auth = Arc::new(AuthoritativeServer::new(vec![zone]));
         let q = builder::query(9, "missing.static.example", RecordType::A).unwrap();
         let resp = query_via_udp(auth, &q);
         assert_eq!(resp.rcode(), Rcode::NxDomain);
@@ -226,10 +234,10 @@ mod tests {
 
     #[test]
     fn fixed_answer_ignores_question() {
-        let fixed = Rc::new(FixedAnswerResponder::new("103.247.37.1".parse().unwrap()));
+        let fixed = Arc::new(FixedAnswerResponder::new("103.247.37.1".parse().unwrap()));
         for name in ["a.example", "b.example.net", "anything.at.all"] {
             let q = builder::query(1, name, RecordType::A).unwrap();
-            let resp = query_via_udp(Rc::clone(&fixed) as Rc<dyn DnsResponder>, &q);
+            let resp = query_via_udp(Arc::clone(&fixed) as Arc<dyn DnsResponder>, &q);
             match &resp.answers[0].rdata {
                 RData::A(addr) => assert_eq!(addr.to_string(), "103.247.37.1"),
                 other => panic!("expected A, got {other:?}"),
@@ -240,9 +248,8 @@ mod tests {
     #[test]
     fn refusing_responder_refuses() {
         let q = builder::query(2, "x.example", RecordType::A).unwrap();
-        let resp = query_via_udp(Rc::new(RefusingResponder), &q);
+        let resp = query_via_udp(Arc::new(RefusingResponder), &q);
         assert_eq!(resp.rcode(), Rcode::Refused);
         assert!(resp.answers.is_empty());
     }
-
 }

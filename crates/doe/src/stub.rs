@@ -182,7 +182,12 @@ impl StubResolver {
                 StubProfile::StrictDot { auth_name } => {
                     let auth_name = auth_name.clone();
                     let dot = self.dot.as_mut().expect("dot client for dot profile");
-                    PooledSession::Dot(dot.session(net, src, self.config.resolver, Some(&auth_name))?)
+                    PooledSession::Dot(dot.session(
+                        net,
+                        src,
+                        self.config.resolver,
+                        Some(&auth_name),
+                    )?)
                 }
                 StubProfile::OpportunisticDot { .. } => {
                     let dot = self.dot.as_mut().expect("dot client for dot profile");
@@ -207,7 +212,14 @@ impl StubResolver {
             PooledSession::Tcp(conn) => conn.query(net, query),
             PooledSession::None => {
                 // Clear-text UDP needs no session.
-                do53_udp_query(net, src, self.config.resolver, query, self.config.timeout, 1)
+                do53_udp_query(
+                    net,
+                    src,
+                    self.config.resolver,
+                    query,
+                    self.config.timeout,
+                    1,
+                )
             }
         }
     }
@@ -249,7 +261,7 @@ mod tests {
     use dnswire::zone::Zone;
     use dnswire::{Name, RData, Rcode};
     use netsim::{HostMeta, NetworkConfig};
-    use std::rc::Rc;
+    use std::sync::Arc;
     use tlssim::{CaHandle, KeyId, TlsServerConfig};
 
     fn now() -> DateStamp {
@@ -276,23 +288,38 @@ mod tests {
             60,
             RData::A("203.0.113.13".parse().unwrap()),
         );
-        let responder: Rc<dyn DnsResponder> = Rc::new(AuthoritativeServer::new(vec![zone]));
-        net.bind_udp(resolver, 53, Rc::new(Do53UdpService::new(Rc::clone(&responder))));
-        net.bind_tcp(resolver, 53, Rc::new(Do53TcpService::new(Rc::clone(&responder))));
+        let responder: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![zone]));
+        net.bind_udp(
+            resolver,
+            53,
+            Arc::new(Do53UdpService::new(Arc::clone(&responder))),
+        );
+        net.bind_tcp(
+            resolver,
+            53,
+            Arc::new(Do53TcpService::new(Arc::clone(&responder))),
+        );
 
         let ca = CaHandle::new("Quad9 CA", KeyId(1), now() + -100, 3650);
         let mut store = TrustStore::new();
         store.add(ca.authority());
         if with_dot {
             let leaf = if valid_cert {
-                ca.issue("dns.quad9.net", vec![], KeyId(2), 1, now() + -10, now() + 365)
+                ca.issue(
+                    "dns.quad9.net",
+                    vec![],
+                    KeyId(2),
+                    1,
+                    now() + -10,
+                    now() + 365,
+                )
             } else {
                 CaHandle::self_signed("bad", vec![], KeyId(2), 1, now() + -10, now() + 365)
             };
             net.bind_tcp(
                 resolver,
                 853,
-                Rc::new(DotServerService::new(
+                Arc::new(DotServerService::new(
                     TlsServerConfig::new(vec![leaf], KeyId(2)),
                     responder,
                 )),
@@ -327,7 +354,12 @@ mod tests {
         );
         for i in 0..4 {
             let reply = stub
-                .resolve(&mut w.net, w.client, &format!("q{i}.probe.example"), RecordType::A)
+                .resolve(
+                    &mut w.net,
+                    w.client,
+                    &format!("q{i}.probe.example"),
+                    RecordType::A,
+                )
                 .unwrap();
             assert_eq!(reply.message.rcode(), Rcode::NoError);
             assert_eq!(reply.transport.protocol, DnsTransport::Dot);
@@ -413,7 +445,12 @@ mod tests {
         let mut stub = stub(&w, StubProfile::ClearTextTcp);
         for i in 0..3 {
             let reply = stub
-                .resolve(&mut w.net, w.client, &format!("t{i}.probe.example"), RecordType::A)
+                .resolve(
+                    &mut w.net,
+                    w.client,
+                    &format!("t{i}.probe.example"),
+                    RecordType::A,
+                )
                 .unwrap();
             assert_eq!(reply.transport.protocol, DnsTransport::Do53Tcp);
         }

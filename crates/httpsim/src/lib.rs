@@ -31,4 +31,4 @@ pub mod uri;
 pub use b64::{base64url_decode, base64url_encode};
 pub use message::{HttpError, Method, Request, Response};
 pub use server::{HttpHandlerService, StaticSite};
-pub use uri::{Url, UriTemplate};
+pub use uri::{UriTemplate, Url};

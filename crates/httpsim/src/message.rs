@@ -101,10 +101,7 @@ fn header_get<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str
         .map(|(_, v)| v.as_str())
 }
 
-fn body_with_length(
-    headers: &[(String, String)],
-    body: &[u8],
-) -> Result<Vec<u8>, HttpError> {
+fn body_with_length(headers: &[(String, String)], body: &[u8]) -> Result<Vec<u8>, HttpError> {
     match header_get(headers, "content-length") {
         Some(len_str) => {
             let expected: usize = len_str

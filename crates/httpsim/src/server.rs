@@ -4,7 +4,7 @@
 use crate::message::{Request, Response};
 use netsim::{PeerInfo, Service, ServiceCtx, StreamHandler};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Adapt a request handler into a [`netsim::Service`].
 ///
@@ -13,31 +13,31 @@ use std::rc::Rc;
 /// clients are strictly request/response).
 pub struct HttpHandlerService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + 'static,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + Send + Sync + 'static,
 {
-    handler: Rc<F>,
+    handler: Arc<F>,
 }
 
 impl<F> HttpHandlerService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + 'static,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + Send + Sync + 'static,
 {
     /// Wrap a handler function.
     pub fn new(handler: F) -> Self {
         HttpHandlerService {
-            handler: Rc::new(handler),
+            handler: Arc::new(handler),
         }
     }
 }
 
 struct HttpHandler<F> {
-    handler: Rc<F>,
+    handler: Arc<F>,
     peer: PeerInfo,
 }
 
 impl<F> StreamHandler for HttpHandler<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + 'static,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + Send + Sync + 'static,
 {
     fn on_bytes(&mut self, ctx: &mut ServiceCtx<'_>, data: &[u8]) -> Vec<u8> {
         match Request::decode(data) {
@@ -49,11 +49,11 @@ where
 
 impl<F> Service for HttpHandlerService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + 'static,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &Request) -> Response + Send + Sync + 'static,
 {
     fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler> {
         Box::new(HttpHandler {
-            handler: Rc::clone(&self.handler),
+            handler: Arc::clone(&self.handler),
             peer,
         })
     }
@@ -145,8 +145,11 @@ mod tests {
         net.bind_tcp(
             server,
             80,
-            Rc::new(HttpHandlerService::new(|_ctx, _peer, req: &Request| {
-                Response::ok("text/plain", format!("you asked {}", req.path()).into_bytes())
+            Arc::new(HttpHandlerService::new(|_ctx, _peer, req: &Request| {
+                Response::ok(
+                    "text/plain",
+                    format!("you asked {}", req.path()).into_bytes(),
+                )
             })),
         );
         let mut conn = net.connect(client, server, 80).unwrap();
@@ -163,7 +166,7 @@ mod tests {
         let (mut net, client, server) = world();
         let mut site = StaticSite::new();
         site.add_page("/", "text/html", b"<h1>MikroTik Router</h1>".to_vec());
-        net.bind_tcp(server, 80, Rc::new(site));
+        net.bind_tcp(server, 80, Arc::new(site));
         let mut conn = net.connect(client, server, 80).unwrap();
         let raw = conn.request(&mut net, &Request::get("/").encode()).unwrap();
         let resp = Response::decode(&raw).unwrap();
@@ -178,7 +181,7 @@ mod tests {
     #[test]
     fn malformed_request_gets_400() {
         let (mut net, client, server) = world();
-        net.bind_tcp(server, 80, Rc::new(StaticSite::single_page("x")));
+        net.bind_tcp(server, 80, Arc::new(StaticSite::single_page("x")));
         let mut conn = net.connect(client, server, 80).unwrap();
         let raw = conn.request(&mut net, b"garbage bytes").unwrap();
         assert_eq!(Response::decode(&raw).unwrap().status, 400);
@@ -187,7 +190,7 @@ mod tests {
     #[test]
     fn keep_alive_across_flights() {
         let (mut net, client, server) = world();
-        net.bind_tcp(server, 80, Rc::new(StaticSite::single_page("page")));
+        net.bind_tcp(server, 80, Arc::new(StaticSite::single_page("page")));
         let mut conn = net.connect(client, server, 80).unwrap();
         for _ in 0..3 {
             let raw = conn.request(&mut net, &Request::get("/").encode()).unwrap();

@@ -21,10 +21,7 @@ impl CountryCode {
     pub fn new(code: &str) -> Self {
         let bytes = code.as_bytes();
         assert!(bytes.len() == 2, "country code must be 2 chars: {code:?}");
-        CountryCode([
-            bytes[0].to_ascii_uppercase(),
-            bytes[1].to_ascii_uppercase(),
-        ])
+        CountryCode([bytes[0].to_ascii_uppercase(), bytes[1].to_ascii_uppercase()])
     }
 
     /// The code as a `&str`.
@@ -117,7 +114,11 @@ impl Netblock {
     pub fn new(addr: Ipv4Addr, len: u8) -> Self {
         assert!(len <= 32, "prefix length {len} > 32");
         let raw = u32::from(addr);
-        let base = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+        let base = if len == 0 {
+            0
+        } else {
+            raw & (u32::MAX << (32 - len))
+        };
         Netblock { base, len }
     }
 
@@ -192,14 +193,21 @@ impl GeoDb {
 
     /// Register a prefix. Later registrations of the same prefix overwrite.
     pub fn insert(&mut self, block: Netblock, info: BlockInfo) {
-        self.tables.entry(block.len).or_default().insert(block.base, info);
+        self.tables
+            .entry(block.len)
+            .or_default()
+            .insert(block.base, info);
     }
 
     /// Longest-prefix-match lookup.
     pub fn lookup(&self, addr: Ipv4Addr) -> Option<BlockInfo> {
         let raw = u32::from(addr);
         for (&len, table) in self.tables.iter().rev() {
-            let base = if len == 0 { 0 } else { raw & (u32::MAX << (32 - len)) };
+            let base = if len == 0 {
+                0
+            } else {
+                raw & (u32::MAX << (32 - len))
+            };
             if let Some(info) = table.get(&base) {
                 return Some(*info);
             }

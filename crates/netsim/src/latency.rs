@@ -19,7 +19,8 @@ use std::collections::HashMap;
 /// figures for inter-continental paths.
 const REGION_RTT_MS: [[f64; 6]; 6] = [
     //            NA     SA     EU     AF     AS     OC
-    /* NA */ [18.0, 120.0, 90.0, 180.0, 185.0, 160.0],
+    /* NA */
+    [18.0, 120.0, 90.0, 180.0, 185.0, 160.0],
     /* SA */ [120.0, 25.0, 190.0, 250.0, 280.0, 250.0],
     /* EU */ [90.0, 190.0, 16.0, 120.0, 180.0, 260.0],
     /* AF */ [180.0, 250.0, 120.0, 40.0, 200.0, 300.0],
@@ -140,7 +141,12 @@ impl LatencyModel {
     /// Jitter is multiplicative lognormal so tails are one-sided (paths get
     /// slower, not faster-than-light); the bottleneck endpoint's sigma
     /// applies.
-    pub fn sample_rtt<R: Rng + ?Sized>(&self, src: Endpoint, dst: Endpoint, rng: &mut R) -> SimDuration {
+    pub fn sample_rtt<R: Rng + ?Sized>(
+        &self,
+        src: Endpoint,
+        dst: Endpoint,
+        rng: &mut R,
+    ) -> SimDuration {
         self.sample_rtt_port(src, dst, None, rng)
     }
 
@@ -153,8 +159,8 @@ impl LatencyModel {
         port: Option<u16>,
         rng: &mut R,
     ) -> SimDuration {
-        let base = self.base_rtt_ms(src, dst)
-            + port.map_or(0.0, |p| self.port_penalty(src.country, p));
+        let base =
+            self.base_rtt_ms(src, dst) + port.map_or(0.0, |p| self.port_penalty(src.country, p));
         let sigma = self
             .profile_for(src.country)
             .jitter_sigma
@@ -257,7 +263,10 @@ mod tests {
             .collect();
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
-        assert!((median - base).abs() / base < 0.05, "median {median} vs base {base}");
+        assert!(
+            (median - base).abs() / base < 0.05,
+            "median {median} vs base {base}"
+        );
         assert!(samples.iter().all(|&s| s > 0.0));
     }
 
@@ -266,11 +275,15 @@ mod tests {
         let m = LatencyModel::default();
         let a: Vec<_> = {
             let mut rng = SmallRng::seed_from_u64(99);
-            (0..16).map(|_| m.sample_rtt(ep("BR", false), ep("US", true), &mut rng)).collect()
+            (0..16)
+                .map(|_| m.sample_rtt(ep("BR", false), ep("US", true), &mut rng))
+                .collect()
         };
         let b: Vec<_> = {
             let mut rng = SmallRng::seed_from_u64(99);
-            (0..16).map(|_| m.sample_rtt(ep("BR", false), ep("US", true), &mut rng)).collect()
+            (0..16)
+                .map(|_| m.sample_rtt(ep("BR", false), ep("US", true), &mut rng))
+                .collect()
         };
         assert_eq!(a, b);
     }

@@ -4,8 +4,9 @@
 //! sweeps of the IPv4 space, residential proxy vantage points in 166
 //! countries, and backbone NetFlow. None of those substrates are available
 //! offline, so this crate provides the closest synthetic equivalent: a
-//! seeded, single-threaded simulation of an internet that the *same
-//! measurement code* can run against.
+//! seeded simulation of an internet that the *same measurement code* can
+//! run against — single-threaded by default, and shardable across worker
+//! threads via [`Network::fork_shard`] for zmap-style parallel sweeps.
 //!
 //! Design points (see DESIGN.md §4):
 //!
@@ -26,12 +27,12 @@
 //! ```
 //! use netsim::{Network, NetworkConfig, HostMeta, service::FnDatagramService};
 //! use std::net::Ipv4Addr;
-//! use std::rc::Rc;
+//! use std::sync::Arc;
 //!
 //! let mut net = Network::new(NetworkConfig::default(), 42);
 //! let server = Ipv4Addr::new(192, 0, 2, 1);
 //! net.add_host(HostMeta::new(server).country("US").asn(64500));
-//! net.bind_udp(server, 7, Rc::new(FnDatagramService::new(|_, _, data| {
+//! net.bind_udp(server, 7, Arc::new(FnDatagramService::new(|_, _, data| {
 //!     Some(data.to_vec()) // echo
 //! })));
 //!
@@ -54,7 +55,10 @@ pub mod trace;
 pub use geo::{Asn, CountryCode, Netblock, Region};
 pub use host::{HostMeta, PeerInfo};
 pub use latency::{LatencyModel, LatencyProfile};
-pub use net::{Conn, ConnectError, ConnectErrorKind, Network, NetworkConfig, ProbeOutcome, UdpError, UdpReply};
+pub use net::{
+    mix_seed, Conn, ConnectError, ConnectErrorKind, DataPlane, Network, NetworkConfig,
+    ProbeOutcome, ShardStats, UdpError, UdpReply,
+};
 pub use policy::{DstMatch, PathDecision, PolicyRule, PolicySet, PortMatch, SrcMatch};
 pub use service::{DatagramService, FnDatagramService, Service, ServiceCtx, StreamHandler};
 pub use time::{SimDuration, SimTime};

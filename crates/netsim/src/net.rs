@@ -1,5 +1,21 @@
 //! The [`Network`]: host registry, path evaluation, TCP/UDP exchange with
 //! virtual-time accounting.
+//!
+//! Internally a network is split in two, zmap-style:
+//!
+//! * [`DataPlane`] — the read-mostly half: host registry, service bindings,
+//!   geo/AS attribution and the policy set. Shared across shard workers
+//!   behind an `Arc`; mutation goes through copy-on-write
+//!   ([`Arc::make_mut`]), so topology edits stay cheap for the common
+//!   single-owner case and safe when forks exist.
+//! * `ShardCtx` — the per-worker half: seeded RNG stream, virtual clock,
+//!   event log, handler-depth guard and probe counters. Forked fresh per
+//!   shard via [`Network::fork_shard`] and folded back with
+//!   [`Network::absorb_shard`].
+//!
+//! Every public method still takes `&mut Network`, so single-shard callers
+//! see exactly the old API; parallel sweeps fork one `Network` value per
+//! worker and merge after join.
 
 use crate::geo::{Asn, CountryCode, GeoDb, Region};
 use crate::host::{HostMeta, PeerInfo};
@@ -10,10 +26,21 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventKind, EventLog, NetEvent};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
+
+/// Derive an independent RNG seed from a base seed and a salt (shard id,
+/// permutation index, ...). SplitMix64 finalizer over the mixed words, so
+/// adjacent salts yield statistically unrelated streams.
+pub fn mix_seed(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
 
 /// Tunables for a simulated internet.
 #[derive(Debug, Clone)]
@@ -135,7 +162,7 @@ impl fmt::Display for UdpError {
 impl std::error::Error for UdpError {}
 
 /// Result of a SYN probe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ProbeOutcome {
     /// SYN-ACK received.
     Open,
@@ -145,173 +172,48 @@ pub enum ProbeOutcome {
     Filtered,
 }
 
-struct HostEntry {
-    meta: HostMeta,
-    tcp: HashMap<u16, Rc<dyn Service>>,
-    udp: HashMap<u16, Rc<dyn DatagramService>>,
+/// Per-shard probe accounting, folded across workers after a sharded sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// SYN probes sent.
+    pub probes: u64,
+    /// Probes answered with SYN-ACK.
+    pub open: u64,
+    /// Probes answered with RST.
+    pub closed: u64,
+    /// Probes that got nothing back.
+    pub filtered: u64,
 }
 
-/// The simulated internet. See the crate docs for the model.
-pub struct Network {
+impl ShardStats {
+    /// Fold another shard's counters into this one.
+    pub fn absorb(&mut self, other: &ShardStats) {
+        self.probes += other.probes;
+        self.open += other.open;
+        self.closed += other.closed;
+        self.filtered += other.filtered;
+    }
+}
+
+#[derive(Clone)]
+struct HostEntry {
+    meta: HostMeta,
+    tcp: HashMap<u16, Arc<dyn Service>>,
+    udp: HashMap<u16, Arc<dyn DatagramService>>,
+}
+
+/// The read-mostly half of the simulator: hosts, service bindings, geo/AS
+/// attribution and path policies. `Send + Sync`; shard workers share one
+/// instance behind an `Arc`.
+#[derive(Clone)]
+pub struct DataPlane {
     cfg: NetworkConfig,
     hosts: HashMap<Ipv4Addr, HostEntry>,
     geodb: GeoDb,
     policies: PolicySet,
-    rng: SmallRng,
-    /// Event trace (enable via `NetworkConfig::trace_capacity`).
-    pub log: EventLog,
-    now: SimTime,
-    handler_depth: u8,
 }
 
-impl Network {
-    /// Build a network from config and a seed. Identical seeds give
-    /// identical behaviour.
-    pub fn new(cfg: NetworkConfig, seed: u64) -> Self {
-        let log = if cfg.trace_capacity > 0 {
-            EventLog::with_capacity(cfg.trace_capacity)
-        } else {
-            EventLog::disabled()
-        };
-        Network {
-            rng: SmallRng::seed_from_u64(seed),
-            log,
-            cfg,
-            hosts: HashMap::new(),
-            geodb: GeoDb::new(),
-            policies: PolicySet::new(),
-            now: SimTime::EPOCH,
-            handler_depth: 0,
-        }
-    }
-
-    /// The configuration in force.
-    pub fn config(&self) -> &NetworkConfig {
-        &self.cfg
-    }
-
-    /// Mutable latency model (worldgen tunes country profiles).
-    pub fn latency_mut(&mut self) -> &mut LatencyModel {
-        &mut self.cfg.latency
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// Advance the virtual clock (e.g. between scan epochs).
-    pub fn advance(&mut self, d: SimDuration) {
-        self.now += d;
-    }
-
-    /// The geo database.
-    pub fn geodb(&self) -> &GeoDb {
-        &self.geodb
-    }
-
-    /// Mutable geo database.
-    pub fn geodb_mut(&mut self) -> &mut GeoDb {
-        &mut self.geodb
-    }
-
-    /// The installed path policies.
-    pub fn policies(&self) -> &PolicySet {
-        &self.policies
-    }
-
-    /// Mutable path policies.
-    pub fn policies_mut(&mut self) -> &mut PolicySet {
-        &mut self.policies
-    }
-
-    /// Deterministic RNG shared by the simulation.
-    pub fn rng(&mut self) -> &mut SmallRng {
-        &mut self.rng
-    }
-
-    /// Register a host. Replaces any prior host at the same address.
-    pub fn add_host(&mut self, meta: HostMeta) {
-        self.hosts.insert(
-            meta.ip,
-            HostEntry {
-                meta,
-                tcp: HashMap::new(),
-                udp: HashMap::new(),
-            },
-        );
-    }
-
-    /// Remove a host entirely (e.g. a resolver decommissioned between scan
-    /// epochs). Returns true if it existed.
-    pub fn remove_host(&mut self, ip: Ipv4Addr) -> bool {
-        self.hosts.remove(&ip).is_some()
-    }
-
-    /// Whether a host is registered at `ip`.
-    pub fn has_host(&self, ip: Ipv4Addr) -> bool {
-        self.hosts.contains_key(&ip)
-    }
-
-    /// Metadata of a registered host.
-    pub fn host_meta(&self, ip: Ipv4Addr) -> Option<&HostMeta> {
-        self.hosts.get(&ip).map(|h| &h.meta)
-    }
-
-    /// Number of registered hosts.
-    pub fn host_count(&self) -> usize {
-        self.hosts.len()
-    }
-
-    /// All registered host addresses (unordered).
-    pub fn host_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
-        self.hosts.keys().copied()
-    }
-
-    /// TCP ports a host listens on (empty if unknown host).
-    pub fn open_tcp_ports(&self, ip: Ipv4Addr) -> Vec<u16> {
-        let mut ports: Vec<u16> = self
-            .hosts
-            .get(&ip)
-            .map(|h| h.tcp.keys().copied().collect())
-            .unwrap_or_default();
-        ports.sort_unstable();
-        ports
-    }
-
-    /// Bind a TCP service to `(ip, port)`. The host must exist.
-    ///
-    /// # Panics
-    /// Panics if the host was never added — binding to a ghost is a
-    /// worldgen bug.
-    pub fn bind_tcp(&mut self, ip: Ipv4Addr, port: u16, svc: Rc<dyn Service>) {
-        self.hosts
-            .get_mut(&ip)
-            .unwrap_or_else(|| panic!("bind_tcp: no host {ip}"))
-            .tcp
-            .insert(port, svc);
-    }
-
-    /// Unbind a TCP service; returns true if something was bound.
-    pub fn unbind_tcp(&mut self, ip: Ipv4Addr, port: u16) -> bool {
-        self.hosts
-            .get_mut(&ip)
-            .map(|h| h.tcp.remove(&port).is_some())
-            .unwrap_or(false)
-    }
-
-    /// Bind a UDP service to `(ip, port)`. The host must exist.
-    ///
-    /// # Panics
-    /// Panics if the host was never added.
-    pub fn bind_udp(&mut self, ip: Ipv4Addr, port: u16, svc: Rc<dyn DatagramService>) {
-        self.hosts
-            .get_mut(&ip)
-            .unwrap_or_else(|| panic!("bind_udp: no host {ip}"))
-            .udp
-            .insert(port, svc);
-    }
-
+impl DataPlane {
     /// Country/AS/region attribution for any address: a registered host's
     /// metadata wins, then the geo database, then a neutral default.
     pub fn attribution(&self, ip: Ipv4Addr) -> (CountryCode, Asn, Region) {
@@ -337,21 +239,6 @@ impl Network {
         }
     }
 
-    fn sample_rtt(&mut self, src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> SimDuration {
-        let s = self.endpoint_of(src);
-        let d = self.endpoint_of(dst);
-        let lat = self.cfg.latency.clone();
-        lat.sample_rtt_port(s, d, Some(port), &mut self.rng)
-    }
-
-    fn loss_roll(&mut self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
-        let s = self.endpoint_of(src);
-        let d = self.endpoint_of(dst);
-        let p = self.cfg.latency.loss_probability(s, d);
-        self.rng.gen_bool(p.clamp(0.0, 1.0))
-    }
-
-
     /// Evaluate path policies for a flow, with the simulator invariant that
     /// a diversion device's own traffic is never diverted back to itself
     /// (the device *is* the middlebox; it sits behind the diversion point).
@@ -369,10 +256,316 @@ impl Network {
             other => (other, rule.map(str::to_string)),
         }
     }
+}
+
+/// Per-worker session state: RNG stream, virtual clock, trace log,
+/// handler-depth guard and probe counters.
+struct ShardCtx {
+    id: u64,
+    rng: SmallRng,
+    now: SimTime,
+    log: EventLog,
+    handler_depth: u8,
+    stats: ShardStats,
+    /// Per-shard counters folded in by [`Network::absorb_shard`], in
+    /// absorption order — the data behind `repro --trace`'s breakdown.
+    breakdown: Vec<(u64, ShardStats)>,
+}
+
+/// The simulated internet. See the crate docs for the model.
+pub struct Network {
+    plane: Arc<DataPlane>,
+    seed: u64,
+    shard: ShardCtx,
+}
+
+// The whole point of the split: a Network value can move to a worker thread.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Network>();
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DataPlane>();
+};
+
+impl Network {
+    /// Build a network from config and a seed. Identical seeds give
+    /// identical behaviour.
+    pub fn new(cfg: NetworkConfig, seed: u64) -> Self {
+        let log = if cfg.trace_capacity > 0 {
+            EventLog::with_capacity(cfg.trace_capacity)
+        } else {
+            EventLog::disabled()
+        };
+        Network {
+            plane: Arc::new(DataPlane {
+                cfg,
+                hosts: HashMap::new(),
+                geodb: GeoDb::new(),
+                policies: PolicySet::new(),
+            }),
+            seed,
+            shard: ShardCtx {
+                id: 0,
+                rng: SmallRng::seed_from_u64(seed),
+                now: SimTime::EPOCH,
+                log,
+                handler_depth: 0,
+                stats: ShardStats::default(),
+                breakdown: Vec::new(),
+            },
+        }
+    }
+
+    /// Fork a worker view for shard `id`: the data plane is shared, the
+    /// session state is fresh with an RNG stream derived from the base seed
+    /// and the shard id ([`mix_seed`]). The fork starts at the parent's
+    /// virtual time with an empty trace log of the same capacity.
+    pub fn fork_shard(&self, id: u64) -> Network {
+        let log = if self.plane.cfg.trace_capacity > 0 {
+            EventLog::with_capacity(self.plane.cfg.trace_capacity)
+        } else {
+            EventLog::disabled()
+        };
+        Network {
+            plane: Arc::clone(&self.plane),
+            seed: self.seed,
+            shard: ShardCtx {
+                id,
+                rng: SmallRng::seed_from_u64(mix_seed(self.seed, id)),
+                now: self.shard.now,
+                log,
+                handler_depth: 0,
+                stats: ShardStats::default(),
+                breakdown: Vec::new(),
+            },
+        }
+    }
+
+    /// Fold a joined worker back into this network: its probe counters,
+    /// trace events (in the worker's order) and clock high-water mark.
+    /// Absorb workers in ascending shard order for deterministic logs.
+    pub fn absorb_shard(&mut self, worker: Network) {
+        self.shard.stats.absorb(&worker.shard.stats);
+        if worker.shard.now > self.shard.now {
+            self.shard.now = worker.shard.now;
+        }
+        self.shard.breakdown.extend(worker.shard.breakdown);
+        self.shard
+            .breakdown
+            .push((worker.shard.id, worker.shard.stats));
+        self.shard.log.absorb(worker.shard.log);
+    }
+
+    /// Per-shard counters recorded at each [`Network::absorb_shard`], in
+    /// absorption order: `(shard id, that worker's counters)`.
+    pub fn shard_breakdown(&self) -> &[(u64, ShardStats)] {
+        &self.shard.breakdown
+    }
+
+    /// The shared data plane (topology, attribution, policies).
+    pub fn plane(&self) -> &DataPlane {
+        &self.plane
+    }
+
+    /// Copy-on-write handle for topology mutation: cheap while this network
+    /// is the sole owner, clones the plane if shard forks are alive.
+    fn plane_mut(&mut self) -> &mut DataPlane {
+        Arc::make_mut(&mut self.plane)
+    }
+
+    /// This worker's shard id (0 for the root network).
+    pub fn shard_id(&self) -> u64 {
+        self.shard.id
+    }
+
+    /// The seed this network (and all its forks) derive randomness from.
+    pub fn base_seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Probe counters accumulated by this shard (plus any absorbed ones).
+    pub fn shard_stats(&self) -> ShardStats {
+        self.shard.stats
+    }
+
+    /// The event trace (enable via [`NetworkConfig::trace_capacity`]).
+    pub fn log(&self) -> &EventLog {
+        &self.shard.log
+    }
+
+    /// Mutable event trace (tests clear it between phases).
+    pub fn log_mut(&mut self) -> &mut EventLog {
+        &mut self.shard.log
+    }
+
+    /// Replace the RNG stream. Sharded sweeps reseed per work item from
+    /// [`mix_seed`]`(base_seed, global_index)` so results are identical for
+    /// every shard count.
+    pub fn reseed(&mut self, seed: u64) {
+        self.shard.rng = SmallRng::seed_from_u64(seed);
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.plane.cfg
+    }
+
+    /// Mutable latency model (worldgen tunes country profiles).
+    pub fn latency_mut(&mut self) -> &mut LatencyModel {
+        &mut self.plane_mut().cfg.latency
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.shard.now
+    }
+
+    /// Advance the virtual clock (e.g. between scan epochs).
+    pub fn advance(&mut self, d: SimDuration) {
+        self.shard.now += d;
+    }
+
+    /// The geo database.
+    pub fn geodb(&self) -> &GeoDb {
+        &self.plane.geodb
+    }
+
+    /// Mutable geo database.
+    pub fn geodb_mut(&mut self) -> &mut GeoDb {
+        &mut self.plane_mut().geodb
+    }
+
+    /// The installed path policies.
+    pub fn policies(&self) -> &PolicySet {
+        &self.plane.policies
+    }
+
+    /// Mutable path policies.
+    pub fn policies_mut(&mut self) -> &mut PolicySet {
+        &mut self.plane_mut().policies
+    }
+
+    /// This shard's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.shard.rng
+    }
+
+    /// Register a host. Replaces any prior host at the same address.
+    pub fn add_host(&mut self, meta: HostMeta) {
+        self.plane_mut().hosts.insert(
+            meta.ip,
+            HostEntry {
+                meta,
+                tcp: HashMap::new(),
+                udp: HashMap::new(),
+            },
+        );
+    }
+
+    /// Remove a host entirely (e.g. a resolver decommissioned between scan
+    /// epochs). Returns true if it existed.
+    pub fn remove_host(&mut self, ip: Ipv4Addr) -> bool {
+        self.plane_mut().hosts.remove(&ip).is_some()
+    }
+
+    /// Whether a host is registered at `ip`.
+    pub fn has_host(&self, ip: Ipv4Addr) -> bool {
+        self.plane.hosts.contains_key(&ip)
+    }
+
+    /// Metadata of a registered host.
+    pub fn host_meta(&self, ip: Ipv4Addr) -> Option<&HostMeta> {
+        self.plane.hosts.get(&ip).map(|h| &h.meta)
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.plane.hosts.len()
+    }
+
+    /// All registered host addresses (unordered).
+    pub fn host_ips(&self) -> impl Iterator<Item = Ipv4Addr> + '_ {
+        self.plane.hosts.keys().copied()
+    }
+
+    /// TCP ports a host listens on (empty if unknown host).
+    pub fn open_tcp_ports(&self, ip: Ipv4Addr) -> Vec<u16> {
+        let mut ports: Vec<u16> = self
+            .plane
+            .hosts
+            .get(&ip)
+            .map(|h| h.tcp.keys().copied().collect())
+            .unwrap_or_default();
+        ports.sort_unstable();
+        ports
+    }
+
+    /// Bind a TCP service to `(ip, port)`. The host must exist.
+    ///
+    /// # Panics
+    /// Panics if the host was never added — binding to a ghost is a
+    /// worldgen bug.
+    pub fn bind_tcp(&mut self, ip: Ipv4Addr, port: u16, svc: Arc<dyn Service>) {
+        self.plane_mut()
+            .hosts
+            .get_mut(&ip)
+            .unwrap_or_else(|| panic!("bind_tcp: no host {ip}"))
+            .tcp
+            .insert(port, svc);
+    }
+
+    /// Unbind a TCP service; returns true if something was bound.
+    pub fn unbind_tcp(&mut self, ip: Ipv4Addr, port: u16) -> bool {
+        self.plane_mut()
+            .hosts
+            .get_mut(&ip)
+            .map(|h| h.tcp.remove(&port).is_some())
+            .unwrap_or(false)
+    }
+
+    /// Bind a UDP service to `(ip, port)`. The host must exist.
+    ///
+    /// # Panics
+    /// Panics if the host was never added.
+    pub fn bind_udp(&mut self, ip: Ipv4Addr, port: u16, svc: Arc<dyn DatagramService>) {
+        self.plane_mut()
+            .hosts
+            .get_mut(&ip)
+            .unwrap_or_else(|| panic!("bind_udp: no host {ip}"))
+            .udp
+            .insert(port, svc);
+    }
+
+    /// Country/AS/region attribution for any address: a registered host's
+    /// metadata wins, then the geo database, then a neutral default.
+    pub fn attribution(&self, ip: Ipv4Addr) -> (CountryCode, Asn, Region) {
+        self.plane.attribution(ip)
+    }
+
+    fn sample_rtt(&mut self, src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> SimDuration {
+        let s = self.plane.endpoint_of(src);
+        let d = self.plane.endpoint_of(dst);
+        self.plane
+            .cfg
+            .latency
+            .sample_rtt_port(s, d, Some(port), &mut self.shard.rng)
+    }
+
+    fn loss_roll(&mut self, src: Ipv4Addr, dst: Ipv4Addr) -> bool {
+        let s = self.plane.endpoint_of(src);
+        let d = self.plane.endpoint_of(dst);
+        let p = self.plane.cfg.latency.loss_probability(s, d);
+        self.shard.rng.gen_bool(p.clamp(0.0, 1.0))
+    }
 
     /// Open a TCP connection with the default timeout.
-    pub fn connect(&mut self, src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> Result<Conn, ConnectError> {
-        let timeout = self.cfg.default_timeout;
+    pub fn connect(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        port: u16,
+    ) -> Result<Conn, ConnectError> {
+        let timeout = self.plane.cfg.default_timeout;
         self.connect_with_timeout(src, dst, port, timeout)
     }
 
@@ -388,18 +581,18 @@ impl Network {
         port: u16,
         timeout: SimDuration,
     ) -> Result<Conn, ConnectError> {
-        if self.handler_depth >= MAX_HANDLER_DEPTH {
+        if self.shard.handler_depth >= MAX_HANDLER_DEPTH {
             return Err(ConnectError {
                 kind: ConnectErrorKind::DepthExceeded,
                 elapsed: SimDuration::ZERO,
                 rule: None,
             });
         }
-        let (decision, rule) = self.decide_path(src, dst, port, true);
+        let (decision, rule) = self.plane.decide_path(src, dst, port, true);
         let (effective, diverted_rule) = match decision {
             PathDecision::Allow => (dst, None),
             PathDecision::Blackhole => {
-                self.log.record(NetEvent {
+                self.shard.log.record(NetEvent {
                     src,
                     dst,
                     port,
@@ -414,7 +607,7 @@ impl Network {
             }
             PathDecision::Reset => {
                 let rtt = self.sample_rtt(src, dst, port);
-                self.log.record(NetEvent {
+                self.shard.log.record(NetEvent {
                     src,
                     dst,
                     port,
@@ -428,7 +621,7 @@ impl Network {
                 });
             }
             PathDecision::DivertTo(actual) => {
-                self.log.record(NetEvent {
+                self.shard.log.record(NetEvent {
                     src,
                     dst,
                     port,
@@ -442,10 +635,10 @@ impl Network {
             }
         };
 
-        let svc = match self.hosts.get(&effective) {
+        let svc = match self.plane.hosts.get(&effective) {
             None => {
                 // Unrouted address: SYNs vanish.
-                self.log.record(NetEvent {
+                self.shard.log.record(NetEvent {
                     src,
                     dst,
                     port,
@@ -461,7 +654,7 @@ impl Network {
             Some(entry) => match entry.tcp.get(&port) {
                 None => {
                     let rtt = self.sample_rtt(src, effective, port);
-                    self.log.record(NetEvent {
+                    self.shard.log.record(NetEvent {
                         src,
                         dst,
                         port,
@@ -474,7 +667,7 @@ impl Network {
                         rule: diverted_rule,
                     });
                 }
-                Some(svc) => Rc::clone(svc),
+                Some(svc) => Arc::clone(svc),
             },
         };
 
@@ -490,7 +683,7 @@ impl Network {
             // Lost SYN: one retransmission.
             rtt += self.sample_rtt(src, effective, port);
         }
-        self.log.record(NetEvent {
+        self.shard.log.record(NetEvent {
             src,
             dst,
             port,
@@ -520,16 +713,16 @@ impl Network {
         data: &[u8],
         timeout: Option<SimDuration>,
     ) -> Result<UdpReply, UdpError> {
-        if self.handler_depth >= MAX_HANDLER_DEPTH {
+        if self.shard.handler_depth >= MAX_HANDLER_DEPTH {
             return Err(UdpError::DepthExceeded);
         }
-        let timeout = timeout.unwrap_or(self.cfg.default_timeout);
-        let (decision, rule) = self.decide_path(src, dst, port, false);
+        let timeout = timeout.unwrap_or(self.plane.cfg.default_timeout);
+        let (decision, rule) = self.plane.decide_path(src, dst, port, false);
         let effective = match decision {
             PathDecision::Allow => dst,
             PathDecision::Blackhole | PathDecision::Reset => {
                 // UDP has no RST; both read as silence.
-                self.log.record(NetEvent {
+                self.shard.log.record(NetEvent {
                     src,
                     dst,
                     port,
@@ -545,7 +738,7 @@ impl Network {
         };
 
         if self.loss_roll(src, effective) {
-            self.log.record(NetEvent {
+            self.shard.log.record(NetEvent {
                 src,
                 dst,
                 port,
@@ -558,7 +751,7 @@ impl Network {
             });
         }
 
-        let svc = match self.hosts.get(&effective) {
+        let svc = match self.plane.hosts.get(&effective) {
             None => {
                 return Err(UdpError::Timeout {
                     elapsed: timeout,
@@ -570,7 +763,7 @@ impl Network {
                     let rtt = self.sample_rtt(src, effective, port);
                     return Err(UdpError::Unreachable { elapsed: rtt });
                 }
-                Some(svc) => Rc::clone(svc),
+                Some(svc) => Arc::clone(svc),
             },
         };
 
@@ -581,16 +774,21 @@ impl Network {
             diverted: effective != dst,
         };
         let rtt = self.sample_rtt(src, effective, port);
-        self.handler_depth += 1;
+        self.shard.handler_depth += 1;
         let mut ctx = ServiceCtx::new(self, effective, 0);
         let reply = svc.on_datagram(&mut ctx, peer, data);
         let extra = ctx.extra();
-        self.handler_depth -= 1;
+        self.shard.handler_depth -= 1;
         match reply {
             Some(bytes) => {
-                let total =
-                    rtt + self.cfg.latency.transmission(data.len() + bytes.len()) + extra;
-                self.log.record(NetEvent {
+                let total = rtt
+                    + self
+                        .plane
+                        .cfg
+                        .latency
+                        .transmission(data.len() + bytes.len())
+                    + extra;
+                self.shard.log.record(NetEvent {
                     src,
                     dst,
                     port,
@@ -613,29 +811,55 @@ impl Network {
     }
 
     /// ZMap-style SYN probe: open / closed / filtered plus time cost.
-    pub fn syn_probe(&mut self, src: Ipv4Addr, dst: Ipv4Addr, port: u16) -> (ProbeOutcome, SimDuration) {
-        let (decision, _rule) = self.decide_path(src, dst, port, true);
-        let effective = match decision {
-            PathDecision::Allow => dst,
-            PathDecision::Blackhole => return (ProbeOutcome::Filtered, self.cfg.probe_timeout),
-            PathDecision::Reset => {
-                let rtt = self.sample_rtt(src, dst, port);
-                return (ProbeOutcome::Closed, rtt);
-            }
-            PathDecision::DivertTo(actual) => actual,
-        };
-        match self.hosts.get(&effective) {
-            None => (ProbeOutcome::Filtered, self.cfg.probe_timeout),
-            Some(entry) => {
-                let open = entry.tcp.contains_key(&port);
-                let rtt = self.sample_rtt(src, effective, port);
-                if open {
-                    (ProbeOutcome::Open, rtt)
-                } else {
-                    (ProbeOutcome::Closed, rtt)
+    ///
+    /// Every probe bumps this shard's [`ShardStats`] and (when tracing is
+    /// on) records a [`EventKind::SynProbe`] event.
+    pub fn syn_probe(
+        &mut self,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        port: u16,
+    ) -> (ProbeOutcome, SimDuration) {
+        let (decision, _rule) = self.plane.decide_path(src, dst, port, true);
+        let (outcome, elapsed) = (|| {
+            let effective = match decision {
+                PathDecision::Allow => dst,
+                PathDecision::Blackhole => {
+                    return (ProbeOutcome::Filtered, self.plane.cfg.probe_timeout)
+                }
+                PathDecision::Reset => {
+                    let rtt = self.sample_rtt(src, dst, port);
+                    return (ProbeOutcome::Closed, rtt);
+                }
+                PathDecision::DivertTo(actual) => actual,
+            };
+            match self.plane.hosts.get(&effective) {
+                None => (ProbeOutcome::Filtered, self.plane.cfg.probe_timeout),
+                Some(entry) => {
+                    let open = entry.tcp.contains_key(&port);
+                    let rtt = self.sample_rtt(src, effective, port);
+                    if open {
+                        (ProbeOutcome::Open, rtt)
+                    } else {
+                        (ProbeOutcome::Closed, rtt)
+                    }
                 }
             }
+        })();
+        self.shard.stats.probes += 1;
+        match outcome {
+            ProbeOutcome::Open => self.shard.stats.open += 1,
+            ProbeOutcome::Closed => self.shard.stats.closed += 1,
+            ProbeOutcome::Filtered => self.shard.stats.filtered += 1,
         }
+        self.shard.log.record(NetEvent {
+            src,
+            dst,
+            port,
+            elapsed,
+            kind: EventKind::SynProbe { outcome },
+        });
+        (outcome, elapsed)
     }
 
     /// Internal: run one request/response flight on an established
@@ -653,17 +877,17 @@ impl Network {
             // One retransmission round.
             rtt += self.sample_rtt(conn_src, conn_dst, port);
         }
-        self.handler_depth += 1;
+        self.shard.handler_depth += 1;
         let mut ctx = ServiceCtx::new(self, conn_dst, 0);
         let resp = handler.on_bytes(&mut ctx, data);
         let extra = ctx.extra();
-        self.handler_depth -= 1;
-        let total = rtt + self.cfg.latency.transmission(data.len() + resp.len()) + extra;
+        self.shard.handler_depth -= 1;
+        let total = rtt + self.plane.cfg.latency.transmission(data.len() + resp.len()) + extra;
         (resp, total)
     }
 
     fn depth_exceeded(&self) -> bool {
-        self.handler_depth >= MAX_HANDLER_DEPTH
+        self.shard.handler_depth >= MAX_HANDLER_DEPTH
     }
 }
 
@@ -778,7 +1002,7 @@ impl Conn {
         self.tx_bytes += data.len();
         self.rx_bytes += resp.len();
         self.round_trips += 1;
-        net.log.record(NetEvent {
+        net.shard.log.record(NetEvent {
             src: self.src,
             dst: self.original_dst,
             port: self.port,
@@ -825,7 +1049,7 @@ mod tests {
         net.bind_tcp(
             server,
             7,
-            Rc::new(FnStreamService::new(
+            Arc::new(FnStreamService::new(
                 |_ctx, _peer, data: &[u8]| data.to_vec(),
                 "echo",
             )),
@@ -833,7 +1057,9 @@ mod tests {
         net.bind_udp(
             server,
             7,
-            Rc::new(FnDatagramService::new(|_ctx, _peer, data| Some(data.to_vec()))),
+            Arc::new(FnDatagramService::new(|_ctx, _peer, data| {
+                Some(data.to_vec())
+            })),
         );
         (net, client, server)
     }
@@ -871,9 +1097,8 @@ mod tests {
     #[test]
     fn blackhole_policy_times_out_with_rule() {
         let (mut net, client, server) = echo_net(4);
-        net.policies_mut().push(
-            PolicyRule::new("censor", PathDecision::Blackhole).to_dst(DstMatch::Ip(server)),
-        );
+        net.policies_mut()
+            .push(PolicyRule::new("censor", PathDecision::Blackhole).to_dst(DstMatch::Ip(server)));
         let err = net.connect(client, server, 7).unwrap_err();
         assert_eq!(err.kind, ConnectErrorKind::Timeout);
         assert_eq!(err.rule.as_deref(), Some("censor"));
@@ -900,7 +1125,7 @@ mod tests {
         net.bind_tcp(
             squatter,
             7,
-            Rc::new(FnStreamService::new(
+            Arc::new(FnStreamService::new(
                 |_ctx, peer: PeerInfo, _data: &[u8]| {
                     assert!(peer.diverted);
                     b"modem says hi".to_vec()
@@ -909,8 +1134,7 @@ mod tests {
             )),
         );
         net.policies_mut().push(
-            PolicyRule::new("squat", PathDecision::DivertTo(squatter))
-                .to_dst(DstMatch::Ip(server)),
+            PolicyRule::new("squat", PathDecision::DivertTo(squatter)).to_dst(DstMatch::Ip(server)),
         );
         let mut conn = net.connect(client, server, 7).unwrap();
         assert_eq!(conn.original_dst(), server);
@@ -926,7 +1150,9 @@ mod tests {
         let reply = net.udp_query(client, server, 7, b"ping", None).unwrap();
         assert_eq!(reply.bytes, b"ping");
         assert!(reply.elapsed > SimDuration::ZERO);
-        let err = net.udp_query(client, server, 9999, b"ping", None).unwrap_err();
+        let err = net
+            .udp_query(client, server, 9999, b"ping", None)
+            .unwrap_err();
         assert!(matches!(err, UdpError::Unreachable { .. }));
     }
 
@@ -940,6 +1166,31 @@ mod tests {
         let (filtered, dt) = net.syn_probe(client, ip("203.0.113.50"), 7);
         assert_eq!(filtered, ProbeOutcome::Filtered);
         assert_eq!(dt, net.config().probe_timeout);
+    }
+
+    #[test]
+    fn syn_probe_counts_and_traces() {
+        let (mut net, client, server) = echo_net(16);
+        net.syn_probe(client, server, 7);
+        net.syn_probe(client, server, 80);
+        net.syn_probe(client, ip("203.0.113.50"), 7);
+        let stats = net.shard_stats();
+        assert_eq!(
+            stats,
+            ShardStats {
+                probes: 3,
+                open: 1,
+                closed: 1,
+                filtered: 1,
+            }
+        );
+        let probes = net
+            .log()
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SynProbe { .. }))
+            .count();
+        assert_eq!(probes, 3);
     }
 
     #[test]
@@ -977,7 +1228,7 @@ mod tests {
         net.bind_tcp(
             proxy,
             80,
-            Rc::new(FnStreamService::new(
+            Arc::new(FnStreamService::new(
                 move |ctx: &mut ServiceCtx<'_>, _peer, data: &[u8]| {
                     let local = ctx.local_addr();
                     match ctx.network().udp_query(local, upstream, 7, data, None) {
@@ -1014,7 +1265,7 @@ mod tests {
         let (mut net, client, server) = echo_net(13);
         let mut conn = net.connect(client, server, 7).unwrap();
         conn.request(&mut net, b"x").unwrap();
-        let kinds: Vec<_> = net.log.events().iter().map(|e| &e.kind).collect();
+        let kinds: Vec<_> = net.log().events().iter().map(|e| &e.kind).collect();
         assert!(matches!(kinds[0], EventKind::TcpConnect));
         assert!(matches!(kinds[1], EventKind::Exchange { tx: 1, .. }));
     }
@@ -1046,5 +1297,74 @@ mod tests {
         assert!(net.remove_host(server));
         let err = net.connect(client, server, 7).unwrap_err();
         assert_eq!(err.kind, ConnectErrorKind::Timeout);
+    }
+
+    #[test]
+    fn fork_shares_plane_and_splits_rng() {
+        let (net, client, server) = echo_net(20);
+        let mut a = net.fork_shard(1);
+        let mut b = net.fork_shard(2);
+        assert_eq!(a.shard_id(), 1);
+        assert_eq!(b.shard_id(), 2);
+        // Shared topology: both forks see the echo service.
+        let ra = a.udp_query(client, server, 7, b"ping", None).unwrap();
+        let rb = b.udp_query(client, server, 7, b"ping", None).unwrap();
+        assert_eq!(ra.bytes, b"ping");
+        assert_eq!(rb.bytes, b"ping");
+        // Independent RNG streams: shard ids give different jitter draws.
+        assert_ne!(ra.elapsed, rb.elapsed, "shard streams should diverge");
+        // Same shard id forked twice is bit-identical.
+        let again = net
+            .fork_shard(1)
+            .udp_query(client, server, 7, b"ping", None)
+            .unwrap();
+        assert_eq!(
+            again.elapsed,
+            a.fork_shard(1)
+                .udp_query(client, server, 7, b"ping", None)
+                .unwrap()
+                .elapsed
+        );
+    }
+
+    #[test]
+    fn fork_is_copy_on_write() {
+        let (mut net, client, server) = echo_net(21);
+        let mut fork = net.fork_shard(1);
+        // Parent mutates topology after forking: the worker's view is frozen.
+        net.remove_host(server);
+        assert!(!net.has_host(server));
+        assert!(fork.has_host(server));
+        let reply = fork.udp_query(client, server, 7, b"ping", None).unwrap();
+        assert_eq!(reply.bytes, b"ping");
+    }
+
+    #[test]
+    fn absorb_merges_stats_and_log() {
+        let (net, client, server) = echo_net(22);
+        let mut parent = net.fork_shard(0);
+        let mut w1 = parent.fork_shard(1);
+        let mut w2 = parent.fork_shard(2);
+        w1.syn_probe(client, server, 7);
+        w2.syn_probe(client, server, 80);
+        w2.syn_probe(client, ip("203.0.113.9"), 7);
+        parent.absorb_shard(w1);
+        parent.absorb_shard(w2);
+        let stats = parent.shard_stats();
+        assert_eq!(stats.probes, 3);
+        assert_eq!(stats.open, 1);
+        assert_eq!(stats.closed, 1);
+        assert_eq!(stats.filtered, 1);
+        assert_eq!(parent.log().events().len(), 3);
+    }
+
+    #[test]
+    fn reseed_replays_stream() {
+        let (mut net, client, server) = echo_net(23);
+        net.reseed(mix_seed(net.base_seed(), 7));
+        let (_, a) = net.syn_probe(client, server, 7);
+        net.reseed(mix_seed(net.base_seed(), 7));
+        let (_, b) = net.syn_probe(client, server, 7);
+        assert_eq!(a, b);
     }
 }

@@ -358,15 +358,39 @@ mod tests {
         set.push(
             PolicyRule::new("udp-only", PathDecision::Blackhole)
                 .over(ProtoMatch::Udp)
-                .from_src(SrcMatch::Block(Netblock::new("10.1.0.0".parse().unwrap(), 16))),
+                .from_src(SrcMatch::Block(Netblock::new(
+                    "10.1.0.0".parse().unwrap(),
+                    16,
+                ))),
         );
         let inside: Ipv4Addr = "10.1.2.3".parse().unwrap();
-        let (d, _) = set.evaluate(inside, cc("US"), Asn(1), "9.9.9.9".parse().unwrap(), 53, false);
+        let (d, _) = set.evaluate(
+            inside,
+            cc("US"),
+            Asn(1),
+            "9.9.9.9".parse().unwrap(),
+            53,
+            false,
+        );
         assert_eq!(d, PathDecision::Blackhole);
-        let (d, _) = set.evaluate(inside, cc("US"), Asn(1), "9.9.9.9".parse().unwrap(), 53, true);
+        let (d, _) = set.evaluate(
+            inside,
+            cc("US"),
+            Asn(1),
+            "9.9.9.9".parse().unwrap(),
+            53,
+            true,
+        );
         assert_eq!(d, PathDecision::Allow);
         let outside: Ipv4Addr = "10.2.2.3".parse().unwrap();
-        let (d, _) = set.evaluate(outside, cc("US"), Asn(1), "9.9.9.9".parse().unwrap(), 53, false);
+        let (d, _) = set.evaluate(
+            outside,
+            cc("US"),
+            Asn(1),
+            "9.9.9.9".parse().unwrap(),
+            53,
+            false,
+        );
         assert_eq!(d, PathDecision::Allow);
     }
 

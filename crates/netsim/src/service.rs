@@ -18,7 +18,9 @@ use crate::net::Network;
 use crate::time::SimDuration;
 
 /// Per-connection byte-stream state machine (TCP side).
-pub trait StreamHandler {
+///
+/// `Send` so an in-flight connection can live inside a shard worker.
+pub trait StreamHandler: Send {
     /// Handle a flight of client bytes; return the server's response bytes
     /// for the same round trip (may be empty if the handler needs more
     /// data before it can respond).
@@ -29,7 +31,12 @@ pub trait StreamHandler {
 }
 
 /// A TCP service: accepts connections and creates per-connection handlers.
-pub trait Service {
+///
+/// `Send + Sync` because bound services live in the shared [`DataPlane`]
+/// half of the network, referenced concurrently by shard workers.
+///
+/// [`DataPlane`]: crate::net::DataPlane
+pub trait Service: Send + Sync {
     /// Accept a connection, producing its handler.
     fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler>;
 
@@ -40,9 +47,12 @@ pub trait Service {
 }
 
 /// A UDP service: answers individual datagrams.
-pub trait DatagramService {
+///
+/// `Send + Sync` for the same reason as [`Service`].
+pub trait DatagramService: Send + Sync {
     /// Answer one datagram; `None` models a silent drop.
-    fn on_datagram(&self, ctx: &mut ServiceCtx<'_>, peer: PeerInfo, data: &[u8]) -> Option<Vec<u8>>;
+    fn on_datagram(&self, ctx: &mut ServiceCtx<'_>, peer: PeerInfo, data: &[u8])
+        -> Option<Vec<u8>>;
 
     /// A short protocol label for traces.
     fn protocol(&self) -> &'static str {
@@ -115,7 +125,7 @@ impl<'a> ServiceCtx<'a> {
 /// Adapter: build a [`DatagramService`] from a closure.
 pub struct FnDatagramService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>>,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>> + Send + Sync,
 {
     f: F,
     label: &'static str,
@@ -123,7 +133,7 @@ where
 
 impl<F> FnDatagramService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>>,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>> + Send + Sync,
 {
     /// Wrap a closure as a datagram service.
     pub fn new(f: F) -> Self {
@@ -138,9 +148,14 @@ where
 
 impl<F> DatagramService for FnDatagramService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>>,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Option<Vec<u8>> + Send + Sync,
 {
-    fn on_datagram(&self, ctx: &mut ServiceCtx<'_>, peer: PeerInfo, data: &[u8]) -> Option<Vec<u8>> {
+    fn on_datagram(
+        &self,
+        ctx: &mut ServiceCtx<'_>,
+        peer: PeerInfo,
+        data: &[u8],
+    ) -> Option<Vec<u8>> {
         (self.f)(ctx, peer, data)
     }
 
@@ -153,7 +168,7 @@ where
 /// over `(ctx, flight) -> response`, with no per-connection state.
 pub struct FnStreamService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + 'static,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + Send + Sync + 'static,
 {
     f: F,
     label: &'static str,
@@ -161,7 +176,7 @@ where
 
 impl<F> FnStreamService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + 'static,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + Send + Sync + 'static,
 {
     /// Wrap a closure as a stateless stream service.
     pub fn new(f: F, label: &'static str) -> Self {
@@ -176,7 +191,7 @@ struct FnStreamHandler<F> {
 
 impl<F> StreamHandler for FnStreamHandler<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8>,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Send,
 {
     fn on_bytes(&mut self, ctx: &mut ServiceCtx<'_>, data: &[u8]) -> Vec<u8> {
         (self.f)(ctx, self.peer, data)
@@ -185,7 +200,7 @@ where
 
 impl<F> Service for FnStreamService<F>
 where
-    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + 'static,
+    F: Fn(&mut ServiceCtx<'_>, PeerInfo, &[u8]) -> Vec<u8> + Clone + Send + Sync + 'static,
 {
     fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler> {
         Box::new(FnStreamHandler {

@@ -3,6 +3,7 @@
 //! Disabled by default (measurement campaigns make millions of exchanges);
 //! tests and the example binaries enable it to explain what a path did.
 
+use crate::net::ProbeOutcome;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
 use std::net::Ipv4Addr;
@@ -47,6 +48,11 @@ pub enum EventKind {
         actual: Ipv4Addr,
         /// Name of the responsible rule.
         rule: String,
+    },
+    /// A ZMap-style SYN probe completed.
+    SynProbe {
+        /// What came back.
+        outcome: ProbeOutcome,
     },
 }
 
@@ -116,6 +122,14 @@ impl EventLog {
     /// Drop all recorded events.
     pub fn clear(&mut self) {
         self.events.clear();
+    }
+
+    /// Append another log's events (oldest first), respecting this log's
+    /// capacity. Used to fold per-shard logs back together after a join.
+    pub fn absorb(&mut self, other: EventLog) {
+        for event in other.events {
+            self.record(event);
+        }
     }
 }
 

@@ -76,7 +76,7 @@ proptest! {
             net.bind_udp(
                 server,
                 7,
-                std::rc::Rc::new(netsim::FnDatagramService::new(|_c, _p, d| Some(d.to_vec()))),
+                std::sync::Arc::new(netsim::FnDatagramService::new(|_c, _p, d| Some(d.to_vec()))),
             );
             net.udp_query(client, server, 7, payload, None)
         };
@@ -105,7 +105,7 @@ proptest! {
         net.bind_tcp(
             target,
             port,
-            std::rc::Rc::new(netsim::service::FnStreamService::new(
+            std::sync::Arc::new(netsim::service::FnStreamService::new(
                 |_c, _p, d: &[u8]| d.to_vec(),
                 "echo",
             )),

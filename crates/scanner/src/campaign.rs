@@ -1,8 +1,8 @@
 //! The ten-epoch longitudinal scanning campaign (§3.1): every 10 days from
 //! Feb 1 to May 1 2019, sweep the space, verify DoT, classify certificates.
 
-use crate::sweep::{syn_sweep, AddressSpace, SweepStats};
-use crate::verify::{verify_resolvers, DotObservation, VerifyOutcome};
+use crate::sweep::{syn_sweep_sharded, AddressSpace, SweepStats};
+use crate::verify::{verify_resolvers_sharded, DotObservation, VerifyOutcome};
 use netsim::Netblock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
@@ -126,9 +126,33 @@ pub fn full_space(world: &World) -> AddressSpace {
 /// the scan space that are actually populated (zmap's `-w` file). Release
 /// reproduction runs use [`full_space`].
 pub fn compact_space(world: &World) -> AddressSpace {
+    // Sorted, merged interval index over the scan space: membership for a
+    // host is a binary search instead of a linear pass over every block
+    // (the old scan was O(hosts × blocks)).
+    let mut intervals: Vec<(u64, u64)> = world
+        .scan_space
+        .iter()
+        .map(|b| {
+            let start = u32::from(b.network()) as u64;
+            (start, start + b.size() - 1)
+        })
+        .collect();
+    intervals.sort_unstable();
+    let mut merged: Vec<(u64, u64)> = Vec::with_capacity(intervals.len());
+    for (s, e) in intervals {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 + 1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let in_space = |ip: Ipv4Addr| {
+        let v = u32::from(ip) as u64;
+        let k = merged.partition_point(|&(s, _)| s <= v);
+        k > 0 && v <= merged[k - 1].1
+    };
     let mut blocks: BTreeSet<Netblock> = BTreeSet::new();
     for ip in world.net.host_ips() {
-        if world.scan_space.iter().any(|b| b.contains(ip)) {
+        if in_space(ip) {
             blocks.insert(Netblock::slash24(ip));
         }
     }
@@ -140,23 +164,51 @@ pub fn compact_space(world: &World) -> AddressSpace {
 }
 
 /// Run one epoch's sweep + verification against the world's current state.
-pub fn scan_epoch(world: &mut World, space: &AddressSpace, epoch: usize, seed: u64) -> EpochSummary {
+///
+/// Equivalent to [`scan_epoch_sharded`] with one shard.
+pub fn scan_epoch(
+    world: &mut World,
+    space: &AddressSpace,
+    epoch: usize,
+    seed: u64,
+) -> EpochSummary {
+    scan_epoch_sharded(world, space, epoch, seed, 1)
+}
+
+/// Run one epoch split across `shards` worker threads. The summary is
+/// identical for every shard count — both the sweep and the verification
+/// pass key their randomness on the target, not the shard.
+pub fn scan_epoch_sharded(
+    world: &mut World,
+    space: &AddressSpace,
+    epoch: usize,
+    seed: u64,
+    shards: usize,
+) -> EpochSummary {
     let date = world.epoch();
     let sources = world.scanner_sources.clone();
-    let sweep = syn_sweep(&mut world.net, &sources, space, 853, seed ^ (epoch as u64) << 32);
+    let sweep = syn_sweep_sharded(
+        &mut world.net,
+        &sources,
+        space,
+        853,
+        seed ^ (epoch as u64) << 32,
+        shards,
+    );
     let store = world.trust_store.clone();
     let apex = world.probe.apex.to_string();
     let apex = apex.trim_end_matches('.').to_string();
     let expected = world.probe.expected_a;
-    let observations = verify_resolvers(
+    let observations = verify_resolvers_sharded(
         &mut world.net,
-        sources[0],
+        &sources,
         &sweep.open_addrs,
         &apex,
         expected,
         &store,
         date,
         &format!("e{epoch}"),
+        shards,
     );
 
     let mut by_country: BTreeMap<String, usize> = BTreeMap::new();
@@ -216,12 +268,31 @@ pub fn scan_epoch(world: &mut World, space: &AddressSpace, epoch: usize, seed: u
 }
 
 /// Run the full campaign: `epochs` scans at the configured cadence.
-pub fn run_campaign(world: &mut World, space: &AddressSpace, epochs: usize, seed: u64) -> CampaignReport {
+///
+/// Equivalent to [`run_campaign_sharded`] with one shard.
+pub fn run_campaign(
+    world: &mut World,
+    space: &AddressSpace,
+    epochs: usize,
+    seed: u64,
+) -> CampaignReport {
+    run_campaign_sharded(world, space, epochs, seed, 1)
+}
+
+/// Run the full campaign with each epoch's sweep and verification split
+/// across `shards` worker threads. The report is shard-count invariant.
+pub fn run_campaign_sharded(
+    world: &mut World,
+    space: &AddressSpace,
+    epochs: usize,
+    seed: u64,
+    shards: usize,
+) -> CampaignReport {
     let mut summaries = Vec::with_capacity(epochs);
     for epoch in 0..epochs {
         let date = world.config.scan_date(epoch);
         world.set_epoch(date);
-        summaries.push(scan_epoch(world, space, epoch, seed));
+        summaries.push(scan_epoch_sharded(world, space, epoch, seed, shards));
     }
     CampaignReport { epochs: summaries }
 }
@@ -260,7 +331,10 @@ mod tests {
         // Table 2 shape: IE grows, CN collapses, US quadruples.
         let ie_feb = feb.by_country.get("IE").copied().unwrap_or(0);
         let ie_may = may.by_country.get("IE").copied().unwrap_or(0);
-        assert!(ie_may as f64 > 1.7 * ie_feb as f64, "IE {ie_feb} → {ie_may}");
+        assert!(
+            ie_may as f64 > 1.7 * ie_feb as f64,
+            "IE {ie_feb} → {ie_may}"
+        );
         let cn_feb = feb.by_country.get("CN").copied().unwrap_or(0);
         let cn_may = may.by_country.get("CN").copied().unwrap_or(0);
         assert!(cn_may * 4 < cn_feb, "CN {cn_feb} → {cn_may}");

@@ -5,7 +5,7 @@
 use dnswire::{builder, Rcode, RecordType};
 use doe_protocols::{Bootstrap, DohClient, DohMethod};
 use httpsim::uri::COMMON_DOH_PATHS;
-use httpsim::{Url, UriTemplate};
+use httpsim::{UriTemplate, Url};
 use netsim::Network;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
@@ -75,13 +75,11 @@ pub fn discover_doh(
     let mut working: BTreeSet<String> = BTreeSet::new();
     let mut services: Vec<UriTemplate> = Vec::new();
     for (i, (raw, url)) in candidates.iter().enumerate() {
-        let template = match UriTemplate::parse(&format!(
-            "https://{}{}{{?dns}}",
-            url.host, url.path
-        )) {
-            Some(t) => t,
-            None => continue,
-        };
+        let template =
+            match UriTemplate::parse(&format!("https://{}{}{{?dns}}", url.host, url.path)) {
+                Some(t) => t,
+                None => continue,
+            };
         let mut client = DohClient::new(
             TlsClientConfig::strict(store.clone(), now),
             template.clone(),
@@ -98,9 +96,11 @@ pub fn discover_doh(
         let correct = reply
             .map(|reply| {
                 reply.message.rcode() == Rcode::NoError
-                    && reply.message.answers.iter().any(|rr| {
-                        matches!(&rr.rdata, dnswire::RData::A(a) if *a == expected_a)
-                    })
+                    && reply
+                        .message
+                        .answers
+                        .iter()
+                        .any(|rr| matches!(&rr.rdata, dnswire::RData::A(a) if *a == expected_a))
             })
             .unwrap_or(false);
         if works {
@@ -179,7 +179,10 @@ mod tests {
             .iter()
             .map(|t| t.host().to_string())
             .collect();
-        assert!(beyond.contains(&"dns.rubyfish.cn".to_string()), "{beyond:?}");
+        assert!(
+            beyond.contains(&"dns.rubyfish.cn".to_string()),
+            "{beyond:?}"
+        );
         assert!(beyond.contains(&"dns.233py.com".to_string()));
         // Quad9's template validated despite its flaky back-end or not —
         // either way it must be in the service list via its hostname.

@@ -29,9 +29,9 @@ pub mod sweep;
 pub mod verify;
 
 pub use atlas::{local_resolver_probe, AtlasReport};
-pub use campaign::{run_campaign, CampaignReport, EpochSummary};
+pub use campaign::{run_campaign, run_campaign_sharded, CampaignReport, EpochSummary};
 pub use doh_discovery::{discover_doh, DohDiscoveryReport, DohObservation};
-pub use permutation::RandomPermutation;
+pub use permutation::{PermutationShard, RandomPermutation};
 pub use provider::provider_key;
-pub use sweep::{AddressSpace, SweepResult, SweepStats};
-pub use verify::{verify_resolvers, DotObservation, VerifyOutcome};
+pub use sweep::{syn_sweep, syn_sweep_sharded, AddressSpace, SweepResult, SweepStats};
+pub use verify::{verify_resolvers, verify_resolvers_sharded, DotObservation, VerifyOutcome};

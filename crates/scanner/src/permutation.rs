@@ -8,6 +8,19 @@
 //! `c` is odd and `a ≡ 1 (mod 4)`, so the walk visits each of the `n`
 //! targets exactly once per cycle.
 
+/// Seed-derived LCG parameters over `[0, 2^k)` for the smallest
+/// `2^k ≥ n`: `(mask, a, c, start)` with full-period conditions forced
+/// (`a ≡ 1 (mod 4)`, `c` odd).
+fn lcg_params(n: u64, seed: u64) -> (u64, u64, u64, u64) {
+    let k = 64 - (n - 1).leading_zeros() as u64;
+    let size = 1u64 << k.max(1);
+    let mask = size - 1;
+    let a = (((seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1) & !2) & mask | 5) & mask;
+    let c = (seed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1) & mask;
+    let start = seed.wrapping_mul(0x94d0_49bb_1331_11eb) & mask;
+    (mask, a, c, start)
+}
+
 /// A deterministic permutation of `[0, n)`.
 #[derive(Debug, Clone)]
 pub struct RandomPermutation {
@@ -27,18 +40,11 @@ impl RandomPermutation {
     /// Panics if `n == 0`.
     pub fn new(n: u64, seed: u64) -> Self {
         assert!(n > 0, "empty permutation");
-        let k = 64 - (n - 1).leading_zeros() as u64;
-        let size = 1u64 << k.max(1);
-        let mask = size - 1;
-        // Derive multiplier/increment from the seed, forcing full-period
-        // conditions: a ≡ 1 (mod 4), c odd.
-        let a = ((seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1) & !2) & mask | 5;
-        let c = (seed.wrapping_mul(0xbf58_476d_1ce4_e5b9) | 1) & mask;
-        let start = seed.wrapping_mul(0x94d0_49bb_1331_11eb) & mask;
+        let (mask, a, c, start) = lcg_params(n, seed);
         RandomPermutation {
             n,
             modulus_mask: mask,
-            a: a & mask,
+            a,
             c,
             state: start,
             start,
@@ -66,11 +72,7 @@ impl Iterator for RandomPermutation {
         }
         loop {
             let value = self.state;
-            self.state = self
-                .state
-                .wrapping_mul(self.a)
-                .wrapping_add(self.c)
-                & self.modulus_mask;
+            self.state = self.state.wrapping_mul(self.a).wrapping_add(self.c) & self.modulus_mask;
             // Full period: returning to the start means the cycle is done,
             // but emitted-count already guards termination.
             if value < self.n {
@@ -82,6 +84,106 @@ impl Iterator for RandomPermutation {
                 "LCG cycled early"
             );
         }
+    }
+}
+
+/// One of `shards` interleaved slices of a [`RandomPermutation`]'s cycle —
+/// zmap's `--shards`/`--shard` partitioning.
+///
+/// Shard `s` walks exactly the cycle positions `j ≡ s (mod shards)` of the
+/// full LCG cycle (before cycle-walking filters out-of-range values), so
+/// the shards are pairwise disjoint and together cover `[0, n)`. Instead
+/// of stepping and discarding, each shard jumps ahead `shards` steps at a
+/// time using the composed affine map `x → a^N·x + c·(a^{N-1}+…+1)`,
+/// making per-shard work `O(2^k / shards)`.
+///
+/// Items are `(cycle_position, value)` pairs; the cycle position gives a
+/// total order across shards, letting a parallel sweep merge shard outputs
+/// back into the exact sequential probe order.
+#[derive(Debug, Clone)]
+pub struct PermutationShard {
+    n: u64,
+    modulus_mask: u64,
+    /// Multiplier of the `shards`-step composed map.
+    big_a: u64,
+    /// Increment of the `shards`-step composed map.
+    big_c: u64,
+    state: u64,
+    /// Global cycle position of `state`.
+    pos: u64,
+    /// Stride between consecutive positions this shard owns.
+    stride: u64,
+    /// Cycle positions left to visit.
+    remaining: u64,
+}
+
+impl PermutationShard {
+    /// Shard `shard` of `shards` over the permutation of `[0, n)` seeded
+    /// by `seed`. All shards of the same `(n, seed, shards)` family
+    /// partition the permutation; `shards == 1` reproduces
+    /// [`RandomPermutation`] exactly (with positions attached).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`, `shards == 0`, or `shard >= shards`.
+    pub fn new(n: u64, seed: u64, shard: u64, shards: u64) -> Self {
+        assert!(n > 0, "empty permutation");
+        assert!(shards > 0, "need at least one shard");
+        assert!(shard < shards, "shard index out of range");
+        let (mask, a, c, start) = lcg_params(n, seed);
+        let size = mask.wrapping_add(1); // 2^k; k ≥ 1 so no overflow for n ≤ 2^63
+                                         // Advance to this shard's first cycle position.
+        let mut state = start;
+        for _ in 0..shard {
+            state = state.wrapping_mul(a).wrapping_add(c) & mask;
+        }
+        // Compose the N-step affine map by exponentiation-by-squaring:
+        // stepping N times is x → a^N·x + c·(a^{N-1} + … + a + 1).
+        let (mut big_a, mut big_c) = (1u64, 0u64);
+        let (mut cur_a, mut cur_c) = (a, c);
+        let mut e = shards;
+        while e > 0 {
+            if e & 1 == 1 {
+                big_c = cur_a.wrapping_mul(big_c).wrapping_add(cur_c) & mask;
+                big_a = cur_a.wrapping_mul(big_a) & mask;
+            }
+            cur_c = cur_a.wrapping_mul(cur_c).wrapping_add(cur_c) & mask;
+            cur_a = cur_a.wrapping_mul(cur_a) & mask;
+            e >>= 1;
+        }
+        PermutationShard {
+            n,
+            modulus_mask: mask,
+            big_a,
+            big_c,
+            state,
+            pos: shard,
+            stride: shards,
+            remaining: size.saturating_sub(shard).div_ceil(shards),
+        }
+    }
+
+    /// Number of targets in the full permutation (not this shard).
+    pub fn space_len(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Iterator for PermutationShard {
+    /// `(global cycle position, permuted value)`.
+    type Item = (u64, u64);
+
+    fn next(&mut self) -> Option<(u64, u64)> {
+        while self.remaining > 0 {
+            let (pos, value) = (self.pos, self.state);
+            self.remaining -= 1;
+            self.state =
+                self.state.wrapping_mul(self.big_a).wrapping_add(self.big_c) & self.modulus_mask;
+            self.pos += self.stride;
+            if value < self.n {
+                return Some((pos, value));
+            }
+        }
+        None
     }
 }
 
@@ -125,5 +227,55 @@ mod tests {
         let n = 1u64 << 24;
         let count = RandomPermutation::new(n, 3).count() as u64;
         assert_eq!(count, n);
+    }
+
+    #[test]
+    fn single_shard_matches_full_permutation() {
+        for n in [1u64, 2, 3, 100, 255, 256, 257] {
+            let full: Vec<u64> = RandomPermutation::new(n, 11).collect();
+            let shard: Vec<u64> = PermutationShard::new(n, 11, 0, 1).map(|(_, v)| v).collect();
+            assert_eq!(full, shard, "n={n}");
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_permutation() {
+        for shards in [1u64, 2, 3, 4, 7, 8, 16] {
+            let n = 1000u64;
+            let mut seen = HashSet::new();
+            for s in 0..shards {
+                for (_, v) in PermutationShard::new(n, 5, s, shards) {
+                    assert!(v < n);
+                    assert!(seen.insert(v), "value {v} emitted twice (shards={shards})");
+                }
+            }
+            assert_eq!(seen.len() as u64, n, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn merge_by_position_recovers_sequential_order() {
+        let n = 500u64;
+        let full: Vec<u64> = RandomPermutation::new(n, 23).collect();
+        for shards in [2u64, 3, 8] {
+            let mut tagged: Vec<(u64, u64)> = (0..shards)
+                .flat_map(|s| PermutationShard::new(n, 23, s, shards))
+                .collect();
+            tagged.sort_by_key(|&(pos, _)| pos);
+            let merged: Vec<u64> = tagged.into_iter().map(|(_, v)| v).collect();
+            assert_eq!(full, merged, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn more_shards_than_cycle_size_is_fine() {
+        // n=3 → cycle size 4; 16 shards means most shards are empty.
+        let n = 3u64;
+        let all: Vec<u64> = (0..16)
+            .flat_map(|s| PermutationShard::new(n, 9, s, 16).map(|(_, v)| v))
+            .collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
     }
 }

@@ -1,7 +1,8 @@
-//! The port-853 SYN sweep over a target address space.
+//! The port-853 SYN sweep over a target address space, optionally
+//! parallelised zmap-style across shard workers.
 
-use crate::permutation::RandomPermutation;
-use netsim::{Netblock, Network, ProbeOutcome};
+use crate::permutation::PermutationShard;
+use netsim::{mix_seed, Netblock, Network, ProbeOutcome};
 use std::net::Ipv4Addr;
 
 /// A concatenation of netblocks addressable by index — the sweep target
@@ -78,6 +79,8 @@ pub struct SweepResult {
 
 /// Run a SYN sweep of `port` over `space`, rotating probes across
 /// `sources` (the paper used three hosts on two clouds).
+///
+/// Equivalent to [`syn_sweep_sharded`] with one shard.
 pub fn syn_sweep(
     net: &mut Network,
     sources: &[Ipv4Addr],
@@ -85,13 +88,93 @@ pub fn syn_sweep(
     port: u16,
     seed: u64,
 ) -> SweepResult {
+    syn_sweep_sharded(net, sources, space, port, seed, 1)
+}
+
+/// A probe result tagged with its permutation cycle position, the key the
+/// parent merges shard outputs on.
+type TaggedProbe = (u64, Ipv4Addr, ProbeOutcome);
+
+/// One shard's walk: probe every target whose cycle position this shard
+/// owns, tagging each result with its position for the later merge.
+fn sweep_shard(
+    worker: &mut Network,
+    sources: &[Ipv4Addr],
+    space: &AddressSpace,
+    port: u16,
+    seed: u64,
+    shard: u64,
+    shards: u64,
+) -> Vec<TaggedProbe> {
+    let mut hits = Vec::new();
+    for (pos, index) in PermutationShard::new(space.len(), seed, shard, shards) {
+        let addr = space.addr(index);
+        // Reseed per target (keyed on the permuted index, which is unique)
+        // so an individual probe's randomness does not depend on which
+        // shard — or how many shards — executed it.
+        worker.reseed(mix_seed(seed, index));
+        let src = sources[(index as usize) % sources.len()];
+        let (outcome, _elapsed) = worker.syn_probe(src, addr, port);
+        hits.push((pos, addr, outcome));
+    }
+    hits
+}
+
+/// Run the SYN sweep split across `shards` worker threads, zmap's
+/// `--shards` model: shard `s` probes the cycle positions `≡ s (mod
+/// shards)` of the scan permutation.
+///
+/// The result is bit-identical for every shard count (including 1):
+/// per-target randomness is derived from the target's permuted index, and
+/// shard outputs are merged back into cycle order. Worker clocks, traffic
+/// counters and event logs are absorbed into `net` after the join.
+pub fn syn_sweep_sharded(
+    net: &mut Network,
+    sources: &[Ipv4Addr],
+    space: &AddressSpace,
+    port: u16,
+    seed: u64,
+    shards: usize,
+) -> SweepResult {
     assert!(!sources.is_empty(), "need at least one probe source");
+    let shards = shards.max(1) as u64;
+    if space.is_empty() {
+        return SweepResult {
+            open_addrs: Vec::new(),
+            stats: SweepStats::default(),
+        };
+    }
+    let mut outputs: Vec<(Network, Vec<TaggedProbe>)> = if shards == 1 {
+        let mut worker = net.fork_shard(0);
+        let hits = sweep_shard(&mut worker, sources, space, port, seed, 0, 1);
+        vec![(worker, hits)]
+    } else {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let mut worker = net.fork_shard(s);
+                    scope.spawn(move || {
+                        let hits = sweep_shard(&mut worker, sources, space, port, seed, s, shards);
+                        (worker, hits)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("sweep shard panicked"))
+                .collect()
+        })
+        .expect("sweep scope panicked")
+    };
+    let mut tagged: Vec<TaggedProbe> = Vec::with_capacity(space.len() as usize);
+    for (worker, hits) in outputs.drain(..) {
+        net.absorb_shard(worker);
+        tagged.extend(hits);
+    }
+    tagged.sort_unstable_by_key(|&(pos, _, _)| pos);
     let mut stats = SweepStats::default();
     let mut open_addrs = Vec::new();
-    for (i, index) in RandomPermutation::new(space.len(), seed).enumerate() {
-        let addr = space.addr(index);
-        let src = sources[i % sources.len()];
-        let (outcome, _elapsed) = net.syn_probe(src, addr, port);
+    for (_, addr, outcome) in tagged {
         stats.probed += 1;
         match outcome {
             ProbeOutcome::Open => {
@@ -110,7 +193,7 @@ mod tests {
     use super::*;
     use netsim::service::FnStreamService;
     use netsim::{HostMeta, NetworkConfig};
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     fn block(s: &str, len: u8) -> Netblock {
         Netblock::new(s.parse().unwrap(), len)
@@ -139,7 +222,7 @@ mod tests {
             net.bind_tcp(
                 addr,
                 port,
-                Rc::new(FnStreamService::new(|_c, _p, d: &[u8]| d.to_vec(), "echo")),
+                Arc::new(FnStreamService::new(|_c, _p, d: &[u8]| d.to_vec(), "echo")),
             );
         }
         let result = syn_sweep(&mut net, &[src], &space, 853, 99);
@@ -150,6 +233,42 @@ mod tests {
         let mut found = result.open_addrs.clone();
         found.sort();
         assert_eq!(found, vec![space.addr(10), space.addr(20)]);
+    }
+
+    #[test]
+    fn sharded_sweep_is_bit_identical_to_sequential() {
+        let build = || {
+            let mut net = Network::new(NetworkConfig::default(), 5);
+            let srcs: Vec<Ipv4Addr> = ["198.51.100.1", "198.51.100.2", "203.0.113.1"]
+                .iter()
+                .map(|s| s.parse().unwrap())
+                .collect();
+            for &s in &srcs {
+                net.add_host(HostMeta::new(s));
+            }
+            let space = AddressSpace::new(vec![block("10.7.0.0", 24)]);
+            for i in [3u64, 10, 77, 200] {
+                let addr = space.addr(i);
+                net.add_host(HostMeta::new(addr));
+                net.bind_tcp(
+                    addr,
+                    853,
+                    Arc::new(FnStreamService::new(|_c, _p, d: &[u8]| d.to_vec(), "echo")),
+                );
+            }
+            (net, srcs, space)
+        };
+        let (mut net1, srcs1, space) = build();
+        let reference = syn_sweep_sharded(&mut net1, &srcs1, &space, 853, 42, 1);
+        assert_eq!(reference.stats.open, 4);
+        for shards in [2usize, 3, 8] {
+            let (mut net, srcs, space) = build();
+            let result = syn_sweep_sharded(&mut net, &srcs, &space, 853, 42, shards);
+            assert_eq!(result.stats, reference.stats, "shards={shards}");
+            assert_eq!(result.open_addrs, reference.open_addrs, "shards={shards}");
+            // The parent absorbed every worker's counters.
+            assert_eq!(net.shard_stats().probes, 256, "shards={shards}");
+        }
     }
 
     #[test]

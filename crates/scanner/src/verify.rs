@@ -4,9 +4,20 @@
 use crate::provider::provider_key;
 use dnswire::{builder, Rcode, RecordType};
 use doe_protocols::dot::DotClient;
-use netsim::Network;
+use netsim::{mix_seed, Network};
 use std::net::Ipv4Addr;
 use tlssim::{classify_chain, CertStatus, Certificate, DateStamp, TlsClientConfig, TrustStore};
+
+/// FNV-1a over a string — folds the epoch tag into the per-probe seed so
+/// different epochs draw independent randomness.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
 
 /// What the verification probe concluded about one open-853 host.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,16 +59,85 @@ impl DotObservation {
     }
 }
 
+/// Probe one candidate: TLS session, unique query, chain classification.
+/// `i` is the candidate's global index — it fixes the query name/id and
+/// the per-probe seed so the observation is independent of shard layout.
+#[allow(clippy::too_many_arguments)]
+fn verify_one(
+    net: &mut Network,
+    source: Ipv4Addr,
+    addr: Ipv4Addr,
+    i: usize,
+    probe_apex: &str,
+    expected_a: Ipv4Addr,
+    store: &TrustStore,
+    now: DateStamp,
+    epoch_tag: &str,
+) -> Option<DotObservation> {
+    let mut dot = DotClient::new(TlsClientConfig::no_verify(now));
+    let qname = format!("s{epoch_tag}x{i}.{probe_apex}");
+    let query = builder::query((i % 65_536) as u16, &qname, RecordType::A).ok()?;
+    let observation = match dot.session(net, source, addr, None) {
+        Err(e) => DotObservation {
+            addr,
+            outcome: if matches!(
+                e,
+                doe_protocols::QueryError::Tls(tlssim::TlsError::Transport(_))
+            ) {
+                VerifyOutcome::ConnectFailed
+            } else {
+                VerifyOutcome::NotTls
+            },
+            chain: Vec::new(),
+            cert_status: None,
+            provider: None,
+            answer_correct: None,
+        },
+        Ok(mut session) => {
+            let chain = session.server_chain().to_vec();
+            let cert_status = Some(classify_chain(&chain, store, now));
+            let provider = chain.first().map(|leaf| provider_key(&leaf.subject_cn));
+            let (outcome, answer_correct) = match session.query(net, &query) {
+                Ok(reply) if reply.message.rcode() == Rcode::NoError => {
+                    let got: Option<Ipv4Addr> =
+                        reply.message.answers.iter().find_map(|rr| match &rr.rdata {
+                            dnswire::RData::A(a) => Some(*a),
+                            _ => None,
+                        });
+                    let correct = got == Some(expected_a);
+                    (VerifyOutcome::OpenResolver, Some(correct))
+                }
+                Ok(reply) => (VerifyOutcome::AnsweredError(reply.message.rcode()), None),
+                Err(doe_protocols::QueryError::Tls(_)) => (VerifyOutcome::NotTls, None),
+                Err(_) => (VerifyOutcome::NotDns, None),
+            };
+            session.close(net);
+            DotObservation {
+                addr,
+                outcome,
+                chain,
+                cert_status,
+                provider,
+                answer_correct,
+            }
+        }
+    };
+    Some(observation)
+}
+
 /// Probe every open-853 address with a DoT query for a unique name under
-/// `probe_apex`; classify certificates against `store` as of `now`.
+/// `probe_apex`, rotating probes across `sources` like the SYN sweep;
+/// classify certificates against `store` as of `now`.
 ///
 /// The scanner does not know resolver names, so no hostname verification
 /// is attempted (§3.2) — the TLS layer runs in no-verify mode and the
 /// chain is classified after the fact, openssl-style.
+///
+/// Equivalent to [`verify_resolvers_sharded`] with one shard.
 #[allow(clippy::too_many_arguments)]
 pub fn verify_resolvers(
     net: &mut Network,
-    source: Ipv4Addr,
+    sources: &[Ipv4Addr],
     candidates: &[Ipv4Addr],
     probe_apex: &str,
     expected_a: Ipv4Addr,
@@ -65,71 +145,140 @@ pub fn verify_resolvers(
     now: DateStamp,
     epoch_tag: &str,
 ) -> Vec<DotObservation> {
-    let mut observations = Vec::with_capacity(candidates.len());
-    for (i, &addr) in candidates.iter().enumerate() {
-        let mut dot = DotClient::new(TlsClientConfig::no_verify(now));
-        let qname = format!("s{epoch_tag}x{i}.{probe_apex}");
-        let query = match builder::query((i % 65_536) as u16, &qname, RecordType::A) {
-            Ok(q) => q,
-            Err(_) => continue,
-        };
-        let observation = match dot.session(net, source, addr, None) {
-            Err(e) => DotObservation {
-                addr,
-                outcome: if matches!(e, doe_protocols::QueryError::Tls(tlssim::TlsError::Transport(_))) {
-                    VerifyOutcome::ConnectFailed
-                } else {
-                    VerifyOutcome::NotTls
-                },
-                chain: Vec::new(),
-                cert_status: None,
-                provider: None,
-                answer_correct: None,
-            },
-            Ok(mut session) => {
-                let chain = session.server_chain().to_vec();
-                let cert_status = Some(classify_chain(&chain, store, now));
-                let provider = chain.first().map(|leaf| provider_key(&leaf.subject_cn));
-                let (outcome, answer_correct) = match session.query(net, &query) {
-                    Ok(reply) if reply.message.rcode() == Rcode::NoError => {
-                        let got: Option<Ipv4Addr> =
-                            reply.message.answers.iter().find_map(|rr| match &rr.rdata {
-                                dnswire::RData::A(a) => Some(*a),
-                                _ => None,
-                            });
-                        let correct = got == Some(expected_a);
-                        (VerifyOutcome::OpenResolver, Some(correct))
-                    }
-                    Ok(reply) => (VerifyOutcome::AnsweredError(reply.message.rcode()), None),
-                    Err(doe_protocols::QueryError::Tls(_)) => (VerifyOutcome::NotTls, None),
-                    Err(_) => (VerifyOutcome::NotDns, None),
-                };
-                session.close(net);
-                DotObservation {
-                    addr,
-                    outcome,
-                    chain,
-                    cert_status,
-                    provider,
-                    answer_correct,
-                }
-            }
-        };
-        observations.push(observation);
+    verify_resolvers_sharded(
+        net, sources, candidates, probe_apex, expected_a, store, now, epoch_tag, 1,
+    )
+}
+
+/// One shard's verification pass over the candidates it owns
+/// (`i ≡ shard (mod shards)`), keyed by global candidate index.
+#[allow(clippy::too_many_arguments)]
+fn verify_shard(
+    worker: &mut Network,
+    sources: &[Ipv4Addr],
+    candidates: &[Ipv4Addr],
+    probe_apex: &str,
+    expected_a: Ipv4Addr,
+    store: &TrustStore,
+    now: DateStamp,
+    epoch_tag: &str,
+    shard: usize,
+    shards: usize,
+    epoch_salt: u64,
+) -> Vec<(usize, DotObservation)> {
+    let mut out = Vec::new();
+    for i in (shard..candidates.len()).step_by(shards) {
+        // Per-candidate reseed keyed on the global index, so the session's
+        // randomness (and thus the observation) is shard-layout invariant.
+        worker.reseed(mix_seed(epoch_salt, i as u64));
+        let src = sources[i % sources.len()];
+        if let Some(obs) = verify_one(
+            worker,
+            src,
+            candidates[i],
+            i,
+            probe_apex,
+            expected_a,
+            store,
+            now,
+            epoch_tag,
+        ) {
+            out.push((i, obs));
+        }
     }
-    observations
+    out
+}
+
+/// Run resolver verification split across `shards` worker threads.
+///
+/// Candidate `i` goes to shard `i mod shards`, keeps its global query
+/// name/id, and draws per-candidate randomness from the campaign seed —
+/// so the merged observation list is identical for every shard count.
+/// Worker clocks, counters and logs are absorbed into `net` after the
+/// join.
+#[allow(clippy::too_many_arguments)]
+pub fn verify_resolvers_sharded(
+    net: &mut Network,
+    sources: &[Ipv4Addr],
+    candidates: &[Ipv4Addr],
+    probe_apex: &str,
+    expected_a: Ipv4Addr,
+    store: &TrustStore,
+    now: DateStamp,
+    epoch_tag: &str,
+    shards: usize,
+) -> Vec<DotObservation> {
+    assert!(!sources.is_empty(), "need at least one probe source");
+    let shards = shards.max(1);
+    if candidates.is_empty() {
+        return Vec::new();
+    }
+    let epoch_salt = net.base_seed() ^ fnv1a(epoch_tag);
+    let mut outputs: Vec<(Network, Vec<(usize, DotObservation)>)> = if shards == 1 {
+        let mut worker = net.fork_shard(0);
+        let obs = verify_shard(
+            &mut worker,
+            sources,
+            candidates,
+            probe_apex,
+            expected_a,
+            store,
+            now,
+            epoch_tag,
+            0,
+            1,
+            epoch_salt,
+        );
+        vec![(worker, obs)]
+    } else {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let mut worker = net.fork_shard(s as u64);
+                    scope.spawn(move || {
+                        let obs = verify_shard(
+                            &mut worker,
+                            sources,
+                            candidates,
+                            probe_apex,
+                            expected_a,
+                            store,
+                            now,
+                            epoch_tag,
+                            s,
+                            shards,
+                            epoch_salt,
+                        );
+                        (worker, obs)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("verify shard panicked"))
+                .collect()
+        })
+        .expect("verify scope panicked")
+    };
+    let mut tagged: Vec<(usize, DotObservation)> = Vec::with_capacity(candidates.len());
+    for (worker, obs) in outputs.drain(..) {
+        net.absorb_shard(worker);
+        tagged.extend(obs);
+    }
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, obs)| obs).collect()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use doe_protocols::responder::{AuthoritativeServer, RefusingResponder};
-    use doe_protocols::DotServerService;
     use dnswire::zone::Zone;
     use dnswire::{Name, RData};
+    use doe_protocols::responder::{AuthoritativeServer, RefusingResponder};
+    use doe_protocols::DotServerService;
     use netsim::service::FnStreamService;
     use netsim::{HostMeta, NetworkConfig};
-    use std::rc::Rc;
+    use std::sync::Arc;
     use tlssim::{CaHandle, KeyId, TlsServerConfig};
 
     fn now() -> DateStamp {
@@ -155,19 +304,26 @@ mod tests {
         let apex = Name::parse("probe.example").unwrap();
         let mut zone = Zone::new(apex.clone());
         zone.add_record(&apex.prepend("*").unwrap(), 60, RData::A(expected));
-        let responder: Rc<dyn doe_protocols::DnsResponder> =
-            Rc::new(AuthoritativeServer::new(vec![zone]));
+        let responder: Arc<dyn doe_protocols::DnsResponder> =
+            Arc::new(AuthoritativeServer::new(vec![zone]));
 
         // Host A: proper resolver, valid cert.
         let a: Ipv4Addr = "10.0.0.1".parse().unwrap();
         net.add_host(HostMeta::new(a));
-        let leaf = ca.issue("dns.goodprov.net", vec![], KeyId(2), 1, now() + -10, now() + 300);
+        let leaf = ca.issue(
+            "dns.goodprov.net",
+            vec![],
+            KeyId(2),
+            1,
+            now() + -10,
+            now() + 300,
+        );
         net.bind_tcp(
             a,
             853,
-            Rc::new(DotServerService::new(
+            Arc::new(DotServerService::new(
                 TlsServerConfig::new(vec![leaf], KeyId(2)),
-                Rc::clone(&responder),
+                Arc::clone(&responder),
             )),
         );
         // Host B: refusing resolver, self-signed cert.
@@ -177,9 +333,9 @@ mod tests {
         net.bind_tcp(
             b,
             853,
-            Rc::new(DotServerService::new(
+            Arc::new(DotServerService::new(
                 TlsServerConfig::new(vec![ss], KeyId(3)),
-                Rc::new(RefusingResponder),
+                Arc::new(RefusingResponder),
             )),
         );
         // Host C: 853 open but garbage.
@@ -188,7 +344,7 @@ mod tests {
         net.bind_tcp(
             c,
             853,
-            Rc::new(FnStreamService::new(
+            Arc::new(FnStreamService::new(
                 |_c, _p, _d: &[u8]| b"220 smtp ready\r\n".to_vec(),
                 "junk",
             )),
@@ -205,7 +361,7 @@ mod tests {
         let candidates: Vec<Ipv4Addr> = addrs.iter().map(|s| s.parse().unwrap()).collect();
         verify_resolvers(
             &mut f.net,
-            f.src,
+            &[f.src],
             &candidates,
             "probe.example",
             f.expected,

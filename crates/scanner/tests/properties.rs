@@ -1,0 +1,88 @@
+//! Property tests for the sharded scan engine: the permutation shards
+//! must partition the target space exactly, and address-space indexing
+//! must stay total over awkward block layouts.
+
+use doe_scanner::permutation::{PermutationShard, RandomPermutation};
+use doe_scanner::sweep::AddressSpace;
+use netsim::Netblock;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    /// Shards are a disjoint complete cover of `[0, len)` for arbitrary
+    /// (len, seed, shards) — no target probed twice, none skipped.
+    #[test]
+    fn shards_partition_any_permutation(
+        len in 1u64..5_000,
+        seed in any::<u64>(),
+        shards in 1u64..20,
+    ) {
+        let mut seen: HashSet<u64> = HashSet::with_capacity(len as usize);
+        for s in 0..shards {
+            for (_, v) in PermutationShard::new(len, seed, s, shards) {
+                prop_assert!(v < len, "out-of-range value {v}");
+                prop_assert!(seen.insert(v), "value {v} emitted by two shards");
+            }
+        }
+        prop_assert_eq!(seen.len() as u64, len, "cover incomplete");
+    }
+
+    /// Merging shard outputs by cycle position recovers the sequential
+    /// permutation exactly.
+    #[test]
+    fn shard_merge_equals_sequential(
+        len in 1u64..2_000,
+        seed in any::<u64>(),
+        shards in 1u64..12,
+    ) {
+        let sequential: Vec<u64> = RandomPermutation::new(len, seed).collect();
+        let mut tagged: Vec<(u64, u64)> = (0..shards)
+            .flat_map(|s| PermutationShard::new(len, seed, s, shards))
+            .collect();
+        tagged.sort_by_key(|&(pos, _)| pos);
+        let merged: Vec<u64> = tagged.into_iter().map(|(_, v)| v).collect();
+        prop_assert_eq!(sequential, merged);
+    }
+
+    /// `AddressSpace::addr` round-trips every index over adjacent blocks
+    /// (including minimum-size /32s) without panicking: each address lands
+    /// inside the block that owns its index range.
+    #[test]
+    fn address_space_indexing_is_total(
+        base in 0u32..0xF000_0000,
+        lens in proptest::collection::vec(24u8..=32, 1..8),
+    ) {
+        // Lay blocks out adjacently: each next block starts right after
+        // the previous one, so offsets include every boundary case.
+        let mut blocks = Vec::with_capacity(lens.len());
+        let mut cursor = base as u64;
+        for &len in &lens {
+            let block = Netblock::new(Ipv4AddrExt::from_u64(cursor), len);
+            cursor = u32::from(block.network()) as u64 + block.size();
+            blocks.push(block);
+            if cursor > u32::MAX as u64 {
+                break;
+            }
+        }
+        let space = AddressSpace::new(blocks.clone());
+        prop_assert_eq!(space.len(), blocks.iter().map(|b| b.size()).sum::<u64>());
+        let mut offset = 0u64;
+        for block in &blocks {
+            for i in 0..block.size() {
+                let addr = space.addr(offset + i);
+                prop_assert!(block.contains(addr), "index {} escaped {block:?}", offset + i);
+                prop_assert_eq!(addr, block.addr(i));
+            }
+            offset += block.size();
+        }
+    }
+}
+
+/// Helper for building addresses from u64 cursors in the proptest above.
+struct Ipv4AddrExt;
+
+impl Ipv4AddrExt {
+    fn from_u64(v: u64) -> std::net::Ipv4Addr {
+        std::net::Ipv4Addr::from((v & 0xFFFF_FFFF) as u32)
+    }
+}

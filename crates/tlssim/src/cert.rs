@@ -314,8 +314,7 @@ mod tests {
 
     #[test]
     fn self_signed_detected() {
-        let cert =
-            CaHandle::self_signed("FGT60D", vec![], KeyId(5), 1, day(0), day(3650));
+        let cert = CaHandle::self_signed("FGT60D", vec![], KeyId(5), 1, day(0), day(3650));
         assert!(cert.is_self_signed());
     }
 
@@ -355,7 +354,10 @@ mod tests {
         assert!(cert.matches_name("mozilla.cloudflare-dns.com"));
         assert!(cert.matches_name("MOZILLA.CLOUDFLARE-DNS.COM."));
         assert!(cert.matches_name("one.one.one.one"));
-        assert!(!cert.matches_name("a.b.cloudflare-dns.com"), "wildcard is one label");
+        assert!(
+            !cert.matches_name("a.b.cloudflare-dns.com"),
+            "wildcard is one label"
+        );
         assert!(!cert.matches_name("cloudflare-dns.org"));
     }
 

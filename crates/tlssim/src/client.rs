@@ -4,9 +4,7 @@ use crate::cert::{Certificate, TrustStore};
 use crate::date::DateStamp;
 use crate::error::{CertError, TlsError};
 use crate::handshake::{ClientHello, HandshakeMsg, ServerHello, TlsCosts};
-use crate::record::{
-    decode_records, encode_records, open, seal, ContentType, Record, SessionKey,
-};
+use crate::record::{decode_records, encode_records, open, seal, ContentType, Record, SessionKey};
 use crate::verify::verify_chain;
 use netsim::{Conn, Network, SimDuration};
 use rand::Rng;
@@ -216,10 +214,7 @@ impl TlsConnector {
             }]);
             let ack = conn.request(net, &fin)?;
             let records = decode_records(&ack)?;
-            if !records
-                .iter()
-                .any(|r| r.ctype == ContentType::Handshake)
-            {
+            if !records.iter().any(|r| r.ctype == ContentType::Handshake) {
                 conn.close(net);
                 return Err(TlsError::HandshakeFailed("no finished ack".into()));
             }

@@ -18,14 +18,12 @@ use crate::cert::{CaHandle, Certificate, KeyId};
 use crate::client::{TlsClientConfig, TlsConnector, TlsStream};
 use crate::date::DateStamp;
 use crate::handshake::{HandshakeMsg, TlsCosts};
-use crate::record::{
-    decode_records, encode_records, open, seal, ContentType, Record, SessionKey,
-};
+use crate::record::{decode_records, encode_records, open, seal, ContentType, Record, SessionKey};
 use crate::server::{answer_client_hello, TlsServerConfig};
 use netsim::{PeerInfo, Service, ServiceCtx, StreamHandler};
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One plaintext exchange the device observed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,7 +40,7 @@ pub struct InterceptedExchange {
 
 /// Shared log of everything a device decrypted — ground truth for
 /// "queries from clients are visible to the interceptors".
-pub type InterceptLog = Rc<RefCell<Vec<InterceptedExchange>>>;
+pub type InterceptLog = Arc<Mutex<Vec<InterceptedExchange>>>;
 
 /// How the device obtains the certificate it presents.
 #[derive(Debug, Clone)]
@@ -75,7 +73,7 @@ impl TlsInterceptService {
             device_key,
             strategy: PresentStrategy::ResignUpstream,
             upstream_override: None,
-            log: Rc::new(RefCell::new(Vec::new())),
+            log: Arc::new(Mutex::new(Vec::new())),
             now,
             costs: TlsCosts::default(),
         }
@@ -95,7 +93,7 @@ impl TlsInterceptService {
             device_key,
             strategy: PresentStrategy::Fixed(chain),
             upstream_override: Some(upstream),
-            log: Rc::new(RefCell::new(Vec::new())),
+            log: Arc::new(Mutex::new(Vec::new())),
             now,
             costs: TlsCosts::default(),
         }
@@ -103,7 +101,7 @@ impl TlsInterceptService {
 
     /// Handle to the decrypted-traffic log.
     pub fn log(&self) -> InterceptLog {
-        Rc::clone(&self.log)
+        Arc::clone(&self.log)
     }
 
     /// The device's CA common name (what shows up in Table 6).
@@ -253,7 +251,7 @@ impl StreamHandler for InterceptHandler {
                         Ok(p) => p,
                         Err(_) => return self.alert("bad_record_mac"),
                     };
-                    self.log.borrow_mut().push(InterceptedExchange {
+                    self.log.lock().push(InterceptedExchange {
                         client: self.peer.src,
                         original_dst: self.peer.original_dst,
                         port: self.peer.original_port,
@@ -286,7 +284,7 @@ impl Service for TlsInterceptService {
             device_key: self.device_key,
             strategy: self.strategy.clone(),
             upstream_override: self.upstream_override,
-            log: Rc::clone(&self.log),
+            log: Arc::clone(&self.log),
             peer,
             now: self.now,
             costs: self.costs,

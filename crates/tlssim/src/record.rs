@@ -65,7 +65,9 @@ pub fn decode_records(mut data: &[u8]) -> Result<Vec<Record>, TlsError> {
     let mut records = Vec::new();
     while !data.is_empty() {
         if data.len() < 3 {
-            return Err(TlsError::ProtocolViolation("truncated record header".into()));
+            return Err(TlsError::ProtocolViolation(
+                "truncated record header".into(),
+            ));
         }
         let ctype = ContentType::from_u8(data[0])
             .ok_or_else(|| TlsError::ProtocolViolation(format!("content type {}", data[0])))?;

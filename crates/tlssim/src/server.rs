@@ -4,11 +4,9 @@
 
 use crate::cert::{fnv1a, Certificate, KeyId};
 use crate::handshake::{ClientHello, HandshakeMsg, ServerHello};
-use crate::record::{
-    decode_records, encode_records, open, seal, ContentType, Record, SessionKey,
-};
+use crate::record::{decode_records, encode_records, open, seal, ContentType, Record, SessionKey};
 use netsim::{PeerInfo, Service, ServiceCtx, StreamHandler};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Server-side TLS parameters.
 #[derive(Debug, Clone)]
@@ -92,7 +90,11 @@ pub(crate) fn answer_client_hello(
     let hello = ServerHello {
         server_random,
         alpn,
-        chain: if resumed { Vec::new() } else { config.chain.clone() },
+        chain: if resumed {
+            Vec::new()
+        } else {
+            config.chain.clone()
+        },
         ticket: Some(key.0 ^ config.ticket_secret),
         resumed,
     };
@@ -109,12 +111,12 @@ pub(crate) fn answer_client_hello(
 /// A [`Service`] that terminates TLS and hands plaintext to `inner`.
 pub struct TlsServerService {
     config: TlsServerConfig,
-    inner: Rc<dyn Service>,
+    inner: Arc<dyn Service>,
 }
 
 impl TlsServerService {
     /// Wrap `inner` behind TLS with `config`.
-    pub fn new(config: TlsServerConfig, inner: Rc<dyn Service>) -> Self {
+    pub fn new(config: TlsServerConfig, inner: Arc<dyn Service>) -> Self {
         TlsServerService { config, inner }
     }
 
@@ -132,7 +134,7 @@ enum HandlerState {
 
 struct TlsServerHandler {
     config: TlsServerConfig,
-    inner_service: Rc<dyn Service>,
+    inner_service: Arc<dyn Service>,
     inner: Option<Box<dyn StreamHandler>>,
     peer: PeerInfo,
     state: HandlerState,
@@ -180,8 +182,7 @@ impl StreamHandler for TlsServerHandler {
                             self.state = HandlerState::Dead;
                             out.push(Record {
                                 ctype: ContentType::Alert,
-                                payload: HandshakeMsg::Alert("unexpected_message".into())
-                                    .encode(),
+                                payload: HandshakeMsg::Alert("unexpected_message".into()).encode(),
                             });
                         }
                     }
@@ -198,8 +199,7 @@ impl StreamHandler for TlsServerHandler {
                             self.state = HandlerState::Dead;
                             out.push(Record {
                                 ctype: ContentType::Alert,
-                                payload: HandshakeMsg::Alert("unexpected_message".into())
-                                    .encode(),
+                                payload: HandshakeMsg::Alert("unexpected_message".into()).encode(),
                             });
                         }
                     }
@@ -251,7 +251,7 @@ impl Service for TlsServerService {
     fn open_stream(&self, peer: PeerInfo) -> Box<dyn StreamHandler> {
         Box::new(TlsServerHandler {
             config: self.config.clone(),
-            inner_service: Rc::clone(&self.inner),
+            inner_service: Arc::clone(&self.inner),
             inner: None,
             peer,
             state: HandlerState::AwaitingHello,
@@ -305,8 +305,7 @@ mod tests {
             ..full
         };
         let (key2, _, reply2) = answer_client_hello(&config, &resumed).unwrap();
-        let HandshakeMsg::ServerHello(sh2) = HandshakeMsg::decode(&reply2.payload).unwrap()
-        else {
+        let HandshakeMsg::ServerHello(sh2) = HandshakeMsg::decode(&reply2.payload).unwrap() else {
             panic!("expected ServerHello");
         };
         assert!(sh2.resumed);

@@ -202,13 +202,19 @@ mod tests {
         let mut leaf = ca.issue("x.example.com", vec![], KeyId(2), 1, day(-1), day(300));
         // Corrupt the signature digest: not self-signed, signer unknown.
         leaf.signature.digest ^= 1;
-        assert_eq!(classify_chain(&[leaf], &store, day(0)), CertStatus::InvalidChain);
+        assert_eq!(
+            classify_chain(&[leaf], &store, day(0)),
+            CertStatus::InvalidChain
+        );
     }
 
     #[test]
     fn empty_chain_is_invalid() {
         let store = TrustStore::new();
-        assert_eq!(classify_chain(&[], &store, day(0)), CertStatus::InvalidChain);
+        assert_eq!(
+            classify_chain(&[], &store, day(0)),
+            CertStatus::InvalidChain
+        );
         assert_eq!(
             verify_chain(&[], &store, day(0), None),
             Err(CertError::EmptyChain)
@@ -220,7 +226,13 @@ mod tests {
         let (ca, store) = trusted_ca();
         let leaf = ca.issue("dns.quad9.net", vec![], KeyId(2), 1, day(-1), day(300));
         assert!(verify_chain(std::slice::from_ref(&leaf), &store, day(0), None).is_ok());
-        assert!(verify_chain(std::slice::from_ref(&leaf), &store, day(0), Some("dns.quad9.net")).is_ok());
+        assert!(verify_chain(
+            std::slice::from_ref(&leaf),
+            &store,
+            day(0),
+            Some("dns.quad9.net")
+        )
+        .is_ok());
         assert_eq!(
             verify_chain(&[leaf], &store, day(0), Some("dns.google")),
             Err(CertError::NameMismatch {
@@ -237,7 +249,14 @@ mod tests {
         store.add(root.authority());
         // Intermediate signed by root; leaf signed by intermediate.
         let inter_key = KeyId(10);
-        let inter_cert = root.issue("Intermediate CA", vec![], inter_key, 2, day(-500), day(1000));
+        let inter_cert = root.issue(
+            "Intermediate CA",
+            vec![],
+            inter_key,
+            2,
+            day(-500),
+            day(1000),
+        );
         let inter = CaHandle::new("Intermediate CA", inter_key, day(-500), 1000);
         let leaf = inter.issue("dns.example.com", vec![], KeyId(20), 3, day(-1), day(90));
         let chain = vec![leaf, inter_cert];

@@ -5,7 +5,7 @@ use netsim::{
     DstMatch, HostMeta, Network, NetworkConfig, PathDecision, PolicyRule, Service, SimDuration,
 };
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use tlssim::{
     CaHandle, CertError, DateStamp, KeyId, TlsClientConfig, TlsConnector, TlsError,
     TlsInterceptService, TlsServerConfig, TlsServerService, TrustStore, VerifyMode,
@@ -42,7 +42,12 @@ fn build_world(seed: u64) -> World {
     let mut net = Network::new(NetworkConfig::default(), seed);
     let server = ip("203.0.113.10");
     let client = ip("198.51.100.20");
-    net.add_host(HostMeta::new(server).country("US").asn(13335).label("resolver"));
+    net.add_host(
+        HostMeta::new(server)
+            .country("US")
+            .asn(13335)
+            .label("resolver"),
+    );
     net.add_host(HostMeta::new(client).country("DE").asn(3320));
 
     let ca = CaHandle::new("Example Root CA", KeyId(1), NOW() + -365, 3650);
@@ -58,9 +63,9 @@ fn build_world(seed: u64) -> World {
     store.add(ca.authority());
     let tls = TlsServerService::new(
         TlsServerConfig::new(vec![leaf], KeyId(2)).with_alpn(&["dot", "h2"]),
-        Rc::new(UpperService),
+        Arc::new(UpperService),
     );
-    net.bind_tcp(server, 853, Rc::new(tls));
+    net.bind_tcp(server, 853, Arc::new(tls));
     World {
         net,
         client,
@@ -72,9 +77,8 @@ fn build_world(seed: u64) -> World {
 #[test]
 fn strict_handshake_and_exchange() {
     let mut w = build_world(1);
-    let mut connector = TlsConnector::new(
-        TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["dot"]),
-    );
+    let mut connector =
+        TlsConnector::new(TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["dot"]));
     let mut stream = connector
         .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
         .unwrap();
@@ -88,9 +92,8 @@ fn strict_handshake_and_exchange() {
 #[test]
 fn resumption_skips_handshake_round_trip() {
     let mut w = build_world(2);
-    let mut connector = TlsConnector::new(
-        TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["dot"]),
-    );
+    let mut connector =
+        TlsConnector::new(TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["dot"]));
     // Session 1: full handshake.
     let mut s1 = connector
         .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
@@ -118,12 +121,13 @@ fn resumption_skips_handshake_round_trip() {
 fn strict_fails_on_self_signed_opportunistic_proceeds() {
     let mut w = build_world(3);
     // Replace the server's chain with an appliance default certificate.
-    let self_signed = CaHandle::self_signed("FGT60D", vec![], KeyId(9), 1, NOW() + -1, NOW() + 3650);
+    let self_signed =
+        CaHandle::self_signed("FGT60D", vec![], KeyId(9), 1, NOW() + -1, NOW() + 3650);
     let tls = TlsServerService::new(
         TlsServerConfig::new(vec![self_signed], KeyId(9)),
-        Rc::new(UpperService),
+        Arc::new(UpperService),
     );
-    w.net.bind_tcp(w.server, 853, Rc::new(tls));
+    w.net.bind_tcp(w.server, 853, Arc::new(tls));
 
     let mut strict = TlsConnector::new(TlsClientConfig::strict(w.store.clone(), NOW()));
     let err = strict
@@ -143,9 +147,8 @@ fn strict_fails_on_self_signed_opportunistic_proceeds() {
 #[test]
 fn alpn_mismatch_aborts() {
     let mut w = build_world(4);
-    let mut connector = TlsConnector::new(
-        TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["h3"]),
-    );
+    let mut connector =
+        TlsConnector::new(TlsClientConfig::strict(w.store.clone(), NOW()).with_alpn(&["h3"]));
     let err = connector
         .connect(&mut w.net, w.client, w.server, 853, None)
         .unwrap_err();
@@ -157,12 +160,16 @@ fn interception_breaks_strict_but_not_opportunistic() {
     let mut w = build_world(5);
     // Install an inline interceptor and divert the client's path to it.
     let device_ip = ip("10.99.0.1");
-    w.net
-        .add_host(HostMeta::new(device_ip).country("DE").asn(3320).label("DPI box"));
+    w.net.add_host(
+        HostMeta::new(device_ip)
+            .country("DE")
+            .asn(3320)
+            .label("DPI box"),
+    );
     let mitm_ca = CaHandle::new("SonicWall Firewall DPI-SSL", KeyId(100), NOW() + -100, 3650);
     let device = TlsInterceptService::inline_interceptor(mitm_ca, KeyId(101), NOW());
     let log = device.log();
-    w.net.bind_tcp(device_ip, 853, Rc::new(device));
+    w.net.bind_tcp(device_ip, 853, Arc::new(device));
     w.net.policies_mut().push(
         PolicyRule::new("dpi-divert", PathDecision::DivertTo(device_ip))
             .to_dst(DstMatch::Ip(w.server)),
@@ -184,20 +191,20 @@ fn interception_breaks_strict_but_not_opportunistic() {
     assert_eq!(stream.server_chain()[0].subject_cn, "dns.example.com");
     let resp = stream.request(&mut w.net, b"secret query").unwrap();
     assert_eq!(resp, b"SECRET QUERY", "proxied through to the real server");
-    let seen = log.borrow();
+    let seen = log.lock();
     assert_eq!(seen.len(), 1);
     assert_eq!(seen[0].plaintext, b"secret query");
     assert_eq!(seen[0].original_dst, w.server);
     drop(seen);
 
     // Strict profile: certificate error, no plaintext leaks.
-    let before = log.borrow().len();
+    let before = log.lock().len();
     let mut strict = TlsConnector::new(TlsClientConfig::strict(w.store.clone(), NOW()));
     let err = strict
         .connect(&mut w.net, w.client, w.server, 853, Some("dns.example.com"))
         .unwrap_err();
     assert!(matches!(err, TlsError::Cert(CertError::UntrustedCa { .. })));
-    assert_eq!(log.borrow().len(), before, "strict client leaked nothing");
+    assert_eq!(log.lock().len(), before, "strict client leaked nothing");
 }
 
 #[test]
@@ -206,8 +213,12 @@ fn fixed_cert_proxy_forwards_upstream() {
     // A FortiGate-style DoT proxy on its own address, forwarding to the
     // genuine resolver.
     let proxy_ip = ip("10.88.0.1");
-    w.net
-        .add_host(HostMeta::new(proxy_ip).country("US").asn(64512).label("FortiGate"));
+    w.net.add_host(
+        HostMeta::new(proxy_ip)
+            .country("US")
+            .asn(64512)
+            .label("FortiGate"),
+    );
     let fg_ca = CaHandle::new("FortiGate CA", KeyId(200), NOW() + -10, 3650);
     let default_cert =
         CaHandle::self_signed("FGT60D", vec![], KeyId(201), 7, NOW() + -10, NOW() + 3650);
@@ -218,7 +229,7 @@ fn fixed_cert_proxy_forwards_upstream() {
         (w.server, 853),
         NOW(),
     );
-    w.net.bind_tcp(proxy_ip, 853, Rc::new(proxy));
+    w.net.bind_tcp(proxy_ip, 853, Arc::new(proxy));
 
     let mut opp = TlsConnector::new(TlsClientConfig::opportunistic(w.store.clone(), NOW()));
     let mut stream = opp

@@ -128,7 +128,12 @@ pub fn generate_dot_traffic(cfg: &DotTrafficConfig) -> TrafficDataset {
     let mut temporary_blocks = Vec::new();
     for i in 0..temp_total {
         temporary_blocks.push(Netblock::new(
-            Ipv4Addr::new(81 + (i / 65_000) as u8, ((i / 250) % 260) as u8, (i % 250) as u8, 0),
+            Ipv4Addr::new(
+                81 + (i / 65_000) as u8,
+                ((i / 250) % 260) as u8,
+                (i % 250) as u8,
+                0,
+            ),
             24,
         ));
     }
@@ -154,7 +159,10 @@ pub fn generate_dot_traffic(cfg: &DotTrafficConfig) -> TrafficDataset {
         let next_month = cfg.start.add_months(month + 1);
         let days = (next_month - month_start) as u32;
         let targets: [(Ipv4Addr, f64); 2] = [
-            (anchors::CLOUDFLARE_PRIMARY, cloudflare_monthly(cfg, month_start)),
+            (
+                anchors::CLOUDFLARE_PRIMARY,
+                cloudflare_monthly(cfg, month_start),
+            ),
             (anchors::QUAD9_PRIMARY, quad9_monthly(cfg, month, &mut rng)),
         ];
         for (dst, monthly) in targets {
@@ -255,9 +263,7 @@ mod tests {
             let end = start.add_months(1);
             ds.records
                 .iter()
-                .filter(|r| {
-                    r.dst == anchors::CLOUDFLARE_PRIMARY && r.date >= start && r.date < end
-                })
+                .filter(|r| r.dst == anchors::CLOUDFLARE_PRIMARY && r.date >= start && r.date < end)
                 .count() as f64
         };
         let jul = month_count(2018, 7);
@@ -265,7 +271,10 @@ mod tests {
         assert!((4_200.0..5_200.0).contains(&jul), "Jul 2018: {jul}");
         assert!((6_600.0..8_000.0).contains(&dec), "Dec 2018: {dec}");
         let growth = (dec - jul) / jul;
-        assert!((0.40..0.75).contains(&growth), "growth {growth} (paper: 56%)");
+        assert!(
+            (0.40..0.75).contains(&growth),
+            "growth {growth} (paper: 56%)"
+        );
         // Nothing before the launch.
         assert_eq!(month_count(2018, 1), 0.0);
     }

@@ -69,17 +69,16 @@ pub fn detect_scanners(
         .into_iter()
         .map(|(src, s)| {
             let syn_ratio = s.syn_only as f64 / s.flows.max(1) as f64;
-            let verdict = if s.dsts.len() >= config.scanner_fanout
-                && syn_ratio >= config.min_syn_ratio
-            {
-                ScanVerdict::Scanner
-            } else if s.dsts.len() >= config.suspicious_fanout
-                && syn_ratio >= config.min_syn_ratio / 2.0
-            {
-                ScanVerdict::Suspicious
-            } else {
-                ScanVerdict::Benign
-            };
+            let verdict =
+                if s.dsts.len() >= config.scanner_fanout && syn_ratio >= config.min_syn_ratio {
+                    ScanVerdict::Scanner
+                } else if s.dsts.len() >= config.suspicious_fanout
+                    && syn_ratio >= config.min_syn_ratio / 2.0
+                {
+                    ScanVerdict::Suspicious
+                } else {
+                    ScanVerdict::Benign
+                };
             (src, verdict)
         })
         .collect()

@@ -6,11 +6,12 @@ use dnswire::{builder, RecordType};
 use doe_protocols::do53::Do53TcpConn;
 use doe_protocols::dot::DotClient;
 use doe_protocols::{Bootstrap, DohClient, DohMethod};
+use httpsim::UriTemplate;
 use netsim::time::{mean, median, overhead_ms};
-use netsim::{HostMeta, Network, SimDuration};
+use netsim::{mix_seed, HostMeta, Network, SimDuration};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
-use tlssim::TlsClientConfig;
+use tlssim::{DateStamp, TlsClientConfig, TrustStore};
 use worldgen::{ClientInfo, World};
 
 /// One client's medians of observed `T_R` per protocol (ms).
@@ -76,130 +77,211 @@ fn median_ms(samples: &mut [SimDuration]) -> f64 {
     median(samples).as_millis_f64()
 }
 
+/// Immutable per-run parameters shared by every client measurement.
+struct PerfSetup {
+    resolver: Ipv4Addr,
+    doh_template: UriTemplate,
+    store: TrustStore,
+    now: DateStamp,
+    apex: String,
+    bootstrap: Ipv4Addr,
+    tunnel: Tunnel,
+    queries: u32,
+}
+
+/// Measure one client; `None` means the path broke and the client was
+/// skipped. `serial` is the client's serial-number base, fixed by its
+/// index so query names don't depend on shard layout.
+fn measure_client(
+    net: &mut Network,
+    setup: &PerfSetup,
+    client: &ClientInfo,
+    mut serial: u64,
+) -> Option<PerfObservation> {
+    let PerfSetup {
+        resolver,
+        doh_template,
+        store,
+        now,
+        apex,
+        bootstrap,
+        tunnel,
+        queries,
+    } = setup;
+    let (resolver, now, bootstrap, tunnel, queries) =
+        (*resolver, *now, *bootstrap, *tunnel, *queries);
+
+    // --- clear-text DNS over a reused TCP connection ---------------
+    let mut dns_samples = Vec::with_capacity(queries as usize);
+    let mut tcp =
+        Do53TcpConn::connect(net, client.ip, resolver, SimDuration::from_secs(30)).ok()?;
+    tcp.take_elapsed(); // setup excluded: reuse is the steady state
+    for _ in 0..queries {
+        serial += 1;
+        let q = builder::query(
+            (serial % 65_536) as u16,
+            &format!("p{serial}.{apex}"),
+            RecordType::A,
+        )
+        .expect("static name shape");
+        let reply = tcp.query(net, &q).ok()?;
+        dns_samples.push(reply.latency + tunnel.sample_overhead(net, client.ip));
+    }
+    tcp.close(net);
+
+    // --- DoT over a reused session ----------------------------------
+    let mut dot_samples = Vec::with_capacity(queries as usize);
+    let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
+    let mut session = dot.session(net, client.ip, resolver, None).ok()?;
+    session.take_elapsed();
+    for _ in 0..queries {
+        serial += 1;
+        let q = builder::query(
+            (serial % 65_536) as u16,
+            &format!("p{serial}.{apex}"),
+            RecordType::A,
+        )
+        .expect("static name shape");
+        let reply = session.query(net, &q).ok()?;
+        dot_samples.push(reply.latency + tunnel.sample_overhead(net, client.ip));
+    }
+    session.close(net);
+
+    // --- DoH over a reused session ----------------------------------
+    let mut doh_samples = Vec::with_capacity(queries as usize);
+    let mut doh = DohClient::new(
+        TlsClientConfig::strict(store.clone(), now),
+        doh_template.clone(),
+        DohMethod::Post,
+        Bootstrap::Do53 {
+            resolver: bootstrap,
+        },
+    );
+    let mut session = doh.session(net, client.ip).ok()?;
+    session.take_elapsed();
+    for _ in 0..queries {
+        serial += 1;
+        let q = builder::query(
+            (serial % 65_536) as u16,
+            &format!("p{serial}.{apex}"),
+            RecordType::A,
+        )
+        .expect("static name shape");
+        let reply = session.query(net, &q).ok()?;
+        doh_samples.push(reply.latency + tunnel.sample_overhead(net, client.ip));
+    }
+    session.close(net);
+
+    Some(PerfObservation {
+        client: client.ip,
+        country: client.country.as_str().to_string(),
+        dns_ms: median_ms(&mut dns_samples),
+        dot_ms: median_ms(&mut dot_samples),
+        doh_ms: median_ms(&mut doh_samples),
+    })
+}
+
 /// Run the reused-connection performance test against Cloudflare (the
 /// paper's Figure 9/10 subject): `queries` exchanges per protocol per
 /// client, medians of observed `T_R` (tunnel + on-path time).
+///
+/// Equivalent to [`performance_test_sharded`] with one shard.
 pub fn performance_test(
     world: &mut World,
     clients: &[ClientInfo],
     tunnel: Tunnel,
     queries: u32,
 ) -> PerformanceReport {
-    let resolver = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
-    let doh_template = world
-        .deployment
-        .doh_services
-        .iter()
-        .find(|s| s.hostname == "cloudflare-dns.com")
-        .expect("cloudflare DoH deployed")
-        .template
-        .clone();
-    let store = world.trust_store.clone();
-    let now = world.epoch();
-    let apex = world.probe.apex.to_string();
-    let apex = apex.trim_end_matches('.').to_string();
+    performance_test_sharded(world, clients, tunnel, queries, 1)
+}
 
+/// One shard's output: per-client observations tagged with the global
+/// client index the parent merges on (`None` = client skipped).
+type PerfShardOut = Vec<(usize, Option<PerfObservation>)>;
+
+/// Run the performance test with clients distributed over `shards` worker
+/// threads (client `i` → shard `i mod shards`). Per-client randomness and
+/// serials are keyed on the client index, so the report is identical for
+/// every shard count.
+pub fn performance_test_sharded(
+    world: &mut World,
+    clients: &[ClientInfo],
+    tunnel: Tunnel,
+    queries: u32,
+    shards: usize,
+) -> PerformanceReport {
+    let setup = PerfSetup {
+        resolver: worldgen::providers::anchors::CLOUDFLARE_PRIMARY,
+        doh_template: world
+            .deployment
+            .doh_services
+            .iter()
+            .find(|s| s.hostname == "cloudflare-dns.com")
+            .expect("cloudflare DoH deployed")
+            .template
+            .clone(),
+        store: world.trust_store.clone(),
+        now: world.epoch(),
+        apex: world
+            .probe
+            .apex
+            .to_string()
+            .trim_end_matches('.')
+            .to_string(),
+        bootstrap: world.bootstrap_resolver,
+        tunnel,
+        queries,
+    };
+    let shards = shards.max(1);
+    let salt = mix_seed(world.net.base_seed(), 0x7065_7266_7465_7374); // "perftest"
+
+    let run_shard = |worker: &mut Network, shard: usize| -> PerfShardOut {
+        let mut out = Vec::new();
+        for ci in (shard..clients.len()).step_by(shards) {
+            worker.reseed(mix_seed(salt, ci as u64));
+            let obs = measure_client(worker, &setup, &clients[ci], ci as u64 * 3 * queries as u64);
+            out.push((ci, obs));
+        }
+        out
+    };
+
+    let mut outputs: Vec<(Network, PerfShardOut)> = if shards == 1 {
+        let mut worker = world.net.fork_shard(0);
+        let found = run_shard(&mut worker, 0);
+        vec![(worker, found)]
+    } else {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let mut worker = world.net.fork_shard(s as u64);
+                    let run_shard = &run_shard;
+                    scope.spawn(move || {
+                        let found = run_shard(&mut worker, s);
+                        (worker, found)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("performance shard panicked"))
+                .collect()
+        })
+        .expect("performance scope panicked")
+    };
+
+    let mut tagged: Vec<(usize, Option<PerfObservation>)> = Vec::with_capacity(clients.len());
+    for (worker, found) in outputs.drain(..) {
+        world.net.absorb_shard(worker);
+        tagged.extend(found);
+    }
+    tagged.sort_by_key(|&(ci, _)| ci);
     let mut observations = Vec::new();
     let mut skipped = 0usize;
-    let mut serial = 0u64;
-
-    'clients: for client in clients {
-        // --- clear-text DNS over a reused TCP connection ---------------
-        let mut dns_samples = Vec::with_capacity(queries as usize);
-        let Ok(mut tcp) = Do53TcpConn::connect(
-            &mut world.net,
-            client.ip,
-            resolver,
-            SimDuration::from_secs(30),
-        ) else {
-            skipped += 1;
-            continue;
-        };
-        tcp.take_elapsed(); // setup excluded: reuse is the steady state
-        for _ in 0..queries {
-            serial += 1;
-            let q =
-                builder::query((serial % 65_536) as u16, &format!("p{serial}.{apex}"), RecordType::A)
-                    .expect("static name shape");
-            match tcp.query(&mut world.net, &q) {
-                Ok(reply) => {
-                    let t_r = reply.latency + tunnel.sample_overhead(&mut world.net, client.ip);
-                    dns_samples.push(t_r);
-                }
-                Err(_) => {
-                    skipped += 1;
-                    continue 'clients;
-                }
-            }
+    for (_, obs) in tagged {
+        match obs {
+            Some(o) => observations.push(o),
+            None => skipped += 1,
         }
-        tcp.close(&mut world.net);
-
-        // --- DoT over a reused session ----------------------------------
-        let mut dot_samples = Vec::with_capacity(queries as usize);
-        let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
-        let Ok(mut session) = dot.session(&mut world.net, client.ip, resolver, None) else {
-            skipped += 1;
-            continue;
-        };
-        session.take_elapsed();
-        for _ in 0..queries {
-            serial += 1;
-            let q =
-                builder::query((serial % 65_536) as u16, &format!("p{serial}.{apex}"), RecordType::A)
-                    .expect("static name shape");
-            match session.query(&mut world.net, &q) {
-                Ok(reply) => {
-                    let t_r = reply.latency + tunnel.sample_overhead(&mut world.net, client.ip);
-                    dot_samples.push(t_r);
-                }
-                Err(_) => {
-                    skipped += 1;
-                    continue 'clients;
-                }
-            }
-        }
-        session.close(&mut world.net);
-
-        // --- DoH over a reused session ----------------------------------
-        let mut doh_samples = Vec::with_capacity(queries as usize);
-        let mut doh = DohClient::new(
-            TlsClientConfig::strict(store.clone(), now),
-            doh_template.clone(),
-            DohMethod::Post,
-            Bootstrap::Do53 {
-                resolver: world.bootstrap_resolver,
-            },
-        );
-        let Ok(mut session) = doh.session(&mut world.net, client.ip) else {
-            skipped += 1;
-            continue;
-        };
-        session.take_elapsed();
-        for _ in 0..queries {
-            serial += 1;
-            let q =
-                builder::query((serial % 65_536) as u16, &format!("p{serial}.{apex}"), RecordType::A)
-                    .expect("static name shape");
-            match session.query(&mut world.net, &q) {
-                Ok(reply) => {
-                    let t_r = reply.latency + tunnel.sample_overhead(&mut world.net, client.ip);
-                    doh_samples.push(t_r);
-                }
-                Err(_) => {
-                    skipped += 1;
-                    continue 'clients;
-                }
-            }
-        }
-        session.close(&mut world.net);
-
-        observations.push(PerfObservation {
-            client: client.ip,
-            country: client.country.as_str().to_string(),
-            dns_ms: median_ms(&mut dns_samples),
-            dot_ms: median_ms(&mut dot_samples),
-            doh_ms: median_ms(&mut doh_samples),
-        });
     }
 
     // --- Aggregation ------------------------------------------------------
@@ -290,9 +372,12 @@ pub fn fresh_connection_test(world: &mut World, iterations: u32) -> Vec<FreshCon
         ("HK", Ipv4Addr::new(198, 51, 100, 23)),
     ];
     for (cc, ip) in &vantages {
-        world
-            .net
-            .add_host(HostMeta::new(*ip).country(cc).asn(65_000).label("controlled vantage"));
+        world.net.add_host(
+            HostMeta::new(*ip)
+                .country(cc)
+                .asn(65_000)
+                .label("controlled vantage"),
+        );
     }
     let resolver = world.self_built.addr;
     let auth_name = world.self_built.auth_name.clone();
@@ -328,9 +413,7 @@ pub fn fresh_connection_test(world: &mut World, iterations: u32) -> Vec<FreshCon
             }
             // Fresh DoT (new client each time: no ticket, no pool).
             let mut dot = DotClient::new(TlsClientConfig::strict(store.clone(), now));
-            if let Ok(reply) =
-                dot.query_once(&mut world.net, src, resolver, Some(&auth_name), &q)
-            {
+            if let Ok(reply) = dot.query_once(&mut world.net, src, resolver, Some(&auth_name), &q) {
                 dot_t.push(reply.latency);
             }
             // Fresh DoH.
@@ -360,10 +443,20 @@ pub fn standard_tunnel(net: &mut Network) -> Tunnel {
     let mc = Ipv4Addr::new(198, 51, 100, 40);
     let sp = Ipv4Addr::new(198, 51, 100, 41);
     if !net.has_host(mc) {
-        net.add_host(HostMeta::new(mc).country("US").asn(65_001).label("measurement client"));
+        net.add_host(
+            HostMeta::new(mc)
+                .country("US")
+                .asn(65_001)
+                .label("measurement client"),
+        );
     }
     if !net.has_host(sp) {
-        net.add_host(HostMeta::new(sp).country("US").asn(65_001).label("super proxy"));
+        net.add_host(
+            HostMeta::new(sp)
+                .country("US")
+                .asn(65_001)
+                .label("super proxy"),
+        );
     }
     Tunnel {
         measurement_client: mc,
@@ -434,7 +527,11 @@ mod tests {
             india.doh_mean_ms
         );
         // DoT roughly par (port 853 shaped nearly as hard as 53).
-        assert!(india.dot_mean_ms.abs() < 40.0, "IN DoT {}", india.dot_mean_ms);
+        assert!(
+            india.dot_mean_ms.abs() < 40.0,
+            "IN DoT {}",
+            india.dot_mean_ms
+        );
     }
 
     #[test]

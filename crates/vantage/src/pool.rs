@@ -107,8 +107,9 @@ mod tests {
             measurement_client: mc,
             super_proxy: sp,
         };
-        let samples: Vec<SimDuration> =
-            (0..32).map(|_| tunnel.sample_overhead(&mut net, exit)).collect();
+        let samples: Vec<SimDuration> = (0..32)
+            .map(|_| tunnel.sample_overhead(&mut net, exit))
+            .collect();
         assert!(samples.iter().all(|&d| d > SimDuration::ZERO));
         assert!(samples.windows(2).any(|w| w[0] != w[1]), "jitter expected");
     }
@@ -117,9 +118,7 @@ mod tests {
     fn uptime_check_mostly_passes_small_budgets() {
         let mut net = Network::new(NetworkConfig::default(), 3);
         let pool = VantagePool::new(Vec::new());
-        let passes = (0..200)
-            .filter(|_| pool.check_uptime(&mut net, 60))
-            .count();
+        let passes = (0..200).filter(|_| pool.check_uptime(&mut net, 60)).count();
         // Budget of 60 queries against mean lifetime 400: ~86% survive.
         assert!(passes > 140, "{passes}");
         let passes_big = (0..200)

@@ -6,10 +6,10 @@ use dnswire::{builder, Message, Rcode, RecordType};
 use doe_protocols::dot::DotClient;
 use doe_protocols::{Bootstrap, DohClient, DohMethod, QueryError};
 use httpsim::{Request, Response, UriTemplate};
-use netsim::{Network, ProbeOutcome, SimDuration};
+use netsim::{mix_seed, Network, ProbeOutcome, SimDuration};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
-use tlssim::{CertError, TlsClientConfig, TlsError};
+use tlssim::{CertError, DateStamp, TlsClientConfig, TlsError, TrustStore};
 use worldgen::providers::anchors;
 use worldgen::{ClientInfo, World};
 
@@ -248,139 +248,272 @@ fn fetch_title(net: &mut Network, src: Ipv4Addr, dst: Ipv4Addr) -> (Option<Strin
     (title, miner)
 }
 
+/// Everything one client's test run produced, keyed for the merge.
+struct ClientFindings {
+    /// `(target name, transport, outcome)` cells in test order.
+    cells: Vec<(String, TransportKind, Outcome)>,
+    interception: Option<InterceptionFinding>,
+    forensic: Option<ForensicFinding>,
+}
+
+/// Immutable per-run parameters shared by every client test.
+struct ReachSetup {
+    targets: Vec<ResolverTargets>,
+    expected: Ipv4Addr,
+    apex: String,
+    store: TrustStore,
+    now: DateStamp,
+    bootstrap: Ipv4Addr,
+}
+
+impl ReachSetup {
+    /// Queries one client issues — fixes each client's serial-number base
+    /// so query names don't depend on which shard runs it.
+    fn serials_per_client(&self) -> u64 {
+        self.targets
+            .iter()
+            .map(|t| t.dns.is_some() as u64 + t.dot.is_some() as u64 + t.doh.is_some() as u64)
+            .sum()
+    }
+}
+
+/// Run one client through all targets and (if triggered) forensics.
+fn test_client(
+    net: &mut Network,
+    setup: &ReachSetup,
+    client: &ClientInfo,
+    forensics_on: &str,
+    mut serial: u64,
+) -> ClientFindings {
+    let ReachSetup {
+        targets,
+        expected,
+        apex,
+        store,
+        now,
+        bootstrap,
+    } = setup;
+    let (expected, now, bootstrap) = (*expected, *now, *bootstrap);
+    fn note_interception<'a>(
+        interception: &'a mut Option<InterceptionFinding>,
+        client: &ClientInfo,
+        ca_cn: &str,
+    ) -> &'a mut InterceptionFinding {
+        interception.get_or_insert_with(|| InterceptionFinding {
+            client: client.ip,
+            country: client.country.as_str().to_string(),
+            asn: client.asn.0,
+            ca_cn: ca_cn.to_string(),
+            port_853: false,
+            port_443: false,
+        })
+    }
+    let mut cells = Vec::new();
+    let mut interception: Option<InterceptionFinding> = None;
+    let mut cloudflare_dot_failed = false;
+
+    for target in targets {
+        // --- Clear-text DNS over TCP -----------------------------------
+        if let Some(dns_addr) = target.dns {
+            serial += 1;
+            let qname = format!("d{serial}.{apex}");
+            let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                .map_err(QueryError::Wire)
+                .and_then(|q| {
+                    doe_protocols::do53::do53_tcp_query(
+                        net,
+                        client.ip,
+                        dns_addr,
+                        &q,
+                        SimDuration::from_secs(30),
+                    )
+                })
+                .map(|r| r.message);
+            cells.push((
+                target.name.clone(),
+                TransportKind::Dns,
+                classify(result, expected),
+            ));
+        }
+
+        // --- Opportunistic DoT ------------------------------------------
+        if let Some(dot_addr) = target.dot {
+            serial += 1;
+            let qname = format!("t{serial}.{apex}");
+            let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
+            let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                .map_err(QueryError::Wire)
+                .and_then(|q| dot.query_once(net, client.ip, dot_addr, None, &q));
+            // Interception: lookup succeeded, authentication failed.
+            if let Ok(reply) = &result {
+                if let Some(Err(CertError::UntrustedCa { ca_cn })) = &reply.transport.verify {
+                    note_interception(&mut interception, client, ca_cn).port_853 = true;
+                }
+            }
+            let outcome = classify(result.map(|r| r.message), expected);
+            if target.name == forensics_on && outcome == Outcome::Failed {
+                cloudflare_dot_failed = true;
+            }
+            cells.push((target.name.clone(), TransportKind::Dot, outcome));
+        }
+
+        // --- Strict DoH --------------------------------------------------
+        if let Some(template) = &target.doh {
+            serial += 1;
+            let qname = format!("h{serial}.{apex}");
+            let mut doh = DohClient::new(
+                TlsClientConfig::strict(store.clone(), now),
+                template.clone(),
+                DohMethod::Get,
+                Bootstrap::Do53 {
+                    resolver: bootstrap,
+                },
+            );
+            let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                .map_err(QueryError::Wire)
+                .and_then(|q| doh.query_once(net, client.ip, &q));
+            if let Err(QueryError::Tls(TlsError::Cert(CertError::UntrustedCa { ca_cn }))) = &result
+            {
+                note_interception(&mut interception, client, ca_cn).port_443 = true;
+            }
+            cells.push((
+                target.name.clone(),
+                TransportKind::Doh,
+                classify(result.map(|r| r.message), expected),
+            ));
+        }
+    }
+
+    // --- Failure forensics (Table 5) -----------------------------------
+    let forensic = if cloudflare_dot_failed {
+        let mut open_ports = Vec::new();
+        for &port in &FORENSIC_PORTS {
+            let (outcome, _) = net.syn_probe(client.ip, anchors::CLOUDFLARE_PRIMARY, port);
+            if outcome == ProbeOutcome::Open {
+                open_ports.push(port);
+            }
+        }
+        let (page_title, coinminer) = fetch_title(net, client.ip, anchors::CLOUDFLARE_PRIMARY);
+        Some(ForensicFinding {
+            client: client.ip,
+            asn: client.asn.0,
+            open_ports,
+            page_title,
+            coinminer,
+        })
+    } else {
+        None
+    };
+
+    ClientFindings {
+        cells,
+        interception,
+        forensic,
+    }
+}
+
 /// Run the reachability test for `clients` against the standard targets.
 ///
 /// `forensics_on` names the resolver whose DoT failures trigger the
 /// port-probe/webpage investigation (the paper used Cloudflare because of
 /// its known 1.1.1.1 conflicts and platform rate limits).
+///
+/// Equivalent to [`reachability_test_sharded`] with one shard.
 pub fn reachability_test(
     world: &mut World,
     clients: &[ClientInfo],
     forensics_on: &str,
 ) -> ReachabilityReport {
-    let targets = standard_targets(world);
-    let expected = world.probe.expected_a;
-    let apex = world.probe.apex.to_string();
-    let apex = apex.trim_end_matches('.').to_string();
-    let store = world.trust_store.clone();
-    let now = world.epoch();
-    let bootstrap = world.bootstrap_resolver;
+    reachability_test_sharded(world, clients, forensics_on, 1)
+}
+
+/// Run the reachability test with clients distributed over `shards`
+/// worker threads (client `i` → shard `i mod shards`).
+///
+/// Each client's randomness and query serials are keyed on its index, so
+/// the report is identical for every shard count. Worker clocks, counters
+/// and logs are absorbed into the world's network after the join.
+pub fn reachability_test_sharded(
+    world: &mut World,
+    clients: &[ClientInfo],
+    forensics_on: &str,
+    shards: usize,
+) -> ReachabilityReport {
+    let setup = ReachSetup {
+        targets: standard_targets(world),
+        expected: world.probe.expected_a,
+        apex: world
+            .probe
+            .apex
+            .to_string()
+            .trim_end_matches('.')
+            .to_string(),
+        store: world.trust_store.clone(),
+        now: world.epoch(),
+        bootstrap: world.bootstrap_resolver,
+    };
+    let shards = shards.max(1);
+    let spc = setup.serials_per_client();
+    let salt = mix_seed(world.net.base_seed(), 0x7265_6163_6861_6269); // "reachabi"
+
+    let run_shard = |worker: &mut Network, shard: usize| -> Vec<(usize, ClientFindings)> {
+        let mut out = Vec::new();
+        for ci in (shard..clients.len()).step_by(shards) {
+            worker.reseed(mix_seed(salt, ci as u64));
+            let findings = test_client(worker, &setup, &clients[ci], forensics_on, ci as u64 * spc);
+            out.push((ci, findings));
+        }
+        out
+    };
+
+    let mut outputs: Vec<(Network, Vec<(usize, ClientFindings)>)> = if shards == 1 {
+        let mut worker = world.net.fork_shard(0);
+        let found = run_shard(&mut worker, 0);
+        vec![(worker, found)]
+    } else {
+        crossbeam::scope(|scope| {
+            let handles: Vec<_> = (0..shards)
+                .map(|s| {
+                    let mut worker = world.net.fork_shard(s as u64);
+                    let run_shard = &run_shard;
+                    scope.spawn(move || {
+                        let found = run_shard(&mut worker, s);
+                        (worker, found)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("reachability shard panicked"))
+                .collect()
+        })
+        .expect("reachability scope panicked")
+    };
+
+    let mut tagged: Vec<(usize, ClientFindings)> = Vec::with_capacity(clients.len());
+    for (worker, found) in outputs.drain(..) {
+        world.net.absorb_shard(worker);
+        tagged.extend(found);
+    }
+    tagged.sort_by_key(|&(ci, _)| ci);
 
     let mut matrix: BTreeMap<String, BTreeMap<TransportKind, Counts>> = BTreeMap::new();
     let mut interceptions: BTreeMap<Ipv4Addr, InterceptionFinding> = BTreeMap::new();
     let mut forensics = Vec::new();
-    let mut serial = 0u64;
-
-    for client in clients {
-        let mut cloudflare_dot_failed = false;
-        for target in &targets {
-            let row = matrix.entry(target.name.clone()).or_default();
-
-            // --- Clear-text DNS over TCP -----------------------------------
-            if let Some(dns_addr) = target.dns {
-                serial += 1;
-                let qname = format!("d{serial}.{apex}");
-                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
-                    .map_err(QueryError::Wire)
-                    .and_then(|q| {
-                        doe_protocols::do53::do53_tcp_query(
-                            &mut world.net,
-                            client.ip,
-                            dns_addr,
-                            &q,
-                            SimDuration::from_secs(30),
-                        )
-                    })
-                    .map(|r| r.message);
-                row.entry(TransportKind::Dns)
-                    .or_default()
-                    .add(classify(result, expected));
-            }
-
-            // --- Opportunistic DoT ------------------------------------------
-            if let Some(dot_addr) = target.dot {
-                serial += 1;
-                let qname = format!("t{serial}.{apex}");
-                let mut dot =
-                    DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
-                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
-                    .map_err(QueryError::Wire)
-                    .and_then(|q| dot.query_once(&mut world.net, client.ip, dot_addr, None, &q));
-                // Interception: lookup succeeded, authentication failed.
-                if let Ok(reply) = &result {
-                    if let Some(Err(CertError::UntrustedCa { ca_cn })) = &reply.transport.verify
-                    {
-                        let entry =
-                            interceptions.entry(client.ip).or_insert(InterceptionFinding {
-                                client: client.ip,
-                                country: client.country.as_str().to_string(),
-                                asn: client.asn.0,
-                                ca_cn: ca_cn.clone(),
-                                port_853: false,
-                                port_443: false,
-                            });
-                        entry.port_853 = true;
-                    }
-                }
-                let outcome = classify(result.map(|r| r.message), expected);
-                if target.name == forensics_on && outcome == Outcome::Failed {
-                    cloudflare_dot_failed = true;
-                }
-                row.entry(TransportKind::Dot).or_default().add(outcome);
-            }
-
-            // --- Strict DoH --------------------------------------------------
-            if let Some(template) = &target.doh {
-                serial += 1;
-                let qname = format!("h{serial}.{apex}");
-                let mut doh = DohClient::new(
-                    TlsClientConfig::strict(store.clone(), now),
-                    template.clone(),
-                    DohMethod::Get,
-                    Bootstrap::Do53 {
-                        resolver: bootstrap,
-                    },
-                );
-                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
-                    .map_err(QueryError::Wire)
-                    .and_then(|q| doh.query_once(&mut world.net, client.ip, &q));
-                if let Err(QueryError::Tls(TlsError::Cert(CertError::UntrustedCa { ca_cn }))) =
-                    &result
-                {
-                    let entry = interceptions.entry(client.ip).or_insert(InterceptionFinding {
-                        client: client.ip,
-                        country: client.country.as_str().to_string(),
-                        asn: client.asn.0,
-                        ca_cn: ca_cn.clone(),
-                        port_853: false,
-                        port_443: false,
-                    });
-                    entry.port_443 = true;
-                }
-                row.entry(TransportKind::Doh)
-                    .or_default()
-                    .add(classify(result.map(|r| r.message), expected));
-            }
+    for (_, findings) in tagged {
+        for (name, transport, outcome) in findings.cells {
+            matrix
+                .entry(name)
+                .or_default()
+                .entry(transport)
+                .or_default()
+                .add(outcome);
         }
-
-        // --- Failure forensics (Table 5) -----------------------------------
-        if cloudflare_dot_failed {
-            let mut open_ports = Vec::new();
-            for &port in &FORENSIC_PORTS {
-                let (outcome, _) = world.net.syn_probe(client.ip, anchors::CLOUDFLARE_PRIMARY, port);
-                if outcome == ProbeOutcome::Open {
-                    open_ports.push(port);
-                }
-            }
-            let (page_title, coinminer) =
-                fetch_title(&mut world.net, client.ip, anchors::CLOUDFLARE_PRIMARY);
-            forensics.push(ForensicFinding {
-                client: client.ip,
-                asn: client.asn.0,
-                open_ports,
-                page_title,
-                coinminer,
-            });
+        if let Some(finding) = findings.interception {
+            interceptions.entry(finding.client).or_insert(finding);
+        }
+        if let Some(finding) = findings.forensic {
+            forensics.push(finding);
         }
     }
 
@@ -413,7 +546,10 @@ mod tests {
         let dot_fail = cf_dot.failed as f64 / n;
         let doh_fail = cf_doh.failed as f64 / n;
         assert!((0.08..0.25).contains(&dns_fail), "CF DNS fail {dns_fail}");
-        assert!(dot_fail < dns_fail / 4.0, "CF DoT fail {dot_fail} vs DNS {dns_fail}");
+        assert!(
+            dot_fail < dns_fail / 4.0,
+            "CF DoT fail {dot_fail} vs DNS {dns_fail}"
+        );
         assert!(doh_fail < 0.02, "CF DoH fail {doh_fail}");
         assert!(dot_fail > doh_fail, "conflicts break DoT more than DoH");
 
@@ -431,21 +567,29 @@ mod tests {
         // Self-built resolver: >99% everywhere.
         for t in [TransportKind::Dns, TransportKind::Dot, TransportKind::Doh] {
             let c = report.cell("Self-built", t);
-            assert!(
-                c.correct as f64 / n > 0.97,
-                "self-built {t}: {c:?}"
-            );
+            assert!(c.correct as f64 / n > 0.97, "self-built {t}: {c:?}");
         }
 
         // Google DoT not tested (not announced).
-        assert!(report.matrix.get("Google").unwrap().get(&TransportKind::Dot).is_none());
+        assert!(report
+            .matrix
+            .get("Google")
+            .unwrap()
+            .get(&TransportKind::Dot)
+            .is_none());
 
         // Interceptions: every planted interceptor with 853 coverage is
         // discovered via opportunistic DoT, with its CA name.
         let planted_853 = clients
             .iter()
             .filter(|c| {
-                matches!(&c.affliction, Affliction::Intercepted { intercepts_853: true, .. })
+                matches!(
+                    &c.affliction,
+                    Affliction::Intercepted {
+                        intercepts_853: true,
+                        ..
+                    }
+                )
             })
             .count();
         let found_853 = report.interceptions.iter().filter(|i| i.port_853).count();
@@ -465,10 +609,10 @@ mod tests {
         let (hist, none) = report.port_histogram();
         assert!(none > 0, "some conflicted paths are pure blackholes");
         assert!(hist.get(&80).copied().unwrap_or(0) > 0, "{hist:?}");
-        assert!(report
-            .forensics
-            .iter()
-            .any(|f| f.page_title.as_deref().is_some_and(|t| t.contains("RouterOS"))));
+        assert!(report.forensics.iter().any(|f| f
+            .page_title
+            .as_deref()
+            .is_some_and(|t| t.contains("RouterOS"))));
         assert!(report.forensics.iter().any(|f| f.coinminer));
     }
 
@@ -491,7 +635,10 @@ mod tests {
         // Cloudflare DNS *and* DoT fail at ~15% (both ports filtered).
         let cf_dns_fail = report.cell("Cloudflare", TransportKind::Dns).failed as f64 / n;
         let cf_dot_fail = report.cell("Cloudflare", TransportKind::Dot).failed as f64 / n;
-        assert!((0.08..0.25).contains(&cf_dns_fail), "CN CF DNS {cf_dns_fail}");
+        assert!(
+            (0.08..0.25).contains(&cf_dns_fail),
+            "CN CF DNS {cf_dns_fail}"
+        );
         assert!(
             (cf_dns_fail - cf_dot_fail).abs() < 0.04,
             "CN: DNS {cf_dns_fail} ≈ DoT {cf_dot_fail}"

@@ -8,10 +8,10 @@
 //! as Figure 8 describes.
 
 use netsim::{Conn, Network, PeerInfo, Service, ServiceCtx, StreamHandler};
-use std::cell::RefCell;
+use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// SOCKS protocol version.
 const VER: u8 = 0x05;
@@ -53,20 +53,20 @@ fn reply(code: u8) -> Vec<u8> {
 
 /// The super-proxy service: SOCKS5 front, exit-node pool behind.
 pub struct Socks5RelayService {
-    exits: Rc<RefCell<VecDeque<Ipv4Addr>>>,
+    exits: Arc<Mutex<VecDeque<Ipv4Addr>>>,
 }
 
 impl Socks5RelayService {
     /// Build with a pool of exit nodes (rotated round-robin per CONNECT).
     pub fn new(exits: Vec<Ipv4Addr>) -> Self {
         Socks5RelayService {
-            exits: Rc::new(RefCell::new(exits.into())),
+            exits: Arc::new(Mutex::new(exits.into())),
         }
     }
 
     /// Handle to the rotating pool (tests inject rotation).
-    pub fn exits(&self) -> Rc<RefCell<VecDeque<Ipv4Addr>>> {
-        Rc::clone(&self.exits)
+    pub fn exits(&self) -> Arc<Mutex<VecDeque<Ipv4Addr>>> {
+        Arc::clone(&self.exits)
     }
 }
 
@@ -78,7 +78,7 @@ enum RelayState {
 }
 
 struct RelayHandler {
-    exits: Rc<RefCell<VecDeque<Ipv4Addr>>>,
+    exits: Arc<Mutex<VecDeque<Ipv4Addr>>>,
     state: RelayState,
 }
 
@@ -100,7 +100,7 @@ impl StreamHandler for RelayHandler {
                     return reply(0x07); // command not supported
                 };
                 let exit = {
-                    let mut exits = self.exits.borrow_mut();
+                    let mut exits = self.exits.lock();
                     match exits.pop_front() {
                         Some(e) => {
                             exits.push_back(e);
@@ -131,19 +131,17 @@ impl StreamHandler for RelayHandler {
                     }
                 }
             }
-            RelayState::Established { upstream } => {
-                match upstream.request(ctx.network(), data) {
-                    Ok(response) => {
-                        ctx.charge(upstream.take_elapsed());
-                        response
-                    }
-                    Err(e) => {
-                        ctx.charge(e.elapsed);
-                        self.state = RelayState::Dead;
-                        Vec::new()
-                    }
+            RelayState::Established { upstream } => match upstream.request(ctx.network(), data) {
+                Ok(response) => {
+                    ctx.charge(upstream.take_elapsed());
+                    response
                 }
-            }
+                Err(e) => {
+                    ctx.charge(e.elapsed);
+                    self.state = RelayState::Dead;
+                    Vec::new()
+                }
+            },
             RelayState::Dead => Vec::new(),
         }
     }
@@ -152,7 +150,7 @@ impl StreamHandler for RelayHandler {
 impl Service for Socks5RelayService {
     fn open_stream(&self, _peer: PeerInfo) -> Box<dyn StreamHandler> {
         Box::new(RelayHandler {
-            exits: Rc::clone(&self.exits),
+            exits: Arc::clone(&self.exits),
             state: RelayState::AwaitGreeting,
         })
     }
@@ -232,7 +230,7 @@ mod tests {
         net.bind_tcp(
             server,
             7,
-            Rc::new(FnStreamService::new(
+            Arc::new(FnStreamService::new(
                 |_c, peer: PeerInfo, d: &[u8]| {
                     // The server sees the *exit's* address, not the
                     // measurement client's.
@@ -243,7 +241,7 @@ mod tests {
                 "echo-src",
             )),
         );
-        net.bind_tcp(proxy, 1080, Rc::new(Socks5RelayService::new(vec![exit])));
+        net.bind_tcp(proxy, 1080, Arc::new(Socks5RelayService::new(vec![exit])));
         (net, mc, proxy, exit, server)
     }
 
@@ -309,7 +307,7 @@ mod tests {
         net.bind_tcp(
             proxy,
             1080,
-            Rc::new(Socks5RelayService::new(vec![exit, exit2])),
+            Arc::new(Socks5RelayService::new(vec![exit, exit2])),
         );
         let mut seen = Vec::new();
         for _ in 0..2 {

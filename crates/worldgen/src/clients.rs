@@ -163,7 +163,11 @@ fn sample_device(rng: &mut SmallRng) -> DeviceKind {
 }
 
 /// Build both pools.
-pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng, alloc: &mut ClientAllocator) -> GeneratedClients {
+pub fn generate(
+    cfg: &WorldConfig,
+    rng: &mut SmallRng,
+    alloc: &mut ClientAllocator,
+) -> GeneratedClients {
     let mut proxyrack = ClientPool::default();
     let mut plan = MiddleboxPlan::default();
     let mut geo_entries = Vec::new();
@@ -239,7 +243,13 @@ pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng, alloc: &mut ClientAllocat
     // A crypto-hijacked MikroTik router and a Powerbox Gvt Modem squat on
     // 1.1.1.1 for their networks at every scale.
     for (country_code, asn_raw, device) in [
-        ("ID", 17_974u32, DeviceKind::MikroTikRouter { crypto_hijacked: true }),
+        (
+            "ID",
+            17_974u32,
+            DeviceKind::MikroTikRouter {
+                crypto_hijacked: true,
+            },
+        ),
         ("BR", 27_699, DeviceKind::PowerboxModem),
     ] {
         let country = CountryCode::new(country_code);
@@ -378,10 +388,7 @@ mod tests {
         let countries = g.proxyrack.country_count();
         assert!(countries >= 166, "countries {countries} (paper: 166)");
         let ases = g.proxyrack.as_count();
-        assert!(
-            (2_300..3_100).contains(&ases),
-            "ASes {ases} (paper: 2,597)"
-        );
+        assert!((2_300..3_100).contains(&ases), "ASes {ases} (paper: 2,597)");
         let z = g.zhima.clients.len();
         assert!((84_000..86_500).contains(&z), "zhima {z} (paper: 85,112)");
         assert_eq!(g.zhima.country_count(), 1);
@@ -497,7 +504,10 @@ mod tests {
         for (block, _, _) in &g.geo_entries {
             assert!(seen.insert(block.network()), "duplicate block {block}");
             let first_octet = block.network().octets()[0];
-            assert!((64..80).contains(&first_octet), "block {block} outside space");
+            assert!(
+                (64..80).contains(&first_octet),
+                "block {block} outside space"
+            );
         }
     }
 

@@ -120,15 +120,14 @@ pub const COUNTRY_TABLE: &[CountrySpec] = &[
 /// The remaining countries of the 166-country footprint (Table 3); each
 /// receives a small equal share of clients and default middlebox rates.
 pub const TAIL_COUNTRIES: &[&str] = &[
-    "AF", "AL", "AM", "AO", "AT", "AZ", "BA", "BE", "BF", "BH", "BI", "BJ", "BN", "BO", "BS",
-    "BT", "BW", "BY", "BZ", "CD", "CF", "CG", "CH", "CI", "CM", "CR", "CU", "CV", "CY", "DJ",
-    "DK", "DM", "DO", "DZ", "EC", "EE", "ER", "ET", "FI", "FJ", "GA", "GD", "GE", "GH", "GM",
-    "GN", "GQ", "GT", "GW", "GY", "HN", "HR", "HT", "IE", "IQ", "IR", "IS", "JM", "JO", "KG",
-    "KH", "KM", "KW", "KZ", "LA", "LB", "LC", "LI", "LK", "LR", "LS", "LT", "LU", "LV", "LY",
-    "MC", "MD", "ME", "MG", "MK", "ML", "MM", "MN", "MR", "MT", "MU", "MV", "MW", "MZ", "NA",
-    "NE", "NI", "NO", "NP", "NZ", "OM", "PA", "PG", "PY", "QA", "RW", "SC", "SD", "SI", "SK",
-    "SL", "SM", "SN", "SO", "SR", "SV", "SY", "SZ", "TD", "TG", "TJ", "TM", "TN", "TO", "TZ",
-    "UG", "UY", "UZ", "VU", "WS", "YE", "ZM", "ZW",
+    "AF", "AL", "AM", "AO", "AT", "AZ", "BA", "BE", "BF", "BH", "BI", "BJ", "BN", "BO", "BS", "BT",
+    "BW", "BY", "BZ", "CD", "CF", "CG", "CH", "CI", "CM", "CR", "CU", "CV", "CY", "DJ", "DK", "DM",
+    "DO", "DZ", "EC", "EE", "ER", "ET", "FI", "FJ", "GA", "GD", "GE", "GH", "GM", "GN", "GQ", "GT",
+    "GW", "GY", "HN", "HR", "HT", "IE", "IQ", "IR", "IS", "JM", "JO", "KG", "KH", "KM", "KW", "KZ",
+    "LA", "LB", "LC", "LI", "LK", "LR", "LS", "LT", "LU", "LV", "LY", "MC", "MD", "ME", "MG", "MK",
+    "ML", "MM", "MN", "MR", "MT", "MU", "MV", "MW", "MZ", "NA", "NE", "NI", "NO", "NP", "NZ", "OM",
+    "PA", "PG", "PY", "QA", "RW", "SC", "SD", "SI", "SK", "SL", "SM", "SN", "SO", "SR", "SV", "SY",
+    "SZ", "TD", "TG", "TJ", "TM", "TN", "TO", "TZ", "UG", "UY", "UZ", "VU", "WS", "YE", "ZM", "ZW",
 ];
 
 /// Per-country open-DoT-resolver counts at the first and last scan —
@@ -240,6 +239,9 @@ pub struct WorldConfig {
     pub first_scan: DateStamp,
     /// Days between scans.
     pub scan_interval_days: i64,
+    /// Network event-trace capacity (0 = tracing off). Campaigns leave
+    /// this at 0; `repro --trace` turns it on.
+    pub trace_capacity: usize,
 }
 
 impl Default for WorldConfig {
@@ -259,6 +261,7 @@ impl Default for WorldConfig {
             cn_google_dns_filter_rate: 0.0105,
             first_scan: DateStamp::from_ymd(2019, 2, 1),
             scan_interval_days: 10,
+            trace_capacity: 0,
         }
     }
 }
@@ -334,7 +337,10 @@ mod tests {
     #[test]
     fn scaled_counts_respect_minimum() {
         let cfg = WorldConfig::test_scale(1);
-        assert_eq!(cfg.scaled(29_622, 50) , ((29_622f64*0.02).round() as u32).max(50));
+        assert_eq!(
+            cfg.scaled(29_622, 50),
+            ((29_622f64 * 0.02).round() as u32).max(50)
+        );
         assert_eq!(cfg.scaled(0, 5), 0);
         assert_eq!(cfg.scaled(10, 5), 5);
     }
@@ -357,7 +363,10 @@ mod tests {
             100.0 * idvnin / affected
         );
         // Global failure rate in the right ballpark (~16%).
-        let total: f64 = COUNTRY_TABLE.iter().map(|c| c.proxyrack_clients as f64).sum();
+        let total: f64 = COUNTRY_TABLE
+            .iter()
+            .map(|c| c.proxyrack_clients as f64)
+            .sum();
         let rate = affected / total;
         assert!((0.12..=0.22).contains(&rate), "global rate {rate}");
     }

@@ -17,8 +17,18 @@ const HOST_WORDS: &[&str] = &[
 ];
 const TLDS: &[&str] = &["com", "net", "org", "io", "co", "info", "biz"];
 const PATH_WORDS: &[&str] = &[
-    "index.html", "about", "products/list", "article/2019/01", "img/logo.png", "search",
-    "login", "static/app.js", "category/tech", "post/12345", "feed.xml", "tag/dns",
+    "index.html",
+    "about",
+    "products/list",
+    "article/2019/01",
+    "img/logo.png",
+    "search",
+    "login",
+    "static/app.js",
+    "category/tech",
+    "post/12345",
+    "feed.xml",
+    "tag/dns",
 ];
 
 fn noise_url(rng: &mut SmallRng) -> String {
@@ -38,8 +48,14 @@ fn noise_url(rng: &mut SmallRng) -> String {
 /// sit on real web servers that 404.
 fn decoy_url(rng: &mut SmallRng, i: usize) -> String {
     match i % 4 {
-        0 => format!("https://blog{}.example-web.com/dns-query", rng.gen_range(0..999)),
-        1 => format!("https://ghost{}.nodomain.example/dns-query", rng.gen_range(0..999)),
+        0 => format!(
+            "https://blog{}.example-web.com/dns-query",
+            rng.gen_range(0..999)
+        ),
+        1 => format!(
+            "https://ghost{}.nodomain.example/dns-query",
+            rng.gen_range(0..999)
+        ),
         2 => format!("https://files{}.mirror.net/resolve", rng.gen_range(0..999)),
         _ => format!("https://www{}.park-page.org/doh", rng.gen_range(0..999)),
     }
@@ -118,11 +134,7 @@ mod tests {
         let greppable = c
             .urls
             .iter()
-            .filter(|u| {
-                httpsim::uri::COMMON_DOH_PATHS
-                    .iter()
-                    .any(|p| u.contains(p))
-            })
+            .filter(|u| httpsim::uri::COMMON_DOH_PATHS.iter().any(|p| u.contains(p)))
             .count();
         // Every candidate greps; noise may rarely collide, so allow a
         // small overshoot.
@@ -133,7 +145,10 @@ mod tests {
     fn working_urls_cover_all_services() {
         let c = corpus();
         assert!(c.working_urls.len() >= 17);
-        assert!(c.working_urls.iter().any(|u| u.contains("cloudflare-dns.com")));
+        assert!(c
+            .working_urls
+            .iter()
+            .any(|u| u.contains("cloudflare-dns.com")));
         assert!(c.working_urls.iter().any(|u| u.contains("dns.233py.com")));
     }
 

@@ -11,14 +11,13 @@ use crate::types::DeviceKind;
 use doe_protocols::responder::FixedAnswerResponder;
 use doe_protocols::{Do53TcpService, Do53UdpService};
 use httpsim::StaticSite;
+use netsim::policy::ProtoMatch;
 use netsim::service::FnStreamService;
 use netsim::{
-    DstMatch, HostMeta, Netblock, Network, PathDecision, PolicyRule, PolicySet, PortMatch,
-    SrcMatch,
+    DstMatch, HostMeta, Netblock, Network, PathDecision, PolicyRule, PolicySet, PortMatch, SrcMatch,
 };
-use netsim::policy::ProtoMatch;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use tlssim::{CaHandle, DateStamp, InterceptLog, KeyId, TlsInterceptService};
 
 /// What got installed, for ground-truth inspection.
@@ -73,19 +72,20 @@ fn install_conflict_device(net: &mut Network, ip: Ipv4Addr, kind: DeviceKind) {
         match port {
             80 | 443 => {
                 let html = match kind {
-                    DeviceKind::MikroTikRouter { crypto_hijacked: true } => mining_page(),
+                    DeviceKind::MikroTikRouter {
+                        crypto_hijacked: true,
+                    } => mining_page(),
                     _ => plain_page(kind.page_title().unwrap_or(label)),
                 };
-                net.bind_tcp(ip, port, Rc::new(StaticSite::single_page(&html)));
+                net.bind_tcp(ip, port, Arc::new(StaticSite::single_page(&html)));
             }
             53 => {
                 // The router answers DNS itself — with its own idea of the
                 // world (what makes a sliver of "Incorrect" rows in
                 // Table 4).
-                let responder =
-                    Rc::new(FixedAnswerResponder::new(Ipv4Addr::new(192, 168, 88, 1)));
-                net.bind_udp(ip, 53, Rc::new(Do53UdpService::new(responder.clone())));
-                net.bind_tcp(ip, 53, Rc::new(Do53TcpService::new(responder)));
+                let responder = Arc::new(FixedAnswerResponder::new(Ipv4Addr::new(192, 168, 88, 1)));
+                net.bind_udp(ip, 53, Arc::new(Do53UdpService::new(responder.clone())));
+                net.bind_tcp(ip, 53, Arc::new(Do53TcpService::new(responder)));
             }
             other => {
                 let banner: &'static str = match other {
@@ -97,7 +97,7 @@ fn install_conflict_device(net: &mut Network, ip: Ipv4Addr, kind: DeviceKind) {
                 net.bind_tcp(
                     ip,
                     other,
-                    Rc::new(FnStreamService::new(
+                    Arc::new(FnStreamService::new(
                         move |_ctx, _peer, _data: &[u8]| banner.as_bytes().to_vec(),
                         "banner",
                     )),
@@ -133,14 +133,18 @@ pub fn install(
         next_key += 1;
         let service = TlsInterceptService::inline_interceptor(ca, device_key, now);
         intercept_logs.push((spec.ca_cn.clone(), service.log()));
-        let service = Rc::new(service);
+        let service = Arc::new(service);
         let ports = if spec.intercepts_853 {
             vec![443u16, 853]
         } else {
             vec![443u16]
         };
         for &port in &ports {
-            net.bind_tcp(device_ip, port, Rc::clone(&service) as Rc<dyn netsim::Service>);
+            net.bind_tcp(
+                device_ip,
+                port,
+                Arc::clone(&service) as Arc<dyn netsim::Service>,
+            );
         }
         rules.push(
             PolicyRule::new(
@@ -240,22 +244,26 @@ mod tests {
     fn base_net() -> Network {
         let mut net = Network::new(NetworkConfig::default(), 99);
         // A genuine Cloudflare host with 53/80/443/853 open.
-        net.add_host(HostMeta::new(anchors::CLOUDFLARE_PRIMARY).anycast().label("cloudflare"));
-        let responder = Rc::new(FixedAnswerResponder::new(Ipv4Addr::new(1, 2, 3, 4)));
+        net.add_host(
+            HostMeta::new(anchors::CLOUDFLARE_PRIMARY)
+                .anycast()
+                .label("cloudflare"),
+        );
+        let responder = Arc::new(FixedAnswerResponder::new(Ipv4Addr::new(1, 2, 3, 4)));
         net.bind_udp(
             anchors::CLOUDFLARE_PRIMARY,
             53,
-            Rc::new(Do53UdpService::new(responder.clone())),
+            Arc::new(Do53UdpService::new(responder.clone())),
         );
         net.bind_tcp(
             anchors::CLOUDFLARE_PRIMARY,
             53,
-            Rc::new(Do53TcpService::new(responder)),
+            Arc::new(Do53TcpService::new(responder)),
         );
         net.bind_tcp(
             anchors::CLOUDFLARE_PRIMARY,
             80,
-            Rc::new(StaticSite::single_page("cloudflare")),
+            Arc::new(StaticSite::single_page("cloudflare")),
         );
         net
     }
@@ -265,22 +273,37 @@ mod tests {
         let mut net = base_net();
         let victim_block = block(64, 0, 0);
         let plan = MiddleboxPlan {
-            conflict_sites: vec![(victim_block, DeviceKind::MikroTikRouter { crypto_hijacked: true })],
+            conflict_sites: vec![(
+                victim_block,
+                DeviceKind::MikroTikRouter {
+                    crypto_hijacked: true,
+                },
+            )],
             ..MiddleboxPlan::default()
         };
-        let installed = install(&mut net, &plan, &[], DateStamp::from_ymd(2019, 2, 1), 50_000);
+        let installed = install(
+            &mut net,
+            &plan,
+            &[],
+            DateStamp::from_ymd(2019, 2, 1),
+            50_000,
+        );
         assert_eq!(installed.conflict_devices.len(), 1);
 
         let victim = victim_block.addr(5);
         let outsider = Ipv4Addr::new(65, 0, 0, 5);
         // Outsider reaches real Cloudflare page.
-        let mut conn = net.connect(outsider, anchors::CLOUDFLARE_PRIMARY, 80).unwrap();
+        let mut conn = net
+            .connect(outsider, anchors::CLOUDFLARE_PRIMARY, 80)
+            .unwrap();
         let resp = conn
             .request(&mut net, &httpsim::Request::get("/").encode())
             .unwrap();
         assert!(String::from_utf8_lossy(&resp).contains("cloudflare"));
         // Victim sees the router's coin-mining page.
-        let mut conn = net.connect(victim, anchors::CLOUDFLARE_PRIMARY, 80).unwrap();
+        let mut conn = net
+            .connect(victim, anchors::CLOUDFLARE_PRIMARY, 80)
+            .unwrap();
         let resp = conn
             .request(&mut net, &httpsim::Request::get("/").encode())
             .unwrap();
@@ -299,9 +322,17 @@ mod tests {
             conflict_sites: vec![(victim_block, DeviceKind::Blackhole)],
             ..MiddleboxPlan::default()
         };
-        install(&mut net, &plan, &[], DateStamp::from_ymd(2019, 2, 1), 50_000);
+        install(
+            &mut net,
+            &plan,
+            &[],
+            DateStamp::from_ymd(2019, 2, 1),
+            50_000,
+        );
         let victim = victim_block.addr(5);
-        let err = net.connect(victim, anchors::CLOUDFLARE_PRIMARY, 53).unwrap_err();
+        let err = net
+            .connect(victim, anchors::CLOUDFLARE_PRIMARY, 53)
+            .unwrap_err();
         assert_eq!(err.kind, netsim::ConnectErrorKind::Timeout);
     }
 
@@ -313,7 +344,7 @@ mod tests {
         net.bind_tcp(
             other_resolver,
             53,
-            Rc::new(Do53TcpService::new(Rc::new(FixedAnswerResponder::new(
+            Arc::new(Do53TcpService::new(Arc::new(FixedAnswerResponder::new(
                 Ipv4Addr::new(4, 3, 2, 1),
             )))),
         );
@@ -322,9 +353,17 @@ mod tests {
             filtered_blocks: vec![fb],
             ..MiddleboxPlan::default()
         };
-        install(&mut net, &plan, &[], DateStamp::from_ymd(2019, 2, 1), 50_000);
+        install(
+            &mut net,
+            &plan,
+            &[],
+            DateStamp::from_ymd(2019, 2, 1),
+            50_000,
+        );
         let victim = fb.addr(9);
-        let err = net.connect(victim, anchors::CLOUDFLARE_PRIMARY, 53).unwrap_err();
+        let err = net
+            .connect(victim, anchors::CLOUDFLARE_PRIMARY, 53)
+            .unwrap_err();
         assert_eq!(err.kind, netsim::ConnectErrorKind::Reset);
         // Non-prominent resolver unaffected.
         assert!(net.connect(victim, other_resolver, 53).is_ok());
@@ -337,7 +376,11 @@ mod tests {
         let mut net = base_net();
         let google_front = Ipv4Addr::new(216, 58, 192, 10);
         net.add_host(HostMeta::new(google_front).label("google-front"));
-        net.bind_tcp(google_front, 443, Rc::new(StaticSite::single_page("google")));
+        net.bind_tcp(
+            google_front,
+            443,
+            Arc::new(StaticSite::single_page("google")),
+        );
         // Attribute a CN block and a US block.
         net.geodb_mut().insert(
             Netblock::new(Ipv4Addr::new(64, 2, 0, 0), 24),
@@ -348,7 +391,13 @@ mod tests {
             },
         );
         let plan = MiddleboxPlan::default();
-        install(&mut net, &plan, &[google_front], DateStamp::from_ymd(2019, 2, 1), 50_000);
+        install(
+            &mut net,
+            &plan,
+            &[google_front],
+            DateStamp::from_ymd(2019, 2, 1),
+            50_000,
+        );
         let cn_client = Ipv4Addr::new(64, 2, 0, 9);
         let us_client = Ipv4Addr::new(65, 2, 0, 9);
         assert!(net.connect(cn_client, google_front, 443).is_err());
@@ -383,7 +432,13 @@ mod tests {
             ],
             ..MiddleboxPlan::default()
         };
-        let installed = install(&mut net, &plan, &[], DateStamp::from_ymd(2019, 2, 1), 60_000);
+        let installed = install(
+            &mut net,
+            &plan,
+            &[],
+            DateStamp::from_ymd(2019, 2, 1),
+            60_000,
+        );
         assert_eq!(installed.intercept_logs.len(), 2);
         // Client in b2 reaching 853 is NOT diverted (rule covers 443 only):
         // destination Cloudflare has no 853 bound in this fixture, so the
@@ -393,7 +448,9 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind, netsim::ConnectErrorKind::Refused);
         // Client in b1 reaching 853 IS diverted: the interceptor listens.
-        let conn = net.connect(b1.addr(5), anchors::CLOUDFLARE_PRIMARY, 853).unwrap();
+        let conn = net
+            .connect(b1.addr(5), anchors::CLOUDFLARE_PRIMARY, 853)
+            .unwrap();
         assert_ne!(conn.effective_dst(), anchors::CLOUDFLARE_PRIMARY);
     }
 }

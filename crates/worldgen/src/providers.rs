@@ -2,9 +2,7 @@
 //! when, and with what certificate hygiene.
 
 use crate::config::{WorldConfig, DOT_COUNTRY_COUNTS, DOT_TAIL_COUNTRY_COUNTS, SCAN_EPOCHS};
-use crate::types::{
-    CertProfile, ProviderClass, ResolverBehavior, ResolverDeployment,
-};
+use crate::types::{CertProfile, ProviderClass, ResolverBehavior, ResolverDeployment};
 use httpsim::UriTemplate;
 use netsim::{Asn, CountryCode};
 use rand::rngs::SmallRng;
@@ -149,7 +147,9 @@ const SMALL_WORDS: &[&str] = &[
     "tundra", "ferret", "brook", "ridge", "comet", "ember", "frost", "gadget", "harbor", "iris",
     "jasper", "karma", "lumen", "mantis", "noble", "onyx", "plume", "quark", "raven", "sable",
 ];
-const SMALL_TLDS: &[&str] = &["dog", "zone", "eu", "net", "org", "io", "de", "info", "sh", "cz"];
+const SMALL_TLDS: &[&str] = &[
+    "dog", "zone", "eu", "net", "org", "io", "de", "info", "sh", "cz",
+];
 
 fn small_provider_name(rng: &mut SmallRng, serial: usize) -> String {
     let word = SMALL_WORDS[rng.gen_range(0..SMALL_WORDS.len())];
@@ -174,12 +174,12 @@ pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng) -> (ProviderDeployment, S
 
     // Helper to push a resolver with explicit fields.
     let push = |alloc: &mut ServerAllocator,
-                    resolvers: &mut Vec<ResolverDeployment>,
-                    country: CountryCode,
-                    spec: ResolverSpec,
-                    addr: Option<Ipv4Addr>,
-                    online_from: DateStamp,
-                    online_until: Option<DateStamp>| {
+                resolvers: &mut Vec<ResolverDeployment>,
+                country: CountryCode,
+                spec: ResolverSpec,
+                addr: Option<Ipv4Addr>,
+                online_from: DateStamp,
+                online_until: Option<DateStamp>| {
         let addr = addr.unwrap_or_else(|| alloc.alloc(country));
         let asn = alloc.asn(country);
         resolvers.push(ResolverDeployment {
@@ -283,20 +283,104 @@ pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng) -> (ProviderDeployment, S
         kind: u8, // 0 expired, 1 self-signed, 2 broken chain
     }
     let sloppy: &[Sloppy] = &[
-        Sloppy { name: "dnsfilter.com", country: "US", total: 10, invalid: 6, kind: 0 },
-        Sloppy { name: "oldcert-resolver.net", country: "DE", total: 7, invalid: 6, kind: 0 },
-        Sloppy { name: "lapsed-dns.org", country: "FR", total: 6, invalid: 5, kind: 0 },
-        Sloppy { name: "stale-resolver.io", country: "US", total: 6, invalid: 5, kind: 0 },
-        Sloppy { name: "forgotten-dns.eu", country: "NL", total: 6, invalid: 5, kind: 0 },
-        Sloppy { name: "perfect-privacy.com", country: "DE", total: 15, invalid: 2, kind: 1 },
-        Sloppy { name: "selfsign-dns.net", country: "RU", total: 7, invalid: 6, kind: 1 },
-        Sloppy { name: "homelab-dns.org", country: "US", total: 6, invalid: 5, kind: 1 },
-        Sloppy { name: "hobby-resolver.de", country: "DE", total: 5, invalid: 4, kind: 1 },
-        Sloppy { name: "diy-dns.cz", country: "GB", total: 4, invalid: 3, kind: 1 },
-        Sloppy { name: "tenta.io", country: "US", total: 8, invalid: 7, kind: 2 },
-        Sloppy { name: "chainless-dns.com", country: "JP", total: 8, invalid: 7, kind: 2 },
-        Sloppy { name: "brokenpki.net", country: "BR", total: 8, invalid: 7, kind: 2 },
-        Sloppy { name: "no-intermediate.org", country: "RU", total: 8, invalid: 7, kind: 2 },
+        Sloppy {
+            name: "dnsfilter.com",
+            country: "US",
+            total: 10,
+            invalid: 6,
+            kind: 0,
+        },
+        Sloppy {
+            name: "oldcert-resolver.net",
+            country: "DE",
+            total: 7,
+            invalid: 6,
+            kind: 0,
+        },
+        Sloppy {
+            name: "lapsed-dns.org",
+            country: "FR",
+            total: 6,
+            invalid: 5,
+            kind: 0,
+        },
+        Sloppy {
+            name: "stale-resolver.io",
+            country: "US",
+            total: 6,
+            invalid: 5,
+            kind: 0,
+        },
+        Sloppy {
+            name: "forgotten-dns.eu",
+            country: "NL",
+            total: 6,
+            invalid: 5,
+            kind: 0,
+        },
+        Sloppy {
+            name: "perfect-privacy.com",
+            country: "DE",
+            total: 15,
+            invalid: 2,
+            kind: 1,
+        },
+        Sloppy {
+            name: "selfsign-dns.net",
+            country: "RU",
+            total: 7,
+            invalid: 6,
+            kind: 1,
+        },
+        Sloppy {
+            name: "homelab-dns.org",
+            country: "US",
+            total: 6,
+            invalid: 5,
+            kind: 1,
+        },
+        Sloppy {
+            name: "hobby-resolver.de",
+            country: "DE",
+            total: 5,
+            invalid: 4,
+            kind: 1,
+        },
+        Sloppy {
+            name: "diy-dns.cz",
+            country: "GB",
+            total: 4,
+            invalid: 3,
+            kind: 1,
+        },
+        Sloppy {
+            name: "tenta.io",
+            country: "US",
+            total: 8,
+            invalid: 7,
+            kind: 2,
+        },
+        Sloppy {
+            name: "chainless-dns.com",
+            country: "JP",
+            total: 8,
+            invalid: 7,
+            kind: 2,
+        },
+        Sloppy {
+            name: "brokenpki.net",
+            country: "BR",
+            total: 8,
+            invalid: 7,
+            kind: 2,
+        },
+        Sloppy {
+            name: "no-intermediate.org",
+            country: "RU",
+            total: 8,
+            invalid: 7,
+            kind: 2,
+        },
     ];
     // Expired: 6+6+5+5+5 = 27. Self-signed: 2+6+5+4+3 = 20 (+47 FG = 67).
     // Broken: 7+7+7+7 = 28. Invalid providers: 14 + 47 FG = 61 (~62).
@@ -312,7 +396,11 @@ pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng) -> (ProviderDeployment, S
                 match s.kind {
                     0 => CertProfile::Expired {
                         // A third lapsed back in 2018 (like 185.56.24.52).
-                        expired_on: if i % 3 == 0 { first + -200 } else { first + -20 },
+                        expired_on: if i % 3 == 0 {
+                            first + -200
+                        } else {
+                            first + -20
+                        },
                     },
                     1 => CertProfile::SelfSigned,
                     _ => CertProfile::BrokenChain,
@@ -426,13 +514,13 @@ pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng) -> (ProviderDeployment, S
         let decline = feb_needed.saturating_sub(may_needed);
 
         let emit = |rng: &mut SmallRng,
-                        alloc: &mut ServerAllocator,
-                        resolvers: &mut Vec<ResolverDeployment>,
-                        online_from: DateStamp,
-                        online_until: Option<DateStamp>,
-                        large_rr: &mut u32,
-                        small_serial: &mut usize,
-                        small_current: &mut Option<(String, u32)>| {
+                    alloc: &mut ServerAllocator,
+                    resolvers: &mut Vec<ResolverDeployment>,
+                    online_from: DateStamp,
+                    online_until: Option<DateStamp>,
+                    large_rr: &mut u32,
+                    small_serial: &mut usize,
+                    small_current: &mut Option<(String, u32)>| {
             // ~90% of generic capacity belongs to the big players — the
             // paper: a few large providers own >75% of addresses.
             let spec = if rng.gen_bool(0.90) {
@@ -482,17 +570,43 @@ pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng) -> (ProviderDeployment, S
                     anycast: false,
                 }
             };
-            push(alloc, resolvers, country, spec, None, online_from, online_until);
+            push(
+                alloc,
+                resolvers,
+                country,
+                spec,
+                None,
+                online_from,
+                online_until,
+            );
         };
 
         for _ in 0..stable {
-            emit(rng, &mut alloc, &mut resolvers, first + -60, None, &mut large_rr, &mut small_serial, &mut small_current);
+            emit(
+                rng,
+                &mut alloc,
+                &mut resolvers,
+                first + -60,
+                None,
+                &mut large_rr,
+                &mut small_serial,
+                &mut small_current,
+            );
         }
         for i in 0..growth {
             // New deployments spread across the window (IE/US quadrupling).
             let epoch = 1 + (i as usize * (SCAN_EPOCHS - 1)) / growth.max(1) as usize;
             let from = cfg.scan_date(epoch.min(SCAN_EPOCHS - 1)) + -2;
-            emit(rng, &mut alloc, &mut resolvers, from, None, &mut large_rr, &mut small_serial, &mut small_current);
+            emit(
+                rng,
+                &mut alloc,
+                &mut resolvers,
+                from,
+                None,
+                &mut large_rr,
+                &mut small_serial,
+                &mut small_current,
+            );
         }
         for i in 0..decline {
             let epoch = 1 + (i as usize * (SCAN_EPOCHS - 1)) / decline.max(1) as usize;
@@ -538,24 +652,211 @@ pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng) -> (ProviderDeployment, S
             blocked_in_cn,
         });
     };
-    doh("cloudflare-dns.com", "/dns-query", anchors::CLOUDFLARE_DOH_FRONT, "cloudflare-dns.com", "US", true, None, false, true, false);
-    doh("mozilla.cloudflare-dns.com", "/dns-query", anchors::MOZILLA_DOH_FRONT, "cloudflare-dns.com", "US", true, None, false, true, false);
-    doh("dns.google.com", "/resolve", anchors::GOOGLE_DOH_FRONT, "dns.google.com", "US", false, None, false, true, true);
-    doh("dns.quad9.net", "/dns-query", anchors::QUAD9_DOH_FRONT, "quad9.net", "US", true, Some(2_000), true, true, false);
-    doh("doh.cleanbrowsing.org", "/doh", Ipv4Addr::new(185, 228, 168, 10), "cleanbrowsing.org", "IE", true, None, false, true, false);
-    doh("doh.crypto.sx", "/dns-query", Ipv4Addr::new(104, 18, 44, 44), "crypto.sx", "US", false, None, false, true, false);
-    doh("doh.securedns.eu", "/dns-query", Ipv4Addr::new(146, 185, 167, 43), "securedns.eu", "NL", false, None, false, true, false);
-    doh("doh-jp.blahdns.com", "/dns-query", Ipv4Addr::new(108, 61, 201, 119), "blahdns.com", "JP", false, None, false, true, false);
-    doh("dns.adguard.com", "/dns-query", Ipv4Addr::new(176, 103, 130, 130), "adguard.com", "RU", false, None, false, true, false);
-    doh("doh.appliedprivacy.net", "/query", Ipv4Addr::new(146, 255, 56, 98), "appliedprivacy.net", "DE", false, None, false, true, false);
-    doh("odvr.nic.cz", "/doh", Ipv4Addr::new(193, 17, 47, 1), "nic.cz", "CZ", false, None, false, true, false);
-    doh("dns.dnsoverhttps.net", "/dns-query", Ipv4Addr::new(45, 77, 124, 64), "dnsoverhttps.net", "US", false, None, false, true, false);
-    doh("dns.dns-over-https.com", "/dns-query", Ipv4Addr::new(104, 236, 178, 232), "dns-over-https.com", "US", false, None, false, true, false);
-    doh("commons.host", "/dns-query", Ipv4Addr::new(51, 15, 124, 208), "commons.host", "FR", false, None, false, true, false);
-    doh("doh.powerdns.org", "/dns-query", Ipv4Addr::new(136, 144, 215, 158), "powerdns.org", "NL", false, None, false, true, false);
+    doh(
+        "cloudflare-dns.com",
+        "/dns-query",
+        anchors::CLOUDFLARE_DOH_FRONT,
+        "cloudflare-dns.com",
+        "US",
+        true,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "mozilla.cloudflare-dns.com",
+        "/dns-query",
+        anchors::MOZILLA_DOH_FRONT,
+        "cloudflare-dns.com",
+        "US",
+        true,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "dns.google.com",
+        "/resolve",
+        anchors::GOOGLE_DOH_FRONT,
+        "dns.google.com",
+        "US",
+        false,
+        None,
+        false,
+        true,
+        true,
+    );
+    doh(
+        "dns.quad9.net",
+        "/dns-query",
+        anchors::QUAD9_DOH_FRONT,
+        "quad9.net",
+        "US",
+        true,
+        Some(2_000),
+        true,
+        true,
+        false,
+    );
+    doh(
+        "doh.cleanbrowsing.org",
+        "/doh",
+        Ipv4Addr::new(185, 228, 168, 10),
+        "cleanbrowsing.org",
+        "IE",
+        true,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "doh.crypto.sx",
+        "/dns-query",
+        Ipv4Addr::new(104, 18, 44, 44),
+        "crypto.sx",
+        "US",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "doh.securedns.eu",
+        "/dns-query",
+        Ipv4Addr::new(146, 185, 167, 43),
+        "securedns.eu",
+        "NL",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "doh-jp.blahdns.com",
+        "/dns-query",
+        Ipv4Addr::new(108, 61, 201, 119),
+        "blahdns.com",
+        "JP",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "dns.adguard.com",
+        "/dns-query",
+        Ipv4Addr::new(176, 103, 130, 130),
+        "adguard.com",
+        "RU",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "doh.appliedprivacy.net",
+        "/query",
+        Ipv4Addr::new(146, 255, 56, 98),
+        "appliedprivacy.net",
+        "DE",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "odvr.nic.cz",
+        "/doh",
+        Ipv4Addr::new(193, 17, 47, 1),
+        "nic.cz",
+        "CZ",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "dns.dnsoverhttps.net",
+        "/dns-query",
+        Ipv4Addr::new(45, 77, 124, 64),
+        "dnsoverhttps.net",
+        "US",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "dns.dns-over-https.com",
+        "/dns-query",
+        Ipv4Addr::new(104, 236, 178, 232),
+        "dns-over-https.com",
+        "US",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "commons.host",
+        "/dns-query",
+        Ipv4Addr::new(51, 15, 124, 208),
+        "commons.host",
+        "FR",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
+    doh(
+        "doh.powerdns.org",
+        "/dns-query",
+        Ipv4Addr::new(136, 144, 215, 158),
+        "powerdns.org",
+        "NL",
+        false,
+        None,
+        false,
+        true,
+        false,
+    );
     // The two resolvers the URL corpus surfaced beyond the public list.
-    doh("dns.rubyfish.cn", "/dns-query", Ipv4Addr::new(118, 89, 110, 78), "rubyfish.cn", "CN", false, None, false, false, false);
-    doh("dns.233py.com", "/dns-query", Ipv4Addr::new(47, 96, 179, 163), "233py.com", "CN", false, None, false, false, false);
+    doh(
+        "dns.rubyfish.cn",
+        "/dns-query",
+        Ipv4Addr::new(118, 89, 110, 78),
+        "rubyfish.cn",
+        "CN",
+        false,
+        None,
+        false,
+        false,
+        false,
+    );
+    doh(
+        "dns.233py.com",
+        "/dns-query",
+        Ipv4Addr::new(47, 96, 179, 163),
+        "233py.com",
+        "CN",
+        false,
+        None,
+        false,
+        false,
+        false,
+    );
 
     // ---- Public DoT list: primaries of the advertised providers ---------
     let public_dot_list = resolvers
@@ -639,8 +940,14 @@ mod tests {
                 CertProfile::Valid => {}
             }
         }
-        assert!((25..=30).contains(&expired), "expired {expired} (paper: 27)");
-        assert!((60..=70).contains(&selfsigned), "self-signed {selfsigned} (paper: 67)");
+        assert!(
+            (25..=30).contains(&expired),
+            "expired {expired} (paper: 27)"
+        );
+        assert!(
+            (60..=70).contains(&selfsigned),
+            "self-signed {selfsigned} (paper: 67)"
+        );
         assert!((26..=30).contains(&chain), "chain {chain} (paper: 28)");
     }
 
@@ -677,7 +984,11 @@ mod tests {
     fn seventeen_doh_services_two_unlisted() {
         let dep = gen();
         assert_eq!(dep.doh_services.len(), 17);
-        let unlisted = dep.doh_services.iter().filter(|s| !s.in_public_list).count();
+        let unlisted = dep
+            .doh_services
+            .iter()
+            .filter(|s| !s.in_public_list)
+            .count();
         assert_eq!(unlisted, 2);
         let quad9 = dep
             .doh_services
@@ -702,7 +1013,10 @@ mod tests {
         assert_eq!(unique.len(), addrs.len(), "duplicate resolver addresses");
         assert!(addrs.contains(&anchors::CLOUDFLARE_PRIMARY));
         assert!(addrs.contains(&anchors::QUAD9_PRIMARY));
-        assert!(!addrs.contains(&anchors::GOOGLE_PRIMARY), "Google DoT unannounced");
+        assert!(
+            !addrs.contains(&anchors::GOOGLE_PRIMARY),
+            "Google DoT unannounced"
+        );
     }
 
     #[test]
@@ -734,7 +1048,9 @@ mod tests {
             .filter(|r| r.class == ProviderClass::Appliance && r.online_at(may))
             .collect();
         assert_eq!(fg.len(), 47);
-        assert!(fg.iter().all(|r| matches!(r.behavior, ResolverBehavior::DotProxy { .. })));
+        assert!(fg
+            .iter()
+            .all(|r| matches!(r.behavior, ResolverBehavior::DotProxy { .. })));
         assert!(fg.iter().all(|r| r.cert == CertProfile::SelfSigned));
         let feb_fg = dep
             .dot_resolvers

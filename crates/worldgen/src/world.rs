@@ -7,12 +7,16 @@ use crate::config::WorldConfig;
 use crate::corpus::{self, Corpus};
 use crate::devices::{self, InstalledDevices};
 use crate::providers::{self, anchors, DohServiceSpec, ProviderDeployment};
-use crate::types::{AtlasProbe, CertProfile, ClientPool, DeviceKind, ProviderClass, ResolverBehavior};
+use crate::types::{
+    AtlasProbe, CertProfile, ClientPool, DeviceKind, ProviderClass, ResolverBehavior,
+};
 use dnswire::zone::Zone;
 use dnswire::{Name, RData};
 use doe_protocols::recursive::{MissDelay, RecursiveConfig, RecursiveResolver, UpstreamMap};
 use doe_protocols::responder::{AuthoritativeServer, DnsResponder, FixedAnswerResponder, QueryLog};
-use doe_protocols::{Do53TcpService, Do53UdpService, DohBackend, DohServerService, DotServerService};
+use doe_protocols::{
+    Do53TcpService, Do53UdpService, DohBackend, DohServerService, DotServerService,
+};
 use httpsim::{StaticSite, UriTemplate};
 use netsim::service::FnStreamService;
 use netsim::{
@@ -23,7 +27,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use tlssim::{CaHandle, Certificate, DateStamp, InterceptLog, KeyId, TlsServerConfig, TrustStore};
 
 /// The study's own probe domain and its authoritative server.
@@ -50,8 +54,8 @@ pub struct SelfBuiltInfo {
 
 struct ResolverBundle {
     meta: HostMeta,
-    tcp: Vec<(u16, Rc<dyn Service>)>,
-    udp: Vec<(u16, Rc<dyn DatagramService>)>,
+    tcp: Vec<(u16, Arc<dyn Service>)>,
+    udp: Vec<(u16, Arc<dyn DatagramService>)>,
 }
 
 /// The fully-built world. See the crate docs for contents.
@@ -102,7 +106,7 @@ impl World {
         let first = config.first_scan;
         let mut net = Network::new(
             NetworkConfig {
-                trace_capacity: 0,
+                trace_capacity: config.trace_capacity,
                 ..NetworkConfig::default()
             },
             config.seed ^ 0x6e65_7473_696d,
@@ -168,10 +172,12 @@ impl World {
                 },
             );
             if spec.penalty_53_ms > 0.0 {
-                net.latency_mut().set_port_penalty(cc, 53, spec.penalty_53_ms);
+                net.latency_mut()
+                    .set_port_penalty(cc, 53, spec.penalty_53_ms);
             }
             if spec.penalty_853_ms > 0.0 {
-                net.latency_mut().set_port_penalty(cc, 853, spec.penalty_853_ms);
+                net.latency_mut()
+                    .set_port_penalty(cc, 853, spec.penalty_853_ms);
             }
         }
 
@@ -182,7 +188,11 @@ impl World {
         {
             let mut zone = Zone::new(apex.clone());
             zone.add_record(&apex, 300, RData::A(anchors::PROBE_AUTH));
-            zone.add_record(&apex.prepend("*").expect("wildcard"), 60, RData::A(expected_a));
+            zone.add_record(
+                &apex.prepend("*").expect("wildcard"),
+                60,
+                RData::A(expected_a),
+            );
             zones.push(zone);
         }
         // Bootstrap zones: one per DoH hostname, plus the self-built name.
@@ -199,7 +209,7 @@ impl World {
             zone.add_record(&host_apex, 300, RData::A(*front));
             zones.push(zone);
         }
-        let auth_server = Rc::new(AuthoritativeServer::new(zones));
+        let auth_server = Arc::new(AuthoritativeServer::new(zones));
         let auth_log = auth_server.log();
         net.add_host(
             HostMeta::new(anchors::PROBE_AUTH)
@@ -210,12 +220,14 @@ impl World {
         net.bind_udp(
             anchors::PROBE_AUTH,
             53,
-            Rc::new(Do53UdpService::new(Rc::clone(&auth_server) as Rc<dyn DnsResponder>)),
+            Arc::new(Do53UdpService::new(
+                Arc::clone(&auth_server) as Arc<dyn DnsResponder>
+            )),
         );
         net.bind_tcp(
             anchors::PROBE_AUTH,
             53,
-            Rc::new(Do53TcpService::new(auth_server)),
+            Arc::new(Do53TcpService::new(auth_server)),
         );
 
         let mut upstreams = UpstreamMap::new();
@@ -232,7 +244,7 @@ impl World {
                 .anycast()
                 .label("bootstrap-resolver"),
         );
-        let bootstrap_responder = Rc::new(RecursiveResolver::new(
+        let bootstrap_responder = Arc::new(RecursiveResolver::new(
             upstreams.clone(),
             RecursiveConfig {
                 servfail_rate: 0.0,
@@ -242,7 +254,7 @@ impl World {
         net.bind_udp(
             anchors::BOOTSTRAP_RESOLVER,
             53,
-            Rc::new(Do53UdpService::new(bootstrap_responder)),
+            Arc::new(Do53UdpService::new(bootstrap_responder)),
         );
 
         // ---- Middleboxes --------------------------------------------------
@@ -259,13 +271,13 @@ impl World {
 
         // ---- Resolver bundles ---------------------------------------------
         // Shared per-provider responders (shared cache ≈ anycast backend).
-        let mut responders: HashMap<String, Rc<dyn DnsResponder>> = HashMap::new();
+        let mut responders: HashMap<String, Arc<dyn DnsResponder>> = HashMap::new();
         let mut responder_for = |provider: &str,
                                  behavior: &ResolverBehavior,
                                  upstreams: &UpstreamMap|
-         -> Rc<dyn DnsResponder> {
+         -> Arc<dyn DnsResponder> {
             if let ResolverBehavior::FixedAnswer(addr) = behavior {
-                return Rc::new(FixedAnswerResponder::new(*addr));
+                return Arc::new(FixedAnswerResponder::new(*addr));
             }
             responders
                 .entry(provider.to_string())
@@ -275,7 +287,7 @@ impl World {
                     } else {
                         None
                     };
-                    Rc::new(RecursiveResolver::new(
+                    Arc::new(RecursiveResolver::new(
                         upstreams.clone(),
                         RecursiveConfig {
                             servfail_rate: 0.0006,
@@ -299,8 +311,8 @@ impl World {
                 }
                 m
             };
-            let mut tcp: Vec<(u16, Rc<dyn Service>)> = Vec::new();
-            let mut udp: Vec<(u16, Rc<dyn DatagramService>)> = Vec::new();
+            let mut tcp: Vec<(u16, Arc<dyn Service>)> = Vec::new();
+            let mut udp: Vec<(u16, Arc<dyn DatagramService>)> = Vec::new();
 
             match &r.behavior {
                 ResolverBehavior::DotProxy { upstream } => {
@@ -321,7 +333,7 @@ impl World {
                         (*upstream, 853),
                         first,
                     );
-                    tcp.push((853, Rc::new(proxy)));
+                    tcp.push((853, Arc::new(proxy)));
                 }
                 behavior => {
                     let responder = responder_for(&r.provider, behavior, &upstreams);
@@ -337,20 +349,20 @@ impl World {
                     );
                     let dot = DotServerService::new(
                         TlsServerConfig::new(chain, leaf_key),
-                        Rc::clone(&responder),
+                        Arc::clone(&responder),
                     );
-                    tcp.push((853, Rc::new(dot)));
+                    tcp.push((853, Arc::new(dot)));
                     // Big providers also serve clear-text DNS.
                     if r.class == ProviderClass::Large || r.class == ProviderClass::Medium {
-                        udp.push((53, Rc::new(Do53UdpService::new(Rc::clone(&responder)))));
-                        tcp.push((53, Rc::new(Do53TcpService::new(Rc::clone(&responder)))));
+                        udp.push((53, Arc::new(Do53UdpService::new(Arc::clone(&responder)))));
+                        tcp.push((53, Arc::new(Do53TcpService::new(Arc::clone(&responder)))));
                     }
                     // The Cloudflare primary also serves a webpage and DoH
                     // (its genuine port profile: 53/80/443, §4.2 footnote).
                     if r.addr == anchors::CLOUDFLARE_PRIMARY {
                         tcp.push((
                             80,
-                            Rc::new(StaticSite::single_page(
+                            Arc::new(StaticSite::single_page(
                                 "<title>1.1.1.1 — the free, private DNS resolver</title>",
                             )),
                         ));
@@ -365,10 +377,10 @@ impl World {
                         )];
                         tcp.push((
                             443,
-                            Rc::new(DohServerService::new(
+                            Arc::new(DohServerService::new(
                                 TlsServerConfig::new(chain, doh_key),
                                 vec!["/dns-query".into()],
-                                DohBackend::Local(Rc::clone(&responder)),
+                                DohBackend::Local(Arc::clone(&responder)),
                             )),
                         ));
                     }
@@ -379,7 +391,15 @@ impl World {
 
         // ---- DoH fronts ----------------------------------------------------
         for svc in &deployment.doh_services {
-            install_doh_front(&mut net, svc, &web_ca, &mut key, &mut responder_for, &upstreams, first);
+            install_doh_front(
+                &mut net,
+                svc,
+                &web_ca,
+                &mut key,
+                &mut responder_for,
+                &upstreams,
+                first,
+            );
         }
 
         // Google clear-text (8.8.8.8): Do53 only — DoT unannounced.
@@ -391,23 +411,27 @@ impl World {
                     .anycast()
                     .label("dns.google.com"),
             );
-            let responder = responder_for("dns.google.com", &ResolverBehavior::Recursive, &upstreams);
+            let responder =
+                responder_for("dns.google.com", &ResolverBehavior::Recursive, &upstreams);
             net.bind_udp(
                 anchors::GOOGLE_PRIMARY,
                 53,
-                Rc::new(Do53UdpService::new(Rc::clone(&responder))),
+                Arc::new(Do53UdpService::new(Arc::clone(&responder))),
             );
             net.bind_tcp(
                 anchors::GOOGLE_PRIMARY,
                 53,
-                Rc::new(Do53TcpService::new(responder)),
+                Arc::new(Do53TcpService::new(responder)),
             );
         }
 
         // ---- Self-built resolver -------------------------------------------
         let self_built = {
-            let responder =
-                responder_for("dnsmeasure.example", &ResolverBehavior::Recursive, &upstreams);
+            let responder = responder_for(
+                "dnsmeasure.example",
+                &ResolverBehavior::Recursive,
+                &upstreams,
+            );
             net.add_host(
                 HostMeta::new(anchors::SELF_BUILT)
                     .country("US")
@@ -417,12 +441,12 @@ impl World {
             net.bind_udp(
                 anchors::SELF_BUILT,
                 53,
-                Rc::new(Do53UdpService::new(Rc::clone(&responder))),
+                Arc::new(Do53UdpService::new(Arc::clone(&responder))),
             );
             net.bind_tcp(
                 anchors::SELF_BUILT,
                 53,
-                Rc::new(Do53TcpService::new(Rc::clone(&responder))),
+                Arc::new(Do53TcpService::new(Arc::clone(&responder))),
             );
             let dot_key = key();
             let chain = vec![web_ca.issue(
@@ -436,15 +460,15 @@ impl World {
             net.bind_tcp(
                 anchors::SELF_BUILT,
                 853,
-                Rc::new(DotServerService::new(
+                Arc::new(DotServerService::new(
                     TlsServerConfig::new(chain.clone(), dot_key),
-                    Rc::clone(&responder),
+                    Arc::clone(&responder),
                 )),
             );
             net.bind_tcp(
                 anchors::SELF_BUILT,
                 443,
-                Rc::new(DohServerService::new(
+                Arc::new(DohServerService::new(
                     TlsServerConfig::new(chain, dot_key),
                     vec!["/dns-query".into()],
                     DohBackend::Local(responder),
@@ -465,7 +489,8 @@ impl World {
         let junk = config.scaled(config.junk_853_hosts, 50);
         let junk_countries = ["US", "DE", "CN", "FR", "RU", "BR", "JP", "GB", "NL", "IE"];
         for i in 0..junk {
-            let country = netsim::CountryCode::new(junk_countries[(i as usize) % junk_countries.len()]);
+            let country =
+                netsim::CountryCode::new(junk_countries[(i as usize) % junk_countries.len()]);
             let addr = server_alloc.alloc(country);
             net.add_host(
                 HostMeta::new(addr)
@@ -474,13 +499,13 @@ impl World {
                     .label("junk-853"),
             );
             // Half speak garbage, half never answer the first flight.
-            let svc: Rc<dyn Service> = if i % 2 == 0 {
-                Rc::new(FnStreamService::new(
+            let svc: Arc<dyn Service> = if i % 2 == 0 {
+                Arc::new(FnStreamService::new(
                     |_ctx, _peer, _data: &[u8]| b"SSH-2.0-dropbear_2017.75\r\n".to_vec(),
                     "junk-banner",
                 ))
             } else {
-                Rc::new(FnStreamService::new(
+                Arc::new(FnStreamService::new(
                     |_ctx, _peer, _data: &[u8]| Vec::new(),
                     "junk-silent",
                 ))
@@ -495,8 +520,7 @@ impl World {
         let mut atlas = Vec::new();
         let n_probes = config.scaled(config.atlas_probes, 60);
         let probes_per_isp = 50u32;
-        let dot_probe_target =
-            (((n_probes as f64) * config.isp_dot_rate).round() as u32).max(1);
+        let dot_probe_target = (((n_probes as f64) * config.isp_dot_rate).round() as u32).max(1);
         let mut remaining = n_probes;
         let mut dot_remaining = dot_probe_target;
         let mut isp = 0u32;
@@ -528,10 +552,21 @@ impl World {
                     .asn(asn.0)
                     .label("isp-resolver"),
             );
-            let responder =
-                responder_for(&format!("isp-{isp}.example"), &ResolverBehavior::Recursive, &upstreams);
-            net.bind_udp(resolver_ip, 53, Rc::new(Do53UdpService::new(Rc::clone(&responder))));
-            net.bind_tcp(resolver_ip, 53, Rc::new(Do53TcpService::new(Rc::clone(&responder))));
+            let responder = responder_for(
+                &format!("isp-{isp}.example"),
+                &ResolverBehavior::Recursive,
+                &upstreams,
+            );
+            net.bind_udp(
+                resolver_ip,
+                53,
+                Arc::new(Do53UdpService::new(Arc::clone(&responder))),
+            );
+            net.bind_tcp(
+                resolver_ip,
+                53,
+                Arc::new(Do53TcpService::new(Arc::clone(&responder))),
+            );
             if isp_has_dot {
                 let k = key();
                 let chain = vec![web_ca.issue(
@@ -545,7 +580,10 @@ impl World {
                 net.bind_tcp(
                     resolver_ip,
                     853,
-                    Rc::new(DotServerService::new(TlsServerConfig::new(chain, k), responder)),
+                    Arc::new(DotServerService::new(
+                        TlsServerConfig::new(chain, k),
+                        responder,
+                    )),
                 );
                 dot_remaining -= in_this_isp.min(dot_remaining);
             }
@@ -583,7 +621,7 @@ impl World {
             net.bind_tcp(
                 *src,
                 80,
-                Rc::new(StaticSite::single_page(
+                Arc::new(StaticSite::single_page(
                     "<title>DNS measurement research — opt out</title>\
                      <p>This host scans for DNS-over-Encryption services. \
                      Email [email protected] to opt out.</p>",
@@ -682,10 +720,10 @@ impl World {
                 let bundle = self.bundles.get(&r.addr).expect("bundle built");
                 self.net.add_host(bundle.meta.clone());
                 for (port, svc) in &bundle.tcp {
-                    self.net.bind_tcp(r.addr, *port, Rc::clone(svc));
+                    self.net.bind_tcp(r.addr, *port, Arc::clone(svc));
                 }
                 for (port, svc) in &bundle.udp {
-                    self.net.bind_udp(r.addr, *port, Rc::clone(svc));
+                    self.net.bind_udp(r.addr, *port, Arc::clone(svc));
                 }
                 self.deployed.insert(r.addr);
             } else if !should && is {
@@ -723,14 +761,9 @@ fn build_chain(
     let serial = u64::from(u32::from(addr));
     let san = vec![provider.to_string(), format!("*.{provider}")];
     match profile {
-        CertProfile::Valid => vec![web_ca.issue(
-            provider,
-            san,
-            leaf_key,
-            serial,
-            first + -90,
-            first + 365,
-        )],
+        CertProfile::Valid => {
+            vec![web_ca.issue(provider, san, leaf_key, serial, first + -90, first + 365)]
+        }
         CertProfile::Expired { expired_on } => vec![web_ca.issue(
             provider,
             san,
@@ -760,7 +793,7 @@ fn install_doh_front(
     svc: &DohServiceSpec,
     web_ca: &CaHandle,
     key: &mut impl FnMut() -> KeyId,
-    responder_for: &mut impl FnMut(&str, &ResolverBehavior, &UpstreamMap) -> Rc<dyn DnsResponder>,
+    responder_for: &mut impl FnMut(&str, &ResolverBehavior, &UpstreamMap) -> Arc<dyn DnsResponder>,
     upstreams: &UpstreamMap,
     first: DateStamp,
 ) {
@@ -777,14 +810,18 @@ fn install_doh_front(
         Some(ms) => {
             // Quad9 architecture: the front forwards to the provider's own
             // Do53 (here: bound on the front itself) with a hard timeout.
-            net.bind_udp(svc.front, 53, Rc::new(Do53UdpService::new(Rc::clone(&responder))));
+            net.bind_udp(
+                svc.front,
+                53,
+                Arc::new(Do53UdpService::new(Arc::clone(&responder))),
+            );
             DohBackend::ForwardUdp {
                 backend: svc.front,
                 port: 53,
                 timeout: SimDuration::from_millis(ms),
             }
         }
-        None => DohBackend::Local(Rc::clone(&responder)),
+        None => DohBackend::Local(Arc::clone(&responder)),
     };
     let k = key();
     let chain = vec![web_ca.issue(
@@ -798,7 +835,7 @@ fn install_doh_front(
     net.bind_tcp(
         svc.front,
         443,
-        Rc::new(DohServerService::new(
+        Arc::new(DohServerService::new(
             TlsServerConfig::new(chain, k),
             vec![svc.template.path().to_string()],
             backend,

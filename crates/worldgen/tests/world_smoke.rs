@@ -15,7 +15,11 @@ fn test_world() -> World {
 #[test]
 fn world_builds_with_expected_inventory() {
     let w = test_world();
-    assert!(w.online_dot_resolvers() >= 1_400, "{}", w.online_dot_resolvers());
+    assert!(
+        w.online_dot_resolvers() >= 1_400,
+        "{}",
+        w.online_dot_resolvers()
+    );
     assert_eq!(w.deployment.doh_services.len(), 17);
     assert!(w.proxyrack.clients.len() > 400);
     assert!(w.zhima.clients.len() > 1_000);
@@ -55,7 +59,7 @@ fn clean_client_full_stack_dot_query() {
         other => panic!("expected A, got {other:?}"),
     }
     // The authoritative server saw Cloudflare's resolver, not the client.
-    let log = w.probe.auth_log.borrow();
+    let log = w.probe.auth_log.lock();
     let entry = log
         .iter()
         .find(|e| e.qname.to_string().starts_with("smoke1"))
@@ -110,7 +114,10 @@ fn intercepted_client_leaks_queries_opportunistically() {
         .find(|c| {
             matches!(
                 &c.affliction,
-                Affliction::Intercepted { intercepts_853: true, .. }
+                Affliction::Intercepted {
+                    intercepts_853: true,
+                    ..
+                }
             )
         })
         .expect("intercepted client")
@@ -147,7 +154,7 @@ fn intercepted_client_leaks_queries_opportunistically() {
         .find(|(cn, _)| cn == ca_cn)
         .map(|(_, log)| log)
         .expect("device log");
-    assert!(!log.borrow().is_empty(), "interceptor saw the query");
+    assert!(!log.lock().is_empty(), "interceptor saw the query");
 }
 
 #[test]
@@ -172,10 +179,13 @@ fn cn_client_blocked_from_google_doh() {
     let q = builder::query(10, "smoke4.probe.dnsmeasure.example", RecordType::A).unwrap();
     let err = doh.query_once(&mut w.net, client.ip, &q).unwrap_err();
     // Bootstrap resolves, but the TCP connection to the front blackholes.
-    assert!(matches!(
-        err,
-        doe_protocols::QueryError::Tls(tlssim::TlsError::Transport(_))
-    ), "{err:?}");
+    assert!(
+        matches!(
+            err,
+            doe_protocols::QueryError::Tls(tlssim::TlsError::Transport(_))
+        ),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -267,7 +277,13 @@ fn self_built_resolver_serves_all_three_transports() {
     let mut dot = DotClient::new(TlsClientConfig::strict(w.trust_store.clone(), w.epoch()));
     let auth_name = w.self_built.auth_name.clone();
     let reply = dot
-        .query_once(&mut w.net, client.ip, w.self_built.addr, Some(&auth_name), &q)
+        .query_once(
+            &mut w.net,
+            client.ip,
+            w.self_built.addr,
+            Some(&auth_name),
+            &q,
+        )
         .unwrap();
     assert_eq!(reply.message.rcode(), Rcode::NoError);
     // DoH.

@@ -18,7 +18,10 @@ fn main() {
     );
     let report = reachability_test(&mut world, &clients, "Cloudflare");
 
-    println!("{:<12} {:<6} {:>9} {:>11} {:>9}", "Resolver", "Proto", "Correct", "Incorrect", "Failed");
+    println!(
+        "{:<12} {:<6} {:>9} {:>11} {:>9}",
+        "Resolver", "Proto", "Correct", "Incorrect", "Failed"
+    );
     for (resolver, row) in &report.matrix {
         for t in [TransportKind::Dns, TransportKind::Dot, TransportKind::Doh] {
             if let Some(counts) = row.get(&t) {
@@ -48,12 +51,21 @@ fn main() {
     for (port, n) in hist {
         println!("  port {port:<5}: {n} clients");
     }
-    for f in report.forensics.iter().filter(|f| f.page_title.is_some()).take(5) {
+    for f in report
+        .forensics
+        .iter()
+        .filter(|f| f.page_title.is_some())
+        .take(5)
+    {
         println!(
             "  {} sees \"{}\"{}",
             f.client,
             f.page_title.as_deref().unwrap_or(""),
-            if f.coinminer { "  [coin-mining script!]" } else { "" }
+            if f.coinminer {
+                "  [coin-mining script!]"
+            } else {
+                ""
+            }
         );
     }
 }

@@ -11,11 +11,13 @@ use dnswire::zone::Zone;
 use dnswire::{Name, RData, RecordType};
 use doe_protocols::dot::DotClient;
 use doe_protocols::responder::AuthoritativeServer;
-use doe_protocols::{Bootstrap, DohBackend, DohClient, DohMethod, DohServerService, DotServerService};
+use doe_protocols::{
+    Bootstrap, DohBackend, DohClient, DohMethod, DohServerService, DotServerService,
+};
 use httpsim::UriTemplate;
 use netsim::{HostMeta, Network, NetworkConfig};
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use tlssim::{CaHandle, DateStamp, KeyId, TlsClientConfig, TlsServerConfig, TrustStore};
 
 fn main() {
@@ -25,15 +27,28 @@ fn main() {
     // --- the operator's infrastructure -----------------------------------
     let resolver_ip: Ipv4Addr = "192.0.2.53".parse().unwrap();
     let client_ip: Ipv4Addr = "198.51.100.77".parse().unwrap();
-    net.add_host(HostMeta::new(resolver_ip).country("NL").asn(64496).label("my-resolver"));
+    net.add_host(
+        HostMeta::new(resolver_ip)
+            .country("NL")
+            .asn(64496)
+            .label("my-resolver"),
+    );
     net.add_host(HostMeta::new(client_ip).country("DE").asn(64497));
 
     // Serve a zone of our own.
     let apex = Name::parse("operator.example").unwrap();
     let mut zone = Zone::new(apex.clone());
-    zone.add_record(&apex.prepend("www").unwrap(), 300, RData::A("203.0.113.80".parse().unwrap()));
-    zone.add_record(&apex.prepend("*").unwrap(), 60, RData::A("203.0.113.81".parse().unwrap()));
-    let responder = Rc::new(AuthoritativeServer::new(vec![zone]));
+    zone.add_record(
+        &apex.prepend("www").unwrap(),
+        300,
+        RData::A("203.0.113.80".parse().unwrap()),
+    );
+    zone.add_record(
+        &apex.prepend("*").unwrap(),
+        60,
+        RData::A("203.0.113.81".parse().unwrap()),
+    );
+    let responder = Arc::new(AuthoritativeServer::new(vec![zone]));
 
     // Get a certificate from a (simulated) public CA.
     let ca = CaHandle::new("Let's Encrypt Authority X3", KeyId(1), today + -700, 3650);
@@ -52,18 +67,18 @@ fn main() {
     net.bind_tcp(
         resolver_ip,
         853,
-        Rc::new(DotServerService::new(
+        Arc::new(DotServerService::new(
             TlsServerConfig::new(vec![good_cert.clone()], KeyId(2)),
-            Rc::clone(&responder) as Rc<dyn doe_protocols::DnsResponder>,
+            Arc::clone(&responder) as Arc<dyn doe_protocols::DnsResponder>,
         )),
     );
     net.bind_tcp(
         resolver_ip,
         443,
-        Rc::new(DohServerService::new(
+        Arc::new(DohServerService::new(
             TlsServerConfig::new(vec![good_cert], KeyId(2)),
             vec!["/dns-query".into()],
-            DohBackend::Local(Rc::clone(&responder) as Rc<dyn doe_protocols::DnsResponder>),
+            DohBackend::Local(Arc::clone(&responder) as Arc<dyn doe_protocols::DnsResponder>),
         )),
     );
     println!("resolver up: DoT on {resolver_ip}:853, DoH on {resolver_ip}:443\n");
@@ -73,7 +88,13 @@ fn main() {
 
     let mut dot = DotClient::new(TlsClientConfig::strict(store.clone(), today));
     let reply = dot
-        .query_once(&mut net, client_ip, resolver_ip, Some("dns.operator.example"), &query)
+        .query_once(
+            &mut net,
+            client_ip,
+            resolver_ip,
+            Some("dns.operator.example"),
+            &query,
+        )
         .expect("strict DoT works against a valid certificate");
     println!(
         "strict DoT client : {:?} in {}",
@@ -87,17 +108,27 @@ fn main() {
         DohMethod::Get,
         Bootstrap::Static(resolver_ip),
     );
-    let reply = doh.query_once(&mut net, client_ip, &query).expect("DoH works");
+    let reply = doh
+        .query_once(&mut net, client_ip, &query)
+        .expect("DoH works");
     println!(
         "DoH client        : {:?} in {}",
         reply.message.answers[0].rdata, reply.latency
     );
 
     // --- now let the certificate lapse (Finding 1.2) ----------------------
-    println!("\n...90 days pass; the operator forgets to renew (like 27 resolvers in the paper)...\n");
+    println!(
+        "\n...90 days pass; the operator forgets to renew (like 27 resolvers in the paper)...\n"
+    );
     let later = today + 90;
     let mut dot_later = DotClient::new(TlsClientConfig::strict(store.clone(), later));
-    match dot_later.query_once(&mut net, client_ip, resolver_ip, Some("dns.operator.example"), &query) {
+    match dot_later.query_once(
+        &mut net,
+        client_ip,
+        resolver_ip,
+        Some("dns.operator.example"),
+        &query,
+    ) {
         Err(e) => println!("strict DoT client : FAILS — {e}"),
         Ok(_) => unreachable!("expired certificate must fail the strict profile"),
     }

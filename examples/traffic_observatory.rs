@@ -23,7 +23,11 @@ fn main() {
     let report = analyze_dot(&dataset.records, &labels);
 
     println!("== monthly DoT flows (Figure 11) ==");
-    let cf = report.monthly.get("Cloudflare").cloned().unwrap_or_default();
+    let cf = report
+        .monthly
+        .get("Cloudflare")
+        .cloned()
+        .unwrap_or_default();
     let q9 = report.monthly.get("Quad9").cloned().unwrap_or_default();
     for month in ["2018-04", "2018-07", "2018-09", "2018-12"] {
         println!(
@@ -34,7 +38,10 @@ fn main() {
     }
     let jul = *cf.get("2018-07").unwrap_or(&1) as f64;
     let dec = *cf.get("2018-12").unwrap_or(&0) as f64;
-    println!("  Cloudflare Jul→Dec growth: {:+.0}%  (paper: +56%)", 100.0 * (dec - jul) / jul);
+    println!(
+        "  Cloudflare Jul→Dec growth: {:+.0}%  (paper: +56%)",
+        100.0 * (dec - jul) / jul
+    );
     println!(
         "  traditional DNS is ~{:.0}× larger under the same sampling\n",
         dataset.do53_monthly_estimate / dec.max(1.0)
@@ -42,8 +49,14 @@ fn main() {
 
     println!("== client-network concentration (Figure 12) ==");
     println!("  netblocks            : {}", report.netblocks.len());
-    println!("  top-5 share of flows : {:.0}%  (paper: 44%)", 100.0 * report.top_share(5));
-    println!("  top-20 share         : {:.0}%  (paper: 60%)", 100.0 * report.top_share(20));
+    println!(
+        "  top-5 share of flows : {:.0}%  (paper: 44%)",
+        100.0 * report.top_share(5)
+    );
+    println!(
+        "  top-20 share         : {:.0}%  (paper: 60%)",
+        100.0 * report.top_share(20)
+    );
     let (blocks, traffic) = report.short_lived(7);
     println!(
         "  active <1 week       : {:.0}% of netblocks carrying {:.0}% of flows (paper: 96% / 25%)\n",

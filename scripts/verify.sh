@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Repository verification gate: tier-1 build+tests, formatting, lints.
+#
+# Everything runs --offline against the vendored dependency stubs
+# (see DESIGN.md §2 "Dependency policy") — no network is required.
+#
+#   ./scripts/verify.sh            # full gate
+#   SKIP_CLIPPY=1 ./scripts/verify.sh   # when clippy is unavailable
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: cargo build --release"
+cargo build --release --offline
+
+echo "==> tier-1: cargo test -q"
+cargo test -q --offline --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+if [[ "${SKIP_CLIPPY:-0}" != "1" ]]; then
+    echo "==> cargo clippy --workspace -D warnings"
+    cargo clippy --workspace --all-targets --offline -q -- -D warnings
+else
+    echo "==> clippy skipped (SKIP_CLIPPY=1)"
+fi
+
+echo "==> verify.sh: all gates green"

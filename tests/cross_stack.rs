@@ -7,7 +7,7 @@ use doe_core::{Study, StudyConfig};
 use doe_vantage::socks::Socks5Client;
 use netsim::HostMeta;
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use worldgen::{Affliction, World, WorldConfig};
 
 #[test]
@@ -57,7 +57,10 @@ fn scanner_recovers_deployment_ground_truth() {
         };
         // DotProxy appliances present their own device CN; every other
         // behaviour presents the provider's name.
-        if !matches!(deployed.behavior, worldgen::ResolverBehavior::DotProxy { .. }) {
+        if !matches!(
+            deployed.behavior,
+            worldgen::ResolverBehavior::DotProxy { .. }
+        ) {
             assert_eq!(
                 obs.provider.as_deref(),
                 Some(deployed.provider.as_str()),
@@ -95,10 +98,15 @@ fn dns_through_a_real_socks5_tunnel() {
     let mut world = World::build(WorldConfig::test_scale(55));
     let mc: Ipv4Addr = "198.51.100.60".parse().unwrap();
     let super_proxy: Ipv4Addr = "198.51.100.61".parse().unwrap();
-    world.net.add_host(HostMeta::new(mc).country("US").asn(65_100));
     world
         .net
-        .add_host(HostMeta::new(super_proxy).country("US").asn(65_100).label("super proxy"));
+        .add_host(HostMeta::new(mc).country("US").asn(65_100));
+    world.net.add_host(
+        HostMeta::new(super_proxy)
+            .country("US")
+            .asn(65_100)
+            .label("super proxy"),
+    );
 
     // A clean exit and a port-53-filtered exit.
     let clean = world
@@ -120,14 +128,13 @@ fn dns_through_a_real_socks5_tunnel() {
         world.net.bind_tcp(
             super_proxy,
             1080,
-            Rc::new(doe_vantage::Socks5RelayService::new(vec![exit.ip])),
+            Arc::new(doe_vantage::Socks5RelayService::new(vec![exit.ip])),
         );
         let target = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
         let tunnel = Socks5Client::tunnel(&mut world.net, mc, super_proxy, 1080, target, 53);
         match (tunnel, should_work) {
             (Ok(mut t), true) => {
-                let q = builder::query(1, "sock1.probe.dnsmeasure.example", RecordType::A)
-                    .unwrap();
+                let q = builder::query(1, "sock1.probe.dnsmeasure.example", RecordType::A).unwrap();
                 let framed = dnswire::frame_message(&q.encode().unwrap()).unwrap();
                 let resp = t.exchange(&mut world.net, &framed).unwrap();
                 let (msg, _) = dnswire::read_framed(&resp).expect("framed response");
@@ -159,7 +166,15 @@ fn interception_ground_truth_cross_check() {
         .proxyrack
         .clients
         .iter()
-        .find(|c| matches!(&c.affliction, Affliction::Intercepted { intercepts_853: true, .. }))
+        .find(|c| {
+            matches!(
+                &c.affliction,
+                Affliction::Intercepted {
+                    intercepts_853: true,
+                    ..
+                }
+            )
+        })
         .unwrap()
         .clone();
     let mut dot = doe_protocols::dot::DotClient::new(tlssim::TlsClientConfig::opportunistic(
@@ -189,17 +204,16 @@ fn interception_ground_truth_cross_check() {
         .find(|(cn, _)| *cn == ca_cn)
         .map(|(_, l)| l)
         .unwrap();
-    let entries = log.borrow();
+    let entries = log.lock();
     assert!(entries.iter().any(|e| {
-        e.client == victim.ip
-            && String::from_utf8_lossy(&e.plaintext).contains("leak1")
+        e.client == victim.ip && String::from_utf8_lossy(&e.plaintext).contains("leak1")
     }));
     drop(entries);
 
     // And the authoritative server saw the *resolver*, not the client or
     // the device (the device proxies to the genuine resolver, which then
     // recurses).
-    let auth_log = world.probe.auth_log.borrow();
+    let auth_log = world.probe.auth_log.lock();
     let entry = auth_log
         .iter()
         .find(|e| e.qname.to_string().starts_with("leak1"))

@@ -71,7 +71,10 @@ fn finding_2_shape_reachability() {
     let cf_doh_fail = r.cell("Cloudflare", Doh).failed as f64 / n;
     // DNS fails an order of magnitude more often than DoT, which fails
     // more than DoH (conflicts hit 1.1.1.1 but not the DoH front).
-    assert!(cf_dns_fail > 5.0 * cf_dot_fail, "{cf_dns_fail} vs {cf_dot_fail}");
+    assert!(
+        cf_dns_fail > 5.0 * cf_dot_fail,
+        "{cf_dns_fail} vs {cf_dot_fail}"
+    );
     assert!(cf_dot_fail >= cf_doh_fail, "{cf_dot_fail} vs {cf_doh_fail}");
     assert!(cf_dot_fail < 0.05, "paper: ~1.1%");
     // Quad9 DoH: double-digit Incorrect (Finding 2.4).
@@ -108,7 +111,7 @@ fn finding_2_shape_censorship_and_interception() {
         .world
         .intercept_logs
         .iter()
-        .map(|(_, log)| log.borrow().len())
+        .map(|(_, log)| log.lock().len())
         .sum();
     assert!(seen > 0, "devices decrypted nothing?");
 }
@@ -120,8 +123,16 @@ fn finding_3_shape_performance() {
     assert!(perf.observations.len() > 20);
     // Reused connections: overheads are small (single digits to low tens
     // of ms), for both protocols.
-    assert!(perf.global_dot.0.abs() < 40.0, "DoT mean {}ms", perf.global_dot.0);
-    assert!(perf.global_doh.0.abs() < 40.0, "DoH mean {}ms", perf.global_doh.0);
+    assert!(
+        perf.global_dot.0.abs() < 40.0,
+        "DoT mean {}ms",
+        perf.global_dot.0
+    );
+    assert!(
+        perf.global_doh.0.abs() < 40.0,
+        "DoH mean {}ms",
+        perf.global_doh.0
+    );
     // Figure 10: the scatter hugs y=x.
     let near = perf
         .observations
@@ -153,7 +164,10 @@ fn finding_4_shape_usage() {
     let jul = *cf.get("2018-07").unwrap() as f64;
     let dec = *cf.get("2018-12").unwrap() as f64;
     let growth = (dec - jul) / jul;
-    assert!((0.35..0.80).contains(&growth), "growth {growth} (paper: 56%)");
+    assert!(
+        (0.35..0.80).contains(&growth),
+        "growth {growth} (paper: 56%)"
+    );
     // Concentration + churn.
     assert!((0.30..0.58).contains(&report.top_share(5)));
     let (blocks, traffic) = report.short_lived(7);

@@ -2,15 +2,15 @@
 //! forwarding loops and broken services — failures should be errors, not
 //! hangs or panics.
 
+use dnswire::zone::Zone;
 use dnswire::{builder, Rcode, RecordType};
+use dnswire::{Name, RData};
 use doe_protocols::do53::{do53_udp_query, Do53UdpService};
 use doe_protocols::dot::{DotClient, DotServerService};
 use doe_protocols::responder::AuthoritativeServer;
-use dnswire::zone::Zone;
-use dnswire::{Name, RData};
 use netsim::{HostMeta, LatencyProfile, Network, NetworkConfig, SimDuration};
 use std::net::Ipv4Addr;
-use std::rc::Rc;
+use std::sync::Arc;
 use tlssim::{CaHandle, DateStamp, KeyId, TlsClientConfig, TlsServerConfig, TrustStore};
 
 fn now() -> DateStamp {
@@ -38,17 +38,28 @@ fn lossy_world(loss: f64) -> (Network, Ipv4Addr, Ipv4Addr, TrustStore) {
         60,
         RData::A("203.0.113.1".parse().unwrap()),
     );
-    let responder: Rc<dyn doe_protocols::DnsResponder> =
-        Rc::new(AuthoritativeServer::new(vec![zone]));
-    net.bind_udp(resolver, 53, Rc::new(Do53UdpService::new(Rc::clone(&responder))));
+    let responder: Arc<dyn doe_protocols::DnsResponder> =
+        Arc::new(AuthoritativeServer::new(vec![zone]));
+    net.bind_udp(
+        resolver,
+        53,
+        Arc::new(Do53UdpService::new(Arc::clone(&responder))),
+    );
     let ca = CaHandle::new("CA", KeyId(1), now() + -100, 3650);
-    let leaf = ca.issue("dns.probe.example", vec![], KeyId(2), 1, now() + -1, now() + 90);
+    let leaf = ca.issue(
+        "dns.probe.example",
+        vec![],
+        KeyId(2),
+        1,
+        now() + -1,
+        now() + 90,
+    );
     let mut store = TrustStore::new();
     store.add(ca.authority());
     net.bind_tcp(
         resolver,
         853,
-        Rc::new(DotServerService::new(
+        Arc::new(DotServerService::new(
             TlsServerConfig::new(vec![leaf], KeyId(2)),
             responder,
         )),
@@ -110,11 +121,14 @@ fn forwarding_loop_terminates_with_error() {
         (proxy, 853), // upstream = itself
         now(),
     );
-    net.bind_tcp(proxy, 853, Rc::new(svc));
+    net.bind_tcp(proxy, 853, Arc::new(svc));
     let mut dot = DotClient::new(TlsClientConfig::opportunistic(TrustStore::new(), now()));
     let q = builder::query(1, "loop.probe.example", RecordType::A).unwrap();
     let result = dot.query_once(&mut net, client, proxy, None, &q);
-    assert!(result.is_err(), "self-forwarding proxy must error, got {result:?}");
+    assert!(
+        result.is_err(),
+        "self-forwarding proxy must error, got {result:?}"
+    );
 }
 
 #[test]
@@ -128,7 +142,7 @@ fn malformed_service_bytes_do_not_poison_the_client() {
     net.bind_tcp(
         server,
         853,
-        Rc::new(netsim::service::FnStreamService::new(
+        Arc::new(netsim::service::FnStreamService::new(
             |_c, _p, _d: &[u8]| vec![0xde, 0xad, 0xbe, 0xef, 0x01],
             "garbage",
         )),
@@ -141,7 +155,13 @@ fn malformed_service_bytes_do_not_poison_the_client() {
     let mut dot2 = DotClient::new(TlsClientConfig::strict(store2, now()));
     let q2 = builder::query(2, "y.probe.example", RecordType::A).unwrap();
     assert!(dot2
-        .query_once(&mut net2, client2, resolver2, Some("dns.probe.example"), &q2)
+        .query_once(
+            &mut net2,
+            client2,
+            resolver2,
+            Some("dns.probe.example"),
+            &q2
+        )
         .is_ok());
 }
 
@@ -149,8 +169,8 @@ fn malformed_service_bytes_do_not_poison_the_client() {
 fn extreme_loss_fails_loudly_not_silently() {
     let (mut net, client, resolver, _store) = lossy_world(1.0);
     let q = builder::query(1, "dead.probe.example", RecordType::A).unwrap();
-    let err = do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(1), 2)
-        .unwrap_err();
+    let err =
+        do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(1), 2).unwrap_err();
     // All three attempts' timeouts are accounted.
     assert_eq!(err.elapsed(), SimDuration::from_secs(3));
 }

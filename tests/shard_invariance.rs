@@ -1,0 +1,136 @@
+//! Shard-count invariance: the sharded measurement engine must produce
+//! bit-identical results whether it runs on 1, 2 or 8 worker threads.
+//!
+//! This is the property that makes `--shards` safe to default to the
+//! machine's core count: parallelism changes wall-clock time, never the
+//! measurement.
+
+use doe_scanner::campaign::{compact_space, run_campaign_sharded};
+use doe_scanner::sweep::syn_sweep_sharded;
+use netsim::{HostMeta, Network, NetworkConfig};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use worldgen::{World, WorldConfig};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn syn_sweep_is_invariant_across_shard_counts() {
+    let build = || {
+        let mut net = Network::new(NetworkConfig::default(), 11);
+        let sources: Vec<Ipv4Addr> = ["198.51.100.1", "198.51.100.2", "198.51.100.3"]
+            .iter()
+            .map(|s| s.parse().unwrap())
+            .collect();
+        for &s in &sources {
+            net.add_host(HostMeta::new(s));
+        }
+        let space = doe_scanner::sweep::AddressSpace::new(vec![
+            netsim::Netblock::new("10.40.0.0".parse().unwrap(), 23),
+            netsim::Netblock::new("172.16.9.0".parse().unwrap(), 24),
+        ]);
+        // Plant open and closed hosts at scattered indices.
+        for (i, port) in [
+            (5u64, 853u16),
+            (300, 853),
+            (511, 853),
+            (600, 80),
+            (767, 853),
+        ] {
+            let addr = space.addr(i);
+            net.add_host(HostMeta::new(addr));
+            net.bind_tcp(
+                addr,
+                port,
+                Arc::new(netsim::service::FnStreamService::new(
+                    |_c, _p, d: &[u8]| d.to_vec(),
+                    "echo",
+                )),
+            );
+        }
+        (net, sources, space)
+    };
+
+    let (mut net, sources, space) = build();
+    let reference = syn_sweep_sharded(&mut net, &sources, &space, 853, 2019, 1);
+    assert_eq!(reference.stats.probed, space.len());
+    assert_eq!(reference.stats.open, 4);
+
+    for shards in SHARD_COUNTS {
+        let (mut net, sources, space) = build();
+        let result = syn_sweep_sharded(&mut net, &sources, &space, 853, 2019, shards);
+        assert_eq!(
+            result.stats, reference.stats,
+            "stats differ at {shards} shards"
+        );
+        assert_eq!(
+            result.open_addrs, reference.open_addrs,
+            "open-address discovery order differs at {shards} shards"
+        );
+    }
+}
+
+#[test]
+fn campaign_is_invariant_across_shard_counts() {
+    let run = |shards: usize| {
+        let mut world = World::build(WorldConfig::test_scale(7));
+        let space = compact_space(&world);
+        run_campaign_sharded(&mut world, &space, 2, 1, shards)
+    };
+
+    let reference = run(1);
+    assert_eq!(reference.epochs.len(), 2);
+    assert!(reference.epochs[0].open_resolvers > 0);
+
+    for shards in SHARD_COUNTS {
+        let report = run(shards);
+        for (a, b) in reference.epochs.iter().zip(report.epochs.iter()) {
+            let e = a.epoch;
+            assert_eq!(
+                a.stats, b.stats,
+                "sweep stats differ at {shards} shards (epoch {e})"
+            );
+            assert_eq!(
+                a.open_resolvers, b.open_resolvers,
+                "open resolvers differ at {shards} shards (epoch {e})"
+            );
+            assert_eq!(
+                a.by_country, b.by_country,
+                "country split differs at {shards} shards"
+            );
+            assert_eq!(
+                a.by_provider, b.by_provider,
+                "provider split differs at {shards} shards"
+            );
+            assert_eq!(a.certs, b.certs, "cert buckets differ at {shards} shards");
+            assert_eq!(
+                a.providers_with_invalid, b.providers_with_invalid,
+                "invalid-provider count differs at {shards} shards"
+            );
+            assert_eq!(
+                a.single_address_providers, b.single_address_providers,
+                "single-address providers differ at {shards} shards"
+            );
+            assert_eq!(
+                a.wrong_answer_resolvers, b.wrong_answer_resolvers,
+                "wrong-answer set differs at {shards} shards"
+            );
+            assert_eq!(
+                a.in_public_list, b.in_public_list,
+                "public-list overlap differs at {shards} shards"
+            );
+            // Full per-resolver observation streams agree address-by-address.
+            assert_eq!(a.observations.len(), b.observations.len());
+            for (x, y) in a.observations.iter().zip(b.observations.iter()) {
+                assert_eq!(
+                    x.addr, y.addr,
+                    "observation order differs at {shards} shards"
+                );
+                assert_eq!(x.outcome, y.outcome);
+                assert_eq!(x.cert_status, y.cert_status);
+                assert_eq!(x.provider, y.provider);
+                assert_eq!(x.answer_correct, y.answer_correct);
+            }
+        }
+    }
+}
