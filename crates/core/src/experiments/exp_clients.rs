@@ -13,9 +13,9 @@ pub fn table3(study: &mut Study) -> ExperimentResult {
     let pr = &study.world.proxyrack;
     let zh = &study.world.zhima;
     let perf_clients: Vec<_> = pr.perf_subset().collect();
-    let perf_countries: std::collections::HashSet<_> =
+    let perf_countries: std::collections::BTreeSet<_> =
         perf_clients.iter().map(|c| c.country).collect();
-    let perf_ases: std::collections::HashSet<_> = perf_clients.iter().map(|c| c.asn).collect();
+    let perf_ases: std::collections::BTreeSet<_> = perf_clients.iter().map(|c| c.asn).collect();
 
     let mut table = TextTable::new(vec![
         "Test",

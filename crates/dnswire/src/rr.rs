@@ -354,6 +354,7 @@ impl ResourceRecord {
     pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
         let rtype = rdata
             .natural_type()
+            // doe-lint: allow(D004) — documented `# Panics` contract: opaque rdata is a caller bug
             .expect("opaque rdata needs an explicit type");
         ResourceRecord {
             name,

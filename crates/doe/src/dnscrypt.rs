@@ -58,6 +58,7 @@ impl ProviderCert {
     }
 
     fn to_txt(self) -> Vec<u8> {
+        // doe-lint: allow(D004) — ProviderCert is a plain value struct; serialising it cannot fail
         serde_json::to_vec(&self).expect("cert serialises")
     }
 
@@ -146,10 +147,15 @@ impl DnsCryptClient {
         query: &Message,
     ) -> Result<QueryReply, QueryError> {
         let mut bootstrap = SimDuration::ZERO;
-        if self.cert.is_none() {
-            bootstrap = self.fetch_cert(net, src, resolver)?;
-        }
-        let cert = self.cert.expect("fetched above");
+        let cert = match self.cert {
+            Some(cert) => cert,
+            None => {
+                bootstrap = self.fetch_cert(net, src, resolver)?;
+                self.cert.ok_or_else(|| {
+                    QueryError::Protocol("certificate fetch completed without a certificate".into())
+                })?
+            }
+        };
         let client_pk: u64 = net.rng().gen();
         let key = shared_key(client_pk, cert.resolver_pk);
         let envelope = Envelope {
@@ -193,10 +199,15 @@ impl DnsCryptClient {
         query: &Message,
     ) -> Result<QueryReply, QueryError> {
         let mut bootstrap = SimDuration::ZERO;
-        if self.cert.is_none() {
-            bootstrap = self.fetch_cert(net, src, resolver)?;
-        }
-        let cert = self.cert.expect("fetched above");
+        let cert = match self.cert {
+            Some(cert) => cert,
+            None => {
+                bootstrap = self.fetch_cert(net, src, resolver)?;
+                self.cert.ok_or_else(|| {
+                    QueryError::Protocol("certificate fetch completed without a certificate".into())
+                })?
+            }
+        };
         let client_pk: u64 = net.rng().gen();
         let key = shared_key(client_pk, cert.resolver_pk);
         let envelope = Envelope {

@@ -60,6 +60,7 @@ enum DoqPacket {
 
 impl DoqPacket {
     fn encode(&self) -> Vec<u8> {
+        // doe-lint: allow(D004) — DoqPacket is a plain data enum; serialising it cannot fail
         serde_json::to_vec(self).expect("doq packets serialise")
     }
 

@@ -181,7 +181,9 @@ impl StubResolver {
             self.session = match &self.config.profile {
                 StubProfile::StrictDot { auth_name } => {
                     let auth_name = auth_name.clone();
-                    let dot = self.dot.as_mut().expect("dot client for dot profile");
+                    let dot = self.dot.as_mut().ok_or_else(|| {
+                        QueryError::Protocol("stub configured for DoT without a DoT client".into())
+                    })?;
                     PooledSession::Dot(dot.session(
                         net,
                         src,
@@ -190,11 +192,15 @@ impl StubResolver {
                     )?)
                 }
                 StubProfile::OpportunisticDot { .. } => {
-                    let dot = self.dot.as_mut().expect("dot client for dot profile");
+                    let dot = self.dot.as_mut().ok_or_else(|| {
+                        QueryError::Protocol("stub configured for DoT without a DoT client".into())
+                    })?;
                     PooledSession::Dot(dot.session(net, src, self.config.resolver, None)?)
                 }
                 StubProfile::Doh { .. } => {
-                    let doh = self.doh.as_mut().expect("doh client for doh profile");
+                    let doh = self.doh.as_mut().ok_or_else(|| {
+                        QueryError::Protocol("stub configured for DoH without a DoH client".into())
+                    })?;
                     PooledSession::Doh(doh.session(net, src)?)
                 }
                 StubProfile::ClearTextTcp => PooledSession::Tcp(Do53TcpConn::connect(

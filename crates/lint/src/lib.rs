@@ -1,0 +1,314 @@
+//! # doe-lint — determinism & hygiene analyzer
+//!
+//! The sharded measurement engine's headline guarantee is that results
+//! are bit-identical for any shard count (see `DESIGN.md` §"Determinism
+//! contract"). That guarantee is enforced here, mechanically, rather
+//! than remembered: a dependency-free lexer walks every workspace crate
+//! and flags constructs that would let wall-clock time, ambient entropy
+//! or hash-iteration order leak into rendered tables and figures.
+//!
+//! Rules (see [`rules::RULES`]):
+//!
+//! * **D001** — no `std::time::{Instant, SystemTime}`, `thread_rng`,
+//!   `rand::random` or `from_entropy` in library code.
+//! * **D002** — no `HashMap`/`HashSet` in crates whose output reaches
+//!   reports or merge paths.
+//! * **D003** — no `println!`/`eprintln!` (or `print!`/`eprint!`/`dbg!`)
+//!   in library code.
+//! * **D004** — no `.unwrap()`/`.expect()` on protocol paths.
+//! * **D005** — no narrowing `as` casts in address-space indexing.
+//!
+//! Scope comes from `lint.toml` at the workspace root; per-site escape
+//! hatches are `// doe-lint: allow(D00x) — <reason>` pragmas with a
+//! mandatory reason. Binaries (`src/bin/`, `main.rs`), `tests/`,
+//! `benches/`, `examples/` and `#[cfg(test)]` items are exempt by
+//! construction.
+
+pub mod lexer;
+pub mod policy;
+pub mod pragma;
+pub mod report;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Diagnostic severity. Only errors exist today; the enum keeps the
+/// JSON schema forward-compatible with advisory rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the run.
+    Error,
+}
+
+/// One unsuppressed diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (`D00x` contract rules, `P00x` pragma hygiene).
+    pub rule: String,
+    /// Explanation and remediation.
+    pub message: String,
+    /// Severity (always [`Severity::Error`] today).
+    pub severity: Severity,
+}
+
+/// A finding that a pragma suppressed, kept for the audit trail.
+#[derive(Debug, Clone)]
+pub struct Suppressed {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the suppressed finding.
+    pub line: u32,
+    /// Rule id.
+    pub rule: String,
+    /// The pragma's mandatory justification.
+    pub reason: String,
+}
+
+/// Outcome of a whole-workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings; non-empty means a failing run.
+    pub findings: Vec<Finding>,
+    /// Suppressed findings with their recorded reasons.
+    pub suppressed: Vec<Suppressed>,
+    /// Pragmas that suppressed nothing (reported as notes, not errors).
+    pub unused_pragmas: Vec<(String, u32)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the workspace satisfies the contract.
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+}
+
+/// Outcome of linting a single source file.
+#[derive(Debug, Default)]
+pub struct FileOutcome {
+    /// Unsuppressed findings (contract violations and pragma errors).
+    pub findings: Vec<Finding>,
+    /// Suppressed findings.
+    pub suppressed: Vec<Suppressed>,
+    /// Lines of pragmas that matched nothing.
+    pub unused_pragmas: Vec<u32>,
+}
+
+/// Lint one source text under the given rule set. `file` is used only
+/// for labelling findings.
+pub fn lint_source(file: &str, src: &str, enabled: &[String]) -> FileOutcome {
+    let mut out = FileOutcome::default();
+    let lexed = lexer::lex(src);
+    let mask = rules::test_mask(&lexed.toks);
+
+    // Lines covered by test-only items: pragmas there are inert.
+    let test_lines: BTreeSet<u32> = lexed
+        .toks
+        .iter()
+        .zip(&mask)
+        .filter(|(_, m)| **m)
+        .map(|(t, _)| t.line)
+        .collect();
+
+    let (pragmas, pragma_errors) = pragma::parse(&lexed.comments);
+    for e in pragma_errors {
+        if test_lines.contains(&e.line) {
+            continue;
+        }
+        out.findings.push(Finding {
+            file: file.to_string(),
+            line: e.line,
+            rule: e.rule.to_string(),
+            message: e.message,
+            severity: Severity::Error,
+        });
+    }
+
+    // Resolve each pragma to the line it governs: its own line when code
+    // shares it, otherwise the next line that carries code.
+    let code_lines: BTreeSet<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    let mut targeted: Vec<(u32, &pragma::Pragma, bool)> = Vec::new(); // (line, pragma, used)
+    for p in &pragmas {
+        if test_lines.contains(&p.line) {
+            continue;
+        }
+        let target = if code_lines.contains(&p.line) {
+            Some(p.line)
+        } else {
+            code_lines.range(p.line + 1..).next().copied()
+        };
+        match target {
+            Some(t) => targeted.push((t, p, false)),
+            None => out.unused_pragmas.push(p.line),
+        }
+    }
+
+    let raw = rules::scan(&lexed.toks, &mask, |r| enabled.iter().any(|e| e == r));
+    for f in raw {
+        let slot = targeted
+            .iter_mut()
+            .find(|(line, p, _)| *line == f.line && p.rules.iter().any(|r| r == f.rule));
+        match slot {
+            Some((_, p, used)) => {
+                *used = true;
+                out.suppressed.push(Suppressed {
+                    file: file.to_string(),
+                    line: f.line,
+                    rule: f.rule.to_string(),
+                    reason: p.reason.clone(),
+                });
+            }
+            None => out.findings.push(Finding {
+                file: file.to_string(),
+                line: f.line,
+                rule: f.rule.to_string(),
+                message: f.message,
+                severity: Severity::Error,
+            }),
+        }
+    }
+
+    for (_, p, used) in &targeted {
+        if !used {
+            out.unused_pragmas.push(p.line);
+        }
+    }
+    out.unused_pragmas.sort_unstable();
+    out
+}
+
+/// A library source file selected for analysis.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Policy key: directory name under `crates/`, or `root` for the
+    /// workspace's umbrella package.
+    pub crate_key: String,
+    /// Path relative to the crate root (`src/net.rs`).
+    pub rel_path: String,
+    /// Path relative to the workspace root (for display).
+    pub display_path: String,
+    /// Absolute path on disk.
+    pub abs_path: PathBuf,
+}
+
+/// Discover the library sources of every workspace crate, in a stable
+/// order. Binaries, tests, benches and examples are excluded — the
+/// contract governs code whose effects reach merged, rendered output.
+pub fn discover(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let mut crate_dirs: Vec<(String, PathBuf)> = vec![("root".to_string(), root.to_path_buf())];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut names: Vec<String> = Vec::new();
+        for entry in fs::read_dir(&crates)? {
+            let entry = entry?;
+            if entry.path().is_dir() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        for name in names {
+            let dir = crates.join(&name);
+            crate_dirs.push((name, dir));
+        }
+    }
+    for (key, dir) in crate_dirs {
+        let src = dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files)?;
+        files.sort();
+        for abs in files {
+            let name = abs.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "main.rs" || name == "build.rs" {
+                continue;
+            }
+            let rel = abs.strip_prefix(&dir).unwrap_or(&abs);
+            if rel.components().any(|c| c.as_os_str() == "bin") {
+                continue;
+            }
+            let display = abs.strip_prefix(root).unwrap_or(&abs);
+            out.push(SourceFile {
+                crate_key: key.clone(),
+                rel_path: path_to_slash(rel),
+                display_path: path_to_slash(display),
+                abs_path: abs,
+            });
+        }
+    }
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn path_to_slash(p: &Path) -> String {
+    p.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Lint every library source under `root` with `policy`.
+pub fn lint_workspace(root: &Path, policy: &policy::Policy) -> io::Result<Report> {
+    let mut report = Report::default();
+    for file in discover(root)? {
+        let enabled = policy.rules_for(&file.crate_key, &file.rel_path);
+        // A file with no rules in force still gets pragma hygiene checks
+        // skipped — nothing can be suppressed there.
+        if enabled.is_empty() {
+            continue;
+        }
+        let src = fs::read_to_string(&file.abs_path)?;
+        let outcome = lint_source(&file.display_path, &src, &enabled);
+        report.findings.extend(outcome.findings);
+        report.suppressed.extend(outcome.suppressed);
+        report.unused_pragmas.extend(
+            outcome
+                .unused_pragmas
+                .into_iter()
+                .map(|l| (file.display_path.clone(), l)),
+        );
+        report.files_scanned += 1;
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    report
+        .suppressed
+        .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+    Ok(report)
+}
+
+/// Locate the workspace root by walking upward from `start` until a
+/// directory containing `lint.toml` appears.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        if dir.join("lint.toml").is_file() {
+            return Some(dir.to_path_buf());
+        }
+        cur = dir.parent();
+    }
+    None
+}

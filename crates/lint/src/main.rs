@@ -1,0 +1,97 @@
+//! `doe-lint` CLI: lint the workspace against `lint.toml`.
+//!
+//! ```text
+//! cargo run -p doe-lint                  # human output, exit 1 on findings
+//! cargo run -p doe-lint -- --json       # machine-readable report on stdout
+//! cargo run -p doe-lint -- --json-out results/doe-lint.json
+//! cargo run -p doe-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: 0 contract holds, 1 unsuppressed findings, 2 usage or
+//! I/O error.
+
+use doe_lint::{find_root, lint_workspace, policy::Policy, report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+    json_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+        json_out: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => args.json = true,
+            "--quiet" | "-q" => args.quiet = true,
+            "--json-out" => {
+                let path = it.next().ok_or("--json-out needs a path")?;
+                args.json_out = Some(PathBuf::from(path));
+            }
+            "--root" => {
+                let path = it.next().ok_or("--root needs a path")?;
+                args.root = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: doe-lint [--root DIR] [--json] [--json-out FILE] [--quiet]".to_string(),
+                )
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args = parse_args()?;
+    let root = match args.root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().map_err(|e| format!("cwd: {e}"))?;
+            find_root(&cwd).ok_or("no lint.toml found between here and filesystem root")?
+        }
+    };
+    let policy_text = std::fs::read_to_string(root.join("lint.toml"))
+        .map_err(|e| format!("{}: {e}", root.join("lint.toml").display()))?;
+    let policy = Policy::parse(&policy_text)?;
+    let rep = lint_workspace(&root, &policy).map_err(|e| format!("scan failed: {e}"))?;
+
+    if let Some(path) = &args.json_out {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(path, report::json(&rep)).map_err(|e| format!("{}: {e}", path.display()))?;
+    }
+    if args.json {
+        print!("{}", report::json(&rep));
+    } else if !args.quiet || !rep.clean() {
+        print!("{}", report::human(&rep));
+    }
+    Ok(if rep.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    })
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("doe-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Suppression pragmas: `// doe-lint: allow(D00x) — <reason>`.
+//!
+//! A pragma suppresses findings of the listed rules on its own line (a
+//! trailing comment) or, when it stands alone, on the next line that
+//! carries code. The reason is mandatory — a suppression without a
+//! recorded justification is itself a diagnostic (`P002`), as is a
+//! malformed directive (`P001`) or an unknown rule id (`P003`).
+
+use crate::lexer::LineComment;
+use crate::rules;
+
+/// A successfully parsed suppression directive.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Line the comment sits on.
+    pub line: u32,
+    /// Rule ids this pragma allows (e.g. `["D004"]`).
+    pub rules: Vec<String>,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A diagnostic produced while parsing pragmas.
+#[derive(Debug, Clone)]
+pub struct PragmaError {
+    /// Line the faulty comment sits on.
+    pub line: u32,
+    /// `P001` malformed, `P002` missing reason, `P003` unknown rule.
+    pub rule: &'static str,
+    /// Human explanation.
+    pub message: String,
+}
+
+/// Reason separators accepted after `allow(...)`.
+const SEPARATORS: &[&str] = &["—", "–", "--", ":"];
+
+/// Extract pragmas (and pragma errors) from a file's line comments.
+/// Comments that do not start with `doe-lint:` are ignored.
+pub fn parse(comments: &[LineComment]) -> (Vec<Pragma>, Vec<PragmaError>) {
+    let mut pragmas = Vec::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        // Doc comments capture as `/ ...` / `! ...`; strip those markers.
+        let body = c.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = body.strip_prefix("doe-lint:") else {
+            continue;
+        };
+        match parse_directive(rest.trim()) {
+            Ok((ids, reason)) => {
+                let mut bad = false;
+                for id in &ids {
+                    if !rules::is_known(id) {
+                        errors.push(PragmaError {
+                            line: c.line,
+                            rule: "P003",
+                            message: format!("unknown rule id `{id}` in doe-lint pragma"),
+                        });
+                        bad = true;
+                    }
+                }
+                if reason.is_empty() {
+                    errors.push(PragmaError {
+                        line: c.line,
+                        rule: "P002",
+                        message: "doe-lint pragma is missing its mandatory reason \
+                                  (`// doe-lint: allow(D00x) — <why this is sound>`)"
+                            .to_string(),
+                    });
+                    bad = true;
+                }
+                if !bad {
+                    pragmas.push(Pragma {
+                        line: c.line,
+                        rules: ids,
+                        reason,
+                    });
+                }
+            }
+            Err(msg) => errors.push(PragmaError {
+                line: c.line,
+                rule: "P001",
+                message: msg,
+            }),
+        }
+    }
+    (pragmas, errors)
+}
+
+/// Parse `allow(D001, D002) — reason` into (ids, reason).
+fn parse_directive(s: &str) -> Result<(Vec<String>, String), String> {
+    let Some(args) = s.strip_prefix("allow") else {
+        return Err(format!(
+            "unrecognized doe-lint directive `{}` (only `allow(...)` is supported)",
+            s.split_whitespace().next().unwrap_or("")
+        ));
+    };
+    let args = args.trim_start();
+    let Some(args) = args.strip_prefix('(') else {
+        return Err("expected `(` after `allow`".to_string());
+    };
+    let Some(close) = args.find(')') else {
+        return Err("unclosed `allow(` in doe-lint pragma".to_string());
+    };
+    let ids: Vec<String> = args[..close]
+        .split(',')
+        .map(|p| p.trim().to_string())
+        .filter(|p| !p.is_empty())
+        .collect();
+    if ids.is_empty() {
+        return Err("empty rule list in `allow()`".to_string());
+    }
+    let mut tail = args[close + 1..].trim_start();
+    let mut had_separator = false;
+    for sep in SEPARATORS {
+        if let Some(t) = tail.strip_prefix(sep) {
+            tail = t;
+            had_separator = true;
+            break;
+        }
+    }
+    if !had_separator && !tail.is_empty() {
+        return Err("expected `—` (or `--`) between `allow(...)` and the reason".to_string());
+    }
+    Ok((ids, tail.trim().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> (Vec<Pragma>, Vec<PragmaError>) {
+        parse(&lex(src).comments)
+    }
+
+    #[test]
+    fn well_formed_pragma_parses() {
+        let (p, e) = run("// doe-lint: allow(D001, D003) — fixture exercising two rules\n");
+        assert!(e.is_empty(), "{e:?}");
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].rules, vec!["D001", "D003"]);
+        assert_eq!(p[0].reason, "fixture exercising two rules");
+    }
+
+    #[test]
+    fn ascii_separator_accepted() {
+        let (p, e) = run("// doe-lint: allow(D002) -- sorted into a Vec right below\n");
+        assert!(e.is_empty(), "{e:?}");
+        assert_eq!(p[0].reason, "sorted into a Vec right below");
+    }
+
+    #[test]
+    fn missing_reason_is_p002() {
+        let (p, e) = run("// doe-lint: allow(D004)\n");
+        assert!(p.is_empty());
+        assert_eq!(e.len(), 1);
+        assert_eq!(e[0].rule, "P002");
+    }
+
+    #[test]
+    fn unknown_rule_is_p003() {
+        let (p, e) = run("// doe-lint: allow(D999) — no such rule\n");
+        assert!(p.is_empty());
+        assert_eq!(e[0].rule, "P003");
+    }
+
+    #[test]
+    fn malformed_directive_is_p001() {
+        let (p, e) = run("// doe-lint: deny(D001) — wrong verb\n");
+        assert!(p.is_empty());
+        assert_eq!(e[0].rule, "P001");
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (p, e) = run("// plain prose, not a directive\n/// doc text\n");
+        assert!(p.is_empty() && e.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Human and JSON rendering of a lint run.
+//!
+//! JSON is hand-rolled (the analyzer is dependency-free); the schema is
+//! stable so `scripts/verify.sh` can archive reports under `results/`
+//! and diff them across runs.
+
+use crate::{Report, Severity};
+use std::fmt::Write as _;
+
+/// Render the human-readable report.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        let _ = writeln!(out, "{}:{}: {} {}", f.file, f.line, f.rule, f.message);
+    }
+    if !report.unused_pragmas.is_empty() {
+        for (file, line) in &report.unused_pragmas {
+            let _ = writeln!(
+                out,
+                "{file}:{line}: note: doe-lint pragma suppresses nothing (stale?)"
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "doe-lint: {} finding(s), {} suppressed, {} file(s) scanned",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.files_scanned
+    );
+    if report.findings.is_empty() {
+        let _ = writeln!(out, "doe-lint: determinism contract holds");
+    }
+    out
+}
+
+/// Render the machine-readable report.
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"severity\": \"{}\", \"message\": \"{}\"}}",
+            esc(&f.file),
+            f.line,
+            f.rule,
+            match f.severity {
+                Severity::Error => "error",
+            },
+            esc(&f.message)
+        );
+    }
+    out.push_str("\n  ],\n  \"suppressed\": [");
+    for (i, s) in report.suppressed.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
+             \"reason\": \"{}\"}}",
+            esc(&s.file),
+            s.line,
+            s.rule,
+            esc(&s.reason)
+        );
+    }
+    let _ = write!(
+        out,
+        "\n  ],\n  \"summary\": {{\"findings\": {}, \"suppressed\": {}, \
+         \"files_scanned\": {}, \"clean\": {}}}\n}}\n",
+        report.findings.len(),
+        report.suppressed.len(),
+        report.files_scanned,
+        report.findings.is_empty()
+    );
+    out
+}
+
+/// Escape a string for embedding in JSON.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Finding;
+
+    #[test]
+    fn json_escapes_and_reports_clean_flag() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 3,
+                rule: "D003".to_string(),
+                message: "a \"quoted\" message".to_string(),
+                severity: Severity::Error,
+            }],
+            suppressed: Vec::new(),
+            unused_pragmas: Vec::new(),
+            files_scanned: 1,
+        };
+        let j = json(&report);
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"clean\": false"));
+        let empty = Report {
+            findings: Vec::new(),
+            suppressed: Vec::new(),
+            unused_pragmas: Vec::new(),
+            files_scanned: 0,
+        };
+        assert!(json(&empty).contains("\"clean\": true"));
+    }
+}

@@ -1,0 +1,15 @@
+//! D001 fixture: deterministic time and seeded randomness only.
+
+use netsim::{Network, SimDuration};
+
+pub fn stamp(net: &Network) -> u128 {
+    net.now().as_millis()
+}
+
+pub fn jitter(net: &mut Network) -> u64 {
+    net.rng().gen()
+}
+
+pub fn budget() -> SimDuration {
+    SimDuration::from_secs(5)
+}

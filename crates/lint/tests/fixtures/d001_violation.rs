@@ -1,0 +1,14 @@
+//! D001 fixture: wall-clock and ambient entropy in library code.
+
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t0 = Instant::now();
+    let _wall = SystemTime::now();
+    t0.elapsed().as_millis()
+}
+
+pub fn jitter() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<u64>() ^ rand::random::<u64>()
+}

@@ -1,0 +1,15 @@
+//! D002 fixture: ordered collections keep iteration deterministic.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for x in xs {
+        *m.entry(*x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn distinct(xs: &[u32]) -> BTreeSet<u32> {
+    xs.iter().copied().collect()
+}

@@ -1,0 +1,12 @@
+//! D002 fixture: a hash map whose contents never reach output, pragma'd.
+
+pub fn scratch(xs: &[u32]) -> usize {
+    // doe-lint: allow(D002) — fixture: map is drained into a sorted Vec before any output
+    let mut m = std::collections::HashMap::new();
+    for x in xs {
+        *m.entry(*x).or_insert(0u32) += 1;
+    }
+    let mut flat: Vec<_> = m.into_iter().collect();
+    flat.sort_unstable();
+    flat.len()
+}

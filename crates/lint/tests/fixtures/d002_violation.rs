@@ -1,0 +1,15 @@
+//! D002 fixture: hash-ordered collections on a report path.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    for x in xs {
+        *m.entry(*x).or_insert(0) += 1;
+    }
+    m
+}
+
+pub fn distinct(xs: &[u32]) -> HashSet<u32> {
+    xs.iter().copied().collect()
+}

@@ -1,0 +1,9 @@
+//! D003 fixture: library code returns strings; the binary prints them.
+
+pub fn announce(progress: usize, total: usize) -> String {
+    format!("verified {progress}/{total}")
+}
+
+pub fn warn_overrun(progress: usize, total: usize) -> Option<String> {
+    (progress > total).then(|| "probe counter overran the target space".to_string())
+}

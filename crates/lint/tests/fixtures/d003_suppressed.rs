@@ -1,0 +1,6 @@
+//! D003 fixture: a deliberate stderr escape hatch, pragma'd.
+
+pub fn panic_hook_note(detail: &str) {
+    // doe-lint: allow(D003) — fixture: last-resort diagnostics from a panic hook, never on the data path
+    eprintln!("doe: aborting: {detail}");
+}

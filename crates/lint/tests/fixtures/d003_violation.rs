@@ -1,0 +1,9 @@
+//! D003 fixture: console output from library code.
+
+pub fn announce(progress: usize, total: usize) {
+    println!("verified {progress}/{total}");
+    if progress > total {
+        eprintln!("probe counter overran the target space");
+    }
+    dbg!(progress);
+}

@@ -1,0 +1,15 @@
+//! D004 fixture: fallible extraction surfaces typed errors.
+
+pub fn first_answer(
+    message: &dnswire::Message,
+) -> Result<dnswire::ResourceRecord, QueryError> {
+    message
+        .answers
+        .first()
+        .cloned()
+        .ok_or_else(|| QueryError::Protocol("empty answer section".into()))
+}
+
+pub fn decode(bytes: &[u8]) -> Result<dnswire::Message, QueryError> {
+    Ok(dnswire::Message::decode(bytes)?)
+}

@@ -1,0 +1,6 @@
+//! D004 fixture: a provably-infallible expect, pragma'd with its proof.
+
+pub fn wire_header(id: u16) -> Vec<u8> {
+    // doe-lint: allow(D004) — fixture: serialising a plain value struct cannot fail
+    serde_json::to_vec(&id).expect("u16 serialises")
+}

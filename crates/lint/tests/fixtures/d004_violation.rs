@@ -1,0 +1,9 @@
+//! D004 fixture: panicking extraction on a protocol path.
+
+pub fn first_answer(message: &dnswire::Message) -> dnswire::ResourceRecord {
+    message.answers.first().unwrap().clone()
+}
+
+pub fn decode(bytes: &[u8]) -> dnswire::Message {
+    dnswire::Message::decode(bytes).expect("peer sent a well-formed message")
+}

@@ -1,0 +1,9 @@
+//! D005 fixture: narrowing made explicit with try_from or u64 widening.
+
+pub fn txid(i: usize) -> Option<u16> {
+    u16::try_from(i % 65_536).ok()
+}
+
+pub fn widen(host: u32) -> u64 {
+    u64::from(host)
+}

@@ -1,0 +1,5 @@
+//! D005 fixture: a masked narrowing whose wrap is intentional, pragma'd.
+
+pub fn txid(i: usize) -> u16 {
+    (i & 0xFFFF) as u16 // doe-lint: allow(D005) — fixture: masked to the u16 domain on the previous token
+}

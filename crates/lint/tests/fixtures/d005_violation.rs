@@ -1,0 +1,9 @@
+//! D005 fixture: silent narrowing in address-space arithmetic.
+
+pub fn txid(i: usize) -> u16 {
+    i as u16
+}
+
+pub fn octet(host: u32) -> u8 {
+    host as u8
+}

@@ -1,0 +1,243 @@
+//! Fixture-based self-tests for the determinism analyzer.
+//!
+//! Each rule gets three fixtures — violating, clean, and pragma-suppressed
+//! — plus checks for pragma hygiene, `lint.toml` scoping, and a meta-test
+//! asserting the live workspace itself lints clean.
+
+use doe_lint::policy::Policy;
+use doe_lint::{lint_source, lint_workspace, FileOutcome};
+use std::path::Path;
+
+const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "D005"];
+
+fn lint(src: &str, rules: &[&str]) -> FileOutcome {
+    let enabled: Vec<String> = rules.iter().map(|r| r.to_string()).collect();
+    lint_source("fixture.rs", src, &enabled)
+}
+
+fn assert_rule_triple(rule: &str, violation: &str, clean: &str, suppressed: &str) {
+    let v = lint(violation, ALL_RULES);
+    assert!(
+        !v.findings.is_empty(),
+        "{rule}: violation fixture produced no findings"
+    );
+    assert!(
+        v.findings.iter().all(|f| f.rule == rule),
+        "{rule}: violation fixture tripped other rules: {:?}",
+        v.findings
+    );
+    assert!(v.suppressed.is_empty());
+
+    let c = lint(clean, ALL_RULES);
+    assert!(
+        c.findings.is_empty(),
+        "{rule}: clean fixture produced findings: {:?}",
+        c.findings
+    );
+
+    let s = lint(suppressed, ALL_RULES);
+    assert!(
+        s.findings.is_empty(),
+        "{rule}: suppressed fixture still has findings: {:?}",
+        s.findings
+    );
+    assert!(
+        !s.suppressed.is_empty(),
+        "{rule}: suppressed fixture recorded no suppressions"
+    );
+    assert!(
+        s.suppressed
+            .iter()
+            .all(|sup| sup.rule == rule && !sup.reason.trim().is_empty()),
+        "{rule}: suppression missing rule or reason: {:?}",
+        s.suppressed
+    );
+    assert!(
+        s.unused_pragmas.is_empty(),
+        "{rule}: suppressed fixture left unused pragmas: {:?}",
+        s.unused_pragmas
+    );
+}
+
+#[test]
+fn d001_wall_clock_and_entropy() {
+    assert_rule_triple(
+        "D001",
+        include_str!("fixtures/d001_violation.rs"),
+        include_str!("fixtures/d001_clean.rs"),
+        include_str!("fixtures/d001_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d002_hash_iteration_order() {
+    assert_rule_triple(
+        "D002",
+        include_str!("fixtures/d002_violation.rs"),
+        include_str!("fixtures/d002_clean.rs"),
+        include_str!("fixtures/d002_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d003_console_output() {
+    assert_rule_triple(
+        "D003",
+        include_str!("fixtures/d003_violation.rs"),
+        include_str!("fixtures/d003_clean.rs"),
+        include_str!("fixtures/d003_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d004_panicking_extraction() {
+    assert_rule_triple(
+        "D004",
+        include_str!("fixtures/d004_violation.rs"),
+        include_str!("fixtures/d004_clean.rs"),
+        include_str!("fixtures/d004_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d005_narrowing_casts() {
+    assert_rule_triple(
+        "D005",
+        include_str!("fixtures/d005_violation.rs"),
+        include_str!("fixtures/d005_clean.rs"),
+        include_str!("fixtures/d005_suppressed.rs"),
+    );
+}
+
+#[test]
+fn disabled_rules_do_not_fire() {
+    // The D001 violation fixture is silent when only D003 is in force.
+    let out = lint(include_str!("fixtures/d001_violation.rs"), &["D003"]);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn pragma_missing_reason_is_a_finding() {
+    let src = "pub fn f() -> u16 {\n    // doe-lint: allow(D005)\n    3usize as u16\n}\n";
+    let out = lint(src, ALL_RULES);
+    // The malformed pragma suppresses nothing, so both the hygiene error
+    // and the underlying D005 finding surface.
+    assert!(out.findings.iter().any(|f| f.rule == "P002"), "{out:?}");
+    assert!(out.findings.iter().any(|f| f.rule == "D005"), "{out:?}");
+}
+
+#[test]
+fn pragma_unknown_rule_is_a_finding() {
+    let src = "// doe-lint: allow(D999) — no such rule\npub fn f() {}\n";
+    let out = lint(src, ALL_RULES);
+    assert!(out.findings.iter().any(|f| f.rule == "P003"), "{out:?}");
+}
+
+#[test]
+fn pragma_malformed_directive_is_a_finding() {
+    let src = "// doe-lint: deny(D001) — wrong verb\npub fn f() {}\n";
+    let out = lint(src, ALL_RULES);
+    assert!(out.findings.iter().any(|f| f.rule == "P001"), "{out:?}");
+}
+
+#[test]
+fn pragma_for_wrong_rule_does_not_suppress() {
+    let src = "pub fn f() -> u16 {\n    \
+               // doe-lint: allow(D001) — fixture: wrong rule id on purpose\n    \
+               3usize as u16\n}\n";
+    let out = lint(src, ALL_RULES);
+    assert!(out.findings.iter().any(|f| f.rule == "D005"), "{out:?}");
+    assert_eq!(out.unused_pragmas.len(), 1);
+}
+
+#[test]
+fn unused_pragma_is_a_note_not_an_error() {
+    let src = "// doe-lint: allow(D003) — fixture: nothing to suppress here\npub fn f() {}\n";
+    let out = lint(src, ALL_RULES);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+    // Notes carry the pragma's own line.
+    assert_eq!(out.unused_pragmas, vec![1]);
+}
+
+#[test]
+fn test_modules_are_exempt() {
+    let src = "pub fn lib_code() {}\n\n\
+               #[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    \
+               #[test]\n    fn t() {\n        \
+               let mut m = HashMap::new();\n        \
+               m.insert(1, std::time::Instant::now());\n        \
+               println!(\"{}\", m.len());\n        \
+               m.get(&1).unwrap();\n    }\n}\n";
+    let out = lint(src, ALL_RULES);
+    assert!(out.findings.is_empty(), "{:?}", out.findings);
+}
+
+#[test]
+fn policy_scoping_controls_what_fires() {
+    let toml = r#"
+        [default]
+        rules = ["D001", "D003"]
+
+        [crates.scanner]
+        rules = ["D001", "D002", "D003", "D005"]
+
+        [crates.netsim.files."src/net.rs"]
+        rules = ["D005"]
+
+        [crates.bench]
+        rules = []
+    "#;
+    let policy = Policy::parse(toml).expect("sample policy parses");
+
+    // A HashMap in an unlisted crate is fine (D002 off by default)...
+    let hash_src = include_str!("fixtures/d002_violation.rs");
+    let default_rules = policy.rules_for("tlssim", "src/lib.rs");
+    assert!(lint_source("f.rs", hash_src, &default_rules)
+        .findings
+        .is_empty());
+
+    // ...but fires in the scanner, whose output feeds reports.
+    let scanner_rules = policy.rules_for("scanner", "src/sweep.rs");
+    let out = lint_source("f.rs", hash_src, &scanner_rules);
+    assert!(out.findings.iter().all(|f| f.rule == "D002"));
+    assert!(!out.findings.is_empty());
+
+    // File-scoped extras apply to exactly that file.
+    let cast_src = include_str!("fixtures/d005_violation.rs");
+    let net_rules = policy.rules_for("netsim", "src/net.rs");
+    assert!(!lint_source("f.rs", cast_src, &net_rules)
+        .findings
+        .is_empty());
+    let geo_rules = policy.rules_for("netsim", "src/geo.rs");
+    assert!(lint_source("f.rs", cast_src, &geo_rules)
+        .findings
+        .is_empty());
+
+    // Empty rule set means the crate is fully out of scope.
+    assert!(policy.rules_for("bench", "src/lib.rs").is_empty());
+}
+
+/// The meta-test: the live workspace must satisfy its own contract, and
+/// every recorded suppression must carry a justification.
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+    let policy_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml exists");
+    let policy = Policy::parse(&policy_text).expect("workspace lint.toml parses");
+    let report = lint_workspace(&root, &policy).expect("workspace lints");
+    assert!(
+        report.clean(),
+        "workspace has unsuppressed findings:\n{}",
+        doe_lint::report::human(&report)
+    );
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+    assert!(
+        report
+            .suppressed
+            .iter()
+            .all(|s| !s.reason.trim().is_empty()),
+        "a suppression lost its reason: {:?}",
+        report.suppressed
+    );
+}

@@ -48,7 +48,7 @@ pub fn local_resolver_probe(
         }
         let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
         let qname = format!("atlas{i}.{probe_apex}");
-        let Ok(query) = builder::query(i as u16, &qname, RecordType::A) else {
+        let Ok(query) = builder::query(crate::txid(i), &qname, RecordType::A) else {
             continue;
         };
         if let Ok(reply) = dot.query_once(net, probe.ip, probe.local_resolver, None, &query) {

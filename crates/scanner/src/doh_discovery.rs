@@ -89,7 +89,7 @@ pub fn discover_doh(
             },
         );
         let qname = format!("doh{i}.{probe_apex}");
-        let reply = builder::query(i as u16, &qname, RecordType::A)
+        let reply = builder::query(crate::txid(i), &qname, RecordType::A)
             .ok()
             .and_then(|q| client.query_once(net, source, &q).ok());
         let works = reply.is_some();

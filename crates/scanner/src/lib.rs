@@ -22,6 +22,14 @@
 
 pub mod atlas;
 pub mod campaign;
+
+/// Derive a DNS transaction id from a probe counter. The single blessed
+/// narrowing in this crate: the mask makes the 16-bit wrap explicit
+/// instead of letting `as u16` truncate silently at probe 65 536.
+pub(crate) fn txid(i: usize) -> u16 {
+    (i & 0xFFFF) as u16 // doe-lint: allow(D005) — masked to the u16 domain on the previous token
+}
+
 pub mod doh_discovery;
 pub mod permutation;
 pub mod provider;

@@ -76,7 +76,7 @@ fn verify_one(
 ) -> Option<DotObservation> {
     let mut dot = DotClient::new(TlsClientConfig::no_verify(now));
     let qname = format!("s{epoch_tag}x{i}.{probe_apex}");
-    let query = builder::query((i % 65_536) as u16, &qname, RecordType::A).ok()?;
+    let query = builder::query(crate::txid(i), &qname, RecordType::A).ok()?;
     let observation = match dot.session(net, source, addr, None) {
         Err(e) => DotObservation {
             addr,

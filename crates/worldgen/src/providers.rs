@@ -7,7 +7,7 @@ use httpsim::UriTemplate;
 use netsim::{Asn, CountryCode};
 use rand::rngs::SmallRng;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 use tlssim::DateStamp;
 
@@ -89,9 +89,13 @@ fn server_block_base(index: usize) -> Ipv4Addr {
 }
 
 /// Hands out server addresses per country.
+///
+/// Ordered maps keep [`ServerAllocator::blocks`] — the scanner's target
+/// space — deterministic at the source instead of relying on a
+/// downstream sort.
 pub struct ServerAllocator {
-    country_index: HashMap<CountryCode, usize>,
-    next_host: HashMap<CountryCode, u32>,
+    country_index: BTreeMap<CountryCode, usize>,
+    next_host: BTreeMap<CountryCode, u32>,
     next_index: usize,
 }
 
@@ -99,8 +103,8 @@ impl ServerAllocator {
     /// Fresh allocator.
     pub fn new() -> Self {
         ServerAllocator {
-            country_index: HashMap::new(),
-            next_host: HashMap::new(),
+            country_index: BTreeMap::new(),
+            next_host: BTreeMap::new(),
             next_index: 0,
         }
     }
@@ -385,7 +389,7 @@ pub fn generate(cfg: &WorldConfig, rng: &mut SmallRng) -> (ProviderDeployment, S
     // Expired: 6+6+5+5+5 = 27. Self-signed: 2+6+5+4+3 = 20 (+47 FG = 67).
     // Broken: 7+7+7+7 = 28. Invalid providers: 14 + 47 FG = 61 (~62).
 
-    let mut consumed: HashMap<CountryCode, (u32, u32)> = HashMap::new(); // (feb_used, may_used)
+    let mut consumed: BTreeMap<CountryCode, (u32, u32)> = BTreeMap::new(); // (feb_used, may_used)
     for s in sloppy {
         let country = cc(s.country);
         for i in 0..s.total {
@@ -956,7 +960,7 @@ mod tests {
         let cfg = WorldConfig::default();
         let dep = gen();
         let may = cfg.scan_date(SCAN_EPOCHS - 1);
-        let mut per_provider: HashMap<&str, usize> = HashMap::new();
+        let mut per_provider: BTreeMap<&str, usize> = BTreeMap::new();
         for r in dep.dot_resolvers.iter().filter(|r| r.online_at(may)) {
             *per_provider.entry(r.provider.as_str()).or_default() += 1;
         }

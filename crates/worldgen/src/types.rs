@@ -223,7 +223,7 @@ pub struct ClientPool {
 impl ClientPool {
     /// Distinct countries represented.
     pub fn country_count(&self) -> usize {
-        let mut set = std::collections::HashSet::new();
+        let mut set = std::collections::BTreeSet::new();
         for c in &self.clients {
             set.insert(c.country);
         }
@@ -232,7 +232,7 @@ impl ClientPool {
 
     /// Distinct ASes represented.
     pub fn as_count(&self) -> usize {
-        let mut set = std::collections::HashSet::new();
+        let mut set = std::collections::BTreeSet::new();
         for c in &self.clients {
             set.insert(c.asn);
         }

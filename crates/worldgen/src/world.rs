@@ -25,7 +25,7 @@ use netsim::{
 };
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
 use tlssim::{CaHandle, Certificate, DateStamp, InterceptLog, KeyId, TlsServerConfig, TrustStore};
@@ -95,8 +95,8 @@ pub struct World {
     /// The self-built resolver.
     pub self_built: SelfBuiltInfo,
     epoch: DateStamp,
-    deployed: HashSet<Ipv4Addr>,
-    bundles: HashMap<Ipv4Addr, ResolverBundle>,
+    deployed: BTreeSet<Ipv4Addr>,
+    bundles: BTreeMap<Ipv4Addr, ResolverBundle>,
 }
 
 impl World {
@@ -271,7 +271,7 @@ impl World {
 
         // ---- Resolver bundles ---------------------------------------------
         // Shared per-provider responders (shared cache ≈ anycast backend).
-        let mut responders: HashMap<String, Arc<dyn DnsResponder>> = HashMap::new();
+        let mut responders: BTreeMap<String, Arc<dyn DnsResponder>> = BTreeMap::new();
         let mut responder_for = |provider: &str,
                                  behavior: &ResolverBehavior,
                                  upstreams: &UpstreamMap|
@@ -299,7 +299,7 @@ impl World {
                 .clone()
         };
 
-        let mut bundles: HashMap<Ipv4Addr, ResolverBundle> = HashMap::new();
+        let mut bundles: BTreeMap<Ipv4Addr, ResolverBundle> = BTreeMap::new();
         for r in &deployment.dot_resolvers {
             let meta = {
                 let mut m = HostMeta::new(r.addr)
@@ -684,7 +684,7 @@ impl World {
             scanner_sources,
             self_built,
             epoch: first,
-            deployed: HashSet::new(),
+            deployed: BTreeSet::new(),
             bundles,
             config,
         };

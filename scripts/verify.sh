@@ -15,6 +15,9 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline --workspace
 
+echo "==> doe-lint (determinism contract)"
+cargo run -q --release -p doe-lint --offline -- --json-out results/doe-lint.json
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
