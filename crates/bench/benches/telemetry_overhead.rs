@@ -1,0 +1,58 @@
+//! Cost of the telemetry subsystem on the hot path: the same /17 SYN
+//! sweep with metrics collection disabled (`NetworkConfig.metrics =
+//! false`, every registry call a no-op on a `None` registry) and enabled
+//! (the default). The delta is what every probe pays for its counter
+//! bumps and histogram observations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doe_scanner::sweep::AddressSpace;
+use doe_scanner::syn_sweep_sharded;
+use netsim::service::FnStreamService;
+use netsim::{HostMeta, Netblock, Network, NetworkConfig};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// The sweep_shards fixture: a /17 target space (32,768 addresses) with
+/// open DoT listeners on every 256th host.
+fn sweep_fixture(metrics: bool) -> (Network, Vec<Ipv4Addr>, AddressSpace) {
+    let mut net = Network::new(
+        NetworkConfig {
+            metrics,
+            ..NetworkConfig::default()
+        },
+        29,
+    );
+    let sources: Vec<Ipv4Addr> = ["198.51.100.1", "198.51.100.2", "198.51.100.3"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
+    for &s in &sources {
+        net.add_host(HostMeta::new(s));
+    }
+    let space = AddressSpace::new(vec![Netblock::new("10.128.0.0".parse().unwrap(), 17)]);
+    for i in (0..space.len()).step_by(256) {
+        let addr = space.addr(i);
+        net.add_host(HostMeta::new(addr));
+        net.bind_tcp(
+            addr,
+            853,
+            Arc::new(FnStreamService::new(|_c, _p, d: &[u8]| d.to_vec(), "echo")),
+        );
+    }
+    (net, sources, space)
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    for (label, metrics) in [("disabled", false), ("enabled", true)] {
+        let (mut net, sources, space) = sweep_fixture(metrics);
+        group.bench_function(&format!("slash17_sweep_metrics_{label}"), |b| {
+            b.iter(|| syn_sweep_sharded(&mut net, &sources, &space, 853, 2019, 1))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! repro --scale 0.1 table4        # one experiment at a custom scale
 //! repro --seed 7 figure3 table2   # several experiments, custom seed
 //! repro --json results/ all      # also write one JSON artifact per experiment
+//! repro --metrics results/metrics.json table1   # export the telemetry snapshot
 //! repro list                      # available experiment ids
 //! ```
 
@@ -15,10 +16,13 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--paper] [--scale X] [--seed N] [--epochs N] [--shards N] [--trace] [--json DIR] <experiment...|all|list>"
+        "usage: repro [--paper] [--scale X] [--seed N] [--epochs N] [--shards N] [--trace] [--json DIR] [--metrics PATH] <experiment...|all|list>"
     );
     eprintln!("  --shards N   worker threads for sharded stages (default: available cores; results identical for any N)");
     eprintln!("  --trace      record network events and print per-shard probe counters");
+    eprintln!(
+        "  --metrics PATH  write the telemetry snapshot as JSON and print a per-stage breakdown"
+    );
     eprintln!("experiments: {}", ALL_EXPERIMENTS.join(", "));
     std::process::exit(2);
 }
@@ -30,6 +34,7 @@ fn main() {
     }
     let mut config = StudyConfig::quick(2019);
     let mut json_dir: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -54,6 +59,9 @@ fn main() {
             "--trace" => config.trace_capacity = 4096,
             "--json" => {
                 json_dir = Some(it.next().unwrap_or_else(|| usage()));
+            }
+            "--metrics" => {
+                metrics_path = Some(it.next().unwrap_or_else(|| usage()));
             }
             other if other.starts_with('-') => usage(),
             other => targets.push(other.to_string()),
@@ -105,6 +113,20 @@ fn main() {
             f.write_all(body.as_bytes()).expect("write artifact");
             eprintln!("[wrote {path}]");
         }
+    }
+
+    if let Some(path) = &metrics_path {
+        let snapshot = study.world.net.metrics().snapshot();
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent).expect("create metrics dir");
+            }
+        }
+        let mut body = serde_json::to_string_pretty(&snapshot).expect("serialise metrics");
+        body.push('\n');
+        std::fs::write(path, body).expect("write metrics");
+        eprintln!("[wrote {path}]");
+        print!("{}", netsim::telemetry::render_breakdown(&snapshot));
     }
 
     if trace_on {

@@ -4,7 +4,7 @@
 use crate::experiments::ExperimentResult;
 use crate::render::{heading, pct, TextTable};
 use crate::study::Study;
-use doe_traffic::{analyze_dot, detect_scanners, ScanDetectorConfig, ScanVerdict};
+use doe_traffic::{analyze_dot_metered, detect_scanners, ScanDetectorConfig, ScanVerdict};
 use serde_json::json;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -22,7 +22,7 @@ fn resolver_labels() -> BTreeMap<Ipv4Addr, String> {
 pub fn figure11(study: &mut Study) -> ExperimentResult {
     let do53_estimate = study.traffic().do53_monthly_estimate;
     let records = study.traffic().records.clone();
-    let report = analyze_dot(&records, &resolver_labels());
+    let report = analyze_dot_metered(&records, &resolver_labels(), study.world.net.metrics_mut());
     let months: Vec<String> = {
         let mut set = std::collections::BTreeSet::new();
         for series in report.monthly.values() {
@@ -78,7 +78,7 @@ pub fn figure11(study: &mut Study) -> ExperimentResult {
 /// Figure 12: per-/24 DoT traffic concentration and churn.
 pub fn figure12(study: &mut Study) -> ExperimentResult {
     let records = study.traffic().records.clone();
-    let report = analyze_dot(&records, &resolver_labels());
+    let report = analyze_dot_metered(&records, &resolver_labels(), study.world.net.metrics_mut());
     let (short_blocks, short_traffic) = report.short_lived(7);
     let mut table = TextTable::new(vec!["Top /24", "Flows", "Share", "Active days"]);
     for b in report.netblocks.iter().take(10) {

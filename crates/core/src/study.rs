@@ -34,6 +34,8 @@ pub struct StudyConfig {
     pub shards: usize,
     /// Network event-trace capacity (0 = tracing off).
     pub trace_capacity: usize,
+    /// Whether the network collects telemetry (`repro --metrics`).
+    pub metrics: bool,
 }
 
 impl StudyConfig {
@@ -50,6 +52,7 @@ impl StudyConfig {
             full_sweep: false,
             shards: 0,
             trace_capacity: 0,
+            metrics: true,
         }
     }
 
@@ -66,6 +69,7 @@ impl StudyConfig {
             full_sweep: true,
             shards: 0,
             trace_capacity: 0,
+            metrics: true,
         }
     }
 
@@ -74,6 +78,7 @@ impl StudyConfig {
             seed: self.seed,
             scale: self.scale,
             trace_capacity: self.trace_capacity,
+            metrics: self.metrics,
             ..WorldConfig::default()
         }
     }

@@ -194,6 +194,25 @@ impl RecursiveResolver {
         self.cache.lock().map.len()
     }
 
+    /// Pin an answer in the cache that never expires.
+    ///
+    /// World construction uses this for names real deployments keep
+    /// permanently hot — the DoH front-end hostnames every client
+    /// bootstraps through. Without the pin, whether a bootstrap lookup
+    /// hits or misses would depend on which worker happened to resolve
+    /// the name first, making handler latency (and the telemetry
+    /// snapshot) a function of the shard layout.
+    pub fn prewarm(&self, name: &Name, rtype: RecordType, answers: Vec<ResourceRecord>) {
+        self.cache_put(
+            (name.clone(), rtype),
+            CacheEntry {
+                answers,
+                rcode: Rcode::NoError,
+                expires: SimTime::from_micros(u64::MAX),
+            },
+        );
+    }
+
     fn cache_get(&self, key: &(Name, RecordType), now: SimTime) -> Option<CacheEntry> {
         let cache = self.cache.lock();
         cache
@@ -483,6 +502,50 @@ mod tests {
             do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(5), 0).unwrap();
         }
         assert_eq!(log.lock().len(), 5);
+    }
+
+    #[test]
+    fn prewarmed_entry_hits_without_upstream_traffic() {
+        let mut net = Network::new(NetworkConfig::default(), 22);
+        let client: Ipv4Addr = "198.51.100.7".parse().unwrap();
+        let resolver: Ipv4Addr = "9.9.9.10".parse().unwrap();
+        net.add_host(HostMeta::new(client));
+        net.add_host(HostMeta::new(resolver));
+
+        let name = Name::parse("doh.example.net").unwrap();
+        let front: Ipv4Addr = "203.0.113.80".parse().unwrap();
+        // Registered upstream that is never bound: a cache miss would fail,
+        // so a correct answer proves the pinned entry served the query.
+        let mut upstreams = UpstreamMap::new();
+        upstreams.add(name.clone(), "203.0.113.54".parse().unwrap());
+        let recursive = Arc::new(RecursiveResolver::new(
+            upstreams,
+            RecursiveConfig {
+                servfail_rate: 0.0,
+                ..RecursiveConfig::default()
+            },
+        ));
+        recursive.prewarm(
+            &name,
+            RecordType::A,
+            vec![ResourceRecord::new(name.clone(), 300, RData::A(front))],
+        );
+        net.bind_udp(
+            resolver,
+            53,
+            Arc::new(Do53UdpService::new(
+                Arc::clone(&recursive) as Arc<dyn DnsResponder>
+            )),
+        );
+
+        let q = dnswire::builder::query(9, "doh.example.net", RecordType::A).unwrap();
+        let reply =
+            do53_udp_query(&mut net, client, resolver, &q, SimDuration::from_secs(5), 0).unwrap();
+        assert_eq!(reply.message.rcode(), Rcode::NoError);
+        assert_eq!(reply.message.answers[0].rdata, RData::A(front));
+        let stats = recursive.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.upstream_queries, 0);
     }
 
     #[test]

@@ -43,6 +43,11 @@
 //! assert!(reply.elapsed.as_micros() > 0);
 //! ```
 
+/// Re-export of the deterministic metrics subsystem: stage runners pull
+/// `telemetry::{Labels, Span, ...}` from here instead of depending on the
+/// crate directly.
+pub use doe_telemetry as telemetry;
+
 pub mod geo;
 pub mod host;
 pub mod latency;

@@ -24,6 +24,7 @@ use crate::policy::{PathDecision, PolicySet};
 use crate::service::{DatagramService, Service, ServiceCtx, StreamHandler, MAX_HANDLER_DEPTH};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{EventKind, EventLog, NetEvent};
+use doe_telemetry::{CounterId, HistogramId, Labels, Registry};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -54,6 +55,10 @@ pub struct NetworkConfig {
     pub latency: LatencyModel,
     /// Event-log capacity; 0 disables tracing.
     pub trace_capacity: usize,
+    /// Whether shards collect telemetry (`net.*` counters/histograms).
+    /// Disabling makes every metric operation a no-op and derived
+    /// [`ShardStats`] read zero; only benchmarks should turn this off.
+    pub metrics: bool,
 }
 
 impl Default for NetworkConfig {
@@ -63,6 +68,7 @@ impl Default for NetworkConfig {
             probe_timeout: SimDuration::from_secs(1),
             latency: LatencyModel::default(),
             trace_capacity: 0,
+            metrics: true,
         }
     }
 }
@@ -258,18 +264,108 @@ impl DataPlane {
     }
 }
 
+/// Pre-registered handles for the hot-path `net.*` metrics: one vector
+/// index per series, resolved once per shard so updates are plain
+/// integer bumps (no lookup, no allocation, no atomics).
+struct NetMetricIds {
+    probe_sent: CounterId,
+    probe_open: CounterId,
+    probe_closed: CounterId,
+    probe_filtered: CounterId,
+    path_refused: CounterId,
+    path_udp_unreachable: CounterId,
+    path_retransmit: CounterId,
+    path_depth_exceeded: CounterId,
+    bytes_tx: CounterId,
+    bytes_rx: CounterId,
+    tcp_connect_us: HistogramId,
+    tcp_exchange_us: HistogramId,
+    udp_exchange_us: HistogramId,
+}
+
+impl NetMetricIds {
+    fn register(reg: &mut Registry) -> NetMetricIds {
+        NetMetricIds {
+            probe_sent: reg.counter("net.probe.sent", Labels::empty()),
+            probe_open: reg.counter("net.probe.open", Labels::empty()),
+            probe_closed: reg.counter("net.probe.closed", Labels::empty()),
+            probe_filtered: reg.counter("net.probe.filtered", Labels::empty()),
+            path_refused: reg.counter("net.path.refused", Labels::empty()),
+            path_udp_unreachable: reg.counter("net.path.udp_unreachable", Labels::empty()),
+            path_retransmit: reg.counter("net.path.retransmit", Labels::empty()),
+            path_depth_exceeded: reg.counter("net.path.depth_exceeded", Labels::empty()),
+            bytes_tx: reg.counter("net.bytes.tx", Labels::empty()),
+            bytes_rx: reg.counter("net.bytes.rx", Labels::empty()),
+            tcp_connect_us: reg.histogram("net.tcp.connect_us", Labels::empty()),
+            tcp_exchange_us: reg.histogram("net.tcp.exchange_us", Labels::empty()),
+            udp_exchange_us: reg.histogram("net.udp.exchange_us", Labels::empty()),
+        }
+    }
+}
+
+fn rule_labels(rule: Option<&str>) -> Labels {
+    Labels::one("rule", rule.unwrap_or("none"))
+}
+
 /// Per-worker session state: RNG stream, virtual clock, trace log,
-/// handler-depth guard and probe counters.
+/// handler-depth guard and the telemetry registry.
 struct ShardCtx {
     id: u64,
     rng: SmallRng,
     now: SimTime,
     log: EventLog,
     handler_depth: u8,
-    stats: ShardStats,
+    /// Virtual time charged to top-level operations on this shard (plus
+    /// absorbed workers). Unlike `now`, this advances with every
+    /// completed exchange, so stage runners can time spans without
+    /// perturbing the clock measurement code observes.
+    charged: SimDuration,
+    metrics: Registry,
+    /// Permanently-disabled registry handed out by [`ShardCtx::meter`]
+    /// for nested (handler-internal) operations.
+    void: Registry,
+    ids: NetMetricIds,
     /// Per-shard counters folded in by [`Network::absorb_shard`], in
     /// absorption order — the data behind `repro --trace`'s breakdown.
     breakdown: Vec<(u64, ShardStats)>,
+}
+
+impl ShardCtx {
+    fn fresh(id: u64, rng_seed: u64, now: SimTime, log: EventLog, metrics_on: bool) -> ShardCtx {
+        let mut metrics = if metrics_on {
+            Registry::enabled()
+        } else {
+            Registry::disabled()
+        };
+        let ids = NetMetricIds::register(&mut metrics);
+        ShardCtx {
+            id,
+            rng: SmallRng::seed_from_u64(rng_seed),
+            now,
+            log,
+            handler_depth: 0,
+            charged: SimDuration::ZERO,
+            metrics,
+            void: Registry::disabled(),
+            ids,
+            breakdown: Vec::new(),
+        }
+    }
+
+    /// The registry the current operation records into: the real one at
+    /// top level, a disabled one inside service handlers. Handler-internal
+    /// traffic (resolver cache fills, upstream fetches) depends on shard
+    /// layout through shared caches and per-worker clocks, so recording it
+    /// would break the snapshot's shard-count invariance — like
+    /// [`Network::charge`], nested work is attributed to the outer
+    /// exchange.
+    fn meter(&mut self) -> &mut Registry {
+        if self.handler_depth == 0 {
+            &mut self.metrics
+        } else {
+            &mut self.void
+        }
+    }
 }
 
 /// The simulated internet. See the crate docs for the model.
@@ -296,6 +392,7 @@ impl Network {
         } else {
             EventLog::disabled()
         };
+        let metrics_on = cfg.metrics;
         Network {
             plane: Arc::new(DataPlane {
                 cfg,
@@ -304,15 +401,7 @@ impl Network {
                 policies: PolicySet::new(),
             }),
             seed,
-            shard: ShardCtx {
-                id: 0,
-                rng: SmallRng::seed_from_u64(seed),
-                now: SimTime::EPOCH,
-                log,
-                handler_depth: 0,
-                stats: ShardStats::default(),
-                breakdown: Vec::new(),
-            },
+            shard: ShardCtx::fresh(0, seed, SimTime::EPOCH, log, metrics_on),
         }
     }
 
@@ -329,30 +418,31 @@ impl Network {
         Network {
             plane: Arc::clone(&self.plane),
             seed: self.seed,
-            shard: ShardCtx {
+            shard: ShardCtx::fresh(
                 id,
-                rng: SmallRng::seed_from_u64(mix_seed(self.seed, id)),
-                now: self.shard.now,
+                mix_seed(self.seed, id),
+                self.shard.now,
                 log,
-                handler_depth: 0,
-                stats: ShardStats::default(),
-                breakdown: Vec::new(),
-            },
+                self.plane.cfg.metrics,
+            ),
         }
     }
 
-    /// Fold a joined worker back into this network: its probe counters,
-    /// trace events (in the worker's order) and clock high-water mark.
-    /// Absorb workers in ascending shard order for deterministic logs.
+    /// Fold a joined worker back into this network: its telemetry
+    /// registry (counter/bucket addition, gauge max — associative and
+    /// commutative, so the merged registry is shard-count invariant),
+    /// charged time, trace events (in the worker's order) and clock
+    /// high-water mark. Absorb workers in ascending shard order for
+    /// deterministic logs.
     pub fn absorb_shard(&mut self, worker: Network) {
-        self.shard.stats.absorb(&worker.shard.stats);
+        let worker_stats = worker.shard_stats();
         if worker.shard.now > self.shard.now {
             self.shard.now = worker.shard.now;
         }
+        self.shard.charged += worker.shard.charged;
+        self.shard.metrics.merge(&worker.shard.metrics);
         self.shard.breakdown.extend(worker.shard.breakdown);
-        self.shard
-            .breakdown
-            .push((worker.shard.id, worker.shard.stats));
+        self.shard.breakdown.push((worker.shard.id, worker_stats));
         self.shard.log.absorb(worker.shard.log);
     }
 
@@ -383,9 +473,40 @@ impl Network {
         self.seed
     }
 
-    /// Probe counters accumulated by this shard (plus any absorbed ones).
+    /// Probe counters accumulated by this shard (plus any absorbed ones),
+    /// derived from the telemetry registry's `net.probe.*` counters — the
+    /// registry is the single source of truth. Reads zero when
+    /// [`NetworkConfig::metrics`] is off.
     pub fn shard_stats(&self) -> ShardStats {
-        self.shard.stats
+        let empty = Labels::empty();
+        ShardStats {
+            probes: self.shard.metrics.counter_value("net.probe.sent", &empty),
+            open: self.shard.metrics.counter_value("net.probe.open", &empty),
+            closed: self.shard.metrics.counter_value("net.probe.closed", &empty),
+            filtered: self
+                .shard
+                .metrics
+                .counter_value("net.probe.filtered", &empty),
+        }
+    }
+
+    /// This shard's telemetry registry (merged with absorbed workers).
+    pub fn metrics(&self) -> &Registry {
+        &self.shard.metrics
+    }
+
+    /// Mutable telemetry registry — stage runners register their
+    /// `stage.*` series here.
+    pub fn metrics_mut(&mut self) -> &mut Registry {
+        &mut self.shard.metrics
+    }
+
+    /// Total virtual time charged to completed top-level operations on
+    /// this shard (plus absorbed workers). Monotone within a shard, and
+    /// the sum across shards is shard-count invariant — the reading
+    /// [`doe_telemetry::Span`] timers are fed with.
+    pub fn charged(&self) -> SimDuration {
+        self.shard.charged
     }
 
     /// The event trace (enable via [`NetworkConfig::trace_capacity`]).
@@ -558,6 +679,16 @@ impl Network {
         self.shard.rng.gen_bool(p.clamp(0.0, 1.0))
     }
 
+    /// Accumulate virtual time into the charged-time counter, but only
+    /// for top-level operations: time spent inside a service handler
+    /// already flows into the outer exchange via `ServiceCtx::extra`, so
+    /// charging nested calls would double-count it.
+    fn charge(&mut self, d: SimDuration) {
+        if self.shard.handler_depth == 0 {
+            self.shard.charged += d;
+        }
+    }
+
     /// Open a TCP connection with the default timeout.
     pub fn connect(
         &mut self,
@@ -582,6 +713,8 @@ impl Network {
         timeout: SimDuration,
     ) -> Result<Conn, ConnectError> {
         if self.shard.handler_depth >= MAX_HANDLER_DEPTH {
+            let id = self.shard.ids.path_depth_exceeded;
+            self.shard.meter().inc(id);
             return Err(ConnectError {
                 kind: ConnectErrorKind::DepthExceeded,
                 elapsed: SimDuration::ZERO,
@@ -592,6 +725,10 @@ impl Network {
         let (effective, diverted_rule) = match decision {
             PathDecision::Allow => (dst, None),
             PathDecision::Blackhole => {
+                self.shard
+                    .meter()
+                    .count("net.path.timeout", rule_labels(rule.as_deref()), 1);
+                self.charge(timeout);
                 self.shard.log.record(NetEvent {
                     src,
                     dst,
@@ -607,6 +744,10 @@ impl Network {
             }
             PathDecision::Reset => {
                 let rtt = self.sample_rtt(src, dst, port);
+                self.shard
+                    .meter()
+                    .count("net.path.reset", rule_labels(rule.as_deref()), 1);
+                self.charge(rtt);
                 self.shard.log.record(NetEvent {
                     src,
                     dst,
@@ -638,6 +779,10 @@ impl Network {
         let svc = match self.plane.hosts.get(&effective) {
             None => {
                 // Unrouted address: SYNs vanish.
+                self.shard
+                    .meter()
+                    .count("net.path.timeout", rule_labels(None), 1);
+                self.charge(timeout);
                 self.shard.log.record(NetEvent {
                     src,
                     dst,
@@ -654,6 +799,9 @@ impl Network {
             Some(entry) => match entry.tcp.get(&port) {
                 None => {
                     let rtt = self.sample_rtt(src, effective, port);
+                    let id = self.shard.ids.path_refused;
+                    self.shard.meter().inc(id);
+                    self.charge(rtt);
                     self.shard.log.record(NetEvent {
                         src,
                         dst,
@@ -682,7 +830,12 @@ impl Network {
         if self.loss_roll(src, effective) {
             // Lost SYN: one retransmission.
             rtt += self.sample_rtt(src, effective, port);
+            let id = self.shard.ids.path_retransmit;
+            self.shard.meter().inc(id);
         }
+        let id = self.shard.ids.tcp_connect_us;
+        self.shard.meter().observe(id, rtt.as_micros());
+        self.charge(rtt);
         self.shard.log.record(NetEvent {
             src,
             dst,
@@ -714,6 +867,8 @@ impl Network {
         timeout: Option<SimDuration>,
     ) -> Result<UdpReply, UdpError> {
         if self.shard.handler_depth >= MAX_HANDLER_DEPTH {
+            let id = self.shard.ids.path_depth_exceeded;
+            self.shard.meter().inc(id);
             return Err(UdpError::DepthExceeded);
         }
         let timeout = timeout.unwrap_or(self.plane.cfg.default_timeout);
@@ -722,6 +877,10 @@ impl Network {
             PathDecision::Allow => dst,
             PathDecision::Blackhole | PathDecision::Reset => {
                 // UDP has no RST; both read as silence.
+                self.shard
+                    .meter()
+                    .count("net.path.udp_drop", rule_labels(rule.as_deref()), 1);
+                self.charge(timeout);
                 self.shard.log.record(NetEvent {
                     src,
                     dst,
@@ -738,6 +897,10 @@ impl Network {
         };
 
         if self.loss_roll(src, effective) {
+            self.shard
+                .meter()
+                .count("net.path.udp_drop", rule_labels(Some("loss")), 1);
+            self.charge(timeout);
             self.shard.log.record(NetEvent {
                 src,
                 dst,
@@ -753,14 +916,21 @@ impl Network {
 
         let svc = match self.plane.hosts.get(&effective) {
             None => {
+                self.shard
+                    .meter()
+                    .count("net.path.udp_drop", rule_labels(rule.as_deref()), 1);
+                self.charge(timeout);
                 return Err(UdpError::Timeout {
                     elapsed: timeout,
                     rule,
-                })
+                });
             }
             Some(entry) => match entry.udp.get(&port) {
                 None => {
                     let rtt = self.sample_rtt(src, effective, port);
+                    let id = self.shard.ids.path_udp_unreachable;
+                    self.shard.meter().inc(id);
+                    self.charge(rtt);
                     return Err(UdpError::Unreachable { elapsed: rtt });
                 }
                 Some(svc) => Arc::clone(svc),
@@ -788,6 +958,15 @@ impl Network {
                         .latency
                         .transmission(data.len() + bytes.len())
                     + extra;
+                let ids = (
+                    self.shard.ids.udp_exchange_us,
+                    self.shard.ids.bytes_tx,
+                    self.shard.ids.bytes_rx,
+                );
+                self.shard.meter().observe(ids.0, total.as_micros());
+                self.shard.meter().add(ids.1, data.len() as u64);
+                self.shard.meter().add(ids.2, bytes.len() as u64);
+                self.charge(total);
                 self.shard.log.record(NetEvent {
                     src,
                     dst,
@@ -803,10 +982,16 @@ impl Network {
                     elapsed: total,
                 })
             }
-            None => Err(UdpError::Timeout {
-                elapsed: timeout,
-                rule: None,
-            }),
+            None => {
+                self.shard
+                    .meter()
+                    .count("net.path.udp_drop", rule_labels(Some("no_answer")), 1);
+                self.charge(timeout);
+                Err(UdpError::Timeout {
+                    elapsed: timeout,
+                    rule: None,
+                })
+            }
         }
     }
 
@@ -846,12 +1031,15 @@ impl Network {
                 }
             }
         })();
-        self.shard.stats.probes += 1;
-        match outcome {
-            ProbeOutcome::Open => self.shard.stats.open += 1,
-            ProbeOutcome::Closed => self.shard.stats.closed += 1,
-            ProbeOutcome::Filtered => self.shard.stats.filtered += 1,
-        }
+        let sent_id = self.shard.ids.probe_sent;
+        self.shard.meter().inc(sent_id);
+        let outcome_id = match outcome {
+            ProbeOutcome::Open => self.shard.ids.probe_open,
+            ProbeOutcome::Closed => self.shard.ids.probe_closed,
+            ProbeOutcome::Filtered => self.shard.ids.probe_filtered,
+        };
+        self.shard.meter().inc(outcome_id);
+        self.charge(elapsed);
         self.shard.log.record(NetEvent {
             src,
             dst,
@@ -876,6 +1064,8 @@ impl Network {
         if self.loss_roll(conn_src, conn_dst) {
             // One retransmission round.
             rtt += self.sample_rtt(conn_src, conn_dst, port);
+            let id = self.shard.ids.path_retransmit;
+            self.shard.meter().inc(id);
         }
         self.shard.handler_depth += 1;
         let mut ctx = ServiceCtx::new(self, conn_dst, 0);
@@ -883,6 +1073,15 @@ impl Network {
         let extra = ctx.extra();
         self.shard.handler_depth -= 1;
         let total = rtt + self.plane.cfg.latency.transmission(data.len() + resp.len()) + extra;
+        let ids = (
+            self.shard.ids.tcp_exchange_us,
+            self.shard.ids.bytes_tx,
+            self.shard.ids.bytes_rx,
+        );
+        self.shard.meter().observe(ids.0, total.as_micros());
+        self.shard.meter().add(ids.1, data.len() as u64);
+        self.shard.meter().add(ids.2, resp.len() as u64);
+        self.charge(total);
         (resp, total)
     }
 

@@ -3,6 +3,7 @@
 
 use crate::sweep::{syn_sweep_sharded, AddressSpace, SweepStats};
 use crate::verify::{verify_resolvers_sharded, DotObservation, VerifyOutcome};
+use netsim::telemetry::Labels;
 use netsim::Netblock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
@@ -292,7 +293,19 @@ pub fn run_campaign_sharded(
     for epoch in 0..epochs {
         let date = world.config.scan_date(epoch);
         world.set_epoch(date);
-        summaries.push(scan_epoch_sharded(world, space, epoch, seed, shards));
+        let summary = scan_epoch_sharded(world, space, epoch, seed, shards);
+        // Per-epoch accounting lives in the registry, same store as the
+        // sweep counters the summary itself is derived from.
+        world
+            .net
+            .metrics_mut()
+            .count("stage.campaign.epochs", Labels::empty(), 1);
+        world.net.metrics_mut().count(
+            "stage.campaign.open_resolvers",
+            Labels::one("epoch", &format!("e{epoch}")),
+            summary.open_resolvers as u64,
+        );
+        summaries.push(summary);
     }
     CampaignReport { epochs: summaries }
 }

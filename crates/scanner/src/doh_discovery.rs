@@ -6,6 +6,7 @@ use dnswire::{builder, Rcode, RecordType};
 use doe_protocols::{Bootstrap, DohClient, DohMethod};
 use httpsim::uri::COMMON_DOH_PATHS;
 use httpsim::{UriTemplate, Url};
+use netsim::telemetry::{Labels, Span};
 use netsim::Network;
 use std::collections::BTreeSet;
 use std::net::Ipv4Addr;
@@ -71,6 +72,14 @@ pub fn discover_doh(
     }
 
     // Stage 2: validate each candidate with a genuine DoH query.
+    let probe_us = net
+        .metrics_mut()
+        .histogram("stage.doh_discovery.probe_us", Labels::empty());
+    net.metrics_mut().count(
+        "stage.doh_discovery.candidates",
+        Labels::empty(),
+        candidates.len() as u64,
+    );
     let mut observations = Vec::with_capacity(candidates.len());
     let mut working: BTreeSet<String> = BTreeSet::new();
     let mut services: Vec<UriTemplate> = Vec::new();
@@ -89,10 +98,17 @@ pub fn discover_doh(
             },
         );
         let qname = format!("doh{i}.{probe_apex}");
+        let span = Span::begin(net.charged().as_micros());
         let reply = builder::query(crate::txid(i), &qname, RecordType::A)
             .ok()
             .and_then(|q| client.query_once(net, source, &q).ok());
+        let elapsed = span.elapsed_us(net.charged().as_micros());
+        net.metrics_mut().observe(probe_us, elapsed);
         let works = reply.is_some();
+        if works {
+            net.metrics_mut()
+                .count("stage.doh_discovery.works", Labels::empty(), 1);
+        }
         let correct = reply
             .map(|reply| {
                 reply.message.rcode() == Rcode::NoError

@@ -2,6 +2,7 @@
 //! parallelised zmap-style across shard workers.
 
 use crate::permutation::PermutationShard;
+use netsim::telemetry::Labels;
 use netsim::{mix_seed, Netblock, Network, ProbeOutcome};
 use std::net::Ipv4Addr;
 
@@ -107,6 +108,9 @@ fn sweep_shard(
     shards: u64,
 ) -> Vec<TaggedProbe> {
     let mut hits = Vec::new();
+    let probe_us = worker
+        .metrics_mut()
+        .histogram("stage.sweep.probe_us", Labels::empty());
     for (pos, index) in PermutationShard::new(space.len(), seed, shard, shards) {
         let addr = space.addr(index);
         // Reseed per target (keyed on the permuted index, which is unique)
@@ -114,7 +118,8 @@ fn sweep_shard(
         // shard — or how many shards — executed it.
         worker.reseed(mix_seed(seed, index));
         let src = sources[(index as usize) % sources.len()];
-        let (outcome, _elapsed) = worker.syn_probe(src, addr, port);
+        let (outcome, elapsed) = worker.syn_probe(src, addr, port);
+        worker.metrics_mut().observe(probe_us, elapsed.as_micros());
         hits.push((pos, addr, outcome));
     }
     hits
@@ -144,6 +149,10 @@ pub fn syn_sweep_sharded(
             stats: SweepStats::default(),
         };
     }
+    // The registry is the one source of truth for probe counters: the
+    // sweep's stats are the delta of the parent's `net.probe.*` counters
+    // across the absorb, not a separately maintained tally.
+    let before = net.shard_stats();
     let mut outputs: Vec<(Network, Vec<TaggedProbe>)> = if shards == 1 {
         let mut worker = net.fork_shard(0);
         let hits = sweep_shard(&mut worker, sources, space, port, seed, 0, 1);
@@ -172,19 +181,19 @@ pub fn syn_sweep_sharded(
         tagged.extend(hits);
     }
     tagged.sort_unstable_by_key(|&(pos, _, _)| pos);
-    let mut stats = SweepStats::default();
-    let mut open_addrs = Vec::new();
-    for (_, addr, outcome) in tagged {
-        stats.probed += 1;
-        match outcome {
-            ProbeOutcome::Open => {
-                stats.open += 1;
-                open_addrs.push(addr);
-            }
-            ProbeOutcome::Closed => stats.closed += 1,
-            ProbeOutcome::Filtered => stats.filtered += 1,
-        }
-    }
+    let open_addrs = tagged
+        .into_iter()
+        .filter(|&(_, _, outcome)| outcome == ProbeOutcome::Open)
+        .map(|(_, addr, _)| addr)
+        .collect();
+    let after = net.shard_stats();
+    let delta = |a: u64, b: u64| a.saturating_sub(b);
+    let stats = SweepStats {
+        probed: delta(after.probes, before.probes),
+        open: delta(after.open, before.open),
+        closed: delta(after.closed, before.closed),
+        filtered: delta(after.filtered, before.filtered),
+    };
     SweepResult { open_addrs, stats }
 }
 

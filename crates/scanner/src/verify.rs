@@ -4,9 +4,32 @@
 use crate::provider::provider_key;
 use dnswire::{builder, Rcode, RecordType};
 use doe_protocols::dot::DotClient;
+use netsim::telemetry::{Labels, Span};
 use netsim::{mix_seed, Network};
 use std::net::Ipv4Addr;
 use tlssim::{classify_chain, CertStatus, Certificate, DateStamp, TlsClientConfig, TrustStore};
+
+/// Stable label value for a verification outcome class.
+fn outcome_class(outcome: &VerifyOutcome) -> &'static str {
+    match outcome {
+        VerifyOutcome::OpenResolver => "open_resolver",
+        VerifyOutcome::AnsweredError(_) => "answered_error",
+        VerifyOutcome::NotDns => "not_dns",
+        VerifyOutcome::NotTls => "not_tls",
+        VerifyOutcome::ConnectFailed => "connect_failed",
+    }
+}
+
+/// Stable label value for a certificate classification.
+fn cert_class(status: &CertStatus) -> &'static str {
+    match status {
+        CertStatus::Valid => "valid",
+        CertStatus::Expired => "expired",
+        CertStatus::SelfSigned => "self_signed",
+        CertStatus::InvalidChain => "invalid_chain",
+        CertStatus::UntrustedCa { .. } => "untrusted_ca",
+    }
+}
 
 /// FNV-1a over a string — folds the epoch tag into the per-probe seed so
 /// different epochs draw independent randomness.
@@ -167,11 +190,15 @@ fn verify_shard(
     epoch_salt: u64,
 ) -> Vec<(usize, DotObservation)> {
     let mut out = Vec::new();
+    let session_us = worker
+        .metrics_mut()
+        .histogram("stage.verify.session_us", Labels::empty());
     for i in (shard..candidates.len()).step_by(shards) {
         // Per-candidate reseed keyed on the global index, so the session's
         // randomness (and thus the observation) is shard-layout invariant.
         worker.reseed(mix_seed(epoch_salt, i as u64));
         let src = sources[i % sources.len()];
+        let span = Span::begin(worker.charged().as_micros());
         if let Some(obs) = verify_one(
             worker,
             src,
@@ -183,6 +210,21 @@ fn verify_shard(
             now,
             epoch_tag,
         ) {
+            let elapsed = span.elapsed_us(worker.charged().as_micros());
+            let metrics = worker.metrics_mut();
+            metrics.observe(session_us, elapsed);
+            metrics.count(
+                "stage.verify.outcome",
+                Labels::one("class", outcome_class(&obs.outcome)),
+                1,
+            );
+            if let Some(status) = &obs.cert_status {
+                metrics.count(
+                    "stage.verify.cert",
+                    Labels::one("status", cert_class(status)),
+                    1,
+                );
+            }
             out.push((i, obs));
         }
     }

@@ -1,0 +1,548 @@
+//! # doe-telemetry — deterministic metrics for the measurement pipeline
+//!
+//! Counters, gauges and log-bucketed histograms addressed by a static
+//! metric name plus an ordered label set, collected per shard and merged
+//! associatively/commutatively at absorb time — so a snapshot is
+//! bit-identical for any shard count, the same guarantee the sharded
+//! engine gives measurement reports (`tests/shard_invariance.rs`).
+//!
+//! Design rules (DESIGN.md §6):
+//!
+//! * **Virtual time only.** [`Span`] timers are driven by the simulator's
+//!   charged-time accumulator, never the host wall clock; durations are
+//!   integers (microseconds) end to end.
+//! * **No floats in exported state.** [`Snapshot`] is all integers and
+//!   `BTreeMap`s, so its JSON serialisation is byte-stable.
+//! * **Zero-cost when disabled.** A [`Registry::disabled`] registry is an
+//!   `Option::None` behind one pointer: every operation is a single
+//!   branch, no allocation, no atomics.
+//! * **Hot paths use handles.** Register a [`CounterId`]/[`HistogramId`]
+//!   once per shard, then update by vector index; the one-shot
+//!   [`Registry::count`]/[`Registry::record`] forms are for cold paths
+//!   where allocating a label set per call does not matter.
+//!
+//! ```
+//! use doe_telemetry::{Labels, Registry};
+//!
+//! let mut reg = Registry::enabled();
+//! let probes = reg.counter("net.probe.sent", Labels::empty());
+//! reg.add(probes, 3);
+//! let latency = reg.histogram("stage.sweep.probe_us", Labels::empty());
+//! reg.observe(latency, 1_500);
+//! assert_eq!(reg.counter_value("net.probe.sent", &Labels::empty()), 3);
+//!
+//! // Per-shard registries merge order-independently.
+//! let mut other = Registry::enabled();
+//! other.count("net.probe.sent", Labels::empty(), 2);
+//! reg.merge(&other);
+//! assert_eq!(reg.snapshot().counters["net.probe.sent"], 5);
+//! ```
+
+pub mod histogram;
+
+pub use histogram::{bucket_floor, bucket_index, Histogram, HistogramSnapshot};
+
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// An ordered label set (`BTreeMap`-backed, per the D002 contract):
+/// `(key, value)` pairs that qualify a metric name, compared and rendered
+/// in key order so labelled metrics have one canonical identity.
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Labels(BTreeMap<String, String>);
+
+impl Labels {
+    /// No labels.
+    pub fn empty() -> Labels {
+        Labels(BTreeMap::new())
+    }
+
+    /// A single `key=value` pair.
+    pub fn one(key: &str, value: &str) -> Labels {
+        Labels::empty().with(key, value)
+    }
+
+    /// Builder-style insert (replaces an existing key).
+    pub fn with(mut self, key: &str, value: &str) -> Labels {
+        self.0.insert(key.to_string(), value.to_string());
+        self
+    }
+
+    /// True when no pairs are set.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.0.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl std::fmt::Display for Labels {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for (i, (k, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Canonical identity of one metric series.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct Key {
+    name: String,
+    labels: Labels,
+}
+
+impl Key {
+    /// `name` or `name{k=v,...}` — the form snapshots key series by.
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}{{{}}}", self.name, self.labels)
+        }
+    }
+}
+
+/// One registered series.
+#[derive(Debug, Clone)]
+enum Slot {
+    Counter(u64),
+    Gauge(u64),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone, Default)]
+struct Inner {
+    index: BTreeMap<Key, usize>,
+    slots: Vec<Slot>,
+}
+
+impl Inner {
+    /// Find-or-create the slot for `key`; `None` when the key exists with
+    /// a different kind (a naming bug — the op becomes a no-op rather
+    /// than a panic).
+    fn slot_for(&mut self, key: Key, make: fn() -> Slot) -> Option<usize> {
+        if let Some(&i) = self.index.get(&key) {
+            let matches = matches!(
+                (&self.slots[i], make()),
+                (Slot::Counter(_), Slot::Counter(_))
+                    | (Slot::Gauge(_), Slot::Gauge(_))
+                    | (Slot::Histogram(_), Slot::Histogram(_))
+            );
+            return if matches { Some(i) } else { None };
+        }
+        let i = self.slots.len();
+        self.slots.push(make());
+        self.index.insert(key, i);
+        Some(i)
+    }
+}
+
+/// Handle to a registered counter — a vector index, valid only for the
+/// registry (and shard) that issued it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Sentinel index issued by disabled registries (and on kind conflicts);
+/// updates through it are no-ops.
+const DEAD: usize = usize::MAX;
+
+/// A per-shard metric registry.
+///
+/// Forked empty for each shard worker and folded back with
+/// [`Registry::merge`]: counters and histogram buckets add, gauges take
+/// the max — all associative and commutative, so the merged result is
+/// independent of shard count and absorb order.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Option<Box<Inner>>,
+}
+
+impl Registry {
+    /// A collecting registry.
+    pub fn enabled() -> Registry {
+        Registry {
+            inner: Some(Box::default()),
+        }
+    }
+
+    /// A no-op registry: one `None` check per operation, nothing stored.
+    pub fn disabled() -> Registry {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry collects anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Register (or look up) a counter, returning its update handle.
+    pub fn counter(&mut self, name: &'static str, labels: Labels) -> CounterId {
+        CounterId(self.register(name, labels, || Slot::Counter(0)))
+    }
+
+    /// Register (or look up) a histogram, returning its update handle.
+    pub fn histogram(&mut self, name: &'static str, labels: Labels) -> HistogramId {
+        HistogramId(self.register(name, labels, || Slot::Histogram(Histogram::new())))
+    }
+
+    fn register(&mut self, name: &'static str, labels: Labels, make: fn() -> Slot) -> usize {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return DEAD;
+        };
+        let key = Key {
+            name: name.to_string(),
+            labels,
+        };
+        inner.slot_for(key, make).unwrap_or(DEAD)
+    }
+
+    /// Add `n` to a registered counter.
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            if let Some(Slot::Counter(c)) = inner.slots.get_mut(id.0) {
+                *c += n;
+            }
+        }
+    }
+
+    /// Add 1 to a registered counter.
+    pub fn inc(&mut self, id: CounterId) {
+        self.add(id, 1);
+    }
+
+    /// Record a sample into a registered histogram.
+    pub fn observe(&mut self, id: HistogramId, value: u64) {
+        if let Some(inner) = self.inner.as_deref_mut() {
+            if let Some(Slot::Histogram(h)) = inner.slots.get_mut(id.0) {
+                h.observe(value);
+            }
+        }
+    }
+
+    /// One-shot counter bump (cold paths: allocates the label set).
+    pub fn count(&mut self, name: &'static str, labels: Labels, n: u64) {
+        let id = self.counter(name, labels);
+        self.add(id, n);
+    }
+
+    /// One-shot histogram sample (cold paths).
+    pub fn record(&mut self, name: &'static str, labels: Labels, value: u64) {
+        let id = self.histogram(name, labels);
+        self.observe(id, value);
+    }
+
+    /// Raise a gauge to `value` if it is higher (max is the only gauge
+    /// semantic that merges commutatively; last-write-wins would depend
+    /// on absorb order).
+    pub fn gauge_max(&mut self, name: &'static str, labels: Labels, value: u64) {
+        let Some(inner) = self.inner.as_deref_mut() else {
+            return;
+        };
+        let key = Key {
+            name: name.to_string(),
+            labels,
+        };
+        if let Some(i) = inner.slot_for(key, || Slot::Gauge(0)) {
+            if let Some(Slot::Gauge(g)) = inner.slots.get_mut(i) {
+                if value > *g {
+                    *g = value;
+                }
+            }
+        }
+    }
+
+    /// Current value of a counter series (0 if absent or disabled).
+    pub fn counter_value(&self, name: &str, labels: &Labels) -> u64 {
+        let Some(inner) = self.inner.as_deref() else {
+            return 0;
+        };
+        let key = Key {
+            name: name.to_string(),
+            labels: labels.clone(),
+        };
+        match inner.index.get(&key).map(|&i| &inner.slots[i]) {
+            Some(Slot::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// A clone of a histogram series, if present.
+    pub fn histogram_value(&self, name: &str, labels: &Labels) -> Option<Histogram> {
+        let inner = self.inner.as_deref()?;
+        let key = Key {
+            name: name.to_string(),
+            labels: labels.clone(),
+        };
+        match inner.index.get(&key).map(|&i| &inner.slots[i]) {
+            Some(Slot::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Fold another registry into this one: counters and histogram
+    /// buckets add, gauges take the max. Associative and commutative, so
+    /// absorbing shards in any order (or any grouping) yields the same
+    /// registry. A disabled registry absorbs nothing and contributes
+    /// nothing.
+    pub fn merge(&mut self, other: &Registry) {
+        let (Some(inner), Some(theirs)) = (self.inner.as_deref_mut(), other.inner.as_deref())
+        else {
+            return;
+        };
+        for (key, &j) in &theirs.index {
+            let make: fn() -> Slot = match &theirs.slots[j] {
+                Slot::Counter(_) => || Slot::Counter(0),
+                Slot::Gauge(_) => || Slot::Gauge(0),
+                Slot::Histogram(_) => || Slot::Histogram(Histogram::new()),
+            };
+            let Some(i) = inner.slot_for(key.clone(), make) else {
+                continue;
+            };
+            match (&mut inner.slots[i], &theirs.slots[j]) {
+                (Slot::Counter(a), Slot::Counter(b)) => *a += b,
+                (Slot::Gauge(a), Slot::Gauge(b)) => *a = (*a).max(*b),
+                (Slot::Histogram(a), Slot::Histogram(b)) => a.merge(b),
+                _ => {}
+            }
+        }
+    }
+
+    /// Export every series. Keys are `name` or `name{k=v,...}` in
+    /// lexicographic order; values are integers only — the JSON form is
+    /// byte-identical across runs, platforms and shard counts.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        let Some(inner) = self.inner.as_deref() else {
+            return snap;
+        };
+        for (key, &i) in &inner.index {
+            match &inner.slots[i] {
+                Slot::Counter(c) => {
+                    snap.counters.insert(key.render(), *c);
+                }
+                Slot::Gauge(g) => {
+                    snap.gauges.insert(key.render(), *g);
+                }
+                Slot::Histogram(h) => {
+                    snap.histograms
+                        .insert(key.render(), HistogramSnapshot::of(h));
+                }
+            }
+        }
+        snap
+    }
+}
+
+/// A virtual-clock span timer. `Span` does not read any clock itself —
+/// the caller feeds it the simulator's charged-time microsecond counter
+/// at both ends, which keeps the crate dependency-light and the duration
+/// bit-reproducible.
+///
+/// ```
+/// use doe_telemetry::Span;
+/// let span = Span::begin(1_000); // net.charged().as_micros()
+/// assert_eq!(span.elapsed_us(4_500), 3_500);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    start_us: u64,
+}
+
+impl Span {
+    /// Start a span at the given virtual-microsecond reading.
+    pub fn begin(now_us: u64) -> Span {
+        Span { start_us: now_us }
+    }
+
+    /// Microseconds between the start reading and `now_us`.
+    pub fn elapsed_us(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(self.start_us)
+    }
+}
+
+/// A machine-readable export of one registry: all integers, all ordered.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Snapshot {
+    /// Counter series by rendered key.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge series by rendered key.
+    pub gauges: BTreeMap<String, u64>,
+    /// Histogram series by rendered key.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// True when nothing was recorded (the gate `scripts/verify.sh`
+    /// fails on).
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// Render the human per-phase breakdown: one row per histogram with
+/// count, total/median/p99, and (for `stage.*` virtual-time series) a
+/// share bar of where simulated time went — a text flamegraph — followed
+/// by the counter table.
+pub fn render_breakdown(snap: &Snapshot) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "== telemetry breakdown ==");
+
+    let stage_total: u64 = snap
+        .histograms
+        .iter()
+        .filter(|(k, _)| k.starts_with("stage.") && k.contains("_us"))
+        .map(|(_, h)| h.sum)
+        .sum();
+    let _ = writeln!(
+        out,
+        "{:<44} {:>10} {:>12} {:>10} {:>10}  share",
+        "histogram", "count", "total", "p50", "p99"
+    );
+    for (key, h) in &snap.histograms {
+        let time_like = key.contains("_us");
+        let fmt_v = |v: u64| {
+            if time_like {
+                format!("{:.1}ms", v as f64 / 1_000.0)
+            } else {
+                format!("{v}")
+            }
+        };
+        let total = if time_like {
+            format!("{:.2}s", h.sum as f64 / 1_000_000.0)
+        } else {
+            format!("{}", h.sum)
+        };
+        let share = if key.starts_with("stage.") && time_like && stage_total > 0 {
+            let permille = h.sum.saturating_mul(1000) / stage_total;
+            let bar_len = (permille / 50) as usize; // 20 chars = 100%
+            format!("{:<20} {:>3}%", "#".repeat(bar_len), permille / 10)
+        } else {
+            String::new()
+        };
+        let _ = writeln!(
+            out,
+            "{:<44} {:>10} {:>12} {:>10} {:>10}  {}",
+            key,
+            h.count,
+            total,
+            fmt_v(h.p50),
+            fmt_v(h.p99),
+            share
+        );
+    }
+
+    let _ = writeln!(out);
+    let _ = writeln!(out, "{:<60} {:>12}", "counter", "value");
+    for (key, v) in &snap.counters {
+        let _ = writeln!(out, "{key:<60} {v:>12}");
+    }
+    for (key, v) in &snap.gauges {
+        let _ = writeln!(out, "{key:<60} {v:>12} (gauge)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let mut reg = Registry::disabled();
+        let c = reg.counter("x", Labels::empty());
+        let h = reg.histogram("y", Labels::empty());
+        reg.add(c, 5);
+        reg.observe(h, 9);
+        reg.count("z", Labels::empty(), 1);
+        reg.gauge_max("g", Labels::empty(), 7);
+        assert!(!reg.is_enabled());
+        assert_eq!(reg.counter_value("x", &Labels::empty()), 0);
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn labels_make_distinct_series() {
+        let mut reg = Registry::enabled();
+        reg.count("net.path.reset", Labels::one("rule", "censor"), 2);
+        reg.count("net.path.reset", Labels::one("rule", "filter-853"), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["net.path.reset{rule=censor}"], 2);
+        assert_eq!(snap.counters["net.path.reset{rule=filter-853}"], 1);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_gauges() {
+        let mut a = Registry::enabled();
+        let mut b = Registry::enabled();
+        a.count("c", Labels::empty(), 3);
+        b.count("c", Labels::empty(), 4);
+        a.gauge_max("g", Labels::empty(), 10);
+        b.gauge_max("g", Labels::empty(), 7);
+        a.record("h", Labels::empty(), 100);
+        b.record("h", Labels::empty(), 200);
+        a.merge(&b);
+        let snap = a.snapshot();
+        assert_eq!(snap.counters["c"], 7);
+        assert_eq!(snap.gauges["g"], 10);
+        assert_eq!(snap.histograms["h"].count, 2);
+    }
+
+    #[test]
+    fn kind_conflict_is_a_silent_no_op() {
+        let mut reg = Registry::enabled();
+        reg.count("dual", Labels::empty(), 1);
+        let h = reg.histogram("dual", Labels::empty());
+        reg.observe(h, 99);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counters["dual"], 1);
+        assert!(!snap.histograms.contains_key("dual"));
+    }
+
+    #[test]
+    fn handles_survive_many_registrations() {
+        let mut reg = Registry::enabled();
+        let first = reg.counter("a", Labels::empty());
+        let again = reg.counter("a", Labels::empty());
+        assert_eq!(first, again);
+        reg.inc(first);
+        reg.add(again, 2);
+        assert_eq!(reg.counter_value("a", &Labels::empty()), 3);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic() {
+        let build = || {
+            let mut reg = Registry::enabled();
+            reg.count("b", Labels::one("k", "v"), 2);
+            reg.count("a", Labels::empty(), 1);
+            reg.record("lat_us", Labels::empty(), 1234);
+            reg.record("lat_us", Labels::empty(), 88);
+            serde_json::to_string(&reg.snapshot()).unwrap()
+        };
+        assert_eq!(build(), build());
+        assert!(build().contains("\"a\""));
+    }
+
+    #[test]
+    fn render_breakdown_mentions_every_series() {
+        let mut reg = Registry::enabled();
+        reg.count("net.probe.sent", Labels::empty(), 9);
+        reg.record("stage.sweep.probe_us", Labels::empty(), 2_000);
+        let text = render_breakdown(&reg.snapshot());
+        assert!(text.contains("net.probe.sent"));
+        assert!(text.contains("stage.sweep.probe_us"));
+        assert!(text.contains("100%"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the metrics subsystem: the algebra the
+//! sharded engine leans on (merge associativity/commutativity and
+//! order-independence) plus the histogram's accuracy contract.
+
+use doe_telemetry::{bucket_index, Histogram, Labels, Registry};
+use proptest::prelude::*;
+
+fn histogram_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.observe(v);
+    }
+    h
+}
+
+/// Build a registry holding one counter, one gauge and one histogram per
+/// (name index, value) pair, so merges exercise every slot kind.
+fn registry_of(series: &[(u8, u64)]) -> Registry {
+    let mut reg = Registry::enabled();
+    for &(which, value) in series {
+        let labels = Labels::one("s", &(which % 4).to_string());
+        match which % 3 {
+            0 => reg.count("prop.counter", labels, value),
+            1 => reg.gauge_max("prop.gauge", labels, value),
+            _ => reg.record("prop.histogram", labels, value),
+        }
+    }
+    reg
+}
+
+proptest! {
+    #[test]
+    fn histogram_merge_is_commutative(
+        a in proptest::collection::vec(any::<u64>(), 0..40),
+        b in proptest::collection::vec(any::<u64>(), 0..40),
+    ) {
+        let (ha, hb) = (histogram_of(&a), histogram_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        prop_assert_eq!(&ab, &ba);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative(
+        a in proptest::collection::vec(any::<u64>(), 0..30),
+        b in proptest::collection::vec(any::<u64>(), 0..30),
+        c in proptest::collection::vec(any::<u64>(), 0..30),
+    ) {
+        let (ha, hb, hc) = (histogram_of(&a), histogram_of(&b), histogram_of(&c));
+        // (a ⊕ b) ⊕ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+    }
+
+    #[test]
+    fn merging_shards_equals_observing_in_one(
+        a in proptest::collection::vec(0u64..1_000_000, 1..40),
+        b in proptest::collection::vec(0u64..1_000_000, 1..40),
+    ) {
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let mut all: Vec<u64> = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(&merged, &histogram_of(&all));
+    }
+
+    #[test]
+    fn quantile_lands_in_the_exact_sample_bucket(
+        samples in proptest::collection::vec(0u64..10_000_000, 1..80),
+        permille in 0u64..=1000,
+    ) {
+        let h = histogram_of(&samples);
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        // The estimator uses the same nearest-rank rule as this oracle;
+        // log-bucketing means it can only be off by the bucket rounding.
+        let rank = (permille * (sorted.len() as u64 - 1) / 1000) as usize;
+        let exact = sorted[rank];
+        let estimate = h.quantile(permille);
+        prop_assert_eq!(
+            bucket_index(estimate),
+            bucket_index(exact),
+            "p{} estimate {} not in exact value {}'s bucket",
+            permille,
+            estimate,
+            exact
+        );
+        prop_assert!(estimate <= exact, "bucket floor exceeds the exact sample");
+    }
+
+    #[test]
+    fn registry_merge_is_order_independent(
+        a in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..30),
+        b in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..30),
+        c in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..30),
+    ) {
+        let (ra, rb, rc) = (registry_of(&a), registry_of(&b), registry_of(&c));
+        // Absorb order (a, b, c) into an empty parent...
+        let mut forward = Registry::enabled();
+        forward.merge(&ra);
+        forward.merge(&rb);
+        forward.merge(&rc);
+        // ...must match absorb order (c, a, b).
+        let mut shuffled = Registry::enabled();
+        shuffled.merge(&rc);
+        shuffled.merge(&ra);
+        shuffled.merge(&rb);
+        prop_assert_eq!(forward.snapshot(), shuffled.snapshot());
+    }
+
+    #[test]
+    fn registry_merge_totals_match_single_registry(
+        a in proptest::collection::vec((any::<u8>(), 0u64..1_000_000), 0..40),
+        split in 0usize..40,
+    ) {
+        let cut = split.min(a.len());
+        let mut sharded = registry_of(&a[..cut]);
+        sharded.merge(&registry_of(&a[cut..]));
+        prop_assert_eq!(sharded.snapshot(), registry_of(&a).snapshot());
+    }
+}

@@ -2,6 +2,7 @@
 //! and 12.
 
 use crate::netflow::FlowRecord;
+use netsim::telemetry::{Labels, Registry};
 use netsim::Netblock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
@@ -66,11 +67,23 @@ pub fn analyze_dot(
     records: &[FlowRecord],
     resolver_labels: &BTreeMap<Ipv4Addr, String>,
 ) -> DotTrafficReport {
+    analyze_dot_metered(records, resolver_labels, &mut Registry::disabled())
+}
+
+/// [`analyze_dot`] with telemetry: inclusion/exclusion tallies and flow
+/// volume land in `metrics` as `stage.traffic.*` series, alongside the
+/// counts the report itself carries.
+pub fn analyze_dot_metered(
+    records: &[FlowRecord],
+    resolver_labels: &BTreeMap<Ipv4Addr, String>,
+    metrics: &mut Registry,
+) -> DotTrafficReport {
     let mut monthly: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
     let mut per_block: BTreeMap<Netblock, (usize, BTreeSet<DateStamp>)> = BTreeMap::new();
     let mut excluded_single_syn = 0usize;
     let mut excluded_unknown_dst = 0usize;
     let mut total = 0usize;
+    let flow_bytes = metrics.histogram("stage.traffic.flow_bytes", Labels::empty());
 
     for record in records {
         if record.dst_port != 853 {
@@ -85,6 +98,7 @@ pub fn analyze_dot(
             continue;
         };
         total += 1;
+        metrics.observe(flow_bytes, record.bytes);
         *monthly
             .entry(label.clone())
             .or_default()
@@ -105,6 +119,18 @@ pub fn analyze_dot(
         })
         .collect();
     netblocks.sort_by_key(|b| std::cmp::Reverse(b.flows));
+
+    metrics.count("stage.traffic.flows_total", Labels::empty(), total as u64);
+    metrics.count(
+        "stage.traffic.excluded_single_syn",
+        Labels::empty(),
+        excluded_single_syn as u64,
+    );
+    metrics.count(
+        "stage.traffic.excluded_unknown_dst",
+        Labels::empty(),
+        excluded_unknown_dst as u64,
+    );
 
     DotTrafficReport {
         monthly,

@@ -26,7 +26,7 @@ pub mod netflow;
 pub mod passive_dns;
 pub mod scandet;
 
-pub use dot_analysis::{analyze_dot, DotTrafficReport, NetblockActivity};
+pub use dot_analysis::{analyze_dot, analyze_dot_metered, DotTrafficReport, NetblockActivity};
 pub use generator::{generate_dot_traffic, DotTrafficConfig, TrafficDataset};
 pub use netflow::{FlowRecord, NetFlowCollector, RealFlow, TCP_ACK, TCP_FIN, TCP_PSH, TCP_SYN};
 pub use passive_dns::{generate_passive_dns, DomainStats, PassiveDnsDb, PdnsConfig};

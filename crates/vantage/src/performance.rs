@@ -7,6 +7,7 @@ use doe_protocols::do53::Do53TcpConn;
 use doe_protocols::dot::DotClient;
 use doe_protocols::{Bootstrap, DohClient, DohMethod};
 use httpsim::UriTemplate;
+use netsim::telemetry::{HistogramId, Labels, Registry};
 use netsim::time::{mean, median, overhead_ms};
 use netsim::{mix_seed, HostMeta, Network, SimDuration};
 use std::collections::BTreeMap;
@@ -77,6 +78,24 @@ fn median_ms(samples: &mut [SimDuration]) -> f64 {
     median(samples).as_millis_f64()
 }
 
+/// Per-shard handles for the `stage.perf.query_us{proto=...}` latency
+/// histograms — one series per protocol, registered once per worker.
+struct PerfMetricIds {
+    dns: HistogramId,
+    dot: HistogramId,
+    doh: HistogramId,
+}
+
+impl PerfMetricIds {
+    fn register(reg: &mut Registry) -> PerfMetricIds {
+        PerfMetricIds {
+            dns: reg.histogram("stage.perf.query_us", Labels::one("proto", "dns")),
+            dot: reg.histogram("stage.perf.query_us", Labels::one("proto", "dot")),
+            doh: reg.histogram("stage.perf.query_us", Labels::one("proto", "doh")),
+        }
+    }
+}
+
 /// Immutable per-run parameters shared by every client measurement.
 struct PerfSetup {
     resolver: Ipv4Addr,
@@ -95,6 +114,7 @@ struct PerfSetup {
 fn measure_client(
     net: &mut Network,
     setup: &PerfSetup,
+    ids: &PerfMetricIds,
     client: &ClientInfo,
     mut serial: u64,
 ) -> Option<PerfObservation> {
@@ -125,7 +145,9 @@ fn measure_client(
         )
         .expect("static name shape");
         let reply = tcp.query(net, &q).ok()?;
-        dns_samples.push(reply.latency + tunnel.sample_overhead(net, client.ip));
+        let sample = reply.latency + tunnel.sample_overhead(net, client.ip);
+        net.metrics_mut().observe(ids.dns, sample.as_micros());
+        dns_samples.push(sample);
     }
     tcp.close(net);
 
@@ -143,7 +165,9 @@ fn measure_client(
         )
         .expect("static name shape");
         let reply = session.query(net, &q).ok()?;
-        dot_samples.push(reply.latency + tunnel.sample_overhead(net, client.ip));
+        let sample = reply.latency + tunnel.sample_overhead(net, client.ip);
+        net.metrics_mut().observe(ids.dot, sample.as_micros());
+        dot_samples.push(sample);
     }
     session.close(net);
 
@@ -168,7 +192,9 @@ fn measure_client(
         )
         .expect("static name shape");
         let reply = session.query(net, &q).ok()?;
-        doh_samples.push(reply.latency + tunnel.sample_overhead(net, client.ip));
+        let sample = reply.latency + tunnel.sample_overhead(net, client.ip);
+        net.metrics_mut().observe(ids.doh, sample.as_micros());
+        doh_samples.push(sample);
     }
     session.close(net);
 
@@ -237,9 +263,16 @@ pub fn performance_test_sharded(
 
     let run_shard = |worker: &mut Network, shard: usize| -> PerfShardOut {
         let mut out = Vec::new();
+        let ids = PerfMetricIds::register(worker.metrics_mut());
         for ci in (shard..clients.len()).step_by(shards) {
             worker.reseed(mix_seed(salt, ci as u64));
-            let obs = measure_client(worker, &setup, &clients[ci], ci as u64 * 3 * queries as u64);
+            let obs = measure_client(
+                worker,
+                &setup,
+                &ids,
+                &clients[ci],
+                ci as u64 * 3 * queries as u64,
+            );
             out.push((ci, obs));
         }
         out
@@ -282,6 +315,12 @@ pub fn performance_test_sharded(
             Some(o) => observations.push(o),
             None => skipped += 1,
         }
+    }
+    if skipped > 0 {
+        world
+            .net
+            .metrics_mut()
+            .count("stage.perf.skipped", Labels::empty(), skipped as u64);
     }
 
     // --- Aggregation ------------------------------------------------------

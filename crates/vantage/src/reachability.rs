@@ -6,6 +6,7 @@ use dnswire::{builder, Message, Rcode, RecordType};
 use doe_protocols::dot::DotClient;
 use doe_protocols::{Bootstrap, DohClient, DohMethod, QueryError};
 use httpsim::{Request, Response, UriTemplate};
+use netsim::telemetry::{Labels, Span};
 use netsim::{mix_seed, Network, ProbeOutcome, SimDuration};
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
@@ -458,9 +459,15 @@ pub fn reachability_test_sharded(
 
     let run_shard = |worker: &mut Network, shard: usize| -> Vec<(usize, ClientFindings)> {
         let mut out = Vec::new();
+        let client_us = worker
+            .metrics_mut()
+            .histogram("stage.reach.client_us", Labels::empty());
         for ci in (shard..clients.len()).step_by(shards) {
             worker.reseed(mix_seed(salt, ci as u64));
+            let span = Span::begin(worker.charged().as_micros());
             let findings = test_client(worker, &setup, &clients[ci], forensics_on, ci as u64 * spc);
+            let elapsed = span.elapsed_us(worker.charged().as_micros());
+            worker.metrics_mut().observe(client_us, elapsed);
             out.push((ci, findings));
         }
         out
@@ -502,6 +509,18 @@ pub fn reachability_test_sharded(
     let mut forensics = Vec::new();
     for (_, findings) in tagged {
         for (name, transport, outcome) in findings.cells {
+            let outcome_label = match outcome {
+                Outcome::Correct => "correct",
+                Outcome::Incorrect => "incorrect",
+                Outcome::Failed => "failed",
+            };
+            world.net.metrics_mut().count(
+                "stage.reach.result",
+                Labels::one("resolver", &name)
+                    .with("transport", &transport.to_string())
+                    .with("outcome", outcome_label),
+                1,
+            );
             matrix
                 .entry(name)
                 .or_default()
@@ -510,9 +529,17 @@ pub fn reachability_test_sharded(
                 .add(outcome);
         }
         if let Some(finding) = findings.interception {
+            world
+                .net
+                .metrics_mut()
+                .count("stage.reach.interceptions", Labels::empty(), 1);
             interceptions.entry(finding.client).or_insert(finding);
         }
         if let Some(finding) = findings.forensic {
+            world
+                .net
+                .metrics_mut()
+                .count("stage.reach.forensics", Labels::empty(), 1);
             forensics.push(finding);
         }
     }

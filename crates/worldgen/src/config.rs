@@ -242,6 +242,9 @@ pub struct WorldConfig {
     /// Network event-trace capacity (0 = tracing off). Campaigns leave
     /// this at 0; `repro --trace` turns it on.
     pub trace_capacity: usize,
+    /// Whether the network collects telemetry (`repro --metrics`). On by
+    /// default; the overhead benchmark turns it off.
+    pub metrics: bool,
 }
 
 impl Default for WorldConfig {
@@ -262,6 +265,7 @@ impl Default for WorldConfig {
             first_scan: DateStamp::from_ymd(2019, 2, 1),
             scan_interval_days: 10,
             trace_capacity: 0,
+            metrics: true,
         }
     }
 }

@@ -11,7 +11,7 @@ use crate::types::{
     AtlasProbe, CertProfile, ClientPool, DeviceKind, ProviderClass, ResolverBehavior,
 };
 use dnswire::zone::Zone;
-use dnswire::{Name, RData};
+use dnswire::{Name, RData, RecordType, ResourceRecord};
 use doe_protocols::recursive::{MissDelay, RecursiveConfig, RecursiveResolver, UpstreamMap};
 use doe_protocols::responder::{AuthoritativeServer, DnsResponder, FixedAnswerResponder, QueryLog};
 use doe_protocols::{
@@ -107,6 +107,7 @@ impl World {
         let mut net = Network::new(
             NetworkConfig {
                 trace_capacity: config.trace_capacity,
+                metrics: config.metrics,
                 ..NetworkConfig::default()
             },
             config.seed ^ 0x6e65_7473_696d,
@@ -251,6 +252,14 @@ impl World {
                 ..RecursiveConfig::default()
             },
         ));
+        // Real deployments keep the big DoH front-end hostnames permanently
+        // hot, so pin them: every bootstrap lookup is a cache hit no matter
+        // which worker asks first or how the clients are sharded.
+        for (hostname, front) in &bootstrap_hosts {
+            let host_apex = Name::parse(hostname).expect("hostnames parse");
+            let answer = ResourceRecord::new(host_apex.clone(), 300, RData::A(*front));
+            bootstrap_responder.prewarm(&host_apex, RecordType::A, vec![answer]);
+        }
         net.bind_udp(
             anchors::BOOTSTRAP_RESOLVER,
             53,

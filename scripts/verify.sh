@@ -15,6 +15,31 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline --workspace
 
+echo "==> telemetry: repro --metrics determinism (shards 1 vs 8)"
+# A small campaign covering every instrumented stage: figure3 drives the
+# sweep + DoT verification, table4 the vantage reachability tests and
+# figure9 the stub-resolver performance comparison. The snapshot must be
+# byte-identical however many workers ran the measurement.
+mkdir -p results
+cargo run -q --release -p doe-core --bin repro --offline -- \
+    --shards 1 --metrics results/metrics.json figure3 table4 figure9 >/dev/null
+cargo run -q --release -p doe-core --bin repro --offline -- \
+    --shards 8 --metrics results/metrics.shards8.json figure3 table4 figure9 >/dev/null
+[ -s results/metrics.json ] || { echo "FAIL: results/metrics.json is empty" >&2; exit 1; }
+cmp results/metrics.json results/metrics.shards8.json || {
+    echo "FAIL: telemetry snapshot differs between --shards 1 and --shards 8" >&2
+    exit 1
+}
+for series in stage.sweep.probe_us stage.verify.session_us \
+              stage.reach.client_us stage.perf.query_us net.probe.sent; do
+    grep -q "$series" results/metrics.json || {
+        echo "FAIL: series $series missing from results/metrics.json" >&2
+        exit 1
+    }
+done
+rm -f results/metrics.shards8.json
+echo "    metrics.json identical across shard counts, all stages present"
+
 echo "==> doe-lint (determinism contract)"
 cargo run -q --release -p doe-lint --offline -- --json-out results/doe-lint.json
 

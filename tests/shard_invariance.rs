@@ -7,6 +7,8 @@
 
 use doe_scanner::campaign::{compact_space, run_campaign_sharded};
 use doe_scanner::sweep::syn_sweep_sharded;
+use doe_vantage::performance::{performance_test_sharded, standard_tunnel};
+use doe_vantage::reachability::reachability_test_sharded;
 use netsim::{HostMeta, Network, NetworkConfig};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -132,5 +134,78 @@ fn campaign_is_invariant_across_shard_counts() {
                 assert_eq!(x.answer_correct, y.answer_correct);
             }
         }
+    }
+}
+
+#[test]
+fn metrics_snapshot_is_invariant_across_shard_counts() {
+    // Drive every instrumented stage — campaign (sweep + verification +
+    // DoH discovery), reachability and performance — then compare the
+    // merged telemetry registry. Per-shard registries must merge to the
+    // same snapshot for any shard count.
+    let run = |shards: usize| {
+        let mut world = World::build(WorldConfig::test_scale(7));
+        let space = compact_space(&world);
+        run_campaign_sharded(&mut world, &space, 2, 1, shards);
+        let clients: Vec<_> = world.proxyrack.clients.iter().take(24).cloned().collect();
+        reachability_test_sharded(&mut world, &clients, "Cloudflare", shards);
+        let tunnel = standard_tunnel(&mut world.net);
+        let perf_clients: Vec<_> = world
+            .proxyrack
+            .clients
+            .iter()
+            .filter(|c| c.in_perf_subset)
+            .take(12)
+            .cloned()
+            .collect();
+        performance_test_sharded(&mut world, &perf_clients, tunnel, 4, shards);
+        world.net.metrics().snapshot()
+    };
+
+    let reference = run(1);
+    assert!(!reference.is_empty(), "telemetry snapshot is empty");
+    // Every instrumented stage shows up in the merged registry.
+    for series in [
+        "stage.sweep.probe_us",
+        "stage.verify.session_us",
+        "stage.reach.client_us",
+    ] {
+        assert!(
+            reference.histograms.contains_key(series),
+            "missing histogram {series}"
+        );
+    }
+    assert!(
+        reference
+            .histograms
+            .keys()
+            .any(|k| k.starts_with("stage.perf.query_us")),
+        "missing performance latency series"
+    );
+    assert!(
+        reference.counters.contains_key("net.probe.sent"),
+        "missing probe counter"
+    );
+
+    for shards in SHARD_COUNTS {
+        let snapshot = run(shards);
+        for (k, v) in &reference.counters {
+            assert_eq!(
+                snapshot.counters.get(k),
+                Some(v),
+                "counter {k} differs at {shards} shards"
+            );
+        }
+        for (k, v) in &reference.histograms {
+            assert_eq!(
+                snapshot.histograms.get(k),
+                Some(v),
+                "histogram {k} differs at {shards} shards"
+            );
+        }
+        assert_eq!(
+            snapshot, reference,
+            "telemetry snapshot differs at {shards} shards"
+        );
     }
 }
