@@ -1,0 +1,64 @@
+//! Cost of the determinism analyzer over the live workspace, split into
+//! its two stages: the per-file token pass (`lint_workspace`'s dominant
+//! cost before the call-graph work existed) and the full interprocedural
+//! analysis (parse → graph build → reachability). The delta is what the
+//! D006/D007/D008 proof layer costs on top of the token rules, and the
+//! absolute numbers are what `scripts/verify.sh` pays per gate run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doe_lint::policy::Policy;
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn load_policy(root: &std::path::Path) -> Policy {
+    let text = std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml exists");
+    Policy::parse(&text).expect("lint.toml parses")
+}
+
+fn bench_token_pass(c: &mut Criterion) {
+    let root = workspace_root();
+    let mut policy = load_policy(&root);
+    // Unroot the graph rules: this measures the pre-existing per-file
+    // scan alone. (The live D006–D008 pragmas read as stale without
+    // their rules, so cleanliness is asserted only in the full pass.)
+    policy.graph = Default::default();
+    c.bench_function("lint/token_pass", |b| {
+        b.iter(|| {
+            let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
+            assert!(analysis.report.files_scanned > 50);
+            analysis.report.files_scanned
+        })
+    });
+}
+
+fn bench_full_interprocedural(c: &mut Criterion) {
+    let root = workspace_root();
+    let policy = load_policy(&root);
+    c.bench_function("lint/interprocedural", |b| {
+        b.iter(|| {
+            let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
+            assert!(analysis.report.clean());
+            analysis.graph.nodes.len() + analysis.graph.edges.len()
+        })
+    });
+}
+
+fn bench_graph_export(c: &mut Criterion) {
+    let root = workspace_root();
+    let policy = load_policy(&root);
+    let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
+    c.bench_function("lint/graph_export", |b| {
+        b.iter(|| doe_lint::graph::to_json(&analysis.graph).len())
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_token_pass,
+    bench_full_interprocedural,
+    bench_graph_export
+);
+criterion_main!(benches);

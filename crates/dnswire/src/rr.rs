@@ -354,7 +354,8 @@ impl ResourceRecord {
     pub fn new(name: Name, ttl: u32, rdata: RData) -> Self {
         let rtype = rdata
             .natural_type()
-            // doe-lint: allow(D004) — documented `# Panics` contract: opaque rdata is a caller bug
+            // doe-lint: allow(D004, D007) — documented `# Panics` contract: opaque rdata is a
+            // caller bug, not wire input; servers on the query path build typed rdata only
             .expect("opaque rdata needs an explicit type");
         ResourceRecord {
             name,

@@ -214,6 +214,8 @@ impl RecursiveResolver {
     }
 
     fn cache_get(&self, key: &(Name, RecordType), now: SimTime) -> Option<CacheEntry> {
+        // doe-lint: allow(D006) — hit/miss is shard-layout-invariant: every repeated
+        // name is a permanent pin (`prewarm`), all other keys are per-target unique
         let cache = self.cache.lock();
         cache
             .map
@@ -223,6 +225,8 @@ impl RecursiveResolver {
     }
 
     fn cache_put(&self, key: (Name, RecordType), entry: CacheEntry) {
+        // doe-lint: allow(D006) — fills use per-target-unique keys; the only repeated
+        // names are permanent pins installed before any worker runs (`prewarm`)
         let mut cache = self.cache.lock();
         if cache.map.len() >= self.config.cache_capacity {
             if let Some(victim) = cache.order.pop_front() {
@@ -282,6 +286,8 @@ impl DnsResponder for RecursiveResolver {
             return builder::error_response(query, Rcode::FormErr);
         };
         let question = question.clone();
+        // doe-lint: allow(D006) — monotone counter; addition is associative and
+        // commutative, so the total is shard-count-invariant
         self.stats.lock().queries += 1;
 
         // Spurious failure injection.
@@ -293,6 +299,8 @@ impl DnsResponder for RecursiveResolver {
         let key = (question.qname.clone(), question.qtype);
         let now = ctx.network().now();
         if let Some(entry) = self.cache_get(&key, now) {
+            // doe-lint: allow(D006) — monotone counter; addition is associative and
+            // commutative, so the total is shard-count-invariant
             self.stats.lock().cache_hits += 1;
             return match entry.rcode {
                 Rcode::NoError => builder::answer(query, entry.answers),
@@ -311,6 +319,8 @@ impl DnsResponder for RecursiveResolver {
 
         // Registered zone: fetch from its authoritative server.
         if let Some(auth_addr) = self.upstreams.lookup(&question.qname) {
+            // doe-lint: allow(D006) — monotone counter; addition is associative and
+            // commutative, so the total is shard-count-invariant
             self.stats.lock().upstream_queries += 1;
             let local = ctx.local_addr();
             // QNAME minimisation: probe each intermediate ancestor with an
@@ -385,6 +395,8 @@ impl DnsResponder for RecursiveResolver {
                     }
                 }
                 Err(e) => {
+                    // doe-lint: allow(D006) — monotone counter; addition is associative
+                    // and commutative, so the total is shard-count-invariant
                     self.stats.lock().upstream_failures += 1;
                     ctx.charge(e.elapsed());
                     builder::error_response(query, Rcode::ServFail)

@@ -128,6 +128,21 @@ pub fn lex(src: &str) -> Lexed {
                         kind: TokKind::Literal,
                     });
                     i = end;
+                } else if c == 'r'
+                    && peek(&cs, i + 1) == Some('#')
+                    && peek(&cs, i + 2).is_some_and(|x| x == '_' || x.is_alphabetic())
+                {
+                    // Raw identifier `r#type`: lexes as the bare identifier so
+                    // item extraction sees `fn r#try` as a fn named `try`.
+                    let start = i + 2;
+                    i = start;
+                    while i < n && (cs[i] == '_' || cs[i].is_alphanumeric()) {
+                        i += 1;
+                    }
+                    out.toks.push(Tok {
+                        line,
+                        kind: TokKind::Ident(cs[start..i].iter().collect()),
+                    });
                 } else {
                     let start = i;
                     while i < n && (cs[i] == '_' || cs[i].is_alphanumeric()) {
@@ -180,7 +195,14 @@ fn skip_quoted(cs: &[char], mut i: usize, line: &mut u32) -> usize {
     i += 1; // opening quote
     while i < n {
         match cs[i] {
-            '\\' => i += 2,
+            '\\' => {
+                // A `\` line continuation still ends a source line; losing
+                // the count here desyncs every diagnostic below it.
+                if peek(cs, i + 1) == Some('\n') {
+                    *line += 1;
+                }
+                i += 2;
+            }
             '"' => return i + 1,
             '\n' => {
                 *line += 1;
@@ -385,5 +407,64 @@ mod tests {
         let lexed = lex(src);
         let dots = lexed.toks.iter().filter(|t| t.is_punct('.')).count();
         assert_eq!(dots, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_bare_idents() {
+        // Regression: `r#try` once lexed as `r`, `#`, `try` — the stray `#`
+        // desynced attribute detection and the call-expression extractor.
+        let src = "fn r#try() { r#match(); }";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["fn", "try", "match"]);
+        assert!(!lex(src).toks.iter().any(|t| t.is_punct('#')));
+    }
+
+    #[test]
+    fn hashed_raw_strings_hide_comment_lookalikes() {
+        // Regression: a `//` or `"#` inside an `r##"…"##` body must not
+        // terminate the literal early or spawn a phantom comment.
+        let src = "let s = r##\"no // comment, stray \"# quote\"##; after_raw();\n// real\n";
+        let lexed = lex(src);
+        let ids: Vec<&str> = lexed.toks.iter().filter_map(|t| t.ident()).collect();
+        assert!(ids.contains(&"after_raw"), "{ids:?}");
+        assert!(!ids.contains(&"comment"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("real"));
+    }
+
+    #[test]
+    fn nested_block_comment_with_quotes_does_not_desync() {
+        // Regression: an apostrophe or quote inside `/* /* */ */` once left
+        // the lexer inside a phantom string for the rest of the file.
+        let src = "/* outer \" /* inner ' */ still \" out */ survivor();";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["survivor"]);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_count() {
+        // Regression: `"a \` + newline continuation swallowed the newline
+        // without counting it, shifting every later diagnostic up a line.
+        let src = "let s = \"a \\\nb\";\nmarker();\n";
+        let lexed = lex(src);
+        let marker = lexed
+            .toks
+            .iter()
+            .find(|t| t.ident() == Some("marker"))
+            .unwrap();
+        assert_eq!(marker.line, 3);
+    }
+
+    #[test]
+    fn lifetimes_in_generic_positions_do_not_eat_tokens() {
+        let src = "impl<'a, T: Iterator<Item = &'a str> + 'a> Wrap<'a, T> { fn g(&'a self) {} }";
+        let ids = idents(src);
+        assert!(ids.contains(&"Wrap".to_string()));
+        assert!(ids.contains(&"g".to_string()));
+        // `'a` never lexes as a char literal or identifier.
+        assert!(!ids.contains(&"a".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.toks.iter().filter(|t| t.is_punct('{')).count(), 2);
+        assert_eq!(lexed.toks.iter().filter(|t| t.is_punct('}')).count(), 2);
     }
 }

@@ -5,7 +5,9 @@
 //! contract"). That guarantee is enforced here, mechanically, rather
 //! than remembered: a dependency-free lexer walks every workspace crate
 //! and flags constructs that would let wall-clock time, ambient entropy
-//! or hash-iteration order leak into rendered tables and figures.
+//! or hash-iteration order leak into rendered tables and figures, and a
+//! whole-workspace call graph (see [`graph`]) proves the transitive
+//! properties a single file cannot show.
 //!
 //! Rules (see [`rules::RULES`]):
 //!
@@ -17,20 +19,30 @@
 //!   in library code.
 //! * **D004** — no `.unwrap()`/`.expect()` on protocol paths.
 //! * **D005** — no narrowing `as` casts in address-space indexing.
+//! * **D006** — no shared-state mutation transitively reachable from the
+//!   sharded entry points, except through `ShardCtx` (interprocedural).
+//! * **D007** — no panic site transitively reachable from the protocol
+//!   entry points (interprocedural; the transitive closure of D004).
+//! * **D008** — no float accumulation transitively reachable from the
+//!   shard-merge entry points (interprocedural).
 //!
 //! Scope comes from `lint.toml` at the workspace root; per-site escape
 //! hatches are `// doe-lint: allow(D00x) — <reason>` pragmas with a
-//! mandatory reason. Binaries (`src/bin/`, `main.rs`), `tests/`,
-//! `benches/`, `examples/` and `#[cfg(test)]` items are exempt by
-//! construction.
+//! mandatory reason. A pragma that suppresses nothing is itself an error
+//! (**P004**) — stale pragmas hide contract erosion. Binaries
+//! (`src/bin/`, `main.rs`), `tests/`, `benches/`, `examples/` and
+//! `#[cfg(test)]` items are exempt by construction.
 
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod policy;
 pub mod pragma;
+pub mod reach;
 pub mod report;
 pub mod rules;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -56,6 +68,9 @@ pub struct Finding {
     pub message: String,
     /// Severity (always [`Severity::Error`] today).
     pub severity: Severity,
+    /// For interprocedural rules: the call chain from an entry point to
+    /// the hazard site, as `fn (file:line)` hops. Empty for token rules.
+    pub chain: Vec<String>,
 }
 
 /// A finding that a pragma suppressed, kept for the audit trail.
@@ -78,8 +93,6 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Suppressed findings with their recorded reasons.
     pub suppressed: Vec<Suppressed>,
-    /// Pragmas that suppressed nothing (reported as notes, not errors).
-    pub unused_pragmas: Vec<(String, u32)>,
     /// Number of files scanned.
     pub files_scanned: usize,
 }
@@ -94,49 +107,59 @@ impl Report {
 /// Outcome of linting a single source file.
 #[derive(Debug, Default)]
 pub struct FileOutcome {
-    /// Unsuppressed findings (contract violations and pragma errors).
+    /// Unsuppressed findings (contract violations and pragma errors,
+    /// including stale pragmas — P004).
     pub findings: Vec<Finding>,
     /// Suppressed findings.
     pub suppressed: Vec<Suppressed>,
-    /// Lines of pragmas that matched nothing.
-    pub unused_pragmas: Vec<u32>,
 }
 
-/// Lint one source text under the given rule set. `file` is used only
-/// for labelling findings.
-pub fn lint_source(file: &str, src: &str, enabled: &[String]) -> FileOutcome {
-    let mut out = FileOutcome::default();
-    let lexed = lexer::lex(src);
-    let mask = rules::test_mask(&lexed.toks);
+/// A rule hit before pragma settlement.
+struct RawHit {
+    line: u32,
+    rule: String,
+    message: String,
+    chain: Vec<String>,
+}
 
-    // Lines covered by test-only items: pragmas there are inert.
-    let test_lines: BTreeSet<u32> = lexed
-        .toks
-        .iter()
-        .zip(&mask)
-        .filter(|(_, m)| **m)
-        .map(|(t, _)| t.line)
-        .collect();
+/// Per-file pragma bookkeeping: parse errors, plus each pragma resolved
+/// to the code line it governs.
+struct PragmaSlots<'a> {
+    parse_errors: Vec<Finding>,
+    /// (governed line, pragma, used)
+    targeted: Vec<(u32, &'a pragma::Pragma, bool)>,
+    /// Pragma lines with no code line to govern.
+    orphans: Vec<u32>,
+}
 
-    let (pragmas, pragma_errors) = pragma::parse(&lexed.comments);
+fn pragma_slots<'a>(
+    file: &str,
+    pragmas: &'a [pragma::Pragma],
+    pragma_errors: Vec<pragma::PragmaError>,
+    test_lines: &BTreeSet<u32>,
+    code_lines: &BTreeSet<u32>,
+) -> PragmaSlots<'a> {
+    let mut slots = PragmaSlots {
+        parse_errors: Vec::new(),
+        targeted: Vec::new(),
+        orphans: Vec::new(),
+    };
     for e in pragma_errors {
         if test_lines.contains(&e.line) {
             continue;
         }
-        out.findings.push(Finding {
+        slots.parse_errors.push(Finding {
             file: file.to_string(),
             line: e.line,
             rule: e.rule.to_string(),
             message: e.message,
             severity: Severity::Error,
+            chain: Vec::new(),
         });
     }
-
     // Resolve each pragma to the line it governs: its own line when code
     // shares it, otherwise the next line that carries code.
-    let code_lines: BTreeSet<u32> = lexed.toks.iter().map(|t| t.line).collect();
-    let mut targeted: Vec<(u32, &pragma::Pragma, bool)> = Vec::new(); // (line, pragma, used)
-    for p in &pragmas {
+    for p in pragmas {
         if test_lines.contains(&p.line) {
             continue;
         }
@@ -146,43 +169,100 @@ pub fn lint_source(file: &str, src: &str, enabled: &[String]) -> FileOutcome {
             code_lines.range(p.line + 1..).next().copied()
         };
         match target {
-            Some(t) => targeted.push((t, p, false)),
-            None => out.unused_pragmas.push(p.line),
+            Some(t) => slots.targeted.push((t, p, false)),
+            None => slots.orphans.push(p.line),
         }
     }
+    slots
+}
 
-    let raw = rules::scan(&lexed.toks, &mask, |r| enabled.iter().any(|e| e == r));
-    for f in raw {
-        let slot = targeted
+/// Match raw hits against pragma slots: suppressed or reported, then
+/// stale pragmas become P004 findings.
+fn settle(file: &str, raw: Vec<RawHit>, mut slots: PragmaSlots<'_>) -> FileOutcome {
+    let mut out = FileOutcome {
+        findings: slots.parse_errors.drain(..).collect(),
+        suppressed: Vec::new(),
+    };
+    for hit in raw {
+        let slot = slots
+            .targeted
             .iter_mut()
-            .find(|(line, p, _)| *line == f.line && p.rules.iter().any(|r| r == f.rule));
+            .find(|(line, p, _)| *line == hit.line && p.rules.contains(&hit.rule));
         match slot {
             Some((_, p, used)) => {
                 *used = true;
                 out.suppressed.push(Suppressed {
                     file: file.to_string(),
-                    line: f.line,
-                    rule: f.rule.to_string(),
+                    line: hit.line,
+                    rule: hit.rule,
                     reason: p.reason.clone(),
                 });
             }
             None => out.findings.push(Finding {
                 file: file.to_string(),
-                line: f.line,
-                rule: f.rule.to_string(),
-                message: f.message,
+                line: hit.line,
+                rule: hit.rule,
+                message: hit.message,
                 severity: Severity::Error,
+                chain: hit.chain,
             }),
         }
     }
-
-    for (_, p, used) in &targeted {
-        if !used {
-            out.unused_pragmas.push(p.line);
-        }
+    let stale = slots
+        .orphans
+        .iter()
+        .copied()
+        .chain(
+            slots
+                .targeted
+                .iter()
+                .filter(|(_, _, used)| !used)
+                .map(|(_, p, _)| p.line),
+        )
+        .collect::<BTreeSet<u32>>();
+    for line in stale {
+        out.findings.push(Finding {
+            file: file.to_string(),
+            line,
+            rule: "P004".to_string(),
+            message: "doe-lint pragma suppresses nothing — delete it, or fix its \
+                      rule list to match the finding it is meant to cover"
+                .to_string(),
+            severity: Severity::Error,
+            chain: Vec::new(),
+        });
     }
-    out.unused_pragmas.sort_unstable();
+    out.findings
+        .sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
     out
+}
+
+/// Lint one source text under the given token rules. `file` is used only
+/// for labelling findings. Interprocedural rules need the whole
+/// workspace — see [`analyze_workspace`].
+pub fn lint_source(file: &str, src: &str, enabled: &[String]) -> FileOutcome {
+    let lexed = lexer::lex(src);
+    let mask = rules::test_mask(&lexed.toks);
+    let test_lines: BTreeSet<u32> = lexed
+        .toks
+        .iter()
+        .zip(&mask)
+        .filter(|(_, m)| **m)
+        .map(|(t, _)| t.line)
+        .collect();
+    let code_lines: BTreeSet<u32> = lexed.toks.iter().map(|t| t.line).collect();
+    let (pragmas, pragma_errors) = pragma::parse(&lexed.comments);
+    let slots = pragma_slots(file, &pragmas, pragma_errors, &test_lines, &code_lines);
+    let raw = rules::scan(&lexed.toks, &mask, |r| enabled.iter().any(|e| e == r))
+        .into_iter()
+        .map(|f| RawHit {
+            line: f.line,
+            rule: f.rule.to_string(),
+            message: f.message,
+            chain: Vec::new(),
+        })
+        .collect();
+    settle(file, raw, slots)
 }
 
 /// A library source file selected for analysis.
@@ -269,26 +349,192 @@ fn path_to_slash(p: &Path) -> String {
         .join("/")
 }
 
-/// Lint every library source under `root` with `policy`.
-pub fn lint_workspace(root: &Path, policy: &policy::Policy) -> io::Result<Report> {
-    let mut report = Report::default();
-    for file in discover(root)? {
-        let enabled = policy.rules_for(&file.crate_key, &file.rel_path);
-        // A file with no rules in force still gets pragma hygiene checks
-        // skipped — nothing can be suppressed there.
-        if enabled.is_empty() {
+/// The module path a library file contributes: `src/lib.rs` → ``[]``,
+/// `src/sweep.rs` → `["sweep"]`, `src/a/mod.rs` → `["a"]`,
+/// `src/a/b.rs` → `["a", "b"]`.
+pub fn module_of(rel_path: &str) -> Vec<String> {
+    let mut segs: Vec<&str> = rel_path.split('/').collect();
+    if segs.first() == Some(&"src") {
+        segs.remove(0);
+    }
+    let Some(last) = segs.pop() else {
+        return Vec::new();
+    };
+    let stem = last.strip_suffix(".rs").unwrap_or(last);
+    let mut out: Vec<String> = segs.iter().map(|s| s.to_string()).collect();
+    if stem != "lib" && stem != "mod" {
+        out.push(stem.to_string());
+    }
+    out
+}
+
+/// Library names of every workspace crate, from each `Cargo.toml`:
+/// `[lib] name` when present, else the package name with `-` → `_`.
+pub fn crate_lib_names(root: &Path) -> io::Result<BTreeMap<String, String>> {
+    let mut out = BTreeMap::new();
+    let mut dirs: Vec<(String, PathBuf)> = vec![("root".to_string(), root.to_path_buf())];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let entry = entry?;
+            if entry.path().is_dir() {
+                dirs.push((
+                    entry.file_name().to_string_lossy().into_owned(),
+                    entry.path(),
+                ));
+            }
+        }
+    }
+    for (key, dir) in dirs {
+        let manifest = dir.join("Cargo.toml");
+        let Ok(text) = fs::read_to_string(&manifest) else {
+            continue;
+        };
+        out.insert(key, lib_name_from_manifest(&text));
+    }
+    Ok(out)
+}
+
+fn lib_name_from_manifest(text: &str) -> String {
+    let mut section = String::new();
+    let mut package = String::new();
+    let mut lib = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if let Some(inner) = line.strip_prefix('[') {
+            section = inner.trim_end_matches(']').to_string();
             continue;
         }
-        let src = fs::read_to_string(&file.abs_path)?;
-        let outcome = lint_source(&file.display_path, &src, &enabled);
+        if let Some((k, v)) = line.split_once('=') {
+            if k.trim() == "name" {
+                let v = v.trim().trim_matches('"').to_string();
+                match section.as_str() {
+                    "package" => package = v,
+                    "lib" => lib = v,
+                    _ => {}
+                }
+            }
+        }
+    }
+    if !lib.is_empty() {
+        lib
+    } else {
+        package.replace('-', "_")
+    }
+}
+
+/// A loaded source file ready for analysis.
+#[derive(Debug)]
+pub struct LoadedFile {
+    /// Where the file lives.
+    pub file: SourceFile,
+    /// Its full text.
+    pub src: String,
+}
+
+/// Result of a whole-workspace analysis: the report plus the call graph
+/// it was proved against.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Findings, suppressions and counts.
+    pub report: Report,
+    /// The workspace call graph (for `--graph` / `callgraph.json`).
+    pub graph: graph::CallGraph,
+}
+
+/// Analyze loaded sources: token rules per file, then the call-graph
+/// rules across all of them. `crate_names` maps policy keys to library
+/// names (see [`crate_lib_names`]). Fails on configuration errors —
+/// a `[graph]` entry that matches no function.
+pub fn analyze(
+    files: &[LoadedFile],
+    policy: &policy::Policy,
+    crate_names: &BTreeMap<String, String>,
+) -> Result<Analysis, String> {
+    struct Prepped<'a> {
+        file: &'a SourceFile,
+        slots_pragmas: Vec<pragma::Pragma>,
+        slots_errors: Vec<pragma::PragmaError>,
+        test_lines: BTreeSet<u32>,
+        code_lines: BTreeSet<u32>,
+        raw: Vec<RawHit>,
+    }
+
+    let mut prepped: Vec<Prepped<'_>> = Vec::new();
+    let mut graph_sources: Vec<graph::SourceItems> = Vec::new();
+    for lf in files {
+        let enabled = policy.rules_for(&lf.file.crate_key, &lf.file.rel_path);
+        let lexed = lexer::lex(&lf.src);
+        let mask = rules::test_mask(&lexed.toks);
+        let test_lines: BTreeSet<u32> = lexed
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(_, m)| **m)
+            .map(|(t, _)| t.line)
+            .collect();
+        let code_lines: BTreeSet<u32> = lexed.toks.iter().map(|t| t.line).collect();
+        let (pragmas, pragma_errors) = pragma::parse(&lexed.comments);
+        let raw = rules::scan(&lexed.toks, &mask, |r| enabled.iter().any(|e| e == r))
+            .into_iter()
+            .map(|f| RawHit {
+                line: f.line,
+                rule: f.rule.to_string(),
+                message: f.message,
+                chain: Vec::new(),
+            })
+            .collect();
+        let module = module_of(&lf.file.rel_path);
+        let crate_name = crate_names
+            .get(&lf.file.crate_key)
+            .cloned()
+            .unwrap_or_else(|| lf.file.crate_key.clone());
+        graph_sources.push(graph::SourceItems {
+            crate_key: lf.file.crate_key.clone(),
+            crate_name,
+            file: lf.file.display_path.clone(),
+            module: module.clone(),
+            parsed: parser::parse_file(&module, &lexed.toks, &mask),
+        });
+        prepped.push(Prepped {
+            file: &lf.file,
+            slots_pragmas: pragmas,
+            slots_errors: pragma_errors,
+            test_lines,
+            code_lines,
+            raw,
+        });
+    }
+
+    let callgraph = graph::build(&graph_sources);
+    let chain_findings = reach::check(&callgraph, &policy.graph)?;
+    let mut per_file: BTreeMap<String, Vec<RawHit>> = BTreeMap::new();
+    for f in chain_findings {
+        per_file.entry(f.file.clone()).or_default().push(RawHit {
+            line: f.line,
+            rule: f.rule.to_string(),
+            message: f.message,
+            chain: f.chain,
+        });
+    }
+
+    let mut report = Report::default();
+    for p in prepped {
+        let display = p.file.display_path.as_str();
+        let mut raw = p.raw;
+        if let Some(extra) = per_file.remove(display) {
+            raw.extend(extra);
+        }
+        let slots = pragma_slots(
+            display,
+            &p.slots_pragmas,
+            p.slots_errors,
+            &p.test_lines,
+            &p.code_lines,
+        );
+        let outcome = settle(display, raw, slots);
         report.findings.extend(outcome.findings);
         report.suppressed.extend(outcome.suppressed);
-        report.unused_pragmas.extend(
-            outcome
-                .unused_pragmas
-                .into_iter()
-                .map(|l| (file.display_path.clone(), l)),
-        );
         report.files_scanned += 1;
     }
     report
@@ -297,7 +543,26 @@ pub fn lint_workspace(root: &Path, policy: &policy::Policy) -> io::Result<Report
     report
         .suppressed
         .sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
-    Ok(report)
+    Ok(Analysis {
+        report,
+        graph: callgraph,
+    })
+}
+
+/// Load and analyze every library source under `root` with `policy`.
+pub fn analyze_workspace(root: &Path, policy: &policy::Policy) -> io::Result<Analysis> {
+    let mut files = Vec::new();
+    for file in discover(root)? {
+        let src = fs::read_to_string(&file.abs_path)?;
+        files.push(LoadedFile { file, src });
+    }
+    let crate_names = crate_lib_names(root)?;
+    analyze(&files, policy, &crate_names).map_err(io::Error::other)
+}
+
+/// Lint every library source under `root` with `policy`.
+pub fn lint_workspace(root: &Path, policy: &policy::Policy) -> io::Result<Report> {
+    Ok(analyze_workspace(root, policy)?.report)
 }
 
 /// Locate the workspace root by walking upward from `start` until a

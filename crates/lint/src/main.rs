@@ -4,13 +4,15 @@
 //! cargo run -p doe-lint                  # human output, exit 1 on findings
 //! cargo run -p doe-lint -- --json       # machine-readable report on stdout
 //! cargo run -p doe-lint -- --json-out results/doe-lint.json
+//! cargo run -p doe-lint -- --graph      # workspace call graph on stdout
+//! cargo run -p doe-lint -- --graph-out results/callgraph.json
 //! cargo run -p doe-lint -- --root /path/to/workspace
 //! ```
 //!
-//! Exit codes: 0 contract holds, 1 unsuppressed findings, 2 usage or
-//! I/O error.
+//! Exit codes: 0 contract holds, 1 unsuppressed findings, 2 usage,
+//! configuration (stale `[graph]` entry) or I/O error.
 
-use doe_lint::{find_root, lint_workspace, policy::Policy, report};
+use doe_lint::{analyze_workspace, find_root, graph, policy::Policy, report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -18,6 +20,8 @@ struct Args {
     root: Option<PathBuf>,
     json: bool,
     json_out: Option<PathBuf>,
+    graph: bool,
+    graph_out: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -26,30 +30,46 @@ fn parse_args() -> Result<Args, String> {
         root: None,
         json: false,
         json_out: None,
+        graph: false,
+        graph_out: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--json" => args.json = true,
+            "--graph" => args.graph = true,
             "--quiet" | "-q" => args.quiet = true,
             "--json-out" => {
                 let path = it.next().ok_or("--json-out needs a path")?;
                 args.json_out = Some(PathBuf::from(path));
+            }
+            "--graph-out" => {
+                let path = it.next().ok_or("--graph-out needs a path")?;
+                args.graph_out = Some(PathBuf::from(path));
             }
             "--root" => {
                 let path = it.next().ok_or("--root needs a path")?;
                 args.root = Some(PathBuf::from(path));
             }
             "--help" | "-h" => {
-                return Err(
-                    "usage: doe-lint [--root DIR] [--json] [--json-out FILE] [--quiet]".to_string(),
-                )
+                return Err("usage: doe-lint [--root DIR] [--json] [--json-out FILE] \
+                     [--graph] [--graph-out FILE] [--quiet]"
+                    .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
         }
     }
     Ok(args)
+}
+
+fn write_out(path: &PathBuf, content: &str) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, content).map_err(|e| format!("{}: {e}", path.display()))
 }
 
 fn run() -> Result<ExitCode, String> {
@@ -64,20 +84,21 @@ fn run() -> Result<ExitCode, String> {
     let policy_text = std::fs::read_to_string(root.join("lint.toml"))
         .map_err(|e| format!("{}: {e}", root.join("lint.toml").display()))?;
     let policy = Policy::parse(&policy_text)?;
-    let rep = lint_workspace(&root, &policy).map_err(|e| format!("scan failed: {e}"))?;
+    let analysis = analyze_workspace(&root, &policy).map_err(|e| format!("scan failed: {e}"))?;
+    let rep = &analysis.report;
 
     if let Some(path) = &args.json_out {
-        if let Some(dir) = path.parent() {
-            if !dir.as_os_str().is_empty() {
-                std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
-            }
-        }
-        std::fs::write(path, report::json(&rep)).map_err(|e| format!("{}: {e}", path.display()))?;
+        write_out(path, &report::json(rep))?;
     }
-    if args.json {
-        print!("{}", report::json(&rep));
+    if let Some(path) = &args.graph_out {
+        write_out(path, &graph::to_json(&analysis.graph))?;
+    }
+    if args.graph {
+        print!("{}", graph::to_json(&analysis.graph));
+    } else if args.json {
+        print!("{}", report::json(rep));
     } else if !args.quiet || !rep.clean() {
-        print!("{}", report::human(&rep));
+        print!("{}", report::human(rep));
     }
     Ok(if rep.clean() {
         ExitCode::SUCCESS

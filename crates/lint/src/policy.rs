@@ -16,6 +16,22 @@ pub struct Policy {
     /// Per-crate overrides, keyed by directory name under `crates/`
     /// (the workspace root package uses the key `root`).
     pub crates: BTreeMap<String, CratePolicy>,
+    /// Entry points for the interprocedural rules (`[graph]` section).
+    pub graph: GraphPolicy,
+}
+
+/// Entry-point sets for the call-graph rules. Each entry is a `::`
+/// suffix of a qualified function name (`doe_scanner::sweep::
+/// syn_sweep_sharded`, `Do53TcpConn::query`); an entry matching nothing
+/// is a hard configuration error. Empty sets disable the rule.
+#[derive(Debug, Clone, Default)]
+pub struct GraphPolicy {
+    /// D006 roots: the sharded measurement runners.
+    pub shard_entries: Vec<String>,
+    /// D007 roots: the protocol query APIs.
+    pub protocol_entries: Vec<String>,
+    /// D008 roots: the shard-merge operations.
+    pub merge_entries: Vec<String>,
 }
 
 /// Policy for one crate.
@@ -33,8 +49,9 @@ impl Policy {
     pub fn parse(text: &str) -> Result<Policy, String> {
         let mut policy = Policy::default();
         let mut section: Vec<String> = Vec::new();
-        for (lineno, raw) in text.lines().enumerate() {
-            let line = strip_comment(raw).trim();
+        let mut lines = text.lines().enumerate();
+        while let Some((lineno, raw)) = lines.next() {
+            let line = strip_comment(raw).trim().to_string();
             if line.is_empty() {
                 continue;
             }
@@ -49,9 +66,18 @@ impl Policy {
             let Some((key, value)) = line.split_once('=') else {
                 return Err(err("expected `key = value`"));
             };
-            let key = key.trim();
-            let value = parse_string_array(value.trim()).map_err(|m| err(&m))?;
-            policy.apply(&section, key, value).map_err(|m| err(&m))?;
+            let key = key.trim().to_string();
+            // A `[` without its closing `]` on the same line starts a
+            // multi-line array: accumulate until the bracket closes.
+            let mut value = value.trim().to_string();
+            while value.starts_with('[') && !value.ends_with(']') {
+                let Some((_, cont)) = lines.next() else {
+                    return Err(err("unterminated multi-line array"));
+                };
+                value.push_str(strip_comment(cont).trim());
+            }
+            let value = parse_string_array(&value).map_err(|m| err(&m))?;
+            policy.apply(&section, &key, value).map_err(|m| err(&m))?;
         }
         Ok(policy)
     }
@@ -60,6 +86,9 @@ impl Policy {
         let segs: Vec<&str> = section.iter().map(String::as_str).collect();
         match (segs.as_slice(), key) {
             (["default"], "rules") => self.default_rules = value,
+            (["graph"], "shard_entries") => self.graph.shard_entries = value,
+            (["graph"], "protocol_entries") => self.graph.protocol_entries = value,
+            (["graph"], "merge_entries") => self.graph.merge_entries = value,
             (["crates", name], "rules") => {
                 self.crates.entry(name.to_string()).or_default().rules = Some(value);
             }

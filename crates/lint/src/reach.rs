@@ -1,0 +1,303 @@
+//! Reachability over the call graph: the interprocedural rules.
+//!
+//! Three rules, one BFS each, all driven by the `[graph]` section of
+//! `lint.toml`:
+//!
+//! * **D006 shard purity** — from the sharded measurement entry points,
+//!   no interior-mutability write or shared-state mutation is reachable,
+//!   except inside `ShardCtx` itself (per-shard state is the sanctioned
+//!   mutation channel).
+//! * **D007 transitive panic reachability** — from the protocol entry
+//!   points, no panic site is reachable through any call chain.
+//! * **D008 float-accumulation hazard** — from the merge entry points,
+//!   no order-sensitive floating-point accumulation is reachable;
+//!   shard-merge results must not depend on shard layout.
+//!
+//! Every finding carries its full call chain (entry → … → hazard site)
+//! as evidence, so a diagnostic is actionable without re-running the
+//! analysis by hand. BFS visits neighbours in sorted order over a
+//! deterministic graph, so chains are stable across runs.
+
+use crate::graph::CallGraph;
+use crate::parser::HazardKind;
+use crate::policy::GraphPolicy;
+
+/// One interprocedural finding, attributed to the hazard site.
+#[derive(Debug, Clone)]
+pub struct ChainFinding {
+    /// Workspace-relative file of the hazard site.
+    pub file: String,
+    /// 1-based line of the hazard site.
+    pub line: u32,
+    /// `D006` / `D007` / `D008`.
+    pub rule: &'static str,
+    /// Explanation with the rendered chain.
+    pub message: String,
+    /// Call chain as `fn (file:line)` hops, entry first, hazard fn last.
+    pub chain: Vec<String>,
+}
+
+/// Run every configured interprocedural rule. Fails when an entry in the
+/// policy matches no graph node — a stale entry list would silently
+/// un-prove the contract.
+pub fn check(graph: &CallGraph, policy: &GraphPolicy) -> Result<Vec<ChainFinding>, String> {
+    let mut out = Vec::new();
+    if !policy.shard_entries.is_empty() {
+        let entries = resolve_entries(graph, &policy.shard_entries, "shard_entries")?;
+        out.extend(scan(
+            graph,
+            &entries,
+            "D006",
+            |h| h.kind == HazardKind::SharedMut,
+            |node| node.owner.as_deref() == Some("ShardCtx"),
+            "mutates shared state on a sharded measurement path; results would \
+             depend on shard layout — route per-shard effects through `ShardCtx`",
+        ));
+    }
+    if !policy.protocol_entries.is_empty() {
+        let entries = resolve_entries(graph, &policy.protocol_entries, "protocol_entries")?;
+        out.extend(scan(
+            graph,
+            &entries,
+            "D007",
+            |h| h.kind == HazardKind::Panic,
+            |_| false,
+            "can panic and is reachable from a protocol entry point; malformed \
+             wire data must surface as a typed error, not an abort",
+        ));
+    }
+    if !policy.merge_entries.is_empty() {
+        let entries = resolve_entries(graph, &policy.merge_entries, "merge_entries")?;
+        out.extend(scan(
+            graph,
+            &entries,
+            "D008",
+            |h| h.kind == HazardKind::FloatAccum,
+            |_| false,
+            "accumulates floats on a shard-merge path; summation order depends \
+             on shard layout — accumulate in integers or fold in sorted order",
+        ));
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    Ok(out)
+}
+
+/// Map entry patterns (`doe_scanner::sweep::syn_sweep_sharded`,
+/// `Do53TcpConn::query`) to node indices by suffix match on the
+/// qualified name.
+pub fn resolve_entries(
+    graph: &CallGraph,
+    patterns: &[String],
+    what: &str,
+) -> Result<Vec<usize>, String> {
+    let mut out: Vec<usize> = Vec::new();
+    for pat in patterns {
+        let segs: Vec<&str> = pat.split("::").collect();
+        let mut hits: Vec<usize> = Vec::new();
+        for (i, n) in graph.nodes.iter().enumerate() {
+            let mut full: Vec<&str> = vec![&n.crate_name];
+            full.extend(n.module.iter().map(String::as_str));
+            if let Some(o) = &n.owner {
+                full.push(o);
+            }
+            full.push(&n.name);
+            if full.len() >= segs.len() && full[full.len() - segs.len()..] == segs[..] {
+                hits.push(i);
+            }
+        }
+        if hits.is_empty() {
+            return Err(format!(
+                "lint.toml [graph] {what}: entry `{pat}` matches no function in \
+                 the workspace call graph (renamed or removed?)"
+            ));
+        }
+        out.extend(hits);
+    }
+    out.sort_unstable();
+    out.dedup();
+    Ok(out)
+}
+
+/// BFS from `entries`; emit one finding per hazard site on a reached
+/// node that passes `hazard_filter` and is not `exempt`.
+fn scan(
+    graph: &CallGraph,
+    entries: &[usize],
+    rule: &'static str,
+    hazard_filter: impl Fn(&crate::parser::Hazard) -> bool,
+    exempt: impl Fn(&crate::graph::FnNode) -> bool,
+    why: &str,
+) -> Vec<ChainFinding> {
+    let n = graph.nodes.len();
+    let mut pred: Vec<Option<(usize, u32)>> = vec![None; n]; // (caller, call line)
+    let mut seen = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = entries.iter().copied().collect();
+    for &e in entries {
+        seen[e] = true;
+    }
+    while let Some(u) = queue.pop_front() {
+        for &(v, line) in &graph.adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                pred[v] = Some((u, line));
+                queue.push_back(v);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !seen[i] || exempt(node) {
+            continue;
+        }
+        for h in node.hazards.iter().filter(|h| hazard_filter(h)) {
+            let chain = chain_to(graph, &pred, i);
+            let rendered = chain
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push(ChainFinding {
+                file: node.file.clone(),
+                line: h.line,
+                rule,
+                message: format!("`{}` {why} [chain: {rendered}]", h.what),
+                chain,
+            });
+        }
+    }
+    out
+}
+
+/// Walk the predecessor map back to an entry and render each hop.
+fn chain_to(graph: &CallGraph, pred: &[Option<(usize, u32)>], end: usize) -> Vec<String> {
+    let mut hops: Vec<String> = Vec::new();
+    let mut cur = end;
+    let mut guard = 0usize;
+    loop {
+        let node = &graph.nodes[cur];
+        hops.push(format!(
+            "{} ({}:{})",
+            node.qualified(),
+            node.file,
+            node.line
+        ));
+        match pred[cur] {
+            Some((prev, _)) if guard < graph.nodes.len() => {
+                cur = prev;
+                guard += 1;
+            }
+            _ => break,
+        }
+    }
+    hops.reverse();
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{build, SourceItems};
+    use crate::lexer::lex;
+    use crate::parser::parse_file;
+    use crate::policy::GraphPolicy;
+    use crate::rules::test_mask;
+
+    fn items(module: &[&str], src: &str) -> SourceItems {
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        let module: Vec<String> = module.iter().map(|s| s.to_string()).collect();
+        SourceItems {
+            crate_key: "a".to_string(),
+            crate_name: "a".to_string(),
+            file: "crates/a/src/x.rs".to_string(),
+            module: module.clone(),
+            parsed: parse_file(&module, &lexed.toks, &mask),
+        }
+    }
+
+    fn gp(shard: &[&str], proto: &[&str], merge: &[&str]) -> GraphPolicy {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        GraphPolicy {
+            shard_entries: v(shard),
+            protocol_entries: v(proto),
+            merge_entries: v(merge),
+        }
+    }
+
+    #[test]
+    fn panic_two_calls_away_is_reported_with_chain() {
+        let src = r#"
+            pub fn entry(x: Option<u8>) { mid(x); }
+            fn mid(x: Option<u8>) { leaf(x); }
+            fn leaf(x: Option<u8>) -> u8 { x.unwrap() }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = check(&g, &gp(&[], &["a::entry"], &[])).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D007");
+        assert_eq!(f[0].line, 4);
+        assert_eq!(f[0].chain.len(), 3);
+        assert!(f[0].chain[0].starts_with("a::entry "));
+        assert!(f[0].chain[2].starts_with("a::leaf "));
+        assert!(f[0].message.contains("a::entry"));
+    }
+
+    #[test]
+    fn unreachable_panics_stay_silent() {
+        let src = r#"
+            pub fn entry() {}
+            fn elsewhere(x: Option<u8>) -> u8 { x.unwrap() }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = check(&g, &gp(&[], &["a::entry"], &[])).unwrap();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn shard_purity_exempts_shardctx_methods() {
+        let src = r#"
+            pub struct ShardCtx { n: u64 }
+            impl ShardCtx {
+                pub fn charge(&self, c: &std::sync::atomic::AtomicU64) {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            pub fn run_sharded(ctx: &ShardCtx, c: &std::sync::atomic::AtomicU64) {
+                ctx.charge(c);
+            }
+            pub fn rogue(c: &std::sync::atomic::AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }
+            pub fn run_rogue(c: &std::sync::atomic::AtomicU64) { rogue(c); }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let clean = check(&g, &gp(&["a::run_sharded"], &[], &[])).unwrap();
+        assert!(clean.is_empty(), "{clean:?}");
+        let dirty = check(&g, &gp(&["a::run_rogue"], &[], &[])).unwrap();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].rule, "D006");
+    }
+
+    #[test]
+    fn float_accumulation_on_merge_path_is_caught() {
+        let src = r#"
+            pub struct Stats { total: f64 }
+            impl Stats {
+                pub fn absorb(&mut self, o: &Stats) { self.add(o.total); }
+                fn add(&mut self, w: f64) { self.total += w; }
+            }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = check(&g, &gp(&[], &[], &["Stats::absorb"])).unwrap();
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, "D008");
+        assert!(f[0].message.contains("+="));
+    }
+
+    #[test]
+    fn stale_entry_is_a_hard_error() {
+        let g = build(&[items(&[], "pub fn entry() {}")]);
+        let err = check(&g, &gp(&[], &["a::no_such_fn"], &[])).unwrap_err();
+        assert!(err.contains("no_such_fn"));
+    }
+}

@@ -2,7 +2,9 @@
 //!
 //! JSON is hand-rolled (the analyzer is dependency-free); the schema is
 //! stable so `scripts/verify.sh` can archive reports under `results/`
-//! and diff them across runs.
+//! and diff them across runs. Schema version 2 adds the `chain` field:
+//! interprocedural findings (D006–D008) carry the call chain from an
+//! entry point to the hazard site as evidence.
 
 use crate::{Report, Severity};
 use std::fmt::Write as _;
@@ -12,13 +14,11 @@ pub fn human(report: &Report) -> String {
     let mut out = String::new();
     for f in &report.findings {
         let _ = writeln!(out, "{}:{}: {} {}", f.file, f.line, f.rule, f.message);
-    }
-    if !report.unused_pragmas.is_empty() {
-        for (file, line) in &report.unused_pragmas {
-            let _ = writeln!(
-                out,
-                "{file}:{line}: note: doe-lint pragma suppresses nothing (stale?)"
-            );
+        if !f.chain.is_empty() {
+            for (i, hop) in f.chain.iter().enumerate() {
+                let arrow = if i == 0 { "entry" } else { "  via" };
+                let _ = writeln!(out, "    {arrow} {hop}");
+            }
         }
     }
     let _ = writeln!(
@@ -36,13 +36,13 @@ pub fn human(report: &Report) -> String {
 
 /// Render the machine-readable report.
 pub fn json(report: &Report) -> String {
-    let mut out = String::from("{\n  \"version\": 1,\n  \"findings\": [");
+    let mut out = String::from("{\n  \"version\": 2,\n  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
             "{sep}\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
-             \"severity\": \"{}\", \"message\": \"{}\"}}",
+             \"severity\": \"{}\", \"message\": \"{}\", \"chain\": [",
             esc(&f.file),
             f.line,
             f.rule,
@@ -51,6 +51,11 @@ pub fn json(report: &Report) -> String {
             },
             esc(&f.message)
         );
+        for (j, hop) in f.chain.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{}\"", esc(hop));
+        }
+        out.push_str("]}");
     }
     out.push_str("\n  ],\n  \"suppressed\": [");
     for (i, s) in report.suppressed.iter().enumerate() {
@@ -78,7 +83,7 @@ pub fn json(report: &Report) -> String {
 }
 
 /// Escape a string for embedding in JSON.
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -110,20 +115,44 @@ mod tests {
                 rule: "D003".to_string(),
                 message: "a \"quoted\" message".to_string(),
                 severity: Severity::Error,
+                chain: Vec::new(),
             }],
             suppressed: Vec::new(),
-            unused_pragmas: Vec::new(),
             files_scanned: 1,
         };
         let j = json(&report);
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"clean\": false"));
+        assert!(j.contains("\"version\": 2"));
         let empty = Report {
             findings: Vec::new(),
             suppressed: Vec::new(),
-            unused_pragmas: Vec::new(),
             files_scanned: 0,
         };
         assert!(json(&empty).contains("\"clean\": true"));
+    }
+
+    #[test]
+    fn chains_render_in_both_formats() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".to_string(),
+                line: 9,
+                rule: "D007".to_string(),
+                message: "`.unwrap()` can panic".to_string(),
+                severity: Severity::Error,
+                chain: vec![
+                    "a::entry (crates/a/src/lib.rs:1)".to_string(),
+                    "a::leaf (crates/a/src/lib.rs:5)".to_string(),
+                ],
+            }],
+            suppressed: Vec::new(),
+            files_scanned: 1,
+        };
+        let h = human(&report);
+        assert!(h.contains("entry a::entry"));
+        assert!(h.contains("  via a::leaf"));
+        let j = json(&report);
+        assert!(j.contains("\"chain\": [\"a::entry (crates/a/src/lib.rs:1)\", \"a::leaf (crates/a/src/lib.rs:5)\"]"));
     }
 }

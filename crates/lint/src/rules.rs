@@ -31,6 +31,15 @@ pub const RULES: &[(&str, &str)] = &[
     ("D003", "no println!/eprintln! in library code"),
     ("D004", "no unwrap()/expect() on protocol paths"),
     ("D005", "no narrowing `as` casts in address-space indexing"),
+    (
+        "D006",
+        "no shared-state mutation reachable from sharded entry points",
+    ),
+    ("D007", "no panic site reachable from protocol entry points"),
+    (
+        "D008",
+        "no float accumulation reachable from merge entry points",
+    ),
 ];
 
 /// Is `id` a known contract rule (suppressible via pragma)?

@@ -1,0 +1,14 @@
+//! Graph fixture: the sharded entry only touches its own arguments.
+fn fold(xs: &[u64]) -> u64 {
+    let mut best = 0;
+    for &x in xs {
+        if x > best {
+            best = x;
+        }
+    }
+    best
+}
+
+pub fn sweep_sharded(xs: &[u64]) -> u64 {
+    fold(xs)
+}

@@ -1,0 +1,19 @@
+//! Graph fixture: a sharded entry point reaches a shared-state mutation
+//! two calls down.
+use std::sync::Mutex;
+
+pub struct Shared {
+    hits: Mutex<u64>,
+}
+
+fn record(s: &Shared) {
+    s.hits.lock();
+}
+
+fn helper(s: &Shared) {
+    record(s);
+}
+
+pub fn sweep_sharded(s: &Shared) {
+    helper(s);
+}

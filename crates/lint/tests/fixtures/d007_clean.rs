@@ -1,0 +1,8 @@
+//! Graph fixture: the protocol path degrades instead of panicking.
+fn parse(data: &[u8]) -> u8 {
+    data.first().copied().unwrap_or(0)
+}
+
+pub fn proto_query(data: &[u8]) -> u8 {
+    parse(data)
+}

@@ -1,0 +1,9 @@
+//! Graph fixture: the panic site carries a justified pragma.
+fn parse(data: &[u8]) -> u8 {
+    // doe-lint: allow(D007) — fixture: length checked by the framing layer
+    data.first().copied().unwrap()
+}
+
+pub fn proto_query(data: &[u8]) -> u8 {
+    parse(data)
+}

@@ -1,0 +1,8 @@
+//! Graph fixture: a protocol entry point reaches a panic site.
+fn parse(data: &[u8]) -> u8 {
+    data.first().copied().unwrap()
+}
+
+pub fn proto_query(data: &[u8]) -> u8 {
+    parse(data)
+}

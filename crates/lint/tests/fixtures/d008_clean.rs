@@ -1,0 +1,13 @@
+//! Graph fixture: integer accumulation on the merge path is exact and
+//! associative — the float gate must not fire on it.
+fn accumulate(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+pub fn merge_shards(xs: &[u64]) -> u64 {
+    accumulate(xs)
+}

@@ -1,0 +1,13 @@
+//! Graph fixture: the float accumulation carries a justified pragma.
+fn accumulate(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        // doe-lint: allow(D008) — fixture: inputs arrive pre-sorted by key
+        total += x;
+    }
+    total
+}
+
+pub fn merge_shards(xs: &[f64]) -> f64 {
+    accumulate(xs)
+}

@@ -1,0 +1,12 @@
+//! Graph fixture: a merge entry point reaches float accumulation.
+fn accumulate(xs: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+pub fn merge_shards(xs: &[f64]) -> f64 {
+    accumulate(xs)
+}

@@ -1,0 +1,6 @@
+//! Pragma-hygiene fixture: the pragma actually suppresses a finding, so
+//! it is not stale.
+pub fn noisy() {
+    // doe-lint: allow(D003) — fixture: exercising a live suppression
+    println!("fixture output");
+}

@@ -1,0 +1,6 @@
+//! Pragma-hygiene fixture: this pragma suppresses nothing and must be
+//! reported as P004.
+// doe-lint: allow(D003) — fixture: nothing on the next line violates D003
+pub fn quiet() -> u32 {
+    7
+}

@@ -1,12 +1,18 @@
 //! Fixture-based self-tests for the determinism analyzer.
 //!
-//! Each rule gets three fixtures — violating, clean, and pragma-suppressed
-//! — plus checks for pragma hygiene, `lint.toml` scoping, and a meta-test
-//! asserting the live workspace itself lints clean.
+//! Each token rule gets three fixtures — violating, clean, and
+//! pragma-suppressed — and the call-graph rules (D006–D008) get the same
+//! triple driven through the whole-workspace `analyze` entry point. On
+//! top of that: pragma hygiene (including stale pragmas as P004 errors),
+//! `lint.toml` scoping, byte-determinism of the exported call graph, and
+//! a meta-test asserting the live workspace satisfies its own contract.
 
 use doe_lint::policy::Policy;
-use doe_lint::{lint_source, lint_workspace, FileOutcome};
-use std::path::Path;
+use doe_lint::{
+    analyze, lint_source, lint_workspace, Analysis, FileOutcome, LoadedFile, SourceFile,
+};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 const ALL_RULES: &[&str] = &["D001", "D002", "D003", "D004", "D005"];
 
@@ -51,11 +57,6 @@ fn assert_rule_triple(rule: &str, violation: &str, clean: &str, suppressed: &str
             .all(|sup| sup.rule == rule && !sup.reason.trim().is_empty()),
         "{rule}: suppression missing rule or reason: {:?}",
         s.suppressed
-    );
-    assert!(
-        s.unused_pragmas.is_empty(),
-        "{rule}: suppressed fixture left unused pragmas: {:?}",
-        s.unused_pragmas
     );
 }
 
@@ -109,12 +110,188 @@ fn d005_narrowing_casts() {
     );
 }
 
-#[test]
-fn disabled_rules_do_not_fire() {
-    // The D001 violation fixture is silent when only D003 is in force.
-    let out = lint(include_str!("fixtures/d001_violation.rs"), &["D003"]);
-    assert!(out.findings.is_empty(), "{:?}", out.findings);
+// ---------------------------------------------------------------------
+// Call-graph rules: fixtures run through the whole-workspace `analyze`
+// entry point with the fixture file standing in as a one-crate workspace.
+
+fn analyze_fixture(src: &str, shard: &[&str], proto: &[&str], merge: &[&str]) -> Analysis {
+    let mut policy = Policy::default();
+    policy.graph.shard_entries = shard.iter().map(|s| s.to_string()).collect();
+    policy.graph.protocol_entries = proto.iter().map(|s| s.to_string()).collect();
+    policy.graph.merge_entries = merge.iter().map(|s| s.to_string()).collect();
+    let files = vec![LoadedFile {
+        file: SourceFile {
+            crate_key: "fixture".to_string(),
+            rel_path: "src/lib.rs".to_string(),
+            display_path: "crates/fixture/src/lib.rs".to_string(),
+            abs_path: PathBuf::new(),
+        },
+        src: src.to_string(),
+    }];
+    let mut names = BTreeMap::new();
+    names.insert("fixture".to_string(), "fixture_lib".to_string());
+    analyze(&files, &policy, &names).expect("fixture analysis succeeds")
 }
+
+fn assert_graph_triple(rule: &str, entry: &[&str], violation: &str, clean: &str, suppressed: &str) {
+    let pick = |r: &str| -> (Vec<&str>, Vec<&str>, Vec<&str>) {
+        match r {
+            "D006" => (entry.to_vec(), Vec::new(), Vec::new()),
+            "D007" => (Vec::new(), entry.to_vec(), Vec::new()),
+            _ => (Vec::new(), Vec::new(), entry.to_vec()),
+        }
+    };
+    let (s, p, m) = pick(rule);
+
+    let v = analyze_fixture(violation, &s, &p, &m).report;
+    assert!(
+        !v.findings.is_empty(),
+        "{rule}: violation fixture produced no findings"
+    );
+    assert!(
+        v.findings.iter().all(|f| f.rule == rule),
+        "{rule}: violation fixture tripped other rules: {:?}",
+        v.findings
+    );
+    // Chain evidence: every interprocedural finding names its entry point.
+    assert!(
+        v.findings
+            .iter()
+            .all(|f| !f.chain.is_empty()
+                && f.chain[0].contains(entry[0].rsplit("::").next().unwrap())),
+        "{rule}: finding lacks a chain rooted at the entry: {:?}",
+        v.findings
+    );
+
+    let c = analyze_fixture(clean, &s, &p, &m).report;
+    assert!(
+        c.findings.is_empty(),
+        "{rule}: clean fixture produced findings: {:?}",
+        c.findings
+    );
+
+    let sup = analyze_fixture(suppressed, &s, &p, &m).report;
+    assert!(
+        sup.findings.is_empty(),
+        "{rule}: suppressed fixture still has findings: {:?}",
+        sup.findings
+    );
+    assert!(
+        sup.suppressed.iter().any(|x| x.rule == rule),
+        "{rule}: suppressed fixture recorded no {rule} suppression: {:?}",
+        sup.suppressed
+    );
+}
+
+#[test]
+fn d006_shard_purity() {
+    assert_graph_triple(
+        "D006",
+        &["fixture_lib::sweep_sharded"],
+        include_str!("fixtures/d006_violation.rs"),
+        include_str!("fixtures/d006_clean.rs"),
+        include_str!("fixtures/d006_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d007_transitive_panic_reachability() {
+    assert_graph_triple(
+        "D007",
+        &["fixture_lib::proto_query"],
+        include_str!("fixtures/d007_violation.rs"),
+        include_str!("fixtures/d007_clean.rs"),
+        include_str!("fixtures/d007_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d008_float_accumulation_on_merge_paths() {
+    assert_graph_triple(
+        "D008",
+        &["fixture_lib::merge_shards"],
+        include_str!("fixtures/d008_violation.rs"),
+        include_str!("fixtures/d008_clean.rs"),
+        include_str!("fixtures/d008_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d007_chain_reports_every_hop() {
+    let report = analyze_fixture(
+        include_str!("fixtures/d006_violation.rs"),
+        &[],
+        &["fixture_lib::sweep_sharded"],
+        &[],
+    )
+    .report;
+    // The same fixture has no panic site, so rooting D007 there is clean…
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+
+    // …while the D006 chain walks entry -> helper -> record.
+    let report = analyze_fixture(
+        include_str!("fixtures/d006_violation.rs"),
+        &["fixture_lib::sweep_sharded"],
+        &[],
+        &[],
+    )
+    .report;
+    let f = &report.findings[0];
+    assert_eq!(
+        f.chain.len(),
+        3,
+        "chain should have three hops: {:?}",
+        f.chain
+    );
+    assert!(f.chain[0].contains("sweep_sharded"));
+    assert!(f.chain[1].contains("helper"));
+    assert!(f.chain[2].contains("record"));
+}
+
+#[test]
+fn stale_graph_entry_is_a_configuration_error() {
+    let mut policy = Policy::default();
+    policy.graph.shard_entries = vec!["fixture_lib::renamed_or_removed".to_string()];
+    let files = vec![LoadedFile {
+        file: SourceFile {
+            crate_key: "fixture".to_string(),
+            rel_path: "src/lib.rs".to_string(),
+            display_path: "crates/fixture/src/lib.rs".to_string(),
+            abs_path: PathBuf::new(),
+        },
+        src: include_str!("fixtures/d006_clean.rs").to_string(),
+    }];
+    let mut names = BTreeMap::new();
+    names.insert("fixture".to_string(), "fixture_lib".to_string());
+    let err = analyze(&files, &policy, &names).expect_err("stale entry must be rejected");
+    assert!(
+        err.contains("renamed_or_removed"),
+        "error should name the stale entry: {err}"
+    );
+}
+
+#[test]
+fn graph_policy_parses_multi_line_arrays() {
+    let toml = r#"
+        [graph]
+        shard_entries = [
+            "a::sweep",   # trailing comment
+            "b::verify",
+        ]
+        protocol_entries = ["c::query"]
+        merge_entries = []
+
+        [default]
+        rules = ["D001"]
+    "#;
+    let p = Policy::parse(toml).expect("graph policy parses");
+    assert_eq!(p.graph.shard_entries, vec!["a::sweep", "b::verify"]);
+    assert_eq!(p.graph.protocol_entries, vec!["c::query"]);
+    assert!(p.graph.merge_entries.is_empty());
+}
+
+// ---------------------------------------------------------------------
+// Pragma hygiene.
 
 #[test]
 fn pragma_missing_reason_is_a_finding() {
@@ -141,22 +318,49 @@ fn pragma_malformed_directive_is_a_finding() {
 }
 
 #[test]
-fn pragma_for_wrong_rule_does_not_suppress() {
+fn pragma_for_wrong_rule_is_stale_and_suppresses_nothing() {
     let src = "pub fn f() -> u16 {\n    \
                // doe-lint: allow(D001) — fixture: wrong rule id on purpose\n    \
                3usize as u16\n}\n";
     let out = lint(src, ALL_RULES);
     assert!(out.findings.iter().any(|f| f.rule == "D005"), "{out:?}");
-    assert_eq!(out.unused_pragmas.len(), 1);
+    assert!(out.findings.iter().any(|f| f.rule == "P004"), "{out:?}");
 }
 
 #[test]
-fn unused_pragma_is_a_note_not_an_error() {
-    let src = "// doe-lint: allow(D003) — fixture: nothing to suppress here\npub fn f() {}\n";
-    let out = lint(src, ALL_RULES);
-    assert!(out.findings.is_empty(), "{:?}", out.findings);
-    // Notes carry the pragma's own line.
-    assert_eq!(out.unused_pragmas, vec![1]);
+fn stale_pragma_is_a_p004_error() {
+    assert_rule_p004(
+        include_str!("fixtures/p004_violation.rs"),
+        include_str!("fixtures/p004_clean.rs"),
+    );
+}
+
+fn assert_rule_p004(violation: &str, clean: &str) {
+    let v = lint(violation, ALL_RULES);
+    assert!(
+        v.findings.iter().any(|f| f.rule == "P004"),
+        "stale pragma did not produce P004: {:?}",
+        v.findings
+    );
+    assert!(
+        v.findings
+            .iter()
+            .filter(|f| f.rule == "P004")
+            .all(|f| f.message.contains("suppresses nothing")),
+        "P004 message should explain the problem: {:?}",
+        v.findings
+    );
+
+    let c = lint(clean, ALL_RULES);
+    assert!(
+        c.findings.is_empty(),
+        "live suppression flagged as stale: {:?}",
+        c.findings
+    );
+    assert!(
+        !c.suppressed.is_empty(),
+        "clean fixture should record its live suppression"
+    );
 }
 
 #[test]
@@ -217,14 +421,32 @@ fn policy_scoping_controls_what_fires() {
     assert!(policy.rules_for("bench", "src/lib.rs").is_empty());
 }
 
-/// The meta-test: the live workspace must satisfy its own contract, and
-/// every recorded suppression must carry a justification.
-#[test]
-fn workspace_lints_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..");
+// ---------------------------------------------------------------------
+// Whole-workspace meta-tests.
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+fn workspace_policy(root: &Path) -> Policy {
     let policy_text =
         std::fs::read_to_string(root.join("lint.toml")).expect("workspace lint.toml exists");
-    let policy = Policy::parse(&policy_text).expect("workspace lint.toml parses");
+    Policy::parse(&policy_text).expect("workspace lint.toml parses")
+}
+
+/// The meta-test: the live workspace must satisfy its own contract —
+/// token rules *and* the interprocedural D006/D007/D008 — and every
+/// recorded suppression must carry a justification.
+#[test]
+fn workspace_lints_clean() {
+    let root = workspace_root();
+    let policy = workspace_policy(&root);
+    assert!(
+        !policy.graph.shard_entries.is_empty()
+            && !policy.graph.protocol_entries.is_empty()
+            && !policy.graph.merge_entries.is_empty(),
+        "the workspace policy must keep the interprocedural rules rooted"
+    );
     let report = lint_workspace(&root, &policy).expect("workspace lints");
     assert!(
         report.clean(),
@@ -239,5 +461,27 @@ fn workspace_lints_clean() {
             .all(|s| !s.reason.trim().is_empty()),
         "a suppression lost its reason: {:?}",
         report.suppressed
+    );
+}
+
+/// Two analyses of the same tree must serialise to byte-identical
+/// artifacts — `scripts/verify.sh` archives and diffs them.
+#[test]
+fn callgraph_and_report_are_byte_deterministic() {
+    let root = workspace_root();
+    let policy = workspace_policy(&root);
+    let a = doe_lint::analyze_workspace(&root, &policy).expect("first analysis");
+    let b = doe_lint::analyze_workspace(&root, &policy).expect("second analysis");
+    let ga = doe_lint::graph::to_json(&a.graph);
+    let gb = doe_lint::graph::to_json(&b.graph);
+    assert_eq!(ga, gb, "callgraph.json is not byte-stable across runs");
+    assert!(
+        ga.contains("\"edges\"") && ga.contains("\"nodes\""),
+        "callgraph export lost its sections"
+    );
+    assert_eq!(
+        doe_lint::report::json(&a.report),
+        doe_lint::report::json(&b.report),
+        "doe-lint.json is not byte-stable across runs"
     );
 }

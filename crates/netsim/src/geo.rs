@@ -26,7 +26,9 @@ impl CountryCode {
 
     /// The code as a `&str`.
     pub fn as_str(&self) -> &str {
-        std::str::from_utf8(&self.0).expect("constructed from ASCII")
+        // `new` uppercases ASCII, so the bytes are always valid UTF-8;
+        // fall back to a sentinel rather than aborting mid-measurement.
+        std::str::from_utf8(&self.0).unwrap_or("??")
     }
 }
 

@@ -849,7 +849,7 @@ impl Network {
             original_dst: dst,
             port,
             diverted_rule,
-            handler: Some(handler),
+            handler,
             elapsed: rtt,
             tx_bytes: 0,
             rx_bytes: 0,
@@ -1101,7 +1101,7 @@ pub struct Conn {
     original_dst: Ipv4Addr,
     port: u16,
     diverted_rule: Option<String>,
-    handler: Option<Box<dyn StreamHandler>>,
+    handler: Box<dyn StreamHandler>,
     elapsed: SimDuration,
     tx_bytes: usize,
     rx_bytes: usize,
@@ -1194,9 +1194,13 @@ impl Conn {
                 rule: None,
             });
         }
-        let mut handler = self.handler.take().expect("request after close");
-        let (resp, dt) = net.exchange(self.src, self.effective_dst, self.port, &mut handler, data);
-        self.handler = Some(handler);
+        let (resp, dt) = net.exchange(
+            self.src,
+            self.effective_dst,
+            self.port,
+            &mut self.handler,
+            data,
+        );
         self.elapsed += dt;
         self.tx_bytes += data.len();
         self.rx_bytes += resp.len();
@@ -1215,11 +1219,10 @@ impl Conn {
     }
 
     /// Close the connection (notifies the handler).
-    pub fn close(mut self, net: &mut Network) {
-        if let Some(mut handler) = self.handler.take() {
-            let mut ctx = ServiceCtx::new(net, self.effective_dst, 0);
-            handler.on_close(&mut ctx);
-        }
+    pub fn close(self, net: &mut Network) {
+        let mut handler = self.handler;
+        let mut ctx = ServiceCtx::new(net, self.effective_dst, 0);
+        handler.on_close(&mut ctx);
     }
 }
 

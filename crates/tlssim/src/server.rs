@@ -142,10 +142,8 @@ struct TlsServerHandler {
 
 impl TlsServerHandler {
     fn inner_handler(&mut self) -> &mut Box<dyn StreamHandler> {
-        if self.inner.is_none() {
-            self.inner = Some(self.inner_service.open_stream(self.peer));
-        }
-        self.inner.as_mut().expect("just created")
+        self.inner
+            .get_or_insert_with(|| self.inner_service.open_stream(self.peer))
     }
 }
 

@@ -35,7 +35,7 @@ pub fn verify_chain(
     // 2. Trust anchoring of the top of the chain: the signer must be an
     //    anchor AND its signature must actually verify — a forged
     //    certificate merely *claiming* a trusted issuer is a broken chain.
-    let top = chain.last().expect("non-empty");
+    let top = chain.last().ok_or(CertError::EmptyChain)?;
     if store.is_trusted(top.signature.signer) {
         if !top.signature_valid_under(top.signature.signer) {
             return Err(CertError::InvalidChain);

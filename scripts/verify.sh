@@ -40,8 +40,23 @@ done
 rm -f results/metrics.shards8.json
 echo "    metrics.json identical across shard counts, all stages present"
 
-echo "==> doe-lint (determinism contract)"
-cargo run -q --release -p doe-lint --offline -- --json-out results/doe-lint.json
+echo "==> doe-lint (determinism contract, interprocedural)"
+# One pass archives both artifacts; a second pass re-derives the call
+# graph so the gate catches any nondeterminism in the analyzer itself.
+cargo run -q --release -p doe-lint --offline -- \
+    --json-out results/doe-lint.json --graph-out results/callgraph.json
+cargo run -q --release -p doe-lint --offline -- \
+    --quiet --graph-out results/callgraph.second.json
+cmp results/callgraph.json results/callgraph.second.json || {
+    echo "FAIL: callgraph.json differs between two doe-lint runs" >&2
+    exit 1
+}
+rm -f results/callgraph.second.json
+grep -q '"rule": "D006"\|"shard_entries"\|"nodes"' results/callgraph.json || {
+    echo "FAIL: results/callgraph.json lost its node section" >&2
+    exit 1
+}
+echo "    doe-lint.json + callgraph.json archived, graph byte-stable"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
