@@ -1,0 +1,43 @@
+//! Wall-clock scaling of the event-driven stub-client population: the
+//! same fleet simulated at 100K, 500K and 1M clients across 1, 4 and 8
+//! worker shards. Results are bit-identical for every shard count (see
+//! `tests/shard_invariance.rs`); this bench records what the scheduler
+//! refactor buys in wall-clock headroom over the old per-client loops.
+//!
+//! Run with `cargo bench -p doe-bench --bench sim_clients` (the 1M rows
+//! take ~30s per sample; criterion's sample size is reduced to keep the
+//! sweep under a few minutes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doe_traffic::{build_stub_world, stub_population_sharded, StubPopulationConfig};
+
+fn bench_sim_clients(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_clients");
+    // Each 1M-client sample costs tens of seconds; two samples (the
+    // harness minimum) keep the full sweep within a few minutes.
+    group.sample_size(2);
+    for clients in [100_000usize, 500_000, 1_000_000] {
+        for shards in [1usize, 4, 8] {
+            let label = format!("{}k_{shards}_shards", clients / 1_000);
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    let mut world = build_stub_world(2019, false);
+                    let report = stub_population_sharded(
+                        &mut world,
+                        &StubPopulationConfig {
+                            clients,
+                            queries_per_client: 2,
+                        },
+                        shards,
+                    );
+                    assert_eq!(report.clients, clients as u64);
+                    report
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_clients);
+criterion_main!(benches);

@@ -16,9 +16,10 @@ use std::io::Write;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: repro [--paper] [--scale X] [--seed N] [--epochs N] [--shards N] [--trace] [--json DIR] [--metrics PATH] <experiment...|all|list>"
+        "usage: repro [--paper] [--scale X] [--seed N] [--epochs N] [--shards N] [--clients N] [--trace] [--json DIR] [--metrics PATH] <experiment...|all|list>"
     );
     eprintln!("  --shards N   worker threads for sharded stages (default: available cores; results identical for any N)");
+    eprintln!("  --clients N  concurrent event-driven stub clients in the stub-scale leg (default: 20000, --paper: 1000000)");
     eprintln!("  --trace      record network events and print per-shard probe counters");
     eprintln!(
         "  --metrics PATH  write the telemetry snapshot as JSON and print a per-stage breakdown"
@@ -55,6 +56,10 @@ fn main() {
             "--shards" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 config.shards = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--clients" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                config.sim_clients = v.parse().unwrap_or_else(|_| usage());
             }
             "--trace" => config.trace_capacity = 4096,
             "--json" => {
@@ -142,12 +147,12 @@ fn main() {
                 stats.probes, stats.open, stats.closed, stats.filtered
             );
         }
-        let events = net.log().events();
+        let log = net.log();
         eprintln!(
             "trace: {} events retained (cap 4096), newest last",
-            events.len()
+            log.len()
         );
-        for event in events.iter().rev().take(10).rev() {
+        for event in log.events().rev().take(10).rev() {
             eprintln!(
                 "trace: {} -> {}:{} {:?} ({}us)",
                 event.src,

@@ -117,6 +117,11 @@ pub fn all_expectations() -> Vec<Expectation> {
             paper: "NetworkScan Mon raises no port-853 alerts for the DoT client networks",
             shape: "planted scanner flagged; zero false positives among clients",
         },
+        Expectation {
+            id: "stub-scale",
+            paper: "n/a — engineering leg: the event-driven scheduler interleaves 1M concurrent stub clients in one run",
+            shape: "≥1M clients at paper scale; exactly 1/64 of the fleet times out and retransmits; all four event kinds fire; report bit-identical for any --shards",
+        },
     ]
 }
 
@@ -153,10 +158,11 @@ mod tests {
             "table8",
             "local-probe",
             "scandet",
+            "stub-scale",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
     }
 
     #[test]

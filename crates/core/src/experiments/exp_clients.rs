@@ -6,6 +6,7 @@ use crate::render::{heading, ms, pct, TextTable};
 use crate::study::Study;
 use doe_vantage::performance::fresh_connection_test;
 use doe_vantage::reachability::TransportKind;
+use netsim::sched::SchedEvent;
 use serde_json::json;
 
 /// Table 3: the vantage-point datasets.
@@ -341,6 +342,104 @@ pub fn figure10(study: &mut Study) -> ExperimentResult {
                 .collect::<Vec<_>>(),
             "near25": {"dot": dot25, "doh": doh25},
             "near50": {"dot": dot50, "doh": doh50},
+        }),
+    }
+}
+
+/// Population-scale stress leg: the event-driven stub-client fleet.
+///
+/// Not a paper figure — an engineering experiment demonstrating that the
+/// discrete-event scheduler interleaves `--clients N` (paper config: 1M)
+/// concurrent stub resolvers in one run, with connection reuse, timeouts
+/// and retransmits all delivered as scheduled events.
+pub fn stub_scale(study: &mut Study) -> ExperimentResult {
+    let report = study.stub_population().clone();
+    let t = &report.totals;
+
+    let mut profiles = TextTable::new(vec![
+        "Profile",
+        "Clients",
+        "Queries",
+        "Answered",
+        "Failed",
+        "Reused",
+        "Mean latency",
+    ]);
+    for p in &report.profiles {
+        let mean_ms = if p.stats.answered > 0 {
+            p.stats.latency_sum_us as f64 / p.stats.answered as f64 / 1_000.0
+        } else {
+            0.0
+        };
+        profiles.row(vec![
+            p.profile.to_string(),
+            p.clients.to_string(),
+            p.stats.queries.to_string(),
+            p.stats.answered.to_string(),
+            p.stats.failed.to_string(),
+            p.stats.reused.to_string(),
+            ms(mean_ms),
+        ]);
+    }
+
+    let mut sched = TextTable::new(vec!["Event kind", "Scheduled", "Fired"]);
+    for (i, name) in SchedEvent::KIND_NAMES.iter().enumerate() {
+        sched.row(vec![
+            name.to_string(),
+            report.sched.scheduled[i].to_string(),
+            report.sched.fired[i].to_string(),
+        ]);
+    }
+
+    let rendered = format!(
+        "{}clients               : {}\nqueries               : {} ({} answered, {} failed)\ntimeouts / retransmits : {} / {}\nidle closes / reuses   : {} / {}\npeak outstanding/client: {}\n\n{}\n{}",
+        heading("Stub scale — 1M-class event-driven client population"),
+        report.clients,
+        t.queries,
+        t.answered,
+        t.failed,
+        t.timeouts,
+        t.retransmits,
+        t.idle_closes,
+        t.reused,
+        report.sched.peak_outstanding,
+        profiles.render(),
+        sched.render(),
+    );
+    ExperimentResult {
+        id: "stub-scale",
+        title: "Event-driven client fleet",
+        rendered,
+        json: json!({
+            "clients": report.clients,
+            "totals": {
+                "queries": t.queries,
+                "answered": t.answered,
+                "failed": t.failed,
+                "timeouts": t.timeouts,
+                "retransmits": t.retransmits,
+                "idle_closes": t.idle_closes,
+                "reused": t.reused,
+                "latency_sum_us": t.latency_sum_us,
+            },
+            "profiles": report
+                .profiles
+                .iter()
+                .map(|p| json!({
+                    "profile": p.profile,
+                    "clients": p.clients,
+                    "queries": p.stats.queries,
+                    "answered": p.stats.answered,
+                    "failed": p.stats.failed,
+                    "reused": p.stats.reused,
+                }))
+                .collect::<Vec<_>>(),
+            "sched": {
+                "kinds": SchedEvent::KIND_NAMES,
+                "scheduled": report.sched.scheduled,
+                "fired": report.sched.fired,
+                "peak_outstanding": report.sched.peak_outstanding,
+            },
         }),
     }
 }

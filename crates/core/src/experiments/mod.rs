@@ -37,7 +37,7 @@ impl ExperimentResult {
 }
 
 /// Every experiment id, in report order.
-pub const ALL_EXPERIMENTS: [&str; 20] = [
+pub const ALL_EXPERIMENTS: [&str; 21] = [
     "table1",
     "figure1",
     "figure2",
@@ -58,6 +58,7 @@ pub const ALL_EXPERIMENTS: [&str; 20] = [
     "figure12",
     "figure13",
     "scandet",
+    "stub-scale",
 ];
 
 /// Run one experiment by id.
@@ -83,6 +84,7 @@ pub fn run(study: &mut Study, id: &str) -> Option<ExperimentResult> {
         "figure12" => Some(exp_usage::figure12(study)),
         "figure13" => Some(exp_usage::figure13(study)),
         "scandet" => Some(exp_usage::scandet(study)),
+        "stub-scale" => Some(exp_clients::stub_scale(study)),
         _ => None,
     }
 }

@@ -2,7 +2,10 @@
 //! stages so individual experiments can share them.
 
 use doe_scanner::campaign::{self, CampaignReport};
-use doe_traffic::{generate_dot_traffic, DotTrafficConfig, TrafficDataset};
+use doe_traffic::{build_stub_world, StubPopulationConfig, StubPopulationReport};
+use doe_traffic::{
+    generate_dot_traffic, stub_population_sharded, DotTrafficConfig, TrafficDataset,
+};
 use doe_traffic::{generate_passive_dns, PassiveDnsDb, PdnsConfig};
 use doe_vantage::performance::{performance_test_sharded, standard_tunnel, PerformanceReport};
 use doe_vantage::reachability::{reachability_test_sharded, ReachabilityReport};
@@ -36,6 +39,9 @@ pub struct StudyConfig {
     pub trace_capacity: usize,
     /// Whether the network collects telemetry (`repro --metrics`).
     pub metrics: bool,
+    /// Concurrent event-driven stub clients in the population-scale leg
+    /// (`repro --clients N`; paper config: 1,000,000).
+    pub sim_clients: usize,
 }
 
 impl StudyConfig {
@@ -53,6 +59,7 @@ impl StudyConfig {
             shards: 0,
             trace_capacity: 0,
             metrics: true,
+            sim_clients: 20_000,
         }
     }
 
@@ -70,6 +77,7 @@ impl StudyConfig {
             shards: 0,
             trace_capacity: 0,
             metrics: true,
+            sim_clients: 1_000_000,
         }
     }
 
@@ -107,6 +115,7 @@ pub struct Study {
     traffic: Option<TrafficDataset>,
     pdns_360: Option<PassiveDnsDb>,
     pdns_dnsdb: Option<PassiveDnsDb>,
+    stub_population: Option<StubPopulationReport>,
 }
 
 impl Study {
@@ -123,6 +132,7 @@ impl Study {
             traffic: None,
             pdns_360: None,
             pdns_dnsdb: None,
+            stub_population: None,
         }
     }
 
@@ -254,6 +264,30 @@ impl Study {
             }));
         }
         self.traffic.as_ref().expect("just computed")
+    }
+
+    /// The population-scale stress leg: `sim_clients` event-driven stub
+    /// clients interleaved on the discrete-event scheduler. Runs in its
+    /// own lightweight world; its telemetry is folded into the study
+    /// world's registry so `repro --metrics` carries the scheduler-load
+    /// breakdown.
+    pub fn stub_population(&mut self) -> &StubPopulationReport {
+        if self.stub_population.is_none() {
+            let mut stub_world = build_stub_world(self.config.seed ^ 0x57ab, self.config.metrics);
+            let report = stub_population_sharded(
+                &mut stub_world,
+                &StubPopulationConfig {
+                    clients: self.config.sim_clients,
+                    ..StubPopulationConfig::default()
+                },
+                self.config.effective_shards(),
+            );
+            if self.config.metrics {
+                self.world.net.metrics_mut().merge(stub_world.net.metrics());
+            }
+            self.stub_population = Some(report);
+        }
+        self.stub_population.as_ref().expect("just computed")
     }
 
     /// The 360-PassiveDNS-like feed (§5.3).

@@ -1,7 +1,7 @@
 //! Client-side query outcomes shared by every transport.
 
 use dnswire::{Message, WireError};
-use netsim::{ConnectError, SimDuration, UdpError};
+use netsim::{ConnectError, ConnectErrorKind, SimDuration, UdpError};
 use std::fmt;
 use tlssim::{CertError, TlsError};
 
@@ -118,6 +118,22 @@ impl QueryError {
     /// Whether the failure is a *certificate* rejection (Strict profile).
     pub fn is_cert_failure(&self) -> bool {
         matches!(self, QueryError::Tls(TlsError::Cert(_)))
+    }
+
+    /// Whether the failure is a *timeout* — nothing came back before the
+    /// deadline (blackhole, loss, dead address). This is the class a stub
+    /// retransmits on; hard failures (resets, cert rejection, malformed
+    /// responses) are not retried.
+    pub fn is_timeout(&self) -> bool {
+        match self {
+            QueryError::Connect(e) => matches!(e.kind, ConnectErrorKind::Timeout),
+            QueryError::Udp(e) => matches!(e, UdpError::Timeout { .. }),
+            QueryError::Tls(TlsError::Transport(e)) => {
+                matches!(e.kind, ConnectErrorKind::Timeout)
+            }
+            QueryError::Timeout { .. } => true,
+            _ => false,
+        }
     }
 }
 

@@ -58,6 +58,7 @@ pub mod doh;
 pub mod doq;
 pub mod dot;
 pub mod error;
+pub mod machine;
 pub mod recursive;
 pub mod responder;
 pub mod stub;
@@ -66,6 +67,7 @@ pub use do53::{do53_tcp_query, do53_udp_query, Do53TcpConn, Do53TcpService, Do53
 pub use doh::{Bootstrap, DohBackend, DohClient, DohMethod, DohServerService, DohSession};
 pub use dot::{DotClient, DotServerService, DotSession};
 pub use error::{DnsTransport, QueryError, QueryReply, TransportInfo};
+pub use machine::{StubMachine, StubMachineStats, StubPacing};
 pub use recursive::{RecursiveConfig, RecursiveResolver, UpstreamMap};
 pub use responder::{
     AuthoritativeServer, DnsResponder, FixedAnswerResponder, QueryLog, QueryLogEntry,

@@ -1,0 +1,504 @@
+//! Event-driven stub clients: the [`StubResolver`] connection-reuse and
+//! timeout behaviour recast as a state machine on the shard event heap.
+//!
+//! The per-client loop version of a stub client ran its whole query
+//! sequence back to back, so one worker could only hold one client's
+//! state at a time. A [`StubMachine`] instead performs one bounded step
+//! per fired event and schedules its successors, which lets a single
+//! shard interleave millions of concurrent clients:
+//!
+//! * [`SchedEvent::Timer`] — think time elapsed; issue the next query.
+//! * [`SchedEvent::Deliver`] — the in-flight response arrives; record the
+//!   sample and arm the next think timer plus an idle-close guard.
+//! * [`SchedEvent::IdleClose`] — the pooled connection sat idle past the
+//!   configured window; expire it (lazy-cancelled via a generation token
+//!   if the connection was used in the meantime).
+//! * [`SchedEvent::Retransmit`] — a timed-out flight's backoff elapsed;
+//!   try again, up to the attempt budget.
+//!
+//! Determinism: each machine owns a `SmallRng` seeded from
+//! `mix_seed(salt, client_index)` and swaps it into the [`Network`]
+//! around every operation ([`Network::swap_rng`]), so a client's draw
+//! sequence is identical no matter how machines interleave or how many
+//! shards the fleet is split across.
+
+use crate::stub::{StubConfig, StubResolver};
+use dnswire::RecordType;
+use netsim::sched::{EventMachine, Fired, SchedEvent};
+use netsim::{Network, SimDuration};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+
+/// Fleet-wide pacing parameters, shared by every machine via `Arc`.
+#[derive(Debug, Clone)]
+pub struct StubPacing {
+    /// Logical queries each client issues before finishing.
+    pub queries_per_client: u32,
+    /// Mean think time between a delivered answer and the next query
+    /// (each gap is drawn from the client's own stream).
+    pub think_mean: SimDuration,
+    /// Idle window after which a pooled connection is closed.
+    pub idle_close: SimDuration,
+    /// Base retransmission backoff (scaled linearly by attempt).
+    pub backoff: SimDuration,
+    /// Total attempts per logical query (1 = never retransmit).
+    pub max_attempts: u32,
+    /// Query-name apex; names are unique per (client, query, attempt) so
+    /// shared resolver caches cannot couple machines to each other.
+    pub apex: String,
+}
+
+impl Default for StubPacing {
+    fn default() -> Self {
+        StubPacing {
+            queries_per_client: 4,
+            think_mean: SimDuration::from_secs(30),
+            idle_close: SimDuration::from_secs(60),
+            backoff: SimDuration::from_secs(2),
+            max_attempts: 3,
+            apex: "pop.example".into(),
+        }
+    }
+}
+
+/// Per-machine outcome counters; plain integers so fleet totals merge
+/// associatively (bit-identical for any shard layout).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StubMachineStats {
+    /// Logical queries completed (answered or finally failed).
+    pub queries: u64,
+    /// Queries that got an answer delivered.
+    pub answered: u64,
+    /// Queries that exhausted every attempt (or failed hard).
+    pub failed: u64,
+    /// Timeout errors observed (including ones later retried).
+    pub timeouts: u64,
+    /// Retransmit events fired.
+    pub retransmits: u64,
+    /// Idle-close events that actually expired a pooled connection.
+    pub idle_closes: u64,
+    /// Answered queries that rode a reused (pooled) connection.
+    pub reused: u64,
+    /// Sum of delivered-answer latencies, microseconds.
+    pub latency_sum_us: u64,
+}
+
+impl StubMachineStats {
+    /// Fold another machine's counters into this one (associative and
+    /// commutative — fleet totals are shard-count invariant).
+    pub fn absorb(&mut self, other: &StubMachineStats) {
+        self.queries += other.queries;
+        self.answered += other.answered;
+        self.failed += other.failed;
+        self.timeouts += other.timeouts;
+        self.retransmits += other.retransmits;
+        self.idle_closes += other.idle_closes;
+        self.reused += other.reused;
+        self.latency_sum_us += other.latency_sum_us;
+    }
+}
+
+enum Phase {
+    /// Between queries; a think timer (and possibly an idle-close guard)
+    /// is pending.
+    Idle,
+    /// A query is in flight; its answer is scheduled for delivery.
+    Waiting {
+        latency_us: u64,
+        reused_connection: bool,
+    },
+    /// All queries done; any still-heaped events are stale.
+    Done,
+}
+
+/// One event-driven stub client.
+pub struct StubMachine {
+    /// Dense per-shard machine index (the heap address).
+    index: u64,
+    /// Global client index (names, seeding).
+    client: u64,
+    src: Ipv4Addr,
+    stub: StubResolver,
+    pacing: Arc<StubPacing>,
+    rng: SmallRng,
+    phase: Phase,
+    /// Connection-use generation for lazy idle-close cancellation.
+    generation: u32,
+    /// Logical queries completed so far.
+    completed: u32,
+    /// Whether the profile pools a connection at all (clear-text UDP
+    /// doesn't; skipping the guard keeps 1M-client heaps lean).
+    pools_connection: bool,
+    /// Outcome counters, read by the fleet runner after the heap drains.
+    pub stats: StubMachineStats,
+}
+
+impl StubMachine {
+    /// Build a machine. `index` is the dense per-shard heap address,
+    /// `client` the global client index, `rng_seed` typically
+    /// `mix_seed(salt, client)`.
+    pub fn new(
+        index: u64,
+        client: u64,
+        src: Ipv4Addr,
+        config: StubConfig,
+        pacing: Arc<StubPacing>,
+        rng_seed: u64,
+    ) -> StubMachine {
+        let pools_connection = !matches!(config.profile, crate::stub::StubProfile::ClearText);
+        StubMachine {
+            index,
+            client,
+            src,
+            stub: StubResolver::new(config),
+            pacing,
+            rng: SmallRng::seed_from_u64(rng_seed),
+            phase: Phase::Idle,
+            generation: 0,
+            completed: 0,
+            pools_connection,
+            stats: StubMachineStats::default(),
+        }
+    }
+
+    /// Whether the machine has finished its query budget.
+    pub fn is_done(&self) -> bool {
+        matches!(self.phase, Phase::Done)
+    }
+
+    /// The global client index the machine was built with.
+    pub fn client_index(&self) -> u64 {
+        self.client
+    }
+
+    /// Kick the machine off: schedule its first think timer `delay`
+    /// after the current virtual time.
+    pub fn start(&mut self, net: &mut Network, delay: SimDuration) {
+        net.schedule_after(delay, self.index, SchedEvent::Timer { token: 0 });
+    }
+
+    /// Issue attempt `attempt` of the current logical query. The machine
+    /// RNG is swapped into the network for the duration, so the draw
+    /// sequence belongs to this client alone.
+    fn issue_query(&mut self, net: &mut Network, attempt: u32) {
+        let name = format!(
+            "q{}a{}.c{}.{}",
+            self.completed, attempt, self.client, self.pacing.apex
+        );
+        net.swap_rng(&mut self.rng);
+        let outcome = self.stub.resolve(net, self.src, &name, RecordType::A);
+        net.swap_rng(&mut self.rng);
+        match outcome {
+            Ok(reply) => {
+                self.phase = Phase::Waiting {
+                    latency_us: reply.latency.as_micros(),
+                    reused_connection: reply.transport.connection_reused,
+                };
+                net.schedule_after(
+                    reply.latency,
+                    self.index,
+                    SchedEvent::Deliver {
+                        token: self.completed,
+                    },
+                );
+            }
+            Err(e) => {
+                let timed_out = e.is_timeout();
+                if timed_out {
+                    self.stats.timeouts += 1;
+                }
+                if timed_out && attempt < self.pacing.max_attempts {
+                    // The flight's wasted wait plus a linear backoff.
+                    let delay = e.elapsed() + self.pacing.backoff * u64::from(attempt);
+                    net.schedule_after(
+                        delay,
+                        self.index,
+                        SchedEvent::Retransmit {
+                            attempt: attempt + 1,
+                        },
+                    );
+                } else {
+                    self.stats.failed += 1;
+                    self.finish_query(net, e.elapsed());
+                }
+            }
+        }
+    }
+
+    /// A logical query just completed (answered or exhausted); advance
+    /// to the next one or finish, arming think and idle-close events.
+    fn finish_query(&mut self, net: &mut Network, consumed: SimDuration) {
+        self.stats.queries += 1;
+        self.generation = self.generation.wrapping_add(1);
+        self.completed += 1;
+        if self.completed >= self.pacing.queries_per_client {
+            self.phase = Phase::Done;
+            // Clean close; later IdleClose events find the machine done.
+            self.stub.expire_session(net);
+            self.stats.reused = self.stub.reused_queries();
+            return;
+        }
+        self.phase = Phase::Idle;
+        // Think gap: 0.2×–2.5× the mean, from this client's own stream.
+        // With the default idle window at 2× the mean, a fifth of gaps
+        // outlive the pooled connection — both reuse and idle expiry are
+        // routinely exercised.
+        let frac: f64 = self.rng.gen_range(0.2..2.5);
+        let think = SimDuration::from_micros(
+            (self.pacing.think_mean.as_micros() as f64 * frac).round() as u64,
+        );
+        let _ = consumed; // the clock already advanced through Deliver
+        net.schedule_after(
+            think,
+            self.index,
+            SchedEvent::Timer {
+                token: self.completed,
+            },
+        );
+        if self.pools_connection {
+            net.schedule_after(
+                self.pacing.idle_close,
+                self.index,
+                SchedEvent::IdleClose {
+                    generation: self.generation,
+                },
+            );
+        }
+    }
+}
+
+impl EventMachine for StubMachine {
+    fn on_event(&mut self, net: &mut Network, fired: Fired) {
+        if matches!(self.phase, Phase::Done) {
+            return; // stale events after completion
+        }
+        match fired.event {
+            SchedEvent::Timer { .. } => self.issue_query(net, 1),
+            SchedEvent::Retransmit { attempt } => {
+                self.stats.retransmits += 1;
+                self.issue_query(net, attempt);
+            }
+            SchedEvent::Deliver { .. } => {
+                if let Phase::Waiting {
+                    latency_us,
+                    reused_connection,
+                } = self.phase
+                {
+                    self.stats.answered += 1;
+                    self.stats.latency_sum_us += latency_us;
+                    let _ = reused_connection;
+                    self.finish_query(net, SimDuration::from_micros(latency_us));
+                }
+            }
+            SchedEvent::IdleClose { generation } => {
+                // Lazy cancellation: only current-generation closes on an
+                // idle machine expire the pooled connection.
+                if generation == self.generation && matches!(self.phase, Phase::Idle) {
+                    self.stub.expire_session(net);
+                    self.stats.idle_closes += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::do53::{Do53TcpService, Do53UdpService};
+    use crate::dot::DotServerService;
+    use crate::responder::{AuthoritativeServer, DnsResponder};
+    use crate::stub::StubProfile;
+    use dnswire::zone::Zone;
+    use dnswire::{Name, RData};
+    use netsim::sched::run_machines;
+    use netsim::{
+        mix_seed, HostMeta, Netblock, Network, NetworkConfig, PathDecision, PolicyRule, SrcMatch,
+    };
+    use std::sync::Arc;
+    use tlssim::{CaHandle, DateStamp, KeyId, TlsServerConfig, TrustStore};
+
+    fn now() -> DateStamp {
+        DateStamp::from_ymd(2019, 2, 1)
+    }
+
+    fn fleet_net(seed: u64) -> (Network, Ipv4Addr, TrustStore) {
+        let mut net = Network::new(NetworkConfig::default(), seed);
+        let resolver: Ipv4Addr = "9.9.9.9".parse().unwrap();
+        net.add_host(HostMeta::new(resolver).country("US").asn(19281).anycast());
+        let apex = Name::parse("pop.example").unwrap();
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("*").unwrap(),
+            60,
+            RData::A("203.0.113.13".parse().unwrap()),
+        );
+        let responder: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(vec![zone]));
+        net.bind_udp(
+            resolver,
+            53,
+            Arc::new(Do53UdpService::new(Arc::clone(&responder))),
+        );
+        net.bind_tcp(
+            resolver,
+            53,
+            Arc::new(Do53TcpService::new(Arc::clone(&responder))),
+        );
+        let ca = CaHandle::new("Quad9 CA", KeyId(1), now() + -100, 3650);
+        let mut store = TrustStore::new();
+        store.add(ca.authority());
+        let leaf = ca.issue(
+            "dns.quad9.net",
+            vec![],
+            KeyId(2),
+            1,
+            now() + -10,
+            now() + 365,
+        );
+        net.bind_tcp(
+            resolver,
+            853,
+            Arc::new(DotServerService::new(
+                TlsServerConfig::new(vec![leaf], KeyId(2)),
+                responder,
+            )),
+        );
+        (net, resolver, store)
+    }
+
+    fn machine(
+        index: u64,
+        net_resolver: Ipv4Addr,
+        store: &TrustStore,
+        profile: StubProfile,
+        pacing: &Arc<StubPacing>,
+    ) -> StubMachine {
+        let src = Ipv4Addr::new(100, 64, (index / 250) as u8, (index % 250) as u8 + 1);
+        StubMachine::new(
+            index,
+            index,
+            src,
+            StubConfig {
+                resolver: net_resolver,
+                profile,
+                trust_store: store.clone(),
+                now: now(),
+                timeout: SimDuration::from_secs(5),
+            },
+            Arc::clone(pacing),
+            mix_seed(4242, index),
+        )
+    }
+
+    #[test]
+    fn fleet_completes_with_reuse_and_idle_closes() {
+        let (mut net, resolver, store) = fleet_net(5);
+        let pacing = Arc::new(StubPacing {
+            queries_per_client: 6,
+            think_mean: SimDuration::from_secs(30),
+            idle_close: SimDuration::from_secs(60),
+            ..StubPacing::default()
+        });
+        let mut machines: Vec<StubMachine> = (0..40)
+            .map(|i| {
+                let profile = if i % 2 == 0 {
+                    StubProfile::ClearTextTcp
+                } else {
+                    StubProfile::StrictDot {
+                        auth_name: "dns.quad9.net".into(),
+                    }
+                };
+                machine(i, resolver, &store, profile, &pacing)
+            })
+            .collect();
+        for m in machines.iter_mut() {
+            let delay = SimDuration::from_micros(m.index * 1_000);
+            m.start(&mut net, delay);
+        }
+        run_machines(&mut net, &mut machines);
+        assert_eq!(net.pending_events(), 0);
+
+        let mut total = StubMachineStats::default();
+        for m in &machines {
+            assert!(m.is_done());
+            total.absorb(&m.stats);
+        }
+        assert_eq!(total.queries, 40 * 6);
+        assert_eq!(total.answered, 40 * 6, "healthy fleet answers everything");
+        assert!(total.reused > 0, "pooled connections must be reused");
+        assert!(
+            total.idle_closes > 0,
+            "long think gaps must expire sessions"
+        );
+        assert_eq!(total.timeouts, 0);
+
+        // Scheduler telemetry saw every kind the run produced.
+        let stats = net.sched_stats();
+        assert!(stats.fired[0] > 0, "timer events");
+        assert!(stats.fired[1] > 0, "deliver events");
+        assert!(stats.fired[2] > 0, "idle-close events");
+    }
+
+    #[test]
+    fn blackholed_clients_retransmit_then_fail() {
+        let (mut net, resolver, store) = fleet_net(6);
+        // Drop everything from one client block: those stubs time out,
+        // retransmit up to the attempt budget, then fail the query.
+        net.policies_mut().push(
+            PolicyRule::new("test blackhole", PathDecision::Blackhole).from_src(SrcMatch::Block(
+                Netblock::new("100.64.0.0".parse().unwrap(), 24),
+            )),
+        );
+        let pacing = Arc::new(StubPacing {
+            queries_per_client: 2,
+            max_attempts: 3,
+            ..StubPacing::default()
+        });
+        let mut machines: Vec<StubMachine> = (0..4)
+            .map(|i| machine(i, resolver, &store, StubProfile::ClearText, &pacing))
+            .collect();
+        for m in machines.iter_mut() {
+            m.start(&mut net, SimDuration::ZERO);
+        }
+        run_machines(&mut net, &mut machines);
+
+        let mut total = StubMachineStats::default();
+        for m in &machines {
+            total.absorb(&m.stats);
+        }
+        assert_eq!(total.answered, 0);
+        assert_eq!(total.failed, 4 * 2);
+        assert_eq!(total.retransmits, 4 * 2 * 2, "two retries per query");
+        assert_eq!(total.timeouts, 4 * 2 * 3, "every attempt timed out");
+        assert!(net.sched_stats().fired[3] > 0, "retransmit events fired");
+    }
+
+    #[test]
+    fn identical_seeds_are_bit_identical() {
+        let run = || {
+            let (mut net, resolver, store) = fleet_net(7);
+            let pacing = Arc::new(StubPacing::default());
+            let mut machines: Vec<StubMachine> = (0..16)
+                .map(|i| {
+                    machine(
+                        i,
+                        resolver,
+                        &store,
+                        StubProfile::StrictDot {
+                            auth_name: "dns.quad9.net".into(),
+                        },
+                        &pacing,
+                    )
+                })
+                .collect();
+            for m in machines.iter_mut() {
+                m.start(&mut net, SimDuration::ZERO);
+            }
+            run_machines(&mut net, &mut machines);
+            machines.iter().map(|m| m.stats).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -53,6 +53,7 @@ pub mod host;
 pub mod latency;
 pub mod net;
 pub mod policy;
+pub mod sched;
 pub mod service;
 pub mod time;
 pub mod trace;
@@ -65,6 +66,7 @@ pub use net::{
     ProbeOutcome, ShardStats, UdpError, UdpReply,
 };
 pub use policy::{DstMatch, PathDecision, PolicyRule, PolicySet, PortMatch, SrcMatch};
+pub use sched::{run_machines, EventMachine, Fired, SchedEvent, SchedStats, Scheduler};
 pub use service::{DatagramService, FnDatagramService, Service, ServiceCtx, StreamHandler};
-pub use time::{SimDuration, SimTime};
+pub use time::{SimDuration, SimInstant, SimTime};
 pub use trace::{EventKind, EventLog, NetEvent};

@@ -21,8 +21,9 @@ use crate::geo::{Asn, CountryCode, GeoDb, Region};
 use crate::host::{HostMeta, PeerInfo};
 use crate::latency::{Endpoint, LatencyModel};
 use crate::policy::{PathDecision, PolicySet};
+use crate::sched::{Fired, SchedEvent, SchedStats, Scheduler};
 use crate::service::{DatagramService, Service, ServiceCtx, StreamHandler, MAX_HANDLER_DEPTH};
-use crate::time::{SimDuration, SimTime};
+use crate::time::{SimDuration, SimInstant, SimTime};
 use crate::trace::{EventKind, EventLog, NetEvent};
 use doe_telemetry::{CounterId, HistogramId, Labels, Registry};
 use rand::rngs::SmallRng;
@@ -281,6 +282,11 @@ struct NetMetricIds {
     tcp_connect_us: HistogramId,
     tcp_exchange_us: HistogramId,
     udp_exchange_us: HistogramId,
+    /// Fired-event counters by kind, indexed by
+    /// [`SchedEvent::kind_index`]. Every machine fires the same events
+    /// regardless of which shard hosts it, so the sums are shard-count
+    /// invariant.
+    sched_fired: [CounterId; SchedEvent::KIND_COUNT],
 }
 
 impl NetMetricIds {
@@ -299,6 +305,8 @@ impl NetMetricIds {
             tcp_connect_us: reg.histogram("net.tcp.connect_us", Labels::empty()),
             tcp_exchange_us: reg.histogram("net.tcp.exchange_us", Labels::empty()),
             udp_exchange_us: reg.histogram("net.udp.exchange_us", Labels::empty()),
+            sched_fired: SchedEvent::KIND_NAMES
+                .map(|kind| reg.counter("sched.event.fired", Labels::one("kind", kind))),
         }
     }
 }
@@ -324,6 +332,8 @@ struct ShardCtx {
     /// Permanently-disabled registry handed out by [`ShardCtx::meter`]
     /// for nested (handler-internal) operations.
     void: Registry,
+    /// This worker's discrete-event heap (see [`crate::sched`]).
+    sched: Scheduler,
     ids: NetMetricIds,
     /// Per-shard counters folded in by [`Network::absorb_shard`], in
     /// absorption order — the data behind `repro --trace`'s breakdown.
@@ -347,6 +357,7 @@ impl ShardCtx {
             charged: SimDuration::ZERO,
             metrics,
             void: Registry::disabled(),
+            sched: Scheduler::new(),
             ids,
             breakdown: Vec::new(),
         }
@@ -544,6 +555,69 @@ impl Network {
     /// Advance the virtual clock (e.g. between scan epochs).
     pub fn advance(&mut self, d: SimDuration) {
         self.shard.now += d;
+    }
+
+    /// Schedule a typed event for `machine` (a dense per-shard index)
+    /// `delay` after the current virtual time. Returns the sequence
+    /// number that breaks ties at equal instants.
+    pub fn schedule_after(&mut self, delay: SimDuration, machine: u64, event: SchedEvent) -> u64 {
+        let at = self.shard.now + delay;
+        self.shard.sched.schedule(at, machine, event)
+    }
+
+    /// Schedule a typed event at an absolute instant, clamped to the
+    /// current virtual time (events never fire in the past).
+    pub fn schedule_at(&mut self, at: SimInstant, machine: u64, event: SchedEvent) -> u64 {
+        let at = at.max(self.shard.now);
+        self.shard.sched.schedule(at, machine, event)
+    }
+
+    /// Pop the next scheduled event in `(instant, seq)` order, advancing
+    /// the virtual clock to its instant and counting it in the
+    /// `sched.event.fired` telemetry series. `None` when the heap is
+    /// drained.
+    pub fn next_event(&mut self) -> Option<Fired> {
+        let fired = self.shard.sched.pop()?;
+        if fired.at > self.shard.now {
+            self.shard.now = fired.at;
+        }
+        let id = self.shard.ids.sched_fired[fired.event.kind_index()];
+        self.shard.meter().add(id, 1);
+        Some(fired)
+    }
+
+    /// Number of events pending on this shard's heap.
+    pub fn pending_events(&self) -> usize {
+        self.shard.sched.len()
+    }
+
+    /// This shard's scheduler accounting (peak depth is per-shard and
+    /// layout-dependent; `machine_peak` is shard-invariant).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.shard.sched.load_stats()
+    }
+
+    /// Record the shard-invariant `sched.queue.depth` gauge: the peak
+    /// number of simultaneously-pending events of any single machine
+    /// (gauges merge by max, so the merged value is the fleet-wide peak
+    /// for every shard count). [`crate::sched::run_machines`] calls this
+    /// when the heap drains.
+    pub fn record_sched_gauge(&mut self) {
+        let peak = self.shard.sched.load_stats().machine_peak;
+        if peak > 0 {
+            self.shard
+                .meter()
+                .gauge_max("sched.queue.depth", Labels::empty(), peak as u64);
+        }
+    }
+
+    /// Swap the shard RNG with a machine-owned stream. Event machines
+    /// wrap every network operation in a swap pair so each client draws
+    /// from its own `mix_seed(salt, client_index)` stream no matter how
+    /// machines interleave on the heap — the bit-identity contract from
+    /// the per-client loops, preserved under event-driven execution.
+    pub fn swap_rng(&mut self, rng: &mut SmallRng) {
+        std::mem::swap(&mut self.shard.rng, rng);
     }
 
     /// The geo database.
@@ -1389,7 +1463,6 @@ mod tests {
         let probes = net
             .log()
             .events()
-            .iter()
             .filter(|e| matches!(e.kind, EventKind::SynProbe { .. }))
             .count();
         assert_eq!(probes, 3);
@@ -1467,7 +1540,7 @@ mod tests {
         let (mut net, client, server) = echo_net(13);
         let mut conn = net.connect(client, server, 7).unwrap();
         conn.request(&mut net, b"x").unwrap();
-        let kinds: Vec<_> = net.log().events().iter().map(|e| &e.kind).collect();
+        let kinds: Vec<_> = net.log().events().map(|e| &e.kind).collect();
         assert!(matches!(kinds[0], EventKind::TcpConnect));
         assert!(matches!(kinds[1], EventKind::Exchange { tx: 1, .. }));
     }
@@ -1557,7 +1630,7 @@ mod tests {
         assert_eq!(stats.open, 1);
         assert_eq!(stats.closed, 1);
         assert_eq!(stats.filtered, 1);
-        assert_eq!(parent.log().events().len(), 3);
+        assert_eq!(parent.log().len(), 3);
     }
 
     #[test]

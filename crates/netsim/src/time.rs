@@ -132,6 +132,11 @@ impl SimTime {
     }
 }
 
+/// The scheduler's name for a point on the virtual timeline: event heaps
+/// are keyed by `(SimInstant, seq)`. An alias of [`SimTime`] — the two
+/// are the same clock.
+pub type SimInstant = SimTime;
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: SimDuration) -> SimTime {

@@ -6,6 +6,7 @@
 use crate::net::ProbeOutcome;
 use crate::time::SimDuration;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::net::Ipv4Addr;
 
 /// What happened on a path.
@@ -72,10 +73,15 @@ pub struct NetEvent {
 }
 
 /// A bounded in-memory event log.
+///
+/// Internally a ring buffer: once `cap` is reached every new record
+/// evicts the oldest entry in O(1). (An earlier `Vec::remove(0)`
+/// implementation made each post-cap record O(cap) — fatal once
+/// event-driven runs push millions of trace-enabled exchanges.)
 #[derive(Debug, Default)]
 pub struct EventLog {
     enabled: bool,
-    events: Vec<NetEvent>,
+    events: VecDeque<NetEvent>,
     cap: usize,
 }
 
@@ -84,7 +90,7 @@ impl EventLog {
     pub fn disabled() -> Self {
         EventLog {
             enabled: false,
-            events: Vec::new(),
+            events: VecDeque::new(),
             cap: 0,
         }
     }
@@ -93,7 +99,7 @@ impl EventLog {
     pub fn with_capacity(cap: usize) -> Self {
         EventLog {
             enabled: true,
-            events: Vec::new(),
+            events: VecDeque::new(),
             cap,
         }
     }
@@ -103,20 +109,31 @@ impl EventLog {
         self.enabled
     }
 
-    /// Record an event (no-op when disabled).
+    /// Record an event (no-op when disabled). Amortised O(1), including
+    /// the at-capacity eviction.
     pub fn record(&mut self, event: NetEvent) {
         if !self.enabled {
             return;
         }
         if self.events.len() == self.cap && self.cap > 0 {
-            self.events.remove(0);
+            self.events.pop_front();
         }
-        self.events.push(event);
+        self.events.push_back(event);
     }
 
     /// The recorded events, oldest first.
-    pub fn events(&self) -> &[NetEvent] {
-        &self.events
+    pub fn events(&self) -> std::collections::vec_deque::Iter<'_, NetEvent> {
+        self.events.iter()
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
     }
 
     /// Drop all recorded events.
@@ -151,7 +168,7 @@ mod tests {
     fn disabled_log_records_nothing() {
         let mut log = EventLog::disabled();
         log.record(ev(853));
-        assert!(log.events().is_empty());
+        assert!(log.is_empty());
         assert!(!log.is_enabled());
     }
 
@@ -161,7 +178,7 @@ mod tests {
         log.record(ev(1));
         log.record(ev(2));
         log.record(ev(3));
-        let ports: Vec<u16> = log.events().iter().map(|e| e.port).collect();
+        let ports: Vec<u16> = log.events().map(|e| e.port).collect();
         assert_eq!(ports, vec![2, 3]);
     }
 
@@ -170,6 +187,32 @@ mod tests {
         let mut log = EventLog::with_capacity(8);
         log.record(ev(1));
         log.clear();
-        assert!(log.events().is_empty());
+        assert!(log.is_empty());
+    }
+
+    /// Ring-buffer regression: sustained churn far past the cap keeps the
+    /// oldest-first contract (a contiguous window ending at the newest
+    /// record) and never grows beyond the cap. With the old
+    /// `Vec::remove(0)` this loop was quadratic; it now completes in
+    /// linear time even under `--release`-less test runs.
+    #[test]
+    fn sustained_churn_keeps_window_and_cap() {
+        const CAP: usize = 1_000;
+        const TOTAL: u16 = 50_000;
+        let mut log = EventLog::with_capacity(CAP);
+        for port in 0..TOTAL {
+            log.record(ev(port));
+        }
+        assert_eq!(log.len(), CAP);
+        let ports: Vec<u16> = log.events().map(|e| e.port).collect();
+        let expected: Vec<u16> = (TOTAL - CAP as u16..TOTAL).collect();
+        assert_eq!(
+            ports, expected,
+            "log must hold the newest CAP events, oldest first"
+        );
+        // The iterator is double-ended: the tail view used by `repro
+        // --trace` sees the newest records.
+        let newest: Vec<u16> = log.events().rev().take(2).map(|e| e.port).collect();
+        assert_eq!(newest, vec![TOTAL - 1, TOTAL - 2]);
     }
 }

@@ -8,7 +8,8 @@
 //! [`crate::netflow`]), at a fraction of the memory.
 
 use crate::netflow::{poisson, FlowRecord, TCP_ACK, TCP_FIN, TCP_PSH, TCP_SYN};
-use netsim::Netblock;
+use netsim::sched::{SchedEvent, Scheduler};
+use netsim::{mix_seed, Netblock, SimDuration, SimTime};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::net::Ipv4Addr;
@@ -109,10 +110,129 @@ fn block_addr(block: Netblock, rng: &mut SmallRng) -> Ipv4Addr {
     block.addr(1 + rng.gen_range(0..200) as u64)
 }
 
+/// The two observed resolvers, indexed as `MonthInfo::intensity` is.
+const TARGETS: [Ipv4Addr; 2] = [anchors::CLOUDFLARE_PRIMARY, anchors::QUAD9_PRIMARY];
+
+/// One calendar month of the observation window, with the monthly flow
+/// intensity for each target precomputed in the planning pass.
+struct MonthInfo {
+    start: DateStamp,
+    days: u32,
+    intensity: [f64; 2],
+}
+
+/// Virtual instant of a calendar day on the generation timeline.
+fn day_instant(origin: DateStamp, date: DateStamp) -> SimTime {
+    SimTime::EPOCH + SimDuration::from_secs((date - origin).max(0) as u64 * 86_400)
+}
+
+/// A persistent netblock as an emitter machine: one scheduler event per
+/// day, emitting that day's Poisson draw for every active target, then
+/// rescheduling itself for the next day. Owns its RNG stream, so the
+/// records it emits don't depend on what other machines do.
+struct BlockEmitter {
+    block: Netblock,
+    /// `(1 - temp_share) · w / Σshares` — multiply by monthly/days for λ.
+    weight_term: f64,
+    rng: SmallRng,
+    month: usize,
+    day: u32,
+}
+
+impl BlockEmitter {
+    fn on_event(
+        &mut self,
+        months: &[MonthInfo],
+        sched: &mut Scheduler,
+        index: u64,
+        out: &mut Vec<FlowRecord>,
+    ) {
+        let mi = &months[self.month];
+        let date = mi.start + self.day as i64;
+        for (t, dst) in TARGETS.iter().enumerate() {
+            let monthly = mi.intensity[t];
+            if monthly <= 0.0 {
+                continue;
+            }
+            let lambda_day = monthly * self.weight_term / mi.days as f64;
+            let n = poisson(lambda_day, &mut self.rng);
+            for _ in 0..n {
+                out.push(dot_record(
+                    block_addr(self.block, &mut self.rng),
+                    *dst,
+                    date,
+                    &mut self.rng,
+                ));
+            }
+        }
+        self.day += 1;
+        if self.day >= mi.days {
+            self.day = 0;
+            self.month += 1;
+        }
+        if let Some(next) = months.get(self.month) {
+            sched.schedule(
+                day_instant(months[0].start, next.start + self.day as i64),
+                index,
+                SchedEvent::Timer {
+                    token: self.month as u32,
+                },
+            );
+        }
+    }
+}
+
+/// One short-lived burst: a single event at its month's start that draws
+/// the burst's placement and emits its 2–4 flows.
+struct BurstEmitter {
+    block: Netblock,
+    dst: Ipv4Addr,
+    month: usize,
+    rng: SmallRng,
+}
+
+impl BurstEmitter {
+    fn on_event(&mut self, months: &[MonthInfo], out: &mut Vec<FlowRecord>) {
+        let mi = &months[self.month];
+        let days = mi.days;
+        let active_days = self.rng.gen_range(1..=5u32).min(days);
+        let start_day = self
+            .rng
+            .gen_range(0..days.saturating_sub(active_days).max(1));
+        let flows = self.rng.gen_range(2..=4u32);
+        for f in 0..flows {
+            let day = start_day + (f % active_days);
+            out.push(dot_record(
+                block_addr(self.block, &mut self.rng),
+                self.dst,
+                mi.start + day as i64,
+                &mut self.rng,
+            ));
+        }
+    }
+}
+
+enum TrafficMachine {
+    Block(BlockEmitter),
+    Burst(BurstEmitter),
+}
+
+/// RNG stream salts: one family per machine kind plus the planning pass.
+const BLOCK_STREAM: u64 = 0x626c_6f63_6b73; // "blocks"
+const BURST_STREAM: u64 = 0x6275_7273_7473; // "bursts"
+const PLAN_STREAM: u64 = 0x706c_616e; // "plan"
+
 /// Generate the dataset.
+///
+/// A planning pass lays out the netblock roster, the per-month target
+/// intensities and the burst assignments; emission then runs event-driven
+/// on a discrete-event [`Scheduler`]: every persistent netblock and every
+/// burst is a machine with its own seeded RNG stream, firing in virtual-day
+/// order off the heap. The heap's `(instant, seq)` total order makes the
+/// emission sequence — and therefore the dataset — deterministic.
 pub fn generate_dot_traffic(cfg: &DotTrafficConfig) -> TrafficDataset {
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut records: Vec<FlowRecord> = Vec::new();
+    // --- Planning pass -------------------------------------------------
+    let mut plan_rng = SmallRng::seed_from_u64(mix_seed(cfg.seed, PLAN_STREAM));
 
     // Netblock roster: 20 heavy + ~180 steady + temporaries.
     let heavy_count = 20usize;
@@ -152,62 +272,100 @@ pub fn generate_dot_traffic(cfg: &DotTrafficConfig) -> TrafficDataset {
         };
         weights.push(w);
     }
+    let shares_sum = cfg.top5_share + cfg.next15_share + steady_share;
 
+    // Month calendar with per-target intensities (Quad9's fluctuation is
+    // drawn here, in month order, from the planning stream).
+    let months: Vec<MonthInfo> = (0..cfg.months)
+        .map(|month| {
+            let start = cfg.start.add_months(month);
+            let days = (cfg.start.add_months(month + 1) - start) as u32;
+            MonthInfo {
+                start,
+                days,
+                intensity: [
+                    cloudflare_monthly(cfg, start),
+                    quad9_monthly(cfg, month, &mut plan_rng),
+                ],
+            }
+        })
+        .collect();
+
+    // --- Machine construction ------------------------------------------
+    let mut machines: Vec<TrafficMachine> = persistent_blocks
+        .iter()
+        .zip(&weights)
+        .enumerate()
+        .map(|(i, (block, w))| {
+            TrafficMachine::Block(BlockEmitter {
+                block: *block,
+                weight_term: (1.0 - cfg.temporary_share) * w / shares_sum,
+                rng: SmallRng::seed_from_u64(mix_seed(mix_seed(cfg.seed, BLOCK_STREAM), i as u64)),
+                month: 0,
+                day: 0,
+            })
+        })
+        .collect();
+
+    // Temporary blocks: burst assignments walk the roster in plan order,
+    // exactly as the sequential generator's cursor did.
     let mut temp_cursor = 0usize;
-    for month in 0..cfg.months {
-        let month_start = cfg.start.add_months(month);
-        let next_month = cfg.start.add_months(month + 1);
-        let days = (next_month - month_start) as u32;
-        let targets: [(Ipv4Addr, f64); 2] = [
-            (
-                anchors::CLOUDFLARE_PRIMARY,
-                cloudflare_monthly(cfg, month_start),
-            ),
-            (anchors::QUAD9_PRIMARY, quad9_monthly(cfg, month, &mut rng)),
-        ];
-        for (dst, monthly) in targets {
-            if monthly <= 0.0 {
+    let mut burst_count = 0u64;
+    for (month, mi) in months.iter().enumerate() {
+        for (t, dst) in TARGETS.iter().enumerate() {
+            if mi.intensity[t] <= 0.0 {
                 continue;
             }
-            // Persistent blocks: their share, spread over days.
-            for (block, w) in persistent_blocks.iter().zip(&weights) {
-                let lambda_day = monthly * (1.0 - cfg.temporary_share) * w
-                    / (cfg.top5_share + cfg.next15_share + steady_share)
-                    / days as f64;
-                for day in 0..days {
-                    let n = poisson(lambda_day, &mut rng);
-                    for _ in 0..n {
-                        records.push(dot_record(
-                            block_addr(*block, &mut rng),
-                            dst,
-                            month_start + day as i64,
-                            &mut rng,
-                        ));
-                    }
-                }
-            }
-            // Temporary blocks: short-lived bursts.
-            let temp_budget = monthly * cfg.temporary_share;
-            let bursts = (temp_budget / 3.0).round() as usize; // ~3 flows per burst
+            let bursts = (mi.intensity[t] * cfg.temporary_share / 3.0).round() as usize;
             for _ in 0..bursts {
                 if temp_cursor >= temporary_blocks.len() {
                     temp_cursor = 0;
                 }
                 let block = temporary_blocks[temp_cursor];
                 temp_cursor += 1;
-                let active_days = rng.gen_range(1..=5u32).min(days);
-                let start_day = rng.gen_range(0..days.saturating_sub(active_days).max(1));
-                let flows = rng.gen_range(2..=4u32);
-                for f in 0..flows {
-                    let day = start_day + (f % active_days);
-                    records.push(dot_record(
-                        block_addr(block, &mut rng),
-                        dst,
-                        month_start + day as i64,
-                        &mut rng,
-                    ));
-                }
+                machines.push(TrafficMachine::Burst(BurstEmitter {
+                    block,
+                    dst: *dst,
+                    month,
+                    rng: SmallRng::seed_from_u64(mix_seed(
+                        mix_seed(cfg.seed, BURST_STREAM),
+                        burst_count,
+                    )),
+                }));
+                burst_count += 1;
             }
+        }
+    }
+
+    // --- Event-driven emission -----------------------------------------
+    let mut sched = Scheduler::new();
+    for (i, machine) in machines.iter().enumerate() {
+        match machine {
+            TrafficMachine::Block(_) => {
+                sched.schedule(
+                    day_instant(cfg.start, months[0].start),
+                    i as u64,
+                    SchedEvent::Timer { token: 0 },
+                );
+            }
+            TrafficMachine::Burst(b) => {
+                sched.schedule(
+                    day_instant(cfg.start, months[b.month].start),
+                    i as u64,
+                    SchedEvent::Timer {
+                        token: b.month as u32,
+                    },
+                );
+            }
+        }
+    }
+    let mut records: Vec<FlowRecord> = Vec::new();
+    while let Some(fired) = sched.pop() {
+        match &mut machines[fired.machine as usize] {
+            TrafficMachine::Block(b) => {
+                b.on_event(&months, &mut sched, fired.machine, &mut records)
+            }
+            TrafficMachine::Burst(b) => b.on_event(&months, &mut records),
         }
     }
 

@@ -18,16 +18,24 @@
 //!   the DoH bootstrap-domain trend analysis of §5.3 (Figure 13),
 //! * [`scandet`] — a NetworkScan-Mon-style state-transition scan detector
 //!   used, as in the paper, to confirm observed DoT traffic is not
-//!   scanner-generated.
+//!   scanner-generated,
+//! * [`stubsim`] — the population-scale stress leg: a million event-driven
+//!   stub clients interleaved on the discrete-event scheduler, mixing
+//!   clear-text and DoT transports with reuse, timeouts and retransmits.
 
 pub mod dot_analysis;
 pub mod generator;
 pub mod netflow;
 pub mod passive_dns;
 pub mod scandet;
+pub mod stubsim;
 
 pub use dot_analysis::{analyze_dot, analyze_dot_metered, DotTrafficReport, NetblockActivity};
 pub use generator::{generate_dot_traffic, DotTrafficConfig, TrafficDataset};
 pub use netflow::{FlowRecord, NetFlowCollector, RealFlow, TCP_ACK, TCP_FIN, TCP_PSH, TCP_SYN};
 pub use passive_dns::{generate_passive_dns, DomainStats, PassiveDnsDb, PdnsConfig};
 pub use scandet::{detect_scanners, ScanDetectorConfig, ScanVerdict};
+pub use stubsim::{
+    build_stub_world, stub_population_sharded, SchedLoad, StubPopulationConfig,
+    StubPopulationReport, StubWorld,
+};

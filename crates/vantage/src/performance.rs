@@ -4,14 +4,18 @@
 use crate::pool::Tunnel;
 use dnswire::{builder, RecordType};
 use doe_protocols::do53::Do53TcpConn;
-use doe_protocols::dot::DotClient;
-use doe_protocols::{Bootstrap, DohClient, DohMethod};
+use doe_protocols::dot::{DotClient, DotSession};
+use doe_protocols::{Bootstrap, DohClient, DohMethod, DohSession};
 use httpsim::UriTemplate;
+use netsim::sched::{run_machines, EventMachine, Fired, SchedEvent};
 use netsim::telemetry::{HistogramId, Labels, Registry};
 use netsim::time::{mean, median, overhead_ms};
 use netsim::{mix_seed, HostMeta, Network, SimDuration};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use tlssim::{DateStamp, TlsClientConfig, TrustStore};
 use worldgen::{ClientInfo, World};
 
@@ -79,7 +83,9 @@ fn median_ms(samples: &mut [SimDuration]) -> f64 {
 }
 
 /// Per-shard handles for the `stage.perf.query_us{proto=...}` latency
-/// histograms — one series per protocol, registered once per worker.
+/// histograms — one series per protocol, registered once per worker and
+/// copied into every machine on that shard.
+#[derive(Clone, Copy)]
 struct PerfMetricIds {
     dns: HistogramId,
     dot: HistogramId,
@@ -108,103 +114,278 @@ struct PerfSetup {
     queries: u32,
 }
 
-/// Measure one client; `None` means the path broke and the client was
-/// skipped. `serial` is the client's serial-number base, fixed by its
-/// index so query names don't depend on shard layout.
-fn measure_client(
-    net: &mut Network,
-    setup: &PerfSetup,
-    ids: &PerfMetricIds,
-    client: &ClientInfo,
-    mut serial: u64,
-) -> Option<PerfObservation> {
-    let PerfSetup {
-        resolver,
-        doh_template,
-        store,
-        now,
-        apex,
-        bootstrap,
-        tunnel,
-        queries,
-    } = setup;
-    let (resolver, now, bootstrap, tunnel, queries) =
-        (*resolver, *now, *bootstrap, *tunnel, *queries);
+/// Where a performance machine is in its per-protocol measurement
+/// sequence. Each variant is one bounded step per fired event; the
+/// op order (connect, N queries, close, next protocol) is exactly the
+/// old per-client loop's, so a client's draw stream — and therefore the
+/// report — is bit-identical to the sequential implementation.
+enum PerfPhase {
+    ConnectDns,
+    QueryDns,
+    ConnectDot,
+    QueryDot,
+    ConnectDoh,
+    QueryDoh,
+    Done,
+}
 
-    // --- clear-text DNS over a reused TCP connection ---------------
-    let mut dns_samples = Vec::with_capacity(queries as usize);
-    let mut tcp =
-        Do53TcpConn::connect(net, client.ip, resolver, SimDuration::from_secs(30)).ok()?;
-    tcp.take_elapsed(); // setup excluded: reuse is the steady state
-    for _ in 0..queries {
-        serial += 1;
-        let q = builder::query(
+enum PerfSession {
+    None,
+    Tcp(Do53TcpConn),
+    Dot(DotSession),
+    Doh(DohSession),
+}
+
+/// One client's measurement as an event-driven state machine. Owns its
+/// RNG stream (`mix_seed(salt, ci)`, the same stream the per-client loop
+/// used) and swaps it into the network around every step.
+struct PerfMachine {
+    /// Dense per-shard heap address.
+    index: u64,
+    /// Global client index (merge key).
+    ci: usize,
+    client: ClientInfo,
+    setup: Arc<PerfSetup>,
+    ids: PerfMetricIds,
+    rng: SmallRng,
+    serial: u64,
+    qdone: u32,
+    phase: PerfPhase,
+    session: PerfSession,
+    /// Kept alive through the DoT query phase, mirroring the loop's
+    /// client scope (session-ticket cache lifetime).
+    dot_client: Option<DotClient>,
+    doh_client: Option<DohClient>,
+    dns_samples: Vec<SimDuration>,
+    dot_samples: Vec<SimDuration>,
+    doh_samples: Vec<SimDuration>,
+    /// `Some(None)` = path broke, client skipped.
+    result: Option<Option<PerfObservation>>,
+}
+
+impl PerfMachine {
+    fn new(
+        index: u64,
+        ci: usize,
+        client: ClientInfo,
+        setup: Arc<PerfSetup>,
+        ids: PerfMetricIds,
+        rng_seed: u64,
+    ) -> PerfMachine {
+        let queries = setup.queries as usize;
+        PerfMachine {
+            index,
+            ci,
+            client,
+            setup,
+            ids,
+            rng: SmallRng::seed_from_u64(rng_seed),
+            serial: 0,
+            qdone: 0,
+            phase: PerfPhase::ConnectDns,
+            session: PerfSession::None,
+            dot_client: None,
+            doh_client: None,
+            dns_samples: Vec::with_capacity(queries),
+            dot_samples: Vec::with_capacity(queries),
+            doh_samples: Vec::with_capacity(queries),
+            result: None,
+        }
+    }
+
+    /// Schedule the machine's first step.
+    fn start(&mut self, net: &mut Network) {
+        self.serial = self.ci as u64 * 3 * self.setup.queries as u64;
+        net.schedule_after(
+            SimDuration::ZERO,
+            self.index,
+            SchedEvent::Timer { token: 0 },
+        );
+    }
+
+    fn next_query(&mut self) -> dnswire::Message {
+        self.serial += 1;
+        let serial = self.serial;
+        builder::query(
             (serial % 65_536) as u16,
-            &format!("p{serial}.{apex}"),
+            &format!("p{serial}.{}", self.setup.apex),
             RecordType::A,
         )
-        .expect("static name shape");
-        let reply = tcp.query(net, &q).ok()?;
-        let sample = reply.latency + tunnel.sample_overhead(net, client.ip);
-        net.metrics_mut().observe(ids.dns, sample.as_micros());
-        dns_samples.push(sample);
+        .expect("static name shape")
     }
-    tcp.close(net);
 
-    // --- DoT over a reused session ----------------------------------
-    let mut dot_samples = Vec::with_capacity(queries as usize);
-    let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
-    let mut session = dot.session(net, client.ip, resolver, None).ok()?;
-    session.take_elapsed();
-    for _ in 0..queries {
-        serial += 1;
-        let q = builder::query(
-            (serial % 65_536) as u16,
-            &format!("p{serial}.{apex}"),
-            RecordType::A,
-        )
-        .expect("static name shape");
-        let reply = session.query(net, &q).ok()?;
-        let sample = reply.latency + tunnel.sample_overhead(net, client.ip);
-        net.metrics_mut().observe(ids.dot, sample.as_micros());
-        dot_samples.push(sample);
+    /// The path broke mid-sequence: the loop's `.ok()?` skip.
+    fn skip(&mut self) {
+        self.phase = PerfPhase::Done;
+        self.result = Some(None);
     }
-    session.close(net);
 
-    // --- DoH over a reused session ----------------------------------
-    let mut doh_samples = Vec::with_capacity(queries as usize);
-    let mut doh = DohClient::new(
-        TlsClientConfig::strict(store.clone(), now),
-        doh_template.clone(),
-        DohMethod::Post,
-        Bootstrap::Do53 {
-            resolver: bootstrap,
-        },
-    );
-    let mut session = doh.session(net, client.ip).ok()?;
-    session.take_elapsed();
-    for _ in 0..queries {
-        serial += 1;
-        let q = builder::query(
-            (serial % 65_536) as u16,
-            &format!("p{serial}.{apex}"),
-            RecordType::A,
-        )
-        .expect("static name shape");
-        let reply = session.query(net, &q).ok()?;
-        let sample = reply.latency + tunnel.sample_overhead(net, client.ip);
-        net.metrics_mut().observe(ids.doh, sample.as_micros());
-        doh_samples.push(sample);
+    /// Execute one step. Returns `false` once the machine is done.
+    fn step(&mut self, net: &mut Network) -> bool {
+        let setup = Arc::clone(&self.setup);
+        match self.phase {
+            PerfPhase::ConnectDns => {
+                match Do53TcpConn::connect(
+                    net,
+                    self.client.ip,
+                    setup.resolver,
+                    SimDuration::from_secs(30),
+                ) {
+                    Ok(mut tcp) => {
+                        tcp.take_elapsed(); // setup excluded: reuse is the steady state
+                        self.session = PerfSession::Tcp(tcp);
+                        self.phase = PerfPhase::QueryDns;
+                    }
+                    Err(_) => self.skip(),
+                }
+            }
+            PerfPhase::QueryDns => {
+                let q = self.next_query();
+                let PerfSession::Tcp(tcp) = &mut self.session else {
+                    unreachable!("QueryDns holds a TCP session");
+                };
+                match tcp.query(net, &q) {
+                    Ok(reply) => {
+                        let sample =
+                            reply.latency + setup.tunnel.sample_overhead(net, self.client.ip);
+                        net.metrics_mut().observe(self.ids.dns, sample.as_micros());
+                        self.dns_samples.push(sample);
+                        self.qdone += 1;
+                        if self.qdone == setup.queries {
+                            self.qdone = 0;
+                            self.phase = PerfPhase::ConnectDot;
+                        }
+                    }
+                    Err(_) => self.skip(),
+                }
+            }
+            PerfPhase::ConnectDot => {
+                if let PerfSession::Tcp(tcp) =
+                    std::mem::replace(&mut self.session, PerfSession::None)
+                {
+                    tcp.close(net);
+                }
+                let mut dot = DotClient::new(TlsClientConfig::opportunistic(
+                    setup.store.clone(),
+                    setup.now,
+                ));
+                match dot.session(net, self.client.ip, setup.resolver, None) {
+                    Ok(mut session) => {
+                        session.take_elapsed();
+                        self.session = PerfSession::Dot(session);
+                        self.dot_client = Some(dot);
+                        self.phase = PerfPhase::QueryDot;
+                    }
+                    Err(_) => self.skip(),
+                }
+            }
+            PerfPhase::QueryDot => {
+                let q = self.next_query();
+                let PerfSession::Dot(session) = &mut self.session else {
+                    unreachable!("QueryDot holds a DoT session");
+                };
+                match session.query(net, &q) {
+                    Ok(reply) => {
+                        let sample =
+                            reply.latency + setup.tunnel.sample_overhead(net, self.client.ip);
+                        net.metrics_mut().observe(self.ids.dot, sample.as_micros());
+                        self.dot_samples.push(sample);
+                        self.qdone += 1;
+                        if self.qdone == setup.queries {
+                            self.qdone = 0;
+                            self.phase = PerfPhase::ConnectDoh;
+                        }
+                    }
+                    Err(_) => self.skip(),
+                }
+            }
+            PerfPhase::ConnectDoh => {
+                if let PerfSession::Dot(session) =
+                    std::mem::replace(&mut self.session, PerfSession::None)
+                {
+                    session.close(net);
+                }
+                self.dot_client = None;
+                let mut doh = DohClient::new(
+                    TlsClientConfig::strict(setup.store.clone(), setup.now),
+                    setup.doh_template.clone(),
+                    DohMethod::Post,
+                    Bootstrap::Do53 {
+                        resolver: setup.bootstrap,
+                    },
+                );
+                match doh.session(net, self.client.ip) {
+                    Ok(mut session) => {
+                        session.take_elapsed();
+                        self.session = PerfSession::Doh(session);
+                        self.doh_client = Some(doh);
+                        self.phase = PerfPhase::QueryDoh;
+                    }
+                    Err(_) => self.skip(),
+                }
+            }
+            PerfPhase::QueryDoh => {
+                let q = self.next_query();
+                let PerfSession::Doh(session) = &mut self.session else {
+                    unreachable!("QueryDoh holds a DoH session");
+                };
+                match session.query(net, &q) {
+                    Ok(reply) => {
+                        let sample =
+                            reply.latency + setup.tunnel.sample_overhead(net, self.client.ip);
+                        net.metrics_mut().observe(self.ids.doh, sample.as_micros());
+                        self.doh_samples.push(sample);
+                        self.qdone += 1;
+                        if self.qdone == setup.queries {
+                            if let PerfSession::Doh(session) =
+                                std::mem::replace(&mut self.session, PerfSession::None)
+                            {
+                                session.close(net);
+                            }
+                            self.doh_client = None;
+                            self.phase = PerfPhase::Done;
+                            self.result = Some(Some(PerfObservation {
+                                client: self.client.ip,
+                                country: self.client.country.as_str().to_string(),
+                                dns_ms: median_ms(&mut self.dns_samples),
+                                dot_ms: median_ms(&mut self.dot_samples),
+                                doh_ms: median_ms(&mut self.doh_samples),
+                            }));
+                        }
+                    }
+                    Err(_) => self.skip(),
+                }
+            }
+            PerfPhase::Done => {}
+        }
+        !matches!(self.phase, PerfPhase::Done)
     }
-    session.close(net);
+}
 
-    Some(PerfObservation {
-        client: client.ip,
-        country: client.country.as_str().to_string(),
-        dns_ms: median_ms(&mut dns_samples),
-        dot_ms: median_ms(&mut dot_samples),
-        doh_ms: median_ms(&mut doh_samples),
-    })
+impl EventMachine for PerfMachine {
+    fn on_event(&mut self, net: &mut Network, _fired: Fired) {
+        if matches!(self.phase, PerfPhase::Done) {
+            return;
+        }
+        // The machine's own stream stands in for the shard RNG for the
+        // whole step, so the client's draw sequence is continuous across
+        // steps — identical to the reseed-once sequential loop.
+        net.swap_rng(&mut self.rng);
+        let before = net.charged();
+        let live = self.step(net);
+        let consumed = net.charged() - before;
+        net.swap_rng(&mut self.rng);
+        if live {
+            // Query steps model response deliveries; connects are timers.
+            let event = match self.phase {
+                PerfPhase::QueryDns | PerfPhase::QueryDot | PerfPhase::QueryDoh => {
+                    SchedEvent::Deliver { token: self.qdone }
+                }
+                _ => SchedEvent::Timer { token: 0 },
+            };
+            net.schedule_after(consumed, self.index, event);
+        }
+    }
 }
 
 /// Run the reused-connection performance test against Cloudflare (the
@@ -236,7 +417,7 @@ pub fn performance_test_sharded(
     queries: u32,
     shards: usize,
 ) -> PerformanceReport {
-    let setup = PerfSetup {
+    let setup = Arc::new(PerfSetup {
         resolver: worldgen::providers::anchors::CLOUDFLARE_PRIMARY,
         doh_template: world
             .deployment
@@ -257,25 +438,36 @@ pub fn performance_test_sharded(
         bootstrap: world.bootstrap_resolver,
         tunnel,
         queries,
-    };
+    });
     let shards = shards.max(1);
     let salt = mix_seed(world.net.base_seed(), 0x7065_7266_7465_7374); // "perftest"
 
     let run_shard = |worker: &mut Network, shard: usize| -> PerfShardOut {
-        let mut out = Vec::new();
         let ids = PerfMetricIds::register(worker.metrics_mut());
-        for ci in (shard..clients.len()).step_by(shards) {
-            worker.reseed(mix_seed(salt, ci as u64));
-            let obs = measure_client(
-                worker,
-                &setup,
-                &ids,
-                &clients[ci],
-                ci as u64 * 3 * queries as u64,
-            );
-            out.push((ci, obs));
+        // Dense machine index = position in this shard's client slice;
+        // the global index rides inside each machine for the merge key.
+        let mut machines: Vec<PerfMachine> = (shard..clients.len())
+            .step_by(shards)
+            .enumerate()
+            .map(|(mi, ci)| {
+                PerfMachine::new(
+                    mi as u64,
+                    ci,
+                    clients[ci].clone(),
+                    Arc::clone(&setup),
+                    ids,
+                    mix_seed(salt, ci as u64),
+                )
+            })
+            .collect();
+        for m in machines.iter_mut() {
+            m.start(worker);
         }
-        out
+        run_machines(worker, &mut machines);
+        machines
+            .into_iter()
+            .map(|m| (m.ci, m.result.unwrap_or(None)))
+            .collect()
     };
 
     let mut outputs: Vec<(Network, PerfShardOut)> = if shards == 1 {

@@ -6,10 +6,14 @@ use dnswire::{builder, Message, Rcode, RecordType};
 use doe_protocols::dot::DotClient;
 use doe_protocols::{Bootstrap, DohClient, DohMethod, QueryError};
 use httpsim::{Request, Response, UriTemplate};
-use netsim::telemetry::{Labels, Span};
+use netsim::sched::{run_machines, EventMachine, Fired, SchedEvent};
+use netsim::telemetry::{HistogramId, Labels};
 use netsim::{mix_seed, Network, ProbeOutcome, SimDuration};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 use tlssim::{CertError, DateStamp, TlsClientConfig, TlsError, TrustStore};
 use worldgen::providers::anchors;
 use worldgen::{ClientInfo, World};
@@ -265,151 +269,271 @@ struct ReachSetup {
     store: TrustStore,
     now: DateStamp,
     bootstrap: Ipv4Addr,
+    /// Resolver whose DoT failures trigger the forensic investigation.
+    forensics_on: String,
+}
+
+/// One transport slot of a target's test sequence.
+#[derive(Clone, Copy)]
+enum ReachSlot {
+    Dns(Ipv4Addr),
+    Dot(Ipv4Addr),
+    Doh,
 }
 
 impl ReachSetup {
     /// Queries one client issues — fixes each client's serial-number base
     /// so query names don't depend on which shard runs it.
     fn serials_per_client(&self) -> u64 {
-        self.targets
-            .iter()
-            .map(|t| t.dns.is_some() as u64 + t.dot.is_some() as u64 + t.doh.is_some() as u64)
-            .sum()
+        self.steps().len() as u64
+    }
+
+    /// The flat `(target, slot)` sequence every client walks, one step
+    /// per scheduler event, in the same order the sequential loop used.
+    fn steps(&self) -> Vec<(usize, ReachSlot)> {
+        let mut steps = Vec::new();
+        for (ti, target) in self.targets.iter().enumerate() {
+            if let Some(addr) = target.dns {
+                steps.push((ti, ReachSlot::Dns(addr)));
+            }
+            if let Some(addr) = target.dot {
+                steps.push((ti, ReachSlot::Dot(addr)));
+            }
+            if target.doh.is_some() {
+                steps.push((ti, ReachSlot::Doh));
+            }
+        }
+        steps
     }
 }
 
-/// Run one client through all targets and (if triggered) forensics.
-fn test_client(
-    net: &mut Network,
-    setup: &ReachSetup,
+fn note_interception<'a>(
+    interception: &'a mut Option<InterceptionFinding>,
     client: &ClientInfo,
-    forensics_on: &str,
-    mut serial: u64,
-) -> ClientFindings {
-    let ReachSetup {
-        targets,
-        expected,
-        apex,
-        store,
-        now,
-        bootstrap,
-    } = setup;
-    let (expected, now, bootstrap) = (*expected, *now, *bootstrap);
-    fn note_interception<'a>(
-        interception: &'a mut Option<InterceptionFinding>,
-        client: &ClientInfo,
-        ca_cn: &str,
-    ) -> &'a mut InterceptionFinding {
-        interception.get_or_insert_with(|| InterceptionFinding {
-            client: client.ip,
-            country: client.country.as_str().to_string(),
-            asn: client.asn.0,
-            ca_cn: ca_cn.to_string(),
-            port_853: false,
-            port_443: false,
-        })
-    }
-    let mut cells = Vec::new();
-    let mut interception: Option<InterceptionFinding> = None;
-    let mut cloudflare_dot_failed = false;
+    ca_cn: &str,
+) -> &'a mut InterceptionFinding {
+    interception.get_or_insert_with(|| InterceptionFinding {
+        client: client.ip,
+        country: client.country.as_str().to_string(),
+        asn: client.asn.0,
+        ca_cn: ca_cn.to_string(),
+        port_853: false,
+        port_443: false,
+    })
+}
 
-    for target in targets {
-        // --- Clear-text DNS over TCP -----------------------------------
-        if let Some(dns_addr) = target.dns {
-            serial += 1;
-            let qname = format!("d{serial}.{apex}");
-            let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
-                .map_err(QueryError::Wire)
-                .and_then(|q| {
-                    doe_protocols::do53::do53_tcp_query(
-                        net,
-                        client.ip,
-                        dns_addr,
-                        &q,
-                        SimDuration::from_secs(30),
-                    )
-                })
-                .map(|r| r.message);
-            cells.push((
-                target.name.clone(),
-                TransportKind::Dns,
-                classify(result, expected),
-            ));
+/// One client's reachability test as an event-driven state machine: one
+/// `(target, transport)` probe per fired event, then an optional forensic
+/// step. The step order, serials and per-client RNG stream match the old
+/// sequential loop exactly, so findings are bit-identical.
+struct ReachMachine {
+    /// Dense per-shard heap address.
+    index: u64,
+    /// Global client index (merge key).
+    ci: usize,
+    client: ClientInfo,
+    setup: Arc<ReachSetup>,
+    steps: Arc<Vec<(usize, ReachSlot)>>,
+    /// Next step to run.
+    pos: usize,
+    serial: u64,
+    rng: SmallRng,
+    /// Virtual time this client's own operations consumed, accumulated
+    /// across steps — equals the old whole-client `Span` measurement.
+    spent_us: u64,
+    client_us: HistogramId,
+    cells: Vec<(String, TransportKind, Outcome)>,
+    interception: Option<InterceptionFinding>,
+    forensics_due: bool,
+    forensic: Option<ForensicFinding>,
+    done: bool,
+}
+
+impl ReachMachine {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        index: u64,
+        ci: usize,
+        client: ClientInfo,
+        setup: Arc<ReachSetup>,
+        steps: Arc<Vec<(usize, ReachSlot)>>,
+        client_us: HistogramId,
+        rng_seed: u64,
+        serial_base: u64,
+    ) -> ReachMachine {
+        ReachMachine {
+            index,
+            ci,
+            client,
+            setup,
+            steps,
+            pos: 0,
+            serial: serial_base,
+            rng: SmallRng::seed_from_u64(rng_seed),
+            spent_us: 0,
+            client_us,
+            cells: Vec::new(),
+            interception: None,
+            forensics_due: false,
+            forensic: None,
+            done: false,
         }
+    }
 
-        // --- Opportunistic DoT ------------------------------------------
-        if let Some(dot_addr) = target.dot {
-            serial += 1;
-            let qname = format!("t{serial}.{apex}");
-            let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now));
-            let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
-                .map_err(QueryError::Wire)
-                .and_then(|q| dot.query_once(net, client.ip, dot_addr, None, &q));
-            // Interception: lookup succeeded, authentication failed.
-            if let Ok(reply) = &result {
-                if let Some(Err(CertError::UntrustedCa { ca_cn })) = &reply.transport.verify {
-                    note_interception(&mut interception, client, ca_cn).port_853 = true;
+    fn start(&mut self, net: &mut Network) {
+        net.schedule_after(
+            SimDuration::ZERO,
+            self.index,
+            SchedEvent::Timer { token: 0 },
+        );
+    }
+
+    /// Run one `(target, slot)` probe — one arm of the old per-target loop.
+    fn probe_step(&mut self, net: &mut Network, ti: usize, slot: ReachSlot) {
+        let setup = Arc::clone(&self.setup);
+        let target = &setup.targets[ti];
+        let apex = &setup.apex;
+        self.serial += 1;
+        let serial = self.serial;
+        match slot {
+            ReachSlot::Dns(dns_addr) => {
+                let qname = format!("d{serial}.{apex}");
+                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                    .map_err(QueryError::Wire)
+                    .and_then(|q| {
+                        doe_protocols::do53::do53_tcp_query(
+                            net,
+                            self.client.ip,
+                            dns_addr,
+                            &q,
+                            SimDuration::from_secs(30),
+                        )
+                    })
+                    .map(|r| r.message);
+                self.cells.push((
+                    target.name.clone(),
+                    TransportKind::Dns,
+                    classify(result, setup.expected),
+                ));
+            }
+            ReachSlot::Dot(dot_addr) => {
+                let qname = format!("t{serial}.{apex}");
+                let mut dot = DotClient::new(TlsClientConfig::opportunistic(
+                    setup.store.clone(),
+                    setup.now,
+                ));
+                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                    .map_err(QueryError::Wire)
+                    .and_then(|q| dot.query_once(net, self.client.ip, dot_addr, None, &q));
+                // Interception: lookup succeeded, authentication failed.
+                if let Ok(reply) = &result {
+                    if let Some(Err(CertError::UntrustedCa { ca_cn })) = &reply.transport.verify {
+                        note_interception(&mut self.interception, &self.client, ca_cn).port_853 =
+                            true;
+                    }
                 }
+                let outcome = classify(result.map(|r| r.message), setup.expected);
+                if target.name == setup.forensics_on && outcome == Outcome::Failed {
+                    self.forensics_due = true;
+                }
+                self.cells
+                    .push((target.name.clone(), TransportKind::Dot, outcome));
             }
-            let outcome = classify(result.map(|r| r.message), expected);
-            if target.name == forensics_on && outcome == Outcome::Failed {
-                cloudflare_dot_failed = true;
+            ReachSlot::Doh => {
+                let template = target
+                    .doh
+                    .as_ref()
+                    .expect("slot exists only with a template");
+                let qname = format!("h{serial}.{apex}");
+                let mut doh = DohClient::new(
+                    TlsClientConfig::strict(setup.store.clone(), setup.now),
+                    template.clone(),
+                    DohMethod::Get,
+                    Bootstrap::Do53 {
+                        resolver: setup.bootstrap,
+                    },
+                );
+                let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
+                    .map_err(QueryError::Wire)
+                    .and_then(|q| doh.query_once(net, self.client.ip, &q));
+                if let Err(QueryError::Tls(TlsError::Cert(CertError::UntrustedCa { ca_cn }))) =
+                    &result
+                {
+                    note_interception(&mut self.interception, &self.client, ca_cn).port_443 = true;
+                }
+                self.cells.push((
+                    target.name.clone(),
+                    TransportKind::Doh,
+                    classify(result.map(|r| r.message), setup.expected),
+                ));
             }
-            cells.push((target.name.clone(), TransportKind::Dot, outcome));
-        }
-
-        // --- Strict DoH --------------------------------------------------
-        if let Some(template) = &target.doh {
-            serial += 1;
-            let qname = format!("h{serial}.{apex}");
-            let mut doh = DohClient::new(
-                TlsClientConfig::strict(store.clone(), now),
-                template.clone(),
-                DohMethod::Get,
-                Bootstrap::Do53 {
-                    resolver: bootstrap,
-                },
-            );
-            let result = builder::query((serial % 65_536) as u16, &qname, RecordType::A)
-                .map_err(QueryError::Wire)
-                .and_then(|q| doh.query_once(net, client.ip, &q));
-            if let Err(QueryError::Tls(TlsError::Cert(CertError::UntrustedCa { ca_cn }))) = &result
-            {
-                note_interception(&mut interception, client, ca_cn).port_443 = true;
-            }
-            cells.push((
-                target.name.clone(),
-                TransportKind::Doh,
-                classify(result.map(|r| r.message), expected),
-            ));
         }
     }
 
-    // --- Failure forensics (Table 5) -----------------------------------
-    let forensic = if cloudflare_dot_failed {
+    /// Failure forensics (Table 5), run as the machine's final step.
+    fn forensic_step(&mut self, net: &mut Network) {
         let mut open_ports = Vec::new();
         for &port in &FORENSIC_PORTS {
-            let (outcome, _) = net.syn_probe(client.ip, anchors::CLOUDFLARE_PRIMARY, port);
+            let (outcome, _) = net.syn_probe(self.client.ip, anchors::CLOUDFLARE_PRIMARY, port);
             if outcome == ProbeOutcome::Open {
                 open_ports.push(port);
             }
         }
-        let (page_title, coinminer) = fetch_title(net, client.ip, anchors::CLOUDFLARE_PRIMARY);
-        Some(ForensicFinding {
-            client: client.ip,
-            asn: client.asn.0,
+        let (page_title, coinminer) = fetch_title(net, self.client.ip, anchors::CLOUDFLARE_PRIMARY);
+        self.forensic = Some(ForensicFinding {
+            client: self.client.ip,
+            asn: self.client.asn.0,
             open_ports,
             page_title,
             coinminer,
-        })
-    } else {
-        None
-    };
+        });
+    }
 
-    ClientFindings {
-        cells,
-        interception,
-        forensic,
+    fn into_findings(self) -> (usize, ClientFindings) {
+        (
+            self.ci,
+            ClientFindings {
+                cells: self.cells,
+                interception: self.interception,
+                forensic: self.forensic,
+            },
+        )
+    }
+}
+
+impl EventMachine for ReachMachine {
+    fn on_event(&mut self, net: &mut Network, _fired: Fired) {
+        if self.done {
+            return;
+        }
+        net.swap_rng(&mut self.rng);
+        let before = net.charged();
+        if let Some(&(ti, slot)) = self.steps.clone().get(self.pos) {
+            self.pos += 1;
+            self.probe_step(net, ti, slot);
+            let consumed = net.charged() - before;
+            self.spent_us += consumed.as_micros();
+            net.swap_rng(&mut self.rng);
+            let more_probes = self.pos < self.steps.len();
+            if more_probes || self.forensics_due {
+                let event = if more_probes {
+                    SchedEvent::Deliver {
+                        token: self.pos as u32,
+                    }
+                } else {
+                    SchedEvent::Timer { token: 1 }
+                };
+                net.schedule_after(consumed, self.index, event);
+                return;
+            }
+        } else {
+            self.forensic_step(net);
+            let consumed = net.charged() - before;
+            self.spent_us += consumed.as_micros();
+            net.swap_rng(&mut self.rng);
+        }
+        self.done = true;
+        net.metrics_mut().observe(self.client_us, self.spent_us);
     }
 }
 
@@ -440,7 +564,7 @@ pub fn reachability_test_sharded(
     forensics_on: &str,
     shards: usize,
 ) -> ReachabilityReport {
-    let setup = ReachSetup {
+    let setup = Arc::new(ReachSetup {
         targets: standard_targets(world),
         expected: world.probe.expected_a,
         apex: world
@@ -452,25 +576,41 @@ pub fn reachability_test_sharded(
         store: world.trust_store.clone(),
         now: world.epoch(),
         bootstrap: world.bootstrap_resolver,
-    };
+        forensics_on: forensics_on.to_string(),
+    });
     let shards = shards.max(1);
+    let steps = Arc::new(setup.steps());
     let spc = setup.serials_per_client();
     let salt = mix_seed(world.net.base_seed(), 0x7265_6163_6861_6269); // "reachabi"
 
     let run_shard = |worker: &mut Network, shard: usize| -> Vec<(usize, ClientFindings)> {
-        let mut out = Vec::new();
         let client_us = worker
             .metrics_mut()
             .histogram("stage.reach.client_us", Labels::empty());
-        for ci in (shard..clients.len()).step_by(shards) {
-            worker.reseed(mix_seed(salt, ci as u64));
-            let span = Span::begin(worker.charged().as_micros());
-            let findings = test_client(worker, &setup, &clients[ci], forensics_on, ci as u64 * spc);
-            let elapsed = span.elapsed_us(worker.charged().as_micros());
-            worker.metrics_mut().observe(client_us, elapsed);
-            out.push((ci, findings));
+        let mut machines: Vec<ReachMachine> = (shard..clients.len())
+            .step_by(shards)
+            .enumerate()
+            .map(|(mi, ci)| {
+                ReachMachine::new(
+                    mi as u64,
+                    ci,
+                    clients[ci].clone(),
+                    Arc::clone(&setup),
+                    Arc::clone(&steps),
+                    client_us,
+                    mix_seed(salt, ci as u64),
+                    ci as u64 * spc,
+                )
+            })
+            .collect();
+        for m in machines.iter_mut() {
+            m.start(worker);
         }
-        out
+        run_machines(worker, &mut machines);
+        machines
+            .into_iter()
+            .map(ReachMachine::into_findings)
+            .collect()
     };
 
     let mut outputs: Vec<(Network, Vec<(usize, ClientFindings)>)> = if shards == 1 {

@@ -40,6 +40,34 @@ done
 rm -f results/metrics.shards8.json
 echo "    metrics.json identical across shard counts, all stages present"
 
+echo "==> scheduler: stub-scale event determinism (shards 1 vs 8)"
+# The event-driven client fleet: the same population run on 1 and 8
+# workers must produce byte-identical reports and telemetry, and the
+# snapshot must carry the per-event-kind scheduler series.
+cargo run -q --release -p doe-core --bin repro --offline -- \
+    --shards 1 --clients 50000 --json results/stub1 \
+    --metrics results/stub1/metrics.json stub-scale >/dev/null
+cargo run -q --release -p doe-core --bin repro --offline -- \
+    --shards 8 --clients 50000 --json results/stub8 \
+    --metrics results/stub8/metrics.json stub-scale >/dev/null
+cmp results/stub1/stub-scale.json results/stub8/stub-scale.json || {
+    echo "FAIL: stub-scale report differs between --shards 1 and --shards 8" >&2
+    exit 1
+}
+cmp results/stub1/metrics.json results/stub8/metrics.json || {
+    echo "FAIL: stub-scale telemetry differs between --shards 1 and --shards 8" >&2
+    exit 1
+}
+for series in sched.event.fired sched.queue.depth stage.stub.queries \
+              stage.stub.retransmits stage.stub.idle_closes; do
+    grep -q "$series" results/stub1/metrics.json || {
+        echo "FAIL: series $series missing from stub-scale metrics" >&2
+        exit 1
+    }
+done
+rm -rf results/stub1 results/stub8
+echo "    stub-scale report + telemetry identical across shard counts"
+
 echo "==> doe-lint (determinism contract, interprocedural)"
 # One pass archives both artifacts; a second pass re-derives the call
 # graph so the gate catches any nondeterminism in the analyzer itself.

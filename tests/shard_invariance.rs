@@ -7,6 +7,7 @@
 
 use doe_scanner::campaign::{compact_space, run_campaign_sharded};
 use doe_scanner::sweep::syn_sweep_sharded;
+use doe_traffic::{build_stub_world, stub_population_sharded, StubPopulationConfig};
 use doe_vantage::performance::{performance_test_sharded, standard_tunnel};
 use doe_vantage::reachability::reachability_test_sharded;
 use netsim::{HostMeta, Network, NetworkConfig};
@@ -134,6 +135,77 @@ fn campaign_is_invariant_across_shard_counts() {
                 assert_eq!(x.answer_correct, y.answer_correct);
             }
         }
+    }
+}
+
+/// Run the event-driven stub-client population and return everything a
+/// shard count could conceivably perturb: the report and the merged
+/// telemetry snapshot.
+fn run_stub_population(
+    clients: usize,
+    shards: usize,
+) -> (
+    doe_traffic::StubPopulationReport,
+    netsim::telemetry::Snapshot,
+) {
+    let mut world = build_stub_world(2019, true);
+    let report = stub_population_sharded(
+        &mut world,
+        &StubPopulationConfig {
+            clients,
+            queries_per_client: 2,
+        },
+        shards,
+    );
+    let snapshot = world.net.metrics().snapshot();
+    (report, snapshot)
+}
+
+#[test]
+fn stub_population_is_invariant_across_shard_counts() {
+    let (reference, ref_snapshot) = run_stub_population(6_000, 1);
+    assert_eq!(reference.clients, 6_000);
+    assert!(reference.totals.answered > 0);
+    assert!(reference.totals.retransmits > 0, "no retransmits scheduled");
+
+    for shards in SHARD_COUNTS {
+        let (report, snapshot) = run_stub_population(6_000, shards);
+        assert_eq!(report, reference, "stub report differs at {shards} shards");
+        assert_eq!(
+            snapshot, ref_snapshot,
+            "stub telemetry differs at {shards} shards"
+        );
+    }
+}
+
+/// The headline scale claim: one run interleaves a million concurrent
+/// event-driven stub clients and the merged report stays bit-identical
+/// for any worker count. Ignored by default — run in release mode:
+/// `cargo test --release -- --ignored stub_population_at_one_million`.
+#[test]
+#[ignore = "million-client run; needs --release"]
+fn stub_population_at_one_million_clients_is_invariant() {
+    let (reference, ref_snapshot) = run_stub_population(1_000_000, 1);
+    assert_eq!(reference.clients, 1_000_000);
+    // The dead band is exactly 1/64 of the fleet: every one of its
+    // queries times out, retransmits once, and finally fails.
+    let dead = (0..1_000_000u64)
+        .filter(|ci| doe_traffic::stubsim::is_dead_client(*ci))
+        .count() as u64;
+    assert_eq!(reference.totals.failed, dead * 2);
+    assert_eq!(
+        reference.totals.answered,
+        (1_000_000 - dead) * 2,
+        "live fleet must answer every query"
+    );
+
+    for shards in [2usize, 8] {
+        let (report, snapshot) = run_stub_population(1_000_000, shards);
+        assert_eq!(report, reference, "1M report differs at {shards} shards");
+        assert_eq!(
+            snapshot, ref_snapshot,
+            "1M telemetry differs at {shards} shards"
+        );
     }
 }
 
