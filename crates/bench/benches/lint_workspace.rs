@@ -1,9 +1,11 @@
 //! Cost of the determinism analyzer over the live workspace, split into
-//! its two stages: the per-file token pass (`lint_workspace`'s dominant
-//! cost before the call-graph work existed) and the full interprocedural
-//! analysis (parse → graph build → reachability). The delta is what the
-//! D006/D007/D008 proof layer costs on top of the token rules, and the
-//! absolute numbers are what `scripts/verify.sh` pays per gate run.
+//! its stages: the per-file token pass (`lint_workspace`'s dominant
+//! cost before the call-graph work existed), the call-graph analysis
+//! (parse → graph build → D006–D008 reachability), and the full pass
+//! with the intraprocedural dataflow rules (D009–D012) rooted. The
+//! deltas are what each proof layer costs on top of the previous one,
+//! and the absolute numbers are what `scripts/verify.sh` pays per gate
+//! run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use doe_lint::policy::Policy;
@@ -21,10 +23,12 @@ fn load_policy(root: &std::path::Path) -> Policy {
 fn bench_token_pass(c: &mut Criterion) {
     let root = workspace_root();
     let mut policy = load_policy(&root);
-    // Unroot the graph rules: this measures the pre-existing per-file
-    // scan alone. (The live D006–D008 pragmas read as stale without
-    // their rules, so cleanliness is asserted only in the full pass.)
+    // Unroot the graph and dataflow rules: this measures the
+    // pre-existing per-file scan alone. (The live D006–D012 pragmas
+    // read as stale without their rules, so cleanliness is asserted
+    // only in the full pass.)
     policy.graph = Default::default();
+    policy.dataflow = Default::default();
     c.bench_function("lint/token_pass", |b| {
         b.iter(|| {
             let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
@@ -34,10 +38,26 @@ fn bench_token_pass(c: &mut Criterion) {
     });
 }
 
-fn bench_full_interprocedural(c: &mut Criterion) {
+fn bench_callgraph_pass(c: &mut Criterion) {
+    let root = workspace_root();
+    let mut policy = load_policy(&root);
+    // Graph rules rooted, dataflow rules unrooted: the taint pass still
+    // runs per function (it is part of parsing now), but the D009–D012
+    // entry scans and flow reporting are off. The delta against
+    // lint/dataflow_pass is the reporting layer's cost.
+    policy.dataflow = Default::default();
+    c.bench_function("lint/callgraph_pass", |b| {
+        b.iter(|| {
+            let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
+            analysis.graph.nodes.len() + analysis.graph.edges.len()
+        })
+    });
+}
+
+fn bench_full_dataflow(c: &mut Criterion) {
     let root = workspace_root();
     let policy = load_policy(&root);
-    c.bench_function("lint/interprocedural", |b| {
+    c.bench_function("lint/dataflow_pass", |b| {
         b.iter(|| {
             let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
             assert!(analysis.report.clean());
@@ -58,7 +78,8 @@ fn bench_graph_export(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_token_pass,
-    bench_full_interprocedural,
+    bench_callgraph_pass,
+    bench_full_dataflow,
     bench_graph_export
 );
 criterion_main!(benches);

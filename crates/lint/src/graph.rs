@@ -52,6 +52,13 @@ pub struct FnNode {
     pub line: u32,
     /// Hazard sites in the body.
     pub hazards: Vec<Hazard>,
+    /// Declared parameter count (`self` excluded) — lets method-call
+    /// resolution drop same-name candidates whose signature cannot
+    /// match the call site.
+    pub arity: usize,
+    /// Intraprocedural dataflow findings, reported only when the node is
+    /// reachable from the relevant `[dataflow]` entry set.
+    pub flows: Vec<crate::dataflow::Flow>,
 }
 
 impl FnNode {
@@ -120,6 +127,8 @@ pub fn build(sources: &[SourceItems]) -> CallGraph {
                 file: s.file.clone(),
                 line: f.line,
                 hazards: f.hazards.clone(),
+                arity: f.arity,
+                flows: f.flows.clone(),
             });
             calls.push(f.calls.clone());
         }
@@ -212,13 +221,17 @@ impl<'a> Resolver<'a> {
     /// `.name(...)`: every workspace method of that name; a literal
     /// `self.` receiver narrows to the enclosing impl when it defines
     /// the method (otherwise the call targets a field or a trait method
-    /// provided elsewhere — fall through to the broad set).
+    /// provided elsewhere — fall through to the broad set). When the
+    /// call site's argument count is known, candidates whose declared
+    /// arity cannot match are dropped — unless that would empty the set
+    /// (default arguments don't exist, but macros and `impl Trait`
+    /// receivers keep the fallback honest).
     fn resolve_method(&self, from: &FnNode, call: &Call) -> Vec<usize> {
         let name = call.path.last().map(String::as_str).unwrap_or("");
         if call.via_self {
             if let Some(owner) = &from.owner {
                 if let Some(own) = self.by_owner.get(&(owner.as_str(), name)) {
-                    return own.clone();
+                    return self.narrow_arity(own.clone(), call.arity);
                 }
             }
         }
@@ -230,7 +243,24 @@ impl<'a> Resolver<'a> {
         }
         out.sort_unstable();
         out.dedup();
-        out
+        self.narrow_arity(out, call.arity)
+    }
+
+    /// Keep candidates whose declared arity matches the call site's
+    /// argument count; fall back to the full set rather than dropping
+    /// edges the parser merely failed to count.
+    fn narrow_arity(&self, cands: Vec<usize>, arity: Option<usize>) -> Vec<usize> {
+        let Some(a) = arity else { return cands };
+        let narrowed: Vec<usize> = cands
+            .iter()
+            .copied()
+            .filter(|&i| self.nodes[i].arity == a)
+            .collect();
+        if narrowed.is_empty() {
+            cands
+        } else {
+            narrowed
+        }
     }
 
     /// Resolve a `::` path relative to (`crate_key`, `module`). `depth`
@@ -424,6 +454,8 @@ pub fn hazard_kind(k: HazardKind) -> &'static str {
         HazardKind::Panic => "panic",
         HazardKind::SharedMut => "shared_mut",
         HazardKind::FloatAccum => "float_accum",
+        HazardKind::Blocking => "blocking",
+        HazardKind::Alloc => "alloc",
     }
 }
 
@@ -532,6 +564,49 @@ mod tests {
             edge_names(&g),
             vec![("a::run::go".to_string(), "a::perm::Shard::new".to_string())]
         );
+    }
+
+    #[test]
+    fn arity_narrows_same_name_methods() {
+        let src = r#"
+            struct H;
+            struct R;
+            impl H {
+                fn observe(&mut self, v: u64) {}
+            }
+            impl R {
+                fn observe(&mut self, k: u8, v: u64) {}
+            }
+            fn go(h: &mut H) { h.observe(5); }
+        "#;
+        let g = build(&[items("a", "a", &[], src)]);
+        let edges = edge_names(&g);
+        assert!(edges.contains(&("a::go".to_string(), "a::H::observe".to_string())));
+        assert!(
+            !edges.contains(&("a::go".to_string(), "a::R::observe".to_string())),
+            "{edges:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_arity_keeps_the_full_candidate_set() {
+        // A generic argument defeats comma counting; the resolver must
+        // keep over-approximating rather than dropping edges.
+        let src = r#"
+            struct H;
+            struct R;
+            impl H {
+                fn observe(&mut self, v: u64) {}
+            }
+            impl R {
+                fn observe(&mut self, k: u8, v: u64) {}
+            }
+            fn go(h: &mut H) { h.observe(id::<u64>(5)); }
+        "#;
+        let g = build(&[items("a", "a", &[], src)]);
+        let edges = edge_names(&g);
+        assert!(edges.contains(&("a::go".to_string(), "a::H::observe".to_string())));
+        assert!(edges.contains(&("a::go".to_string(), "a::R::observe".to_string())));
     }
 
     #[test]

@@ -20,7 +20,18 @@ pub enum TokKind {
     /// A single punctuation character (`.`, `!`, `(`, ...).
     Punct(char),
     /// Any literal: string, raw string, byte string, char or number.
-    Literal,
+    Literal(LitKind),
+}
+
+/// The broad class of a literal. The dataflow pass needs to tell a raw
+/// integer (a virtual-time hazard, D011) from string/char text (never
+/// one); finer classification stays out of scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LitKind {
+    /// Numeric literal (`500`, `1.5`, `0xFF`, `3u64`).
+    Num,
+    /// String, raw-string, byte-string or char literal.
+    Text,
 }
 
 /// A token plus the 1-based line it starts on.
@@ -44,6 +55,16 @@ impl Tok {
     /// True if this token is the punctuation character `c`.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokKind::Punct(c)
+    }
+
+    /// True if this token is any literal.
+    pub fn is_literal(&self) -> bool {
+        matches!(self.kind, TokKind::Literal(_))
+    }
+
+    /// True if this token is a numeric literal.
+    pub fn is_num_literal(&self) -> bool {
+        matches!(self.kind, TokKind::Literal(LitKind::Num))
     }
 }
 
@@ -116,7 +137,7 @@ pub fn lex(src: &str) -> Lexed {
             '"' => {
                 out.toks.push(Tok {
                     line,
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(LitKind::Text),
                 });
                 i = skip_quoted(&cs, i, &mut line);
             }
@@ -125,7 +146,7 @@ pub fn lex(src: &str) -> Lexed {
                 if let Some(end) = raw_string_end(&cs, i, &mut line) {
                     out.toks.push(Tok {
                         line,
-                        kind: TokKind::Literal,
+                        kind: TokKind::Literal(LitKind::Text),
                     });
                     i = end;
                 } else if c == 'r'
@@ -157,7 +178,7 @@ pub fn lex(src: &str) -> Lexed {
             c if c.is_ascii_digit() => {
                 out.toks.push(Tok {
                     line,
-                    kind: TokKind::Literal,
+                    kind: TokKind::Literal(LitKind::Num),
                 });
                 i += 1;
                 while i < n {
@@ -227,7 +248,7 @@ fn lex_quote(cs: &[char], i: usize, line: &mut u32, out: &mut Lexed) -> usize {
             // `u{..}` contain no quotes).
             out.toks.push(Tok {
                 line: *line,
-                kind: TokKind::Literal,
+                kind: TokKind::Literal(LitKind::Text),
             });
             let mut j = i + 3;
             while j < n && cs[j] != '\'' {
@@ -239,7 +260,7 @@ fn lex_quote(cs: &[char], i: usize, line: &mut u32, out: &mut Lexed) -> usize {
             // Any single-char literal: 'a', '{', '.', ...
             out.toks.push(Tok {
                 line: *line,
-                kind: TokKind::Literal,
+                kind: TokKind::Literal(LitKind::Text),
             });
             i + 3
         }

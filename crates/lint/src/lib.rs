@@ -25,6 +25,17 @@
 //!   entry points (interprocedural; the transitive closure of D004).
 //! * **D008** — no float accumulation transitively reachable from the
 //!   shard-merge entry points (interprocedural).
+//! * **D009** — no blocking operation (sleeps, channel receives, real
+//!   I/O, lock-in-loop) reachable from the event-machine step entry
+//!   points (interprocedural).
+//! * **D010** — per-machine RNG confinement: `swap_rng` paired on all
+//!   exit paths, and no RNG-derived value flowing into shared
+//!   `DataPlane` writes (interprocedural + dataflow, see [`dataflow`]).
+//! * **D011** — virtual-time unit hygiene: no raw integer literal or
+//!   `std::time::Duration` flowing into `sched` deadline APIs except
+//!   through `SimInstant`/`SimDuration` (dataflow).
+//! * **D012** — no allocation site reachable from the telemetry
+//!   hot-path entry points (interprocedural).
 //!
 //! Scope comes from `lint.toml` at the workspace root; per-site escape
 //! hatches are `// doe-lint: allow(D00x) — <reason>` pragmas with a
@@ -33,6 +44,7 @@
 //! (`src/bin/`, `main.rs`), `tests/`, `benches/`, `examples/` and
 //! `#[cfg(test)]` items are exempt by construction.
 
+pub mod dataflow;
 pub mod graph;
 pub mod lexer;
 pub mod parser;
@@ -71,6 +83,9 @@ pub struct Finding {
     /// For interprocedural rules: the call chain from an entry point to
     /// the hazard site, as `fn (file:line)` hops. Empty for token rules.
     pub chain: Vec<String>,
+    /// For dataflow rules (D010/D011): the intraprocedural def-use steps
+    /// from taint source to sink, in order. Empty otherwise.
+    pub flow: Vec<String>,
 }
 
 /// A finding that a pragma suppressed, kept for the audit trail.
@@ -120,6 +135,7 @@ struct RawHit {
     rule: String,
     message: String,
     chain: Vec<String>,
+    flow: Vec<String>,
 }
 
 /// Per-file pragma bookkeeping: parse errors, plus each pragma resolved
@@ -155,6 +171,7 @@ fn pragma_slots<'a>(
             message: e.message,
             severity: Severity::Error,
             chain: Vec::new(),
+            flow: Vec::new(),
         });
     }
     // Resolve each pragma to the line it governs: its own line when code
@@ -205,6 +222,7 @@ fn settle(file: &str, raw: Vec<RawHit>, mut slots: PragmaSlots<'_>) -> FileOutco
                 message: hit.message,
                 severity: Severity::Error,
                 chain: hit.chain,
+                flow: hit.flow,
             }),
         }
     }
@@ -230,6 +248,7 @@ fn settle(file: &str, raw: Vec<RawHit>, mut slots: PragmaSlots<'_>) -> FileOutco
                 .to_string(),
             severity: Severity::Error,
             chain: Vec::new(),
+            flow: Vec::new(),
         });
     }
     out.findings
@@ -260,6 +279,7 @@ pub fn lint_source(file: &str, src: &str, enabled: &[String]) -> FileOutcome {
             rule: f.rule.to_string(),
             message: f.message,
             chain: Vec::new(),
+            flow: Vec::new(),
         })
         .collect();
     settle(file, raw, slots)
@@ -482,6 +502,7 @@ pub fn analyze(
                 rule: f.rule.to_string(),
                 message: f.message,
                 chain: Vec::new(),
+                flow: Vec::new(),
             })
             .collect();
         let module = module_of(&lf.file.rel_path);
@@ -489,12 +510,14 @@ pub fn analyze(
             .get(&lf.file.crate_key)
             .cloned()
             .unwrap_or_else(|| lf.file.crate_key.clone());
+        let mut parsed = parser::parse_file(&module, &lexed.toks, &mask);
+        dataflow::analyze(&lexed.toks, &mut parsed);
         graph_sources.push(graph::SourceItems {
             crate_key: lf.file.crate_key.clone(),
             crate_name,
             file: lf.file.display_path.clone(),
             module: module.clone(),
-            parsed: parser::parse_file(&module, &lexed.toks, &mask),
+            parsed,
         });
         prepped.push(Prepped {
             file: &lf.file,
@@ -507,7 +530,7 @@ pub fn analyze(
     }
 
     let callgraph = graph::build(&graph_sources);
-    let chain_findings = reach::check(&callgraph, &policy.graph)?;
+    let chain_findings = reach::check(&callgraph, &policy.graph, &policy.dataflow)?;
     let mut per_file: BTreeMap<String, Vec<RawHit>> = BTreeMap::new();
     for f in chain_findings {
         per_file.entry(f.file.clone()).or_default().push(RawHit {
@@ -515,6 +538,7 @@ pub fn analyze(
             rule: f.rule.to_string(),
             message: f.message,
             chain: f.chain,
+            flow: f.flow,
         });
     }
 

@@ -18,6 +18,8 @@ pub struct Policy {
     pub crates: BTreeMap<String, CratePolicy>,
     /// Entry points for the interprocedural rules (`[graph]` section).
     pub graph: GraphPolicy,
+    /// Entry points for the dataflow rules (`[dataflow]` section).
+    pub dataflow: DataflowPolicy,
 }
 
 /// Entry-point sets for the call-graph rules. Each entry is a `::`
@@ -32,6 +34,24 @@ pub struct GraphPolicy {
     pub protocol_entries: Vec<String>,
     /// D008 roots: the shard-merge operations.
     pub merge_entries: Vec<String>,
+}
+
+/// Entry-point sets for the dataflow-backed rules (`[dataflow]`
+/// section). Same suffix-match semantics as [`GraphPolicy`]: an entry
+/// matching nothing is a hard configuration error, empty sets disable
+/// the rule.
+#[derive(Debug, Clone, Default)]
+pub struct DataflowPolicy {
+    /// D009 + D010 roots: the event-machine step implementations — no
+    /// blocking operation may be reachable, `swap_rng` must pair, and
+    /// per-machine RNG values must not reach shared `DataPlane` writes.
+    pub step_entries: Vec<String>,
+    /// D011 roots: functions whose call trees feed the `sched` deadline
+    /// APIs — raw time values must pass the `Sim*` constructors.
+    pub time_entries: Vec<String>,
+    /// D012 roots: the telemetry hot-path entry points — no allocation
+    /// site may be reachable.
+    pub hot_entries: Vec<String>,
 }
 
 /// Policy for one crate.
@@ -89,6 +109,9 @@ impl Policy {
             (["graph"], "shard_entries") => self.graph.shard_entries = value,
             (["graph"], "protocol_entries") => self.graph.protocol_entries = value,
             (["graph"], "merge_entries") => self.graph.merge_entries = value,
+            (["dataflow"], "step_entries") => self.dataflow.step_entries = value,
+            (["dataflow"], "time_entries") => self.dataflow.time_entries = value,
+            (["dataflow"], "hot_entries") => self.dataflow.hot_entries = value,
             (["crates", name], "rules") => {
                 self.crates.entry(name.to_string()).or_default().rules = Some(value);
             }
@@ -205,7 +228,23 @@ mod tests {
 
         [crates.bench]
         rules = []
+
+        [dataflow]
+        step_entries = ["StubMachine::on_event"]
+        time_entries = ["StubMachine::on_event", "generate_dot_traffic"]
+        hot_entries = ["Registry::add"]
     "#;
+
+    #[test]
+    fn dataflow_entry_sets_parse() {
+        let p = Policy::parse(SAMPLE).unwrap();
+        assert_eq!(p.dataflow.step_entries, vec!["StubMachine::on_event"]);
+        assert_eq!(
+            p.dataflow.time_entries,
+            vec!["StubMachine::on_event", "generate_dot_traffic"]
+        );
+        assert_eq!(p.dataflow.hot_entries, vec!["Registry::add"]);
+    }
 
     #[test]
     fn defaults_apply_to_unlisted_crates() {

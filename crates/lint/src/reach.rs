@@ -1,6 +1,6 @@
 //! Reachability over the call graph: the interprocedural rules.
 //!
-//! Three rules, one BFS each, all driven by the `[graph]` section of
+//! Hazard rules, one BFS each, driven by the `[graph]` section of
 //! `lint.toml`:
 //!
 //! * **D006 shard purity** — from the sharded measurement entry points,
@@ -13,14 +13,30 @@
 //!   no order-sensitive floating-point accumulation is reachable;
 //!   shard-merge results must not depend on shard layout.
 //!
+//! Plus the scheduler-era rules rooted at the `[dataflow]` section:
+//!
+//! * **D009 non-blocking step** — from the event-machine step entry
+//!   points, no blocking operation (sleeps, channel receives, real I/O,
+//!   lock-in-loop) is reachable; one stalled handler would skew every
+//!   virtual-time measurement behind it.
+//! * **D010 RNG confinement** — on functions reachable from the step
+//!   entry points, the dataflow pass's `swap_rng`-pairing and RNG-leak
+//!   findings (see [`crate::dataflow`]) become errors.
+//! * **D011 time-unit hygiene** — on functions reachable from the
+//!   time entry points, raw-time flows into `sched` deadline APIs
+//!   become errors.
+//! * **D012 hot-path allocation freedom** — from the telemetry hot-path
+//!   entry points, no allocation site is reachable.
+//!
 //! Every finding carries its full call chain (entry → … → hazard site)
-//! as evidence, so a diagnostic is actionable without re-running the
-//! analysis by hand. BFS visits neighbours in sorted order over a
-//! deterministic graph, so chains are stable across runs.
+//! as evidence — dataflow findings additionally carry the def-use steps
+//! from taint source to sink — so a diagnostic is actionable without
+//! re-running the analysis by hand. BFS visits neighbours in sorted
+//! order over a deterministic graph, so chains are stable across runs.
 
 use crate::graph::CallGraph;
 use crate::parser::HazardKind;
-use crate::policy::GraphPolicy;
+use crate::policy::{DataflowPolicy, GraphPolicy};
 
 /// One interprocedural finding, attributed to the hazard site.
 #[derive(Debug, Clone)]
@@ -29,21 +45,28 @@ pub struct ChainFinding {
     pub file: String,
     /// 1-based line of the hazard site.
     pub line: u32,
-    /// `D006` / `D007` / `D008`.
+    /// `D006` … `D012`.
     pub rule: &'static str,
     /// Explanation with the rendered chain.
     pub message: String,
     /// Call chain as `fn (file:line)` hops, entry first, hazard fn last.
     pub chain: Vec<String>,
+    /// For dataflow rules: the def-use steps from source to sink. Empty
+    /// for hazard-site rules.
+    pub flow: Vec<String>,
 }
 
-/// Run every configured interprocedural rule. Fails when an entry in the
-/// policy matches no graph node — a stale entry list would silently
-/// un-prove the contract.
-pub fn check(graph: &CallGraph, policy: &GraphPolicy) -> Result<Vec<ChainFinding>, String> {
+/// Run every configured interprocedural rule. Fails when an entry in
+/// either policy section matches no graph node — a stale entry list
+/// would silently un-prove the contract.
+pub fn check(
+    graph: &CallGraph,
+    policy: &GraphPolicy,
+    dataflow: &DataflowPolicy,
+) -> Result<Vec<ChainFinding>, String> {
     let mut out = Vec::new();
     if !policy.shard_entries.is_empty() {
-        let entries = resolve_entries(graph, &policy.shard_entries, "shard_entries")?;
+        let entries = resolve_entries(graph, &policy.shard_entries, "[graph] shard_entries")?;
         out.extend(scan(
             graph,
             &entries,
@@ -55,7 +78,7 @@ pub fn check(graph: &CallGraph, policy: &GraphPolicy) -> Result<Vec<ChainFinding
         ));
     }
     if !policy.protocol_entries.is_empty() {
-        let entries = resolve_entries(graph, &policy.protocol_entries, "protocol_entries")?;
+        let entries = resolve_entries(graph, &policy.protocol_entries, "[graph] protocol_entries")?;
         out.extend(scan(
             graph,
             &entries,
@@ -67,7 +90,7 @@ pub fn check(graph: &CallGraph, policy: &GraphPolicy) -> Result<Vec<ChainFinding
         ));
     }
     if !policy.merge_entries.is_empty() {
-        let entries = resolve_entries(graph, &policy.merge_entries, "merge_entries")?;
+        let entries = resolve_entries(graph, &policy.merge_entries, "[graph] merge_entries")?;
         out.extend(scan(
             graph,
             &entries,
@@ -76,6 +99,48 @@ pub fn check(graph: &CallGraph, policy: &GraphPolicy) -> Result<Vec<ChainFinding
             |_| false,
             "accumulates floats on a shard-merge path; summation order depends \
              on shard layout — accumulate in integers or fold in sorted order",
+        ));
+    }
+    if !dataflow.step_entries.is_empty() {
+        let entries = resolve_entries(graph, &dataflow.step_entries, "[dataflow] step_entries")?;
+        out.extend(scan(
+            graph,
+            &entries,
+            "D009",
+            |h| h.kind == HazardKind::Blocking,
+            |_| false,
+            "blocks the calling thread and is reachable from an event-machine \
+             step; a stalled handler skews every virtual-time measurement \
+             behind it — model the wait as a scheduled event instead",
+        ));
+        out.extend(flow_scan(
+            graph,
+            &entries,
+            "D010",
+            "violates per-machine RNG confinement on an event-machine step \
+             path; shard outputs would depend on machine interleaving",
+        ));
+    }
+    if !dataflow.time_entries.is_empty() {
+        let entries = resolve_entries(graph, &dataflow.time_entries, "[dataflow] time_entries")?;
+        out.extend(flow_scan(
+            graph,
+            &entries,
+            "D011",
+            "feeds a unit-less time value to the scheduler on a path the \
+             virtual clock governs — construct it via SimInstant/SimDuration",
+        ));
+    }
+    if !dataflow.hot_entries.is_empty() {
+        let entries = resolve_entries(graph, &dataflow.hot_entries, "[dataflow] hot_entries")?;
+        out.extend(scan(
+            graph,
+            &entries,
+            "D012",
+            |h| h.kind == HazardKind::Alloc,
+            |_| false,
+            "allocates on the telemetry hot path; the alloc-free per-probe \
+             budget (~23 ns) holds only if no reachable site touches the heap",
         ));
     }
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
@@ -108,7 +173,7 @@ pub fn resolve_entries(
         }
         if hits.is_empty() {
             return Err(format!(
-                "lint.toml [graph] {what}: entry `{pat}` matches no function in \
+                "lint.toml {what}: entry `{pat}` matches no function in \
                  the workspace call graph (renamed or removed?)"
             ));
         }
@@ -164,6 +229,58 @@ fn scan(
                 rule,
                 message: format!("`{}` {why} [chain: {rendered}]", h.what),
                 chain,
+                flow: Vec::new(),
+            });
+        }
+    }
+    out
+}
+
+/// BFS from `entries`; emit one finding per dataflow flow (see
+/// [`crate::dataflow`]) of rule `rule` on a reached node.
+fn flow_scan(
+    graph: &CallGraph,
+    entries: &[usize],
+    rule: &'static str,
+    why: &str,
+) -> Vec<ChainFinding> {
+    let n = graph.nodes.len();
+    let mut pred: Vec<Option<(usize, u32)>> = vec![None; n];
+    let mut seen = vec![false; n];
+    let mut queue: std::collections::VecDeque<usize> = entries.iter().copied().collect();
+    for &e in entries {
+        seen[e] = true;
+    }
+    while let Some(u) = queue.pop_front() {
+        for &(v, line) in &graph.adj[u] {
+            if !seen[v] {
+                seen[v] = true;
+                pred[v] = Some((u, line));
+                queue.push_back(v);
+            }
+        }
+    }
+
+    let mut out = Vec::new();
+    for (i, node) in graph.nodes.iter().enumerate() {
+        if !seen[i] {
+            continue;
+        }
+        for fl in node.flows.iter().filter(|f| f.kind.rule() == rule) {
+            let chain = chain_to(graph, &pred, i);
+            let rendered = chain
+                .iter()
+                .map(String::as_str)
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            let steps = fl.steps.join("; ");
+            out.push(ChainFinding {
+                file: node.file.clone(),
+                line: fl.line,
+                rule,
+                message: format!("{} — {why} [flow: {steps}] [chain: {rendered}]", fl.what),
+                chain,
+                flow: fl.steps.clone(),
             });
         }
     }
@@ -208,12 +325,14 @@ mod tests {
         let lexed = lex(src);
         let mask = test_mask(&lexed.toks);
         let module: Vec<String> = module.iter().map(|s| s.to_string()).collect();
+        let mut parsed = parse_file(&module, &lexed.toks, &mask);
+        crate::dataflow::analyze(&lexed.toks, &mut parsed);
         SourceItems {
             crate_key: "a".to_string(),
             crate_name: "a".to_string(),
             file: "crates/a/src/x.rs".to_string(),
             module: module.clone(),
-            parsed: parse_file(&module, &lexed.toks, &mask),
+            parsed,
         }
     }
 
@@ -224,6 +343,19 @@ mod tests {
             protocol_entries: v(proto),
             merge_entries: v(merge),
         }
+    }
+
+    fn dp(step: &[&str], time: &[&str], hot: &[&str]) -> crate::policy::DataflowPolicy {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        crate::policy::DataflowPolicy {
+            step_entries: v(step),
+            time_entries: v(time),
+            hot_entries: v(hot),
+        }
+    }
+
+    fn check(g: &CallGraph, gpol: &GraphPolicy) -> Result<Vec<ChainFinding>, String> {
+        super::check(g, gpol, &crate::policy::DataflowPolicy::default())
     }
 
     #[test]
@@ -299,5 +431,113 @@ mod tests {
         let g = build(&[items(&[], "pub fn entry() {}")]);
         let err = check(&g, &gp(&[], &["a::no_such_fn"], &[])).unwrap_err();
         assert!(err.contains("no_such_fn"));
+    }
+
+    #[test]
+    fn stale_dataflow_entry_is_a_hard_error() {
+        let g = build(&[items(&[], "pub fn entry() {}")]);
+        let err = super::check(&g, &gp(&[], &[], &[]), &dp(&["a::gone"], &[], &[])).unwrap_err();
+        assert!(err.contains("[dataflow] step_entries"), "{err}");
+        assert!(err.contains("gone"));
+    }
+
+    #[test]
+    fn blocking_reachable_from_step_is_d009() {
+        let src = r#"
+            pub struct M;
+            impl M {
+                pub fn on_event(&mut self) { helper(); }
+            }
+            fn helper() { std::thread::sleep(core::time::Duration::from_millis(1)); }
+            fn unrelated() { std::thread::sleep(core::time::Duration::from_millis(1)); }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&["M::on_event"], &[], &[])).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D009");
+        assert!(f[0].message.contains("thread::sleep"));
+        assert_eq!(f[0].chain.len(), 2);
+    }
+
+    #[test]
+    fn lock_in_loop_reachable_from_step_is_d009() {
+        let src = r#"
+            pub struct M;
+            impl M {
+                pub fn on_event(&mut self, q: &std::sync::Mutex<u8>) {
+                    for _ in 0..4 {
+                        let g = q.lock();
+                    }
+                }
+            }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&["M::on_event"], &[], &[])).unwrap();
+        assert!(
+            f.iter()
+                .any(|x| x.rule == "D009" && x.message.contains("lock() in loop")),
+            "{f:?}"
+        );
+    }
+
+    #[test]
+    fn raw_time_flow_reachable_from_time_entry_is_d011() {
+        let src = r#"
+            pub fn runner(net: &mut Net) { emit(net); }
+            fn emit(net: &mut Net) {
+                let delay = 500;
+                net.schedule_after(delay, Event::Tick);
+            }
+            fn dormant(net: &mut Net) {
+                let delay = 500;
+                net.schedule_after(delay, Event::Tick);
+            }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&[], &["a::runner"], &[])).unwrap();
+        // Only the reachable copy of the flow is reported.
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D011");
+        assert!(!f[0].flow.is_empty());
+        assert!(f[0]
+            .flow
+            .iter()
+            .any(|s| s.contains("`delay` bound from integer literal")));
+        assert!(f[0].message.contains("[flow:"));
+    }
+
+    #[test]
+    fn unbalanced_swap_reachable_from_step_is_d010() {
+        let src = r#"
+            pub struct M;
+            impl M {
+                pub fn on_event(&mut self, net: &mut Net) {
+                    net.swap_rng(&mut self.rng);
+                    self.step();
+                }
+                fn step(&mut self) {}
+            }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&["M::on_event"], &[], &[])).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D010");
+        assert!(f[0].flow.iter().any(|s| s.contains("swap_rng")));
+    }
+
+    #[test]
+    fn alloc_reachable_from_hot_entry_is_d012() {
+        let src = r#"
+            pub struct Registry;
+            impl Registry {
+                pub fn add(&mut self, v: u64) { self.render(v); }
+                fn render(&mut self, v: u64) { let s = format!("{v}"); }
+            }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&[], &[], &["Registry::add"])).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D012");
+        assert!(f[0].message.contains("format!"));
     }
 }

@@ -2,9 +2,13 @@
 //!
 //! JSON is hand-rolled (the analyzer is dependency-free); the schema is
 //! stable so `scripts/verify.sh` can archive reports under `results/`
-//! and diff them across runs. Schema version 2 adds the `chain` field:
-//! interprocedural findings (D006–D008) carry the call chain from an
-//! entry point to the hazard site as evidence.
+//! and diff them across runs. Schema version 2 added the `chain` field:
+//! interprocedural findings (D006–D012) carry the call chain from an
+//! entry point to the hazard site as evidence. Version 3 adds the
+//! `flow` field: dataflow findings (D010/D011) additionally carry the
+//! intraprocedural def-use steps from taint source to sink, in order.
+//! `flow` is present on every finding (empty for non-dataflow rules) so
+//! consumers never branch on key existence.
 
 use crate::{Report, Severity};
 use std::fmt::Write as _;
@@ -18,6 +22,11 @@ pub fn human(report: &Report) -> String {
             for (i, hop) in f.chain.iter().enumerate() {
                 let arrow = if i == 0 { "entry" } else { "  via" };
                 let _ = writeln!(out, "    {arrow} {hop}");
+            }
+        }
+        if !f.flow.is_empty() {
+            for step in &f.flow {
+                let _ = writeln!(out, "    flow {step}");
             }
         }
     }
@@ -36,7 +45,7 @@ pub fn human(report: &Report) -> String {
 
 /// Render the machine-readable report.
 pub fn json(report: &Report) -> String {
-    let mut out = String::from("{\n  \"version\": 2,\n  \"findings\": [");
+    let mut out = String::from("{\n  \"version\": 3,\n  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
@@ -54,6 +63,11 @@ pub fn json(report: &Report) -> String {
         for (j, hop) in f.chain.iter().enumerate() {
             let sep = if j == 0 { "" } else { ", " };
             let _ = write!(out, "{sep}\"{}\"", esc(hop));
+        }
+        out.push_str("], \"flow\": [");
+        for (j, step) in f.flow.iter().enumerate() {
+            let sep = if j == 0 { "" } else { ", " };
+            let _ = write!(out, "{sep}\"{}\"", esc(step));
         }
         out.push_str("]}");
     }
@@ -116,6 +130,7 @@ mod tests {
                 message: "a \"quoted\" message".to_string(),
                 severity: Severity::Error,
                 chain: Vec::new(),
+                flow: Vec::new(),
             }],
             suppressed: Vec::new(),
             files_scanned: 1,
@@ -123,7 +138,7 @@ mod tests {
         let j = json(&report);
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"clean\": false"));
-        assert!(j.contains("\"version\": 2"));
+        assert!(j.contains("\"version\": 3"));
         let empty = Report {
             findings: Vec::new(),
             suppressed: Vec::new(),
@@ -145,6 +160,7 @@ mod tests {
                     "a::entry (crates/a/src/lib.rs:1)".to_string(),
                     "a::leaf (crates/a/src/lib.rs:5)".to_string(),
                 ],
+                flow: Vec::new(),
             }],
             suppressed: Vec::new(),
             files_scanned: 1,
@@ -154,5 +170,33 @@ mod tests {
         assert!(h.contains("  via a::leaf"));
         let j = json(&report);
         assert!(j.contains("\"chain\": [\"a::entry (crates/a/src/lib.rs:1)\", \"a::leaf (crates/a/src/lib.rs:5)\"]"));
+        assert!(j.contains("\"flow\": []"));
+    }
+
+    #[test]
+    fn flows_render_in_both_formats() {
+        let report = Report {
+            findings: vec![Finding {
+                file: "crates/x/src/gen.rs".to_string(),
+                line: 12,
+                rule: "D011".to_string(),
+                message: "integer literal reaches `schedule_after`".to_string(),
+                severity: Severity::Error,
+                chain: vec!["a::emit (crates/x/src/gen.rs:10)".to_string()],
+                flow: vec![
+                    "`ms` bound from integer literal (line 11)".to_string(),
+                    "`ms` flows into `schedule_after` deadline argument (line 12)".to_string(),
+                ],
+            }],
+            suppressed: Vec::new(),
+            files_scanned: 1,
+        };
+        let h = human(&report);
+        assert!(h.contains("flow `ms` bound from integer literal (line 11)"));
+        let j = json(&report);
+        assert!(j.contains(
+            "\"flow\": [\"`ms` bound from integer literal (line 11)\", \
+             \"`ms` flows into `schedule_after` deadline argument (line 12)\"]"
+        ));
     }
 }

@@ -40,6 +40,22 @@ pub const RULES: &[(&str, &str)] = &[
         "D008",
         "no float accumulation reachable from merge entry points",
     ),
+    (
+        "D009",
+        "no blocking operation reachable from event-machine step entry points",
+    ),
+    (
+        "D010",
+        "per-machine RNG confined: swap_rng paired, no flow into shared DataPlane",
+    ),
+    (
+        "D011",
+        "no raw time value into sched deadline APIs outside Sim* constructors",
+    ),
+    (
+        "D012",
+        "no allocation site reachable from telemetry hot-path entry points",
+    ),
 ];
 
 /// Is `id` a known contract rule (suppressible via pragma)?

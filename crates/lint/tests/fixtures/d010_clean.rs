@@ -1,0 +1,19 @@
+//! Dataflow fixture: every exit path restores the shared RNG before it
+//! can propagate — the `?` fires only after the swap-out.
+pub struct Net;
+
+impl Net {
+    pub fn swap_rng(&mut self, _seat: u64) {}
+}
+
+fn fallible() -> Result<u64, ()> {
+    Ok(3)
+}
+
+pub fn on_event(net: &mut Net) -> Result<u64, ()> {
+    net.swap_rng(7);
+    let v = fallible();
+    net.swap_rng(7);
+    let v = v?;
+    Ok(v)
+}

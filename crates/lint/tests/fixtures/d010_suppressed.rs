@@ -1,0 +1,20 @@
+//! Dataflow fixture: the early return between swaps carries a justified
+//! pragma.
+pub struct Net;
+
+impl Net {
+    pub fn swap_rng(&mut self, _seat: u64) {}
+}
+
+fn fallible() -> Result<u64, ()> {
+    Ok(3)
+}
+
+pub fn on_event(net: &mut Net) -> Result<u64, ()> {
+    net.swap_rng(7);
+    // doe-lint: allow(D010) — fixture: the caller drops the whole shard
+    // on error, so the stranded RNG is never observed by another machine
+    let v = fallible()?;
+    net.swap_rng(7);
+    Ok(v)
+}

@@ -1,0 +1,19 @@
+//! Dataflow fixture: the step swaps the per-machine RNG in, but a `?`
+//! return between the swap-in and the swap-out can leave it installed
+//! for whichever machine steps next.
+pub struct Net;
+
+impl Net {
+    pub fn swap_rng(&mut self, _seat: u64) {}
+}
+
+fn fallible() -> Result<u64, ()> {
+    Ok(3)
+}
+
+pub fn on_event(net: &mut Net) -> Result<u64, ()> {
+    net.swap_rng(7);
+    let v = fallible()?;
+    net.swap_rng(7);
+    Ok(v)
+}

@@ -1,0 +1,20 @@
+//! Dataflow fixture: the deadline goes through the unit-bearing
+//! SimDuration constructor, so the literal's meaning is explicit.
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+}
+
+pub struct Sched;
+
+impl Sched {
+    pub fn schedule_after(&mut self, _delay: SimDuration, _ev: u32) {}
+}
+
+pub fn emit(s: &mut Sched) {
+    let delay = SimDuration::from_millis(5);
+    s.schedule_after(delay, 1);
+}

@@ -1,0 +1,13 @@
+//! Dataflow fixture: the raw deadline carries a justified pragma.
+pub struct Sched;
+
+impl Sched {
+    pub fn schedule_after(&mut self, _delay: u64, _ev: u32) {}
+}
+
+pub fn emit(s: &mut Sched) {
+    let delay = 5000;
+    // doe-lint: allow(D011) — fixture: protocol-mandated constant already
+    // expressed in the scheduler's native nanosecond unit
+    s.schedule_after(delay, 1);
+}

@@ -1,0 +1,12 @@
+//! Dataflow fixture: a bare integer flows into a scheduler deadline —
+//! nothing says whether it means nanoseconds or milliseconds.
+pub struct Sched;
+
+impl Sched {
+    pub fn schedule_after(&mut self, _delay: u64, _ev: u32) {}
+}
+
+pub fn emit(s: &mut Sched) {
+    let delay = 5000;
+    s.schedule_after(delay, 1);
+}

@@ -1,11 +1,12 @@
 //! Fixture-based self-tests for the determinism analyzer.
 //!
 //! Each token rule gets three fixtures — violating, clean, and
-//! pragma-suppressed — and the call-graph rules (D006–D008) get the same
-//! triple driven through the whole-workspace `analyze` entry point. On
-//! top of that: pragma hygiene (including stale pragmas as P004 errors),
-//! `lint.toml` scoping, byte-determinism of the exported call graph, and
-//! a meta-test asserting the live workspace satisfies its own contract.
+//! pragma-suppressed — and the call-graph rules (D006–D008) plus the
+//! dataflow rules (D009–D012) get the same triple driven through the
+//! whole-workspace `analyze` entry point. On top of that: pragma hygiene
+//! (including stale pragmas as P004 errors), `lint.toml` scoping,
+//! byte-determinism of the exported call graph and v3 report, and a
+//! meta-test asserting the live workspace satisfies its own contract.
 
 use doe_lint::policy::Policy;
 use doe_lint::{
@@ -114,11 +115,7 @@ fn d005_narrowing_casts() {
 // Call-graph rules: fixtures run through the whole-workspace `analyze`
 // entry point with the fixture file standing in as a one-crate workspace.
 
-fn analyze_fixture(src: &str, shard: &[&str], proto: &[&str], merge: &[&str]) -> Analysis {
-    let mut policy = Policy::default();
-    policy.graph.shard_entries = shard.iter().map(|s| s.to_string()).collect();
-    policy.graph.protocol_entries = proto.iter().map(|s| s.to_string()).collect();
-    policy.graph.merge_entries = merge.iter().map(|s| s.to_string()).collect();
+fn analyze_policy_fixture(src: &str, policy: &Policy) -> Analysis {
     let files = vec![LoadedFile {
         file: SourceFile {
             crate_key: "fixture".to_string(),
@@ -130,7 +127,15 @@ fn analyze_fixture(src: &str, shard: &[&str], proto: &[&str], merge: &[&str]) ->
     }];
     let mut names = BTreeMap::new();
     names.insert("fixture".to_string(), "fixture_lib".to_string());
-    analyze(&files, &policy, &names).expect("fixture analysis succeeds")
+    analyze(&files, policy, &names).expect("fixture analysis succeeds")
+}
+
+fn analyze_fixture(src: &str, shard: &[&str], proto: &[&str], merge: &[&str]) -> Analysis {
+    let mut policy = Policy::default();
+    policy.graph.shard_entries = shard.iter().map(|s| s.to_string()).collect();
+    policy.graph.protocol_entries = proto.iter().map(|s| s.to_string()).collect();
+    policy.graph.merge_entries = merge.iter().map(|s| s.to_string()).collect();
+    analyze_policy_fixture(src, &policy)
 }
 
 fn assert_graph_triple(rule: &str, entry: &[&str], violation: &str, clean: &str, suppressed: &str) {
@@ -213,6 +218,169 @@ fn d008_float_accumulation_on_merge_paths() {
         include_str!("fixtures/d008_violation.rs"),
         include_str!("fixtures/d008_clean.rs"),
         include_str!("fixtures/d008_suppressed.rs"),
+    );
+}
+
+// ---------------------------------------------------------------------
+// Dataflow rules (D009–D012): same triple shape, rooted at the
+// `[dataflow]` entry sets. `flow_rule` says whether the finding must
+// carry intraprocedural def-use evidence (D010/D011) or is a reachable
+// hazard with a call chain only (D009/D012).
+
+fn analyze_dataflow_fixture(src: &str, step: &[&str], time: &[&str], hot: &[&str]) -> Analysis {
+    let mut policy = Policy::default();
+    policy.dataflow.step_entries = step.iter().map(|s| s.to_string()).collect();
+    policy.dataflow.time_entries = time.iter().map(|s| s.to_string()).collect();
+    policy.dataflow.hot_entries = hot.iter().map(|s| s.to_string()).collect();
+    analyze_policy_fixture(src, &policy)
+}
+
+fn assert_dataflow_triple(
+    rule: &str,
+    entry: &[&str],
+    violation: &str,
+    clean: &str,
+    suppressed: &str,
+) {
+    let pick = |r: &str| -> (Vec<&str>, Vec<&str>, Vec<&str>) {
+        match r {
+            "D009" | "D010" => (entry.to_vec(), Vec::new(), Vec::new()),
+            "D011" => (Vec::new(), entry.to_vec(), Vec::new()),
+            _ => (Vec::new(), Vec::new(), entry.to_vec()),
+        }
+    };
+    let (s, t, h) = pick(rule);
+    let flow_rule = matches!(rule, "D010" | "D011");
+
+    let v = analyze_dataflow_fixture(violation, &s, &t, &h).report;
+    assert!(
+        !v.findings.is_empty(),
+        "{rule}: violation fixture produced no findings"
+    );
+    assert!(
+        v.findings.iter().all(|f| f.rule == rule),
+        "{rule}: violation fixture tripped other rules: {:?}",
+        v.findings
+    );
+    assert!(
+        v.findings
+            .iter()
+            .all(|f| !f.chain.is_empty()
+                && f.chain[0].contains(entry[0].rsplit("::").next().unwrap())),
+        "{rule}: finding lacks a chain rooted at the entry: {:?}",
+        v.findings
+    );
+    assert!(
+        v.findings.iter().all(|f| f.flow.is_empty() != flow_rule),
+        "{rule}: def-use flow evidence mismatch (expected flow: {flow_rule}): {:?}",
+        v.findings
+    );
+
+    let c = analyze_dataflow_fixture(clean, &s, &t, &h).report;
+    assert!(
+        c.findings.is_empty(),
+        "{rule}: clean fixture produced findings: {:?}",
+        c.findings
+    );
+
+    let sup = analyze_dataflow_fixture(suppressed, &s, &t, &h).report;
+    assert!(
+        sup.findings.is_empty(),
+        "{rule}: suppressed fixture still has findings: {:?}",
+        sup.findings
+    );
+    assert!(
+        sup.suppressed.iter().any(|x| x.rule == rule),
+        "{rule}: suppressed fixture recorded no {rule} suppression: {:?}",
+        sup.suppressed
+    );
+}
+
+#[test]
+fn d009_blocking_in_event_step() {
+    assert_dataflow_triple(
+        "D009",
+        &["fixture_lib::on_event"],
+        include_str!("fixtures/d009_violation.rs"),
+        include_str!("fixtures/d009_clean.rs"),
+        include_str!("fixtures/d009_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d010_rng_confinement() {
+    assert_dataflow_triple(
+        "D010",
+        &["fixture_lib::on_event"],
+        include_str!("fixtures/d010_violation.rs"),
+        include_str!("fixtures/d010_clean.rs"),
+        include_str!("fixtures/d010_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d011_raw_time_into_deadline() {
+    assert_dataflow_triple(
+        "D011",
+        &["fixture_lib::emit"],
+        include_str!("fixtures/d011_violation.rs"),
+        include_str!("fixtures/d011_clean.rs"),
+        include_str!("fixtures/d011_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d012_hot_path_allocation() {
+    assert_dataflow_triple(
+        "D012",
+        &["fixture_lib::observe"],
+        include_str!("fixtures/d012_violation.rs"),
+        include_str!("fixtures/d012_clean.rs"),
+        include_str!("fixtures/d012_suppressed.rs"),
+    );
+}
+
+/// D011 findings narrate the whole def-use path: the tainted binding,
+/// then the sink, in source order.
+#[test]
+fn d011_flow_reports_every_step() {
+    let report = analyze_dataflow_fixture(
+        include_str!("fixtures/d011_violation.rs"),
+        &[],
+        &["fixture_lib::emit"],
+        &[],
+    )
+    .report;
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "D011");
+    assert_eq!(f.flow.len(), 2, "flow should have two steps: {:?}", f.flow);
+    assert!(f.flow[0].contains("`delay`"), "{:?}", f.flow);
+    assert!(
+        f.flow[1].contains("`schedule_after` deadline argument"),
+        "{:?}",
+        f.flow
+    );
+}
+
+#[test]
+fn stale_dataflow_entry_is_a_configuration_error() {
+    let mut policy = Policy::default();
+    policy.dataflow.hot_entries = vec!["fixture_lib::renamed_or_removed".to_string()];
+    let files = vec![LoadedFile {
+        file: SourceFile {
+            crate_key: "fixture".to_string(),
+            rel_path: "src/lib.rs".to_string(),
+            display_path: "crates/fixture/src/lib.rs".to_string(),
+            abs_path: PathBuf::new(),
+        },
+        src: include_str!("fixtures/d012_clean.rs").to_string(),
+    }];
+    let mut names = BTreeMap::new();
+    names.insert("fixture".to_string(), "fixture_lib".to_string());
+    let err = analyze(&files, &policy, &names).expect_err("stale entry must be rejected");
+    assert!(
+        err.contains("renamed_or_removed") && err.contains("hot_entries"),
+        "error should name the stale entry and its set: {err}"
     );
 }
 
@@ -447,6 +615,12 @@ fn workspace_lints_clean() {
             && !policy.graph.merge_entries.is_empty(),
         "the workspace policy must keep the interprocedural rules rooted"
     );
+    assert!(
+        !policy.dataflow.step_entries.is_empty()
+            && !policy.dataflow.time_entries.is_empty()
+            && !policy.dataflow.hot_entries.is_empty(),
+        "the workspace policy must keep the dataflow rules rooted"
+    );
     let report = lint_workspace(&root, &policy).expect("workspace lints");
     assert!(
         report.clean(),
@@ -479,9 +653,14 @@ fn callgraph_and_report_are_byte_deterministic() {
         ga.contains("\"edges\"") && ga.contains("\"nodes\""),
         "callgraph export lost its sections"
     );
+    let ra = doe_lint::report::json(&a.report);
     assert_eq!(
-        doe_lint::report::json(&a.report),
+        ra,
         doe_lint::report::json(&b.report),
         "doe-lint.json is not byte-stable across runs"
+    );
+    assert!(
+        ra.contains("\"version\": 3"),
+        "report schema should be v3 (with per-finding flow evidence)"
     );
 }

@@ -68,23 +68,45 @@ done
 rm -rf results/stub1 results/stub8
 echo "    stub-scale report + telemetry identical across shard counts"
 
-echo "==> doe-lint (determinism contract, interprocedural)"
-# One pass archives both artifacts; a second pass re-derives the call
-# graph so the gate catches any nondeterminism in the analyzer itself.
+echo "==> doe-lint (determinism contract, interprocedural + dataflow)"
+# One pass archives both artifacts; a second pass re-derives them so the
+# gate catches any nondeterminism in the analyzer itself. A stale entry
+# in lint.toml (renamed function, dropped rule root) is a hard error
+# inside the run, so the D006–D012 roots cannot rot silently.
 cargo run -q --release -p doe-lint --offline -- \
     --json-out results/doe-lint.json --graph-out results/callgraph.json
 cargo run -q --release -p doe-lint --offline -- \
-    --quiet --graph-out results/callgraph.second.json
+    --quiet --json-out results/doe-lint.second.json \
+    --graph-out results/callgraph.second.json
 cmp results/callgraph.json results/callgraph.second.json || {
     echo "FAIL: callgraph.json differs between two doe-lint runs" >&2
     exit 1
 }
-rm -f results/callgraph.second.json
+cmp results/doe-lint.json results/doe-lint.second.json || {
+    echo "FAIL: doe-lint.json differs between two doe-lint runs" >&2
+    exit 1
+}
+rm -f results/callgraph.second.json results/doe-lint.second.json
 grep -q '"rule": "D006"\|"shard_entries"\|"nodes"' results/callgraph.json || {
     echo "FAIL: results/callgraph.json lost its node section" >&2
     exit 1
 }
-echo "    doe-lint.json + callgraph.json archived, graph byte-stable"
+grep -q '"version": 3' results/doe-lint.json || {
+    echo "FAIL: results/doe-lint.json is not schema v3 (per-finding flow)" >&2
+    exit 1
+}
+grep -q '"clean": true' results/doe-lint.json || {
+    echo "FAIL: doe-lint reports unsuppressed findings" >&2
+    exit 1
+}
+# The dataflow rules (D009-D012) must stay rooted in lint.toml.
+for roots in step_entries time_entries hot_entries; do
+    grep -q "^$roots = \[" lint.toml || {
+        echo "FAIL: lint.toml [dataflow] lost its $roots roots" >&2
+        exit 1
+    }
+done
+echo "    doe-lint.json (v3) + callgraph.json archived, both byte-stable"
 
 echo "==> cargo fmt --check"
 cargo fmt --check
