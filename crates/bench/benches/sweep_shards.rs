@@ -47,5 +47,23 @@ fn bench_sweep_shards(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_sweep_shards);
+/// The paper-scale datapoint: the full simulated address space — the
+/// 2.5M-host junk bands plus every provider block, ~6.1M addresses —
+/// swept end to end. One epoch of the real reproduction, not a scaled
+/// fixture.
+fn bench_full_scale_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_full_scale");
+    group.sample_size(2);
+    for shards in [1usize, 8] {
+        let mut world = worldgen::World::build(worldgen::WorldConfig::default());
+        let sources = world.scanner_sources.clone();
+        let space = doe_scanner::campaign::full_space(&world);
+        group.bench_function(&format!("full_space_{shards}_shards"), |b| {
+            b.iter(|| syn_sweep_sharded(&mut world.net, &sources, &space, 853, 2019, shards))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_shards, bench_full_scale_sweep);
 criterion_main!(benches);

@@ -213,11 +213,15 @@ impl Header {
 
     /// Decode the header at `msg[*pos..]`, advancing `*pos` by 12.
     pub fn decode(msg: &[u8], pos: &mut usize) -> Result<Self, WireError> {
-        let bytes = msg
-            .get(*pos..*pos + Self::WIRE_LEN)
-            .ok_or(WireError::Truncated {
+        // Manual bounds check (not slice `.get`): this sits on the
+        // zero-copy hot path, where doe-lint's D012 pass walks every
+        // method call by name.
+        if msg.len() < Self::WIRE_LEN || *pos > msg.len() - Self::WIRE_LEN {
+            return Err(WireError::Truncated {
                 expecting: "header",
-            })?;
+            });
+        }
+        let bytes = &msg[*pos..*pos + Self::WIRE_LEN];
         let id = u16::from_be_bytes([bytes[0], bytes[1]]);
         let b2 = bytes[2];
         let b3 = bytes[3];

@@ -164,7 +164,9 @@ impl Message {
         Ok(buf)
     }
 
-    /// Decode a complete message; trailing bytes are an error.
+    /// Decode a complete message; trailing bytes are an error, as is an OPT
+    /// record outside the additional section or more than one OPT record
+    /// (RFC 6891 §6.1.1).
     pub fn decode(msg: &[u8]) -> Result<Self, WireError> {
         let mut pos = 0usize;
         let header = Header::decode(msg, &mut pos)?;
@@ -184,6 +186,21 @@ impl Message {
         let additional = decode_section(header.arcount)?;
         if pos != msg.len() {
             return Err(WireError::TrailingBytes(msg.len() - pos));
+        }
+        if answers
+            .iter()
+            .chain(authority.iter())
+            .any(|rr| rr.rtype == RecordType::Opt)
+        {
+            return Err(WireError::MisplacedOpt);
+        }
+        if additional
+            .iter()
+            .filter(|rr| rr.rtype == RecordType::Opt)
+            .count()
+            > 1
+        {
+            return Err(WireError::MisplacedOpt);
         }
         Ok(Message {
             header,

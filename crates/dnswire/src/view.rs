@@ -1,0 +1,758 @@
+//! Zero-copy borrowed views over DNS wire messages.
+//!
+//! [`MessageView::parse`] validates an entire message in one pass — the same
+//! checks, in the same order, as [`Message::decode`](crate::Message::decode) —
+//! but builds no owned values: names stay as offsets into the input buffer and
+//! are resolved lazily through [`NameRef`], compression pointers included.
+//! After a successful parse, the section iterators and RDATA accessors are
+//! infallible and allocation-free, which is what lets the scanner classify
+//! millions of DoT responses per epoch without touching the heap.
+//!
+//! The view layer deliberately avoids slice combinators and `Option`-returning
+//! std helpers on the parse path; every bound is checked with explicit
+//! comparisons so the allocation-freedom proof (doe-lint D012, rooted at the
+//! entry points below) has a small, auditable call tree.
+
+use crate::error::WireError;
+use crate::header::{Header, Rcode};
+use crate::rr::{RecordClass, RecordType};
+use crate::MAX_NAME_LEN;
+use std::net::Ipv4Addr;
+
+/// Big-endian u16 at `at`. Callers must have bounds-checked `at + 2`.
+#[inline]
+fn be16(msg: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([msg[at], msg[at + 1]])
+}
+
+/// Walk a (possibly compressed) name without materialising labels.
+///
+/// Mirrors [`Name::decode`](crate::Name::decode) exactly: same truncation
+/// points, same `BadPointer` rule (targets must precede the cursor), same
+/// 64-jump `PointerLoop` limit and 255-octet `NameTooLong` cap. On success
+/// `*pos` is advanced past the inline representation.
+fn skip_name(msg: &[u8], pos: &mut usize) -> Result<(), WireError> {
+    let mut total = 1usize;
+    let mut cursor = *pos;
+    let mut jumped = false;
+    let mut jumps = 0u32;
+    let mut end_of_inline = *pos;
+
+    loop {
+        if cursor >= msg.len() {
+            return Err(WireError::Truncated {
+                expecting: "name label length",
+            });
+        }
+        let len_byte = msg[cursor];
+        match len_byte & 0b1100_0000 {
+            0b0000_0000 => {
+                if len_byte == 0 {
+                    if !jumped {
+                        end_of_inline = cursor + 1;
+                    }
+                    break;
+                }
+                let len = len_byte as usize;
+                let end = cursor + 1 + len;
+                if end > msg.len() {
+                    return Err(WireError::Truncated {
+                        expecting: "name label",
+                    });
+                }
+                total += 1 + len;
+                if total > MAX_NAME_LEN {
+                    return Err(WireError::NameTooLong(total));
+                }
+                cursor = end;
+                if !jumped {
+                    end_of_inline = cursor;
+                }
+            }
+            0b1100_0000 => {
+                if cursor + 1 >= msg.len() {
+                    return Err(WireError::Truncated {
+                        expecting: "pointer low byte",
+                    });
+                }
+                let second = msg[cursor + 1];
+                let target = (((len_byte & 0b0011_1111) as u16) << 8) | second as u16;
+                if (target as usize) >= cursor {
+                    return Err(WireError::BadPointer(target));
+                }
+                jumps += 1;
+                if jumps > 64 {
+                    return Err(WireError::PointerLoop);
+                }
+                if !jumped {
+                    end_of_inline = cursor + 2;
+                    jumped = true;
+                }
+                cursor = target as usize;
+            }
+            other => return Err(WireError::BadLabelType(other)),
+        }
+    }
+    *pos = end_of_inline;
+    Ok(())
+}
+
+/// Validate RDATA of `rtype` at `msg[start..start+len]` without decoding it.
+///
+/// Reproduces every error path of [`RData::decode`](crate::RData::decode):
+/// fixed-layout length checks for `A`/`AAAA`, exact-consume checks for the
+/// name-bearing types, TXT segment truncation, and the `Truncated { "rdata" }`
+/// bounds check that precedes them all.
+fn check_rdata(msg: &[u8], rtype: RecordType, start: usize, len: usize) -> Result<(), WireError> {
+    let end = start + len;
+    if end > msg.len() {
+        return Err(WireError::Truncated { expecting: "rdata" });
+    }
+    match rtype {
+        RecordType::A => {
+            if len != 4 {
+                return Err(WireError::BadRdataLength {
+                    rtype: rtype.to_u16(),
+                    found: len,
+                });
+            }
+            Ok(())
+        }
+        RecordType::Aaaa => {
+            if len != 16 {
+                return Err(WireError::BadRdataLength {
+                    rtype: rtype.to_u16(),
+                    found: len,
+                });
+            }
+            Ok(())
+        }
+        RecordType::Ns | RecordType::Cname | RecordType::Ptr => {
+            let mut pos = start;
+            skip_name(msg, &mut pos)?;
+            if pos != end {
+                return Err(WireError::BadRdataLength {
+                    rtype: rtype.to_u16(),
+                    found: len,
+                });
+            }
+            Ok(())
+        }
+        RecordType::Soa => {
+            let mut pos = start;
+            skip_name(msg, &mut pos)?;
+            skip_name(msg, &mut pos)?;
+            if pos + 20 > msg.len() {
+                return Err(WireError::Truncated {
+                    expecting: "soa fields",
+                });
+            }
+            pos += 20;
+            if pos != end {
+                return Err(WireError::BadRdataLength {
+                    rtype: rtype.to_u16(),
+                    found: len,
+                });
+            }
+            Ok(())
+        }
+        RecordType::Mx => {
+            if len < 3 {
+                return Err(WireError::BadRdataLength {
+                    rtype: rtype.to_u16(),
+                    found: len,
+                });
+            }
+            let mut pos = start + 2;
+            skip_name(msg, &mut pos)?;
+            if pos != end {
+                return Err(WireError::BadRdataLength {
+                    rtype: rtype.to_u16(),
+                    found: len,
+                });
+            }
+            Ok(())
+        }
+        RecordType::Txt => {
+            let mut i = 0usize;
+            while i < len {
+                let seg_len = msg[start + i] as usize;
+                if i + 1 + seg_len > len {
+                    return Err(WireError::Truncated {
+                        expecting: "txt segment",
+                    });
+                }
+                i += 1 + seg_len;
+            }
+            Ok(())
+        }
+        RecordType::Opt | RecordType::Other(_) => Ok(()),
+    }
+}
+
+/// Walk one resource record, validating name, fixed fields and RDATA.
+/// Returns the record type so the caller can enforce OPT placement.
+fn skip_record(msg: &[u8], pos: &mut usize) -> Result<RecordType, WireError> {
+    skip_name(msg, pos)?;
+    if *pos + 10 > msg.len() {
+        return Err(WireError::Truncated {
+            expecting: "rr fixed fields",
+        });
+    }
+    let rtype = RecordType::from_u16(be16(msg, *pos));
+    let rdlen = be16(msg, *pos + 8) as usize;
+    *pos += 10;
+    check_rdata(msg, rtype, *pos, rdlen)?;
+    *pos += rdlen;
+    Ok(rtype)
+}
+
+/// A domain name as offsets into the message buffer; labels resolve lazily.
+#[derive(Debug, Clone, Copy)]
+pub struct NameRef<'a> {
+    msg: &'a [u8],
+    start: usize,
+}
+
+impl<'a> NameRef<'a> {
+    /// Iterate the raw label bytes, leftmost first, following compression
+    /// pointers. Labels are returned in original case; DNS comparison is
+    /// case-insensitive, so use [`ascii lowercase`](u8::to_ascii_lowercase)
+    /// folding when matching.
+    pub fn label_iter(&self) -> LabelIter<'a> {
+        LabelIter {
+            msg: self.msg,
+            cursor: self.start,
+            jumps: 0,
+        }
+    }
+
+    /// True if this is the root name (single zero octet).
+    pub fn is_root(&self) -> bool {
+        self.start < self.msg.len() && self.msg[self.start] == 0
+    }
+
+    /// Case-insensitive comparison against a presentation-format name such
+    /// as `"probe.example.com"` (trailing dot optional, no escapes).
+    pub fn eq_presentation(&self, mut expect: &str) -> bool {
+        if let Some(stripped) = expect.strip_suffix('.') {
+            expect = stripped;
+        }
+        let mut rest = expect.as_bytes();
+        let mut labels = self.label_iter();
+        loop {
+            match labels.next_label() {
+                Some(label) => {
+                    if rest.is_empty() || rest.len() < label.len() {
+                        return false;
+                    }
+                    let (head, tail) = rest.split_at(label.len());
+                    if !head.eq_ignore_ascii_case(label) {
+                        return false;
+                    }
+                    rest = tail;
+                    match rest.split_first() {
+                        Some((&b'.', after)) => rest = after,
+                        Some(_) => return false,
+                        None => rest = &[],
+                    }
+                }
+                None => return rest.is_empty(),
+            }
+        }
+    }
+
+    /// Materialise an owned [`Name`](crate::Name). Allocates — for reporting
+    /// and tests, never for hot-path classification.
+    pub fn to_name(&self) -> Result<crate::Name, WireError> {
+        let mut pos = self.start;
+        crate::Name::decode(self.msg, &mut pos)
+    }
+}
+
+/// Lazy label iterator for [`NameRef`]; yields raw (original-case) labels.
+#[derive(Debug, Clone, Copy)]
+pub struct LabelIter<'a> {
+    msg: &'a [u8],
+    cursor: usize,
+    jumps: u32,
+}
+
+impl<'a> LabelIter<'a> {
+    /// The next label, or `None` at the root terminator.
+    ///
+    /// The underlying bytes were validated by [`MessageView::parse`], so the
+    /// defensive bound/loop checks here can only trip on a `NameRef` built
+    /// from a different buffer — they yield `None` rather than panicking.
+    pub fn next_label(&mut self) -> Option<&'a [u8]> {
+        loop {
+            if self.cursor >= self.msg.len() || self.jumps > 64 {
+                return None;
+            }
+            let len_byte = self.msg[self.cursor];
+            match len_byte & 0b1100_0000 {
+                0b0000_0000 => {
+                    if len_byte == 0 {
+                        return None;
+                    }
+                    let start = self.cursor + 1;
+                    let end = start + len_byte as usize;
+                    if end > self.msg.len() {
+                        return None;
+                    }
+                    self.cursor = end;
+                    return Some(&self.msg[start..end]);
+                }
+                0b1100_0000 => {
+                    if self.cursor + 1 >= self.msg.len() {
+                        return None;
+                    }
+                    let target = (((len_byte & 0b0011_1111) as usize) << 8)
+                        | self.msg[self.cursor + 1] as usize;
+                    if target >= self.cursor {
+                        return None;
+                    }
+                    self.jumps += 1;
+                    self.cursor = target;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+impl<'a> Iterator for LabelIter<'a> {
+    type Item = &'a [u8];
+
+    fn next(&mut self) -> Option<&'a [u8]> {
+        self.next_label()
+    }
+}
+
+/// One question-section entry, borrowed.
+#[derive(Debug, Clone, Copy)]
+pub struct QuestionView<'a> {
+    /// Queried name.
+    pub qname: NameRef<'a>,
+    /// Queried type.
+    pub qtype: RecordType,
+    /// Queried class.
+    pub qclass: RecordClass,
+}
+
+/// One resource record, borrowed; RDATA stays as a byte range.
+#[derive(Debug, Clone, Copy)]
+pub struct RrView<'a> {
+    msg: &'a [u8],
+    /// Owner name.
+    pub name: NameRef<'a>,
+    /// Record type.
+    pub rtype: RecordType,
+    /// Record class.
+    pub class: RecordClass,
+    /// Time to live, seconds.
+    pub ttl: u32,
+    rdata_start: usize,
+    rdata_len: usize,
+}
+
+impl<'a> RrView<'a> {
+    /// Absolute byte range of the RDATA within the message, as
+    /// `(start, len)` — pair it with [`RData::decode`](crate::RData::decode)
+    /// to materialise an owned value (compression pointers in legacy types
+    /// need the whole message, so a bare slice would not do).
+    pub fn rdata_range(&self) -> (usize, usize) {
+        (self.rdata_start, self.rdata_len)
+    }
+
+    /// The raw RDATA bytes.
+    pub fn rdata_bytes(&self) -> &'a [u8] {
+        let end = self.rdata_start + self.rdata_len;
+        if end <= self.msg.len() {
+            &self.msg[self.rdata_start..end]
+        } else {
+            &[]
+        }
+    }
+
+    /// The IPv4 address for an `A` record, without allocating.
+    pub fn rdata_a(&self) -> Option<Ipv4Addr> {
+        if self.rtype != RecordType::A || self.rdata_len != 4 {
+            return None;
+        }
+        let b = self.rdata_bytes();
+        if b.len() != 4 {
+            return None;
+        }
+        Some(Ipv4Addr::new(b[0], b[1], b[2], b[3]))
+    }
+
+    /// The target name for the name-bearing types (`NS`/`CNAME`/`PTR`).
+    pub fn rdata_name(&self) -> Option<NameRef<'a>> {
+        match self.rtype {
+            RecordType::Ns | RecordType::Cname | RecordType::Ptr => Some(NameRef {
+                msg: self.msg,
+                start: self.rdata_start,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Iterator over the question section.
+#[derive(Debug, Clone, Copy)]
+pub struct QuestionIter<'a> {
+    msg: &'a [u8],
+    pos: usize,
+    remaining: u16,
+}
+
+impl<'a> QuestionIter<'a> {
+    fn step(&mut self) -> Option<QuestionView<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let qname = NameRef {
+            msg: self.msg,
+            start: self.pos,
+        };
+        let mut pos = self.pos;
+        if skip_name(self.msg, &mut pos).is_err() || pos + 4 > self.msg.len() {
+            self.remaining = 0;
+            return None;
+        }
+        let qtype = RecordType::from_u16(be16(self.msg, pos));
+        let qclass = RecordClass::from_u16(be16(self.msg, pos + 2));
+        self.pos = pos + 4;
+        Some(QuestionView {
+            qname,
+            qtype,
+            qclass,
+        })
+    }
+}
+
+impl<'a> Iterator for QuestionIter<'a> {
+    type Item = QuestionView<'a>;
+
+    fn next(&mut self) -> Option<QuestionView<'a>> {
+        self.step()
+    }
+}
+
+/// Iterator over one resource-record section.
+#[derive(Debug, Clone, Copy)]
+pub struct RrIter<'a> {
+    msg: &'a [u8],
+    pos: usize,
+    remaining: u16,
+}
+
+impl<'a> RrIter<'a> {
+    fn step(&mut self) -> Option<RrView<'a>> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let name = NameRef {
+            msg: self.msg,
+            start: self.pos,
+        };
+        let mut pos = self.pos;
+        if skip_name(self.msg, &mut pos).is_err() || pos + 10 > self.msg.len() {
+            self.remaining = 0;
+            return None;
+        }
+        let rtype = RecordType::from_u16(be16(self.msg, pos));
+        let class = RecordClass::from_u16(be16(self.msg, pos + 2));
+        let ttl = u32::from_be_bytes([
+            self.msg[pos + 4],
+            self.msg[pos + 5],
+            self.msg[pos + 6],
+            self.msg[pos + 7],
+        ]);
+        let rdata_len = be16(self.msg, pos + 8) as usize;
+        let rdata_start = pos + 10;
+        if rdata_start + rdata_len > self.msg.len() {
+            self.remaining = 0;
+            return None;
+        }
+        self.pos = rdata_start + rdata_len;
+        Some(RrView {
+            msg: self.msg,
+            name,
+            rtype,
+            class,
+            ttl,
+            rdata_start,
+            rdata_len,
+        })
+    }
+}
+
+impl<'a> Iterator for RrIter<'a> {
+    type Item = RrView<'a>;
+
+    fn next(&mut self) -> Option<RrView<'a>> {
+        self.step()
+    }
+}
+
+/// A borrowed, validated view of a complete DNS message.
+///
+/// Construction via [`MessageView::parse`] performs the full strict
+/// validation of [`Message::decode`](crate::Message::decode) — identical
+/// typed errors on identical inputs — after which every accessor is
+/// allocation-free and panic-free.
+#[derive(Debug, Clone, Copy)]
+pub struct MessageView<'a> {
+    msg: &'a [u8],
+    header: Header,
+    answers_off: usize,
+    authority_off: usize,
+    additional_off: usize,
+}
+
+impl<'a> MessageView<'a> {
+    /// Validate `msg` and build a view. Trailing bytes are an error, exactly
+    /// as in the owned decoder.
+    pub fn parse(msg: &'a [u8]) -> Result<Self, WireError> {
+        let mut pos = 0usize;
+        let header = Header::decode(msg, &mut pos)?;
+        let mut left = header.qdcount;
+        while left > 0 {
+            skip_name(msg, &mut pos)?;
+            if pos + 4 > msg.len() {
+                return Err(WireError::Truncated {
+                    expecting: "question fixed fields",
+                });
+            }
+            pos += 4;
+            left -= 1;
+        }
+        let answers_off = pos;
+        let mut opt_misplaced = false;
+        let mut opt_count = 0u32;
+        left = header.ancount;
+        while left > 0 {
+            if skip_record(msg, &mut pos)? == RecordType::Opt {
+                opt_misplaced = true;
+            }
+            left -= 1;
+        }
+        let authority_off = pos;
+        left = header.nscount;
+        while left > 0 {
+            if skip_record(msg, &mut pos)? == RecordType::Opt {
+                opt_misplaced = true;
+            }
+            left -= 1;
+        }
+        let additional_off = pos;
+        left = header.arcount;
+        while left > 0 {
+            if skip_record(msg, &mut pos)? == RecordType::Opt {
+                opt_count += 1;
+            }
+            left -= 1;
+        }
+        if pos != msg.len() {
+            return Err(WireError::TrailingBytes(msg.len() - pos));
+        }
+        if opt_misplaced || opt_count > 1 {
+            return Err(WireError::MisplacedOpt);
+        }
+        Ok(MessageView {
+            msg,
+            header,
+            answers_off,
+            authority_off,
+            additional_off,
+        })
+    }
+
+    /// The underlying wire bytes.
+    pub fn wire_bytes(&self) -> &'a [u8] {
+        self.msg
+    }
+
+    /// The decoded header (fixed 12 octets; counts as found on the wire).
+    pub fn header(&self) -> &Header {
+        &self.header
+    }
+
+    /// The transaction ID.
+    pub fn id(&self) -> u16 {
+        self.header.id
+    }
+
+    /// The response code.
+    pub fn rcode(&self) -> Rcode {
+        self.header.rcode
+    }
+
+    /// Number of answer records.
+    pub fn answer_count(&self) -> u16 {
+        self.header.ancount
+    }
+
+    /// Iterate the question section.
+    pub fn questions(&self) -> QuestionIter<'a> {
+        QuestionIter {
+            msg: self.msg,
+            pos: Header::WIRE_LEN,
+            remaining: self.header.qdcount,
+        }
+    }
+
+    /// First question, if any — the common single-question case.
+    pub fn first_question(&self) -> Option<QuestionView<'a>> {
+        let mut iter = self.questions();
+        iter.step()
+    }
+
+    /// Iterate the answer section.
+    pub fn answers(&self) -> RrIter<'a> {
+        RrIter {
+            msg: self.msg,
+            pos: self.answers_off,
+            remaining: self.header.ancount,
+        }
+    }
+
+    /// Iterate the authority section.
+    pub fn authority(&self) -> RrIter<'a> {
+        RrIter {
+            msg: self.msg,
+            pos: self.authority_off,
+            remaining: self.header.nscount,
+        }
+    }
+
+    /// Iterate the additional section.
+    pub fn additional(&self) -> RrIter<'a> {
+        RrIter {
+            msg: self.msg,
+            pos: self.additional_off,
+            remaining: self.header.arcount,
+        }
+    }
+
+    /// The first `A` record in the answer section, if any — the scanner's
+    /// correctness check (§3.2: did the resolver return our controlled
+    /// answer?) without materialising the message.
+    pub fn first_a_answer(&self) -> Option<Ipv4Addr> {
+        let mut iter = self.answers();
+        loop {
+            match iter.step() {
+                Some(rr) => {
+                    if let Some(addr) = rr.rdata_a() {
+                        return Some(addr);
+                    }
+                }
+                None => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder;
+    use crate::name::Name;
+    use crate::rr::{RData, ResourceRecord};
+    use crate::Message;
+
+    fn response_fixture() -> Vec<u8> {
+        let q = builder::query(0x1234, "www.example.com", RecordType::A).unwrap();
+        let mut resp = builder::answer(
+            &q,
+            vec![
+                ResourceRecord::new(
+                    Name::parse("www.example.com").unwrap(),
+                    60,
+                    RData::Cname(Name::parse("cdn.example.com").unwrap()),
+                ),
+                ResourceRecord::new(
+                    Name::parse("cdn.example.com").unwrap(),
+                    60,
+                    RData::A(std::net::Ipv4Addr::new(198, 51, 100, 7)),
+                ),
+            ],
+        );
+        resp.authority.push(ResourceRecord::new(
+            Name::parse("example.com").unwrap(),
+            60,
+            RData::Ns(Name::parse("ns1.example.com").unwrap()),
+        ));
+        resp.encode().unwrap()
+    }
+
+    #[test]
+    fn view_matches_owned_decode() {
+        let bytes = response_fixture();
+        let owned = Message::decode(&bytes).unwrap();
+        let view = MessageView::parse(&bytes).unwrap();
+        assert_eq!(view.id(), owned.id());
+        assert_eq!(view.rcode(), owned.rcode());
+        assert_eq!(view.header(), &owned.header);
+        assert_eq!(view.questions().count(), owned.questions.len());
+        assert_eq!(view.answers().count(), owned.answers.len());
+        assert_eq!(view.authority().count(), owned.authority.len());
+        assert_eq!(view.additional().count(), owned.additional.len());
+    }
+
+    #[test]
+    fn compressed_names_resolve_lazily() {
+        let bytes = response_fixture();
+        let view = MessageView::parse(&bytes).unwrap();
+        let second = view.answers().nth(1).unwrap();
+        // The second owner is a bare compression pointer on the wire.
+        assert!(second.name.eq_presentation("cdn.example.com"));
+        assert!(second.name.eq_presentation("CDN.Example.COM."));
+        assert!(!second.name.eq_presentation("cdn.example.net"));
+        assert_eq!(
+            second.name.to_name().unwrap().to_string(),
+            "cdn.example.com."
+        );
+    }
+
+    #[test]
+    fn first_a_answer_skips_cname() {
+        let bytes = response_fixture();
+        let view = MessageView::parse(&bytes).unwrap();
+        assert_eq!(
+            view.first_a_answer(),
+            Some(std::net::Ipv4Addr::new(198, 51, 100, 7))
+        );
+    }
+
+    #[test]
+    fn rdata_name_follows_pointers() {
+        let bytes = response_fixture();
+        let view = MessageView::parse(&bytes).unwrap();
+        let ns = view.authority().next().unwrap();
+        assert_eq!(ns.rtype, RecordType::Ns);
+        assert!(ns.rdata_name().unwrap().eq_presentation("ns1.example.com"));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_like_owned() {
+        let mut bytes = response_fixture();
+        bytes.push(0);
+        assert!(matches!(
+            MessageView::parse(&bytes),
+            Err(WireError::TrailingBytes(1))
+        ));
+    }
+
+    #[test]
+    fn hostile_garbage_never_panics() {
+        let cases: Vec<Vec<u8>> = vec![vec![], vec![0; 5], vec![0xff; 12]];
+        for case in cases {
+            assert!(MessageView::parse(&case).is_err());
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Differential tests: the borrowing [`MessageView`] decoder must agree with
+//! the owned [`Message`] decoder on every input — field-for-field equality on
+//! well-formed messages, and the identical typed [`WireError`] on malformed
+//! ones. Inputs are proptest-generated messages, the same messages with
+//! random byte flips and truncations applied, and raw random byte strings.
+
+use dnswire::view::{MessageView, NameRef};
+use dnswire::{Header, Message, Name, Question, RData, RecordType, ResourceRecord, SoaData};
+use proptest::prelude::*;
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,20}[a-z0-9])?").expect("regex")
+}
+
+fn arb_name() -> impl Strategy<Value = Name> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| Name::parse(&labels.join(".")).expect("labels valid"))
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<[u8; 4]>().prop_map(|b| RData::A(b.into())),
+        any::<[u8; 16]>().prop_map(|b| RData::Aaaa(b.into())),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Ptr),
+        (any::<u16>(), arb_name()).prop_map(|(preference, exchange)| RData::Mx {
+            preference,
+            exchange
+        }),
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 0..3)
+            .prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(
+            |(mname, rname, serial, refresh)| {
+                RData::Soa(SoaData {
+                    mname,
+                    rname,
+                    serial,
+                    refresh,
+                    retry: 900,
+                    expire: 86_400,
+                    minimum: 60,
+                })
+            }
+        ),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        proptest::collection::vec(
+            (arb_name(), any::<u32>(), arb_rdata())
+                .prop_map(|(n, ttl, rd)| ResourceRecord::new(n, ttl, rd)),
+            0..5,
+        ),
+        proptest::collection::vec(
+            (arb_name(), any::<u32>(), arb_rdata())
+                .prop_map(|(n, ttl, rd)| ResourceRecord::new(n, ttl, rd)),
+            0..3,
+        ),
+    )
+        .prop_map(|(id, qname, answers, additional)| {
+            let mut msg = Message::new(Header::new_query(id));
+            msg.questions.push(Question::new(qname, RecordType::A));
+            msg.answers = answers;
+            msg.additional = additional;
+            msg
+        })
+}
+
+/// Owned `Name` vs lazily-resolved `NameRef`: same lowercased labels.
+fn assert_name_eq(owned: &Name, view: NameRef<'_>) {
+    let got: Vec<Vec<u8>> = view.label_iter().map(|l| l.to_ascii_lowercase()).collect();
+    assert_eq!(got.as_slice(), owned.labels(), "name labels disagree");
+    // Presentation comparison only holds for names whose labels survive
+    // `Display` verbatim (byte flips can inject dots or non-graphic bytes,
+    // which render escaped).
+    let presentation_safe = owned.labels().iter().all(|l| {
+        l.iter()
+            .all(|&b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'*')
+    });
+    if presentation_safe {
+        assert!(view.eq_presentation(&owned.to_string()));
+    }
+    assert_eq!(&view.to_name().expect("validated name"), owned);
+}
+
+/// Every field of the owned decode must be observable, equal, through the
+/// view — header, questions, and all three record sections including RDATA.
+fn assert_view_eq(bytes: &[u8], owned: &Message, view: &MessageView<'_>) {
+    assert_eq!(view.header(), &owned.header);
+    assert_eq!(view.id(), owned.id());
+    assert_eq!(view.rcode(), owned.rcode());
+
+    let qs: Vec<_> = view.questions().collect();
+    assert_eq!(qs.len(), owned.questions.len());
+    for (v, o) in qs.iter().zip(owned.questions.iter()) {
+        assert_name_eq(&o.qname, v.qname);
+        assert_eq!(v.qtype, o.qtype);
+        assert_eq!(v.qclass, o.qclass);
+    }
+
+    for (section, owned_rrs) in [
+        (view.answers(), &owned.answers),
+        (view.authority(), &owned.authority),
+        (view.additional(), &owned.additional),
+    ] {
+        let vs: Vec<_> = section.collect();
+        assert_eq!(vs.len(), owned_rrs.len());
+        for (v, o) in vs.iter().zip(owned_rrs.iter()) {
+            assert_name_eq(&o.name, v.name);
+            assert_eq!(v.rtype, o.rtype);
+            assert_eq!(v.class, o.class);
+            assert_eq!(v.ttl, o.ttl);
+            let (start, len) = v.rdata_range();
+            let rdata = RData::decode(bytes, v.rtype, start, len).expect("validated rdata");
+            assert_eq!(&rdata, &o.rdata);
+            if let RData::A(addr) = o.rdata {
+                assert_eq!(v.rdata_a(), Some(addr));
+            }
+        }
+    }
+
+    if let Some(first) = owned.answers.iter().find_map(|rr| match rr.rdata {
+        RData::A(addr) => Some(addr),
+        _ => None,
+    }) {
+        assert_eq!(view.first_a_answer(), Some(first));
+    }
+}
+
+/// Both decoders on the same bytes: Ok/Ok with equal fields, or the exact
+/// same typed error.
+fn assert_decoders_agree(bytes: &[u8]) -> Result<(), TestCaseError> {
+    match (Message::decode(bytes), MessageView::parse(bytes)) {
+        (Ok(owned), Ok(view)) => {
+            assert_view_eq(bytes, &owned, &view);
+            Ok(())
+        }
+        (Err(a), Err(b)) => {
+            prop_assert_eq!(a, b, "decoders disagree on error");
+            Ok(())
+        }
+        (Ok(_), Err(e)) => {
+            prop_assert!(false, "owned accepted, view rejected with {e:?}");
+            Ok(())
+        }
+        (Err(e), Ok(_)) => {
+            prop_assert!(false, "view accepted, owned rejected with {e:?}");
+            Ok(())
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn well_formed_messages_agree_field_for_field(msg in arb_message()) {
+        let bytes = msg.encode().expect("encodable");
+        let owned = Message::decode(&bytes).expect("own decode");
+        let view = MessageView::parse(&bytes).expect("view decode");
+        assert_view_eq(&bytes, &owned, &view);
+    }
+
+    #[test]
+    fn byte_flipped_messages_classify_identically(
+        msg in arb_message(),
+        flips in proptest::collection::vec((any::<u16>(), any::<u8>()), 1..4),
+    ) {
+        let mut bytes = msg.encode().expect("encodable");
+        for (at, val) in flips {
+            let at = at as usize % bytes.len();
+            bytes[at] = val;
+        }
+        assert_decoders_agree(&bytes)?;
+    }
+
+    #[test]
+    fn truncated_messages_classify_identically(
+        msg in arb_message(),
+        keep in any::<u16>(),
+    ) {
+        let mut bytes = msg.encode().expect("encodable");
+        bytes.truncate(keep as usize % (bytes.len() + 1));
+        assert_decoders_agree(&bytes)?;
+    }
+
+    #[test]
+    fn random_bytes_classify_identically(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        assert_decoders_agree(&bytes)?;
+    }
+}

@@ -1,7 +1,7 @@
 //! DNS over HTTPS (RFC 8484): URI templates, GET/POST forms, bootstrap
 //! resolution, Strict-profile-only TLS.
 
-use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo};
+use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo, WireReply};
 use crate::responder::DnsResponder;
 use dnswire::{builder, Message, Rcode, RecordType};
 use httpsim::{base64url_decode, base64url_encode, Request, Response, UriTemplate};
@@ -152,6 +152,21 @@ impl DohClient {
         Ok(reply)
     }
 
+    /// One-shot query on a fresh session, returning the raw DNS payload
+    /// (see [`DohSession::query_wire`]).
+    pub fn query_once_wire(
+        &mut self,
+        net: &mut Network,
+        src: Ipv4Addr,
+        query: &Message,
+    ) -> Result<WireReply, QueryError> {
+        let mut session = self.session(net, src)?;
+        let mut reply = session.query_wire(net, query)?;
+        reply.latency = session.take_elapsed();
+        session.close(net);
+        Ok(reply)
+    }
+
     /// Drop the cached bootstrap address (e.g. to re-resolve).
     pub fn clear_bootstrap(&mut self) {
         self.bootstrap_cache = None;
@@ -173,6 +188,31 @@ pub struct DohSession {
 impl DohSession {
     /// Send one query.
     pub fn query(&mut self, net: &mut Network, query: &Message) -> Result<QueryReply, QueryError> {
+        let reply = self.query_wire(net, query)?;
+        let message = Message::decode(&reply.frame)?;
+        Ok(QueryReply {
+            message,
+            latency: reply.latency,
+            transport: TransportInfo {
+                protocol: DnsTransport::Doh,
+                verify: Some(self.stream.verify_result().clone()),
+                resumed: self.stream.resumed(),
+                connection_reused: self.queries_sent > 1,
+            },
+        })
+    }
+
+    /// Send one query, returning the raw DNS payload from the HTTP body
+    /// without decoding it.
+    ///
+    /// The discovery scanner classifies the reply through `dnswire`'s
+    /// borrowing [`MessageView`](dnswire::MessageView) instead of the owned
+    /// decoder, so it only needs the bytes.
+    pub fn query_wire(
+        &mut self,
+        net: &mut Network,
+        query: &Message,
+    ) -> Result<WireReply, QueryError> {
         let wire = query.encode()?;
         let request = match self.method {
             DohMethod::Get => Request::get(&self.template.expand_get(&base64url_encode(&wire)))
@@ -193,17 +233,10 @@ impl DohSession {
                 elapsed: latency,
             });
         }
-        let message = Message::decode(&response.body)?;
         self.queries_sent += 1;
-        Ok(QueryReply {
-            message,
+        Ok(WireReply {
+            frame: response.body,
             latency,
-            transport: TransportInfo {
-                protocol: DnsTransport::Doh,
-                verify: Some(self.stream.verify_result().clone()),
-                resumed: self.stream.resumed(),
-                connection_reused: self.queries_sent > 1,
-            },
         })
     }
 

@@ -1,6 +1,6 @@
 //! DNS over TLS (RFC 7858): port 853, RFC 1035 framing inside TLS.
 
-use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo};
+use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo, WireReply};
 use crate::responder::DnsResponder;
 use dnswire::{frame_message, FrameDecoder, Message};
 use netsim::{Network, SimDuration};
@@ -108,6 +108,35 @@ impl DotSession {
                 resumed: self.stream.resumed(),
                 connection_reused: self.queries_sent > 1,
             },
+        })
+    }
+
+    /// Send pre-framed wire bytes over the session, returning the raw
+    /// response frame without decoding it.
+    ///
+    /// This is the scanner's bulk-probe path: the caller stamps a
+    /// pre-encoded, pre-padded query template (so no per-query message
+    /// build, padding or encode happens here) and classifies the reply
+    /// through `dnswire`'s borrowing [`MessageView`](dnswire::MessageView)
+    /// instead of the owned decoder. Padding must already be baked into
+    /// `framed`; [`Self::query`] remains the convenient owned-message API.
+    pub fn query_wire(
+        &mut self,
+        net: &mut Network,
+        framed: &[u8],
+    ) -> Result<WireReply, QueryError> {
+        let before = self.stream.elapsed();
+        let resp = self.stream.request(net, framed)?;
+        self.decoder.push(&resp);
+        let Some(frame) = self.decoder.next_message() else {
+            return Err(QueryError::Protocol(
+                "no complete DoT response frame".into(),
+            ));
+        };
+        self.queries_sent += 1;
+        Ok(WireReply {
+            frame,
+            latency: self.stream.elapsed() - before,
         })
     }
 

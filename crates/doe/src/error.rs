@@ -76,6 +76,21 @@ pub struct QueryReply {
     pub transport: TransportInfo,
 }
 
+/// Raw reply to a wire-level query: the unparsed response payload.
+///
+/// Produced by the scanners' bulk-probe paths
+/// ([`DotSession::query_wire`](crate::dot::DotSession::query_wire),
+/// [`DohSession::query_wire`](crate::doh::DohSession::query_wire)), which
+/// skip the owned [`Message`] decode so callers can classify replies with
+/// `dnswire`'s borrowing `MessageView` instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReply {
+    /// DNS message bytes (transport framing already stripped).
+    pub frame: Vec<u8>,
+    /// Time charged for this exchange.
+    pub latency: SimDuration,
+}
+
 /// A failed DNS exchange.
 #[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {

@@ -66,7 +66,7 @@ pub mod stub;
 pub use do53::{do53_tcp_query, do53_udp_query, Do53TcpConn, Do53TcpService, Do53UdpService};
 pub use doh::{Bootstrap, DohBackend, DohClient, DohMethod, DohServerService, DohSession};
 pub use dot::{DotClient, DotServerService, DotSession};
-pub use error::{DnsTransport, QueryError, QueryReply, TransportInfo};
+pub use error::{DnsTransport, QueryError, QueryReply, TransportInfo, WireReply};
 pub use machine::{StubMachine, StubMachineStats, StubPacing};
 pub use recursive::{RecursiveConfig, RecursiveResolver, UpstreamMap};
 pub use responder::{

@@ -62,7 +62,7 @@ pub use geo::{Asn, CountryCode, Netblock, Region};
 pub use host::{HostMeta, PeerInfo};
 pub use latency::{LatencyModel, LatencyProfile};
 pub use net::{
-    mix_seed, Conn, ConnectError, ConnectErrorKind, DataPlane, Network, NetworkConfig,
+    mix_seed, Conn, ConnectError, ConnectErrorKind, DataPlane, HostBand, Network, NetworkConfig,
     ProbeOutcome, ShardStats, UdpError, UdpReply,
 };
 pub use policy::{DstMatch, PathDecision, PolicyRule, PolicySet, PortMatch, SrcMatch};

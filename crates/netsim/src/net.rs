@@ -209,6 +209,40 @@ struct HostEntry {
     udp: HashMap<u16, Arc<dyn DatagramService>>,
 }
 
+/// A contiguous band of synthetic hosts sharing one TCP service binding
+/// and one attribution.
+///
+/// Worldgen's junk port-853 population at paper scale is 2–3 million
+/// hosts (§3.1); registering a [`HostEntry`] per host would cost a
+/// `HashMap` node, a `HostMeta` and a service table each. A band stores
+/// the whole range in a few words: membership is a binary search over
+/// band intervals, taken only after the per-host map misses — an
+/// individually registered host always shadows a band covering the same
+/// address.
+#[derive(Clone)]
+pub struct HostBand {
+    /// First address of the band.
+    pub start: Ipv4Addr,
+    /// Number of consecutive addresses covered.
+    pub count: u32,
+    /// Country attributed to every member.
+    pub country: CountryCode,
+    /// AS attributed to every member.
+    pub asn: Asn,
+    /// The single TCP port every member listens on; SYNs to any other
+    /// port are answered with RST (closed), like a real host would.
+    pub port: u16,
+    /// Service answering on that port, shared across the band.
+    pub service: Arc<dyn Service>,
+}
+
+impl HostBand {
+    /// Last address covered, as an integer.
+    fn end_u32(&self) -> u32 {
+        u32::from(self.start) + (self.count - 1)
+    }
+}
+
 /// The read-mostly half of the simulator: hosts, service bindings, geo/AS
 /// attribution and path policies. `Send + Sync`; shard workers share one
 /// instance behind an `Arc`.
@@ -216,16 +250,34 @@ struct HostEntry {
 pub struct DataPlane {
     cfg: NetworkConfig,
     hosts: HashMap<Ipv4Addr, HostEntry>,
+    /// Host bands sorted by start address; disjoint by construction.
+    bands: Vec<HostBand>,
     geodb: GeoDb,
     policies: PolicySet,
 }
 
 impl DataPlane {
+    /// The band covering `ip`, if any (hosts shadow bands — callers check
+    /// `hosts` first).
+    fn band_of(&self, ip: Ipv4Addr) -> Option<&HostBand> {
+        if self.bands.is_empty() {
+            return None;
+        }
+        let v = u32::from(ip);
+        let k = self.bands.partition_point(|b| u32::from(b.start) <= v);
+        let band = &self.bands[k.checked_sub(1)?];
+        (v - u32::from(band.start) < band.count).then_some(band)
+    }
+
     /// Country/AS/region attribution for any address: a registered host's
-    /// metadata wins, then the geo database, then a neutral default.
+    /// metadata wins, then a covering host band, then the geo database,
+    /// then a neutral default.
     pub fn attribution(&self, ip: Ipv4Addr) -> (CountryCode, Asn, Region) {
         if let Some(h) = self.hosts.get(&ip) {
             return (h.meta.country, h.meta.asn, h.meta.region);
+        }
+        if let Some(b) = self.band_of(ip) {
+            return (b.country, b.asn, crate::geo::region_of(b.country));
         }
         if let Some(info) = self.geodb.lookup(ip) {
             return (info.country, info.asn, info.region);
@@ -408,6 +460,7 @@ impl Network {
             plane: Arc::new(DataPlane {
                 cfg,
                 hosts: HashMap::new(),
+                bands: Vec::new(),
                 geodb: GeoDb::new(),
                 policies: PolicySet::new(),
             }),
@@ -663,6 +716,43 @@ impl Network {
         self.plane_mut().hosts.remove(&ip).is_some()
     }
 
+    /// Register a [`HostBand`]: `count` consecutive addresses from
+    /// `start`, all listening on one TCP port with one shared service.
+    /// Individually added hosts shadow band members; bands must be
+    /// disjoint from each other.
+    ///
+    /// # Panics
+    /// Panics on an empty band, a band wrapping the end of the address
+    /// space, or one overlapping an existing band.
+    pub fn add_host_band(&mut self, band: HostBand) {
+        assert!(band.count > 0, "empty host band");
+        let start = u32::from(band.start);
+        let end = start
+            .checked_add(band.count - 1)
+            .expect("host band wraps the address space");
+        let plane = self.plane_mut();
+        for existing in &plane.bands {
+            let (es, ee) = (u32::from(existing.start), existing.end_u32());
+            assert!(
+                end < es || start > ee,
+                "host band {start:#x}+{} overlaps band at {es:#x}",
+                band.count
+            );
+        }
+        plane.bands.push(band);
+        plane.bands.sort_by_key(|b| u32::from(b.start));
+    }
+
+    /// Registered host bands, sorted by start address.
+    pub fn bands(&self) -> &[HostBand] {
+        &self.plane.bands
+    }
+
+    /// Total addresses covered by host bands.
+    pub fn band_host_count(&self) -> u64 {
+        self.plane.bands.iter().map(|b| b.count as u64).sum()
+    }
+
     /// Whether a host is registered at `ip`.
     pub fn has_host(&self, ip: Ipv4Addr) -> bool {
         self.plane.hosts.contains_key(&ip)
@@ -851,25 +941,52 @@ impl Network {
         };
 
         let svc = match self.plane.hosts.get(&effective) {
-            None => {
-                // Unrouted address: SYNs vanish.
-                self.shard
-                    .meter()
-                    .count("net.path.timeout", rule_labels(None), 1);
-                self.charge(timeout);
-                self.shard.log.record(NetEvent {
-                    src,
-                    dst,
-                    port,
-                    elapsed: timeout,
-                    kind: EventKind::Timeout { rule: None },
-                });
-                return Err(ConnectError {
-                    kind: ConnectErrorKind::Timeout,
-                    elapsed: timeout,
-                    rule: diverted_rule,
-                });
-            }
+            None => match self
+                .plane
+                .band_of(effective)
+                .map(|b| (b.port, Arc::clone(&b.service)))
+            {
+                // A band member accepts on its one bound port…
+                Some((band_port, svc)) if band_port == port => svc,
+                // …answers any other port with RST…
+                Some(_) => {
+                    let rtt = self.sample_rtt(src, effective, port);
+                    let id = self.shard.ids.path_refused;
+                    self.shard.meter().inc(id);
+                    self.charge(rtt);
+                    self.shard.log.record(NetEvent {
+                        src,
+                        dst,
+                        port,
+                        elapsed: rtt,
+                        kind: EventKind::TcpReset { rule: None },
+                    });
+                    return Err(ConnectError {
+                        kind: ConnectErrorKind::Refused,
+                        elapsed: rtt,
+                        rule: diverted_rule,
+                    });
+                }
+                // …and a genuinely unrouted address swallows the SYNs.
+                None => {
+                    self.shard
+                        .meter()
+                        .count("net.path.timeout", rule_labels(None), 1);
+                    self.charge(timeout);
+                    self.shard.log.record(NetEvent {
+                        src,
+                        dst,
+                        port,
+                        elapsed: timeout,
+                        kind: EventKind::Timeout { rule: None },
+                    });
+                    return Err(ConnectError {
+                        kind: ConnectErrorKind::Timeout,
+                        elapsed: timeout,
+                        rule: diverted_rule,
+                    });
+                }
+            },
             Some(entry) => match entry.tcp.get(&port) {
                 None => {
                     let rtt = self.sample_rtt(src, effective, port);
@@ -1093,7 +1210,18 @@ impl Network {
                 PathDecision::DivertTo(actual) => actual,
             };
             match self.plane.hosts.get(&effective) {
-                None => (ProbeOutcome::Filtered, self.plane.cfg.probe_timeout),
+                None => match self.plane.band_of(effective).map(|b| b.port) {
+                    None => (ProbeOutcome::Filtered, self.plane.cfg.probe_timeout),
+                    Some(band_port) => {
+                        let open = band_port == port;
+                        let rtt = self.sample_rtt(src, effective, port);
+                        if open {
+                            (ProbeOutcome::Open, rtt)
+                        } else {
+                            (ProbeOutcome::Closed, rtt)
+                        }
+                    }
+                },
                 Some(entry) => {
                     let open = entry.tcp.contains_key(&port);
                     let rtt = self.sample_rtt(src, effective, port);
@@ -1641,5 +1769,105 @@ mod tests {
         net.reseed(mix_seed(net.base_seed(), 7));
         let (_, b) = net.syn_probe(client, server, 7);
         assert_eq!(a, b);
+    }
+
+    fn band_net(seed: u64) -> (Network, Ipv4Addr) {
+        let (mut net, client, _server) = echo_net(seed);
+        net.add_host_band(HostBand {
+            start: ip("23.0.0.0"),
+            count: 1 << 18,
+            country: CountryCode::new("CN"),
+            asn: Asn(64610),
+            port: 853,
+            service: Arc::new(FnStreamService::new(
+                |_ctx, _peer, _data: &[u8]| b"SSH-2.0-dropbear_2017.75\r\n".to_vec(),
+                "junk-banner",
+            )),
+        });
+        (net, client)
+    }
+
+    #[test]
+    fn band_members_share_attribution() {
+        let (net, _client) = band_net(30);
+        for addr in ["23.0.0.0", "23.1.2.3", "23.3.255.255"] {
+            let (country, asn, _region) = net.plane().attribution(ip(addr));
+            assert_eq!(country, CountryCode::new("CN"), "{addr}");
+            assert_eq!(asn, Asn(64610), "{addr}");
+        }
+        // One past the band: falls through to the default attribution.
+        let (country, asn, _region) = net.plane().attribution(ip("23.4.0.0"));
+        assert_eq!(country, CountryCode::new("US"));
+        assert_eq!(asn, Asn(0));
+        assert_eq!(net.band_host_count(), 1 << 18);
+    }
+
+    #[test]
+    fn band_syn_probe_open_closed_filtered() {
+        let (mut net, client) = band_net(31);
+        let member = ip("23.2.0.77");
+        let (outcome, _) = net.syn_probe(client, member, 853);
+        assert_eq!(outcome, ProbeOutcome::Open);
+        let (outcome, _) = net.syn_probe(client, member, 443);
+        assert_eq!(outcome, ProbeOutcome::Closed);
+        let (outcome, _) = net.syn_probe(client, ip("23.4.0.0"), 853);
+        assert_eq!(outcome, ProbeOutcome::Filtered);
+    }
+
+    #[test]
+    fn band_connect_reaches_shared_service() {
+        let (mut net, client) = band_net(32);
+        let mut conn = net.connect(client, ip("23.0.1.2"), 853).unwrap();
+        let resp = conn.request(&mut net, b"anything").unwrap();
+        assert_eq!(resp, b"SSH-2.0-dropbear_2017.75\r\n");
+        conn.close(&mut net);
+
+        let err = net.connect(client, ip("23.0.1.2"), 443).unwrap_err();
+        assert_eq!(err.kind, ConnectErrorKind::Refused);
+        assert!(err.elapsed < net.config().default_timeout);
+
+        let err = net.connect(client, ip("23.4.0.0"), 853).unwrap_err();
+        assert_eq!(err.kind, ConnectErrorKind::Timeout);
+    }
+
+    #[test]
+    fn registered_host_shadows_band_member() {
+        let (mut net, client) = band_net(33);
+        let shadowed = ip("23.1.0.9");
+        net.add_host(HostMeta::new(shadowed).country("JP").asn(64999));
+        net.bind_tcp(
+            shadowed,
+            4444,
+            Arc::new(FnStreamService::new(
+                |_ctx, _peer, data: &[u8]| data.to_vec(),
+                "echo",
+            )),
+        );
+        let (country, asn, _region) = net.plane().attribution(shadowed);
+        assert_eq!(country, CountryCode::new("JP"));
+        assert_eq!(asn, Asn(64999));
+        // The host's own port table wins: 853 is closed here even though
+        // the surrounding band answers it.
+        let (outcome, _) = net.syn_probe(client, shadowed, 853);
+        assert_eq!(outcome, ProbeOutcome::Closed);
+        let (outcome, _) = net.syn_probe(client, shadowed, 4444);
+        assert_eq!(outcome, ProbeOutcome::Open);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_bands_panic() {
+        let (mut net, _client) = band_net(34);
+        net.add_host_band(HostBand {
+            start: ip("23.3.255.255"),
+            count: 2,
+            country: CountryCode::new("DE"),
+            asn: Asn(64611),
+            port: 853,
+            service: Arc::new(FnStreamService::new(
+                |_ctx, _peer, _data: &[u8]| Vec::new(),
+                "junk-silent",
+            )),
+        });
     }
 }

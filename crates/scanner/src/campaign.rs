@@ -1,13 +1,14 @@
 //! The ten-epoch longitudinal scanning campaign (§3.1): every 10 days from
 //! Feb 1 to May 1 2019, sweep the space, verify DoT, classify certificates.
 
+use crate::observation::{CertClass, ObservationTable};
 use crate::sweep::{syn_sweep_sharded, AddressSpace, SweepStats};
-use crate::verify::{verify_resolvers_sharded, DotObservation, VerifyOutcome};
+use crate::verify::verify_resolvers_sharded;
 use netsim::telemetry::Labels;
 use netsim::Netblock;
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
-use tlssim::{CertStatus, DateStamp};
+use tlssim::DateStamp;
 use worldgen::World;
 
 /// Certificate-health histogram (Finding 1.2's buckets).
@@ -58,8 +59,10 @@ pub struct EpochSummary {
     pub wrong_answer_resolvers: Vec<Ipv4Addr>,
     /// Open resolvers that appear in the public DoT list.
     pub in_public_list: usize,
-    /// Full per-resolver observations.
-    pub observations: Vec<DotObservation>,
+    /// Full per-resolver observations, packed columnar (SoA) — at paper
+    /// scale an epoch verifies 2–3M candidates, so boxing each one is not
+    /// an option.
+    pub observations: ObservationTable,
 }
 
 impl EpochSummary {
@@ -161,6 +164,13 @@ pub fn compact_space(world: &World) -> AddressSpace {
     for r in &world.deployment.dot_resolvers {
         blocks.insert(Netblock::slash24(r.addr));
     }
+    // Junk port-853 hosts live in shared host bands, invisible to
+    // `host_ips`. A full band is millions of addresses; the compact
+    // space samples the first /24 of each so debug-scale campaigns
+    // still see the open-but-not-DoT population's classification mix.
+    for band in world.net.bands() {
+        blocks.insert(Netblock::slash24(band.start));
+    }
     AddressSpace::new(blocks.into_iter().collect())
 }
 
@@ -220,28 +230,24 @@ pub fn scan_epoch_sharded(
     let mut in_public = 0usize;
     let public: BTreeSet<Ipv4Addr> = world.deployment.public_dot_list.iter().copied().collect();
 
-    for obs in &observations {
-        if obs.outcome != VerifyOutcome::OpenResolver {
+    for obs in observations.rows() {
+        if !obs.is_open_resolver() {
             continue;
         }
         let (country, _asn, _region) = world.net.attribution(obs.addr);
         *by_country.entry(country.as_str().to_string()).or_default() += 1;
-        if let Some(provider) = &obs.provider {
-            *by_provider.entry(provider.clone()).or_default() += 1;
-            let invalid = obs
-                .cert_status
-                .as_ref()
-                .map(|s| s.is_invalid())
-                .unwrap_or(false);
-            let entry = provider_invalid.entry(provider.clone()).or_default();
+        if let Some(provider) = obs.provider {
+            *by_provider.entry(provider.to_string()).or_default() += 1;
+            let invalid = obs.cert.map(CertClass::is_invalid).unwrap_or(false);
+            let entry = provider_invalid.entry(provider.to_string()).or_default();
             *entry = *entry || invalid;
         }
-        match &obs.cert_status {
-            Some(CertStatus::Valid) => certs.valid += 1,
-            Some(CertStatus::Expired) => certs.expired += 1,
-            Some(CertStatus::SelfSigned) => certs.self_signed += 1,
-            Some(CertStatus::InvalidChain) => certs.broken_chain += 1,
-            Some(CertStatus::UntrustedCa { .. }) => certs.untrusted_ca += 1,
+        match obs.cert {
+            Some(CertClass::Valid) => certs.valid += 1,
+            Some(CertClass::Expired) => certs.expired += 1,
+            Some(CertClass::SelfSigned) => certs.self_signed += 1,
+            Some(CertClass::InvalidChain) => certs.broken_chain += 1,
+            Some(CertClass::UntrustedCa) => certs.untrusted_ca += 1,
             None => {}
         }
         if obs.answer_correct == Some(false) {
@@ -256,7 +262,7 @@ pub fn scan_epoch_sharded(
         epoch,
         date,
         stats: sweep.stats,
-        open_resolvers: observations.iter().filter(|o| o.is_open_resolver()).count(),
+        open_resolvers: observations.open_resolvers(),
         single_address_providers: by_provider.values().filter(|&&n| n == 1).count(),
         providers_with_invalid: provider_invalid.values().filter(|&&v| v).count(),
         by_country,

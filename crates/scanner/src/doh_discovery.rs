@@ -2,6 +2,7 @@
 //! grep for common DoH paths → validate candidates with real DoH queries
 //! → deduplicate into services → compare against the public list.
 
+use dnswire::view::MessageView;
 use dnswire::{builder, Rcode, RecordType};
 use doe_protocols::{Bootstrap, DohClient, DohMethod};
 use httpsim::uri::COMMON_DOH_PATHS;
@@ -101,22 +102,24 @@ pub fn discover_doh(
         let span = Span::begin(net.charged().as_micros());
         let reply = builder::query(crate::txid(i), &qname, RecordType::A)
             .ok()
-            .and_then(|q| client.query_once(net, source, &q).ok());
+            .and_then(|q| client.query_once_wire(net, source, &q).ok());
         let elapsed = span.elapsed_us(net.charged().as_micros());
         net.metrics_mut().observe(probe_us, elapsed);
-        let works = reply.is_some();
+        // The raw HTTP body is classified through the borrowing view —
+        // a body that fails wire validation does not count as DoH, which
+        // is exactly what the owned decode inside `query_once` enforced.
+        let view = reply
+            .as_ref()
+            .and_then(|reply| MessageView::parse(&reply.frame).ok());
+        let works = view.is_some();
         if works {
             net.metrics_mut()
                 .count("stage.doh_discovery.works", Labels::empty(), 1);
         }
-        let correct = reply
-            .map(|reply| {
-                reply.message.rcode() == Rcode::NoError
-                    && reply
-                        .message
-                        .answers
-                        .iter()
-                        .any(|rr| matches!(&rr.rdata, dnswire::RData::A(a) if *a == expected_a))
+        let correct = view
+            .map(|view| {
+                view.rcode() == Rcode::NoError
+                    && view.answers().any(|rr| rr.rdata_a() == Some(expected_a))
             })
             .unwrap_or(false);
         if works {

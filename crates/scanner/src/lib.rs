@@ -31,6 +31,7 @@ pub(crate) fn txid(i: usize) -> u16 {
 }
 
 pub mod doh_discovery;
+pub mod observation;
 pub mod permutation;
 pub mod provider;
 pub mod sweep;
@@ -39,7 +40,10 @@ pub mod verify;
 pub use atlas::{local_resolver_probe, AtlasReport};
 pub use campaign::{run_campaign, run_campaign_sharded, CampaignReport, EpochSummary};
 pub use doh_discovery::{discover_doh, DohDiscoveryReport, DohObservation};
+pub use observation::{CertClass, ObservationRow, ObservationTable};
 pub use permutation::{PermutationShard, RandomPermutation};
 pub use provider::provider_key;
 pub use sweep::{syn_sweep, syn_sweep_sharded, AddressSpace, SweepResult, SweepStats};
-pub use verify::{verify_resolvers, verify_resolvers_sharded, DotObservation, VerifyOutcome};
+pub use verify::{
+    verify_resolvers, verify_resolvers_sharded, DotObservation, ProbeTemplate, VerifyOutcome,
+};

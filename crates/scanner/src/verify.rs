@@ -1,13 +1,27 @@
 //! Application-layer verification of port-853-open hosts: the getdns-style
 //! DoT probe, certificate collection and answer validation.
+//!
+//! This is the campaign's hot path — a full-scale epoch verifies 2–3M
+//! candidates — so the probe is built once per epoch as a [`ProbeTemplate`]
+//! (pre-encoded, pre-padded, pre-framed; per-candidate stamping only), the
+//! reply is classified through `dnswire`'s borrowing
+//! [`MessageView`](dnswire::MessageView) without an owned decode, and the
+//! results are packed into a columnar
+//! [`ObservationTable`](crate::observation::ObservationTable).
 
+use crate::observation::{CertClass, ObservationTable};
 use crate::provider::provider_key;
-use dnswire::{builder, Rcode, RecordType};
+use dnswire::view::MessageView;
+use dnswire::{builder, frame_message, Rcode, RecordType, WireError};
 use doe_protocols::dot::DotClient;
 use netsim::telemetry::{Labels, Span};
 use netsim::{mix_seed, Network};
 use std::net::Ipv4Addr;
 use tlssim::{classify_chain, CertStatus, Certificate, DateStamp, TlsClientConfig, TrustStore};
+
+/// EDNS padding block applied to probe queries (RFC 8467 policy, matches
+/// [`DotClient`]'s default).
+const PAD_BLOCK: usize = 128;
 
 /// Stable label value for a verification outcome class.
 fn outcome_class(outcome: &VerifyOutcome) -> &'static str {
@@ -17,17 +31,6 @@ fn outcome_class(outcome: &VerifyOutcome) -> &'static str {
         VerifyOutcome::NotDns => "not_dns",
         VerifyOutcome::NotTls => "not_tls",
         VerifyOutcome::ConnectFailed => "connect_failed",
-    }
-}
-
-/// Stable label value for a certificate classification.
-fn cert_class(status: &CertStatus) -> &'static str {
-    match status {
-        CertStatus::Valid => "valid",
-        CertStatus::Expired => "expired",
-        CertStatus::SelfSigned => "self_signed",
-        CertStatus::InvalidChain => "invalid_chain",
-        CertStatus::UntrustedCa { .. } => "untrusted_ca",
     }
 }
 
@@ -43,7 +46,7 @@ fn fnv1a(s: &str) -> u64 {
 }
 
 /// What the verification probe concluded about one open-853 host.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum VerifyOutcome {
     /// A genuine open DoT resolver: answered our query with NOERROR.
     OpenResolver,
@@ -58,6 +61,9 @@ pub enum VerifyOutcome {
 }
 
 /// Full observation for one host.
+///
+/// This is the transient, per-probe result; the campaign stores the packed
+/// [`ObservationTable`] instead (which drops the `chain`).
 #[derive(Debug, Clone)]
 pub struct DotObservation {
     /// The probed address.
@@ -82,25 +88,78 @@ impl DotObservation {
     }
 }
 
-/// Probe one candidate: TLS session, unique query, chain classification.
-/// `i` is the candidate's global index — it fixes the query name/id and
-/// the per-probe seed so the observation is independent of shard layout.
-#[allow(clippy::too_many_arguments)]
+/// A pre-built DoT probe frame, stamped per candidate.
+///
+/// Built once per epoch: the query for candidate 0 under the probe apex is
+/// encoded, padded to [`PAD_BLOCK`] and length-framed; per candidate only
+/// the transaction ID and the eight fixed-width qname digits are
+/// overwritten in place. Every candidate's frame therefore has identical
+/// length, and the hot loop never touches the message builder.
+#[derive(Debug, Clone)]
+pub struct ProbeTemplate {
+    frame: Vec<u8>,
+    /// Offset of the 8-digit candidate index inside the frame: 2-byte
+    /// length prefix + 12-byte header + label length byte + `s` +
+    /// epoch tag + `x`.
+    digits_at: usize,
+}
+
+impl ProbeTemplate {
+    /// Width of the zero-padded candidate index in the qname.
+    const DIGITS: usize = 8;
+
+    /// Build the template frame for one epoch.
+    pub fn build(epoch_tag: &str, probe_apex: &str) -> Result<Self, WireError> {
+        let qname = format!(
+            "s{epoch_tag}x{:0width$}.{probe_apex}",
+            0,
+            width = Self::DIGITS
+        );
+        let mut query = builder::query(0, &qname, RecordType::A)?;
+        query.pad_to_block(PAD_BLOCK)?;
+        let frame = frame_message(&query.encode()?)?;
+        Ok(ProbeTemplate {
+            frame,
+            digits_at: 2 + 12 + 1 + 1 + epoch_tag.len() + 1,
+        })
+    }
+
+    /// The framed template bytes (clone one buffer per shard to stamp).
+    pub fn frame(&self) -> &[u8] {
+        &self.frame
+    }
+
+    /// Stamp candidate `i`'s transaction ID and qname digits into `frame`
+    /// (a copy of [`ProbeTemplate::frame`]).
+    pub fn stamp(&self, frame: &mut [u8], i: usize) {
+        debug_assert_eq!(frame.len(), self.frame.len());
+        let txid = crate::txid(i).to_be_bytes();
+        frame[2] = txid[0];
+        frame[3] = txid[1];
+        let mut n = i;
+        for d in (0..Self::DIGITS).rev() {
+            frame[self.digits_at + d] = b'0' + u8::try_from(n % 10).expect("digit < 10");
+            n /= 10;
+        }
+        debug_assert_eq!(n, 0, "candidate index exceeds {} digits", Self::DIGITS);
+    }
+}
+
+/// Probe one candidate: TLS session, stamped query frame, chain
+/// classification. The reply is parsed with the borrowing [`MessageView`];
+/// a reply that fails the (owned-equivalent) wire validation classifies as
+/// [`VerifyOutcome::NotDns`], exactly like the owned decoder's error did.
 fn verify_one(
     net: &mut Network,
     source: Ipv4Addr,
     addr: Ipv4Addr,
-    i: usize,
-    probe_apex: &str,
+    frame: &[u8],
     expected_a: Ipv4Addr,
     store: &TrustStore,
     now: DateStamp,
-    epoch_tag: &str,
-) -> Option<DotObservation> {
+) -> DotObservation {
     let mut dot = DotClient::new(TlsClientConfig::no_verify(now));
-    let qname = format!("s{epoch_tag}x{i}.{probe_apex}");
-    let query = builder::query(crate::txid(i), &qname, RecordType::A).ok()?;
-    let observation = match dot.session(net, source, addr, None) {
+    match dot.session(net, source, addr, None) {
         Err(e) => DotObservation {
             addr,
             outcome: if matches!(
@@ -120,17 +179,15 @@ fn verify_one(
             let chain = session.server_chain().to_vec();
             let cert_status = Some(classify_chain(&chain, store, now));
             let provider = chain.first().map(|leaf| provider_key(&leaf.subject_cn));
-            let (outcome, answer_correct) = match session.query(net, &query) {
-                Ok(reply) if reply.message.rcode() == Rcode::NoError => {
-                    let got: Option<Ipv4Addr> =
-                        reply.message.answers.iter().find_map(|rr| match &rr.rdata {
-                            dnswire::RData::A(a) => Some(*a),
-                            _ => None,
-                        });
-                    let correct = got == Some(expected_a);
-                    (VerifyOutcome::OpenResolver, Some(correct))
-                }
-                Ok(reply) => (VerifyOutcome::AnsweredError(reply.message.rcode()), None),
+            let (outcome, answer_correct) = match session.query_wire(net, frame) {
+                Ok(reply) => match MessageView::parse(&reply.frame) {
+                    Ok(view) if view.rcode() == Rcode::NoError => {
+                        let correct = view.first_a_answer() == Some(expected_a);
+                        (VerifyOutcome::OpenResolver, Some(correct))
+                    }
+                    Ok(view) => (VerifyOutcome::AnsweredError(view.rcode()), None),
+                    Err(_) => (VerifyOutcome::NotDns, None),
+                },
                 Err(doe_protocols::QueryError::Tls(_)) => (VerifyOutcome::NotTls, None),
                 Err(_) => (VerifyOutcome::NotDns, None),
             };
@@ -144,8 +201,7 @@ fn verify_one(
                 answer_correct,
             }
         }
-    };
-    Some(observation)
+    }
 }
 
 /// Probe every open-853 address with a DoT query for a unique name under
@@ -167,29 +223,29 @@ pub fn verify_resolvers(
     store: &TrustStore,
     now: DateStamp,
     epoch_tag: &str,
-) -> Vec<DotObservation> {
+) -> ObservationTable {
     verify_resolvers_sharded(
         net, sources, candidates, probe_apex, expected_a, store, now, epoch_tag, 1,
     )
 }
 
 /// One shard's verification pass over the candidates it owns
-/// (`i ≡ shard (mod shards)`), keyed by global candidate index.
+/// (`i ≡ shard (mod shards)`), in increasing candidate order.
 #[allow(clippy::too_many_arguments)]
 fn verify_shard(
     worker: &mut Network,
     sources: &[Ipv4Addr],
     candidates: &[Ipv4Addr],
-    probe_apex: &str,
+    template: &ProbeTemplate,
     expected_a: Ipv4Addr,
     store: &TrustStore,
     now: DateStamp,
-    epoch_tag: &str,
     shard: usize,
     shards: usize,
     epoch_salt: u64,
-) -> Vec<(usize, DotObservation)> {
-    let mut out = Vec::new();
+) -> ObservationTable {
+    let mut table = ObservationTable::with_capacity(candidates.len().div_ceil(shards));
+    let mut frame = template.frame().to_vec();
     let session_us = worker
         .metrics_mut()
         .histogram("stage.verify.session_us", Labels::empty());
@@ -197,45 +253,35 @@ fn verify_shard(
         // Per-candidate reseed keyed on the global index, so the session's
         // randomness (and thus the observation) is shard-layout invariant.
         worker.reseed(mix_seed(epoch_salt, i as u64));
+        template.stamp(&mut frame, i);
         let src = sources[i % sources.len()];
         let span = Span::begin(worker.charged().as_micros());
-        if let Some(obs) = verify_one(
-            worker,
-            src,
-            candidates[i],
-            i,
-            probe_apex,
-            expected_a,
-            store,
-            now,
-            epoch_tag,
-        ) {
-            let elapsed = span.elapsed_us(worker.charged().as_micros());
-            let metrics = worker.metrics_mut();
-            metrics.observe(session_us, elapsed);
+        let obs = verify_one(worker, src, candidates[i], &frame, expected_a, store, now);
+        let elapsed = span.elapsed_us(worker.charged().as_micros());
+        let metrics = worker.metrics_mut();
+        metrics.observe(session_us, elapsed);
+        metrics.count(
+            "stage.verify.outcome",
+            Labels::one("class", outcome_class(&obs.outcome)),
+            1,
+        );
+        if let Some(status) = &obs.cert_status {
             metrics.count(
-                "stage.verify.outcome",
-                Labels::one("class", outcome_class(&obs.outcome)),
+                "stage.verify.cert",
+                Labels::one("status", CertClass::of(status).label()),
                 1,
             );
-            if let Some(status) = &obs.cert_status {
-                metrics.count(
-                    "stage.verify.cert",
-                    Labels::one("status", cert_class(status)),
-                    1,
-                );
-            }
-            out.push((i, obs));
         }
+        table.push(&obs);
     }
-    out
+    table
 }
 
 /// Run resolver verification split across `shards` worker threads.
 ///
 /// Candidate `i` goes to shard `i mod shards`, keeps its global query
 /// name/id, and draws per-candidate randomness from the campaign seed —
-/// so the merged observation list is identical for every shard count.
+/// so the merged observation table is identical for every shard count.
 /// Worker clocks, counters and logs are absorbed into `net` after the
 /// join.
 #[allow(clippy::too_many_arguments)]
@@ -249,49 +295,49 @@ pub fn verify_resolvers_sharded(
     now: DateStamp,
     epoch_tag: &str,
     shards: usize,
-) -> Vec<DotObservation> {
+) -> ObservationTable {
     assert!(!sources.is_empty(), "need at least one probe source");
     let shards = shards.max(1);
     if candidates.is_empty() {
-        return Vec::new();
+        return ObservationTable::new();
     }
+    let template = ProbeTemplate::build(epoch_tag, probe_apex).expect("probe template encodes");
     let epoch_salt = net.base_seed() ^ fnv1a(epoch_tag);
-    let mut outputs: Vec<(Network, Vec<(usize, DotObservation)>)> = if shards == 1 {
+    let mut outputs: Vec<(Network, ObservationTable)> = if shards == 1 {
         let mut worker = net.fork_shard(0);
-        let obs = verify_shard(
+        let table = verify_shard(
             &mut worker,
             sources,
             candidates,
-            probe_apex,
+            &template,
             expected_a,
             store,
             now,
-            epoch_tag,
             0,
             1,
             epoch_salt,
         );
-        vec![(worker, obs)]
+        vec![(worker, table)]
     } else {
         crossbeam::scope(|scope| {
+            let template = &template;
             let handles: Vec<_> = (0..shards)
                 .map(|s| {
                     let mut worker = net.fork_shard(s as u64);
                     scope.spawn(move || {
-                        let obs = verify_shard(
+                        let table = verify_shard(
                             &mut worker,
                             sources,
                             candidates,
-                            probe_apex,
+                            template,
                             expected_a,
                             store,
                             now,
-                            epoch_tag,
                             s,
                             shards,
                             epoch_salt,
                         );
-                        (worker, obs)
+                        (worker, table)
                     })
                 })
                 .collect();
@@ -302,20 +348,19 @@ pub fn verify_resolvers_sharded(
         })
         .expect("verify scope panicked")
     };
-    let mut tagged: Vec<(usize, DotObservation)> = Vec::with_capacity(candidates.len());
-    for (worker, obs) in outputs.drain(..) {
+    let mut tables: Vec<ObservationTable> = Vec::with_capacity(outputs.len());
+    for (worker, table) in outputs.drain(..) {
         net.absorb_shard(worker);
-        tagged.extend(obs);
+        tables.push(table);
     }
-    tagged.sort_by_key(|&(i, _)| i);
-    tagged.into_iter().map(|(_, obs)| obs).collect()
+    ObservationTable::merge_striped(&tables)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use dnswire::zone::Zone;
-    use dnswire::{Name, RData};
+    use dnswire::{Message, Name, RData};
     use doe_protocols::responder::{AuthoritativeServer, RefusingResponder};
     use doe_protocols::DotServerService;
     use netsim::service::FnStreamService;
@@ -399,7 +444,7 @@ mod tests {
         }
     }
 
-    fn run(f: &mut Fixture, addrs: &[&str]) -> Vec<DotObservation> {
+    fn run(f: &mut Fixture, addrs: &[&str]) -> ObservationTable {
         let candidates: Vec<Ipv4Addr> = addrs.iter().map(|s| s.parse().unwrap()).collect();
         verify_resolvers(
             &mut f.net,
@@ -417,22 +462,47 @@ mod tests {
     fn classifies_open_refusing_and_junk() {
         let mut f = fixture();
         let obs = run(&mut f, &["10.0.0.1", "10.0.0.2", "10.0.0.3"]);
-        assert_eq!(obs[0].outcome, VerifyOutcome::OpenResolver);
-        assert_eq!(obs[0].cert_status, Some(CertStatus::Valid));
-        assert_eq!(obs[0].provider.as_deref(), Some("goodprov.net"));
-        assert_eq!(obs[0].answer_correct, Some(true));
-        assert_eq!(obs[1].outcome, VerifyOutcome::AnsweredError(Rcode::Refused));
-        assert_eq!(obs[1].cert_status, Some(CertStatus::SelfSigned));
-        assert_eq!(obs[1].provider.as_deref(), Some("FGT60D000"));
-        assert!(!obs[1].is_open_resolver());
-        assert!(matches!(obs[2].outcome, VerifyOutcome::NotTls));
+        assert_eq!(obs.row(0).outcome, VerifyOutcome::OpenResolver);
+        assert_eq!(obs.row(0).cert, Some(CertClass::Valid));
+        assert_eq!(obs.row(0).provider, Some("goodprov.net"));
+        assert_eq!(obs.row(0).answer_correct, Some(true));
+        assert_eq!(
+            obs.row(1).outcome,
+            VerifyOutcome::AnsweredError(Rcode::Refused)
+        );
+        assert_eq!(obs.row(1).cert, Some(CertClass::SelfSigned));
+        assert_eq!(obs.row(1).provider, Some("FGT60D000"));
+        assert!(!obs.row(1).is_open_resolver());
+        assert!(matches!(obs.row(2).outcome, VerifyOutcome::NotTls));
+        assert_eq!(obs.open_resolvers(), 1);
     }
 
     #[test]
     fn dead_address_is_connect_failed() {
         let mut f = fixture();
         let obs = run(&mut f, &["10.0.9.9"]);
-        assert_eq!(obs[0].outcome, VerifyOutcome::ConnectFailed);
-        assert!(obs[0].cert_status.is_none());
+        assert_eq!(obs.row(0).outcome, VerifyOutcome::ConnectFailed);
+        assert!(obs.row(0).cert.is_none());
+    }
+
+    #[test]
+    fn probe_template_stamps_a_decodable_query() {
+        let template = ProbeTemplate::build("e7", "probe.example").expect("template");
+        let mut frame = template.frame().to_vec();
+        for &i in &[0usize, 1, 99, 1_234_567, 99_999_999] {
+            template.stamp(&mut frame, i);
+            // Strip the 2-byte length prefix; the rest must be a valid,
+            // padded query for the stamped name with the stamped id.
+            let msg = Message::decode(&frame[2..]).expect("stamped frame decodes");
+            assert_eq!(msg.id(), crate::txid(i));
+            assert_eq!(
+                msg.question().expect("one question").qname.to_string(),
+                format!("se7x{i:08}.probe.example.")
+            );
+            assert_eq!((frame.len() - 2) % PAD_BLOCK, 0, "padding preserved");
+            // The view agrees (this is what the hot path relies on).
+            let view = MessageView::parse(&frame[2..]).expect("view parses");
+            assert_eq!(view.id(), crate::txid(i));
+        }
     }
 }

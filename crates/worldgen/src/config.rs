@@ -218,9 +218,10 @@ pub struct WorldConfig {
     /// (Finding 2.3 found 17 of 29,622).
     pub interceptor_clients: u32,
     /// Hosts with port 853 open that are not DoT resolvers, at scale 1.0.
-    /// The paper saw 2-3 million across the whole IPv4 space; the
-    /// simulated space is ~3M addresses, so this keeps the same
-    /// open-but-not-DoT/actual-DoT ratio's *shape* at tractable cost.
+    /// The paper saw 2-3 million across the whole IPv4 space (§3.2,
+    /// Table 3); the full population is simulated — the hosts live in
+    /// shared [`netsim::HostBand`]s, so the count costs bytes per band,
+    /// not per host.
     pub junk_853_hosts: u32,
     /// Noise URLs in the discovery corpus at scale 1.0 (plus decoys and
     /// the 61 genuine DoH URLs).
@@ -256,7 +257,7 @@ impl Default for WorldConfig {
             zhima_total: 85_112,
             perf_subset: 8_257.0 / 29_622.0,
             interceptor_clients: 17,
-            junk_853_hosts: 20_000,
+            junk_853_hosts: 2_500_000,
             corpus_noise_urls: 120_000,
             atlas_probes: 6_655,
             isp_dot_rate: 24.0 / 6_655.0,

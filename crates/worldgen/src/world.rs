@@ -59,6 +59,38 @@ struct ResolverBundle {
 }
 
 /// The fully-built world. See the crate docs for contents.
+/// Address stride between junk-host country bands: a /14 (262,144
+/// addresses) holds each country's tenth of the paper-scale 2–3M
+/// population with headroom.
+const JUNK_BAND_STRIDE: u32 = 1 << 18;
+
+/// Base of the junk-band region. 23.0.0.0 is free in the simulated
+/// plan: provider servers live in 5.0.0.0/8, clients in 64.0.0.0/4 and
+/// the anchor addresses are scattered well away from it.
+const JUNK_BAND_BASE: Ipv4Addr = Ipv4Addr::new(23, 0, 0, 0);
+
+/// First address of junk country band `c`.
+fn junk_band_start(c: usize) -> Ipv4Addr {
+    Ipv4Addr::from(u32::from(JUNK_BAND_BASE) + c as u32 * JUNK_BAND_STRIDE)
+}
+
+/// Exact CIDR cover of `count` consecutive addresses from `start`:
+/// greedy largest-aligned-block decomposition, so a band of any size
+/// enters the scan space without padding it with unrouted addresses.
+fn cover_blocks(start: Ipv4Addr, count: u32) -> Vec<Netblock> {
+    let mut blocks = Vec::new();
+    let mut cur = u32::from(start);
+    let mut left = count;
+    while left > 0 {
+        let align = if cur == 0 { 31 } else { cur.trailing_zeros() };
+        let bits = align.min(31 - left.leading_zeros());
+        blocks.push(Netblock::new(Ipv4Addr::from(cur), (32 - bits) as u8));
+        cur += 1 << bits;
+        left -= 1 << bits;
+    }
+    blocks
+}
+
 pub struct World {
     /// The simulated internet.
     pub net: Network,
@@ -494,21 +526,33 @@ impl World {
         };
 
         // ---- Junk port-853 hosts -------------------------------------------
-        let mut server_alloc = server_alloc;
+        // The paper's headline sweep surprise: 2–3 million hosts accept
+        // TCP/853 yet speak no DNS (§3.2, Table 3). At that scale a
+        // registered host per address would dominate world-build time and
+        // memory, so each country's share lives in one [`netsim::HostBand`]
+        // — a contiguous range sharing a country, an AS and a service.
+        //
+        // The bands reproduce the old per-host loop exactly: the loop
+        // round-robined countries by `i % 10` and services by `i % 2`, and
+        // with an even country count that makes every host of country `c`
+        // carry parity `c % 2` — so a whole band answers with a garbage
+        // banner (even index) or silence (odd index), both of which the
+        // scanner classifies as not-TLS.
         let junk = config.scaled(config.junk_853_hosts, 50);
         let junk_countries = ["US", "DE", "CN", "FR", "RU", "BR", "JP", "GB", "NL", "IE"];
-        for i in 0..junk {
-            let country =
-                netsim::CountryCode::new(junk_countries[(i as usize) % junk_countries.len()]);
-            let addr = server_alloc.alloc(country);
-            net.add_host(
-                HostMeta::new(addr)
-                    .country(country.as_str())
-                    .asn(server_alloc.asn(country).0)
-                    .label("junk-853"),
+        let n_countries = junk_countries.len() as u32;
+        for (c, name) in junk_countries.iter().enumerate() {
+            // The old round-robin gave country `c` one extra host when
+            // `junk` was not a multiple of ten.
+            let count = junk / n_countries + u32::from((c as u32) < junk % n_countries);
+            if count == 0 {
+                continue;
+            }
+            assert!(
+                count <= JUNK_BAND_STRIDE,
+                "junk population per country exceeds its /14 band"
             );
-            // Half speak garbage, half never answer the first flight.
-            let svc: Arc<dyn Service> = if i % 2 == 0 {
+            let svc: Arc<dyn Service> = if c % 2 == 0 {
                 Arc::new(FnStreamService::new(
                     |_ctx, _peer, _data: &[u8]| b"SSH-2.0-dropbear_2017.75\r\n".to_vec(),
                     "junk-banner",
@@ -519,7 +563,14 @@ impl World {
                     "junk-silent",
                 ))
             };
-            net.bind_tcp(addr, 853, svc);
+            net.add_host_band(netsim::HostBand {
+                start: junk_band_start(c),
+                count,
+                country: netsim::CountryCode::new(name),
+                asn: netsim::Asn(64_700 + c as u32),
+                port: 853,
+                service: svc,
+            });
         }
 
         // ---- Atlas probes & ISP resolvers ----------------------------------
@@ -652,6 +703,9 @@ impl World {
         }
         for svc in &deployment.doh_services {
             scan_space.push(Netblock::slash24(svc.front));
+        }
+        for band in net.bands() {
+            scan_space.extend(cover_blocks(band.start, band.count));
         }
         scan_space.sort_by_key(|b| (u32::from(b.network()), b.len()));
         scan_space.dedup();

@@ -9,8 +9,7 @@
 //! certificates, groups providers, and greps the URL corpus for DoH.
 
 use doe_scanner::campaign::{compact_space, scan_epoch};
-use doe_scanner::discover_doh;
-use tlssim::CertStatus;
+use doe_scanner::{discover_doh, CertClass};
 use worldgen::{World, WorldConfig};
 
 fn main() {
@@ -46,19 +45,19 @@ fn main() {
         println!("  top countries      : {}", top.join("  "));
         // A few concrete certificate findings.
         let mut shown = 0;
-        for obs in &summary.observations {
-            if let Some(status) = &obs.cert_status {
-                if status.is_invalid() && obs.is_open_resolver() && shown < 3 {
+        for obs in summary.observations.rows() {
+            if let Some(class) = obs.cert {
+                if class.is_invalid() && obs.is_open_resolver() && shown < 3 {
                     println!(
                         "  e.g. {} ({}) presents {:?}",
                         obs.addr,
-                        obs.provider.as_deref().unwrap_or("?"),
-                        match status {
-                            CertStatus::Expired => "an expired certificate",
-                            CertStatus::SelfSigned => "a self-signed certificate",
-                            CertStatus::InvalidChain => "a broken chain",
-                            CertStatus::UntrustedCa { .. } => "an untrusted CA",
-                            CertStatus::Valid => unreachable!(),
+                        obs.provider.unwrap_or("?"),
+                        match class {
+                            CertClass::Expired => "an expired certificate",
+                            CertClass::SelfSigned => "a self-signed certificate",
+                            CertClass::InvalidChain => "a broken chain",
+                            CertClass::UntrustedCa => "an untrusted CA",
+                            CertClass::Valid => unreachable!(),
                         }
                     );
                     shown += 1;

@@ -15,6 +15,14 @@ cargo build --release --offline
 echo "==> tier-1: cargo test -q"
 cargo test -q --offline --workspace
 
+echo "==> dnswire: owned-vs-view differential + adversarial corpus"
+# The zero-copy view decoder must accept/reject byte-for-byte like the
+# owned decoder, with the same error variants, on generated messages,
+# mutation fuzz and the pinned adversarial fixtures. The scan hot paths
+# classify replies through the view, so this equivalence is what makes
+# the 2.5M-host sweep trustworthy.
+cargo test -q --offline -p dnswire --test differential --test adversarial
+
 echo "==> telemetry: repro --metrics determinism (shards 1 vs 8)"
 # A small campaign covering every instrumented stage: figure3 drives the
 # sweep + DoT verification, table4 the vantage reachability tests and
@@ -107,6 +115,36 @@ for roots in step_entries time_entries hot_entries; do
     }
 done
 echo "    doe-lint.json (v3) + callgraph.json archived, both byte-stable"
+
+if [[ "${FULL_SCALE:-0}" == "1" ]]; then
+    echo "==> full scale: 2.5M-host sweep determinism (FULL_SCALE=1)"
+    # The paper-scale leg, opt-in because it adds a few minutes: the
+    # ignored shard-invariance test sweeps the full space at shards
+    # 1/2/8, then two complete --paper regenerations of the sweep
+    # experiments must be byte-identical.
+    cargo test -q --offline --release --test shard_invariance -- \
+        --ignored full_scale_sweep
+    for run in a b; do
+        mkdir -p "results/fullscale_$run"
+        cargo run -q --release -p doe-core --bin repro --offline -- \
+            --paper --shards 8 --json "results/fullscale_$run" \
+            figure3 table2 figure4 >"results/fullscale_$run/report.txt"
+    done
+    for f in figure3.json table2.json figure4.json report.txt; do
+        cmp "results/fullscale_a/$f" "results/fullscale_b/$f" || {
+            echo "FAIL: full-scale $f differs between two --paper runs" >&2
+            exit 1
+        }
+    done
+    grep -Eq '"port_open": 2[0-9]{6}' results/fullscale_a/figure3.json || {
+        echo "FAIL: full-scale open count left the paper's 2-3M band" >&2
+        exit 1
+    }
+    rm -rf results/fullscale_a results/fullscale_b
+    echo "    full-scale sweep shard-invariant and byte-stable across runs"
+else
+    echo "==> full scale: skipped (set FULL_SCALE=1 to run the 2.5M-host gate)"
+fi
 
 echo "==> cargo fmt --check"
 cargo fmt --check

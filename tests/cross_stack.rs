@@ -30,7 +30,7 @@ fn scanner_recovers_deployment_ground_truth() {
     // The study's own self-built resolver is also a genuine open DoT
     // service inside the scan space.
     truth.insert(world.self_built.addr);
-    for obs in summary.observations.iter().filter(|o| o.is_open_resolver()) {
+    for obs in summary.observations.rows().filter(|o| o.is_open_resolver()) {
         assert!(
             truth.contains(&obs.addr),
             "scanner hallucinated a resolver at {}",
@@ -46,7 +46,7 @@ fn scanner_recovers_deployment_ground_truth() {
     );
 
     // Provider grouping reconstructs ground-truth provider keys.
-    for obs in summary.observations.iter().filter(|o| o.is_open_resolver()) {
+    for obs in summary.observations.rows().filter(|o| o.is_open_resolver()) {
         let Some(deployed) = world
             .deployment
             .dot_resolvers
@@ -62,7 +62,7 @@ fn scanner_recovers_deployment_ground_truth() {
             worldgen::ResolverBehavior::DotProxy { .. }
         ) {
             assert_eq!(
-                obs.provider.as_deref(),
+                obs.provider,
                 Some(deployed.provider.as_str()),
                 "provider grouping diverged at {}",
                 obs.addr

@@ -122,18 +122,24 @@ fn campaign_is_invariant_across_shard_counts() {
                 a.in_public_list, b.in_public_list,
                 "public-list overlap differs at {shards} shards"
             );
-            // Full per-resolver observation streams agree address-by-address.
+            // Full per-resolver observation tables agree row-by-row; the
+            // SoA tables compare column-for-column (including provider
+            // intern order), so this is bit-identity, not just set equality.
             assert_eq!(a.observations.len(), b.observations.len());
-            for (x, y) in a.observations.iter().zip(b.observations.iter()) {
+            for (x, y) in a.observations.rows().zip(b.observations.rows()) {
                 assert_eq!(
                     x.addr, y.addr,
                     "observation order differs at {shards} shards"
                 );
                 assert_eq!(x.outcome, y.outcome);
-                assert_eq!(x.cert_status, y.cert_status);
+                assert_eq!(x.cert, y.cert);
                 assert_eq!(x.provider, y.provider);
                 assert_eq!(x.answer_correct, y.answer_correct);
             }
+            assert_eq!(
+                a.observations, b.observations,
+                "packed observation columns differ at {shards} shards"
+            );
         }
     }
 }
@@ -205,6 +211,53 @@ fn stub_population_at_one_million_clients_is_invariant() {
         assert_eq!(
             snapshot, ref_snapshot,
             "1M telemetry differs at {shards} shards"
+        );
+    }
+}
+
+/// The paper-scale claim: a full sweep of the simulated IPv4 space finds
+/// the 2–3 million port-853-open hosts of §3.2 and the merged epoch —
+/// sweep stats, discovery order and the packed per-host observation
+/// table — is bit-identical for any worker count. Ignored by default —
+/// run in release mode:
+/// `cargo test --release -- --ignored full_scale_sweep`.
+#[test]
+#[ignore = "2.5M-host sweep; needs --release"]
+fn full_scale_sweep_is_invariant_across_shard_counts() {
+    let run = |shards: usize| {
+        let mut world = World::build(WorldConfig::default());
+        let space = doe_scanner::campaign::full_space(&world);
+        let summary = doe_scanner::campaign::scan_epoch_sharded(&mut world, &space, 0, 1, shards);
+        (space.len(), summary)
+    };
+
+    let (space_len, reference) = run(1);
+    assert!(space_len > 3_000_000, "full space holds {space_len} addrs");
+    assert!(
+        (2_000_000..3_000_000).contains(&reference.stats.open),
+        "open hosts outside the paper's 2-3M band: {}",
+        reference.stats.open
+    );
+    assert_eq!(
+        reference.observations.len() as u64,
+        reference.stats.open,
+        "every open host must be verified"
+    );
+    assert!(reference.open_resolvers > 0);
+
+    for shards in [2usize, 8] {
+        let (_, summary) = run(shards);
+        assert_eq!(
+            summary.stats, reference.stats,
+            "sweep stats differ at {shards} shards"
+        );
+        assert_eq!(
+            summary.open_resolvers, reference.open_resolvers,
+            "open resolvers differ at {shards} shards"
+        );
+        assert_eq!(
+            summary.observations, reference.observations,
+            "full-scale observation table differs at {shards} shards"
         );
     }
 }
