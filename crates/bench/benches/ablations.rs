@@ -107,10 +107,13 @@ fn ablation_padding(c: &mut Criterion) {
     let client = clean_client(&world);
     let resolver = worldgen::providers::anchors::CLOUDFLARE_PRIMARY;
     let store = world.trust_store.clone();
-    for (label, block) in [("padded_128", Some(128usize)), ("unpadded", None)] {
+    for (label, policy) in [
+        ("padded_128", dnswire::PaddingPolicy::rfc8467()),
+        ("unpadded", dnswire::PaddingPolicy::None),
+    ] {
         group.bench_function(label, |b| {
             let mut dot = DotClient::new(TlsClientConfig::opportunistic(store.clone(), now()));
-            dot.padding_block = block;
+            dot.policy = policy;
             let mut session = dot
                 .session(&mut world.net, client.ip, resolver, None)
                 .expect("session");

@@ -1,0 +1,113 @@
+//! Padding-policy benches: the per-flow cost of each countermeasure in
+//! the `padding-leakage` experiment, split into its two halves — the
+//! traffic shapers (deterministic `netsim::sched` event machines run to
+//! quiescence per flow) and the adversary (Damerau edit distance plus
+//! the k-NN vote).
+//!
+//! These put numbers behind EXPERIMENTS.md's overhead table: shaping is
+//! microseconds per flow, so the experiment's cost is dominated by the
+//! O(train × test) distance matrix, not the countermeasures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dnswire::PaddingPolicy;
+use doe_privacy::{knn_classify, sequence_distance, shape_sequence, LabeledTrace};
+use doe_privacy::{MessageSequence, SeqMessage};
+use doe_protocols::tap::TapDirection;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A synthetic but realistically shaped flow: `n` alternating
+/// query/response messages with DoT-like sizes and think-time gaps.
+fn sample_sequence(n: usize, seed: u64) -> MessageSequence {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut seq = MessageSequence::new();
+    for i in 0..n {
+        let up = i % 2 == 0;
+        seq.messages.push(SeqMessage {
+            gap_us: if up {
+                rng.gen_range(2_000..30_000)
+            } else {
+                rng.gen_range(5..40)
+            },
+            dir: if up {
+                TapDirection::Up
+            } else {
+                TapDirection::Down
+            },
+            size: if up {
+                rng.gen_range(30..80)
+            } else {
+                rng.gen_range(80..500)
+            },
+        });
+    }
+    seq
+}
+
+/// One shaper pass per policy over a 12-message flow (6 queries + 6
+/// responses — the experiment's mean flow length).
+fn bench_shape_sequence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("padding_policies_shape");
+    group.sample_size(50);
+    let input = sample_sequence(12, 0xBEEF);
+    for (label, policy) in [
+        ("none", PaddingPolicy::None),
+        ("block_rfc8467", PaddingPolicy::rfc8467()),
+        (
+            "adaptive_padding",
+            PaddingPolicy::AdaptivePadding {
+                burst_gap_us: 4_000,
+                cell: 128,
+            },
+        ),
+        (
+            "constant_rate",
+            PaddingPolicy::ConstantRate {
+                interval_us: 2_000,
+                cell: 128,
+            },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                shape_sequence(policy, &input, 0x5348_4150 ^ i)
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The adversary's inner loop: one Damerau distance between two
+/// size-direction symbol strings, and one full k-NN vote against a
+/// 160-trace training set (the quick config's closed world).
+fn bench_classifier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("padding_policies_classifier");
+    group.sample_size(50);
+    let symbols = |seed: u64, n: usize| -> Vec<u16> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..64u16)).collect()
+    };
+
+    let a = symbols(1, 12);
+    let b_sym = symbols(2, 12);
+    group.bench_function("sequence_distance_12x12", |b| {
+        b.iter(|| sequence_distance(&a, &b_sym))
+    });
+
+    let train: Vec<LabeledTrace> = (0..160)
+        .map(|i| LabeledTrace {
+            domain: i % 20,
+            symbols: symbols(100 + i as u64, 12),
+        })
+        .collect();
+    let sample = symbols(999, 12);
+    group.bench_function("knn_vote_160_train", |b| {
+        b.iter(|| knn_classify(&train, &sample, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_shape_sequence, bench_classifier);
+criterion_main!(benches);

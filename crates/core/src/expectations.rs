@@ -122,6 +122,11 @@ pub fn all_expectations() -> Vec<Expectation> {
             paper: "n/a — engineering leg: the event-driven scheduler interleaves 1M concurrent stub clients in one run",
             shape: "≥1M clients at paper scale; exactly 1/64 of the fleet times out and retransmits; all four event kinds fire; report bit-identical for any --shards",
         },
+        Expectation {
+            id: "padding-leakage",
+            paper: "n/a — §6 recommends RFC 8467 padding; FOCI '20 ('Padding Ain't Enough') shows message sequences still fingerprint destinations",
+            shape: "k-NN ≫ random on unpadded flows; RFC 8467 blocks reduce but do not eliminate accuracy; shaping reduces further at measured bandwidth cost; JSON bit-identical for any --shards",
+        },
     ]
 }
 
@@ -159,10 +164,11 @@ mod tests {
             "local-probe",
             "scandet",
             "stub-scale",
+            "padding-leakage",
         ] {
             assert!(ids.contains(&required), "missing {required}");
         }
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
     }
 
     #[test]

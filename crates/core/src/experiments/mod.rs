@@ -3,6 +3,7 @@
 //! machine-readable JSON payload for EXPERIMENTS.md.
 
 pub mod exp_clients;
+pub mod exp_privacy;
 pub mod exp_protocols;
 pub mod exp_servers;
 pub mod exp_usage;
@@ -37,7 +38,7 @@ impl ExperimentResult {
 }
 
 /// Every experiment id, in report order.
-pub const ALL_EXPERIMENTS: [&str; 21] = [
+pub const ALL_EXPERIMENTS: [&str; 22] = [
     "table1",
     "figure1",
     "figure2",
@@ -59,6 +60,7 @@ pub const ALL_EXPERIMENTS: [&str; 21] = [
     "figure13",
     "scandet",
     "stub-scale",
+    "padding-leakage",
 ];
 
 /// Run one experiment by id.
@@ -85,6 +87,7 @@ pub fn run(study: &mut Study, id: &str) -> Option<ExperimentResult> {
         "figure13" => Some(exp_usage::figure13(study)),
         "scandet" => Some(exp_usage::scandet(study)),
         "stub-scale" => Some(exp_clients::stub_scale(study)),
+        "padding-leakage" => Some(exp_privacy::padding_leakage(study)),
         _ => None,
     }
 }

@@ -1,6 +1,7 @@
 //! The [`Study`]: owns the world and caches the expensive measurement
 //! stages so individual experiments can share them.
 
+use doe_privacy::{privacy_study_sharded, PrivacyConfig, PrivacyReport};
 use doe_scanner::campaign::{self, CampaignReport};
 use doe_traffic::{build_stub_world, StubPopulationConfig, StubPopulationReport};
 use doe_traffic::{
@@ -116,6 +117,7 @@ pub struct Study {
     pdns_360: Option<PassiveDnsDb>,
     pdns_dnsdb: Option<PassiveDnsDb>,
     stub_population: Option<StubPopulationReport>,
+    privacy: Option<PrivacyReport>,
 }
 
 impl Study {
@@ -133,6 +135,7 @@ impl Study {
             pdns_360: None,
             pdns_dnsdb: None,
             stub_population: None,
+            privacy: None,
         }
     }
 
@@ -288,6 +291,35 @@ impl Study {
             self.stub_population = Some(report);
         }
         self.stub_population.as_ref().expect("just computed")
+    }
+
+    /// The padding-leakage privacy experiment: the closed-world
+    /// fingerprinting workload replayed under every padding policy.
+    /// Runs in its own lean world (policy resolvers, wildcard zones) so
+    /// the main world's clock and connection state stay untouched.
+    pub fn privacy(&mut self) -> &PrivacyReport {
+        if self.privacy.is_none() {
+            let cfg = if self.config.scale >= 1.0 {
+                PrivacyConfig::paper()
+            } else {
+                PrivacyConfig::quick()
+            };
+            let mut net = netsim::Network::new(
+                netsim::NetworkConfig {
+                    metrics: self.config.metrics,
+                    ..netsim::NetworkConfig::default()
+                },
+                self.config.seed ^ 0x7061_6464,
+            );
+            let world = doe_privacy::workload::install(&mut net, cfg.domains);
+            let report =
+                privacy_study_sharded(&mut net, &world, &cfg, self.config.effective_shards());
+            if self.config.metrics {
+                self.world.net.metrics_mut().merge(net.metrics());
+            }
+            self.privacy = Some(report);
+        }
+        self.privacy.as_ref().expect("just computed")
     }
 
     /// The 360-PassiveDNS-like feed (§5.3).

@@ -39,7 +39,7 @@ pub mod rr;
 pub mod view;
 pub mod zone;
 
-pub use edns::{EdnsOption, OptRecord};
+pub use edns::{pad_to_block, EdnsOption, OptRecord, PaddingPolicy};
 pub use error::WireError;
 pub use framing::{frame_message, read_framed, FrameDecoder};
 pub use header::{Header, Opcode, Rcode};

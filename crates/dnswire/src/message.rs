@@ -112,17 +112,20 @@ impl Message {
     }
 
     /// Add EDNS padding so the encoded message length is a multiple of
-    /// `block` (RFC 8467 policy). Requires an OPT record to already be
-    /// attached (adds a default one if missing).
+    /// `block` (RFC 8467 policy, sized by [`crate::edns::pad_to_block`]).
+    /// Requires an OPT record to already be attached (adds a default one
+    /// if missing). A message already at an exact block multiple keeps no
+    /// padding option — adding one would overshoot by a whole block.
     pub fn pad_to_block(&mut self, block: usize) -> Result<(), WireError> {
         let mut opt = self.opt().unwrap_or_default();
         opt.options
             .retain(|o| o.code != crate::edns::OPTION_PADDING);
         self.set_opt(opt.clone());
         let unpadded = self.encode()?.len();
-        let pad = OptRecord::padding_for(unpadded, block);
-        opt.options.push(crate::edns::EdnsOption::padding(pad));
-        self.set_opt(opt);
+        if let Some(pad) = OptRecord::padding_for(unpadded, block) {
+            opt.options.push(crate::edns::EdnsOption::padding(pad));
+            self.set_opt(opt);
+        }
         Ok(())
     }
 

@@ -141,6 +141,62 @@ proptest! {
     }
 
     #[test]
+    fn padding_never_shrinks_and_is_minimal(block in 16usize..512, name in arb_name()) {
+        let mut q = Message::new(Header::new_query(1));
+        q.questions.push(Question::new(name, RecordType::A));
+        // Attach the OPT up front so `unpadded` measures exactly what the
+        // padding rule sees (pad_to_block would add a default OPT anyway).
+        q.set_opt(dnswire::OptRecord::default());
+        let unpadded = q.encode().unwrap().len();
+        q.pad_to_block(block).unwrap();
+        let padded = q.encode().unwrap().len();
+        prop_assert!(padded >= unpadded, "padding must never shrink a message");
+        prop_assert_eq!(padded, dnswire::pad_to_block(unpadded, block));
+        // Minimality: at most one block beyond the unpadded size.
+        prop_assert!(padded < unpadded + 4 + block);
+        // Fixed edge: an exact multiple stays put instead of gaining a
+        // whole extra block.
+        if unpadded.is_multiple_of(block) {
+            prop_assert_eq!(padded, unpadded);
+        }
+    }
+
+    #[test]
+    fn padding_option_round_trips(block in 16usize..512, name in arb_name()) {
+        let mut q = Message::new(Header::new_query(1));
+        q.questions.push(Question::new(name, RecordType::A));
+        q.pad_to_block(block).unwrap();
+        let wire = q.encode().unwrap();
+        let back = Message::decode(&wire).unwrap();
+        let sent = q.opt().and_then(|o| o.padding_len());
+        let got = back.opt().and_then(|o| o.padding_len());
+        prop_assert_eq!(got, sent, "padding option must survive a round trip");
+        prop_assert_eq!(back.encode().unwrap().len(), wire.len());
+        // Re-padding an already padded message is a fixed point.
+        let mut again = back;
+        again.pad_to_block(block).unwrap();
+        prop_assert_eq!(again.encode().unwrap().len(), wire.len());
+    }
+
+    #[test]
+    fn policy_padded_queries_hit_their_block(key in any::<u64>(), name in arb_name()) {
+        use dnswire::PaddingPolicy;
+        for policy in [
+            PaddingPolicy::rfc8467(),
+            PaddingPolicy::RandomBlock { query_block: 128, response_block: 468, max_extra: 3 },
+            PaddingPolicy::ConstantRate { interval_us: 5_000, cell: 468 },
+            PaddingPolicy::AdaptivePadding { burst_gap_us: 4_000, cell: 468 },
+        ] {
+            let block = policy.query_block(key).unwrap();
+            let mut q = Message::new(Header::new_query(1));
+            q.questions.push(Question::new(name.clone(), RecordType::A));
+            q.pad_to_block(block).unwrap();
+            prop_assert_eq!(q.encode().unwrap().len() % block, 0);
+        }
+        prop_assert_eq!(PaddingPolicy::None.query_block(key), None);
+    }
+
+    #[test]
     fn error_responses_echo_question(name in arb_name(), id in any::<u16>()) {
         let q = {
             let mut m = Message::new(Header::new_query(id));

@@ -3,7 +3,8 @@
 
 use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo, WireReply};
 use crate::responder::DnsResponder;
-use dnswire::{builder, Message, Rcode, RecordType};
+use crate::tap::{FlowTap, TapDirection};
+use dnswire::{builder, Message, PaddingPolicy, Rcode, RecordType};
 use httpsim::{base64url_decode, base64url_encode, Request, Response, UriTemplate};
 use netsim::{Network, PeerInfo, Service, ServiceCtx, SimDuration, StreamHandler};
 use rand::Rng;
@@ -45,6 +46,11 @@ pub struct DohClient {
     method: DohMethod,
     bootstrap: Bootstrap,
     bootstrap_cache: Option<Ipv4Addr>,
+    /// Query padding policy. Defaults to [`PaddingPolicy::None`]: the
+    /// in-the-wild DoH clients the paper measured did not pad, so the
+    /// discovery and performance legs keep that behavior; the privacy
+    /// experiment opts in per client.
+    pub policy: PaddingPolicy,
 }
 
 impl DohClient {
@@ -66,6 +72,7 @@ impl DohClient {
             method,
             bootstrap,
             bootstrap_cache: None,
+            policy: PaddingPolicy::None,
         }
     }
 
@@ -134,6 +141,8 @@ impl DohClient {
             method: self.method,
             host,
             pending_extra: bootstrap_time,
+            policy: self.policy,
+            tap: None,
             queries_sent: 0,
         })
     }
@@ -182,10 +191,25 @@ pub struct DohSession {
     host: String,
     /// Bootstrap time not yet folded into a query latency.
     pending_extra: SimDuration,
+    policy: PaddingPolicy,
+    tap: Option<FlowTap>,
     queries_sent: u32,
 }
 
 impl DohSession {
+    /// Start recording (offset, direction, padded size) for every DNS
+    /// payload the session moves — the observer model of the privacy
+    /// experiment (HTTP framing overhead is constant per method and
+    /// excluded).
+    pub fn enable_tap(&mut self) {
+        self.tap = Some(FlowTap::new());
+    }
+
+    /// Detach the recorded tap, if one was enabled.
+    pub fn take_tap(&mut self) -> Option<FlowTap> {
+        self.tap.take()
+    }
+
     /// Send one query.
     pub fn query(&mut self, net: &mut Network, query: &Message) -> Result<QueryReply, QueryError> {
         let reply = self.query_wire(net, query)?;
@@ -213,7 +237,16 @@ impl DohSession {
         net: &mut Network,
         query: &Message,
     ) -> Result<WireReply, QueryError> {
-        let wire = query.encode()?;
+        let key = u64::from(query.header.id) | (u64::from(self.queries_sent) << 16);
+        let wire = match self.policy.query_block(key) {
+            Some(block) => {
+                let mut padded = query.clone();
+                padded.pad_to_block(block)?;
+                padded.encode()?
+            }
+            None => query.encode()?,
+        };
+        let up_len = wire.len();
         let request = match self.method {
             DohMethod::Get => Request::get(&self.template.expand_get(&base64url_encode(&wire)))
                 .with_header("Host", &self.host)
@@ -223,6 +256,9 @@ impl DohSession {
                 .with_header("Accept", DNS_MESSAGE_TYPE),
         };
         let before = self.stream.elapsed();
+        if let Some(tap) = self.tap.as_mut() {
+            tap.record(before, TapDirection::Up, up_len);
+        }
         let raw = self.stream.request(net, &request.encode())?;
         let response = Response::decode(&raw)
             .map_err(|e| QueryError::Protocol(format!("bad http response: {e}")))?;
@@ -234,6 +270,13 @@ impl DohSession {
             });
         }
         self.queries_sent += 1;
+        if let Some(tap) = self.tap.as_mut() {
+            tap.record(
+                self.stream.elapsed(),
+                TapDirection::Down,
+                response.body.len(),
+            );
+        }
         Ok(WireReply {
             frame: response.body,
             latency,

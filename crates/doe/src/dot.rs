@@ -2,7 +2,8 @@
 
 use crate::error::{DnsTransport, QueryError, QueryReply, TransportInfo, WireReply};
 use crate::responder::DnsResponder;
-use dnswire::{frame_message, FrameDecoder, Message};
+use crate::tap::{FlowTap, TapDirection};
+use dnswire::{frame_message, FrameDecoder, Message, PaddingPolicy};
 use netsim::{Network, SimDuration};
 use std::net::Ipv4Addr;
 use std::sync::Arc;
@@ -15,9 +16,9 @@ pub const DOT_ALPN: &str = "dot";
 /// Opportunistic) decides what happens on authentication failure.
 pub struct DotClient {
     connector: TlsConnector,
-    /// EDNS padding block size applied to queries (RFC 8467 recommends
-    /// 128-octet blocks); `None` disables padding.
-    pub padding_block: Option<usize>,
+    /// Query padding policy; the default is the RFC 8467 recommendation
+    /// (128-octet query blocks). [`PaddingPolicy::None`] disables padding.
+    pub policy: PaddingPolicy,
 }
 
 impl DotClient {
@@ -26,7 +27,7 @@ impl DotClient {
         config.alpn = vec![DOT_ALPN.to_string()];
         DotClient {
             connector: TlsConnector::new(config),
-            padding_block: Some(128),
+            policy: PaddingPolicy::rfc8467(),
         }
     }
 
@@ -44,7 +45,8 @@ impl DotClient {
         Ok(DotSession {
             stream,
             decoder: FrameDecoder::new(),
-            padding_block: self.padding_block,
+            policy: self.policy,
+            tap: None,
             queries_sent: 0,
         })
     }
@@ -77,19 +79,35 @@ impl DotClient {
 pub struct DotSession {
     stream: TlsStream,
     decoder: FrameDecoder,
-    padding_block: Option<usize>,
+    policy: PaddingPolicy,
+    tap: Option<FlowTap>,
     queries_sent: u32,
 }
 
 impl DotSession {
+    /// Start recording (offset, direction, padded size) for every message
+    /// the session moves — the observer model of the privacy experiment.
+    pub fn enable_tap(&mut self) {
+        self.tap = Some(FlowTap::new());
+    }
+
+    /// Detach the recorded tap, if one was enabled.
+    pub fn take_tap(&mut self) -> Option<FlowTap> {
+        self.tap.take()
+    }
+
     /// Send one query over the session.
     pub fn query(&mut self, net: &mut Network, query: &Message) -> Result<QueryReply, QueryError> {
         let mut query = query.clone();
-        if let Some(block) = self.padding_block {
+        let key = u64::from(query.header.id) | (u64::from(self.queries_sent) << 16);
+        if let Some(block) = self.policy.query_block(key) {
             query.pad_to_block(block)?;
         }
         let framed = frame_message(&query.encode()?)?;
         let before = self.stream.elapsed();
+        if let Some(tap) = self.tap.as_mut() {
+            tap.record(before, TapDirection::Up, framed.len());
+        }
         let resp = self.stream.request(net, &framed)?;
         self.decoder.push(&resp);
         let Some(frame) = self.decoder.next_message() else {
@@ -99,6 +117,10 @@ impl DotSession {
         };
         let message = Message::decode(&frame)?;
         self.queries_sent += 1;
+        if let Some(tap) = self.tap.as_mut() {
+            // The observer sees the response with its 2-byte length prefix.
+            tap.record(self.stream.elapsed(), TapDirection::Down, frame.len() + 2);
+        }
         Ok(QueryReply {
             message,
             latency: self.stream.elapsed() - before,
@@ -126,6 +148,9 @@ impl DotSession {
         framed: &[u8],
     ) -> Result<WireReply, QueryError> {
         let before = self.stream.elapsed();
+        if let Some(tap) = self.tap.as_mut() {
+            tap.record(before, TapDirection::Up, framed.len());
+        }
         let resp = self.stream.request(net, framed)?;
         self.decoder.push(&resp);
         let Some(frame) = self.decoder.next_message() else {
@@ -134,6 +159,9 @@ impl DotSession {
             ));
         };
         self.queries_sent += 1;
+        if let Some(tap) = self.tap.as_mut() {
+            tap.record(self.stream.elapsed(), TapDirection::Down, frame.len() + 2);
+        }
         Ok(WireReply {
             frame,
             latency: self.stream.elapsed() - before,

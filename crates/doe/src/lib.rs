@@ -62,6 +62,7 @@ pub mod machine;
 pub mod recursive;
 pub mod responder;
 pub mod stub;
+pub mod tap;
 
 pub use do53::{do53_tcp_query, do53_udp_query, Do53TcpConn, Do53TcpService, Do53UdpService};
 pub use doh::{Bootstrap, DohBackend, DohClient, DohMethod, DohServerService, DohSession};
@@ -70,9 +71,11 @@ pub use error::{DnsTransport, QueryError, QueryReply, TransportInfo, WireReply};
 pub use machine::{StubMachine, StubMachineStats, StubPacing};
 pub use recursive::{RecursiveConfig, RecursiveResolver, UpstreamMap};
 pub use responder::{
-    AuthoritativeServer, DnsResponder, FixedAnswerResponder, QueryLog, QueryLogEntry,
+    AuthoritativeServer, DnsResponder, FixedAnswerResponder, PaddedResponder, QueryLog,
+    QueryLogEntry,
 };
 pub use stub::{StubConfig, StubProfile, StubResolver};
+pub use tap::{FlowTap, TapDirection, TapMessage};
 
 /// IANA port for DNS over TLS (RFC 7858).
 pub const DOT_PORT: u16 = 853;

@@ -104,6 +104,44 @@ impl DnsResponder for AuthoritativeServer {
     }
 }
 
+/// A responder wrapper that pads the inner responder's answers under a
+/// [`PaddingPolicy`] — server-side RFC 8467 padding, the other half of
+/// the privacy experiment's countermeasure.
+///
+/// Per RFC 7830 §4, a server only pads when the client's query carried a
+/// padding option itself; unpadded clients get byte-identical responses,
+/// so wrapping a shared responder never disturbs the clear-text legs.
+pub struct PaddedResponder {
+    inner: Arc<dyn DnsResponder>,
+    policy: dnswire::PaddingPolicy,
+}
+
+impl PaddedResponder {
+    /// Pad `inner`'s responses under `policy`.
+    pub fn new(inner: Arc<dyn DnsResponder>, policy: dnswire::PaddingPolicy) -> Self {
+        PaddedResponder { inner, policy }
+    }
+}
+
+impl DnsResponder for PaddedResponder {
+    fn respond(&self, ctx: &mut ServiceCtx<'_>, peer: PeerInfo, query: &Message) -> Message {
+        let mut resp = self.inner.respond(ctx, peer, query);
+        let client_padded = query.opt().and_then(|o| o.padding_len()).is_some();
+        if client_padded {
+            let labels = query.question().map(|q| q.qname.label_count()).unwrap_or(0);
+            let key = u64::from(query.header.id) | ((labels as u64) << 16);
+            if let Some(block) = self.policy.response_block(key) {
+                // A response that fails to re-encode is surfaced unpadded;
+                // the transport layer will report the encode error itself.
+                if resp.pad_to_block(block).is_err() {
+                    return resp;
+                }
+            }
+        }
+        resp
+    }
+}
+
 /// A responder that answers every A query with one fixed address —
 /// the behaviour of `dnsfilter.com` resolvers toward non-subscribers
 /// ("constantly resolve arbitrary domain queries to a fixed IP address",

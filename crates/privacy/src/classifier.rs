@@ -1,0 +1,169 @@
+//! The adversary: a k-nearest-neighbour sequence classifier.
+//!
+//! Distance is the Damerau–Levenshtein (optimal string alignment)
+//! distance over the direction/size symbol strings of
+//! [`MessageSequence::symbols`](crate::MessageSequence::symbols) — the
+//! classifier family the FOCI '20 DoH-fingerprinting work found most
+//! effective on short DNS flows. Everything here is integer arithmetic
+//! with total, explicit tie-breaks, so a seeded evaluation is
+//! bit-reproducible.
+
+/// A training trace: the symbol string of one observed flow plus the
+/// ground-truth domain index it belongs to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledTrace {
+    /// Closed-world domain index.
+    pub domain: u32,
+    /// Symbol string (see `MessageSequence::symbols`).
+    pub symbols: Vec<u16>,
+}
+
+/// Damerau–Levenshtein distance (optimal string alignment variant:
+/// insert, delete, substitute, transpose-adjacent, all cost 1) between
+/// two symbol strings.
+pub fn sequence_distance(a: &[u16], b: &[u16]) -> u32 {
+    let (n, m) = (a.len(), b.len());
+    if n == 0 {
+        return m as u32;
+    }
+    if m == 0 {
+        return n as u32;
+    }
+    // Three rolling rows: i-2, i-1, i.
+    let mut prev2 = vec![0u32; m + 1];
+    let mut prev = (0..=m as u32).collect::<Vec<_>>();
+    let mut cur = vec![0u32; m + 1];
+    for i in 1..=n {
+        cur[0] = i as u32;
+        for j in 1..=m {
+            let sub = if a[i - 1] == b[j - 1] { 0 } else { 1 };
+            let mut d = (prev[j] + 1).min(cur[j - 1] + 1).min(prev[j - 1] + sub);
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                d = d.min(prev2[j - 2] + 1);
+            }
+            cur[j] = d;
+        }
+        std::mem::swap(&mut prev2, &mut prev);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[m]
+}
+
+/// Classify one sample against a training set with k-NN majority vote.
+///
+/// Determinism contract: neighbours are ranked by
+/// `(distance, domain, training index)` — a total order — and vote ties
+/// are broken by (smaller summed distance, smaller domain index). The
+/// result depends only on the inputs, never on sort stability or
+/// iteration order.
+pub fn knn_classify(train: &[LabeledTrace], sample: &[u16], k: usize) -> Option<u32> {
+    if train.is_empty() || k == 0 {
+        return None;
+    }
+    let mut ranked: Vec<(u32, u32, usize)> = train
+        .iter()
+        .enumerate()
+        .map(|(idx, t)| (sequence_distance(&t.symbols, sample), t.domain, idx))
+        .collect();
+    ranked.sort_unstable();
+    ranked.truncate(k);
+    // Tally votes over the k nearest: (count desc, summed distance asc,
+    // domain asc). Domains are small dense indices, so a sorted Vec
+    // keyed by domain keeps this hash-free.
+    let mut tally: Vec<(u32, u32, u64)> = Vec::with_capacity(k); // (domain, votes, dist_sum)
+    for &(dist, domain, _) in &ranked {
+        match tally.iter_mut().find(|t| t.0 == domain) {
+            Some(t) => {
+                t.1 += 1;
+                t.2 += u64::from(dist);
+            }
+            None => tally.push((domain, 1, u64::from(dist))),
+        }
+    }
+    tally
+        .into_iter()
+        .min_by_key(|&(domain, votes, dist_sum)| (std::cmp::Reverse(votes), dist_sum, domain))
+        .map(|(domain, _, _)| domain)
+}
+
+/// Closed-world evaluation: classify every test trace, return
+/// `(correct, total)`.
+pub fn evaluate_closed_world(
+    train: &[LabeledTrace],
+    test: &[LabeledTrace],
+    k: usize,
+) -> (u64, u64) {
+    let mut correct = 0u64;
+    for t in test {
+        if knn_classify(train, &t.symbols, k) == Some(t.domain) {
+            correct += 1;
+        }
+    }
+    (correct, test.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_basics() {
+        assert_eq!(sequence_distance(&[], &[]), 0);
+        assert_eq!(sequence_distance(&[1, 2, 3], &[1, 2, 3]), 0);
+        assert_eq!(sequence_distance(&[1, 2, 3], &[]), 3);
+        assert_eq!(sequence_distance(&[1, 2, 3], &[1, 3, 3]), 1); // substitution
+        assert_eq!(sequence_distance(&[1, 2, 3], &[1, 3, 2]), 1); // transposition
+        assert_eq!(sequence_distance(&[1, 2], &[1, 2, 9, 9]), 2); // insertions
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = [5u16, 9, 9, 2, 7];
+        let b = [5u16, 9, 2, 7, 7, 1];
+        assert_eq!(sequence_distance(&a, &b), sequence_distance(&b, &a));
+    }
+
+    #[test]
+    fn knn_recovers_clean_clusters() {
+        let mut train = Vec::new();
+        for rep in 0..3u16 {
+            train.push(LabeledTrace {
+                domain: 0,
+                symbols: vec![10, 20, 10, 20, rep],
+            });
+            train.push(LabeledTrace {
+                domain: 1,
+                symbols: vec![90, 80, 90, 80, 90, 80, rep],
+            });
+        }
+        assert_eq!(knn_classify(&train, &[10, 20, 10, 20, 99], 3), Some(0));
+        assert_eq!(knn_classify(&train, &[90, 80, 90, 80, 90, 80], 3), Some(1));
+    }
+
+    #[test]
+    fn ties_break_to_smallest_domain() {
+        let train = vec![
+            LabeledTrace {
+                domain: 7,
+                symbols: vec![1, 1],
+            },
+            LabeledTrace {
+                domain: 3,
+                symbols: vec![1, 1],
+            },
+        ];
+        // Both neighbours are at distance 0 with one vote each; the
+        // smaller domain index must win, deterministically.
+        assert_eq!(knn_classify(&train, &[1, 1], 2), Some(3));
+    }
+
+    #[test]
+    fn empty_inputs_yield_none() {
+        assert_eq!(knn_classify(&[], &[1], 3), None);
+        let train = vec![LabeledTrace {
+            domain: 0,
+            symbols: vec![1],
+        }];
+        assert_eq!(knn_classify(&train, &[1], 0), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! # doe-privacy — padding policies, traffic shaping and a
+//! sequence-fingerprinting adversary
+//!
+//! The paper's §2.2 motivates DNS encryption with traffic-analysis
+//! resistance, and its §6 recommendation is "pad your queries" (RFC
+//! 8467). This crate asks the follow-up question the FOCI '20 literature
+//! ("Padding Ain't Enough") answered in the negative: *does padding
+//! actually stop an on-path observer from fingerprinting which site a
+//! client resolved?*
+//!
+//! The experiment is staged end to end in simulation:
+//!
+//! * [`sequence`] — the observer model: a [`MessageSequence`] of
+//!   (gap, direction, padded size) triples extracted from a
+//!   [`FlowTap`](doe_protocols::FlowTap) on a DoT/DoH session. Plaintext
+//!   never reaches the adversary; ciphertext lengths and timing do.
+//! * [`shaper`] — countermeasures beyond per-message padding: a
+//!   constant-rate shaper and an adaptive-padding (gap-filling dummy)
+//!   shaper, both deterministic event machines over
+//!   [`netsim::sched::Scheduler`].
+//! * [`classifier`] — the adversary: a k-nearest-neighbour classifier
+//!   over Damerau–Levenshtein distance between size/direction symbol
+//!   strings, evaluated closed-world over per-domain query sequences.
+//! * [`workload`] / [`study`] — the sharded experiment: the same
+//!   per-domain lookup plans replayed under every
+//!   [`PaddingPolicy`](dnswire::PaddingPolicy), then classified, with
+//!   bandwidth and latency overheads measured against the unpadded
+//!   baseline.
+//!
+//! Everything is seeded and shard-invariant: `results/privacy.json` is
+//! byte-identical for any `--shards` split.
+
+pub mod classifier;
+pub mod sequence;
+pub mod shaper;
+pub mod study;
+pub mod workload;
+
+pub use classifier::{evaluate_closed_world, knn_classify, sequence_distance, LabeledTrace};
+pub use sequence::{MessageSequence, SeqMessage};
+pub use shaper::{shape_sequence, ShapedOutcome};
+pub use study::{privacy_study_sharded, PolicyReport, PrivacyConfig, PrivacyReport};

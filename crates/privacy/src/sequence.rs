@@ -1,0 +1,179 @@
+//! The observer model: message sequences as an on-path adversary
+//! records them.
+//!
+//! A [`MessageSequence`] is the unit the FOCI '20 fingerprinting attack
+//! consumes — an ordered list of (inter-message gap, direction, padded
+//! on-wire size) triples for one encrypted DNS session. It is extracted
+//! from a [`FlowTap`] (the exact per-message record a
+//! `DotSession`/`DohSession` keeps when tapped), or coarsely from a
+//! sampled [`FlowRecord`] when only NetFlow-grade evidence exists.
+
+use doe_protocols::{FlowTap, TapDirection};
+use doe_traffic::netflow::FlowRecord;
+
+/// One observed message: how long after the previous one, which way,
+/// how many bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeqMessage {
+    /// Gap since the previous message (µs); 0 for the first.
+    pub gap_us: u64,
+    /// Direction of travel.
+    pub dir: TapDirection,
+    /// Padded on-wire size in bytes.
+    pub size: u32,
+}
+
+/// An ordered message sequence for one flow — the fingerprint unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MessageSequence {
+    /// Messages in observation order.
+    pub messages: Vec<SeqMessage>,
+}
+
+impl MessageSequence {
+    /// An empty sequence.
+    pub fn new() -> Self {
+        MessageSequence::default()
+    }
+
+    /// Extract the sequence from a session tap.
+    ///
+    /// The tap's offsets are session-clock instants; the sequence stores
+    /// the deltas. `think_us` holds the client's think time before each
+    /// *query* (upstream message), in query order — the session clock
+    /// only advances across network operations, so client-side pauses
+    /// must be re-inserted here for the timing channel to be honest.
+    /// Missing entries mean zero think time.
+    pub fn extract(tap: &FlowTap, think_us: &[u64]) -> MessageSequence {
+        let mut messages = Vec::with_capacity(tap.messages.len());
+        let mut prev_offset = 0u64;
+        let mut queries_seen = 0usize;
+        for m in &tap.messages {
+            let offset = m.offset.as_micros();
+            let mut gap = offset.saturating_sub(prev_offset);
+            if m.dir == TapDirection::Up {
+                gap += think_us.get(queries_seen).copied().unwrap_or(0);
+                queries_seen += 1;
+            }
+            messages.push(SeqMessage {
+                gap_us: gap,
+                dir: m.dir,
+                size: m.wire_len,
+            });
+            prev_offset = offset;
+        }
+        MessageSequence { messages }
+    }
+
+    /// Coarse adapter from a sampled flow record: NetFlow evidence has
+    /// no per-message sizes, so the record's byte estimate is spread
+    /// evenly over its sampled packets, all attributed upstream. This is
+    /// the degraded view a §5.1-style passive vantage would feed the
+    /// same classifier.
+    pub fn from_flow_record(record: &FlowRecord) -> MessageSequence {
+        let n = record.sampled_packets.max(1) as u64;
+        let mean = (record.bytes / n).min(u64::from(u32::MAX)) as u32;
+        let messages = (0..n)
+            .map(|_| SeqMessage {
+                gap_us: 0,
+                dir: TapDirection::Up,
+                size: mean,
+            })
+            .collect();
+        MessageSequence { messages }
+    }
+
+    /// Number of messages.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Total bytes moved in both directions.
+    pub fn wire_bytes(&self) -> u64 {
+        self.messages.iter().map(|m| u64::from(m.size)).sum()
+    }
+
+    /// Total duration (sum of gaps) in µs.
+    pub fn duration_us(&self) -> u64 {
+        self.messages.iter().map(|m| m.gap_us).sum()
+    }
+
+    /// The classifier's alphabet: one symbol per message encoding
+    /// direction (high bit) and the size bucketed by `bucket` bytes
+    /// (rounded up, saturating at the 15-bit ceiling). Timing is
+    /// deliberately excluded — the adversary we model is the
+    /// size/direction attack, the strongest one padding claims to
+    /// address.
+    pub fn symbols(&self, bucket: u32) -> Vec<u16> {
+        let bucket = bucket.max(1);
+        self.messages
+            .iter()
+            .map(|m| {
+                let b = m.size.div_ceil(bucket).min(0x7fff) as u16;
+                match m.dir {
+                    TapDirection::Up => 0x8000 | b,
+                    TapDirection::Down => b,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    fn tap() -> FlowTap {
+        let mut t = FlowTap::new();
+        t.record(SimDuration::from_micros(100), TapDirection::Up, 130);
+        t.record(SimDuration::from_micros(350), TapDirection::Down, 470);
+        t.record(SimDuration::from_micros(400), TapDirection::Up, 130);
+        t.record(SimDuration::from_micros(650), TapDirection::Down, 470);
+        t
+    }
+
+    #[test]
+    fn extract_computes_gaps_and_injects_think_time() {
+        let seq = MessageSequence::extract(&tap(), &[0, 5_000]);
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq.messages[0].gap_us, 100);
+        assert_eq!(seq.messages[1].gap_us, 250);
+        // Second query: 50 µs network gap + 5 ms think time.
+        assert_eq!(seq.messages[2].gap_us, 5_050);
+        assert_eq!(seq.wire_bytes(), 1_200);
+        assert_eq!(seq.duration_us(), 100 + 250 + 5_050 + 250);
+    }
+
+    #[test]
+    fn symbols_encode_direction_and_bucketed_size() {
+        let seq = MessageSequence::extract(&tap(), &[]);
+        let syms = seq.symbols(16);
+        // 130 → bucket 9 upstream; 470 → bucket 30 downstream.
+        assert_eq!(syms, vec![0x8000 | 9, 30, 0x8000 | 9, 30]);
+        // Identical sizes collapse to identical symbols.
+        assert_eq!(syms[0], syms[2]);
+    }
+
+    #[test]
+    fn flow_record_adapter_spreads_bytes() {
+        let record = FlowRecord {
+            src: "198.51.100.0".parse().unwrap(),
+            dst: "1.1.1.1".parse().unwrap(),
+            dst_port: 853,
+            sampled_packets: 4,
+            bytes: 1_000,
+            tcp_flags: 0x18,
+            date: tlssim::DateStamp::from_ymd(2019, 2, 1),
+        };
+        let seq = MessageSequence::from_flow_record(&record);
+        assert_eq!(seq.len(), 4);
+        assert_eq!(seq.messages[0].size, 250);
+        assert!(seq.messages.iter().all(|m| m.dir == TapDirection::Up));
+    }
+}

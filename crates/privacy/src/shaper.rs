@@ -1,0 +1,488 @@
+//! Traffic shaping: the countermeasures *beyond* per-message padding.
+//!
+//! RFC 8467 padding hides individual message sizes but leaves the
+//! message count and timing intact — which is exactly what the sequence
+//! classifier exploits. The two shapers here attack that residue, both
+//! implemented as deterministic event machines over
+//! [`netsim::sched::Scheduler`] so every dummy cell and rate tick is an
+//! ordered virtual-clock event:
+//!
+//! * [`ConstantRateShaper`] — a fixed-interval cell clock per flow:
+//!   every tick moves exactly one cell in each direction, real bytes
+//!   first-in-first-out, dummy cells when idle, and the total tick count
+//!   is quantized so flow length leaks only in coarse steps. Strongest
+//!   cover, highest bandwidth *and* latency cost.
+//! * [`AdaptivePaddingShaper`] — the WTF-PAD/"Padding Ain't Enough"
+//!   compromise: real messages pass undelayed, and seeded gap-filling
+//!   dummies break up the tell-tale inter-burst silences. No latency
+//!   cost, moderate bandwidth cost, weaker cover.
+//!
+//! [`shape_sequence`] is the uniform entry point: policies without a
+//! shaping component ([`PaddingPolicy::None`] / `Block` / `RandomBlock`)
+//! pass sequences through untouched.
+
+use crate::sequence::{MessageSequence, SeqMessage};
+use dnswire::PaddingPolicy;
+use doe_protocols::TapDirection;
+use netsim::sched::{Fired, SchedEvent, Scheduler};
+use netsim::{SimDuration, SimInstant};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Ticks (and therefore cells per direction) are rounded up to a
+/// multiple of this, so the constant-rate shaper leaks flow length only
+/// in steps of `TICK_QUANTUM` lookups' worth of cells.
+const TICK_QUANTUM: u64 = 4;
+
+/// Trailing dummies the adaptive shaper appends once the last real
+/// message has passed, blurring where the flow actually ended.
+const TRAILING_DUMMIES: u32 = 2;
+
+/// What a shaper produced for one flow.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShapedOutcome {
+    /// The on-wire sequence the observer sees after shaping.
+    pub seq: MessageSequence,
+    /// Dummy cells injected (bandwidth overhead source).
+    pub dummy_cells: u64,
+    /// Total queueing delay added to real messages, µs (constant-rate
+    /// only; adaptive padding never delays real traffic).
+    pub latency_added_us: u64,
+}
+
+/// Absolute arrival instants of a sequence's messages (µs from flow
+/// start), from the stored gaps.
+fn arrival_times_us(input: &MessageSequence) -> Vec<u64> {
+    let mut t = 0u64;
+    input
+        .messages
+        .iter()
+        .map(|m| {
+            t += m.gap_us;
+            t
+        })
+        .collect()
+}
+
+/// Rebuild a gap-encoded sequence from time-ordered absolute events.
+fn to_sequence(events: &[(u64, TapDirection, u32)]) -> MessageSequence {
+    let mut prev = 0u64;
+    let messages = events
+        .iter()
+        .map(|&(at, dir, size)| {
+            let gap_us = at.saturating_sub(prev);
+            prev = at;
+            SeqMessage { gap_us, dir, size }
+        })
+        .collect();
+    MessageSequence { messages }
+}
+
+fn instant(us: u64) -> SimInstant {
+    SimInstant::EPOCH + SimDuration::from_micros(us)
+}
+
+/// One queued real message: arrival instant and cells still to move.
+#[derive(Debug, Clone, Copy)]
+struct QueuedMessage {
+    arrival_us: u64,
+    cells_left: u32,
+}
+
+/// The constant-rate event machine for one flow.
+///
+/// Setup schedules a `Deliver { token: i }` per input message at its
+/// arrival instant and a `Timer` at the first tick; every tick emits one
+/// cell per direction (real front-of-queue bytes, else a dummy) and
+/// re-arms itself until all input is flushed and the tick count reaches
+/// a [`TICK_QUANTUM`] boundary.
+pub struct ConstantRateShaper {
+    interval_us: u64,
+    cell_wire: u32,
+    cell_payload: u32,
+    inputs: Vec<(u64, TapDirection, u32)>,
+    delivered: usize,
+    queue_up: std::collections::VecDeque<QueuedMessage>,
+    queue_down: std::collections::VecDeque<QueuedMessage>,
+    ticks: u64,
+    out: Vec<(u64, TapDirection, u32)>,
+    dummy_cells: u64,
+    latency_added_us: u64,
+}
+
+impl ConstantRateShaper {
+    fn new(interval_us: u64, cell_payload: u32, input: &MessageSequence) -> Self {
+        let arrivals = arrival_times_us(input);
+        let inputs = input
+            .messages
+            .iter()
+            .zip(&arrivals)
+            .map(|(m, &at)| (at, m.dir, m.size))
+            .collect();
+        ConstantRateShaper {
+            interval_us,
+            // Cells travel framed like real DoT messages, so a dummy is
+            // not distinguishable from a one-cell real message by size.
+            cell_wire: cell_payload + 2,
+            cell_payload,
+            inputs,
+            delivered: 0,
+            queue_up: std::collections::VecDeque::new(),
+            queue_down: std::collections::VecDeque::new(),
+            ticks: 0,
+            out: Vec::new(),
+            dummy_cells: 0,
+            latency_added_us: 0,
+        }
+    }
+
+    fn seed_events(&self, sched: &mut Scheduler) {
+        for (i, &(at, _, _)) in self.inputs.iter().enumerate() {
+            sched.schedule(instant(at), 0, SchedEvent::Deliver { token: i as u32 });
+        }
+        sched.schedule(instant(self.interval_us), 0, SchedEvent::Timer { token: 0 });
+    }
+
+    fn drained(&self) -> bool {
+        self.delivered == self.inputs.len()
+            && self.queue_up.is_empty()
+            && self.queue_down.is_empty()
+    }
+
+    /// Emit one cell in `dir` at `now`: real front-of-queue bytes if any
+    /// are waiting, a dummy otherwise.
+    fn emit_cell(&mut self, now_us: u64, dir: TapDirection) {
+        let queue = match dir {
+            TapDirection::Up => &mut self.queue_up,
+            TapDirection::Down => &mut self.queue_down,
+        };
+        match queue.front_mut() {
+            Some(msg) => {
+                msg.cells_left -= 1;
+                if msg.cells_left == 0 {
+                    let arrival = msg.arrival_us;
+                    queue.pop_front();
+                    self.latency_added_us += now_us.saturating_sub(arrival);
+                }
+            }
+            None => self.dummy_cells += 1,
+        }
+        self.out.push((now_us, dir, self.cell_wire));
+    }
+
+    /// One scheduler step. The bare-`Scheduler` form of
+    /// [`netsim::sched::EventMachine`]: the shaper runs per flow, after
+    /// the fact, over tapped sequences — it never touches a `Network`.
+    pub fn on_event(&mut self, sched: &mut Scheduler, fired: Fired) {
+        match fired.event {
+            SchedEvent::Deliver { token } => {
+                let (at, dir, size) = self.inputs[token as usize];
+                let cells_left = size.div_ceil(self.cell_payload).max(1);
+                let queued = QueuedMessage {
+                    arrival_us: at,
+                    cells_left,
+                };
+                match dir {
+                    TapDirection::Up => self.queue_up.push_back(queued),
+                    TapDirection::Down => self.queue_down.push_back(queued),
+                }
+                self.delivered += 1;
+            }
+            SchedEvent::Timer { .. } => {
+                let now_us = fired.at.since(SimInstant::EPOCH).as_micros();
+                self.emit_cell(now_us, TapDirection::Up);
+                self.emit_cell(now_us, TapDirection::Down);
+                self.ticks += 1;
+                let done = self.drained() && self.ticks.is_multiple_of(TICK_QUANTUM);
+                if !done {
+                    let next = now_us + self.interval_us;
+                    sched.schedule(instant(next), 0, SchedEvent::Timer { token: 0 });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(self) -> ShapedOutcome {
+        ShapedOutcome {
+            seq: to_sequence(&self.out),
+            dummy_cells: self.dummy_cells,
+            latency_added_us: self.latency_added_us,
+        }
+    }
+}
+
+/// The adaptive-padding event machine for one flow.
+///
+/// Real messages pass at their original instants. After every real
+/// message a gap-filling dummy timer is armed from the flow's seeded
+/// RNG; if the timer outlives the next real message it is lazily
+/// cancelled via its generation token (the [`SchedEvent::IdleClose`]
+/// pattern), otherwise a dummy cell fires and re-arms. After the last
+/// real message, [`TRAILING_DUMMIES`] more dummies blur the flow tail.
+pub struct AdaptivePaddingShaper {
+    burst_gap_us: u64,
+    cell_wire: u32,
+    inputs: Vec<(u64, TapDirection, u32)>,
+    delivered: usize,
+    generation: u32,
+    trailing_left: u32,
+    rng: SmallRng,
+    out: Vec<(u64, TapDirection, u32)>,
+    dummy_cells: u64,
+}
+
+impl AdaptivePaddingShaper {
+    fn new(burst_gap_us: u64, cell_payload: u32, input: &MessageSequence, seed: u64) -> Self {
+        let arrivals = arrival_times_us(input);
+        let inputs = input
+            .messages
+            .iter()
+            .zip(&arrivals)
+            .map(|(m, &at)| (at, m.dir, m.size))
+            .collect();
+        AdaptivePaddingShaper {
+            burst_gap_us,
+            cell_wire: cell_payload + 2,
+            inputs,
+            delivered: 0,
+            generation: 0,
+            trailing_left: TRAILING_DUMMIES,
+            rng: SmallRng::seed_from_u64(seed),
+            out: Vec::new(),
+            dummy_cells: 0,
+        }
+    }
+
+    fn seed_events(&self, sched: &mut Scheduler) {
+        for (i, &(at, _, _)) in self.inputs.iter().enumerate() {
+            sched.schedule(instant(at), 0, SchedEvent::Deliver { token: i as u32 });
+        }
+    }
+
+    /// Sample the next dummy gap: uniform in `[burst_gap, 3×burst_gap)`,
+    /// floored at 1 µs so a degenerate config cannot arm a same-instant
+    /// re-firing loop.
+    fn sample_gap(&mut self) -> u64 {
+        (self.burst_gap_us + self.rng.gen_range(0..self.burst_gap_us.max(1) * 2)).max(1)
+    }
+
+    fn arm_dummy(&mut self, sched: &mut Scheduler, now_us: u64) {
+        self.generation += 1;
+        let gap = self.sample_gap();
+        sched.schedule(
+            instant(now_us + gap),
+            0,
+            SchedEvent::IdleClose {
+                generation: self.generation,
+            },
+        );
+    }
+
+    /// One scheduler step (bare-`Scheduler` event machine, like
+    /// [`ConstantRateShaper::on_event`]).
+    pub fn on_event(&mut self, sched: &mut Scheduler, fired: Fired) {
+        let now_us = fired.at.since(SimInstant::EPOCH).as_micros();
+        match fired.event {
+            SchedEvent::Deliver { token } => {
+                let (at, dir, size) = self.inputs[token as usize];
+                self.out.push((at, dir, size));
+                self.delivered += 1;
+                // A real message supersedes any armed dummy (lazy cancel
+                // by generation bump) and re-arms the gap filler.
+                self.arm_dummy(sched, now_us);
+            }
+            SchedEvent::IdleClose { generation } => {
+                if generation != self.generation {
+                    return; // stale: a real message got there first
+                }
+                let dir = if self.rng.gen::<bool>() {
+                    TapDirection::Up
+                } else {
+                    TapDirection::Down
+                };
+                self.out.push((now_us, dir, self.cell_wire));
+                self.dummy_cells += 1;
+                if self.delivered == self.inputs.len() {
+                    // Tail cover: only a bounded number of dummies past
+                    // the last real message.
+                    if self.trailing_left == 0 {
+                        return;
+                    }
+                    self.trailing_left -= 1;
+                }
+                self.arm_dummy(sched, now_us);
+            }
+            _ => {}
+        }
+    }
+
+    fn finish(self) -> ShapedOutcome {
+        ShapedOutcome {
+            seq: to_sequence(&self.out),
+            dummy_cells: self.dummy_cells,
+            latency_added_us: 0,
+        }
+    }
+}
+
+/// Run `input` through the shaping component of `policy`, if it has
+/// one. `seed` drives the adaptive shaper's dummy schedule; it must be
+/// derived per flow (e.g. via [`netsim::mix_seed`]) so the dummy
+/// pattern is deterministic for the flow regardless of shard layout.
+pub fn shape_sequence(policy: PaddingPolicy, input: &MessageSequence, seed: u64) -> ShapedOutcome {
+    match policy {
+        PaddingPolicy::None | PaddingPolicy::Block { .. } | PaddingPolicy::RandomBlock { .. } => {
+            ShapedOutcome {
+                seq: input.clone(),
+                dummy_cells: 0,
+                latency_added_us: 0,
+            }
+        }
+        PaddingPolicy::ConstantRate { interval_us, cell } => {
+            if input.is_empty() {
+                return ShapedOutcome::default();
+            }
+            let mut sched = Scheduler::new();
+            let mut shaper = ConstantRateShaper::new(u64::from(interval_us), cell as u32, input);
+            shaper.seed_events(&mut sched);
+            while let Some(fired) = sched.pop() {
+                shaper.on_event(&mut sched, fired);
+            }
+            shaper.finish()
+        }
+        PaddingPolicy::AdaptivePadding { burst_gap_us, cell } => {
+            if input.is_empty() {
+                return ShapedOutcome::default();
+            }
+            let mut sched = Scheduler::new();
+            let mut shaper =
+                AdaptivePaddingShaper::new(u64::from(burst_gap_us), cell as u32, input, seed);
+            shaper.seed_events(&mut sched);
+            while let Some(fired) = sched.pop() {
+                shaper.on_event(&mut sched, fired);
+            }
+            shaper.finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_input() -> MessageSequence {
+        MessageSequence {
+            messages: vec![
+                SeqMessage {
+                    gap_us: 1_000,
+                    dir: TapDirection::Up,
+                    size: 130,
+                },
+                SeqMessage {
+                    gap_us: 300,
+                    dir: TapDirection::Down,
+                    size: 470,
+                },
+                SeqMessage {
+                    gap_us: 9_000,
+                    dir: TapDirection::Up,
+                    size: 130,
+                },
+                SeqMessage {
+                    gap_us: 300,
+                    dir: TapDirection::Down,
+                    size: 470,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn block_policies_pass_through() {
+        let input = sample_input();
+        for policy in [
+            PaddingPolicy::None,
+            PaddingPolicy::rfc8467(),
+            PaddingPolicy::RandomBlock {
+                query_block: 128,
+                response_block: 468,
+                max_extra: 3,
+            },
+        ] {
+            let out = shape_sequence(policy, &input, 42);
+            assert_eq!(out.seq, input);
+            assert_eq!(out.dummy_cells, 0);
+            assert_eq!(out.latency_added_us, 0);
+        }
+    }
+
+    #[test]
+    fn constant_rate_emits_uniform_quantized_cells() {
+        let input = sample_input();
+        let policy = PaddingPolicy::ConstantRate {
+            interval_us: 2_000,
+            cell: 128,
+        };
+        let out = shape_sequence(policy, &input, 7);
+        // Every emitted message is exactly one framed cell.
+        assert!(out.seq.messages.iter().all(|m| m.size == 130));
+        // One cell each way per tick → equal counts, and the tick count
+        // is a multiple of the quantum.
+        let ups = out
+            .seq
+            .messages
+            .iter()
+            .filter(|m| m.dir == TapDirection::Up)
+            .count() as u64;
+        let downs = out.seq.messages.len() as u64 - ups;
+        assert_eq!(ups, downs);
+        assert_eq!(ups % TICK_QUANTUM, 0);
+        // 470-byte responses need 4 cells each; queueing delays them.
+        assert!(out.latency_added_us > 0);
+        assert!(out.dummy_cells > 0);
+        // All real cells were flushed: real cell count is total minus
+        // dummies.
+        let real_cells = ups + downs - out.dummy_cells;
+        // Framed sizes 130/470 need ⌈130/128⌉=2 and ⌈470/128⌉=4 cells:
+        // 2 + 4 + 2 + 4 of real traffic.
+        assert_eq!(real_cells, 12);
+    }
+
+    #[test]
+    fn constant_rate_is_deterministic() {
+        let input = sample_input();
+        let policy = PaddingPolicy::ConstantRate {
+            interval_us: 2_000,
+            cell: 128,
+        };
+        assert_eq!(
+            shape_sequence(policy, &input, 1),
+            shape_sequence(policy, &input, 2)
+        );
+    }
+
+    #[test]
+    fn adaptive_padding_never_delays_real_messages() {
+        let input = sample_input();
+        let policy = PaddingPolicy::AdaptivePadding {
+            burst_gap_us: 1_500,
+            cell: 128,
+        };
+        let out = shape_sequence(policy, &input, 11);
+        assert_eq!(out.latency_added_us, 0);
+        // The 9 ms silence between lookups exceeds the burst gap, so at
+        // least one gap-filling dummy landed; the tail adds more.
+        assert!(out.dummy_cells > 0);
+        // Real bytes survive exactly: shaped total minus the dummies'
+        // framed cells equals the input's wire bytes.
+        assert_eq!(
+            out.seq.wire_bytes() - out.dummy_cells * 130,
+            input.wire_bytes()
+        );
+        // Same seed → same dummies; different seed → (almost surely)
+        // different schedule.
+        let again = shape_sequence(policy, &input, 11);
+        assert_eq!(out, again);
+    }
+}

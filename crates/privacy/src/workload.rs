@@ -1,0 +1,297 @@
+//! The closed-world workload: per-domain lookup plans replayed under
+//! every padding policy against policy-dedicated resolvers.
+//!
+//! The experimental control is strict: the *same* deterministic lookup
+//! plan (names, types, skips, think gaps — all keyed on `(domain,
+//! sample)` only) is replayed once per policy, so any difference the
+//! classifier or the overhead counters see is attributable to the
+//! policy alone. Each policy gets its own resolver address whose
+//! server-side responder applies the matching RFC 8467 response padding
+//! through [`PaddedResponder`].
+
+use dnswire::zone::Zone;
+use dnswire::{builder, Name, PaddingPolicy, RData, RecordType};
+use doe_protocols::responder::{AuthoritativeServer, DnsResponder, PaddedResponder};
+use doe_protocols::{
+    Bootstrap, DohBackend, DohClient, DohMethod, DohServerService, DotClient, DotServerService,
+    FlowTap, QueryError,
+};
+use httpsim::UriTemplate;
+use netsim::{mix_seed, HostMeta, Network};
+use std::net::Ipv4Addr;
+use std::sync::Arc;
+use tlssim::{CaHandle, DateStamp, KeyId, TlsClientConfig, TlsServerConfig, TrustStore};
+
+/// The policies under study, in report order. Index 0 is the unpadded
+/// baseline every overhead figure is measured against.
+pub fn policies() -> [PaddingPolicy; 5] {
+    [
+        PaddingPolicy::None,
+        PaddingPolicy::rfc8467(),
+        PaddingPolicy::RandomBlock {
+            query_block: 128,
+            response_block: 468,
+            max_extra: 3,
+        },
+        PaddingPolicy::AdaptivePadding {
+            burst_gap_us: 4_000,
+            cell: 128,
+        },
+        PaddingPolicy::ConstantRate {
+            interval_us: 2_000,
+            cell: 128,
+        },
+    ]
+}
+
+/// Simulated calendar date (certificate validity window).
+pub fn study_date() -> DateStamp {
+    DateStamp::from_ymd(2019, 2, 1)
+}
+
+/// The client address every flow originates from (flows run
+/// sequentially per shard and close their sessions, so one address
+/// suffices).
+pub const CLIENT_IP: Ipv4Addr = Ipv4Addr::new(198, 51, 100, 77);
+
+/// One policy's dedicated resolver endpoint.
+#[derive(Debug, Clone)]
+pub struct PolicyLeg {
+    /// The policy the resolver's responder applies server-side.
+    pub policy: PaddingPolicy,
+    /// Resolver address (DoT on 853, DoH on 443).
+    pub resolver: Ipv4Addr,
+    /// Certificate/SNI name the clients authenticate.
+    pub host: String,
+}
+
+/// The installed privacy world: trust anchors plus one resolver leg per
+/// policy, all serving the same wildcard zones.
+pub struct PrivacyWorld {
+    /// Trust anchors validating every leg's certificate.
+    pub store: TrustStore,
+    /// Per-policy resolver endpoints, in [`policies`] order.
+    pub legs: Vec<PolicyLeg>,
+}
+
+/// Install the privacy world into `net`: the client host, one resolver
+/// per policy (DoT + DoH services around a [`PaddedResponder`]), and
+/// one wildcard zone per closed-world domain.
+pub fn install(net: &mut Network, domains: u32) -> PrivacyWorld {
+    let now = study_date();
+    net.add_host(HostMeta::new(CLIENT_IP).country("DE").asn(3320));
+
+    let mut zones = Vec::with_capacity(domains as usize);
+    for d in 0..domains {
+        let apex = Name::parse(&format!("site{d}.example")).expect("static domain apex");
+        let mut zone = Zone::new(apex.clone());
+        zone.add_record(
+            &apex.prepend("*").expect("wildcard label"),
+            60,
+            RData::A(Ipv4Addr::new(203, 0, 113, (d % 250 + 1) as u8)),
+        );
+        zones.push(zone);
+    }
+    let auth: Arc<dyn DnsResponder> = Arc::new(AuthoritativeServer::new(zones));
+
+    let ca = CaHandle::new("Privacy Study Root", KeyId(90), now + -700, 3650);
+    let mut store = TrustStore::new();
+    store.add(ca.authority());
+
+    let mut legs = Vec::new();
+    for (p, policy) in policies().into_iter().enumerate() {
+        let resolver = Ipv4Addr::new(198, 18, 80, p as u8 + 1);
+        let host = format!("dns{p}.privacy.example");
+        net.add_host(HostMeta::new(resolver).country("US").asn(64500).anycast());
+        let key = KeyId(100 + p as u64);
+        let leaf = ca.issue(&host, vec![host.clone()], key, 1, now + -30, now + 365);
+        let responder: Arc<dyn DnsResponder> =
+            Arc::new(PaddedResponder::new(Arc::clone(&auth), policy));
+        net.bind_tcp(
+            resolver,
+            doe_protocols::DOT_PORT,
+            Arc::new(DotServerService::new(
+                TlsServerConfig::new(vec![leaf.clone()], key),
+                Arc::clone(&responder),
+            )),
+        );
+        net.bind_tcp(
+            resolver,
+            doe_protocols::DOH_PORT,
+            Arc::new(DohServerService::new(
+                TlsServerConfig::new(vec![leaf], key),
+                vec!["/dns-query".to_string()],
+                DohBackend::Local(responder),
+            )),
+        );
+        legs.push(PolicyLeg {
+            policy,
+            resolver,
+            host,
+        });
+    }
+    PrivacyWorld { store, legs }
+}
+
+/// One lookup in a sample plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlannedLookup {
+    /// Fully-qualified name to resolve.
+    pub qname: String,
+    /// Record type.
+    pub qtype: RecordType,
+    /// Client think time before issuing this lookup, µs.
+    pub think_us: u64,
+}
+
+/// The deterministic lookup plan for `(domain, sample)`.
+///
+/// Everything here is keyed on the pair alone — never on the policy —
+/// so all five policy legs replay identical client behaviour:
+///
+/// * the *lookup count* (3–8) and the *label lengths* are keyed on the
+///   domain: they are the stable per-site signature the adversary
+///   learns;
+/// * a seeded per-sample *skip* (~1 in 10 lookups) and AAAA/A type mix
+///   model visit-to-visit variation, so train and test traces of one
+///   domain are similar but not identical;
+/// * think gaps of 2–30 ms separate the lookups (the bursts the
+///   adaptive shaper fills).
+pub fn sample_plan(domain: u32, sample: u32) -> Vec<PlannedLookup> {
+    let lookups = 3 + (domain % 6) as usize;
+    let sample_key = mix_seed(u64::from(domain) << 20, u64::from(sample));
+    let mut plan = Vec::with_capacity(lookups);
+    for i in 0..lookups {
+        let k = mix_seed(sample_key, i as u64);
+        // The first lookup (the "page load") always happens; later ones
+        // are subresources a visit occasionally skips.
+        if i > 0 && k.is_multiple_of(10) {
+            continue;
+        }
+        let label_len = 1 + ((u64::from(domain) * 7 + i as u64 * 13) % 20) as usize;
+        let ch = (b'a' + ((domain as u8).wrapping_add(i as u8)) % 26) as char;
+        let label: String = std::iter::repeat_n(ch, label_len).collect();
+        let qtype = if (domain as usize + i) % 4 == 3 {
+            RecordType::Aaaa
+        } else {
+            RecordType::A
+        };
+        plan.push(PlannedLookup {
+            qname: format!("{label}.site{domain}.example"),
+            qtype,
+            think_us: 2_000 + (k >> 8) % 28_000,
+        });
+    }
+    plan
+}
+
+/// Replay one plan over a fresh DoT session against `leg`, returning
+/// the observer's tap and the think gaps to re-insert.
+pub fn run_dot_flow(
+    net: &mut Network,
+    store: &TrustStore,
+    leg: &PolicyLeg,
+    plan: &[PlannedLookup],
+) -> Result<(FlowTap, Vec<u64>), QueryError> {
+    let mut dot = DotClient::new(TlsClientConfig::strict(store.clone(), study_date()));
+    dot.policy = leg.policy;
+    let mut session = dot.session(net, CLIENT_IP, leg.resolver, Some(&leg.host))?;
+    session.enable_tap();
+    let mut thinks = Vec::with_capacity(plan.len());
+    for (i, lookup) in plan.iter().enumerate() {
+        let q = builder::query(i as u16 + 1, &lookup.qname, lookup.qtype)?;
+        session.query(net, &q)?;
+        thinks.push(lookup.think_us);
+    }
+    let tap = session.take_tap().unwrap_or_default();
+    session.close(net);
+    Ok((tap, thinks))
+}
+
+/// Replay one plan over a fresh DoH (POST) session against `leg`.
+pub fn run_doh_flow(
+    net: &mut Network,
+    store: &TrustStore,
+    leg: &PolicyLeg,
+    plan: &[PlannedLookup],
+) -> Result<(FlowTap, Vec<u64>), QueryError> {
+    let template = UriTemplate::parse(&format!("https://{}/dns-query{{?dns}}", leg.host))
+        .expect("static DoH template");
+    let mut doh = DohClient::new(
+        TlsClientConfig::strict(store.clone(), study_date()),
+        template,
+        DohMethod::Post,
+        Bootstrap::Static(leg.resolver),
+    );
+    doh.policy = leg.policy;
+    let mut session = doh.session(net, CLIENT_IP)?;
+    session.enable_tap();
+    let mut thinks = Vec::with_capacity(plan.len());
+    for (i, lookup) in plan.iter().enumerate() {
+        let q = builder::query(i as u16 + 1, &lookup.qname, lookup.qtype)?;
+        session.query(net, &q)?;
+        thinks.push(lookup.think_us);
+    }
+    let tap = session.take_tap().unwrap_or_default();
+    session.close(net);
+    Ok((tap, thinks))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::NetworkConfig;
+
+    #[test]
+    fn plans_are_policy_free_and_deterministic() {
+        for d in 0..10u32 {
+            for s in 0..4u32 {
+                let a = sample_plan(d, s);
+                let b = sample_plan(d, s);
+                assert_eq!(a, b);
+                assert!(!a.is_empty());
+                assert!(a.len() <= 8);
+                for l in &a {
+                    assert!(l.think_us >= 2_000 && l.think_us < 30_000);
+                    assert!(l.qname.ends_with(&format!(".site{d}.example")));
+                }
+            }
+        }
+        // Different samples of one domain vary (skips / think gaps)…
+        assert_ne!(sample_plan(3, 0), sample_plan(3, 1));
+        // …while the first lookup's name is the domain's invariant.
+        assert_eq!(sample_plan(3, 0)[0].qname, sample_plan(3, 1)[0].qname);
+    }
+
+    #[test]
+    fn dot_and_doh_flows_produce_taps() {
+        let mut net = Network::new(NetworkConfig::default(), 901);
+        let world = install(&mut net, 4);
+        let plan = sample_plan(2, 0);
+        let (tap, thinks) = run_dot_flow(&mut net, &world.store, &world.legs[1], &plan).unwrap();
+        // One up + one down record per lookup.
+        assert_eq!(tap.messages.len(), plan.len() * 2);
+        assert_eq!(thinks.len(), plan.len());
+        // RFC 8467 leg: every query is a 128-block (plus 2-byte frame).
+        for m in tap.messages.iter().step_by(2) {
+            assert_eq!(m.dir, doe_protocols::TapDirection::Up);
+            assert_eq!(m.wire_len % 128, 2);
+        }
+        let (dtap, _) = run_doh_flow(&mut net, &world.store, &world.legs[1], &plan).unwrap();
+        assert_eq!(dtap.messages.len(), plan.len() * 2);
+    }
+
+    #[test]
+    fn unpadded_leg_leaks_name_lengths() {
+        let mut net = Network::new(NetworkConfig::default(), 902);
+        let world = install(&mut net, 4);
+        let (tap_a, _) =
+            run_dot_flow(&mut net, &world.store, &world.legs[0], &sample_plan(0, 0)).unwrap();
+        let (tap_b, _) =
+            run_dot_flow(&mut net, &world.store, &world.legs[0], &sample_plan(1, 0)).unwrap();
+        // Different domains produce different unpadded size profiles.
+        let sizes_a: Vec<u32> = tap_a.messages.iter().map(|m| m.wire_len).collect();
+        let sizes_b: Vec<u32> = tap_b.messages.iter().map(|m| m.wire_len).collect();
+        assert_ne!(sizes_a, sizes_b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests: the shapers must conserve real traffic, keep
+//! their documented cost profile (who pays latency, who pays bandwidth)
+//! and stay bit-deterministic; the classifier's distance must behave
+//! like an edit distance on every input.
+
+use dnswire::PaddingPolicy;
+use doe_privacy::classifier::{knn_classify, sequence_distance, LabeledTrace};
+use doe_privacy::shaper::shape_sequence;
+use doe_privacy::{MessageSequence, SeqMessage};
+use doe_protocols::TapDirection;
+use proptest::prelude::*;
+
+const CELL: usize = 128;
+/// One framed cell on the wire (cell payload + 2-byte length prefix).
+const CELL_WIRE: u64 = CELL as u64 + 2;
+
+fn arb_message() -> impl Strategy<Value = SeqMessage> {
+    (0u64..50_000, any::<bool>(), 1u32..2_000).prop_map(|(gap_us, up, size)| SeqMessage {
+        gap_us,
+        dir: if up {
+            TapDirection::Up
+        } else {
+            TapDirection::Down
+        },
+        size,
+    })
+}
+
+fn arb_sequence() -> impl Strategy<Value = MessageSequence> {
+    proptest::collection::vec(arb_message(), 0..20)
+        .prop_map(|messages| MessageSequence { messages })
+}
+
+fn arb_symbols() -> impl Strategy<Value = Vec<u16>> {
+    proptest::collection::vec(0u16..64, 0..24)
+}
+
+proptest! {
+    /// Policies without a shaping component pass every sequence through
+    /// untouched, at zero cost.
+    #[test]
+    fn pure_padding_policies_are_pass_through(input in arb_sequence(), seed in any::<u64>()) {
+        for policy in [
+            PaddingPolicy::None,
+            PaddingPolicy::rfc8467(),
+            PaddingPolicy::RandomBlock { query_block: 128, response_block: 468, max_extra: 3 },
+        ] {
+            let out = shape_sequence(policy, &input, seed);
+            prop_assert_eq!(&out.seq, &input);
+            prop_assert_eq!(out.dummy_cells, 0);
+            prop_assert_eq!(out.latency_added_us, 0);
+        }
+    }
+
+    /// Constant-rate output is nothing but uniform framed cells, one per
+    /// direction per tick, with the tick count quantized — and every
+    /// real cell accounted for.
+    #[test]
+    fn constant_rate_emits_only_uniform_quantized_cells(input in arb_sequence()) {
+        let policy = PaddingPolicy::ConstantRate { interval_us: 2_000, cell: CELL };
+        let out = shape_sequence(policy, &input, 0);
+        if input.is_empty() {
+            prop_assert!(out.seq.is_empty());
+            return Ok(());
+        }
+        prop_assert!(out.seq.messages.iter().all(|m| u64::from(m.size) == CELL_WIRE));
+        let ups = out.seq.messages.iter().filter(|m| m.dir == TapDirection::Up).count() as u64;
+        let downs = out.seq.messages.len() as u64 - ups;
+        prop_assert_eq!(ups, downs);
+        // Ticks are rounded up to the shaper's TICK_QUANTUM (4), so flow
+        // length leaks only in coarse steps.
+        prop_assert_eq!(ups % 4, 0);
+        // Conservation: total cells minus dummies is exactly the cells
+        // the real messages fragment into.
+        let real_cells: u64 = input
+            .messages
+            .iter()
+            .map(|m| u64::from(m.size.div_ceil(CELL as u32).max(1)))
+            .sum();
+        prop_assert_eq!(ups + downs - out.dummy_cells, real_cells);
+    }
+
+    /// The constant-rate shaper has no random component: the seed must
+    /// never influence its output.
+    #[test]
+    fn constant_rate_ignores_the_seed(input in arb_sequence(), s1 in any::<u64>(), s2 in any::<u64>()) {
+        let policy = PaddingPolicy::ConstantRate { interval_us: 2_000, cell: CELL };
+        prop_assert_eq!(
+            shape_sequence(policy, &input, s1),
+            shape_sequence(policy, &input, s2)
+        );
+    }
+
+    /// Adaptive padding never delays real traffic; its entire cost is
+    /// the dummy cells, which the output carries one-for-one on top of
+    /// the input's messages and bytes.
+    #[test]
+    fn adaptive_padding_adds_exactly_its_dummies(input in arb_sequence(), seed in any::<u64>()) {
+        let policy = PaddingPolicy::AdaptivePadding { burst_gap_us: 4_000, cell: CELL };
+        let out = shape_sequence(policy, &input, seed);
+        prop_assert_eq!(out.latency_added_us, 0);
+        prop_assert_eq!(
+            out.seq.len() as u64,
+            input.len() as u64 + out.dummy_cells
+        );
+        prop_assert_eq!(
+            out.seq.wire_bytes(),
+            input.wire_bytes() + out.dummy_cells * CELL_WIRE
+        );
+        // Same flow, same seed → the identical dummy schedule.
+        prop_assert_eq!(out, shape_sequence(policy, &input, seed));
+    }
+
+    /// The OSA edit distance is a sane metric-like function: zero on
+    /// equal strings, symmetric, and bounded by the usual edit-distance
+    /// envelope `|n - m| ≤ d ≤ max(n, m)`.
+    #[test]
+    fn sequence_distance_envelope(a in arb_symbols(), b in arb_symbols()) {
+        prop_assert_eq!(sequence_distance(&a, &a), 0);
+        let d = sequence_distance(&a, &b);
+        prop_assert_eq!(d, sequence_distance(&b, &a));
+        let (n, m) = (a.len() as u32, b.len() as u32);
+        prop_assert!(d >= n.abs_diff(m));
+        prop_assert!(d <= n.max(m));
+    }
+
+    /// k-NN always answers from the training label set (never invents a
+    /// domain), and an exact training match with k = 1 recalls its label.
+    #[test]
+    fn knn_answers_from_training_labels(
+        traces in proptest::collection::vec((0u32..8, arb_symbols()), 1..12),
+        sample in arb_symbols(),
+        k in 1usize..5,
+    ) {
+        let train: Vec<LabeledTrace> = traces
+            .into_iter()
+            .map(|(domain, symbols)| LabeledTrace { domain, symbols })
+            .collect();
+        let verdict = knn_classify(&train, &sample, k).expect("non-empty training set");
+        prop_assert!(train.iter().any(|t| t.domain == verdict));
+        let exact = knn_classify(&train, &train[0].symbols, 1).expect("non-empty");
+        let zero_dist: Vec<u32> = train
+            .iter()
+            .filter(|t| t.symbols == train[0].symbols)
+            .map(|t| t.domain)
+            .collect();
+        prop_assert!(zero_dist.contains(&exact));
+    }
+}

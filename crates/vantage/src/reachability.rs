@@ -581,6 +581,11 @@ pub fn reachability_test_sharded(
     let shards = shards.max(1);
     let steps = Arc::new(setup.steps());
     let spc = setup.serials_per_client();
+    // Disjoint serial block per invocation: the global and censored pools
+    // restart `ci` at 0, so without the block offset they would replay
+    // each other's query names and turn shared-resolver cache hits into a
+    // function of eviction order (see `World::take_probe_serials`).
+    let serial_base = world.take_probe_serials(clients.len() as u64 * spc);
     let salt = mix_seed(world.net.base_seed(), 0x7265_6163_6861_6269); // "reachabi"
 
     let run_shard = |worker: &mut Network, shard: usize| -> Vec<(usize, ClientFindings)> {
@@ -599,7 +604,7 @@ pub fn reachability_test_sharded(
                     Arc::clone(&steps),
                     client_us,
                     mix_seed(salt, ci as u64),
-                    ci as u64 * spc,
+                    serial_base + ci as u64 * spc,
                 )
             })
             .collect();
@@ -813,5 +818,43 @@ mod tests {
         // Cloudflare DoH still works from CN.
         let cf_doh_fail = report.cell("Cloudflare", TransportKind::Doh).failed as f64 / n;
         assert!(cf_doh_fail < 0.05, "CN CF DoH {cf_doh_fail}");
+    }
+
+    #[test]
+    fn sequential_invocations_never_reuse_probe_names() {
+        // The study runs the reachability test twice on one world (the
+        // global pool, then the censored pool). Both restart the client
+        // index at 0, so without disjoint serial blocks the second pool
+        // replays the first pool's query names — and whether a replayed
+        // name hits a shared resolver cache depends on which entries FIFO
+        // eviction happened to keep, an order that varies with worker
+        // interleaving. The ground-truth authoritative log must therefore
+        // never see the same probe name from two invocations.
+        let mut world = worldgen::World::build(WorldConfig::test_scale(31));
+        let pool_a: Vec<_> = world.proxyrack.clients.iter().take(6).cloned().collect();
+        let pool_b: Vec<_> = world.zhima.clients.iter().take(6).cloned().collect();
+
+        reachability_test(&mut world, &pool_a, "Cloudflare");
+        let (first_len, first): (usize, std::collections::BTreeSet<String>) = {
+            let log = world.probe.auth_log.lock();
+            let names = log.iter().map(|e| e.qname.to_string()).collect();
+            (log.len(), names)
+        };
+        assert!(!first.is_empty(), "first pool reached the authoritative");
+
+        reachability_test(&mut world, &pool_b, "Cloudflare");
+        let log = world.probe.auth_log.lock();
+        assert!(
+            log.len() > first_len,
+            "second pool reached the authoritative"
+        );
+        let replayed = log[first_len..]
+            .iter()
+            .filter(|e| first.contains(&e.qname.to_string()))
+            .count();
+        assert_eq!(
+            replayed, 0,
+            "second invocation replayed {replayed} probe names from the first"
+        );
     }
 }

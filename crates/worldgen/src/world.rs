@@ -129,6 +129,7 @@ pub struct World {
     epoch: DateStamp,
     deployed: BTreeSet<Ipv4Addr>,
     bundles: BTreeMap<Ipv4Addr, ResolverBundle>,
+    probe_serials: u64,
 }
 
 impl World {
@@ -749,6 +750,7 @@ impl World {
             epoch: first,
             deployed: BTreeSet::new(),
             bundles,
+            probe_serials: 0,
             config,
         };
         world.sync_deployment();
@@ -758,6 +760,23 @@ impl World {
     /// The current world date.
     pub fn epoch(&self) -> DateStamp {
         self.epoch
+    }
+
+    /// Reserve a block of `n` probe-domain query serials, returning the
+    /// first serial in the block.
+    ///
+    /// Measurement stages build unique query names (`d42.<apex>`) so a
+    /// recursive cache can never answer one probe with another's fill —
+    /// the "per-target unique" half of the cache-determinism contract
+    /// (`RecursiveResolver::cache_get`). That only holds if stages draw
+    /// from disjoint serial ranges: two stages restarting at serial 0
+    /// would replay each other's names, and whether the replay hits or
+    /// misses would depend on which entries FIFO eviction happened to
+    /// keep — an order that varies with worker interleaving.
+    pub fn take_probe_serials(&mut self, n: u64) -> u64 {
+        let base = self.probe_serials;
+        self.probe_serials += n;
+        base
     }
 
     /// Advance the world to `date`: the virtual clock moves and resolvers

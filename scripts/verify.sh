@@ -76,6 +76,43 @@ done
 rm -rf results/stub1 results/stub8
 echo "    stub-scale report + telemetry identical across shard counts"
 
+echo "==> privacy: padding-leakage determinism (two runs, shards 2 vs 8)"
+# The fingerprinting experiment: two independent runs on different shard
+# counts must produce byte-identical results/privacy.json — the flows
+# are keyed on their global index, so neither repetition nor shard
+# layout may leak into the classifier's inputs or the per-policy
+# telemetry.
+cargo run -q --release -p doe-core --bin repro --offline -- \
+    --shards 2 --json results/priv_a \
+    --metrics results/priv_a/metrics.json padding-leakage >/dev/null
+cargo run -q --release -p doe-core --bin repro --offline -- \
+    --shards 8 --json results/priv_b \
+    --metrics results/priv_b/metrics.json padding-leakage >/dev/null
+cmp results/priv_a/padding-leakage.json results/priv_b/padding-leakage.json || {
+    echo "FAIL: padding-leakage report differs between two runs" >&2
+    exit 1
+}
+cmp results/priv_a/metrics.json results/priv_b/metrics.json || {
+    echo "FAIL: padding-leakage telemetry differs between two runs" >&2
+    exit 1
+}
+for series in stage.privacy.flows stage.privacy.wire_bytes \
+              stage.privacy.dummy_cells stage.privacy.attributed; do
+    grep -q "$series" results/priv_a/metrics.json || {
+        echo "FAIL: series $series missing from padding-leakage metrics" >&2
+        exit 1
+    }
+done
+for policy in none block random-block constant-rate adaptive-padding; do
+    grep -q "\"$policy\"" results/priv_a/padding-leakage.json || {
+        echo "FAIL: policy $policy missing from padding-leakage report" >&2
+        exit 1
+    }
+done
+cp results/priv_a/padding-leakage.json results/privacy.json
+rm -rf results/priv_a results/priv_b
+echo "    padding-leakage byte-stable; artifact archived as results/privacy.json"
+
 echo "==> doe-lint (determinism contract, interprocedural + dataflow)"
 # One pass archives both artifacts; a second pass re-derives them so the
 # gate catches any nondeterminism in the analyzer itself. A stale entry

@@ -5,6 +5,7 @@
 //! machine's core count: parallelism changes wall-clock time, never the
 //! measurement.
 
+use doe_privacy::{privacy_study_sharded, PrivacyConfig};
 use doe_scanner::campaign::{compact_space, run_campaign_sharded};
 use doe_scanner::sweep::syn_sweep_sharded;
 use doe_traffic::{build_stub_world, stub_population_sharded, StubPopulationConfig};
@@ -165,6 +166,48 @@ fn run_stub_population(
     );
     let snapshot = world.net.metrics().snapshot();
     (report, snapshot)
+}
+
+/// The privacy experiment behind `results/privacy.json`: the report the
+/// JSON artifact serializes, plus its per-policy telemetry, must be
+/// bit-identical at 1, 2 and 8 shards — flows are keyed on their global
+/// index, so shard layout cannot leak into the classifier's inputs.
+#[test]
+fn privacy_report_is_invariant_across_shard_counts() {
+    let run = |shards: usize| {
+        let mut net = Network::new(
+            NetworkConfig {
+                metrics: true,
+                ..NetworkConfig::default()
+            },
+            501,
+        );
+        let cfg = PrivacyConfig::quick();
+        let world = doe_privacy::workload::install(&mut net, cfg.domains);
+        let report = privacy_study_sharded(&mut net, &world, &cfg, shards);
+        let snapshot = net.metrics().snapshot();
+        (report, snapshot)
+    };
+
+    let (reference, ref_snapshot) = run(1);
+    assert_eq!(reference.policies.len(), 5);
+    let none = &reference.policies[0];
+    assert!(
+        none.accuracy_permille > reference.random_guess_permille * 4,
+        "classifier should beat random on unpadded flows"
+    );
+
+    for shards in SHARD_COUNTS {
+        let (report, snapshot) = run(shards);
+        assert_eq!(
+            report, reference,
+            "privacy report differs at {shards} shards"
+        );
+        assert_eq!(
+            snapshot, ref_snapshot,
+            "privacy telemetry differs at {shards} shards"
+        );
+    }
 }
 
 #[test]
