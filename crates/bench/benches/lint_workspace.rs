@@ -1,11 +1,13 @@
 //! Cost of the determinism analyzer over the live workspace, split into
 //! its stages: the per-file token pass (`lint_workspace`'s dominant
 //! cost before the call-graph work existed), the call-graph analysis
-//! (parse → graph build → D006–D008 reachability), and the full pass
-//! with the intraprocedural dataflow rules (D009–D012) rooted. The
-//! deltas are what each proof layer costs on top of the previous one,
-//! and the absolute numbers are what `scripts/verify.sh` pays per gate
-//! run.
+//! (parse → graph build → D006–D008 reachability), the full pass with
+//! the intraprocedural dataflow rules (D009–D012) rooted, and — since
+//! v4 — the bottom-up effect-summary fixpoint (SCC condensation +
+//! worklist) measured both in isolation over a prebuilt graph and as
+//! part of the full D006–D015 pass. The deltas are what each proof
+//! layer costs on top of the previous one, and the absolute numbers are
+//! what `scripts/verify.sh` pays per gate run.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use doe_lint::policy::Policy;
@@ -29,6 +31,7 @@ fn bench_token_pass(c: &mut Criterion) {
     // only in the full pass.)
     policy.graph = Default::default();
     policy.dataflow = Default::default();
+    policy.summary = Default::default();
     c.bench_function("lint/token_pass", |b| {
         b.iter(|| {
             let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
@@ -46,6 +49,7 @@ fn bench_callgraph_pass(c: &mut Criterion) {
     // entry scans and flow reporting are off. The delta against
     // lint/dataflow_pass is the reporting layer's cost.
     policy.dataflow = Default::default();
+    policy.summary = Default::default();
     c.bench_function("lint/callgraph_pass", |b| {
         b.iter(|| {
             let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
@@ -66,6 +70,22 @@ fn bench_full_dataflow(c: &mut Criterion) {
     });
 }
 
+fn bench_summary_fixpoint(c: &mut Criterion) {
+    let root = workspace_root();
+    let policy = load_policy(&root);
+    let analysis = doe_lint::analyze_workspace(&root, &policy).expect("analysis runs");
+    // The fixpoint alone over the prebuilt workspace graph: two Tarjan
+    // passes plus the per-SCC worklist to convergence. This is the
+    // marginal cost v4 added to every gate run.
+    c.bench_function("lint/summary_fixpoint", |b| {
+        b.iter(|| {
+            let summaries = doe_lint::summary::compute(&analysis.graph);
+            assert_eq!(summaries.per_fn.len(), analysis.graph.nodes.len());
+            summaries.exact_sccs.len()
+        })
+    });
+}
+
 fn bench_graph_export(c: &mut Criterion) {
     let root = workspace_root();
     let policy = load_policy(&root);
@@ -80,6 +100,7 @@ criterion_group!(
     bench_token_pass,
     bench_callgraph_pass,
     bench_full_dataflow,
+    bench_summary_fixpoint,
     bench_graph_export
 );
 criterion_main!(benches);

@@ -286,8 +286,6 @@ impl DnsResponder for RecursiveResolver {
             return builder::error_response(query, Rcode::FormErr);
         };
         let question = question.clone();
-        // doe-lint: allow(D006) — monotone counter; addition is associative and
-        // commutative, so the total is shard-count-invariant
         self.stats.lock().queries += 1;
 
         // Spurious failure injection.
@@ -299,8 +297,6 @@ impl DnsResponder for RecursiveResolver {
         let key = (question.qname.clone(), question.qtype);
         let now = ctx.network().now();
         if let Some(entry) = self.cache_get(&key, now) {
-            // doe-lint: allow(D006) — monotone counter; addition is associative and
-            // commutative, so the total is shard-count-invariant
             self.stats.lock().cache_hits += 1;
             return match entry.rcode {
                 Rcode::NoError => builder::answer(query, entry.answers),
@@ -319,8 +315,6 @@ impl DnsResponder for RecursiveResolver {
 
         // Registered zone: fetch from its authoritative server.
         if let Some(auth_addr) = self.upstreams.lookup(&question.qname) {
-            // doe-lint: allow(D006) — monotone counter; addition is associative and
-            // commutative, so the total is shard-count-invariant
             self.stats.lock().upstream_queries += 1;
             let local = ctx.local_addr();
             // QNAME minimisation: probe each intermediate ancestor with an
@@ -395,8 +389,6 @@ impl DnsResponder for RecursiveResolver {
                     }
                 }
                 Err(e) => {
-                    // doe-lint: allow(D006) — monotone counter; addition is associative
-                    // and commutative, so the total is shard-count-invariant
                     self.stats.lock().upstream_failures += 1;
                     ctx.charge(e.elapsed());
                     builder::error_response(query, Rcode::ServFail)

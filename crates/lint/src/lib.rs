@@ -36,6 +36,19 @@
 //!   through `SimInstant`/`SimDuration` (dataflow).
 //! * **D012** — no allocation site reachable from the telemetry
 //!   hot-path entry points (interprocedural).
+//! * **D013** — consistent lock-acquisition order: the lock-order graph
+//!   over the `[summary] lock_entries` cone must be acyclic (see
+//!   [`lockorder`]).
+//! * **D014** — bounded recursion on protocol decode/encode paths:
+//!   every reachable recursion cycle must carry a fuel/depth guard.
+//! * **D015** — shard-identity independence: no shard/worker/thread
+//!   identity value read on a merge path.
+//!
+//! The interprocedural rules are backed by a bottom-up effect-summary
+//! fixpoint over the call-graph condensation (see [`summary`]): each
+//! function gets a join-semilattice summary (panics, allocates, blocks,
+//! mutates-shared, held-lock-set, …) propagated callee-to-caller, and
+//! findings carry their summary provenance.
 //!
 //! Scope comes from `lint.toml` at the workspace root; per-site escape
 //! hatches are `// doe-lint: allow(D00x) — <reason>` pragmas with a
@@ -47,12 +60,14 @@
 pub mod dataflow;
 pub mod graph;
 pub mod lexer;
+pub mod lockorder;
 pub mod parser;
 pub mod policy;
 pub mod pragma;
 pub mod reach;
 pub mod report;
 pub mod rules;
+pub mod summary;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
@@ -86,6 +101,10 @@ pub struct Finding {
     /// For dataflow rules (D010/D011): the intraprocedural def-use steps
     /// from taint source to sink, in order. Empty otherwise.
     pub flow: Vec<String>,
+    /// For interprocedural rules: which effect-summary bit convicted the
+    /// finding, in which condensation component, over how many frames.
+    /// `None` for token rules.
+    pub summary: Option<reach::SummaryNote>,
 }
 
 /// A finding that a pragma suppressed, kept for the audit trail.
@@ -136,6 +155,7 @@ struct RawHit {
     message: String,
     chain: Vec<String>,
     flow: Vec<String>,
+    summary: Option<reach::SummaryNote>,
 }
 
 /// Per-file pragma bookkeeping: parse errors, plus each pragma resolved
@@ -172,6 +192,7 @@ fn pragma_slots<'a>(
             severity: Severity::Error,
             chain: Vec::new(),
             flow: Vec::new(),
+            summary: None,
         });
     }
     // Resolve each pragma to the line it governs: its own line when code
@@ -223,6 +244,7 @@ fn settle(file: &str, raw: Vec<RawHit>, mut slots: PragmaSlots<'_>) -> FileOutco
                 severity: Severity::Error,
                 chain: hit.chain,
                 flow: hit.flow,
+                summary: hit.summary,
             }),
         }
     }
@@ -249,6 +271,7 @@ fn settle(file: &str, raw: Vec<RawHit>, mut slots: PragmaSlots<'_>) -> FileOutco
             severity: Severity::Error,
             chain: Vec::new(),
             flow: Vec::new(),
+            summary: None,
         });
     }
     out.findings
@@ -280,6 +303,7 @@ pub fn lint_source(file: &str, src: &str, enabled: &[String]) -> FileOutcome {
             message: f.message,
             chain: Vec::new(),
             flow: Vec::new(),
+            summary: None,
         })
         .collect();
     settle(file, raw, slots)
@@ -460,6 +484,8 @@ pub struct Analysis {
     pub report: Report,
     /// The workspace call graph (for `--graph` / `callgraph.json`).
     pub graph: graph::CallGraph,
+    /// Effect summaries for every function in the graph, at fixpoint.
+    pub summaries: summary::Summaries,
 }
 
 /// Analyze loaded sources: token rules per file, then the call-graph
@@ -503,6 +529,7 @@ pub fn analyze(
                 message: f.message,
                 chain: Vec::new(),
                 flow: Vec::new(),
+                summary: None,
             })
             .collect();
         let module = module_of(&lf.file.rel_path);
@@ -530,7 +557,14 @@ pub fn analyze(
     }
 
     let callgraph = graph::build(&graph_sources);
-    let chain_findings = reach::check(&callgraph, &policy.graph, &policy.dataflow)?;
+    let summaries = summary::compute(&callgraph);
+    let chain_findings = reach::check(
+        &callgraph,
+        &summaries,
+        &policy.graph,
+        &policy.dataflow,
+        &policy.summary,
+    )?;
     let mut per_file: BTreeMap<String, Vec<RawHit>> = BTreeMap::new();
     for f in chain_findings {
         per_file.entry(f.file.clone()).or_default().push(RawHit {
@@ -539,6 +573,7 @@ pub fn analyze(
             message: f.message,
             chain: f.chain,
             flow: f.flow,
+            summary: f.summary,
         });
     }
 
@@ -570,6 +605,7 @@ pub fn analyze(
     Ok(Analysis {
         report,
         graph: callgraph,
+        summaries,
     })
 }
 

@@ -4,15 +4,25 @@
 //! cargo run -p doe-lint                  # human output, exit 1 on findings
 //! cargo run -p doe-lint -- --json       # machine-readable report on stdout
 //! cargo run -p doe-lint -- --json-out results/doe-lint.json
+//! cargo run -p doe-lint -- --sarif results/doe-lint.sarif
 //! cargo run -p doe-lint -- --graph      # workspace call graph on stdout
 //! cargo run -p doe-lint -- --graph-out results/callgraph.json
+//! cargo run -p doe-lint -- --baseline results/doe-lint.json
 //! cargo run -p doe-lint -- --root /path/to/workspace
 //! ```
 //!
-//! Exit codes: 0 contract holds, 1 unsuppressed findings, 2 usage,
-//! configuration (stale `[graph]` entry) or I/O error.
+//! `--baseline FILE` turns the run into a *regression gate*: findings
+//! whose stable fingerprint already appears in the baseline report are
+//! counted as known debt — they stay in the written artifacts (the
+//! `--json-out`/`--sarif` files always describe the full state of the
+//! workspace) but are dropped from console output and from the exit
+//! code, which is non-zero only when a NEW finding appears.
+//!
+//! Exit codes: 0 contract holds (or no regression vs. baseline),
+//! 1 unsuppressed (new) findings, 2 usage, configuration (stale policy
+//! entry) or I/O error.
 
-use doe_lint::{analyze_workspace, find_root, graph, policy::Policy, report};
+use doe_lint::{analyze_workspace, find_root, graph, policy::Policy, report, Report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -22,6 +32,8 @@ struct Args {
     json_out: Option<PathBuf>,
     graph: bool,
     graph_out: Option<PathBuf>,
+    sarif_out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
     quiet: bool,
 }
 
@@ -32,6 +44,8 @@ fn parse_args() -> Result<Args, String> {
         json_out: None,
         graph: false,
         graph_out: None,
+        sarif_out: None,
+        baseline: None,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -48,13 +62,22 @@ fn parse_args() -> Result<Args, String> {
                 let path = it.next().ok_or("--graph-out needs a path")?;
                 args.graph_out = Some(PathBuf::from(path));
             }
+            "--sarif" => {
+                let path = it.next().ok_or("--sarif needs a path")?;
+                args.sarif_out = Some(PathBuf::from(path));
+            }
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline needs a path")?;
+                args.baseline = Some(PathBuf::from(path));
+            }
             "--root" => {
                 let path = it.next().ok_or("--root needs a path")?;
                 args.root = Some(PathBuf::from(path));
             }
             "--help" | "-h" => {
                 return Err("usage: doe-lint [--root DIR] [--json] [--json-out FILE] \
-                     [--graph] [--graph-out FILE] [--quiet]"
+                     [--sarif FILE] [--baseline FILE] [--graph] [--graph-out FILE] \
+                     [--quiet]"
                     .to_string())
             }
             other => return Err(format!("unknown argument `{other}` (try --help)")),
@@ -72,6 +95,37 @@ fn write_out(path: &PathBuf, content: &str) -> Result<(), String> {
     std::fs::write(path, content).map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Extract the fingerprints recorded in a v4 baseline report. A plain
+/// substring scan — the report is our own deterministic output, and
+/// fingerprints never contain an unescaped `"`.
+fn baseline_fingerprints(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(i) = rest.find("\"fingerprint\": \"") {
+        rest = &rest[i + "\"fingerprint\": \"".len()..];
+        if let Some(end) = rest.find('"') {
+            out.push(rest[..end].to_string());
+            rest = &rest[end..];
+        }
+    }
+    out
+}
+
+/// Drop findings whose fingerprint appears in the baseline, keeping
+/// only regressions.
+fn regressions_vs(rep: &Report, known: &[String]) -> Report {
+    Report {
+        findings: rep
+            .findings
+            .iter()
+            .filter(|f| !known.iter().any(|k| *k == report::fingerprint(f)))
+            .cloned()
+            .collect(),
+        suppressed: rep.suppressed.clone(),
+        files_scanned: rep.files_scanned,
+    }
+}
+
 fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let root = match args.root {
@@ -87,20 +141,38 @@ fn run() -> Result<ExitCode, String> {
     let analysis = analyze_workspace(&root, &policy).map_err(|e| format!("scan failed: {e}"))?;
     let rep = &analysis.report;
 
+    // Artifacts always describe the full workspace state, baseline or not.
     if let Some(path) = &args.json_out {
         write_out(path, &report::json(rep))?;
+    }
+    if let Some(path) = &args.sarif_out {
+        write_out(path, &report::sarif(rep))?;
     }
     if let Some(path) = &args.graph_out {
         write_out(path, &graph::to_json(&analysis.graph))?;
     }
+
+    // Console output and exit code see only regressions when a baseline
+    // is in force.
+    let gated: Report;
+    let visible = match &args.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("baseline {}: {e}", path.display()))?;
+            gated = regressions_vs(rep, &baseline_fingerprints(&text));
+            &gated
+        }
+        None => rep,
+    };
+
     if args.graph {
         print!("{}", graph::to_json(&analysis.graph));
     } else if args.json {
-        print!("{}", report::json(rep));
-    } else if !args.quiet || !rep.clean() {
-        print!("{}", report::human(rep));
+        print!("{}", report::json(visible));
+    } else if !args.quiet || !visible.clean() {
+        print!("{}", report::human(visible));
     }
-    Ok(if rep.clean() {
+    Ok(if visible.clean() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -30,6 +30,10 @@ pub enum HazardKind {
     /// A heap allocation site (D012): `format!`, owned clones,
     /// `String`/`Vec`/`Box` construction.
     Alloc,
+    /// A read of a shard-identity value (D015): `shard_id`, worker or
+    /// thread indices — values that differ per worker and must never
+    /// flow into data merged across shards.
+    ShardIdent,
 }
 
 /// One hazard site inside a function body.
@@ -41,6 +45,24 @@ pub struct Hazard {
     pub kind: HazardKind,
     /// The construct, as written (`.unwrap()`, `panic!`, `.lock()`, ...).
     pub what: String,
+}
+
+/// One lock acquisition inside a function body, as the lock-order rule
+/// (D013) sees it.
+#[derive(Debug, Clone)]
+pub struct LockSite {
+    /// 1-based source line of the `.lock()` call.
+    pub line: u32,
+    /// Lock identity: `Owner.field` for `self.field.lock()` receivers
+    /// (the enclosing impl type names the instance), otherwise the
+    /// receiver path as written (`cache.lock()` → `cache`).
+    pub id: String,
+    /// True when the guard is bound by a `let` in the same statement —
+    /// the lock is held to end of scope, so later acquisitions in the
+    /// same function happen *under* it. An unbound (temporary) guard
+    /// dies at the end of its statement and only orders against locks
+    /// taken in that same statement.
+    pub bound: bool,
 }
 
 /// One call expression inside a function body.
@@ -95,6 +117,15 @@ pub struct FnItem {
     /// Intraprocedural dataflow findings, attached after parsing by
     /// [`crate::dataflow::analyze`].
     pub flows: Vec<crate::dataflow::Flow>,
+    /// Lock acquisitions in the body, in source order (D013).
+    pub lock_sites: Vec<LockSite>,
+    /// True when the function carries an explicit recursion bound: a
+    /// parameter or compared/decremented local whose name mentions
+    /// depth/fuel/budget/limit/remaining/hops/jumps/ttl (D014).
+    pub recursion_guard: bool,
+    /// True when the signature or body mentions `Instant`/`SystemTime` —
+    /// the wall-clock bit of the effect summary.
+    pub wall_clock: bool,
 }
 
 /// One `use` alias: `use a::b::c;` binds `c`, `use a::b as x;` binds `x`.
@@ -193,6 +224,36 @@ const ALLOC_PATHS: &[(&str, &str)] = &[
     ("Arc", "new"),
 ];
 
+/// Identifiers that name a shard/worker identity (D015). Reading one on
+/// a merge path means per-worker layout can leak into merged data. The
+/// names are deliberately specific — a bare `id` is ubiquitous and
+/// would drown the rule.
+const SHARD_IDENT_NAMES: &[&str] = &[
+    "shard_id",
+    "shard_idx",
+    "shard_index",
+    "worker_id",
+    "worker_idx",
+    "worker_index",
+    "thread_id",
+    "thread_idx",
+];
+
+/// Does an identifier read as an explicit recursion/fuel bound (D014)?
+fn guard_name(s: &str) -> bool {
+    const STEMS: &[&str] = &[
+        "depth",
+        "fuel",
+        "budget",
+        "limit",
+        "remaining",
+        "hops",
+        "jumps",
+        "ttl",
+    ];
+    STEMS.iter().any(|g| s.contains(g))
+}
+
 /// Keywords that look like call heads when followed by `(`.
 const NON_CALL_KEYWORDS: &[&str] = &[
     "if", "else", "match", "while", "for", "loop", "return", "break", "continue", "in", "as",
@@ -221,6 +282,11 @@ struct Parser<'a> {
     out: ParsedFile,
     /// Pending item header: the next `{` opens this scope.
     pending: Option<ScopeKind>,
+    /// `.lock()` sites proven commutative (discarded-guard compound
+    /// integer updates). Resolved in [`parse_file`] once the enclosing
+    /// function's float mentions are final: a non-float commutative
+    /// update is order-insensitive, so its SharedMut hazard is dropped.
+    commutative: Vec<(usize, u32)>,
 }
 
 /// Parse one lexed file. `file_module` is the module path the file itself
@@ -235,9 +301,30 @@ pub fn parse_file(file_module: &[String], toks: &[Tok], mask: &[bool]) -> Parsed
         file_module: file_module.to_vec(),
         out: ParsedFile::default(),
         pending: None,
+        commutative: Vec::new(),
     };
     p.run();
+    let commutative = p.commutative;
     let mut parsed = p.out;
+    for (idx, line) in commutative {
+        // `self.counter.lock().field += k;` with no float in the fn: an
+        // order-insensitive monotone update — not a shared-mutation
+        // hazard. Remove exactly one `.lock()` site at that line so an
+        // order-sensitive second lock on the same line keeps its hazard.
+        if !parsed.fns[idx].mentions_float {
+            let mut removed = false;
+            parsed.fns[idx].hazards.retain(|h| {
+                let hit = !removed
+                    && h.line == line
+                    && h.kind == HazardKind::SharedMut
+                    && h.what == ".lock()";
+                if hit {
+                    removed = true;
+                }
+                !hit
+            });
+        }
+    }
     for item in &mut parsed.fns {
         if !item.mentions_float {
             item.hazards.retain(|h| h.kind != HazardKind::FloatAccum);
@@ -462,6 +549,8 @@ impl<'a> Parser<'a> {
         let mut bracket = 0i32;
         let mut angle = 0i32;
         let mut sig_float = false;
+        let mut sig_guard = false;
+        let mut sig_clock = false;
         let mut commas = 0usize;
         let mut params_empty = true;
         let mut has_self = false;
@@ -502,10 +591,23 @@ impl<'a> Parser<'a> {
                 }
                 TokKind::Punct(':') if paren == 1 && angle <= 0 => before_first_sep = false,
                 TokKind::Ident(s) if s == "f32" || s == "f64" => sig_float = true,
+                TokKind::Ident(s) if s == "Instant" || s == "SystemTime" => sig_clock = true,
                 TokKind::Ident(s)
                     if s == "self" && paren == 1 && !params_done && before_first_sep =>
                 {
                     has_self = true;
+                }
+                // A parameter named like a bound (`depth: usize`,
+                // `fuel: u32`) is an explicit recursion guard: the
+                // caller hands the budget down (D014).
+                TokKind::Ident(s)
+                    if paren == 1
+                        && angle <= 0
+                        && !params_done
+                        && guard_name(s)
+                        && self.toks.get(self.i + 1).is_some_and(|t| t.is_punct(':')) =>
+                {
+                    sig_guard = true;
                 }
                 TokKind::Punct('{') if paren == 0 && bracket == 0 => {
                     let params = if params_empty { 0 } else { commas + 1 };
@@ -521,6 +623,9 @@ impl<'a> Parser<'a> {
                         arity: params.saturating_sub(usize::from(has_self)),
                         body: (self.i + 1, self.i + 1),
                         flows: Vec::new(),
+                        lock_sites: Vec::new(),
+                        recursion_guard: sig_guard,
+                        wall_clock: sig_clock,
                     };
                     self.out.fns.push(item);
                     self.scopes.push(ScopeKind::Fn(self.out.fns.len() - 1));
@@ -663,6 +768,26 @@ impl<'a> Parser<'a> {
             .checked_sub(1)
             .is_some_and(|p| self.toks[p].is_punct('.'));
 
+        // A bound-named local used in a comparison or arithmetic update
+        // (`depth > MAX`, `fuel -= 1`) is an explicit recursion guard.
+        if guard_name(id) {
+            let adj = |t: Option<&Tok>| {
+                t.is_some_and(|t| matches!(t.kind, TokKind::Punct('>' | '<' | '+' | '-' | '=')))
+            };
+            if adj(self.i.checked_sub(1).map(|p| &self.toks[p])) || adj(self.toks.get(self.i + 1)) {
+                self.out.fns[fn_idx].recursion_guard = true;
+            }
+        }
+        // Shard-identity reads (D015): field access (`.shard_id`),
+        // getter call (`.shard_id()`) or plain local/parameter use.
+        if SHARD_IDENT_NAMES.contains(&id) {
+            self.out.fns[fn_idx].hazards.push(Hazard {
+                line,
+                kind: HazardKind::ShardIdent,
+                what: id.to_string(),
+            });
+        }
+
         if next_bang {
             if PANIC_MACROS.contains(&id) {
                 self.out.fns[fn_idx].hazards.push(Hazard {
@@ -710,6 +835,9 @@ impl<'a> Parser<'a> {
                         kind: HazardKind::Blocking,
                         what: format!(".{id}()"),
                     });
+                }
+                if id == "lock" {
+                    self.lock_site(fn_idx, line);
                 }
                 if id == "lock" && self.loop_depth() > 0 {
                     // Lock acquisition inside a loop: the canonical way an
@@ -781,6 +909,9 @@ impl<'a> Parser<'a> {
         if path.iter().any(|s| s == "f32" || s == "f64") {
             self.out.fns[fn_idx].mentions_float = true;
         }
+        if path.iter().any(|s| s == "Instant" || s == "SystemTime") {
+            self.out.fns[fn_idx].wall_clock = true;
+        }
         if self.call_follows(j) {
             if path.len() >= 2 {
                 let last = path.last().map(String::as_str).unwrap_or("");
@@ -826,6 +957,159 @@ impl<'a> Parser<'a> {
                 what: id.to_string(),
             });
         }
+    }
+
+    /// Handle a `.lock()` call at `self.i` (the `lock` ident): record a
+    /// [`LockSite`] when the receiver is a resolvable path, and queue
+    /// the commutative-counter proof when the whole statement is a
+    /// discarded-guard compound integer update.
+    fn lock_site(&mut self, fn_idx: usize, line: u32) {
+        let Some(dot) = self.i.checked_sub(1) else {
+            return;
+        };
+        let (segs, recv_start) = self.lock_receiver(dot);
+        let close = self
+            .toks
+            .get(self.i + 1)
+            .filter(|t| t.is_punct('('))
+            .and_then(|_| self.match_parens(self.i + 1));
+        if self.stmt_starts_at(recv_start)
+            && !segs.is_empty()
+            && close.is_some_and(|c| self.commutative_update(c))
+        {
+            self.commutative.push((fn_idx, line));
+        }
+        if segs.is_empty() {
+            // Receiver is an expression (`guard().lock()`): no stable
+            // identity; the SharedMut hazard already covers the site.
+            return;
+        }
+        let id = if segs[0] == "self" {
+            let owner = self.current_owner().unwrap_or_else(|| "Self".to_string());
+            if segs.len() > 1 {
+                format!("{owner}.{}", segs[1..].join("."))
+            } else {
+                owner
+            }
+        } else {
+            segs.join(".")
+        };
+        let bound = self.stmt_has_let(recv_start);
+        self.out.fns[fn_idx]
+            .lock_sites
+            .push(LockSite { line, id, bound });
+    }
+
+    /// Walk the receiver path backwards from the `.` at `dot`:
+    /// `self.stats.lock()` → (`["self", "stats"]`, index of `self`).
+    /// Returns an empty path when the receiver is not an
+    /// ident-dot-ident chain.
+    fn lock_receiver(&self, dot: usize) -> (Vec<String>, usize) {
+        let mut segs = Vec::new();
+        let mut start = dot;
+        let mut j = dot;
+        while let Some(prev) = j.checked_sub(1) {
+            let Some(seg) = self.toks[prev].ident() else {
+                break;
+            };
+            segs.push(seg.to_string());
+            start = prev;
+            match prev.checked_sub(1) {
+                Some(p2) if self.toks[p2].is_punct('.') => j = p2,
+                _ => break,
+            }
+        }
+        segs.reverse();
+        (segs, start)
+    }
+
+    /// Does the statement containing token `from` bind a `let`? Scans
+    /// backwards to the nearest statement boundary.
+    fn stmt_has_let(&self, from: usize) -> bool {
+        let mut k = from;
+        while let Some(p) = k.checked_sub(1) {
+            match &self.toks[p].kind {
+                TokKind::Punct(';' | '{' | '}') => return false,
+                TokKind::Ident(s) if s == "let" => return true,
+                _ => {}
+            }
+            k = p;
+        }
+        false
+    }
+
+    /// Is token `from` at the start of its statement, modulo deref
+    /// stars? Ensures the lock expression is the whole statement — its
+    /// guard is discarded, not bound or fed into a larger expression.
+    fn stmt_starts_at(&self, from: usize) -> bool {
+        let mut k = from;
+        while let Some(p) = k.checked_sub(1) {
+            match &self.toks[p].kind {
+                TokKind::Punct(';' | '{' | '}') => return true,
+                TokKind::Punct('*') => {}
+                _ => return false,
+            }
+            k = p;
+        }
+        true
+    }
+
+    /// Token index of the `)` matching the `(` at `open`.
+    fn match_parens(&self, open: usize) -> Option<usize> {
+        let mut depth = 0i32;
+        let mut k = open;
+        while k < self.toks.len() {
+            match &self.toks[k].kind {
+                TokKind::Punct('(') => depth += 1,
+                TokKind::Punct(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        None
+    }
+
+    /// After the guard expression ending at `close` (the `.lock()`'s
+    /// closing paren): does the rest of the statement read
+    /// `(.field)* op= <call-free rhs> ;` with `op` in `+ - | & ^`?
+    /// Such an update commutes over integers, so its evaluation order
+    /// across shards cannot change the merged value.
+    fn commutative_update(&self, close: usize) -> bool {
+        let mut k = close + 1;
+        while self.toks.get(k).is_some_and(|t| t.is_punct('.')) {
+            if self.toks.get(k + 1).and_then(|t| t.ident()).is_none() {
+                return false;
+            }
+            k += 2;
+            if self.toks.get(k).is_some_and(|t| t.is_punct('(')) {
+                // A further call (`.get(..)`) — not a plain field update.
+                return false;
+            }
+        }
+        let op = matches!(
+            self.toks.get(k).map(|t| &t.kind),
+            Some(TokKind::Punct('+' | '-' | '|' | '&' | '^'))
+        );
+        if !op || !self.toks.get(k + 1).is_some_and(|t| t.is_punct('=')) {
+            return false;
+        }
+        k += 2;
+        while k < self.toks.len() {
+            match &self.toks[k].kind {
+                TokKind::Punct(';') => return true,
+                // Calls, blocks, nested assignment or macros on the RHS
+                // defeat the proof; plain idents/literals/operators pass.
+                TokKind::Punct('(' | ')' | '{' | '}' | '=' | '!' | '?') => return false,
+                _ => {}
+            }
+            k += 1;
+        }
+        false
     }
 
     /// Does a call argument list start at token `j` (a `(`, or a
@@ -1332,5 +1616,123 @@ mod tests {
             .fns
             .iter()
             .any(|f| f.calls.iter().any(|c| c.path.contains(&"call".to_string()))));
+    }
+
+    #[test]
+    fn lock_sites_carry_identity_and_boundness() {
+        let src = r#"
+            struct R;
+            impl R {
+                fn cached(&self) -> u64 {
+                    let cache = self.cache.lock();
+                    self.stats.lock().hits += 1;
+                    cache.len() as u64
+                }
+            }
+            fn free(m: &Mutex<u64>) { let g = m.lock(); }
+        "#;
+        let p = parse(src);
+        let sites: Vec<(&str, bool)> = p.fns[0]
+            .lock_sites
+            .iter()
+            .map(|s| (s.id.as_str(), s.bound))
+            .collect();
+        assert_eq!(sites, vec![("R.cache", true), ("R.stats", false)]);
+        let free: Vec<(&str, bool)> = p.fns[1]
+            .lock_sites
+            .iter()
+            .map(|s| (s.id.as_str(), s.bound))
+            .collect();
+        assert_eq!(free, vec![("m", true)]);
+    }
+
+    #[test]
+    fn commutative_counter_update_is_not_shared_mut() {
+        // Discarded-guard integer `+=` through a lock commutes: the
+        // shard-purity hazard is dropped by proof, not by pragma.
+        let src = "struct R; impl R { fn bump(&self) { self.stats.lock().queries += 1; } }";
+        let p = parse(src);
+        assert!(
+            !p.fns[0]
+                .hazards
+                .iter()
+                .any(|h| h.kind == HazardKind::SharedMut),
+            "{:?}",
+            p.fns[0].hazards
+        );
+        // ...but the acquisition still participates in lock ordering.
+        assert_eq!(p.fns[0].lock_sites.len(), 1);
+
+        // A bound guard is held across later statements: not commutative.
+        let bound = "struct R; impl R { fn peek(&self) { let s = self.stats.lock(); } }";
+        let p = parse(bound);
+        assert!(p.fns[0]
+            .hazards
+            .iter()
+            .any(|h| h.kind == HazardKind::SharedMut));
+
+        // A call on the guard is a read-modify path, not a counter bump.
+        let call = "struct R; impl R { fn get(&self) { self.map.lock().insert(1, 2); } }";
+        let p = parse(call);
+        assert!(p.fns[0]
+            .hazards
+            .iter()
+            .any(|h| h.kind == HazardKind::SharedMut));
+
+        // Float accumulation does not commute.
+        let float = "struct R; impl R { fn add(&self, w: f64) { self.total.lock().sum += w; } }";
+        let p = parse(float);
+        assert!(p.fns[0]
+            .hazards
+            .iter()
+            .any(|h| h.kind == HazardKind::SharedMut));
+    }
+
+    #[test]
+    fn recursion_guards_are_detected() {
+        let by_param = "fn walk(node: u64, depth: usize) { walk(node, depth + 1); }";
+        let p = parse(by_param);
+        assert!(p.fns[0].recursion_guard);
+
+        let by_local = r#"
+            fn decode(buf: &[u8]) {
+                let mut jumps = 0u32;
+                loop { jumps += 1; if jumps > 64 { break; } }
+            }
+        "#;
+        let p = parse(by_local);
+        assert!(p.fns[0].recursion_guard);
+
+        let unguarded = "fn walk(node: u64) { walk(node); }";
+        let p = parse(unguarded);
+        assert!(!p.fns[0].recursion_guard);
+    }
+
+    #[test]
+    fn shard_identity_reads_are_hazards() {
+        let src = r#"
+            fn merge(&mut self, other: &Self) {
+                let key = other.shard_id;
+                self.rows.push(key);
+            }
+            fn clean(&mut self, other: &Self) { self.rows.push(other.seq); }
+        "#;
+        let p = parse(src);
+        assert!(p.fns[0]
+            .hazards
+            .iter()
+            .any(|h| h.kind == HazardKind::ShardIdent && h.what == "shard_id"));
+        assert!(!p.fns[1]
+            .hazards
+            .iter()
+            .any(|h| h.kind == HazardKind::ShardIdent));
+    }
+
+    #[test]
+    fn wall_clock_mentions_are_flagged() {
+        let p = parse("fn t() -> u64 { Instant::now().elapsed().as_micros() as u64 }");
+        assert!(p.fns[0].wall_clock);
+        let p = parse("fn t(sim: SimInstant) -> u64 { sim.micros() }");
+        assert!(!p.fns[0].wall_clock);
     }
 }

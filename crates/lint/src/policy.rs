@@ -20,6 +20,8 @@ pub struct Policy {
     pub graph: GraphPolicy,
     /// Entry points for the dataflow rules (`[dataflow]` section).
     pub dataflow: DataflowPolicy,
+    /// Entry points for the summary-backed rules (`[summary]` section).
+    pub summary: SummaryPolicy,
 }
 
 /// Entry-point sets for the call-graph rules. Each entry is a `::`
@@ -52,6 +54,22 @@ pub struct DataflowPolicy {
     /// D012 roots: the telemetry hot-path entry points — no allocation
     /// site may be reachable.
     pub hot_entries: Vec<String>,
+}
+
+/// Entry-point sets for the effect-summary rules (`[summary]` section).
+/// Same suffix-match and stale-entry semantics as [`GraphPolicy`].
+#[derive(Debug, Clone, Default)]
+pub struct SummaryPolicy {
+    /// D013 roots: functions whose call trees are scanned for
+    /// inconsistent lock-acquisition order (lock-order-graph cycles).
+    pub lock_entries: Vec<String>,
+    /// D014 roots: the protocol decode/encode entry points — every
+    /// recursion cycle reachable from one must carry an explicit
+    /// fuel/depth guard.
+    pub decode_entries: Vec<String>,
+    /// D015 roots: the shard-merge operations — no shard/worker/thread
+    /// identity value may be read on a path they reach.
+    pub identity_entries: Vec<String>,
 }
 
 /// Policy for one crate.
@@ -112,6 +130,9 @@ impl Policy {
             (["dataflow"], "step_entries") => self.dataflow.step_entries = value,
             (["dataflow"], "time_entries") => self.dataflow.time_entries = value,
             (["dataflow"], "hot_entries") => self.dataflow.hot_entries = value,
+            (["summary"], "lock_entries") => self.summary.lock_entries = value,
+            (["summary"], "decode_entries") => self.summary.decode_entries = value,
+            (["summary"], "identity_entries") => self.summary.identity_entries = value,
             (["crates", name], "rules") => {
                 self.crates.entry(name.to_string()).or_default().rules = Some(value);
             }
@@ -233,6 +254,11 @@ mod tests {
         step_entries = ["StubMachine::on_event"]
         time_entries = ["StubMachine::on_event", "generate_dot_traffic"]
         hot_entries = ["Registry::add"]
+
+        [summary]
+        lock_entries = ["stub_population_sharded"]
+        decode_entries = ["Message::decode"]
+        identity_entries = ["Network::absorb_shard"]
     "#;
 
     #[test]
@@ -244,6 +270,14 @@ mod tests {
             vec!["StubMachine::on_event", "generate_dot_traffic"]
         );
         assert_eq!(p.dataflow.hot_entries, vec!["Registry::add"]);
+    }
+
+    #[test]
+    fn summary_entry_sets_parse() {
+        let p = Policy::parse(SAMPLE).unwrap();
+        assert_eq!(p.summary.lock_entries, vec!["stub_population_sharded"]);
+        assert_eq!(p.summary.decode_entries, vec!["Message::decode"]);
+        assert_eq!(p.summary.identity_entries, vec!["Network::absorb_shard"]);
     }
 
     #[test]

@@ -33,10 +33,42 @@
 //! from taint source to sink — so a diagnostic is actionable without
 //! re-running the analysis by hand. BFS visits neighbours in sorted
 //! order over a deterministic graph, so chains are stable across runs.
+//!
+//! Since v4 the hazard rules are *re-rooted on effect summaries* (see
+//! [`crate::summary`]): a rule's BFS only runs when some entry's
+//! propagated summary carries the relevant effect bit, every finding
+//! records which summary bit convicted it (rule, SCC, frame count), and
+//! the `ShardCtx` exemption became a real boundary — the D006 walk does
+//! not traverse *through* exempt nodes, matching the summary clamp.
+//! Three summary-native rules ride on top, rooted in `[summary]`:
+//!
+//! * **D013 lock-order consistency** — the lock-order graph built from
+//!   held-lock-set summaries (see [`crate::lockorder`]) must be
+//!   acyclic; a cycle is a static deadlock and is reported with one
+//!   witness chain per edge.
+//! * **D014 bounded recursion on decode paths** — every exact-edge
+//!   recursion cycle reachable from a protocol decode/encode entry must
+//!   contain an explicit fuel/depth guard.
+//! * **D015 shard-identity independence** — no shard/worker/thread
+//!   identity value may be read on a path reachable from a merge entry.
 
-use crate::graph::CallGraph;
+use crate::graph::{CallGraph, FnNode};
 use crate::parser::HazardKind;
-use crate::policy::{DataflowPolicy, GraphPolicy};
+use crate::policy::{DataflowPolicy, GraphPolicy, SummaryPolicy};
+use crate::summary::{exempt, EffectSummary, Summaries};
+
+/// Why a finding fired, in effect-summary terms: which lattice bit
+/// convicted it, computed in which condensation component, propagated
+/// over how many frames (chain hops or cycle edges).
+#[derive(Debug, Clone)]
+pub struct SummaryNote {
+    /// The effect-lattice field (`panics`, `held-lock-set`, ...).
+    pub effect: &'static str,
+    /// Condensation component id of the convicted function.
+    pub scc: usize,
+    /// Chain hops (hazard rules) or cycle edges (D013/D014).
+    pub frames: usize,
+}
 
 /// One interprocedural finding, attributed to the hazard site.
 #[derive(Debug, Clone)]
@@ -45,34 +77,42 @@ pub struct ChainFinding {
     pub file: String,
     /// 1-based line of the hazard site.
     pub line: u32,
-    /// `D006` … `D012`.
+    /// `D006` … `D015`.
     pub rule: &'static str,
     /// Explanation with the rendered chain.
     pub message: String,
     /// Call chain as `fn (file:line)` hops, entry first, hazard fn last.
+    /// For D013 the hops are the cycle's witness edges instead.
     pub chain: Vec<String>,
     /// For dataflow rules: the def-use steps from source to sink. Empty
     /// for hazard-site rules.
     pub flow: Vec<String>,
+    /// Effect-summary provenance.
+    pub summary: Option<SummaryNote>,
 }
 
 /// Run every configured interprocedural rule. Fails when an entry in
-/// either policy section matches no graph node — a stale entry list
-/// would silently un-prove the contract.
+/// any policy section matches no graph node — a stale entry list would
+/// silently un-prove the contract.
 pub fn check(
     graph: &CallGraph,
+    summaries: &Summaries,
     policy: &GraphPolicy,
     dataflow: &DataflowPolicy,
+    summary_pol: &SummaryPolicy,
 ) -> Result<Vec<ChainFinding>, String> {
     let mut out = Vec::new();
     if !policy.shard_entries.is_empty() {
         let entries = resolve_entries(graph, &policy.shard_entries, "[graph] shard_entries")?;
         out.extend(scan(
             graph,
+            summaries,
             &entries,
             "D006",
+            "mutates-shared",
+            |s| s.mutates_shared,
             |h| h.kind == HazardKind::SharedMut,
-            |node| node.owner.as_deref() == Some("ShardCtx"),
+            exempt,
             "mutates shared state on a sharded measurement path; results would \
              depend on shard layout — route per-shard effects through `ShardCtx`",
         ));
@@ -81,8 +121,11 @@ pub fn check(
         let entries = resolve_entries(graph, &policy.protocol_entries, "[graph] protocol_entries")?;
         out.extend(scan(
             graph,
+            summaries,
             &entries,
             "D007",
+            "panics",
+            |s| s.panics,
             |h| h.kind == HazardKind::Panic,
             |_| false,
             "can panic and is reachable from a protocol entry point; malformed \
@@ -93,8 +136,11 @@ pub fn check(
         let entries = resolve_entries(graph, &policy.merge_entries, "[graph] merge_entries")?;
         out.extend(scan(
             graph,
+            summaries,
             &entries,
             "D008",
+            "float-accum",
+            |_| true, // FloatAccum is not a summary bit: always walk.
             |h| h.kind == HazardKind::FloatAccum,
             |_| false,
             "accumulates floats on a shard-merge path; summation order depends \
@@ -105,8 +151,11 @@ pub fn check(
         let entries = resolve_entries(graph, &dataflow.step_entries, "[dataflow] step_entries")?;
         out.extend(scan(
             graph,
+            summaries,
             &entries,
             "D009",
+            "blocks",
+            |s| s.blocks,
             |h| h.kind == HazardKind::Blocking,
             |_| false,
             "blocks the calling thread and is reachable from an event-machine \
@@ -115,8 +164,11 @@ pub fn check(
         ));
         out.extend(flow_scan(
             graph,
+            summaries,
             &entries,
             "D010",
+            "rng-escapes",
+            |s| s.rng_escapes,
             "violates per-machine RNG confinement on an event-machine step \
              path; shard outputs would depend on machine interleaving",
         ));
@@ -125,8 +177,11 @@ pub fn check(
         let entries = resolve_entries(graph, &dataflow.time_entries, "[dataflow] time_entries")?;
         out.extend(flow_scan(
             graph,
+            summaries,
             &entries,
             "D011",
+            "raw-time",
+            |_| true, // raw-time flows are not a summary bit: always walk.
             "feeds a unit-less time value to the scheduler on a path the \
              virtual clock governs — construct it via SimInstant/SimDuration",
         ));
@@ -135,17 +190,146 @@ pub fn check(
         let entries = resolve_entries(graph, &dataflow.hot_entries, "[dataflow] hot_entries")?;
         out.extend(scan(
             graph,
+            summaries,
             &entries,
             "D012",
+            "allocates",
+            |s| s.allocates,
             |h| h.kind == HazardKind::Alloc,
             |_| false,
             "allocates on the telemetry hot path; the alloc-free per-probe \
              budget (~23 ns) holds only if no reachable site touches the heap",
         ));
     }
+    if !summary_pol.lock_entries.is_empty() {
+        let entries = resolve_entries(graph, &summary_pol.lock_entries, "[summary] lock_entries")?;
+        out.extend(lock_order_scan(graph, summaries, &entries));
+    }
+    if !summary_pol.decode_entries.is_empty() {
+        let entries = resolve_entries(
+            graph,
+            &summary_pol.decode_entries,
+            "[summary] decode_entries",
+        )?;
+        out.extend(recursion_scan(graph, summaries, &entries));
+    }
+    if !summary_pol.identity_entries.is_empty() {
+        let entries = resolve_entries(
+            graph,
+            &summary_pol.identity_entries,
+            "[summary] identity_entries",
+        )?;
+        out.extend(scan(
+            graph,
+            summaries,
+            &entries,
+            "D015",
+            "shard-ident",
+            |s| s.shard_ident,
+            |h| h.kind == HazardKind::ShardIdent,
+            |_| false,
+            "reads a shard/worker identity value on a merge path; merged \
+             results would depend on worker layout — key the data on a \
+             layout-independent value (global index, address, name)",
+        ));
+    }
     out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
     out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
     Ok(out)
+}
+
+/// D013: build the lock-order graph over the cone of `entries` and
+/// report every cycle with all of its witness chains.
+fn lock_order_scan(
+    graph: &CallGraph,
+    summaries: &Summaries,
+    entries: &[usize],
+) -> Vec<ChainFinding> {
+    let (seen, _) = bfs(graph, entries, false, |_| false);
+    let edges = crate::lockorder::build_edges(graph, summaries, &seen);
+    let mut out = Vec::new();
+    for cycle in crate::lockorder::find_cycles(&edges) {
+        let anchor = &cycle.witnesses[0];
+        let node = &graph.nodes[anchor.node];
+        let witnesses: Vec<String> = cycle.witnesses.iter().map(|w| w.witness.clone()).collect();
+        let message = if cycle.locks.len() == 1 {
+            format!(
+                "lock `{}` re-acquired while already held; a non-reentrant \
+                 mutex deadlocks against itself [witness: {}]",
+                cycle.locks[0],
+                witnesses.join(" | ")
+            )
+        } else {
+            format!(
+                "inconsistent lock-acquisition order: cycle {} -> {} — two \
+                 workers taking opposite edges deadlock [witnesses: {}]",
+                cycle.locks.join(" -> "),
+                cycle.locks[0],
+                witnesses.join(" | ")
+            )
+        };
+        out.push(ChainFinding {
+            file: node.file.clone(),
+            line: anchor.line,
+            rule: "D013",
+            message,
+            chain: witnesses,
+            flow: Vec::new(),
+            summary: Some(SummaryNote {
+                effect: "held-lock-set",
+                scc: summaries.per_fn[anchor.node].scc,
+                frames: cycle.witnesses.len(),
+            }),
+        });
+    }
+    out
+}
+
+/// D014: every cyclic exact-edge SCC reachable from a decode entry must
+/// contain an explicit fuel/depth guard.
+fn recursion_scan(
+    graph: &CallGraph,
+    summaries: &Summaries,
+    entries: &[usize],
+) -> Vec<ChainFinding> {
+    let (seen, pred) = bfs(graph, entries, true, |_| false);
+    let mut out = Vec::new();
+    for scc in &summaries.exact_sccs {
+        let Some(&anchor) = scc.iter().find(|&&u| seen[u]) else {
+            continue;
+        };
+        if scc.iter().any(|&u| graph.nodes[u].recursion_guard) {
+            continue;
+        }
+        let node = &graph.nodes[anchor];
+        let cycle: Vec<String> = scc.iter().map(|&u| graph.nodes[u].qualified()).collect();
+        let chain = chain_to(graph, &pred, anchor);
+        let rendered = chain
+            .iter()
+            .map(String::as_str)
+            .collect::<Vec<_>>()
+            .join(" -> ");
+        out.push(ChainFinding {
+            file: node.file.clone(),
+            line: node.line,
+            rule: "D014",
+            message: format!(
+                "recursion cycle {{{}}} on a decode/encode path carries no \
+                 fuel/depth guard; adversarial wire data (compression-pointer \
+                 loops, nested records) must hit an explicit bound, not the \
+                 stack limit [chain: {rendered}]",
+                cycle.join(" -> ")
+            ),
+            chain,
+            flow: Vec::new(),
+            summary: Some(SummaryNote {
+                effect: "max-self-recursion",
+                scc: summaries.per_fn[anchor].scc,
+                frames: scc.len(),
+            }),
+        });
+    }
+    out
 }
 
 /// Map entry patterns (`doe_scanner::sweep::syn_sweep_sharded`,
@@ -184,16 +368,17 @@ pub fn resolve_entries(
     Ok(out)
 }
 
-/// BFS from `entries`; emit one finding per hazard site on a reached
-/// node that passes `hazard_filter` and is not `exempt`.
-fn scan(
+/// Deterministic BFS over the call graph. `exact_only` restricts the
+/// walk to exact edges (D014); `boundary` nodes are still *reached*
+/// (their own hazards can matter to the caller) but their out-edges are
+/// not expanded — effects behind an exemption boundary are sanctioned
+/// by construction, matching the summary clamp.
+fn bfs(
     graph: &CallGraph,
     entries: &[usize],
-    rule: &'static str,
-    hazard_filter: impl Fn(&crate::parser::Hazard) -> bool,
-    exempt: impl Fn(&crate::graph::FnNode) -> bool,
-    why: &str,
-) -> Vec<ChainFinding> {
+    exact_only: bool,
+    boundary: impl Fn(&FnNode) -> bool,
+) -> (Vec<bool>, Vec<Option<(usize, u32)>>) {
     let n = graph.nodes.len();
     let mut pred: Vec<Option<(usize, u32)>> = vec![None; n]; // (caller, call line)
     let mut seen = vec![false; n];
@@ -202,7 +387,13 @@ fn scan(
         seen[e] = true;
     }
     while let Some(u) = queue.pop_front() {
-        for &(v, line) in &graph.adj[u] {
+        if boundary(&graph.nodes[u]) {
+            continue;
+        }
+        for &(v, line, exact) in &graph.adj[u] {
+            if exact_only && !exact {
+                continue;
+            }
             if !seen[v] {
                 seen[v] = true;
                 pred[v] = Some((u, line));
@@ -210,6 +401,30 @@ fn scan(
             }
         }
     }
+    (seen, pred)
+}
+
+/// BFS from `entries`; emit one finding per hazard site on a reached
+/// node that passes `hazard_filter` and is not `exempt`. The walk only
+/// runs when some entry's propagated summary carries the `bit` — the
+/// summary is the proof obligation, the BFS just reconstructs the
+/// witness chain.
+#[allow(clippy::too_many_arguments)]
+fn scan(
+    graph: &CallGraph,
+    summaries: &Summaries,
+    entries: &[usize],
+    rule: &'static str,
+    effect: &'static str,
+    bit: impl Fn(&EffectSummary) -> bool,
+    hazard_filter: impl Fn(&crate::parser::Hazard) -> bool,
+    exempt: impl Fn(&FnNode) -> bool,
+    why: &str,
+) -> Vec<ChainFinding> {
+    if !entries.iter().any(|&e| bit(&summaries.per_fn[e])) {
+        return Vec::new();
+    }
+    let (seen, pred) = bfs(graph, entries, false, &exempt);
 
     let mut out = Vec::new();
     for (i, node) in graph.nodes.iter().enumerate() {
@@ -228,6 +443,11 @@ fn scan(
                 line: h.line,
                 rule,
                 message: format!("`{}` {why} [chain: {rendered}]", h.what),
+                summary: Some(SummaryNote {
+                    effect,
+                    scc: summaries.per_fn[i].scc,
+                    frames: chain.len(),
+                }),
                 chain,
                 flow: Vec::new(),
             });
@@ -237,29 +457,21 @@ fn scan(
 }
 
 /// BFS from `entries`; emit one finding per dataflow flow (see
-/// [`crate::dataflow`]) of rule `rule` on a reached node.
+/// [`crate::dataflow`]) of rule `rule` on a reached node. `bit` is the
+/// summary pre-filter, as in [`scan`].
 fn flow_scan(
     graph: &CallGraph,
+    summaries: &Summaries,
     entries: &[usize],
     rule: &'static str,
+    effect: &'static str,
+    bit: impl Fn(&EffectSummary) -> bool,
     why: &str,
 ) -> Vec<ChainFinding> {
-    let n = graph.nodes.len();
-    let mut pred: Vec<Option<(usize, u32)>> = vec![None; n];
-    let mut seen = vec![false; n];
-    let mut queue: std::collections::VecDeque<usize> = entries.iter().copied().collect();
-    for &e in entries {
-        seen[e] = true;
+    if !entries.iter().any(|&e| bit(&summaries.per_fn[e])) {
+        return Vec::new();
     }
-    while let Some(u) = queue.pop_front() {
-        for &(v, line) in &graph.adj[u] {
-            if !seen[v] {
-                seen[v] = true;
-                pred[v] = Some((u, line));
-                queue.push_back(v);
-            }
-        }
-    }
+    let (seen, pred) = bfs(graph, entries, false, |_| false);
 
     let mut out = Vec::new();
     for (i, node) in graph.nodes.iter().enumerate() {
@@ -279,6 +491,11 @@ fn flow_scan(
                 line: fl.line,
                 rule,
                 message: format!("{} — {why} [flow: {steps}] [chain: {rendered}]", fl.what),
+                summary: Some(SummaryNote {
+                    effect,
+                    scc: summaries.per_fn[i].scc,
+                    frames: chain.len(),
+                }),
                 chain,
                 flow: fl.steps.clone(),
             });
@@ -354,8 +571,40 @@ mod tests {
         }
     }
 
+    fn sp(lock: &[&str], decode: &[&str], ident: &[&str]) -> SummaryPolicy {
+        let v = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect();
+        SummaryPolicy {
+            lock_entries: v(lock),
+            decode_entries: v(decode),
+            identity_entries: v(ident),
+        }
+    }
+
+    fn full_check(
+        g: &CallGraph,
+        gpol: &GraphPolicy,
+        dpol: &DataflowPolicy,
+        spol: &SummaryPolicy,
+    ) -> Result<Vec<ChainFinding>, String> {
+        let summaries = crate::summary::compute(g);
+        super::check(g, &summaries, gpol, dpol, spol)
+    }
+
     fn check(g: &CallGraph, gpol: &GraphPolicy) -> Result<Vec<ChainFinding>, String> {
-        super::check(g, gpol, &crate::policy::DataflowPolicy::default())
+        full_check(
+            g,
+            gpol,
+            &DataflowPolicy::default(),
+            &SummaryPolicy::default(),
+        )
+    }
+
+    fn dcheck(g: &CallGraph, dpol: &DataflowPolicy) -> Result<Vec<ChainFinding>, String> {
+        full_check(g, &GraphPolicy::default(), dpol, &SummaryPolicy::default())
+    }
+
+    fn scheck(g: &CallGraph, spol: &SummaryPolicy) -> Result<Vec<ChainFinding>, String> {
+        full_check(g, &GraphPolicy::default(), &DataflowPolicy::default(), spol)
     }
 
     #[test]
@@ -436,7 +685,7 @@ mod tests {
     #[test]
     fn stale_dataflow_entry_is_a_hard_error() {
         let g = build(&[items(&[], "pub fn entry() {}")]);
-        let err = super::check(&g, &gp(&[], &[], &[]), &dp(&["a::gone"], &[], &[])).unwrap_err();
+        let err = dcheck(&g, &dp(&["a::gone"], &[], &[])).unwrap_err();
         assert!(err.contains("[dataflow] step_entries"), "{err}");
         assert!(err.contains("gone"));
     }
@@ -452,7 +701,7 @@ mod tests {
             fn unrelated() { std::thread::sleep(core::time::Duration::from_millis(1)); }
         "#;
         let g = build(&[items(&[], src)]);
-        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&["M::on_event"], &[], &[])).unwrap();
+        let f = dcheck(&g, &dp(&["M::on_event"], &[], &[])).unwrap();
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "D009");
         assert!(f[0].message.contains("thread::sleep"));
@@ -472,7 +721,7 @@ mod tests {
             }
         "#;
         let g = build(&[items(&[], src)]);
-        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&["M::on_event"], &[], &[])).unwrap();
+        let f = dcheck(&g, &dp(&["M::on_event"], &[], &[])).unwrap();
         assert!(
             f.iter()
                 .any(|x| x.rule == "D009" && x.message.contains("lock() in loop")),
@@ -494,7 +743,7 @@ mod tests {
             }
         "#;
         let g = build(&[items(&[], src)]);
-        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&[], &["a::runner"], &[])).unwrap();
+        let f = dcheck(&g, &dp(&[], &["a::runner"], &[])).unwrap();
         // Only the reachable copy of the flow is reported.
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "D011");
@@ -519,7 +768,7 @@ mod tests {
             }
         "#;
         let g = build(&[items(&[], src)]);
-        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&["M::on_event"], &[], &[])).unwrap();
+        let f = dcheck(&g, &dp(&["M::on_event"], &[], &[])).unwrap();
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "D010");
         assert!(f[0].flow.iter().any(|s| s.contains("swap_rng")));
@@ -535,9 +784,168 @@ mod tests {
             }
         "#;
         let g = build(&[items(&[], src)]);
-        let f = super::check(&g, &gp(&[], &[], &[]), &dp(&[], &[], &["Registry::add"])).unwrap();
+        let f = dcheck(&g, &dp(&[], &[], &["Registry::add"])).unwrap();
         assert_eq!(f.len(), 1, "{f:?}");
         assert_eq!(f[0].rule, "D012");
         assert!(f[0].message.contains("format!"));
+    }
+
+    #[test]
+    fn findings_carry_summary_provenance() {
+        let src = r#"
+            pub fn entry(x: Option<u8>) { mid(x); }
+            fn mid(x: Option<u8>) { leaf(x); }
+            fn leaf(x: Option<u8>) -> u8 { x.unwrap() }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = check(&g, &gp(&[], &["a::entry"], &[])).unwrap();
+        assert_eq!(f.len(), 1);
+        let note = f[0].summary.as_ref().expect("provenance");
+        assert_eq!(note.effect, "panics");
+        assert_eq!(note.frames, 3);
+    }
+
+    #[test]
+    fn exemption_is_a_boundary_not_a_skip() {
+        // `rogue` is only reachable *through* the exempt ShardCtx
+        // method: the boundary stops the walk, so the hazard behind it
+        // is sanctioned along with the method itself.
+        let src = r#"
+            pub struct ShardCtx { n: u64 }
+            impl ShardCtx {
+                pub fn charge(&self, c: &std::sync::atomic::AtomicU64) { rogue(c); }
+            }
+            pub fn run_sharded(ctx: &ShardCtx, c: &std::sync::atomic::AtomicU64) {
+                ctx.charge(c);
+            }
+            fn rogue(c: &std::sync::atomic::AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = check(&g, &gp(&["a::run_sharded"], &[], &[])).unwrap();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn opposite_lock_orders_reachable_from_lock_entry_are_d013() {
+        let src = r#"
+            pub struct W;
+            impl W {
+                fn ab(&self) {
+                    let a = self.alpha.lock();
+                    let b = self.beta.lock();
+                }
+                fn ba(&self) {
+                    let b = self.beta.lock();
+                    let a = self.alpha.lock();
+                }
+            }
+            pub fn runner(w: &W) { w.ab(); w.ba(); }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = scheck(&g, &sp(&["a::runner"], &[], &[])).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D013");
+        assert!(
+            f[0].message.contains("W.alpha -> W.beta -> W.alpha"),
+            "{}",
+            f[0].message
+        );
+        // Both witness chains are in the finding, not just the cycle.
+        assert_eq!(f[0].chain.len(), 2);
+        assert!(f[0].message.contains("a::W::ab"));
+        assert!(f[0].message.contains("a::W::ba"));
+        let note = f[0].summary.as_ref().unwrap();
+        assert_eq!(note.effect, "held-lock-set");
+        assert_eq!(note.frames, 2);
+    }
+
+    #[test]
+    fn lock_cycle_outside_the_entry_cone_is_silent() {
+        let src = r#"
+            pub struct W;
+            impl W {
+                fn ab(&self) {
+                    let a = self.alpha.lock();
+                    let b = self.beta.lock();
+                }
+                fn ba(&self) {
+                    let b = self.beta.lock();
+                    let a = self.alpha.lock();
+                }
+            }
+            pub fn runner(w: &W) { w.ab(); }
+        "#;
+        let g = build(&[items(&[], src)]);
+        // Only `ab` is in the cone: no opposite order, no cycle.
+        let f = scheck(&g, &sp(&["a::runner"], &[], &[])).unwrap();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn unguarded_recursion_on_decode_path_is_d014() {
+        let src = r#"
+            pub fn decode(buf: &[u8]) { parse_name(buf); }
+            fn parse_name(buf: &[u8]) { parse_label(buf); }
+            fn parse_label(buf: &[u8]) { parse_name(buf); }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = scheck(&g, &sp(&[], &["a::decode"], &[])).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D014");
+        assert!(f[0].message.contains("a::parse_name"), "{}", f[0].message);
+        assert!(f[0].message.contains("a::parse_label"));
+        assert!(f[0].chain[0].starts_with("a::decode "));
+        assert_eq!(f[0].summary.as_ref().unwrap().effect, "max-self-recursion");
+        assert_eq!(f[0].summary.as_ref().unwrap().frames, 2);
+    }
+
+    #[test]
+    fn fuel_guarded_recursion_is_clean() {
+        let src = r#"
+            pub fn decode(buf: &[u8]) { parse_name(buf, 64); }
+            fn parse_name(buf: &[u8], depth: u32) { parse_label(buf, depth); }
+            fn parse_label(buf: &[u8], n: u32) { parse_name(buf, n); }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = scheck(&g, &sp(&[], &["a::decode"], &[])).unwrap();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn recursion_cycle_off_the_decode_path_is_silent() {
+        let src = r#"
+            pub fn decode(buf: &[u8]) { let n = buf.len(); }
+            fn walker(buf: &[u8]) { walker(buf); }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = scheck(&g, &sp(&[], &["a::decode"], &[])).unwrap();
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn shard_identity_read_on_merge_path_is_d015() {
+        let src = r#"
+            pub struct Stats;
+            impl Stats {
+                pub fn absorb(&mut self, o: &Stats) { self.key(o); }
+                fn key(&mut self, o: &Stats) { let k = o.shard_id; }
+            }
+            pub fn unrelated(o: &Stats) { let k = o.shard_id; }
+        "#;
+        let g = build(&[items(&[], src)]);
+        let f = scheck(&g, &sp(&[], &[], &["Stats::absorb"])).unwrap();
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, "D015");
+        assert!(f[0].message.contains("shard_id"));
+        assert_eq!(f[0].chain.len(), 2);
+        assert_eq!(f[0].summary.as_ref().unwrap().effect, "shard-ident");
+    }
+
+    #[test]
+    fn stale_summary_entry_is_a_hard_error() {
+        let g = build(&[items(&[], "pub fn entry() {}")]);
+        let err = scheck(&g, &sp(&["a::vanished"], &[], &[])).unwrap_err();
+        assert!(err.contains("[summary] lock_entries"), "{err}");
+        assert!(err.contains("vanished"));
     }
 }

@@ -1,16 +1,27 @@
-//! Human and JSON rendering of a lint run.
+//! Human, JSON and SARIF rendering of a lint run.
 //!
 //! JSON is hand-rolled (the analyzer is dependency-free); the schema is
 //! stable so `scripts/verify.sh` can archive reports under `results/`
 //! and diff them across runs. Schema version 2 added the `chain` field:
 //! interprocedural findings (D006–D012) carry the call chain from an
-//! entry point to the hazard site as evidence. Version 3 adds the
+//! entry point to the hazard site as evidence. Version 3 added the
 //! `flow` field: dataflow findings (D010/D011) additionally carry the
 //! intraprocedural def-use steps from taint source to sink, in order.
 //! `flow` is present on every finding (empty for non-dataflow rules) so
-//! consumers never branch on key existence.
+//! consumers never branch on key existence. Version 4 adds, per
+//! finding:
+//!
+//! * `"fingerprint"` — a stable identity (`rule|file|entry|site`) built
+//!   from line-number-free chain endpoints, so `--baseline` diffs
+//!   survive unrelated edits that shift line numbers;
+//! * `"summary"` — effect-summary provenance (`effect` lattice bit,
+//!   condensation component `scc`, `frames` hop count) for the
+//!   interprocedural rules, `null` for token rules.
+//!
+//! The same findings export as SARIF 2.1.0 (see [`sarif`]) for CI
+//! annotation; both renderings are byte-deterministic.
 
-use crate::{Report, Severity};
+use crate::{Finding, Report, Severity};
 use std::fmt::Write as _;
 
 /// Render the human-readable report.
@@ -43,21 +54,45 @@ pub fn human(report: &Report) -> String {
     out
 }
 
+/// Strip the ` (file:line)` location suffix from a chain hop, leaving
+/// the qualified function name.
+fn hop_name(hop: &str) -> &str {
+    match hop.find(" (") {
+        Some(i) => &hop[..i],
+        None => hop,
+    }
+}
+
+/// A finding's stable identity for baseline diffing:
+/// `rule|file|entry|site`. `entry` and `site` are the first and last
+/// chain hops with their `(file:line)` locations stripped — a chain
+/// finding keeps its fingerprint when unrelated edits shift line
+/// numbers. Token findings (no chain) use `-` and `L<line>`.
+pub fn fingerprint(f: &Finding) -> String {
+    let entry = f.chain.first().map_or("-", |h| hop_name(h));
+    let site = match f.chain.last() {
+        Some(h) => hop_name(h).to_string(),
+        None => format!("L{}", f.line),
+    };
+    format!("{}|{}|{}|{}", f.rule, f.file, entry, site)
+}
+
 /// Render the machine-readable report.
 pub fn json(report: &Report) -> String {
-    let mut out = String::from("{\n  \"version\": 3,\n  \"findings\": [");
+    let mut out = String::from("{\n  \"version\": 4,\n  \"findings\": [");
     for (i, f) in report.findings.iter().enumerate() {
         let sep = if i == 0 { "" } else { "," };
         let _ = write!(
             out,
             "{sep}\n    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \
-             \"severity\": \"{}\", \"message\": \"{}\", \"chain\": [",
+             \"severity\": \"{}\", \"fingerprint\": \"{}\", \"message\": \"{}\", \"chain\": [",
             esc(&f.file),
             f.line,
             f.rule,
             match f.severity {
                 Severity::Error => "error",
             },
+            esc(&fingerprint(f)),
             esc(&f.message)
         );
         for (j, hop) in f.chain.iter().enumerate() {
@@ -69,7 +104,20 @@ pub fn json(report: &Report) -> String {
             let sep = if j == 0 { "" } else { ", " };
             let _ = write!(out, "{sep}\"{}\"", esc(step));
         }
-        out.push_str("]}");
+        out.push_str("], \"summary\": ");
+        match &f.summary {
+            Some(n) => {
+                let _ = write!(
+                    out,
+                    "{{\"effect\": \"{}\", \"scc\": {}, \"frames\": {}}}",
+                    esc(n.effect),
+                    n.scc,
+                    n.frames
+                );
+            }
+            None => out.push_str("null"),
+        }
+        out.push('}');
     }
     out.push_str("\n  ],\n  \"suppressed\": [");
     for (i, s) in report.suppressed.iter().enumerate() {
@@ -93,6 +141,52 @@ pub fn json(report: &Report) -> String {
         report.files_scanned,
         report.findings.is_empty()
     );
+    out
+}
+
+/// Render the report as SARIF 2.1.0 for CI annotation. The driver
+/// advertises every contract rule; each result carries the finding's
+/// stable fingerprint under `partialFingerprints` so SARIF consumers
+/// dedup across runs the same way `--baseline` does. Output is
+/// byte-deterministic: findings are already sorted and every map is
+/// emitted in a fixed key order.
+pub fn sarif(report: &Report) -> String {
+    let mut out = String::from(
+        "{\n  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n  \
+         \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n      \"tool\": {\n        \
+         \"driver\": {\n          \"name\": \"doe-lint\",\n          \
+         \"version\": \"4\",\n          \"rules\": [",
+    );
+    for (i, (id, what)) in crate::rules::RULES.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n            {{\"id\": \"{id}\", \"shortDescription\": {{\"text\": \"{}\"}}}}",
+            esc(what)
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n      \"results\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let sep = if i == 0 { "" } else { "," };
+        let _ = write!(
+            out,
+            "{sep}\n        {{\"ruleId\": \"{}\", \"level\": \"{}\", \
+             \"message\": {{\"text\": \"{}\"}}, \
+             \"partialFingerprints\": {{\"doeLint/v1\": \"{}\"}}, \
+             \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \
+             \"region\": {{\"startLine\": {}}}}}}}]}}",
+            f.rule,
+            match f.severity {
+                Severity::Error => "error",
+            },
+            esc(&f.message),
+            esc(&fingerprint(f)),
+            esc(&f.file),
+            f.line
+        );
+    }
+    out.push_str("\n      ]\n    }\n  ]\n}\n");
     out
 }
 
@@ -131,6 +225,7 @@ mod tests {
                 severity: Severity::Error,
                 chain: Vec::new(),
                 flow: Vec::new(),
+                summary: None,
             }],
             suppressed: Vec::new(),
             files_scanned: 1,
@@ -138,7 +233,7 @@ mod tests {
         let j = json(&report);
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"clean\": false"));
-        assert!(j.contains("\"version\": 3"));
+        assert!(j.contains("\"version\": 4"));
         let empty = Report {
             findings: Vec::new(),
             suppressed: Vec::new(),
@@ -161,6 +256,7 @@ mod tests {
                     "a::leaf (crates/a/src/lib.rs:5)".to_string(),
                 ],
                 flow: Vec::new(),
+                summary: None,
             }],
             suppressed: Vec::new(),
             files_scanned: 1,
@@ -187,6 +283,7 @@ mod tests {
                     "`ms` bound from integer literal (line 11)".to_string(),
                     "`ms` flows into `schedule_after` deadline argument (line 12)".to_string(),
                 ],
+                summary: None,
             }],
             suppressed: Vec::new(),
             files_scanned: 1,
@@ -198,5 +295,83 @@ mod tests {
             "\"flow\": [\"`ms` bound from integer literal (line 11)\", \
              \"`ms` flows into `schedule_after` deadline argument (line 12)\"]"
         ));
+    }
+
+    fn chained(line: u32, chain: &[&str]) -> Finding {
+        Finding {
+            file: "crates/x/src/lib.rs".to_string(),
+            line,
+            rule: "D007".to_string(),
+            message: "can panic".to_string(),
+            severity: Severity::Error,
+            chain: chain.iter().map(|s| s.to_string()).collect(),
+            flow: Vec::new(),
+            summary: None,
+        }
+    }
+
+    #[test]
+    fn fingerprints_survive_line_shifts() {
+        let a = chained(
+            9,
+            &[
+                "a::entry (crates/a/src/lib.rs:1)",
+                "a::leaf (crates/a/src/lib.rs:5)",
+            ],
+        );
+        // Same chain endpoints, every line number shifted.
+        let b = chained(
+            41,
+            &[
+                "a::entry (crates/a/src/lib.rs:30)",
+                "a::leaf (crates/a/src/lib.rs:38)",
+            ],
+        );
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        assert_eq!(fingerprint(&a), "D007|crates/x/src/lib.rs|a::entry|a::leaf");
+        // Token findings fall back to the line anchor.
+        let t = chained(9, &[]);
+        assert_eq!(fingerprint(&t), "D007|crates/x/src/lib.rs|-|L9");
+    }
+
+    #[test]
+    fn summary_provenance_renders_in_json() {
+        let mut f = chained(9, &["a::entry (crates/a/src/lib.rs:1)"]);
+        f.summary = Some(crate::reach::SummaryNote {
+            effect: "panics",
+            scc: 7,
+            frames: 1,
+        });
+        let report = Report {
+            findings: vec![f],
+            suppressed: Vec::new(),
+            files_scanned: 1,
+        };
+        let j = json(&report);
+        assert!(
+            j.contains("\"summary\": {\"effect\": \"panics\", \"scc\": 7, \"frames\": 1}"),
+            "{j}"
+        );
+    }
+
+    #[test]
+    fn sarif_export_is_valid_shaped_and_carries_fingerprints() {
+        let report = Report {
+            findings: vec![chained(9, &["a::entry (crates/a/src/lib.rs:1)"])],
+            suppressed: Vec::new(),
+            files_scanned: 1,
+        };
+        let s = sarif(&report);
+        assert!(s.contains("\"version\": \"2.1.0\""));
+        assert!(s.contains("\"name\": \"doe-lint\""));
+        assert!(
+            s.contains("\"id\": \"D015\""),
+            "driver advertises all rules"
+        );
+        assert!(s.contains("\"ruleId\": \"D007\""));
+        assert!(s.contains("\"doeLint/v1\": \"D007|crates/x/src/lib.rs|a::entry|a::entry\""));
+        assert!(s.contains("\"startLine\": 9"));
+        // Determinism: same report, same bytes.
+        assert_eq!(s, sarif(&report));
     }
 }

@@ -56,6 +56,18 @@ pub const RULES: &[(&str, &str)] = &[
         "D012",
         "no allocation site reachable from telemetry hot-path entry points",
     ),
+    (
+        "D013",
+        "consistent lock-acquisition order: lock-order graph acyclic over lock entry cones",
+    ),
+    (
+        "D014",
+        "recursion cycles on decode/encode paths carry an explicit fuel/depth guard",
+    ),
+    (
+        "D015",
+        "no shard/worker/thread identity value read on a shard-merge path",
+    ),
 ];
 
 /// Is `id` a known contract rule (suppressible via pragma)?

@@ -1,0 +1,28 @@
+//! D013 clean: every function acquires the two locks in the same
+//! order, so the lock-order graph is acyclic.
+
+pub struct Worker {
+    pub stats: std::sync::Mutex<u64>,
+    pub cache: std::sync::Mutex<u64>,
+}
+
+impl Worker {
+    pub fn record(&self) {
+        let stats = self.stats.lock();
+        let cache = self.cache.lock();
+        drop(cache);
+        drop(stats);
+    }
+
+    pub fn evict(&self) {
+        let stats = self.stats.lock();
+        let cache = self.cache.lock();
+        drop(cache);
+        drop(stats);
+    }
+}
+
+pub fn run_shard(w: &Worker) {
+    w.record();
+    w.evict();
+}

@@ -1,0 +1,31 @@
+//! D013 suppressed: the opposite-order acquisition is acknowledged with
+//! a justified pragma on the finding's anchor (the second acquisition
+//! of the cycle's witness edge).
+
+pub struct Worker {
+    pub stats: std::sync::Mutex<u64>,
+    pub cache: std::sync::Mutex<u64>,
+}
+
+impl Worker {
+    pub fn record(&self) {
+        let stats = self.stats.lock();
+        let cache = self.cache.lock();
+        drop(cache);
+        drop(stats);
+    }
+
+    pub fn evict(&self) {
+        let cache = self.cache.lock();
+        // doe-lint: allow(D013) — fixture: both locks are private to this
+        // worker and never taken from another thread in this order
+        let stats = self.stats.lock();
+        drop(stats);
+        drop(cache);
+    }
+}
+
+pub fn run_shard(w: &Worker) {
+    w.record();
+    w.evict();
+}

@@ -1,0 +1,28 @@
+//! D013 violation: two functions on the sharded path take the same two
+//! locks in opposite orders — a static deadlock.
+
+pub struct Worker {
+    pub stats: std::sync::Mutex<u64>,
+    pub cache: std::sync::Mutex<u64>,
+}
+
+impl Worker {
+    pub fn record(&self) {
+        let stats = self.stats.lock();
+        let cache = self.cache.lock();
+        drop(cache);
+        drop(stats);
+    }
+
+    pub fn evict(&self) {
+        let cache = self.cache.lock();
+        let stats = self.stats.lock();
+        drop(stats);
+        drop(cache);
+    }
+}
+
+pub fn run_shard(w: &Worker) {
+    w.record();
+    w.evict();
+}

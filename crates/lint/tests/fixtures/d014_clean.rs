@@ -1,0 +1,23 @@
+//! D014 clean: the same recursion cycle, but the parser threads an
+//! explicit fuel parameter — the decode depth is bounded by
+//! construction.
+
+pub fn decode(msg: &[u8]) -> usize {
+    parse_name(msg, 0, 64)
+}
+
+fn parse_name(msg: &[u8], pos: usize, fuel: u8) -> usize {
+    if fuel == 0 {
+        return pos;
+    }
+    if msg[pos] & 0xc0 == 0xc0 {
+        follow_pointer(msg, pos, fuel - 1)
+    } else {
+        pos + 1
+    }
+}
+
+fn follow_pointer(msg: &[u8], pos: usize, fuel: u8) -> usize {
+    let target = usize::from(msg[pos + 1]);
+    parse_name(msg, target, fuel)
+}

@@ -1,0 +1,21 @@
+//! D014 suppressed: the unguarded recursion is acknowledged with a
+//! justified pragma on the cycle's anchor function.
+
+pub fn decode(msg: &[u8]) -> usize {
+    parse_name(msg, 0)
+}
+
+// doe-lint: allow(D014) — fixture: input is produced by our own encoder
+// and cannot contain a pointer loop
+fn parse_name(msg: &[u8], pos: usize) -> usize {
+    if msg[pos] & 0xc0 == 0xc0 {
+        follow_pointer(msg, pos)
+    } else {
+        pos + 1
+    }
+}
+
+fn follow_pointer(msg: &[u8], pos: usize) -> usize {
+    let target = usize::from(msg[pos + 1]);
+    parse_name(msg, target)
+}

@@ -1,0 +1,20 @@
+//! D014 violation: the name parser recurses through the
+//! compression-pointer path with no fuel or depth bound — adversarial
+//! wire data loops until the stack blows.
+
+pub fn decode(msg: &[u8]) -> usize {
+    parse_name(msg, 0)
+}
+
+fn parse_name(msg: &[u8], pos: usize) -> usize {
+    if msg[pos] & 0xc0 == 0xc0 {
+        follow_pointer(msg, pos)
+    } else {
+        pos + 1
+    }
+}
+
+fn follow_pointer(msg: &[u8], pos: usize) -> usize {
+    let target = usize::from(msg[pos + 1]);
+    parse_name(msg, target)
+}

@@ -1,0 +1,16 @@
+//! D015 clean: the merge folds layout-independent values only.
+
+pub struct Stats {
+    pub total: u64,
+    pub shard_id: u64,
+}
+
+impl Stats {
+    pub fn absorb(&mut self, other: &Stats) {
+        self.keyed(other);
+    }
+
+    fn keyed(&mut self, other: &Stats) {
+        self.total += other.total;
+    }
+}

@@ -1,0 +1,19 @@
+//! D015 suppressed: the identity read is acknowledged with a justified
+//! pragma — the value feeds a debug label, not the merged totals.
+
+pub struct Stats {
+    pub total: u64,
+    pub shard_id: u64,
+}
+
+impl Stats {
+    pub fn absorb(&mut self, other: &Stats) {
+        self.keyed(other);
+    }
+
+    fn keyed(&mut self, other: &Stats) {
+        // doe-lint: allow(D015) — fixture: identity feeds a diagnostic
+        // label that never reaches merged output
+        self.total += other.shard_id;
+    }
+}

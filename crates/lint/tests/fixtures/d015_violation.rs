@@ -1,0 +1,17 @@
+//! D015 violation: a shard-merge path keys its data on the worker's
+//! shard identity — the merged result depends on worker layout.
+
+pub struct Stats {
+    pub total: u64,
+    pub shard_id: u64,
+}
+
+impl Stats {
+    pub fn absorb(&mut self, other: &Stats) {
+        self.keyed(other);
+    }
+
+    fn keyed(&mut self, other: &Stats) {
+        self.total += other.shard_id;
+    }
+}

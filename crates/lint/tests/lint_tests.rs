@@ -1,12 +1,14 @@
 //! Fixture-based self-tests for the determinism analyzer.
 //!
 //! Each token rule gets three fixtures — violating, clean, and
-//! pragma-suppressed — and the call-graph rules (D006–D008) plus the
-//! dataflow rules (D009–D012) get the same triple driven through the
-//! whole-workspace `analyze` entry point. On top of that: pragma hygiene
-//! (including stale pragmas as P004 errors), `lint.toml` scoping,
-//! byte-determinism of the exported call graph and v3 report, and a
-//! meta-test asserting the live workspace satisfies its own contract.
+//! pragma-suppressed — and the call-graph rules (D006–D008), the
+//! dataflow rules (D009–D012) and the effect-summary rules (D013–D015)
+//! get the same triple driven through the whole-workspace `analyze`
+//! entry point. On top of that: pragma hygiene (including stale pragmas
+//! as P004 errors), `lint.toml` scoping, byte-determinism of the
+//! exported call graph, v4 report and SARIF export, and meta-tests
+//! asserting the live workspace satisfies its own contract and that the
+//! summary fixpoint covers every function in the graph.
 
 use doe_lint::policy::Policy;
 use doe_lint::{
@@ -340,6 +342,172 @@ fn d012_hot_path_allocation() {
     );
 }
 
+// ---------------------------------------------------------------------
+// Effect-summary rules (D013–D015): same triple shape, rooted at the
+// `[summary]` entry sets. D013's evidence is the cycle's witness edges
+// rather than an entry-rooted call chain, so the chain-root assertion
+// is relaxed for it.
+
+fn analyze_summary_fixture(src: &str, lock: &[&str], decode: &[&str], ident: &[&str]) -> Analysis {
+    let mut policy = Policy::default();
+    policy.summary.lock_entries = lock.iter().map(|s| s.to_string()).collect();
+    policy.summary.decode_entries = decode.iter().map(|s| s.to_string()).collect();
+    policy.summary.identity_entries = ident.iter().map(|s| s.to_string()).collect();
+    analyze_policy_fixture(src, &policy)
+}
+
+fn assert_summary_triple(
+    rule: &str,
+    entry: &[&str],
+    violation: &str,
+    clean: &str,
+    suppressed: &str,
+) {
+    let pick = |r: &str| -> (Vec<&str>, Vec<&str>, Vec<&str>) {
+        match r {
+            "D013" => (entry.to_vec(), Vec::new(), Vec::new()),
+            "D014" => (Vec::new(), entry.to_vec(), Vec::new()),
+            _ => (Vec::new(), Vec::new(), entry.to_vec()),
+        }
+    };
+    let (l, d, i) = pick(rule);
+
+    let v = analyze_summary_fixture(violation, &l, &d, &i).report;
+    assert!(
+        !v.findings.is_empty(),
+        "{rule}: violation fixture produced no findings"
+    );
+    assert!(
+        v.findings.iter().all(|f| f.rule == rule),
+        "{rule}: violation fixture tripped other rules: {:?}",
+        v.findings
+    );
+    // Every summary-rule finding carries its effect provenance and
+    // evidence: witness edges (D013) or an entry-rooted chain.
+    assert!(
+        v.findings
+            .iter()
+            .all(|f| f.summary.is_some() && !f.chain.is_empty()),
+        "{rule}: finding lacks summary provenance or evidence: {:?}",
+        v.findings
+    );
+    if rule != "D013" {
+        assert!(
+            v.findings
+                .iter()
+                .all(|f| f.chain[0].contains(entry[0].rsplit("::").next().unwrap())),
+            "{rule}: finding lacks a chain rooted at the entry: {:?}",
+            v.findings
+        );
+    }
+
+    let c = analyze_summary_fixture(clean, &l, &d, &i).report;
+    assert!(
+        c.findings.is_empty(),
+        "{rule}: clean fixture produced findings: {:?}",
+        c.findings
+    );
+
+    let sup = analyze_summary_fixture(suppressed, &l, &d, &i).report;
+    assert!(
+        sup.findings.is_empty(),
+        "{rule}: suppressed fixture still has findings: {:?}",
+        sup.findings
+    );
+    assert!(
+        sup.suppressed.iter().any(|x| x.rule == rule),
+        "{rule}: suppressed fixture recorded no {rule} suppression: {:?}",
+        sup.suppressed
+    );
+}
+
+#[test]
+fn d013_lock_acquisition_order() {
+    assert_summary_triple(
+        "D013",
+        &["fixture_lib::run_shard"],
+        include_str!("fixtures/d013_violation.rs"),
+        include_str!("fixtures/d013_clean.rs"),
+        include_str!("fixtures/d013_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d014_bounded_decode_recursion() {
+    assert_summary_triple(
+        "D014",
+        &["fixture_lib::decode"],
+        include_str!("fixtures/d014_violation.rs"),
+        include_str!("fixtures/d014_clean.rs"),
+        include_str!("fixtures/d014_suppressed.rs"),
+    );
+}
+
+#[test]
+fn d015_shard_identity_on_merge_path() {
+    assert_summary_triple(
+        "D015",
+        &["fixture_lib::Stats::absorb"],
+        include_str!("fixtures/d015_violation.rs"),
+        include_str!("fixtures/d015_clean.rs"),
+        include_str!("fixtures/d015_suppressed.rs"),
+    );
+}
+
+/// D013's message must show BOTH acquisition orders — a cycle report
+/// that names only one edge is not actionable.
+#[test]
+fn d013_reports_both_witness_chains() {
+    let report = analyze_summary_fixture(
+        include_str!("fixtures/d013_violation.rs"),
+        &["fixture_lib::run_shard"],
+        &[],
+        &[],
+    )
+    .report;
+    let f = &report.findings[0];
+    assert_eq!(f.rule, "D013");
+    assert_eq!(
+        f.chain.len(),
+        2,
+        "one witness per cycle edge: {:?}",
+        f.chain
+    );
+    assert!(
+        f.message.contains("Worker::record") && f.message.contains("Worker::evict"),
+        "both orders must be named: {}",
+        f.message
+    );
+    assert!(
+        f.message
+            .contains("Worker.cache -> Worker.stats -> Worker.cache"),
+        "cycle must be rendered lock-by-lock: {}",
+        f.message
+    );
+}
+
+#[test]
+fn stale_summary_entry_is_a_configuration_error() {
+    let mut policy = Policy::default();
+    policy.summary.decode_entries = vec!["fixture_lib::renamed_or_removed".to_string()];
+    let files = vec![LoadedFile {
+        file: SourceFile {
+            crate_key: "fixture".to_string(),
+            rel_path: "src/lib.rs".to_string(),
+            display_path: "crates/fixture/src/lib.rs".to_string(),
+            abs_path: PathBuf::new(),
+        },
+        src: include_str!("fixtures/d014_clean.rs").to_string(),
+    }];
+    let mut names = BTreeMap::new();
+    names.insert("fixture".to_string(), "fixture_lib".to_string());
+    let err = analyze(&files, &policy, &names).expect_err("stale entry must be rejected");
+    assert!(
+        err.contains("renamed_or_removed") && err.contains("decode_entries"),
+        "error should name the stale entry and its set: {err}"
+    );
+}
+
 /// D011 findings narrate the whole def-use path: the tainted binding,
 /// then the sink, in source order.
 #[test]
@@ -621,6 +789,12 @@ fn workspace_lints_clean() {
             && !policy.dataflow.hot_entries.is_empty(),
         "the workspace policy must keep the dataflow rules rooted"
     );
+    assert!(
+        !policy.summary.lock_entries.is_empty()
+            && !policy.summary.decode_entries.is_empty()
+            && !policy.summary.identity_entries.is_empty(),
+        "the workspace policy must keep the effect-summary rules rooted"
+    );
     let report = lint_workspace(&root, &policy).expect("workspace lints");
     assert!(
         report.clean(),
@@ -660,7 +834,66 @@ fn callgraph_and_report_are_byte_deterministic() {
         "doe-lint.json is not byte-stable across runs"
     );
     assert!(
-        ra.contains("\"version\": 3"),
-        "report schema should be v3 (with per-finding flow evidence)"
+        ra.contains("\"version\": 4"),
+        "report schema should be v4 (with per-finding fingerprint and summary provenance)"
+    );
+    let sa = doe_lint::report::sarif(&a.report);
+    assert_eq!(
+        sa,
+        doe_lint::report::sarif(&b.report),
+        "SARIF export is not byte-stable across runs"
+    );
+    assert!(
+        sa.contains("\"version\": \"2.1.0\"") && sa.contains("\"name\": \"doe-lint\""),
+        "SARIF export lost its envelope"
+    );
+}
+
+/// The summary fixpoint must converge with a summary for every function
+/// in the workspace graph, and the results must be internally
+/// consistent: component ids in range, recursion counts only on members
+/// of cyclic exact SCCs, and the condensation topologically ordered
+/// (callees' components never after their callers' in emission order is
+/// not required, but each function's effects must include those of its
+/// exact callees' lock sets by the join).
+#[test]
+fn workspace_summary_fixpoint_covers_every_function() {
+    let root = workspace_root();
+    let policy = workspace_policy(&root);
+    let a = doe_lint::analyze_workspace(&root, &policy).expect("analysis");
+    let n = a.graph.nodes.len();
+    assert!(n > 500, "suspiciously small workspace graph: {n} nodes");
+    assert_eq!(
+        a.summaries.per_fn.len(),
+        n,
+        "fixpoint must produce a summary for every function"
+    );
+    // Join consistency: every caller's summary includes each callee's
+    // effect bits (modulo the ShardCtx boundary clamp on mutates_shared).
+    for (u, node) in a.graph.nodes.iter().enumerate() {
+        let su = &a.summaries.per_fn[u];
+        if doe_lint::summary::exempt(node) {
+            assert!(!su.mutates_shared, "boundary clamp violated at {u}");
+            continue;
+        }
+        for &(v, _, _) in &a.graph.adj[u] {
+            let sv = &a.summaries.per_fn[v];
+            assert!(!sv.panics || su.panics, "panics not joined {u}<-{v}");
+            assert!(!sv.blocks || su.blocks, "blocks not joined {u}<-{v}");
+            assert!(
+                !sv.allocates || su.allocates,
+                "allocates not joined {u}<-{v}"
+            );
+        }
+    }
+    // The workspace certainly allocates somewhere and takes locks
+    // somewhere; a fixpoint that says otherwise silently under-joined.
+    assert!(
+        a.summaries.per_fn.iter().any(|s| s.allocates),
+        "no allocation effect anywhere — summaries under-joined"
+    );
+    assert!(
+        a.summaries.per_fn.iter().any(|s| !s.lock_set.is_empty()),
+        "no held-lock-set anywhere — lock sites lost"
     );
 }

@@ -113,16 +113,20 @@ cp results/priv_a/padding-leakage.json results/privacy.json
 rm -rf results/priv_a results/priv_b
 echo "    padding-leakage byte-stable; artifact archived as results/privacy.json"
 
-echo "==> doe-lint (determinism contract, interprocedural + dataflow)"
-# One pass archives both artifacts; a second pass re-derives them so the
-# gate catches any nondeterminism in the analyzer itself. A stale entry
-# in lint.toml (renamed function, dropped rule root) is a hard error
-# inside the run, so the D006–D012 roots cannot rot silently.
+echo "==> doe-lint (determinism contract: interprocedural + dataflow + summaries)"
+# One pass archives the artifacts (v4 report, v2 call graph, SARIF); a
+# second pass re-derives all three so the gate catches any
+# nondeterminism in the analyzer itself — including the effect-summary
+# fixpoint and the lock-order cycle search. A stale entry in lint.toml
+# (renamed function, dropped rule root) is a hard error inside the run,
+# so the D006–D015 roots cannot rot silently.
 cargo run -q --release -p doe-lint --offline -- \
-    --json-out results/doe-lint.json --graph-out results/callgraph.json
+    --json-out results/doe-lint.json --graph-out results/callgraph.json \
+    --sarif results/doe-lint.sarif
 cargo run -q --release -p doe-lint --offline -- \
     --quiet --json-out results/doe-lint.second.json \
-    --graph-out results/callgraph.second.json
+    --graph-out results/callgraph.second.json \
+    --sarif results/doe-lint.second.sarif
 cmp results/callgraph.json results/callgraph.second.json || {
     echo "FAIL: callgraph.json differs between two doe-lint runs" >&2
     exit 1
@@ -131,27 +135,45 @@ cmp results/doe-lint.json results/doe-lint.second.json || {
     echo "FAIL: doe-lint.json differs between two doe-lint runs" >&2
     exit 1
 }
-rm -f results/callgraph.second.json results/doe-lint.second.json
+cmp results/doe-lint.sarif results/doe-lint.second.sarif || {
+    echo "FAIL: SARIF export differs between two doe-lint runs" >&2
+    exit 1
+}
+rm -f results/callgraph.second.json results/doe-lint.second.json \
+      results/doe-lint.second.sarif
 grep -q '"rule": "D006"\|"shard_entries"\|"nodes"' results/callgraph.json || {
     echo "FAIL: results/callgraph.json lost its node section" >&2
     exit 1
 }
-grep -q '"version": 3' results/doe-lint.json || {
-    echo "FAIL: results/doe-lint.json is not schema v3 (per-finding flow)" >&2
+grep -q '"version": 4' results/doe-lint.json || {
+    echo "FAIL: results/doe-lint.json is not schema v4 (fingerprint + summary provenance)" >&2
     exit 1
 }
 grep -q '"clean": true' results/doe-lint.json || {
     echo "FAIL: doe-lint reports unsuppressed findings" >&2
     exit 1
 }
-# The dataflow rules (D009-D012) must stay rooted in lint.toml.
-for roots in step_entries time_entries hot_entries; do
+grep -q '"version": "2.1.0"' results/doe-lint.sarif || {
+    echo "FAIL: results/doe-lint.sarif is not SARIF 2.1.0" >&2
+    exit 1
+}
+# Baseline regression gate: a clean workspace diffed against its own
+# archived report must stay clean (exit 0, no regressions).
+cargo run -q --release -p doe-lint --offline -- \
+    --quiet --baseline results/doe-lint.json || {
+    echo "FAIL: doe-lint --baseline reports regressions against the archived report" >&2
+    exit 1
+}
+# The dataflow rules (D009-D012) and the summary rules (D013-D015) must
+# stay rooted in lint.toml.
+for roots in step_entries time_entries hot_entries \
+             lock_entries decode_entries identity_entries; do
     grep -q "^$roots = \[" lint.toml || {
-        echo "FAIL: lint.toml [dataflow] lost its $roots roots" >&2
+        echo "FAIL: lint.toml lost its $roots roots" >&2
         exit 1
     }
 done
-echo "    doe-lint.json (v3) + callgraph.json archived, both byte-stable"
+echo "    doe-lint.json (v4) + callgraph.json + doe-lint.sarif archived, all byte-stable"
 
 if [[ "${FULL_SCALE:-0}" == "1" ]]; then
     echo "==> full scale: 2.5M-host sweep determinism (FULL_SCALE=1)"
